@@ -1,0 +1,85 @@
+// Ablation: pre-loading VMs vs on-demand provisioning (§III-B).
+//
+// "Pre-loading VMs is an intuitive way to mitigate such offloading
+// failures, but it will inevitably reduce the server resource utilization
+// and increase the complexity of the system. Leveraging a lightweight and
+// fast-boot cloud resource model may change the game."
+//
+// This bench quantifies the claim: a warm pool of 5 Android VMs removes
+// the cold-start failures exactly like Rattrap does, but at the price of
+// holding 2.5 GB of memory for the whole experiment; Rattrap achieves the
+// same failure profile on demand with a fraction of the memory-time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+struct PoolResult {
+  std::size_t failures = 0;
+  double mean_prep_s = 0;
+  double memory_gb_s = 0;
+};
+
+PoolResult run(core::PlatformConfig config,
+               const std::vector<workloads::OffloadRequest>& stream) {
+  core::Platform platform(std::move(config));
+  const auto outcomes = platform.run(stream);
+  PoolResult result;
+  for (const auto& o : outcomes) {
+    if (o.offloading_failure()) ++result.failures;
+    result.mean_prep_s += sim::to_seconds(o.phases.runtime_preparation);
+  }
+  result.mean_prep_s /= static_cast<double>(outcomes.size());
+  result.memory_gb_s =
+      platform.memory_time_byte_seconds() / (1024.0 * 1024.0 * 1024.0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Warm-pool ablation — pre-loading vs on-demand (OCR, 20 requests)\n");
+  bench::print_rule('=');
+  std::printf("%-28s %8s %12s %14s\n", "configuration", "fails",
+              "prep[s]", "memory[GB*s]");
+  bench::print_rule();
+
+  const auto stream = bench::paper_stream(workloads::Kind::kOcr);
+
+  struct Row {
+    const char* label;
+    core::PlatformKind kind;
+    std::uint32_t pool;
+  };
+  const Row rows[] = {
+      {"VM, on-demand", core::PlatformKind::kVmCloud, 0},
+      {"VM, warm pool of 5", core::PlatformKind::kVmCloud, 5},
+      {"Rattrap, on-demand", core::PlatformKind::kRattrap, 0},
+      {"Rattrap, warm pool of 5", core::PlatformKind::kRattrap, 5},
+  };
+  double warm_vm_mem = 0, rattrap_mem = 0;
+  for (const Row& row : rows) {
+    core::PlatformConfig config = core::make_config(row.kind);
+    config.warm_pool = row.pool;
+    const PoolResult result = run(config, stream);
+    if (row.kind == core::PlatformKind::kVmCloud && row.pool > 0) {
+      warm_vm_mem = result.memory_gb_s;
+    }
+    if (row.kind == core::PlatformKind::kRattrap && row.pool == 0) {
+      rattrap_mem = result.memory_gb_s;
+    }
+    std::printf("%-28s %8zu %12.3f %14.2f\n", row.label, result.failures,
+                result.mean_prep_s, result.memory_gb_s);
+  }
+  bench::print_rule();
+  std::printf(
+      "check: the warm VM pool hides the cold starts but holds %.1fx the\n"
+      "memory-time of on-demand Rattrap, whose <2s boots make pre-loading\n"
+      "unnecessary — the paper's §III-B argument.\n",
+      warm_vm_mem / rattrap_mem);
+  return 0;
+}

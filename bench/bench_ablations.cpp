@@ -1,0 +1,106 @@
+// Ablation benches for the design choices DESIGN.md calls out: each
+// Rattrap optimization toggled individually against the full system.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+bench::RunSummary run_with(core::PlatformConfig config,
+                           const std::vector<workloads::OffloadRequest>&
+                               stream) {
+  core::Platform platform(std::move(config));
+  return bench::summarize(platform.run(stream));
+}
+
+void ablate_code_cache() {
+  std::printf("\n[ablation] mobile code cache (App Warehouse)\n");
+  bench::print_rule();
+  std::printf("%-12s %14s %14s %12s\n", "workload", "upload w/ [KB]",
+              "upload w/o", "xfer w/o-w");
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    auto with = core::make_config(core::PlatformKind::kRattrap);
+    auto without = with;
+    without.code_cache = false;
+    without.dispatcher_affinity = false;
+    const auto a = run_with(with, stream);
+    const auto b = run_with(without, stream);
+    std::printf("%-12s %14.0f %14.0f %10.2fx\n",
+                workloads::to_string(kind),
+                static_cast<double>(a.up_bytes) / 1024.0,
+                static_cast<double>(b.up_bytes) / 1024.0,
+                b.mean_transfer_s / a.mean_transfer_s);
+  }
+}
+
+void ablate_shared_io() {
+  std::printf("\n[ablation] Sharing Offloading I/O (in-memory fs)\n");
+  bench::print_rule();
+  std::printf("%-12s %14s %14s %10s\n", "workload", "comp w/ [s]",
+              "comp w/o [s]", "slowdown");
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    auto with = core::make_config(core::PlatformKind::kRattrap);
+    auto without = with;
+    without.sharing_offload_io = false;
+    const auto a = run_with(with, stream);
+    const auto b = run_with(without, stream);
+    std::printf("%-12s %14.3f %14.3f %9.2fx\n", workloads::to_string(kind),
+                a.mean_computation_s, b.mean_computation_s,
+                b.mean_computation_s / a.mean_computation_s);
+  }
+  std::printf("(expect the largest slowdown for VirusScan: many file ops)\n");
+}
+
+void ablate_customized_os() {
+  std::printf("\n[ablation] customized OS (stripped image + stubs)\n");
+  bench::print_rule();
+  auto with = core::make_config(core::PlatformKind::kRattrap);
+  auto without = with;
+  without.customized_os = false;
+  core::Platform a(with);
+  core::Platform b(without);
+  const auto sa = a.measure_provision();
+  const auto sb = b.measure_provision();
+  std::printf("setup: %.2fs (customized) vs %.2fs (stock)  -> %.2fx\n",
+              sim::to_seconds(sa.setup_time), sim::to_seconds(sb.setup_time),
+              static_cast<double>(sb.setup_time) /
+                  static_cast<double>(sa.setup_time));
+  std::printf("memory: %.1fMB vs %.1fMB; shared layer: %.0fMB vs %.0fMB\n",
+              static_cast<double>(sa.memory_usage) / (1 << 20),
+              static_cast<double>(sb.memory_usage) / (1 << 20),
+              static_cast<double>(sa.shared_disk_bytes) / (1 << 20),
+              static_cast<double>(sb.shared_disk_bytes) / (1 << 20));
+}
+
+void ablate_affinity() {
+  std::printf("\n[ablation] dispatcher AID->CID affinity\n");
+  bench::print_rule();
+  std::printf("%-12s %16s %16s\n", "workload", "comp w/ [s]",
+              "comp w/o [s]");
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    auto with = core::make_config(core::PlatformKind::kRattrap);
+    auto without = with;
+    without.dispatcher_affinity = false;
+    const auto a = run_with(with, stream);
+    const auto b = run_with(without, stream);
+    std::printf("%-12s %16.3f %16.3f\n", workloads::to_string(kind),
+                a.mean_computation_s, b.mean_computation_s);
+  }
+  std::printf("(affinity saves per-environment dex loading/relinking)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Rattrap design-choice ablations (20 requests, LAN WiFi)\n");
+  ablate_code_cache();
+  ablate_shared_io();
+  ablate_customized_os();
+  ablate_affinity();
+  return 0;
+}

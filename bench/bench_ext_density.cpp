@@ -1,0 +1,85 @@
+// Extension bench: consolidation density — how many devices can one
+// server serve per resource model?
+//
+// Not a figure from the paper, but the quantified version of its central
+// resource argument: 512 MB Android VMs cap a 16 GB server at ~31
+// concurrent environments, while 96 MB optimized containers (whose ~1 GB
+// system image is shared besides) fit 5x more.  Requests beyond the VM
+// memory wall are rejected outright.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+using namespace rattrap;
+
+int main() {
+  std::printf(
+      "Consolidation density — devices per server (Linpack, 2 requests "
+      "per device)\n");
+  bench::print_rule('=');
+  std::printf("%8s | %22s | %22s | %22s\n", "", "VM platform", "Rattrap",
+              "VM cluster x3");
+  std::printf("%8s | %8s %6s %6s | %8s %6s %6s | %8s %6s %6s\n",
+              "devices", "resp[s]", "rej", "envs", "resp[s]", "rej",
+              "envs", "resp[s]", "rej", "envs");
+  bench::print_rule();
+
+  for (const std::uint32_t devices : {5u, 15u, 25u, 31u, 40u, 60u}) {
+    workloads::StreamConfig config;
+    config.kind = workloads::Kind::kLinpack;
+    config.count = devices * 2;
+    config.devices = devices;
+    config.mean_gap = sim::kSecond;  // dense arrivals: all envs coexist
+    config.size_class = 2;
+    config.seed = 5;
+    const auto stream = workloads::make_stream(config);
+
+    struct Cell {
+      double resp = 0;
+      std::size_t rejected = 0;
+      std::size_t envs = 0;
+    };
+    Cell cells[3];
+    const auto tally = [&](Cell& cell,
+                           const std::vector<core::RequestOutcome>& out) {
+      std::size_t served = 0;
+      for (const auto& o : out) {
+        if (o.rejected) {
+          ++cell.rejected;
+          continue;
+        }
+        cell.resp += sim::to_seconds(o.response);
+        ++served;
+      }
+      if (served > 0) cell.resp /= static_cast<double>(served);
+    };
+    int column = 0;
+    for (const auto kind :
+         {core::PlatformKind::kVmCloud, core::PlatformKind::kRattrap}) {
+      core::Platform platform(core::make_config(kind));
+      tally(cells[column], platform.run(stream));
+      cells[column].envs = platform.env_count();
+      ++column;
+    }
+    {
+      // Scale-out alternative: shard the same fleet over 3 VM servers.
+      core::Cluster cluster(
+          core::make_config(core::PlatformKind::kVmCloud), 3);
+      tally(cells[2], cluster.run(stream));
+      cells[2].envs = cluster.stats().environments;
+    }
+    std::printf(
+        "%8u | %8.2f %6zu %6zu | %8.2f %6zu %6zu | %8.2f %6zu %6zu\n",
+        devices, cells[0].resp, cells[0].rejected, cells[0].envs,
+        cells[1].resp, cells[1].rejected, cells[1].envs, cells[2].resp,
+        cells[2].rejected, cells[2].envs);
+  }
+  bench::print_rule();
+  std::printf(
+      "check: the VM platform starts rejecting once 512MB x devices\n"
+      "exceeds 16GB (~31 devices); Rattrap keeps serving (96MB each +\n"
+      "one shared system image); tripling the VM fleet buys the same\n"
+      "headroom at 3x the hardware.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 1: phase details and offloading speedups of the first
+// 20 requests per workload on the VM-based cloud platform (LAN WiFi).
+//
+// Shape targets: the first request of each of the 5 VMs is an offloading
+// failure (speedup < 1) dominated by runtime preparation; later requests
+// reach speedups of roughly 2–8x depending on the workload.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+int main() {
+  std::printf(
+      "Fig. 1 — Phase details and offloading speedups, first 20 requests\n"
+      "(VM-based cloud platform, LAN WiFi; times in ms)\n");
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    core::Platform platform(
+        core::make_config(core::PlatformKind::kVmCloud));
+    const auto outcomes = platform.run(stream);
+
+    bench::print_rule('=');
+    std::printf("(%s)\n", workloads::to_string(kind));
+    std::printf("%4s %9s %9s %9s %9s %10s %8s %5s\n", "req", "conn",
+                "prep", "xfer", "comp", "response", "speedup", "fail");
+    bench::print_rule();
+    std::size_t failures = 0;
+    for (const auto& o : outcomes) {
+      if (o.offloading_failure()) ++failures;
+      std::printf("%4llu %9.1f %9.1f %9.1f %9.1f %10.1f %7.2fx %5s\n",
+                  static_cast<unsigned long long>(o.request.sequence + 1),
+                  sim::to_millis(o.phases.network_connection),
+                  sim::to_millis(o.phases.runtime_preparation),
+                  sim::to_millis(o.phases.data_transfer),
+                  sim::to_millis(o.phases.computation),
+                  sim::to_millis(o.response), o.speedup,
+                  o.offloading_failure() ? "YES" : "");
+    }
+    std::printf("offloading failures: %zu/20 "
+                "(paper: the first request per VM fails -> 5 cold starts)\n",
+                failures);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Fig. 9: average performance of offloading requests per
+// workload, split into computation execution / runtime preparation / data
+// transfer, normalized to the VM platform.
+//
+// Paper targets: runtime preparation improves 4.14–4.71x (W/O) and
+// 16.29–16.98x (Rattrap); data transfer 1.17–2.04x (Rattrap only);
+// computation 1.02–1.13x (W/O) and 1.05–1.40x (Rattrap, max VirusScan).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+int main() {
+  std::printf(
+      "Fig. 9 — Average offloading performance (20 requests, LAN WiFi)\n");
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    bench::RunSummary results[3];
+    int column = 0;
+    for (const auto platform_kind : bench::paper_platforms()) {
+      results[column++] = bench::run_platform(platform_kind, stream);
+    }
+    const bench::RunSummary& rattrap = results[0];
+    const bench::RunSummary& plain = results[1];
+    const bench::RunSummary& vm = results[2];
+
+    bench::print_rule('=');
+    std::printf("(%s)  absolute seconds and x-over-VM\n",
+                workloads::to_string(kind));
+    std::printf("%-14s %12s %12s %12s %10s\n", "platform", "comp[s]",
+                "prep[s]", "xfer[s]", "speedup");
+    bench::print_rule();
+    const auto print_row = [&](const char* label,
+                               const bench::RunSummary& s) {
+      std::printf("%-14s %12.3f %12.3f %12.3f %9.2fx\n", label,
+                  s.mean_computation_s, s.mean_preparation_s,
+                  s.mean_transfer_s, s.mean_speedup);
+    };
+    print_row("Rattrap", rattrap);
+    print_row("Rattrap(W/O)", plain);
+    print_row("VM", vm);
+    std::printf(
+        "improvement over VM: prep %.2fx (W/O) / %.2fx (Rattrap)   "
+        "xfer %.2fx   comp %.2fx (W/O) / %.2fx (Rattrap)\n",
+        vm.mean_preparation_s / plain.mean_preparation_s,
+        vm.mean_preparation_s / rattrap.mean_preparation_s,
+        vm.mean_transfer_s / rattrap.mean_transfer_s,
+        vm.mean_computation_s / plain.mean_computation_s,
+        vm.mean_computation_s / rattrap.mean_computation_s);
+  }
+  std::printf(
+      "\npaper check: prep 4.14-4.71x (W/O), 16.29-16.98x (Rattrap); "
+      "xfer 1.17-2.04x; comp 1.02-1.13x (W/O), 1.05-1.40x (Rattrap)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 10: average power consumption of offloading in various
+// network scenarios, normalized to running the workload entirely on the
+// device.
+//
+// Methodology follows PowerTutor-style whole-device measurement: the user
+// waits screen-on for each response (local or offloaded), so an episode's
+// energy is the screen+idle baseline over its duration plus the marginal
+// compute/radio energy.  Shape targets: offloading saves energy in most
+// scenarios; Rattrap beats VM by ~1.1–1.4x on LAN; for workloads with
+// file transmission (OCR, VirusScan) the advantage shrinks as the network
+// degrades because transfer, not preparation, becomes the bottleneck.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+int main() {
+  std::printf(
+      "Fig. 10 — Energy of offloading normalized to local execution\n"
+      "(screen-on device energy per episode, PowerTutor-style)\n");
+  const auto& scenarios = net::all_scenarios();  // LAN, WAN, 4G, 3G
+  for (const auto kind : bench::paper_workloads()) {
+    const auto stream = bench::paper_stream(kind);
+    bench::print_rule('=');
+    std::printf("(%s)  normalized energy, local = 1.00\n",
+                workloads::to_string(kind));
+    std::printf("%-14s", "platform");
+    for (const auto& scenario : scenarios) {
+      std::printf(" %8s", scenario.name.c_str());
+    }
+    std::printf("\n");
+    bench::print_rule();
+
+    double vm_lan = 0, rattrap_lan = 0;
+    for (const auto platform_kind : bench::paper_platforms()) {
+      std::printf("%-14s", core::to_string(platform_kind));
+      for (const auto& scenario : scenarios) {
+        core::Platform platform(
+            core::make_config(platform_kind, scenario));
+        const auto outcomes = platform.run(stream);
+        double offload_mj = 0, local_mj = 0;
+        // After each result the user stays on the screen consuming it
+        // (think time) — a platform-independent energy term PowerTutor's
+        // whole-device traces include on both sides of the comparison.
+        const double think_s = 12.0;
+        const double think_mj =
+            (device::screen_mw() + device::phone_cpu().idle_mw) * think_s;
+        for (const auto& o : outcomes) {
+          // Screen stays on while the user actively waits; during the
+          // runtime-preparation stall the app shows a spinner and the
+          // display dims to its low state (~40 %).
+          const double active_s =
+              sim::to_seconds(o.response - o.phases.runtime_preparation);
+          const double prep_s =
+              sim::to_seconds(o.phases.runtime_preparation);
+          offload_mj += o.offload_energy_mj + think_mj +
+                        device::screen_mw() * (active_s + 0.4 * prep_s);
+          local_mj += o.local_energy_mj + think_mj +
+                      device::screen_mw() * sim::to_seconds(o.local_time);
+        }
+        const double normalized = offload_mj / local_mj;
+        std::printf(" %8.3f", normalized);
+        if (scenario.name == "LAN") {
+          if (platform_kind == core::PlatformKind::kVmCloud) {
+            vm_lan = normalized;
+          }
+          if (platform_kind == core::PlatformKind::kRattrap) {
+            rattrap_lan = normalized;
+          }
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("Rattrap-over-VM energy advantage on LAN: %.2fx\n",
+                vm_lan / rattrap_lan);
+  }
+  std::printf(
+      "\npaper check: Rattrap outperforms VM by 1.22x (OCR), 1.37x "
+      "(Chess), 1.13x (VirusScan), 1.15x (Linpack); the advantage for "
+      "file-transfer workloads shrinks on worse networks\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Observation 4 (§III-E): after serving offloading requests,
+// profile which parts of the Android system image were ever accessed.
+//
+// Paper targets: 771 MB of the 1.1 GB image (68.4 %) never accessed;
+// /system holds 985 MB (87.4 %) duplicated in every VM.
+#include <cstdio>
+
+#include "android/image_profile.hpp"
+#include "fs/union_fs.hpp"
+#include "sim/random.hpp"
+
+using namespace rattrap;
+
+int main() {
+  // Mount the stock image as one VM's rootfs and replay the accesses an
+  // offloading run performs: the boot + offload working set is exactly
+  // the essential file set of the inventory.
+  fs::UnionFs rootfs("android-vm-rootfs", {android::stock_layer()});
+  const auto essential = android::stock_image().essential_paths();
+  sim::SimTime clock = 0;
+  for (const auto& path : essential) {
+    rootfs.read(path, ++clock);
+  }
+
+  const double total_mb =
+      static_cast<double>(rootfs.visible_bytes()) / (1024.0 * 1024.0);
+  const double untouched_mb =
+      static_cast<double>(rootfs.never_accessed_bytes()) / (1024.0 * 1024.0);
+  const auto builder = android::stock_image();
+  const double system_mb =
+      static_cast<double>(android::system_partition_bytes(builder)) /
+      (1024.0 * 1024.0);
+
+  std::printf("Obs. 4 — Redundancy of the mobile environment\n");
+  std::printf("image size:            %8.1f MB   [paper: ~1.1 GB]\n",
+              total_mb);
+  std::printf("never accessed:        %8.1f MB   [paper: 771 MB]\n",
+              untouched_mb);
+  std::printf("never accessed:        %8.1f %%    [paper: 68.4 %%]\n",
+              100.0 * untouched_mb / total_mb);
+  std::printf("/system partition:     %8.1f MB   [paper: 985 MB]\n",
+              system_mb);
+  std::printf("/system share:         %8.1f %%    [paper: 87.4 %%]\n",
+              100.0 * system_mb / total_mb);
+  std::printf("essential (customized OS keeps): %5.1f %% [paper: 31.6 %%]\n",
+              100.0 * (total_mb - untouched_mb) / total_mb);
+  return 0;
+}

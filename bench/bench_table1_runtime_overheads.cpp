@@ -1,0 +1,68 @@
+// Reproduces Table I: overheads of code runtime environments.
+//
+// Paper targets: Android VM 28.72 s / 512 MB / 1.1 GB; CAC(non-optimized)
+// 6.80 s / 128 MB / 1.02 GB; CAC 1.75 s / 96 MB / 7.1 MB (+ shared layer).
+// §VI-B adds the setup-speedup figures 4.22x and 16.41x.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace rattrap;
+
+int main() {
+  std::printf("Table I — Overheads of code runtime environments\n");
+  bench::print_rule('=');
+  std::printf("%-22s %10s %12s %12s %14s\n", "Code Runtime", "Setup",
+              "Mem(cfg)", "Mem(used)", "Disk Usage");
+  bench::print_rule();
+
+  struct Row {
+    core::PlatformKind kind;
+    const char* label;
+    double paper_setup_s;
+  };
+  const Row rows[] = {
+      {core::PlatformKind::kVmCloud, "Android VM", 28.72},
+      {core::PlatformKind::kRattrapWithoutOpt, "CAC (non-optimized)", 6.80},
+      {core::PlatformKind::kRattrap, "CAC", 1.75},
+  };
+
+  double vm_setup = 0;
+  for (const Row& row : rows) {
+    core::Platform platform(core::make_config(row.kind));
+    const core::ProvisionStats stats = platform.measure_provision();
+    const double setup_s = sim::to_seconds(stats.setup_time);
+    if (row.kind == core::PlatformKind::kVmCloud) vm_setup = setup_s;
+    char disk[64];
+    if (stats.disk_bytes < (100ull << 20)) {
+      std::snprintf(disk, sizeof disk, "%.1fMB (+%lluMB shared)",
+                    static_cast<double>(stats.disk_bytes) / (1 << 20),
+                    static_cast<unsigned long long>(stats.shared_disk_bytes >>
+                                                    20));
+    } else {
+      std::snprintf(disk, sizeof disk, "%.2fGB",
+                    static_cast<double>(stats.disk_bytes) / (1 << 30));
+    }
+    std::printf("%-22s %9.2fs %10lluMB %10.2fMB %14s   [paper: %.2fs]\n",
+                row.label, setup_s,
+                static_cast<unsigned long long>(stats.memory_configured >>
+                                                20),
+                static_cast<double>(stats.memory_usage) / (1 << 20), disk,
+                row.paper_setup_s);
+  }
+
+  bench::print_rule();
+  {
+    core::Platform plain(
+        core::make_config(core::PlatformKind::kRattrapWithoutOpt));
+    core::Platform opt(core::make_config(core::PlatformKind::kRattrap));
+    const double plain_s =
+        sim::to_seconds(plain.measure_provision().setup_time);
+    const double opt_s = sim::to_seconds(opt.measure_provision().setup_time);
+    std::printf(
+        "Setup speedup over VM: CAC(non-opt) %.2fx [paper 4.22x], "
+        "CAC %.2fx [paper 16.41x]\n",
+        vm_setup / plain_s, vm_setup / opt_s);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Shared helpers for the reproduction benches: canonical request streams,
+// per-platform aggregate statistics and table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::bench {
+
+/// The paper's experiment shape: 20 requests from 5 devices (§VI-C), with
+/// a request inflow matching the ~180 s Fig. 1/2 timelines.
+inline std::vector<workloads::OffloadRequest> paper_stream(
+    workloads::Kind kind, std::size_t count = 20, std::uint64_t seed = 42) {
+  workloads::StreamConfig config;
+  config.kind = kind;
+  config.count = count;
+  config.devices = 5;
+  config.mean_gap = 8 * sim::kSecond;
+  config.size_class = workloads::default_size_class(kind);
+  config.seed = seed;
+  return workloads::make_stream(config);
+}
+
+inline const std::vector<workloads::Kind>& paper_workloads() {
+  static const std::vector<workloads::Kind> kinds = {
+      workloads::Kind::kOcr, workloads::Kind::kChess,
+      workloads::Kind::kVirusScan, workloads::Kind::kLinpack};
+  return kinds;
+}
+
+inline const std::vector<core::PlatformKind>& paper_platforms() {
+  static const std::vector<core::PlatformKind> kinds = {
+      core::PlatformKind::kRattrap, core::PlatformKind::kRattrapWithoutOpt,
+      core::PlatformKind::kVmCloud};
+  return kinds;
+}
+
+/// Aggregates over one platform run.
+struct RunSummary {
+  double mean_connection_s = 0;
+  double mean_preparation_s = 0;
+  double mean_transfer_s = 0;
+  double mean_computation_s = 0;
+  double mean_response_s = 0;
+  double mean_speedup = 0;
+  double offload_energy_mj = 0;  ///< sum over requests
+  double local_energy_mj = 0;    ///< sum over requests
+  std::uint64_t up_bytes = 0;
+  std::uint64_t down_bytes = 0;
+  std::size_t failures = 0;
+  std::size_t count = 0;
+  sim::SimTime makespan = 0;  ///< last completion
+  sim::SimTime last_arrival = 0;
+  double local_makespan_s = 0;  ///< if every task had run locally
+};
+
+inline RunSummary summarize(
+    const std::vector<core::RequestOutcome>& outcomes) {
+  RunSummary s;
+  s.count = outcomes.size();
+  double local_busy = 0;
+  for (const auto& o : outcomes) {
+    s.mean_connection_s += sim::to_seconds(o.phases.network_connection);
+    s.mean_preparation_s += sim::to_seconds(o.phases.runtime_preparation);
+    s.mean_transfer_s += sim::to_seconds(o.phases.data_transfer);
+    s.mean_computation_s += sim::to_seconds(o.phases.computation);
+    s.mean_response_s += sim::to_seconds(o.response);
+    s.mean_speedup += o.speedup;
+    s.offload_energy_mj += o.offload_energy_mj;
+    s.local_energy_mj += o.local_energy_mj;
+    s.up_bytes += o.traffic.total_up();
+    s.down_bytes += o.traffic.total_down();
+    if (o.offloading_failure()) ++s.failures;
+    s.makespan = std::max(s.makespan, o.completed_at);
+    s.last_arrival = std::max(s.last_arrival, o.request.arrival);
+    local_busy += sim::to_seconds(o.local_time);
+  }
+  const double n = s.count > 0 ? static_cast<double>(s.count) : 1.0;
+  s.mean_connection_s /= n;
+  s.mean_preparation_s /= n;
+  s.mean_transfer_s /= n;
+  s.mean_computation_s /= n;
+  s.mean_response_s /= n;
+  s.mean_speedup /= n;
+  // Local run: same arrivals, each device computes serially; a coarse
+  // makespan lower bound is last arrival + its local execution, and the
+  // busy time is exact.
+  s.local_makespan_s =
+      sim::to_seconds(s.last_arrival) + local_busy / 5.0;
+  return s;
+}
+
+inline RunSummary run_platform(core::PlatformKind kind,
+                               const std::vector<workloads::OffloadRequest>&
+                                   stream,
+                               net::LinkConfig link = net::lan_wifi()) {
+  core::Platform platform(core::make_config(kind, std::move(link)));
+  return summarize(platform.run(stream));
+}
+
+inline void print_rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace rattrap::bench

@@ -1,0 +1,96 @@
+// Scenario: cloudlet vs distant cloud — the deployment question behind
+// the paper's motivation (it cites Satyanarayanan's VM-based cloudlets
+// [21] and ParaDrop's LXC-on-gateways [25] as related work).
+//
+//   $ ./edge_cloudlet
+//
+// A cloudlet is a small box one WiFi hop away: weak hardware, great
+// network. The datacenter is the opposite. Rattrap's calibration override
+// models both, and the comparison shows where each wins per workload.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+// A 4-core mini-PC with a slow consumer SSD-less disk and half the
+// per-core throughput of the datacenter Xeon.
+core::Calibration cloudlet_hardware() {
+  core::Calibration calibration = core::default_calibration();
+  calibration.server_cores = 4;
+  calibration.server_memory = 8ull << 30;
+  calibration.disk.sequential_mb_s = 90.0;
+  for (auto& rate : calibration.server_rates) rate *= 0.55;
+  calibration.tmpfs_mb_s = 1800.0;
+  return calibration;
+}
+
+// One WiFi hop: LAN bandwidth with an even lower RTT.
+net::LinkConfig cloudlet_link() {
+  net::LinkConfig link = net::lan_wifi();
+  link.name = "edge";
+  link.rtt = sim::from_millis(1.2);
+  return link;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Cloudlet (weak box, 1 hop) vs datacenter (Xeon, WAN) — Rattrap on "
+      "both\n\n");
+  std::printf("%-12s | %12s %9s | %12s %9s | %s\n", "workload",
+              "edge resp", "speedup", "cloud resp", "speedup", "winner");
+
+  for (const auto kind :
+       {workloads::Kind::kOcr, workloads::Kind::kChess,
+        workloads::Kind::kVirusScan, workloads::Kind::kLinpack}) {
+    workloads::StreamConfig sc;
+    sc.kind = kind;
+    sc.count = 10;
+    sc.devices = 2;
+    sc.mean_gap = 10 * sim::kSecond;
+    sc.size_class = workloads::default_size_class(kind);
+    sc.seed = 99;
+    const auto stream = workloads::make_stream(sc);
+
+    core::PlatformConfig edge =
+        core::make_config(core::PlatformKind::kRattrap, cloudlet_link());
+    edge.calibration = cloudlet_hardware();
+    core::PlatformConfig cloud =
+        core::make_config(core::PlatformKind::kRattrap, net::wan_wifi());
+
+    double edge_resp = 0, edge_speedup = 0;
+    double cloud_resp = 0, cloud_speedup = 0;
+    {
+      core::Platform platform(edge);
+      for (const auto& o : platform.run(stream)) {
+        edge_resp += sim::to_millis(o.response);
+        edge_speedup += o.speedup;
+      }
+    }
+    {
+      core::Platform platform(cloud);
+      for (const auto& o : platform.run(stream)) {
+        cloud_resp += sim::to_millis(o.response);
+        cloud_speedup += o.speedup;
+      }
+    }
+    const double n = static_cast<double>(stream.size());
+    std::printf("%-12s | %10.0fms %8.2fx | %10.0fms %8.2fx | %s\n",
+                workloads::to_string(kind), edge_resp / n, edge_speedup / n,
+                cloud_resp / n, cloud_speedup / n,
+                edge_resp < cloud_resp ? "cloudlet" : "datacenter");
+  }
+  std::printf(
+      "\nlatency-bound interactive work (ChessGame's sync rounds, quick\n"
+      "Linpack calls) wins at the edge — every round-trip costs 1.2 ms\n"
+      "instead of 60 ms; compute-dominated work (OCR, VirusScan) prefers\n"
+      "the strong distant Xeon despite the WAN. Rattrap's <2 s container\n"
+      "boots are what make tiny cloudlets viable at all: a 29 s VM boot\n"
+      "would eat the locality win.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: boot a Cloud Android Container and offload one task.
+//
+//   $ ./quickstart
+//
+// Walks the full public API path: build a platform, provision a runtime
+// environment, offload a Linpack request and read the phase breakdown.
+#include <cstdio>
+
+#include "core/platform.hpp"
+#include "core/report.hpp"
+#include "workloads/generator.hpp"
+
+using namespace rattrap;
+
+int main() {
+  // 1. A Rattrap platform on a LAN-WiFi scenario.
+  core::Platform platform(
+      core::make_config(core::PlatformKind::kRattrap, net::lan_wifi()));
+
+  // 2. One Linpack offloading request from one device.
+  workloads::StreamConfig config;
+  config.kind = workloads::Kind::kLinpack;
+  config.count = 3;
+  config.devices = 1;
+  config.mean_gap = 2 * sim::kSecond;
+  config.size_class = workloads::default_size_class(config.kind);
+  const auto stream = workloads::make_stream(config);
+
+  // 3. Run and inspect.
+  const auto outcomes = platform.run(stream);
+  std::printf("Rattrap quickstart — %zu Linpack offloads over %s\n",
+              outcomes.size(), platform.config().link.name.c_str());
+  for (const auto& o : outcomes) {
+    std::printf(
+        "request %llu: connection %.1f ms | preparation %.1f ms | "
+        "transfer %.1f ms | computation %.1f ms => response %.1f ms "
+        "(local %.1f ms, speedup %.2fx%s, code cache %s)\n",
+        static_cast<unsigned long long>(o.request.sequence + 1),
+        sim::to_millis(o.phases.network_connection),
+        sim::to_millis(o.phases.runtime_preparation),
+        sim::to_millis(o.phases.data_transfer),
+        sim::to_millis(o.phases.computation), sim::to_millis(o.response),
+        sim::to_millis(o.local_time), o.speedup,
+        o.offloading_failure() ? " — FAILURE" : "",
+        o.code_cache_hit ? "HIT" : "MISS");
+  }
+
+  // 4. Platform-side state after the run.
+  std::printf("\n%s", core::to_text(core::snapshot(platform)).c_str());
+  std::printf("kernel modules loaded: ");
+  for (const auto& name : platform.server().kernel().loaded_modules()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

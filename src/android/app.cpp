@@ -1,0 +1,34 @@
+#include "android/app.hpp"
+
+namespace rattrap::android {
+
+const OffloadableMethod* MobileApp::find_method(std::string_view name) const {
+  for (const auto& method : methods_) {
+    if (method.name == name) return &method;
+  }
+  return nullptr;
+}
+
+MobileApp MobileApp::for_workload(workloads::Kind kind) {
+  const auto workload = workloads::make_workload(kind);
+  const workloads::AppProfile profile = workload->app();
+  std::string method_name;
+  switch (kind) {
+    case workloads::Kind::kOcr:
+      method_name = "recognizePage";
+      break;
+    case workloads::Kind::kChess:
+      method_name = "searchBestMove";
+      break;
+    case workloads::Kind::kVirusScan:
+      method_name = "scanTarget";
+      break;
+    case workloads::Kind::kLinpack:
+      method_name = "solveDense";
+      break;
+  }
+  return MobileApp(profile.app_id, profile.apk_bytes,
+                   {OffloadableMethod{method_name, kind}});
+}
+
+}  // namespace rattrap::android

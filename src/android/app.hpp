@@ -1,0 +1,49 @@
+// Mobile application model: identity, code size, offloadable methods.
+//
+// Offloading in the reproduced frameworks is reflection-based: the client
+// ships the app's code (once, under Rattrap's code cache) and then invokes
+// named methods with serialized parameters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace rattrap::android {
+
+struct OffloadableMethod {
+  std::string name;               ///< e.g. "recognize", "searchBestMove"
+  workloads::Kind kind;           ///< workload the method computes
+};
+
+class MobileApp {
+ public:
+  MobileApp(std::string app_id, std::uint64_t apk_bytes,
+            std::vector<OffloadableMethod> methods)
+      : app_id_(std::move(app_id)),
+        apk_bytes_(apk_bytes),
+        methods_(std::move(methods)) {}
+
+  [[nodiscard]] const std::string& app_id() const { return app_id_; }
+  [[nodiscard]] std::uint64_t apk_bytes() const { return apk_bytes_; }
+  [[nodiscard]] const std::vector<OffloadableMethod>& methods() const {
+    return methods_;
+  }
+  [[nodiscard]] const OffloadableMethod* find_method(
+      std::string_view name) const;
+
+  /// Builds the canonical benchmark app for a workload kind.
+  [[nodiscard]] static MobileApp for_workload(workloads::Kind kind);
+
+ private:
+  std::string app_id_;
+  std::uint64_t apk_bytes_;
+  std::vector<OffloadableMethod> methods_;
+};
+
+}  // namespace rattrap::android

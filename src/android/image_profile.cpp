@@ -1,0 +1,101 @@
+#include "android/image_profile.hpp"
+
+#include "fs/path.hpp"
+
+namespace rattrap::android {
+namespace {
+
+// Group inventory calibrated to the paper's §III-E profiling, exactly:
+//   total image          1127 MiB (~1.1 GB, the Android VM's disk usage)
+//   /system partition     985 MiB (87.4 % of the OS)
+//   never accessed        771 MiB (68.4 %) = all non-essential groups
+//   essential subset      356 MiB (31.6 %) = the customized OS
+//   container rootfs     1044 MiB (~1.02 GB) = total minus /boot, since a
+//                         container shares the host kernel and never
+//                         mounts kernel/ramdisk images (Fig. 6)
+fs::ImageBuilder full_inventory() {
+  fs::ImageBuilder builder;
+  // Boot partition: bootloader, kernel, ramdisk images. VM-only.
+  builder.add_group({"/boot", "boot", ".img", 3, 83 * kMiB, false});
+  // Built-in Android apps (Camera, Gallery, Phone, ... 20 apps).
+  builder.add_group({"/system/app", "app", ".apk", 20, 170 * kMiB, false});
+  // Shared libraries offloading actually links against...
+  builder.add_group({"/system/lib", "libcore", ".so", 84, 87 * kMiB, true});
+  // ...vs the 197 .so files the customization strips.
+  builder.add_group(
+      {"/system/lib/stripped", "lib", ".so", 197, 118 * kMiB, false});
+  // Kernel modules (hardware drivers: camera, sensors, radios...).
+  builder.add_group(
+      {"/system/lib/modules", "mod", ".ko", 4372, 168 * kMiB, false});
+  // Firmware blobs.
+  builder.add_group(
+      {"/system/etc/firmware", "fw", ".bin", 396, 112 * kMiB, false});
+  // Framework jars: the runtime core vs UI/telephony extras.
+  builder.add_group(
+      {"/system/framework", "core", ".jar", 40, 180 * kMiB, true});
+  builder.add_group(
+      {"/system/framework/extras", "ui", ".jar", 30, 120 * kMiB, false});
+  // System binaries the runtime invokes.
+  builder.add_group({"/system/bin", "sbin", "", 95, 30 * kMiB, true});
+  // Outside /system: dalvik caches and base tools.
+  builder.add_group(
+      {"/data/dalvik-cache", "dex", ".dex", 48, 35 * kMiB, true});
+  builder.add_group({"/bin", "tool", "", 60, 24 * kMiB, true});
+  return builder;
+}
+
+}  // namespace
+
+fs::ImageBuilder stock_image() { return full_inventory(); }
+
+fs::ImageBuilder container_stock_image() {
+  const fs::ImageBuilder full = full_inventory();
+  fs::ImageBuilder builder;
+  for (const auto& group : full.groups()) {
+    if (group.directory != "/boot") builder.add_group(group);
+  }
+  return builder;
+}
+
+fs::ImageBuilder customized_image() {
+  const fs::ImageBuilder full = full_inventory();
+  fs::ImageBuilder builder;
+  for (const auto& group : full.groups()) {
+    if (group.essential) builder.add_group(group);
+  }
+  // Stub service jars that fake the removed interfaces with direct
+  // returns (§IV-B3: "we fake the key interfaces with direct returns").
+  builder.add_group(
+      {"/system/framework/stubs", "stub", ".jar", 12, 2 * kMiB, true});
+  return builder;
+}
+
+std::shared_ptr<const fs::Layer> stock_layer() {
+  static const std::shared_ptr<const fs::Layer> layer =
+      stock_image().build("android-4.4-stock", sim::Rng(0xa11d401dULL));
+  return layer;
+}
+
+std::shared_ptr<const fs::Layer> container_stock_layer() {
+  static const std::shared_ptr<const fs::Layer> layer =
+      container_stock_image().build("android-4.4-container-stock",
+                                    sim::Rng(0xa11d401dULL));
+  return layer;
+}
+
+std::shared_ptr<const fs::Layer> customized_layer() {
+  static const std::shared_ptr<const fs::Layer> layer =
+      customized_image().build("android-4.4-offload",
+                               sim::Rng(0xa11d401dULL));
+  return layer;
+}
+
+std::uint64_t system_partition_bytes(const fs::ImageBuilder& builder) {
+  std::uint64_t sum = 0;
+  for (const auto& group : builder.groups()) {
+    if (fs::is_under(group.directory, "/system")) sum += group.total_bytes;
+  }
+  return sum;
+}
+
+}  // namespace rattrap::android

@@ -1,0 +1,48 @@
+// Android system-image inventories (stock 4.4 KitKat vs offload-only).
+//
+// The stock inventory reproduces the §III-E / §IV-B3 profiling: a ~1.1 GB
+// image whose /system folder holds 985 MB (87.4 %), of which 68.4 %
+// (771 MB) is never touched by offloaded code — 20 built-in apps, 197
+// shared libraries, 4372 kernel modules and 396 firmware blobs being the
+// main redundancies.  The customized profile keeps only the essential
+// ~31.6 % and is what the optimized Cloud Android Container mounts from
+// the Shared Resource Layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fs/image.hpp"
+#include "fs/layer.hpp"
+
+namespace rattrap::android {
+
+inline constexpr std::uint64_t kMiB = 1024ull * 1024;
+
+/// Inventory of the stock Android 4.4 image (all groups).
+[[nodiscard]] fs::ImageBuilder stock_image();
+
+/// Inventory of the customized offloading-only OS (essential groups only,
+/// plus the stub services replacing rendering/telephony/UI).
+[[nodiscard]] fs::ImageBuilder customized_image();
+
+/// Stock inventory minus the /boot partition: what a container's rootfs
+/// holds, since containers share the host kernel and never mount
+/// kernel/ramdisk images (Fig. 6). ~1.02 GB, the Table I non-optimized
+/// container footprint.
+[[nodiscard]] fs::ImageBuilder container_stock_image();
+
+/// Materialized stock image layer (deterministic; cached per process).
+[[nodiscard]] std::shared_ptr<const fs::Layer> stock_layer();
+
+/// Materialized container-rootfs stock layer (no /boot).
+[[nodiscard]] std::shared_ptr<const fs::Layer> container_stock_layer();
+
+/// Materialized customized image layer.
+[[nodiscard]] std::shared_ptr<const fs::Layer> customized_layer();
+
+/// Bytes under /system in `builder`'s declared inventory.
+[[nodiscard]] std::uint64_t system_partition_bytes(
+    const fs::ImageBuilder& builder);
+
+}  // namespace rattrap::android

@@ -1,0 +1,105 @@
+#include "android/init_rc.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace rattrap::android {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kMountKernelFs:
+      return "mount-kernel-fs";
+    case ActionKind::kMountPartition:
+      return "mount-partition";
+    case ActionKind::kLoadFirmware:
+      return "load-firmware";
+    case ActionKind::kSetProperty:
+      return "set-property";
+    case ActionKind::kMkdir:
+      return "mkdir";
+    case ActionKind::kStartDaemon:
+      return "start-daemon";
+    case ActionKind::kStartZygote:
+      return "start-zygote";
+    case ActionKind::kHardwareInit:
+      return "hardware-init";
+  }
+  return "?";
+}
+
+sim::SimDuration InitScript::total_cost() const {
+  sim::SimDuration sum = 0;
+  for (const auto& action : actions_) sum += action.cost;
+  return sum;
+}
+
+std::vector<InitAction> InitScript::under(const std::string& trigger) const {
+  std::vector<InitAction> out;
+  for (const auto& action : actions_) {
+    if (action.trigger == trigger) out.push_back(action);
+  }
+  return out;
+}
+
+InitScript stock_init_script() {
+  const auto ms = [](double m) { return sim::from_millis(m); };
+  InitScript script;
+  // early-init --------------------------------------------------------
+  script.add({"early-init", ActionKind::kMountKernelFs, "/proc", ms(4)});
+  script.add({"early-init", ActionKind::kMountKernelFs, "/sys", ms(4)});
+  script.add({"early-init", ActionKind::kMkdir, "/dev/socket", ms(1)});
+  script.add({"early-init", ActionKind::kSetProperty,
+              "ro.boot.hardware", ms(1)});
+  // init ----------------------------------------------------------------
+  script.add({"init", ActionKind::kMkdir, "/data", ms(1)});
+  script.add({"init", ActionKind::kMkdir, "/cache", ms(1)});
+  script.add({"init", ActionKind::kSetProperty, "ro.build.version",
+              ms(1)});
+  script.add({"init", ActionKind::kHardwareInit, "cpufreq-governor",
+              ms(18)});
+  // fs ------------------------------------------------------------------
+  script.add({"fs", ActionKind::kMountPartition, "/system", ms(55)});
+  script.add({"fs", ActionKind::kMountPartition, "/data", ms(42)});
+  script.add({"fs", ActionKind::kMountPartition, "/cache", ms(20)});
+  script.add({"fs", ActionKind::kLoadFirmware, "wlan.bin", ms(60)});
+  script.add({"fs", ActionKind::kLoadFirmware, "radio.img", ms(75)});
+  // boot ----------------------------------------------------------------
+  script.add({"boot", ActionKind::kHardwareInit, "sensors", ms(45)});
+  script.add({"boot", ActionKind::kHardwareInit, "radio-power", ms(60)});
+  script.add({"boot", ActionKind::kStartDaemon, "servicemanager", ms(8)});
+  script.add({"boot", ActionKind::kStartDaemon, "netd", ms(10)});
+  script.add({"boot", ActionKind::kStartDaemon, "vold", ms(12)});
+  script.add({"boot", ActionKind::kStartDaemon, "installd", ms(6)});
+  script.add({"boot", ActionKind::kStartDaemon, "offloadcontroller",
+              ms(7)});
+  script.add({"boot", ActionKind::kStartZygote, "zygote", ms(30)});
+  return script;
+}
+
+InitScript containerize(const InitScript& stock) {
+  InitScript script;
+  for (const auto& action : stock.actions()) {
+    switch (action.kind) {
+      case ActionKind::kMountKernelFs:
+        // The container runtime bind-mounts /proc and /sys before /init
+        // runs (Fig. 6: "prebuilt rootfs").
+        continue;
+      case ActionKind::kMountPartition:
+        // The union rootfs is assembled by the host; nothing to mount.
+        continue;
+      case ActionKind::kLoadFirmware:
+      case ActionKind::kHardwareInit:
+        // No hardware behind the shared kernel.
+        continue;
+      case ActionKind::kSetProperty:
+      case ActionKind::kMkdir:
+      case ActionKind::kStartDaemon:
+      case ActionKind::kStartZygote:
+        script.add(action);
+        break;
+    }
+  }
+  return script;
+}
+
+}  // namespace rattrap::android

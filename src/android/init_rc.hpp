@@ -1,0 +1,73 @@
+// init.rc model: the boot script the (modified) init process executes.
+//
+// §IV-B2: "In order to make the init process work in Rattrap and optimize
+// the boot time, we modify the original init process."  This module makes
+// that modification concrete: an init script is a sequence of actions
+// (mounts, property sets, service starts) grouped under triggers
+// (early-init, init, fs, boot).  The container variant of a script drops
+// the actions a shared-kernel environment cannot or need not perform —
+// mounting /proc-like kernel filesystems, loading firmware, starting
+// hardware daemons — which is where the container init's time goes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rattrap::android {
+
+enum class ActionKind : std::uint8_t {
+  kMountKernelFs,   ///< mount /proc, /sys, ... (host-provided in containers)
+  kMountPartition,  ///< mount /system, /data from block devices
+  kLoadFirmware,    ///< firmware blobs for hardware
+  kSetProperty,     ///< property_set
+  kMkdir,           ///< filesystem scaffolding
+  kStartDaemon,     ///< native daemon (netd, vold, servicemanager...)
+  kStartZygote,     ///< the app_process / zygote launch
+  kHardwareInit,    ///< device-specific init (sensors, radio power-on)
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+struct InitAction {
+  std::string trigger;   ///< "early-init", "init", "fs", "boot"
+  ActionKind kind;
+  std::string argument;  ///< path / property / daemon name
+  sim::SimDuration cost = 0;
+};
+
+class InitScript {
+ public:
+  void add(InitAction action) { actions_.push_back(std::move(action)); }
+
+  [[nodiscard]] const std::vector<InitAction>& actions() const {
+    return actions_;
+  }
+
+  /// Total execution cost, honouring trigger order (early-init, init,
+  /// fs, boot — as init fires them).
+  [[nodiscard]] sim::SimDuration total_cost() const;
+
+  /// Actions under one trigger, in script order.
+  [[nodiscard]] std::vector<InitAction> under(
+      const std::string& trigger) const;
+
+  [[nodiscard]] std::size_t size() const { return actions_.size(); }
+
+ private:
+  std::vector<InitAction> actions_;
+};
+
+/// The stock Android 4.4 init script (device boot).
+[[nodiscard]] InitScript stock_init_script();
+
+/// Rattrap's modified init script: derived from the stock script by
+/// dropping everything a Cloud Android Container must not or need not do.
+/// The function is the *transformation*, not a hand-written second
+/// script — mirroring how the paper modifies init rather than rewriting
+/// it.
+[[nodiscard]] InitScript containerize(const InitScript& stock);
+
+}  // namespace rattrap::android

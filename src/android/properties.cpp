@@ -1,0 +1,76 @@
+#include "android/properties.hpp"
+
+namespace rattrap::android {
+
+bool PropertyStore::set(std::string_view name, std::string value) {
+  const auto it = values_.find(name);
+  if (it != values_.end() && name.rfind("ro.", 0) == 0 &&
+      it->second != value) {
+    return false;  // read-only property already holds a different value
+  }
+  std::string key(name);
+  if (it != values_.end()) {
+    it->second = value;
+  } else {
+    values_.emplace(key, value);
+  }
+  // Exact-name watchers, then wildcard watchers.
+  const auto fire = [&](const std::string& pattern) {
+    const auto [begin, end] = watchers_.equal_range(pattern);
+    for (auto watcher = begin; watcher != end; ++watcher) {
+      watcher->second(key, value);
+    }
+  };
+  fire(key);
+  fire("*");
+  return true;
+}
+
+std::optional<std::string> PropertyStore::get(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PropertyStore::get_or(std::string_view name,
+                                  std::string fallback) const {
+  const auto value = get(name);
+  return value ? *value : std::move(fallback);
+}
+
+void PropertyStore::watch(
+    std::string name,
+    std::function<void(const std::string&, const std::string&)> callback) {
+  watchers_.emplace(std::move(name), std::move(callback));
+}
+
+std::vector<std::pair<std::string, std::string>> PropertyStore::by_prefix(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+void populate_cac_properties(PropertyStore& store,
+                             const std::string& container_name,
+                             bool customized_os) {
+  store.set("ro.build.version.release", "4.4.2");
+  store.set("ro.build.version.sdk", "19");
+  store.set("ro.product.device", "cac");
+  store.set("ro.hardware", "cloud-container");
+  store.set("ro.serialno", container_name);
+  store.set("ro.rattrap.customized", customized_os ? "1" : "0");
+  if (customized_os) {
+    // Markers the stub services publish so framework code that probes for
+    // capabilities takes the direct-return path instead of crashing.
+    store.set("ro.rattrap.stub.surfaceflinger", "1");
+    store.set("ro.rattrap.stub.telephony", "1");
+    store.set("ro.config.headless", "1");
+  }
+  store.set("sys.boot_completed", "1");
+}
+
+}  // namespace rattrap::android

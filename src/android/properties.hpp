@@ -1,0 +1,59 @@
+// Android property service model.
+//
+// init and the framework communicate through the property store
+// (ro.build.*, sys.boot_completed, persist.*).  Each Cloud Android
+// Container owns an isolated store; `ro.` properties are write-once, and
+// watchers fire on change — the mechanism init's `on property:` triggers
+// build on.  The customized OS also uses properties to advertise faked
+// services (§IV-B3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rattrap::android {
+
+class PropertyStore {
+ public:
+  /// Sets a property. Returns false when rewriting a read-only (`ro.`)
+  /// property with a different value, as the real property service does.
+  bool set(std::string_view name, std::string value);
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+  /// Value or `fallback` when unset.
+  [[nodiscard]] std::string get_or(std::string_view name,
+                                   std::string fallback) const;
+
+  /// Registers a watcher on `name`; fires on every successful set (after
+  /// the store is updated). Watchers on `*` fire for every property.
+  void watch(std::string name,
+             std::function<void(const std::string& name,
+                                const std::string& value)>
+                 callback);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Properties under a prefix (e.g. "ro.product."), sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> by_prefix(
+      std::string_view prefix) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::multimap<std::string,
+                std::function<void(const std::string&, const std::string&)>>
+      watchers_;
+};
+
+/// Populates a store the way init + build.prop do on a Cloud Android
+/// Container (ro.build.*, ro.hardware=cac, the faked-service markers).
+void populate_cac_properties(PropertyStore& store,
+                             const std::string& container_name,
+                             bool customized_os);
+
+}  // namespace rattrap::android

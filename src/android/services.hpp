@@ -1,0 +1,66 @@
+// Android system services and the offloading customization.
+//
+// Zygote forks system_server, which brings up the service graph.  The
+// customized OS (§IV-B3) removes UI/telephony/rendering services and
+// replaces unavoidable call targets with stubs that return immediately —
+// "restraining calls for these services ... we fake the key interfaces
+// with direct returns so that the system will not find the absences."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rattrap::android {
+
+enum class ServiceClass : std::uint8_t {
+  kCore,      ///< required for any code execution (AMS, PMS, binder infra)
+  kHardware,  ///< camera, sensors, radio — device-only
+  kUi,        ///< rendering/display/input
+  kTelephony,
+  kMisc,      ///< sync, backup, wallpaper...
+};
+
+struct ServiceSpec {
+  std::string name;
+  ServiceClass klass = ServiceClass::kMisc;
+  sim::SimDuration start_cost = 0;  ///< native-speed start time
+  std::uint64_t memory = 0;         ///< resident bytes once started
+};
+
+/// The stock boot service graph (calibrated to a 4.4 system_server).
+[[nodiscard]] const std::vector<ServiceSpec>& stock_services();
+
+/// The customized set: core services plus stubs for every non-core
+/// service whose interface offloaded code can still touch.
+[[nodiscard]] const std::vector<ServiceSpec>& customized_services();
+
+/// Zygote preload characteristics (classes + resources).
+struct ZygotePreload {
+  sim::SimDuration duration;  ///< native-speed preload time
+  std::uint64_t memory;       ///< preloaded heap shared via fork
+};
+
+[[nodiscard]] ZygotePreload stock_preload();
+[[nodiscard]] ZygotePreload customized_preload();
+
+/// Sum of start costs with a boot-parallelism factor applied (services
+/// overlap I/O and CPU; the effective serial fraction is ~0.7).
+[[nodiscard]] sim::SimDuration sequential_start_cost(
+    const std::vector<ServiceSpec>& services);
+
+/// Sum of service memory.
+[[nodiscard]] std::uint64_t total_memory(
+    const std::vector<ServiceSpec>& services);
+
+/// Service-call outcome under a given service set: kOk when present,
+/// kStubbed when faked with a direct return, kMissing when absent
+/// entirely (a naive strip — would crash the app).
+enum class ServiceCallOutcome : std::uint8_t { kOk, kStubbed, kMissing };
+
+[[nodiscard]] ServiceCallOutcome call_service(
+    const std::vector<ServiceSpec>& services, const std::string& name);
+
+}  // namespace rattrap::android

@@ -1,0 +1,103 @@
+// Container object and lifecycle (LXC-like).
+//
+// A container is namespaces + cgroup + a union-mounted rootfs on a shared
+// kernel.  Starting one costs milliseconds (clone, pivot_root, veth
+// setup), which is why the paper's Cloud Android Container boots ~16x
+// faster than an Android VM: the expensive part that remains is the
+// *userspace* boot, handled by the android module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <string>
+#include <vector>
+
+#include "container/cgroup.hpp"
+#include "container/namespaces.hpp"
+#include "fs/union_fs.hpp"
+#include "kernel/device.hpp"
+#include "kernel/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::container {
+
+enum class ContainerState : std::uint8_t {
+  kCreated,
+  kRunning,
+  kStopped,
+  kDestroyed,
+};
+
+[[nodiscard]] const char* to_string(ContainerState state);
+
+using ContainerId = std::uint32_t;
+
+struct ContainerConfig {
+  std::string name;
+  /// Read-only lower layers (bottom-most first) for the rootfs union.
+  std::vector<std::shared_ptr<const fs::Layer>> lower_layers;
+  std::uint32_t cpu_shares = 1024;
+  std::uint64_t memory_limit = 512ull * 1024 * 1024;
+  /// Quota on the container's private (COW top) layer; 0 = unlimited.
+  std::uint64_t disk_quota = 0;
+  /// Kernel features the container's userspace requires to run; start()
+  /// fails when any is missing (the incompatibility OS-level
+  /// virtualization hits without the Android Container Driver).
+  std::vector<std::string> required_features;
+};
+
+class Container {
+ public:
+  Container(ContainerId id, ContainerConfig config, kernel::HostKernel& k);
+  ~Container();
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  [[nodiscard]] ContainerId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] ContainerState state() const { return state_; }
+  [[nodiscard]] const ContainerConfig& config() const { return config_; }
+
+  /// Starts the container: verifies kernel features, creates namespaces
+  /// and the device namespace, union-mounts the rootfs, spawns init, and
+  /// charges base memory.  Returns the simulated cost, or std::nullopt on
+  /// failure (missing feature / out of memory), leaving state unchanged.
+  std::optional<sim::SimDuration> start(Cgroup& cgroup);
+
+  /// Stops the container: kills all processes, destroys the device
+  /// namespace, releases memory. Returns the simulated cost.
+  sim::SimDuration stop();
+
+  /// Destroys a stopped container (rootfs delta discarded).
+  void destroy();
+
+  /// Live accessors; only valid while running.
+  [[nodiscard]] NamespaceSet& namespaces() { return namespaces_; }
+  [[nodiscard]] fs::UnionFs* rootfs() { return rootfs_.get(); }
+  [[nodiscard]] const fs::UnionFs* rootfs() const { return rootfs_.get(); }
+  [[nodiscard]] kernel::DevNsId devns() const { return devns_; }
+  [[nodiscard]] Cgroup* cgroup() const { return cgroup_; }
+
+  /// Private disk footprint: the container's writable layer only.
+  [[nodiscard]] std::uint64_t private_disk_bytes() const;
+
+  /// Writes into the rootfs honouring the disk quota. Returns false (and
+  /// writes nothing) when the quota would be exceeded.
+  bool write_file(std::string_view path, std::uint64_t size,
+                  sim::SimTime now);
+
+ private:
+  ContainerId id_;
+  ContainerConfig config_;
+  kernel::HostKernel& kernel_;
+  ContainerState state_ = ContainerState::kCreated;
+  NamespaceSet namespaces_;
+  std::unique_ptr<fs::UnionFs> rootfs_;
+  kernel::DevNsId devns_ = kernel::kHostDevNs;
+  Cgroup* cgroup_ = nullptr;
+  std::uint64_t base_memory_ = 0;
+};
+
+}  // namespace rattrap::container

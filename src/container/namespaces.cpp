@@ -1,0 +1,37 @@
+#include "container/namespaces.hpp"
+
+namespace rattrap::container {
+
+Pid PidNamespace::spawn(std::string name) {
+  const Pid pid = next_++;
+  procs_.emplace(pid, std::move(name));
+  return pid;
+}
+
+bool PidNamespace::kill(Pid pid) {
+  if (!procs_.contains(pid)) return false;
+  if (pid == 1) {
+    procs_.clear();  // init died: the whole namespace goes down
+    return true;
+  }
+  procs_.erase(pid);
+  return true;
+}
+
+std::optional<std::string> PidNamespace::name_of(Pid pid) const {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Pid> PidNamespace::pids() const {
+  std::vector<Pid> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, name] : procs_) {
+    (void)name;
+    out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace rattrap::container

@@ -1,0 +1,64 @@
+#include "container/runtime.hpp"
+
+namespace rattrap::container {
+
+Container& ContainerRuntime::create(ContainerConfig config) {
+  const ContainerId id = next_id_++;
+  auto container = std::make_unique<Container>(id, std::move(config), kernel_);
+  Container& ref = *container;
+  containers_.emplace(id, std::move(container));
+  return ref;
+}
+
+std::optional<sim::SimDuration> ContainerRuntime::start(ContainerId id) {
+  Container* c = find(id);
+  if (c == nullptr) return std::nullopt;
+  Cgroup* group = cgroups_.find(c->name());
+  if (group == nullptr) {
+    group = cgroups_.create(c->name(), c->config().cpu_shares,
+                            c->config().memory_limit);
+  }
+  if (group == nullptr) return std::nullopt;
+  return c->start(*group);
+}
+
+sim::SimDuration ContainerRuntime::stop(ContainerId id) {
+  Container* c = find(id);
+  return c == nullptr ? 0 : c->stop();
+}
+
+bool ContainerRuntime::destroy(ContainerId id) {
+  Container* c = find(id);
+  if (c == nullptr) return false;
+  c->stop();
+  c->destroy();
+  cgroups_.destroy(c->name());
+  containers_.erase(id);
+  return true;
+}
+
+Container* ContainerRuntime::find(ContainerId id) const {
+  const auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : it->second.get();
+}
+
+std::size_t ContainerRuntime::running_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : containers_) {
+    (void)id;
+    if (c->state() == ContainerState::kRunning) ++n;
+  }
+  return n;
+}
+
+std::vector<ContainerId> ContainerRuntime::ids() const {
+  std::vector<ContainerId> out;
+  out.reserve(containers_.size());
+  for (const auto& [id, c] : containers_) {
+    (void)c;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace rattrap::container

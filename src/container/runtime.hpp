@@ -1,0 +1,49 @@
+// Container runtime: creates, tracks and reaps containers (the lxc-*
+// command surface).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "container/cgroup.hpp"
+#include "container/container.hpp"
+#include "kernel/kernel.hpp"
+
+namespace rattrap::container {
+
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(kernel::HostKernel& kernel) : kernel_(kernel) {}
+
+  /// Creates a container in the kCreated state.
+  Container& create(ContainerConfig config);
+
+  /// Starts a container by id; allocates its cgroup from the hierarchy.
+  /// Returns the simulated start cost or std::nullopt on failure.
+  std::optional<sim::SimDuration> start(ContainerId id);
+
+  /// Stops a running container. Returns the cost (0 when not running).
+  sim::SimDuration stop(ContainerId id);
+
+  /// Stops if needed, then destroys and removes the container.
+  bool destroy(ContainerId id);
+
+  [[nodiscard]] Container* find(ContainerId id) const;
+  [[nodiscard]] std::size_t count() const { return containers_.size(); }
+  [[nodiscard]] std::size_t running_count() const;
+  [[nodiscard]] std::vector<ContainerId> ids() const;
+
+  [[nodiscard]] CgroupHierarchy& cgroups() { return cgroups_; }
+  [[nodiscard]] kernel::HostKernel& kernel() { return kernel_; }
+
+ private:
+  kernel::HostKernel& kernel_;
+  CgroupHierarchy cgroups_;
+  std::map<ContainerId, std::unique_ptr<Container>> containers_;
+  ContainerId next_id_ = 1;
+};
+
+}  // namespace rattrap::container

@@ -1,0 +1,67 @@
+#include "core/access_control.hpp"
+
+namespace rattrap::core {
+
+const char* to_string(Operation op) {
+  switch (op) {
+    case Operation::kReadOffloadFile:
+      return "read-offload-file";
+    case Operation::kWriteOffloadFile:
+      return "write-offload-file";
+    case Operation::kReadSharedLayer:
+      return "read-shared-layer";
+    case Operation::kWriteSharedLayer:
+      return "write-shared-layer";
+    case Operation::kReadWarehouse:
+      return "read-warehouse";
+    case Operation::kReadForeignCode:
+      return "read-foreign-code";
+    case Operation::kNetworkEgress:
+      return "network-egress";
+    case Operation::kBinderCall:
+      return "binder-call";
+  }
+  return "?";
+}
+
+std::set<Operation> RequestAccessController::default_grants() {
+  return {Operation::kReadOffloadFile, Operation::kWriteOffloadFile,
+          Operation::kReadSharedLayer, Operation::kReadWarehouse,
+          Operation::kBinderCall};
+}
+
+bool RequestAccessController::ensure_analyzed(std::string_view app_id) {
+  if (tables_.contains(app_id)) return false;
+  PermissionTable table;
+  table.allowed = default_grants();
+  tables_.emplace(std::string(app_id), std::move(table));
+  return true;
+}
+
+bool RequestAccessController::check(std::string_view app_id, Operation op) {
+  if (blocked_.contains(app_id)) return false;
+  ensure_analyzed(app_id);
+  auto& table = tables_.find(app_id)->second;
+  if (table.allowed.contains(op)) return true;
+  ++table.violations;
+  if (table.violations >= threshold_) {
+    blocked_.emplace(app_id);
+  }
+  return false;
+}
+
+bool RequestAccessController::is_blocked(std::string_view app_id) const {
+  return blocked_.contains(app_id);
+}
+
+std::uint32_t RequestAccessController::violations(
+    std::string_view app_id) const {
+  const auto it = tables_.find(app_id);
+  return it == tables_.end() ? 0 : it->second.violations;
+}
+
+bool RequestAccessController::analyzed(std::string_view app_id) const {
+  return tables_.contains(app_id);
+}
+
+}  // namespace rattrap::core

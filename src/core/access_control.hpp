@@ -1,0 +1,72 @@
+// Request-based Access Controller (§IV-E).
+//
+// Containers isolate less strongly than VMs and the shared-based
+// architecture (Shared Resource Layer, App Warehouse) is attackable by
+// malicious offloaded code.  The controller analyzes each app's first
+// request to generate a permission table (shared by all requests of that
+// app), filters every workflow leaving a Cloud Android Container against
+// it, counts violations, and blocks the app once violations reach a
+// threshold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rattrap::core {
+
+/// Operations a workflow out of a container can attempt.
+enum class Operation : std::uint8_t {
+  kReadOffloadFile,    ///< read this request's transferred files
+  kWriteOffloadFile,   ///< write results into the offloading I/O layer
+  kReadSharedLayer,    ///< read common system files
+  kWriteSharedLayer,   ///< attempt to modify shared system files
+  kReadWarehouse,      ///< fetch own cached code
+  kReadForeignCode,    ///< touch another app's cached code
+  kNetworkEgress,      ///< open outbound connections
+  kBinderCall,         ///< talk to system services
+};
+
+[[nodiscard]] const char* to_string(Operation op);
+
+struct PermissionTable {
+  std::set<Operation> allowed;
+  std::uint32_t violations = 0;
+};
+
+class RequestAccessController {
+ public:
+  /// `violation_threshold`: violations at which an app gets blocked.
+  explicit RequestAccessController(std::uint32_t violation_threshold = 5)
+      : threshold_(violation_threshold) {}
+
+  /// Ensures a permission table exists for `app_id`; returns true when a
+  /// fresh analysis ran (which costs the analysis time, once per app —
+  /// "the analysis happens only once for each mobile app").
+  bool ensure_analyzed(std::string_view app_id);
+
+  /// Filters one operation. Disallowed operations are recorded as
+  /// violations and rejected (returns false).  A blocked app rejects
+  /// everything.
+  bool check(std::string_view app_id, Operation op);
+
+  [[nodiscard]] bool is_blocked(std::string_view app_id) const;
+  [[nodiscard]] std::uint32_t violations(std::string_view app_id) const;
+  [[nodiscard]] bool analyzed(std::string_view app_id) const;
+  [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
+  [[nodiscard]] std::uint32_t threshold() const { return threshold_; }
+
+  /// The default permission set granted to offloading apps: everything an
+  /// honest offloaded task needs, nothing that attacks shared state.
+  [[nodiscard]] static std::set<Operation> default_grants();
+
+ private:
+  std::uint32_t threshold_;
+  std::map<std::string, PermissionTable, std::less<>> tables_;
+  std::set<std::string, std::less<>> blocked_;
+};
+
+}  // namespace rattrap::core

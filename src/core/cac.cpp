@@ -1,0 +1,123 @@
+#include "core/cac.hpp"
+
+#include <cassert>
+
+namespace rattrap::core {
+
+CloudAndroidContainer::CloudAndroidContainer(
+    CacConfig config, container::ContainerRuntime& runtime,
+    kernel::AndroidContainerDriver& driver)
+    : config_(std::move(config)), runtime_(runtime), driver_(driver) {
+  container::ContainerConfig cc;
+  cc.name = config_.name;
+  cc.lower_layers = config_.lower_layers;
+  cc.cpu_shares = config_.cpu_shares;
+  cc.memory_limit = config_.memory_limit;
+  cc.required_features = {kernel::kFeatureBinder, kernel::kFeatureAlarm,
+                          kernel::kFeatureLogger, kernel::kFeatureAshmem,
+                          kernel::kFeatureSwSync};
+  container_ = &runtime_.create(cc);
+  cid_ = container_->id();
+}
+
+CloudAndroidContainer::~CloudAndroidContainer() {
+  // The runtime owns the container object; we only release driver pins.
+  if (pinned_) {
+    kernel::AndroidContainerDriver::unpin(runtime_.kernel());
+    pinned_ = false;
+  }
+}
+
+std::optional<sim::SimDuration> CloudAndroidContainer::start_container(
+    kernel::HostKernel& kernel) {
+  sim::SimDuration cost = 0;
+  // Dynamically extend the kernel on first use — the Android Container
+  // Driver's whole point: no recompile, no reboot (§IV-B1).
+  if (!kernel::AndroidContainerDriver::loaded(kernel)) {
+    cost += driver_.load(kernel);
+  }
+  const auto start_cost = runtime_.start(cid_);
+  if (!start_cost) return std::nullopt;
+  cost += *start_cost;
+  // Rootfs integrity: a CAC without the framework core cannot boot (a
+  // mis-assembled shared layer must fail fast, not crash zygote later).
+  if (container_->rootfs() == nullptr ||
+      !container_->rootfs()->exists("/system/framework/core0.jar")) {
+    runtime_.stop(cid_);
+    return std::nullopt;
+  }
+  kernel::AndroidContainerDriver::pin(kernel);
+  pinned_ = true;
+  return cost;
+}
+
+android::UserspaceBoot CloudAndroidContainer::userspace_boot() const {
+  return android::container_userspace_boot(config_.profile,
+                                           config_.warm_shared_layer);
+}
+
+void CloudAndroidContainer::finish_boot(sim::SimTime now) {
+  assert(container_ != nullptr &&
+         container_->state() == container::ContainerState::kRunning);
+  booted_ = true;
+  // init's property service comes up first and publishes the build info
+  // plus the faked-service markers.
+  android::populate_cac_properties(
+      properties_, config_.name,
+      config_.profile == android::OsProfile::kCustomized);
+  // The Android process tree the modified init brings up.
+  auto& pid_ns = container_->namespaces().pid;
+  pid_ns.spawn("init");
+  pid_ns.spawn("servicemanager");
+  pid_ns.spawn("zygote");
+  pid_ns.spawn("system_server");
+  pid_ns.spawn("offloadcontroller");
+  // Register core services with the per-namespace binder context.
+  const kernel::DevNsId ns = container_->devns();
+  auto& binder = driver_.binder();
+  const kernel::BinderHandle system_server = binder.create_endpoint(ns);
+  for (const auto& spec :
+       (config_.profile == android::OsProfile::kStock
+            ? android::stock_services()
+            : android::customized_services())) {
+    binder.register_service(ns, spec.name, system_server);
+  }
+  // Seed the private layer (app data dirs, logs) — the per-CAC delta.
+  if (container_->rootfs() != nullptr) {
+    container_->rootfs()->write("/data/local/app-data.bin",
+                                config_.private_seed_bytes * 3 / 4, now);
+    container_->rootfs()->write("/data/misc/boot.log",
+                                config_.private_seed_bytes / 4, now);
+  }
+  // Charge the runtime's resident memory against the cgroup.
+  const std::uint64_t memory = boot_memory();
+  if (container_->cgroup() != nullptr &&
+      container_->cgroup()->charge_memory(memory)) {
+    charged_memory_ = memory;
+  }
+}
+
+void CloudAndroidContainer::shutdown(kernel::HostKernel& kernel) {
+  if (container_ != nullptr) {
+    if (charged_memory_ > 0 && container_->cgroup() != nullptr) {
+      container_->cgroup()->uncharge_memory(charged_memory_);
+      charged_memory_ = 0;
+    }
+    container_->stop();
+  }
+  if (pinned_) {
+    kernel::AndroidContainerDriver::unpin(kernel);
+    pinned_ = false;
+  }
+  booted_ = false;
+}
+
+std::uint64_t CloudAndroidContainer::private_disk_bytes() const {
+  return container_ == nullptr ? 0 : container_->private_disk_bytes();
+}
+
+std::uint64_t CloudAndroidContainer::boot_memory() const {
+  return userspace_boot().boot_memory;
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,93 @@
+// Cloud Android Container: the paper's runtime environment (§IV-B).
+//
+// A CAC is an LXC-style container whose rootfs unions the (customized or
+// stock) Android image, pinned to the Android Container Driver modules,
+// booting through the modified-init sequence.  This class composes the
+// container runtime, kernel driver package and Android boot model into a
+// single environment object; asynchronous provisioning is orchestrated by
+// the offload engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "android/boot.hpp"
+#include "android/classloader.hpp"
+#include "android/properties.hpp"
+#include "container/runtime.hpp"
+#include "kernel/android_container_driver.hpp"
+
+namespace rattrap::core {
+
+struct CacConfig {
+  std::string name;
+  android::OsProfile profile = android::OsProfile::kCustomized;
+  /// Lower layer(s) for the rootfs: the Shared Resource Layer system
+  /// image, or a private full copy for the non-optimized variant.
+  std::vector<std::shared_ptr<const fs::Layer>> lower_layers;
+  std::uint64_t memory_limit = 96ull * 1024 * 1024;
+  std::uint32_t cpu_shares = 1024;
+  /// Marks that the shared system layer is already page-cached by an
+  /// earlier CAC boot (removes most boot-time disk reads).
+  bool warm_shared_layer = false;
+  /// Private writable-layer bytes materialized at first boot (app data
+  /// directories, logs — the ~7.1 MB Table I reports per optimized CAC).
+  std::uint64_t private_seed_bytes = 7340032;  // 7.0 MiB
+};
+
+class CloudAndroidContainer {
+ public:
+  CloudAndroidContainer(CacConfig config,
+                        container::ContainerRuntime& runtime,
+                        kernel::AndroidContainerDriver& driver);
+  ~CloudAndroidContainer();
+
+  CloudAndroidContainer(const CloudAndroidContainer&) = delete;
+  CloudAndroidContainer& operator=(const CloudAndroidContainer&) = delete;
+
+  [[nodiscard]] container::ContainerId cid() const { return cid_; }
+  [[nodiscard]] const CacConfig& config() const { return config_; }
+  [[nodiscard]] bool booted() const { return booted_; }
+
+  /// Synchronous provisioning pieces.  The engine drives the async boot:
+  ///   1. start_container(): namespaces + cgroup + ACD load/pin; returns
+  ///      the container-runtime cost, or nullopt on failure (missing
+  ///      kernel feature / memory limit).
+  ///   2. userspace_boot(): the Android boot breakdown (cpu components +
+  ///      disk bytes) the engine turns into simulator/disk events.
+  ///   3. finish_boot(now): marks booted, spawns the Android process
+  ///      tree, charges memory and seeds the private layer.
+  std::optional<sim::SimDuration> start_container(
+      kernel::HostKernel& kernel);
+  [[nodiscard]] android::UserspaceBoot userspace_boot() const;
+  void finish_boot(sim::SimTime now);
+
+  /// Stops the container and releases driver pins and memory.
+  void shutdown(kernel::HostKernel& kernel);
+
+  /// The container's private (copy-on-write top layer) disk bytes.
+  [[nodiscard]] std::uint64_t private_disk_bytes() const;
+
+  /// Resident memory once booted.
+  [[nodiscard]] std::uint64_t boot_memory() const;
+
+  [[nodiscard]] android::ClassLoader& classloader() { return loader_; }
+  [[nodiscard]] android::PropertyStore& properties() { return properties_; }
+  [[nodiscard]] container::Container* container() { return container_; }
+
+ private:
+  CacConfig config_;
+  container::ContainerRuntime& runtime_;
+  kernel::AndroidContainerDriver& driver_;
+  container::Container* container_ = nullptr;
+  container::ContainerId cid_ = 0;
+  android::ClassLoader loader_;
+  android::PropertyStore properties_;
+  bool booted_ = false;
+  bool pinned_ = false;
+  std::uint64_t charged_memory_ = 0;
+};
+
+}  // namespace rattrap::core

@@ -1,0 +1,28 @@
+#include "core/calibration.hpp"
+
+namespace rattrap::core {
+namespace {
+
+Calibration build() {
+  Calibration c;
+  // One Xeon core running the Android runtime natively. Rates pair with
+  // device::phone_rates() to give local-vs-remote compute ratios of
+  // ~5–10×, which combined with network and preparation overheads yields
+  // the offloading speedups of Fig. 1 / Fig. 11.
+  c.server_rates[static_cast<std::size_t>(workloads::Kind::kOcr)] = 2.2e6;
+  c.server_rates[static_cast<std::size_t>(workloads::Kind::kChess)] = 0.375e6;
+  c.server_rates[static_cast<std::size_t>(workloads::Kind::kVirusScan)] =
+      1.4e6;
+  c.server_rates[static_cast<std::size_t>(workloads::Kind::kLinpack)] =
+      300e6;
+  return c;
+}
+
+}  // namespace
+
+const Calibration& default_calibration() {
+  static const Calibration calibration = build();
+  return calibration;
+}
+
+}  // namespace rattrap::core

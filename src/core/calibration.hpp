@@ -1,0 +1,56 @@
+// Calibration constants for the Rattrap reproduction.
+//
+// Everything the simulation cannot derive from first principles is pinned
+// here, calibrated against the measurements the paper reports (§V, §VI).
+// Keeping all magic numbers in one translation unit makes the
+// paper-vs-model mapping auditable.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "fs/disk.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::core {
+
+struct Calibration {
+  // --- server hardware (§V: 2× six-core Xeon X5650, 16 GB, 300 GB HDD) --
+  std::uint32_t server_cores = 12;
+  std::uint64_t server_memory = 16ull * 1024 * 1024 * 1024;
+  std::uint64_t server_disk = 300ull * 1024 * 1024 * 1024;
+  fs::DiskConfig disk;  // defaults model the HDD
+
+  // --- execution rates (work units/s of the Android runtime on one
+  //     server core at native speed; phones are device::phone_rates()) ---
+  device::KindRates server_rates{};
+
+  // --- virtualization overheads --------------------------------------
+  double vm_cpu_factor = 0.92;  ///< guest compute speed vs native
+  double vm_io_factor = 0.55;   ///< guest I/O throughput vs native
+  double container_cpu_factor = 0.995;  ///< near-native (§II-B)
+
+  // --- Sharing Offloading I/O ------------------------------------------
+  double tmpfs_mb_s = 2600.0;   ///< in-memory filesystem bandwidth
+  std::uint64_t tmpfs_capacity = 2ull * 1024 * 1024 * 1024;
+
+  // --- environment configs ---------------------------------------------
+  std::uint64_t vm_memory = 512ull * 1024 * 1024;       // Table I
+  std::uint64_t cac_plain_memory = 128ull * 1024 * 1024;
+  std::uint64_t cac_opt_memory = 96ull * 1024 * 1024;
+
+  // --- platform-side fixed costs ---------------------------------------
+  sim::SimDuration dispatcher_cost = sim::from_millis(2);
+  sim::SimDuration access_analysis_cost = sim::from_millis(55);
+  sim::SimDuration access_check_cost = sim::from_millis(1);
+  /// Dispatcher handshake after boot before an env is "connected".
+  sim::SimDuration env_register_cost = sim::from_millis(35);
+
+  /// Warehouse cache-table lookup.
+  sim::SimDuration warehouse_lookup_cost = sim::from_millis(1);
+};
+
+/// Process-wide default calibration.
+[[nodiscard]] const Calibration& default_calibration();
+
+}  // namespace rattrap::core

@@ -1,0 +1,66 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+
+namespace rattrap::core {
+
+Cluster::Cluster(PlatformConfig config, std::size_t servers) {
+  assert(servers > 0);
+  servers_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    PlatformConfig per_server = config;
+    per_server.seed = config.seed + 7919 * (i + 1);
+    servers_.push_back(std::make_unique<Platform>(per_server));
+  }
+  stats_.servers = servers;
+}
+
+std::vector<RequestOutcome> Cluster::run(
+    const std::vector<workloads::OffloadRequest>& stream) {
+  const std::size_t n = servers_.size();
+  // Shard by owning device; renumber sequences per shard so each
+  // platform sees a dense stream, then restore the originals.
+  std::vector<std::vector<workloads::OffloadRequest>> shards(n);
+  std::vector<std::vector<std::uint64_t>> original_sequence(n);
+  for (const auto& request : stream) {
+    const std::size_t shard = request.device_id % n;
+    workloads::OffloadRequest local = request;
+    local.sequence = shards[shard].size();
+    local.device_id = request.device_id / static_cast<std::uint32_t>(n);
+    shards[shard].push_back(local);
+    original_sequence[shard].push_back(request.sequence);
+  }
+
+  std::vector<RequestOutcome> merged(stream.size());
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    if (shards[shard].empty()) continue;
+    auto outcomes = servers_[shard]->run(shards[shard]);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      RequestOutcome outcome = std::move(outcomes[i]);
+      // Restore the caller-visible identifiers.
+      const std::uint64_t original = original_sequence[shard][i];
+      outcome.request.sequence = original;
+      outcome.request.device_id =
+          outcome.request.device_id * static_cast<std::uint32_t>(n) +
+          static_cast<std::uint32_t>(shard);
+      merged[original] = std::move(outcome);
+    }
+  }
+
+  stats_.environments = 0;
+  for (const auto& server : servers_) {
+    stats_.environments += server->env_count();
+  }
+  for (const auto& outcome : merged) {
+    stats_.total_up_bytes += outcome.traffic.total_up();
+    stats_.total_down_bytes += outcome.traffic.total_down();
+    if (outcome.rejected) {
+      ++stats_.rejected;
+    } else if (outcome.offloading_failure()) {
+      ++stats_.failures;
+    }
+  }
+  return merged;
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,54 @@
+// Multi-server cluster: Rattrap beyond one machine.
+//
+// The paper's prototype runs on "server machines" (plural, §V) and the
+// future work targets public clouds (§VIII).  A cluster front-end shards
+// devices across servers — each device's environments live on one server
+// (so container affinity and code caches stay local) and servers do not
+// interact, which keeps every per-server simulation independent and
+// deterministic.  The front-end merges per-server outcomes back into
+// stream order and aggregates fleet-level statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/platform.hpp"
+
+namespace rattrap::core {
+
+struct ClusterStats {
+  std::size_t servers = 0;
+  std::size_t environments = 0;   ///< across all servers
+  std::uint64_t total_up_bytes = 0;
+  std::uint64_t total_down_bytes = 0;
+  std::size_t failures = 0;
+  std::size_t rejected = 0;
+};
+
+class Cluster {
+ public:
+  /// `servers` identical machines running `config`. Each server's
+  /// platform gets a distinct seed derived from config.seed.
+  Cluster(PlatformConfig config, std::size_t servers);
+
+  /// Replays a stream across the cluster: requests are routed to the
+  /// server owning their device (device_id % servers). Outcomes come back
+  /// indexed by the original sequence.
+  std::vector<RequestOutcome> run(
+      const std::vector<workloads::OffloadRequest>& stream);
+
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  [[nodiscard]] Platform& server(std::size_t index) {
+    return *servers_.at(index);
+  }
+
+  /// Fleet statistics over everything run so far.
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<Platform>> servers_;
+  ClusterStats stats_;
+};
+
+}  // namespace rattrap::core

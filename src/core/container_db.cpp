@@ -1,0 +1,82 @@
+#include "core/container_db.hpp"
+
+namespace rattrap::core {
+
+const char* to_string(EnvState state) {
+  switch (state) {
+    case EnvState::kProvisioning:
+      return "provisioning";
+    case EnvState::kIdle:
+      return "idle";
+    case EnvState::kBusy:
+      return "busy";
+    case EnvState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+EnvRecord& ContainerDb::add(EnvId id, EnvBacking backing,
+                            std::string bound_key, sim::SimTime now) {
+  EnvRecord record;
+  record.id = id;
+  record.backing = backing;
+  record.state = EnvState::kProvisioning;
+  record.provisioned_at = now;
+  record.bound_key = std::move(bound_key);
+  auto [it, inserted] = envs_.insert_or_assign(id, std::move(record));
+  (void)inserted;
+  return it->second;
+}
+
+EnvRecord* ContainerDb::find(EnvId id) {
+  const auto it = envs_.find(id);
+  return it == envs_.end() ? nullptr : &it->second;
+}
+
+const EnvRecord* ContainerDb::find(EnvId id) const {
+  const auto it = envs_.find(id);
+  return it == envs_.end() ? nullptr : &it->second;
+}
+
+EnvRecord* ContainerDb::find_by_key(std::string_view key) {
+  for (auto& [id, record] : envs_) {
+    (void)id;
+    if (record.bound_key == key && record.state != EnvState::kRetired) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+bool ContainerDb::retire(EnvId id) {
+  EnvRecord* record = find(id);
+  if (record == nullptr || record->state == EnvState::kRetired) return false;
+  record->state = EnvState::kRetired;
+  return true;
+}
+
+std::size_t ContainerDb::count_in(EnvState state) const {
+  std::size_t n = 0;
+  for (const auto& [id, record] : envs_) {
+    (void)id;
+    if (record.state == state) ++n;
+  }
+  return n;
+}
+
+std::size_t ContainerDb::active_count() const {
+  return count() - count_in(EnvState::kRetired);
+}
+
+std::vector<EnvId> ContainerDb::ids() const {
+  std::vector<EnvId> out;
+  out.reserve(envs_.size());
+  for (const auto& [id, record] : envs_) {
+    (void)record;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace rattrap::core

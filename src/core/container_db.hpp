@@ -1,0 +1,68 @@
+// Container DB: the platform's registry of runtime environments.
+//
+// "Container DB stores information of Cloud Android Containers as basis of
+// resource management" (§IV-A).  The same registry also tracks VM-backed
+// environments so the three platform variants share one bookkeeping path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/warehouse.hpp"  // EnvId
+#include "sim/time.hpp"
+
+namespace rattrap::core {
+
+enum class EnvState : std::uint8_t {
+  kProvisioning,  ///< booting, not yet connected to the Dispatcher
+  kIdle,          ///< booted, no running job
+  kBusy,          ///< executing offloaded code
+  kRetired,       ///< stopped
+};
+
+[[nodiscard]] const char* to_string(EnvState state);
+
+enum class EnvBacking : std::uint8_t { kVm, kContainer };
+
+struct EnvRecord {
+  EnvId id = 0;
+  EnvBacking backing = EnvBacking::kContainer;
+  EnvState state = EnvState::kProvisioning;
+  sim::SimTime provisioned_at = 0;  ///< boot start
+  sim::SimTime ready_at = 0;        ///< boot end + dispatcher registration
+  sim::SimTime busy_until = 0;      ///< compute backlog horizon
+  std::uint32_t jobs_executed = 0;
+  std::string bound_key;  ///< dispatcher binding (device or app key)
+};
+
+class ContainerDb {
+ public:
+  /// Registers a new environment; returns its record.
+  EnvRecord& add(EnvId id, EnvBacking backing, std::string bound_key,
+                 sim::SimTime now);
+
+  [[nodiscard]] EnvRecord* find(EnvId id);
+  [[nodiscard]] const EnvRecord* find(EnvId id) const;
+
+  /// Environment bound to `key`, if any.
+  [[nodiscard]] EnvRecord* find_by_key(std::string_view key);
+
+  bool retire(EnvId id);
+
+  [[nodiscard]] std::size_t count() const { return envs_.size(); }
+  [[nodiscard]] std::size_t count_in(EnvState state) const;
+
+  /// Environments live (not retired) — the Fig. 2 active-env denominator.
+  [[nodiscard]] std::size_t active_count() const;
+
+  [[nodiscard]] std::vector<EnvId> ids() const;
+
+ private:
+  std::map<EnvId, EnvRecord> envs_;
+};
+
+}  // namespace rattrap::core

@@ -1,0 +1,36 @@
+#include "core/dispatcher.hpp"
+
+namespace rattrap::core {
+
+std::string Dispatcher::binding_key(const workloads::OffloadRequest& request,
+                                    const std::string& app_id) const {
+  // Environments are provisioned per device on every platform; with
+  // affinity the Dispatcher may *reroute* a request to an app-hot
+  // container, but new environments always bind to the requesting device.
+  (void)app_id;
+  return "dev:" + std::to_string(request.device_id);
+}
+
+EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
+                              const std::string& app_id, sim::SimTime now,
+                              sim::SimDuration backlog_threshold) {
+  EnvRecord* device_env =
+      db_.find_by_key("dev:" + std::to_string(request.device_id));
+  if (!affinity_) return device_env;
+  // A device's first request always provisions its own environment (all
+  // three platforms pay one boot per device); affinity then *reroutes*
+  // subsequent requests to a container that already executed this app —
+  // saving the code-loading time — unless that container is backlogged.
+  if (device_env == nullptr) return nullptr;
+  if (const auto preferred = warehouse_.preferred_env("ref:" + app_id)) {
+    EnvRecord* record = db_.find(*preferred);
+    if (record != nullptr && record->state != EnvState::kRetired &&
+        record->ready_at > 0 &&
+        record->busy_until <= now + backlog_threshold) {
+      return record;
+    }
+  }
+  return device_env;
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,51 @@
+// Dispatcher: routes offloading requests to runtime environments.
+//
+// "Dispatcher handles the new arrived offloading requests and allocates
+// execution environments for them" (§IV-A), and with the code cache it
+// "tends to allocate offloading tasks to the Cloud Android Container
+// where requests from the same application have been executed before"
+// (§IV-D) — saving the code-loading time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/container_db.hpp"
+#include "core/warehouse.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+
+class Dispatcher {
+ public:
+  /// `affinity`: route by application (AID → CID) instead of by device.
+  Dispatcher(ContainerDb& db, AppWarehouse& warehouse, bool affinity)
+      : db_(db), warehouse_(warehouse), affinity_(affinity) {}
+
+  /// The environment-binding key for a request (per-device on every
+  /// platform; affinity rerouting happens in assign()).
+  [[nodiscard]] std::string binding_key(
+      const workloads::OffloadRequest& request,
+      const std::string& app_id) const;
+
+  /// The existing environment this request should run in, or nullptr when
+  /// a new one must be provisioned.  With affinity enabled, an environment
+  /// that already executed this app's code wins — but only while its
+  /// compute backlog stays below `backlog_threshold`; the Monitor &
+  /// Scheduler otherwise spreads load across per-device environments
+  /// (process-level scheduling, §IV-A).
+  [[nodiscard]] EnvRecord* assign(const workloads::OffloadRequest& request,
+                                  const std::string& app_id,
+                                  sim::SimTime now,
+                                  sim::SimDuration backlog_threshold =
+                                      sim::from_millis(600));
+
+  [[nodiscard]] bool affinity() const { return affinity_; }
+
+ private:
+  ContainerDb& db_;
+  AppWarehouse& warehouse_;
+  bool affinity_;
+};
+
+}  // namespace rattrap::core

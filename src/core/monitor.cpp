@@ -1,0 +1,28 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rattrap::core {
+
+void MonitorScheduler::record_cpu(sim::SimTime t0, sim::SimTime t1,
+                                  double cores) {
+  assert(t0 <= t1);
+  if (t0 == t1 || cores <= 0.0) return;
+  cpu_.add_interval(t0, t1, static_cast<double>(t1 - t0) * cores);
+  total_busy_ +=
+      static_cast<sim::SimDuration>(static_cast<double>(t1 - t0) * cores);
+}
+
+double MonitorScheduler::busy_core_seconds(std::size_t second) const {
+  return cpu_.bucket(second) / 1e6;  // stored in core-µs
+}
+
+double MonitorScheduler::cpu_percent(std::size_t second,
+                                     double active_envs) const {
+  if (active_envs <= 0.0) return 0.0;
+  const double busy = busy_core_seconds(second);
+  return std::min(100.0, 100.0 * busy / active_envs);
+}
+
+}  // namespace rattrap::core

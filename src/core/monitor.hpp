@@ -1,0 +1,56 @@
+// Monitor & Scheduler: server-load accounting at process level.
+//
+// The paper's Monitor & Scheduler "conducts resource scheduling at
+// process-level, rather than at VM-level" (§IV-A).  This component tracks
+// CPU busy time per second (the Fig. 2 CPU timeline), allocates cores to
+// compute jobs, and exposes utilization for scheduling decisions.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::core {
+
+class MonitorScheduler {
+ public:
+  MonitorScheduler(sim::Simulator& simulator, std::uint32_t cores)
+      : sim_(simulator), cores_(cores) {}
+
+  /// Records `cores` CPU(s) busy over [t0, t1) (core-µs into the series).
+  void record_cpu(sim::SimTime t0, sim::SimTime t1, double cores = 1.0);
+
+  /// CPU utilization (0–100 %) of bucket `second`, normalized to the
+  /// number of cores *in use by runtime environments* (`active_envs`);
+  /// the paper's Fig. 2 plots the guest-visible utilization, which pins
+  /// at 100 % when every environment is computing.
+  [[nodiscard]] double cpu_percent(std::size_t second,
+                                   double active_envs) const;
+
+  /// Raw busy core-seconds in bucket `second`.
+  [[nodiscard]] double busy_core_seconds(std::size_t second) const;
+
+  [[nodiscard]] const sim::TimeSeries& cpu_series() const { return cpu_; }
+  [[nodiscard]] std::uint32_t cores() const { return cores_; }
+
+  /// Total busy core-time recorded.
+  [[nodiscard]] sim::SimDuration total_busy() const { return total_busy_; }
+
+  /// Currently running compute jobs (informational, for scheduling).
+  void job_started() { ++running_jobs_; }
+  void job_finished() {
+    if (running_jobs_ > 0) --running_jobs_;
+  }
+  [[nodiscard]] std::uint32_t running_jobs() const { return running_jobs_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint32_t cores_;
+  sim::TimeSeries cpu_{sim::kSecond};
+  sim::SimDuration total_busy_ = 0;
+  std::uint32_t running_jobs_ = 0;
+};
+
+}  // namespace rattrap::core

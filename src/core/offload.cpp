@@ -1,0 +1,27 @@
+#include "core/offload.hpp"
+
+#include <algorithm>
+
+namespace rattrap::core {
+
+double offload_energy_mj(const PhaseBreakdown& phases,
+                         sim::SimDuration upload_time,
+                         sim::SimDuration download_time,
+                         const device::RadioProfile& radio) {
+  device::EnergyMeter meter(device::phone_cpu(), radio);
+  meter.add_wait(phases.network_connection);
+  meter.add_wait(phases.runtime_preparation);
+  meter.add_tx(upload_time);
+  // Post-upload tail: the radio lingers in its high-power state while the
+  // cloud computes. A long computation absorbs the whole tail; a short
+  // one rolls straight into the result download. The tail window burns
+  // tail power instead of idle power.
+  const sim::SimDuration upload_tail =
+      std::min(radio.tail_time, phases.computation);
+  meter.add_wait(phases.computation - upload_tail);
+  meter.add_rx(download_time);
+  meter.add_radio_tail();  // full tail after the final download
+  return meter.millijoules() + radio.tail_mw * sim::to_seconds(upload_tail);
+}
+
+}  // namespace rattrap::core

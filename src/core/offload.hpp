@@ -1,0 +1,66 @@
+// Offload session phases and outcomes.
+//
+// §III-B divides an offloading request into four phases: Network
+// Connection, Runtime Preparation, Data Transfer and Computation
+// Execution.  Every experiment in the paper reports some projection of
+// this breakdown (Fig. 1 stacks it, Fig. 9 averages it, Fig. 10 converts
+// it to energy, Fig. 11 to speedup distributions).
+#pragma once
+
+#include <cstdint>
+
+#include "device/power.hpp"
+#include "net/message.hpp"
+#include "sim/time.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+
+struct PhaseBreakdown {
+  sim::SimDuration network_connection = 0;
+  sim::SimDuration runtime_preparation = 0;
+  sim::SimDuration data_transfer = 0;
+  sim::SimDuration computation = 0;
+
+  [[nodiscard]] sim::SimDuration total() const {
+    return network_connection + runtime_preparation + data_transfer +
+           computation;
+  }
+};
+
+struct RequestOutcome {
+  workloads::OffloadRequest request;
+  PhaseBreakdown phases;
+  sim::SimTime completed_at = 0;
+  /// Offloading response time (arrival → result delivered).
+  sim::SimDuration response = 0;
+  /// What executing this task locally would have cost the device.
+  sim::SimDuration local_time = 0;
+  /// local_time / response; < 1 is an offloading failure (§III-B).
+  double speedup = 0.0;
+  double offload_energy_mj = 0.0;
+  double local_energy_mj = 0.0;
+  /// Up/down transfer durations (for the energy model).
+  sim::SimDuration upload_time = 0;
+  sim::SimDuration download_time = 0;
+  net::TrafficAccount traffic;
+  std::uint32_t env_id = 0;
+  bool code_cache_hit = false;
+  /// The Request-based Access Controller refused this request (its app
+  /// accumulated too many permission violations and is blocked, §IV-E).
+  bool rejected = false;
+
+  [[nodiscard]] bool offloading_failure() const { return speedup < 1.0; }
+};
+
+/// Device-side energy of one offloading episode: idle-waiting through
+/// connection/preparation/computation, transmitting during uploads,
+/// receiving during downloads, plus radio tails after each transfer burst
+/// (the post-upload tail is clipped by the compute phase when computation
+/// finishes within the tail window).
+[[nodiscard]] double offload_energy_mj(const PhaseBreakdown& phases,
+                                       sim::SimDuration upload_time,
+                                       sim::SimDuration download_time,
+                                       const device::RadioProfile& radio);
+
+}  // namespace rattrap::core

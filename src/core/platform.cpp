@@ -1,0 +1,820 @@
+#include "core/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "android/image_profile.hpp"
+
+namespace rattrap::core {
+
+const char* to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kVmCloud:
+      return "VM";
+    case PlatformKind::kRattrapWithoutOpt:
+      return "Rattrap(W/O)";
+    case PlatformKind::kRattrap:
+      return "Rattrap";
+  }
+  return "?";
+}
+
+PlatformConfig make_config(PlatformKind kind, net::LinkConfig link,
+                           std::uint64_t seed) {
+  PlatformConfig config;
+  config.kind = kind;
+  config.link = std::move(link);
+  config.seed = seed;
+  switch (kind) {
+    case PlatformKind::kVmCloud:
+      config.container_backing = false;
+      config.customized_os = false;
+      config.shared_resource_layer = false;
+      config.sharing_offload_io = false;
+      config.code_cache = false;
+      config.dispatcher_affinity = false;
+      break;
+    case PlatformKind::kRattrapWithoutOpt:
+      config.container_backing = true;
+      config.customized_os = false;
+      config.shared_resource_layer = false;
+      config.sharing_offload_io = false;
+      config.code_cache = false;
+      config.dispatcher_affinity = false;
+      break;
+    case PlatformKind::kRattrap:
+      break;  // all defaults on
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Internal state
+
+struct Platform::Env {
+  std::uint32_t id = 0;
+  bool is_vm = false;
+  vm::VmId vm_id = 0;
+  std::unique_ptr<CloudAndroidContainer> cac;
+  android::ClassLoader vm_loader;  ///< for VM-backed environments
+  bool ready = false;
+  sim::SimTime provision_start = 0;
+  sim::SimTime ready_at = 0;
+  sim::SimTime busy_until = 0;
+  std::vector<std::function<void()>> waiters;
+  /// Apps whose code this specific environment has received (the per-VM
+  /// duplicate-code bookkeeping of §III-D).
+  std::set<std::string> pushed_apps;
+  std::uint64_t disk_bytes = 0;
+  std::string binding_key;
+  bool retired = false;
+  std::uint32_t inflight = 0;       ///< sessions bound but not completed
+  std::uint64_t jobs_served = 0;    ///< reclaim-epoch counter
+  bool pool = false;                ///< pre-booted, waiting for a claimant
+  bool failed = false;              ///< provisioning failed (capacity)
+  std::uint64_t memory_bytes = 0;   ///< committed allocation
+  sim::SimTime commit_start = 0;
+  sim::SimTime commit_end = -1;     ///< -1 while still committed
+};
+
+struct Platform::Session {
+  workloads::OffloadRequest request;
+  std::string app_id;
+  std::uint64_t apk_bytes = 0;
+  workloads::Kind kind = workloads::Kind::kLinpack;
+  workloads::TaskResult executed;  ///< real kernel execution
+  std::unique_ptr<net::Connection> conn;
+  PhaseBreakdown phases;
+  sim::SimTime connected_at = 0;
+  sim::SimDuration upload_time = 0;
+  sim::SimDuration download_time = 0;
+  bool cache_hit = false;
+  bool spilled_to_disk = false;  ///< tmpfs full: files staged on disk
+  Env* env = nullptr;
+};
+
+// ---------------------------------------------------------------------
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  const auto system_layer = config_.customized_os
+                                ? android::customized_layer()
+                                : android::container_stock_layer();
+  Calibration calibration =
+      config_.calibration ? *config_.calibration : default_calibration();
+  if (config_.tmpfs_capacity_override > 0) {
+    calibration.tmpfs_capacity = config_.tmpfs_capacity_override;
+  }
+  server_ = std::make_unique<CloudServer>(calibration, system_layer);
+  link_ = std::make_unique<net::Link>(config_.link);
+  dispatcher_ = std::make_unique<Dispatcher>(server_->env_db(),
+                                             server_->warehouse(),
+                                             config_.dispatcher_affinity);
+}
+
+Platform::~Platform() = default;
+
+device::RadioProfile Platform::radio_profile() const {
+  if (config_.link.name == "3G") return device::radio_3g();
+  if (config_.link.name == "4G") return device::radio_4g();
+  return device::wifi_radio();
+}
+
+const android::MobileApp& Platform::app_for(workloads::Kind kind) {
+  const auto workload = workloads::make_workload(kind);
+  const std::string app_id = workload->app().app_id;
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    it = apps_.emplace(app_id, android::MobileApp::for_workload(kind)).first;
+  }
+  return it->second;
+}
+
+const device::MobileDevice& Platform::device_for(std::uint32_t device_id) {
+  while (devices_.size() <= device_id) {
+    device::DeviceConfig dc;
+    dc.id = static_cast<std::uint32_t>(devices_.size());
+    devices_.emplace_back(dc);
+  }
+  return devices_[device_id];
+}
+
+double Platform::cpu_factor() const {
+  const Calibration& cal = server_->calibration();
+  return config_.container_backing ? cal.container_cpu_factor
+                                   : cal.vm_cpu_factor;
+}
+
+sim::SimDuration Platform::compute_io_time(Env& env, std::uint64_t bytes,
+                                           std::uint32_t ops) const {
+  if (bytes == 0 && ops == 0) return 0;
+  const Calibration& cal = server_->calibration();
+  if (config_.sharing_offload_io) {
+    // Sharing Offloading I/O: reads come from the shared tmpfs; a file
+    // operation is a page-cache hit (~20 µs of VFS work).
+    return server_->shared_layer().io_time(bytes) +
+           static_cast<sim::SimDuration>(ops) * 20;
+  }
+  // Disk-backed offloading I/O: each discrete file operation pays a seek
+  // (VirusScan's many small files are why it is the most I/O-bound
+  // workload, §III-C), plus the streaming transfer.
+  const sim::SimDuration per_op =
+      sim::from_millis(cal.disk.avg_seek_ms + cal.disk.rotational_ms);
+  const sim::SimDuration native =
+      server_->disk().service_time(bytes, /*sequential=*/true) +
+      static_cast<sim::SimDuration>(ops) * per_op;
+  if (env.is_vm) {
+    return static_cast<sim::SimDuration>(static_cast<double>(native) /
+                                         cal.vm_io_factor);
+  }
+  return native;  // container: native disk I/O
+}
+
+// ---------------------------------------------------------------------
+// Environment provisioning
+
+Platform::Env& Platform::provision_env(const std::string& binding_key,
+                                       sim::SimTime now) {
+  const std::uint32_t id = next_env_id_++;
+  auto env = std::make_unique<Env>();
+  env->id = id;
+  env->is_vm = !config_.container_backing;
+  env->provision_start = now;
+  env->binding_key = binding_key;
+  Env& ref = *env;
+  envs_.emplace(id, std::move(env));
+  server_->env_db().add(id,
+                        ref.is_vm ? EnvBacking::kVm : EnvBacking::kContainer,
+                        binding_key, now);
+  if (ref.is_vm) {
+    provision_vm(ref);
+  } else {
+    provision_cac(ref);
+  }
+  return ref;
+}
+
+void Platform::provision_vm(Env& env) {
+  const Calibration& cal = server_->calibration();
+  vm::VmConfig vc;
+  vc.name = "android-vm-" + std::to_string(env.id);
+  vc.vcpus = 1;
+  vc.memory = cal.vm_memory;
+  vc.disk_image = android::stock_layer()->total_bytes();
+  vc.cpu_factor = cal.vm_cpu_factor;
+  vc.io_factor = cal.vm_io_factor;
+  vm::VirtualMachine* machine = server_->hypervisor().create(vc);
+  if (machine == nullptr) {
+    // Host memory exhausted: the environment cannot be provisioned. Every
+    // waiting session is answered with a rejection — the density wall a
+    // 512 MB-per-VM resource model hits on a 16 GB server.
+    env.failed = true;
+    env.retired = true;
+    server_->env_db().retire(env.id);
+    server_->simulator().schedule_in(0, [this, &env]() {
+      auto waiters = std::move(env.waiters);
+      env.waiters.clear();
+      for (auto& waiter : waiters) waiter();
+    });
+    return;
+  }
+  env.vm_id = machine->id();
+  env.disk_bytes = vc.disk_image;
+  env.memory_bytes = vc.memory;
+  env.commit_start = server_->simulator().now();
+
+  const sim::SimTime boot_start = server_->simulator().now();
+  server_->hypervisor().boot(
+      env.vm_id, android::vm_boot_plan(android::OsProfile::kStock),
+      [this, &env, boot_start](sim::SimTime booted_at) {
+        // Boot keeps roughly one guest vCPU busy end to end.
+        server_->monitor().record_cpu(boot_start, booted_at, 0.85);
+        server_->simulator().schedule_in(
+            server_->calibration().env_register_cost,
+            [this, &env]() { env_ready(env); });
+      });
+}
+
+void Platform::provision_cac(Env& env) {
+  CacConfig cc;
+  cc.name = "cac-" + std::to_string(env.id);
+  cc.profile = config_.customized_os ? android::OsProfile::kCustomized
+                                     : android::OsProfile::kStock;
+  if (config_.shared_resource_layer) {
+    cc.lower_layers = {server_->shared_layer().system_layer()};
+    // A later CAC finds the shared layer page-cached by the first boot.
+    cc.warm_shared_layer = envs_.size() > 1;
+  } else {
+    // Private full image copy per container (the W/O configuration).
+    cc.lower_layers = {config_.customized_os
+                           ? android::customized_layer()
+                           : android::container_stock_layer()};
+    cc.warm_shared_layer = false;
+  }
+  cc.memory_limit = config_.customized_os
+                        ? server_->calibration().cac_opt_memory
+                        : server_->calibration().cac_plain_memory;
+  env.cac = std::make_unique<CloudAndroidContainer>(
+      cc, server_->containers(), server_->driver());
+  env.memory_bytes = cc.memory_limit;
+  env.commit_start = server_->simulator().now();
+
+  const auto start_cost = env.cac->start_container(server_->kernel());
+  assert(start_cost.has_value() && "container start failed");
+  const android::UserspaceBoot boot = env.cac->userspace_boot();
+
+  // Per-environment disk: a private image copy without the shared layer,
+  // or just the COW delta (seeded at finish_boot) with it.
+  env.disk_bytes = config_.shared_resource_layer
+                       ? 0  // updated after finish_boot
+                       : cc.lower_layers.front()->total_bytes();
+
+  sim::Simulator& simulator = server_->simulator();
+  const sim::SimTime cpu_start = simulator.now() + *start_cost;
+  auto after_io = [this, &env, boot, cpu_start]() {
+    sim::Simulator& simulator2 = server_->simulator();
+    const sim::SimTime now = simulator2.now();
+    const sim::SimTime cpu_done = now + boot.cpu_total();
+    server_->monitor().record_cpu(std::max(cpu_start, now), cpu_done, 0.9);
+    simulator2.schedule_at(cpu_done, [this, &env]() {
+      env.cac->finish_boot(server_->simulator().now());
+      if (config_.shared_resource_layer) {
+        env.disk_bytes = env.cac->private_disk_bytes();
+      }
+      server_->simulator().schedule_in(
+          server_->calibration().env_register_cost,
+          [this, &env]() { env_ready(env); });
+    });
+  };
+
+  simulator.schedule_at(cpu_start, [this, boot, after_io]() {
+    if (boot.disk_read_bytes == 0) {
+      after_io();
+      return;
+    }
+    server_->disk().submit(fs::IoKind::kRead, boot.disk_read_bytes,
+                           /*sequential=*/true, after_io);
+  });
+}
+
+void Platform::env_ready(Env& env) {
+  env.ready = true;
+  env.ready_at = server_->simulator().now();
+  env.busy_until = env.ready_at;
+  if (EnvRecord* record = server_->env_db().find(env.id)) {
+    record->state = EnvState::kIdle;
+    record->ready_at = env.ready_at;
+  }
+  auto waiters = std::move(env.waiters);
+  env.waiters.clear();
+  for (auto& waiter : waiters) waiter();
+  schedule_reclaim(env);
+}
+
+void Platform::schedule_reclaim(Env& env) {
+  if (config_.env_idle_timeout <= 0) return;
+  const std::uint64_t epoch = env.jobs_served;
+  server_->simulator().schedule_in(
+      config_.env_idle_timeout, [this, &env, epoch]() {
+        if (env.retired || !env.ready) return;
+        if (env.pool && env.jobs_served == 0) return;  // waiting warm
+        if (env.jobs_served != epoch) return;  // work arrived since
+        if (env.inflight > 0) return;          // sessions in progress
+        if (env.busy_until > server_->simulator().now()) return;
+        retire_env(env);
+      });
+}
+
+void Platform::retire_env(Env& env) {
+  env.retired = true;
+  env.ready = false;
+  env.commit_end = server_->simulator().now();
+  server_->env_db().retire(env.id);
+  server_->warehouse().forget_env(env.id);
+  if (env.is_vm) {
+    server_->hypervisor().destroy(env.vm_id);
+  } else if (env.cac) {
+    env.cac->shutdown(server_->kernel());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Session flow
+
+std::vector<RequestOutcome> Platform::run(
+    const std::vector<workloads::OffloadRequest>& stream) {
+  outcomes_.assign(stream.size(), RequestOutcome{});
+  completed_ = 0;
+  sim::Simulator& simulator = server_->simulator();
+  for (std::uint32_t i = envs_.empty() ? 0 : config_.warm_pool;
+       i < config_.warm_pool; ++i) {
+    Env& pooled =
+        provision_env("pool:" + std::to_string(i), simulator.now());
+    pooled.pool = true;
+  }
+  for (const auto& request : stream) {
+    auto session = std::make_shared<Session>();
+    session->request = request;
+    session->kind = request.task.kind;
+    const android::MobileApp& app = app_for(session->kind);
+    session->app_id = app.app_id();
+    session->apk_bytes = app.apk_bytes();
+    // Execute the real kernel now; work units drive the simulated times.
+    // Identical tasks replayed across platforms (§VI-D record/replay)
+    // share one execution through a process-wide memo.
+    session->executed = execute_task_cached(request.task);
+    session->conn = std::make_unique<net::Connection>(
+        *link_, rng_.fork(request.sequence + 1));
+    simulator.schedule_at(request.arrival, [this, session]() {
+      on_arrival(session);
+    });
+  }
+  simulator.run();
+  assert(completed_ == stream.size());
+  return outcomes_;
+}
+
+void Platform::on_arrival(std::shared_ptr<Session> s) {
+  if (config_.adaptive_offloading) {
+    DecisionState& history = decisions_[s->app_id];
+    constexpr std::uint32_t kExplore = 3;  // first offloads gather data
+    if (history.samples >= kExplore &&
+        history.ewma_remote_s >= history.ewma_local_s) {
+      // Run locally: no traffic, no cloud involvement.
+      const device::MobileDevice& dev = device_for(s->request.device_id);
+      const sim::SimDuration local =
+          dev.local_execution_time(s->kind, s->executed);
+      server_->simulator().schedule_in(local, [this, s, local]() {
+        RequestOutcome outcome;
+        outcome.request = s->request;
+        outcome.completed_at = server_->simulator().now();
+        outcome.response = local;
+        outcome.local_time = local;
+        outcome.speedup = 1.0;  // executed locally by choice
+        const device::RadioProfile radio = radio_profile();
+        const device::MobileDevice& dev2 =
+            device_for(s->request.device_id);
+        outcome.local_energy_mj =
+            dev2.local_energy_mj(s->kind, s->executed, radio);
+        outcome.offload_energy_mj = outcome.local_energy_mj;
+        assert(s->request.sequence < outcomes_.size());
+        outcomes_[s->request.sequence] = std::move(outcome);
+        ++completed_;
+        // Local runs refresh the local estimate.
+        DecisionState& h = decisions_[s->app_id];
+        const double local_s = sim::to_seconds(local);
+        h.ewma_local_s = h.ewma_local_s == 0
+                             ? local_s
+                             : 0.7 * h.ewma_local_s + 0.3 * local_s;
+      });
+      return;
+    }
+  }
+  const sim::SimDuration connect = s->conn->establish();
+  s->phases.network_connection = connect;
+  server_->simulator().schedule_in(
+      connect, [this, s]() { on_connected(s); });
+}
+
+void Platform::on_connected(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  s->connected_at = simulator.now();
+  const Calibration& cal = server_->calibration();
+
+  sim::SimDuration platform_cost = cal.dispatcher_cost;
+  if (config_.code_cache) {
+    platform_cost += cal.warehouse_lookup_cost;
+    s->cache_hit = server_->warehouse().lookup("ref:" + s->app_id);
+  }
+  // Request-based Access Controller: per-app analysis, once.
+  if (server_->access().ensure_analyzed(s->app_id)) {
+    platform_cost += cal.access_analysis_cost;
+  } else {
+    platform_cost += cal.access_check_cost;
+  }
+
+  // Request-based Access Controller front gate: requests from blocked
+  // apps never reach an environment (§IV-E).
+  if (server_->access().is_blocked(s->app_id)) {
+    RequestOutcome outcome;
+    outcome.request = s->request;
+    outcome.completed_at = simulator.now();
+    outcome.response = simulator.now() - s->request.arrival;
+    outcome.rejected = true;
+    assert(s->request.sequence < outcomes_.size());
+    outcomes_[s->request.sequence] = std::move(outcome);
+    ++completed_;
+    return;
+  }
+
+  EnvRecord* record =
+      dispatcher_->assign(s->request, s->app_id, simulator.now());
+  Env* env = nullptr;
+  if (record != nullptr) {
+    const auto it = envs_.find(record->id);
+    assert(it != envs_.end());
+    env = it->second.get();
+  }
+  simulator.schedule_in(platform_cost, [this, s, env]() {
+    Env* target = env;
+    if (target == nullptr || target->retired) {
+      const std::string key =
+          dispatcher_->binding_key(s->request, s->app_id);
+      // A warm-pool environment (pre-booted, unclaimed) is rebound to
+      // this device instead of paying a cold start.
+      Env* claimed = nullptr;
+      for (auto& [id, candidate] : envs_) {
+        (void)id;
+        if (candidate->pool && !candidate->retired) {
+          claimed = candidate.get();
+          break;
+        }
+      }
+      if (claimed != nullptr) {
+        claimed->pool = false;
+        claimed->binding_key = key;
+        if (EnvRecord* rec = server_->env_db().find(claimed->id)) {
+          rec->bound_key = key;
+        }
+        target = claimed;
+      } else {
+        target = &provision_env(key, server_->simulator().now());
+      }
+    }
+    s->env = target;
+    ++target->inflight;  // pins the env against idle reclamation
+    if (target->ready) {
+      on_env_ready(s);
+    } else {
+      target->waiters.push_back([this, s]() { on_env_ready(s); });
+    }
+  });
+}
+
+void Platform::on_env_ready(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  if (s->env->failed) {
+    // Provisioning failed (host capacity): reject the request.
+    RequestOutcome outcome;
+    outcome.request = s->request;
+    outcome.completed_at = simulator.now();
+    outcome.response = simulator.now() - s->request.arrival;
+    outcome.rejected = true;
+    assert(s->request.sequence < outcomes_.size());
+    outcomes_[s->request.sequence] = std::move(outcome);
+    ++completed_;
+    if (s->env->inflight > 0) --s->env->inflight;
+    return;
+  }
+  s->phases.runtime_preparation = simulator.now() - s->connected_at;
+
+  // Determine the code push. With a code cache the warehouse answer
+  // rules; without one the client must push into every environment that
+  // has not seen this app yet (the duplicate transfer of Obs. 3).
+  bool have_code;
+  if (config_.code_cache) {
+    have_code = s->cache_hit;
+  } else {
+    have_code = s->env->pushed_apps.contains(s->app_id);
+    s->cache_hit = have_code;
+  }
+
+  const device::MobileDevice& dev = device_for(s->request.device_id);
+  device::OffloadClient client(dev);
+  const device::UploadPlan plan =
+      client.plan_upload(s->request, s->apk_bytes, have_code);
+
+  // Upload: control handshake, optional code, files + parameters.
+  sim::SimDuration upload = dev.config().serialize_cost;
+  upload += s->conn->upload(net::Message{net::MessageType::kControl,
+                                         client.protocol().request_control,
+                                         s->app_id});
+  upload += s->conn->download(net::Message{
+      net::MessageType::kControl, client.protocol().response_control,
+      s->app_id});
+  if (plan.push_code) {
+    upload += s->conn->upload(net::Message{net::MessageType::kMobileCode,
+                                           plan.code_bytes, s->app_id});
+    s->env->pushed_apps.insert(s->app_id);
+    if (config_.code_cache) {
+      server_->warehouse().store("ref:" + s->app_id, plan.code_bytes);
+    }
+  }
+  const std::uint64_t payload = plan.file_bytes + plan.param_bytes;
+  if (payload > 0) {
+    upload += s->conn->upload(net::Message{net::MessageType::kFileParams,
+                                           payload, s->app_id});
+  }
+
+
+  // Server-side ingest of the arriving bytes: shared tmpfs (free relative
+  // to the link) or the environment's disk (virtualized for VMs).
+  const std::uint64_t ingest_bytes = plan.code_bytes + payload;
+  sim::SimDuration ingest = 0;
+  if (ingest_bytes > 0) {
+    bool staged = false;
+    if (config_.sharing_offload_io) {
+      staged = server_->shared_layer().stage_request_files(
+          s->request.sequence, payload, simulator.now());
+      if (staged) {
+        ingest = server_->shared_layer().io_time(ingest_bytes);
+      }
+    }
+    if (config_.sharing_offload_io && !staged && payload > 0) {
+      // In-memory layer full: spill this request's files to disk (the
+      // tradeoff §IV-C accepts — volatility and size are bounded because
+      // offload payloads are small, but the fallback must exist).
+      s->spilled_to_disk = true;
+      const sim::SimDuration native =
+          server_->disk().service_time(ingest_bytes, true);
+      ingest = native;
+      server_->disk().submit(fs::IoKind::kWrite, ingest_bytes, true,
+                             []() {});
+    }
+    if (!config_.sharing_offload_io) {
+      const sim::SimDuration native =
+          server_->disk().service_time(ingest_bytes, true);
+      ingest = s->env->is_vm
+                   ? static_cast<sim::SimDuration>(
+                         static_cast<double>(native) /
+                         server_->calibration().vm_io_factor)
+                   : native;
+      // The write hits the host disk (the Fig. 2 I/O burst after boot).
+      server_->disk().submit(fs::IoKind::kWrite, ingest_bytes, true,
+                             []() {});
+    }
+  }
+
+  s->upload_time = upload;
+  const sim::SimDuration transfer = std::max(upload, ingest);
+  s->phases.data_transfer = transfer;
+  simulator.schedule_in(transfer, [this, s]() { on_uploaded(s); });
+}
+
+void Platform::on_uploaded(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  Env& env = *s->env;
+
+  // The controller filters every workflow leaving the container (§IV-E);
+  // honest benchmark apps hold all of these grants.
+  auto& access = server_->access();
+  if (s->executed.units.io_bytes > 0) {
+    access.check(s->app_id, Operation::kReadOffloadFile);
+    access.check(s->app_id, Operation::kWriteOffloadFile);
+  }
+  access.check(s->app_id, Operation::kBinderCall);
+  if (config_.code_cache) access.check(s->app_id, Operation::kReadWarehouse);
+
+  // ClassLoader: first load per environment pays dex verification.
+  android::ClassLoader& loader =
+      env.is_vm ? env.vm_loader : env.cac->classloader();
+  const sim::SimDuration classload = loader.load(s->app_id, s->apk_bytes);
+
+  // Binder traffic of the task (exercises the Android Container Driver
+  // for container-backed environments).
+  sim::SimDuration binder_cost = 0;
+  const auto workload = workloads::make_workload(s->kind);
+  const std::uint32_t binder_calls = workload->app().binder_calls_per_task;
+  if (!env.is_vm && env.cac->container() != nullptr) {
+    const kernel::DevNsId ns = env.cac->container()->devns();
+    for (std::uint32_t i = 0; i < binder_calls; ++i) {
+      const auto result = server_->kernel().syscalls().invoke(
+          kernel::kSysBinderTransact, ns, 512);
+      binder_cost += result.cost;
+    }
+  } else {
+    binder_cost = binder_calls * 2 *
+                  kernel::BinderDriver::transaction_cost(512);
+  }
+
+  // Compute time: native units rate, degraded by the platform CPU factor,
+  // plus the offloading I/O the task performs.
+  const sim::SimDuration native =
+      server_->native_compute_time(s->kind, s->executed.units.compute);
+  const auto cpu = static_cast<sim::SimDuration>(
+      static_cast<double>(native) / cpu_factor());
+  sim::SimDuration io;
+  if (s->spilled_to_disk) {
+    // Spilled inputs read back from disk regardless of the shared layer.
+    const Calibration& cal = server_->calibration();
+    io = server_->disk().service_time(s->executed.units.io_bytes, true) +
+         static_cast<sim::SimDuration>(s->request.task.io_ops) *
+             sim::from_millis(cal.disk.avg_seek_ms + cal.disk.rotational_ms);
+  } else {
+    io = compute_io_time(env, s->executed.units.io_bytes,
+                         s->request.task.io_ops);
+  }
+  if (config_.sharing_offload_io && !s->spilled_to_disk) {
+    // Burn after reading: consume the staged files.
+    server_->shared_layer().consume_request_files(s->request.sequence,
+                                                  simulator.now());
+  } else if (s->executed.units.io_bytes > 0) {
+    // The task reads its inputs back off the disk.
+    server_->disk().submit(fs::IoKind::kRead, s->executed.units.io_bytes,
+                           true, []() {});
+  }
+
+  // Interactive workloads keep chatting with the device while executing
+  // (game-state sync, COMET-style): each round is a small message pair
+  // plus device-side handling, serialized with the computation. Locally
+  // run code gets this interaction for free, which is why chatty apps
+  // profit less from offloading than their compute ratio suggests.
+  sim::SimDuration interaction = 0;
+  for (std::uint32_t round = 0; round < s->request.task.control_rounds;
+       ++round) {
+    s->conn->upload(net::Message{net::MessageType::kControl, 48, s->app_id});
+    s->conn->download(
+        net::Message{net::MessageType::kControl, 48, s->app_id});
+    interaction += config_.link.rtt + sim::from_millis(60);
+  }
+
+  // Processor sharing: when more environments compute than the server
+  // has cores, everybody slows proportionally (admission-time
+  // approximation; exact redistribution is unnecessary at the paper's
+  // 5-device scale but matters for the consolidation-density bench).
+  const double concurrency =
+      static_cast<double>(server_->monitor().running_jobs() + 1);
+  const double cores = static_cast<double>(server_->calibration().server_cores);
+  const double contention = std::max(1.0, concurrency / cores);
+  const sim::SimDuration duration = static_cast<sim::SimDuration>(
+      static_cast<double>(classload + binder_cost + cpu + io + interaction) *
+      contention);
+  const sim::SimTime start = std::max(simulator.now(), env.busy_until);
+  const sim::SimTime done = start + duration;
+  env.busy_until = done;
+  if (EnvRecord* record = server_->env_db().find(env.id)) {
+    record->state = EnvState::kBusy;
+    record->busy_until = done;
+  }
+  server_->monitor().record_cpu(start, done, 1.0);
+  server_->monitor().job_started();
+  simulator.schedule_at(done, [this, s]() { on_computed(s); });
+}
+
+void Platform::on_computed(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  server_->monitor().job_finished();
+  Env& env = *s->env;
+  // Computation phase spans upload-end → compute-end (queueing included).
+  s->phases.computation = simulator.now() -
+                          (s->connected_at + s->phases.runtime_preparation +
+                           s->phases.data_transfer);
+  ++env.jobs_served;
+  if (EnvRecord* record = server_->env_db().find(env.id)) {
+    if (record->busy_until <= simulator.now()) {
+      record->state = EnvState::kIdle;
+    }
+    ++record->jobs_executed;
+  }
+  if (config_.code_cache) {
+    server_->warehouse().record_execution("ref:" + s->app_id, env.id);
+  }
+
+  // Result + completion control flow back.
+  device::OffloadClient client(device_for(s->request.device_id));
+  sim::SimDuration download = s->conn->download(net::Message{
+      net::MessageType::kResult, s->request.task.result_bytes, s->app_id});
+  download += s->conn->upload(net::Message{
+      net::MessageType::kControl, client.protocol().completion_control,
+      s->app_id});
+  s->download_time = download;
+  s->phases.data_transfer += download;
+  simulator.schedule_in(download, [this, s]() { complete(s); });
+}
+
+void Platform::complete(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  RequestOutcome outcome;
+  outcome.request = s->request;
+  outcome.phases = s->phases;
+  outcome.completed_at = simulator.now();
+  outcome.response = simulator.now() - s->request.arrival;
+  const device::MobileDevice& dev = device_for(s->request.device_id);
+  outcome.local_time = dev.local_execution_time(s->kind, s->executed);
+  outcome.speedup = outcome.response > 0
+                        ? static_cast<double>(outcome.local_time) /
+                              static_cast<double>(outcome.response)
+                        : 0.0;
+  const device::RadioProfile radio = radio_profile();
+  outcome.upload_time = s->upload_time;
+  outcome.download_time = s->download_time;
+  outcome.offload_energy_mj = offload_energy_mj(
+      s->phases, s->upload_time, s->download_time, radio);
+  outcome.local_energy_mj = dev.local_energy_mj(s->kind, s->executed, radio);
+  outcome.traffic = s->conn->traffic();
+  outcome.env_id = s->env->id;
+  outcome.code_cache_hit = s->cache_hit;
+  env_traffic_[s->env->id].merge(s->conn->traffic());
+
+  assert(s->request.sequence < outcomes_.size());
+  outcomes_[s->request.sequence] = std::move(outcome);
+  ++completed_;
+
+  if (s->env->inflight > 0) --s->env->inflight;
+  if (s->env->inflight == 0) schedule_reclaim(*s->env);
+
+  if (config_.adaptive_offloading) {
+    DecisionState& history = decisions_[s->app_id];
+    const double remote_s =
+        sim::to_seconds(outcomes_[s->request.sequence].response);
+    const double local_s =
+        sim::to_seconds(outcomes_[s->request.sequence].local_time);
+    history.ewma_remote_s = history.samples == 0
+                                ? remote_s
+                                : 0.7 * history.ewma_remote_s +
+                                      0.3 * remote_s;
+    history.ewma_local_s = history.ewma_local_s == 0
+                               ? local_s
+                               : 0.7 * history.ewma_local_s + 0.3 * local_s;
+    ++history.samples;
+  }
+}
+
+// ---------------------------------------------------------------------
+
+double Platform::memory_time_byte_seconds() const {
+  const sim::SimTime now =
+      server_ ? static_cast<const CloudServer&>(*server_).simulator().now()
+              : 0;
+  double sum = 0;
+  for (const auto& [id, env] : envs_) {
+    (void)id;
+    if (env->memory_bytes == 0) continue;
+    const sim::SimTime end =
+        env->commit_end >= 0 ? env->commit_end : now;
+    sum += static_cast<double>(env->memory_bytes) *
+           sim::to_seconds(end - env->commit_start);
+  }
+  return sum;
+}
+
+ProvisionStats Platform::measure_provision() {
+  assert(envs_.empty() && "measure_provision needs a fresh platform");
+  config_.env_idle_timeout = 0;  // a probe environment is never reclaimed
+  sim::Simulator& simulator = server_->simulator();
+  Env& env = provision_env("probe", simulator.now());
+  simulator.run();
+  assert(env.ready);
+
+  ProvisionStats stats;
+  stats.setup_time = env.ready_at - env.provision_start;
+  const Calibration& cal = server_->calibration();
+  if (env.is_vm) {
+    stats.memory_configured = cal.vm_memory;
+    stats.memory_usage =
+        android::device_userspace_boot(android::OsProfile::kStock)
+            .boot_memory;
+  } else {
+    stats.memory_configured = config_.customized_os
+                                  ? cal.cac_opt_memory
+                                  : cal.cac_plain_memory;
+    stats.memory_usage = env.cac->boot_memory();
+  }
+  stats.disk_bytes = env.disk_bytes;
+  stats.shared_disk_bytes = config_.shared_resource_layer
+                                ? server_->shared_layer().shared_bytes()
+                                : 0;
+  return stats;
+}
+
+}  // namespace rattrap::core

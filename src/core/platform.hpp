@@ -1,0 +1,187 @@
+// Platform facade: the three cloud platforms the paper evaluates.
+//
+//   VmCloud           — Android-x86 in VirtualBox, 1 vCPU / 512 MB per VM.
+//   RattrapWithoutOpt — containers replace VMs, but no OS customization,
+//                       no Shared Resource Layer, no code cache (§VI-A).
+//   Rattrap           — the full system.
+//
+// A Platform instance owns a CloudServer and an event-driven offload
+// engine; feeding it a replayable request stream produces per-request
+// phase breakdowns, traffic accounts, energy figures and the server-load
+// timelines — everything the evaluation section charts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/app.hpp"
+#include "android/classloader.hpp"
+#include "core/cac.hpp"
+#include "core/dispatcher.hpp"
+#include "core/offload.hpp"
+#include "core/server.hpp"
+#include "device/client.hpp"
+#include "device/device.hpp"
+#include "net/connection.hpp"
+#include "net/link.hpp"
+
+namespace rattrap::core {
+
+enum class PlatformKind : std::uint8_t {
+  kVmCloud,
+  kRattrapWithoutOpt,
+  kRattrap,
+};
+
+[[nodiscard]] const char* to_string(PlatformKind kind);
+
+struct PlatformConfig {
+  PlatformKind kind = PlatformKind::kRattrap;
+  net::LinkConfig link = net::lan_wifi();
+  std::uint64_t seed = 1;
+
+  // Feature flags (derived from `kind` by make_config; individually
+  // overridable for the ablation benches).
+  bool container_backing = true;    ///< containers vs VMs
+  bool customized_os = true;        ///< stripped image + stub services
+  bool shared_resource_layer = true;///< shared RO system layer
+  bool sharing_offload_io = true;   ///< shared tmpfs for offload files
+  bool code_cache = true;           ///< App Warehouse
+  bool dispatcher_affinity = true;  ///< AID → CID routing
+
+  /// Idle environments are reclaimed (stopped, memory freed) after this
+  /// long without work — the cloud cannot keep per-user runtimes resident
+  /// forever (§III-B: pre-loading "would inevitably reduce the server
+  /// resource utilization"). 0 disables reclamation.
+  sim::SimDuration env_idle_timeout = 300 * sim::kSecond;
+
+  /// Full calibration override (server cores, rates, disk, overheads) —
+  /// how researchers model different hardware (e.g. an edge cloudlet vs
+  /// a datacenter server). Unset keeps default_calibration().
+  std::optional<Calibration> calibration;
+
+  /// Overrides the shared offloading-I/O tmpfs capacity (bytes);
+  /// 0 keeps the calibration default. Small values force the staging
+  /// fallback path (offload files spill to disk when memory is full).
+  std::uint64_t tmpfs_capacity_override = 0;
+
+  /// Client-side adaptive offloading decision (the §II "offloading
+  /// decision" half of the mechanism): after a few exploratory offloads
+  /// per app, requests run locally whenever the device's EWMA of remote
+  /// responses exceeds its EWMA of local execution times.
+  bool adaptive_offloading = false;
+
+  /// Environments pre-booted at t=0 and handed to the first devices that
+  /// ask. Pre-loading hides the cold start but holds memory the whole
+  /// time — the §III-B tradeoff the warm-pool ablation quantifies.
+  /// Warm-pool environments are exempt from idle reclamation until first
+  /// use.
+  std::uint32_t warm_pool = 0;
+};
+
+/// Canonical configuration for one of the three evaluated platforms.
+[[nodiscard]] PlatformConfig make_config(PlatformKind kind,
+                                         net::LinkConfig link = net::lan_wifi(),
+                                         std::uint64_t seed = 1);
+
+/// Table I row: what provisioning one runtime environment costs.
+struct ProvisionStats {
+  sim::SimDuration setup_time = 0;   ///< boot → connected to Dispatcher
+  std::uint64_t memory_configured = 0;  ///< allocation (512/128/96 MB)
+  std::uint64_t memory_usage = 0;    ///< measured resident peak
+  std::uint64_t disk_bytes = 0;      ///< per-environment disk footprint
+  std::uint64_t shared_disk_bytes = 0;  ///< amortized shared layer (once)
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+  [[nodiscard]] CloudServer& server() { return *server_; }
+
+  /// Replays a request stream to completion; outcomes are indexed by
+  /// request sequence.  Tasks are actually executed (real kernels) to
+  /// obtain their work units.
+  std::vector<RequestOutcome> run(
+      const std::vector<workloads::OffloadRequest>& stream);
+
+  /// Provisions one environment on an otherwise idle platform and reports
+  /// the Table I statistics.  Usable once, on a fresh Platform.
+  ProvisionStats measure_provision();
+
+  /// Per-environment traffic accounts (Fig. 3's per-VM composition).
+  [[nodiscard]] const std::map<std::uint32_t, net::TrafficAccount>&
+  env_traffic() const {
+    return env_traffic_;
+  }
+
+  /// Device-side radio profile implied by the configured link.
+  [[nodiscard]] device::RadioProfile radio_profile() const;
+
+  /// The environments provisioned so far.
+  [[nodiscard]] std::size_t env_count() const { return envs_.size(); }
+
+  /// Integral of committed environment memory over simulated time so far
+  /// (byte·seconds) — the resource cost a warm pool pays (§III-B).
+  [[nodiscard]] double memory_time_byte_seconds() const;
+
+ private:
+  struct Env;
+  struct Session;
+
+  Env& provision_env(const std::string& binding_key, sim::SimTime now);
+  void provision_vm(Env& env);
+  void provision_cac(Env& env);
+  void env_ready(Env& env);
+  void schedule_reclaim(Env& env);
+  void retire_env(Env& env);
+
+  void on_arrival(std::shared_ptr<Session> s);
+  void on_connected(std::shared_ptr<Session> s);
+  void on_env_ready(std::shared_ptr<Session> s);
+  void on_uploaded(std::shared_ptr<Session> s);
+  void on_computed(std::shared_ptr<Session> s);
+  void complete(std::shared_ptr<Session> s);
+
+  [[nodiscard]] double cpu_factor() const;
+  [[nodiscard]] sim::SimDuration compute_io_time(Env& env,
+                                                 std::uint64_t bytes,
+                                                 std::uint32_t ops) const;
+
+  PlatformConfig config_;
+  std::unique_ptr<CloudServer> server_;
+  std::unique_ptr<net::Link> link_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  sim::Rng rng_;
+  std::map<std::uint32_t, std::unique_ptr<Env>> envs_;
+  std::map<std::uint32_t, net::TrafficAccount> env_traffic_;
+  std::map<std::string, android::MobileApp> apps_;  ///< by app id
+  std::vector<device::MobileDevice> devices_;
+  std::vector<RequestOutcome> outcomes_;
+  std::size_t completed_ = 0;
+  std::uint32_t next_env_id_ = 1;
+
+  const android::MobileApp& app_for(workloads::Kind kind);
+  const device::MobileDevice& device_for(std::uint32_t device_id);
+
+  /// Per-app offloading-decision history (adaptive mode).
+  struct DecisionState {
+    double ewma_remote_s = 0;  ///< observed offload responses
+    double ewma_local_s = 0;   ///< known local execution times
+    std::uint32_t samples = 0;
+  };
+  std::map<std::string, DecisionState> decisions_;
+};
+
+}  // namespace rattrap::core

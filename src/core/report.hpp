@@ -1,0 +1,46 @@
+// Platform state reports: a structured snapshot of everything an operator
+// would ask the platform ("what's running, what's cached, who's blocked,
+// what has the hardware done"), renderable as text or CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/platform.hpp"
+
+namespace rattrap::core {
+
+struct PlatformReport {
+  // Environments.
+  std::size_t environments_total = 0;
+  std::size_t environments_active = 0;
+  std::size_t environments_retired = 0;
+  // Warehouse.
+  std::size_t cached_apps = 0;
+  std::uint64_t cached_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  // Access controller.
+  std::size_t permission_tables = 0;
+  // Shared offloading I/O.
+  std::uint64_t tmpfs_used_bytes = 0;
+  std::uint64_t tmpfs_peak_bytes = 0;
+  // Host resources.
+  std::uint64_t disk_read_bytes = 0;
+  std::uint64_t disk_write_bytes = 0;
+  double cpu_busy_seconds = 0;
+  std::uint64_t vm_memory_committed = 0;
+  std::size_t kernel_modules = 0;
+};
+
+/// Snapshots a platform (cheap; read-only).
+[[nodiscard]] PlatformReport snapshot(Platform& platform);
+
+/// Human-readable multi-line rendering.
+[[nodiscard]] std::string to_text(const PlatformReport& report);
+
+/// Single CSV row (with `csv_header()` as the first line).
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string to_csv(const PlatformReport& report);
+
+}  // namespace rattrap::core

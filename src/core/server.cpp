@@ -1,0 +1,27 @@
+#include "core/server.hpp"
+
+#include <cassert>
+
+namespace rattrap::core {
+
+CloudServer::CloudServer(const Calibration& calibration,
+                         std::shared_ptr<const fs::Layer> shared_system_layer)
+    : cal_(calibration),
+      disk_(sim_, calibration.disk),
+      kernel_(sim_),
+      acd_(sim_),
+      containers_(kernel_),
+      hypervisor_(sim_, disk_, calibration.server_memory),
+      monitor_(sim_, calibration.server_cores),
+      shared_(std::move(shared_system_layer), calibration.tmpfs_capacity,
+              calibration.tmpfs_mb_s),
+      warehouse_() {}
+
+sim::SimDuration CloudServer::native_compute_time(
+    workloads::Kind kind, std::uint64_t units) const {
+  const double rate = cal_.server_rates[static_cast<std::size_t>(kind)];
+  assert(rate > 0);
+  return sim::from_seconds(static_cast<double>(units) / rate);
+}
+
+}  // namespace rattrap::core

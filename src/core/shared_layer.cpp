@@ -1,0 +1,34 @@
+#include "core/shared_layer.hpp"
+
+#include <cassert>
+
+namespace rattrap::core {
+
+SharedResourceLayer::SharedResourceLayer(
+    std::shared_ptr<const fs::Layer> system_layer,
+    std::uint64_t tmpfs_capacity, double tmpfs_mb_s)
+    : system_layer_(std::move(system_layer)),
+      offload_io_("offload-io", tmpfs_capacity, tmpfs_mb_s) {
+  assert(system_layer_ && "shared layer requires a system image");
+}
+
+std::string SharedResourceLayer::request_path(std::uint64_t request_seq) {
+  return "/offload/req-" + std::to_string(request_seq) + "/input";
+}
+
+bool SharedResourceLayer::stage_request_files(std::uint64_t request_seq,
+                                              std::uint64_t bytes,
+                                              sim::SimTime now) {
+  if (bytes == 0) return true;
+  // "Burn after reading": migrated data is a one-time deal (§IV-C).
+  return offload_io_.write(request_path(request_seq), bytes, now,
+                           /*burn_after_reading=*/true);
+}
+
+std::uint64_t SharedResourceLayer::consume_request_files(
+    std::uint64_t request_seq, sim::SimTime now) {
+  const std::int64_t read = offload_io_.read(request_path(request_seq), now);
+  return read < 0 ? 0 : static_cast<std::uint64_t>(read);
+}
+
+}  // namespace rattrap::core

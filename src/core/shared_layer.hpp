@@ -1,0 +1,64 @@
+// Shared Resource Layer and Sharing Offloading I/O (§IV-C).
+//
+// Two kinds of sharing:
+//  1. The customized system image is mounted read-only under every Cloud
+//     Android Container (union lower layer), eliminating the ~1 GB-per-
+//     environment duplication: a single CAC's private delta is ~7 MB.
+//  2. Offloading I/O — the files requests transfer — lives in ONE shared
+//     in-memory filesystem (tmpfs) instead of each container's top layer
+//     (Fig. 7b), so offloaded code reads inputs at memory speed and
+//     "burn after reading" keeps the footprint bounded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fs/layer.hpp"
+#include "fs/tmpfs.hpp"
+
+namespace rattrap::core {
+
+class SharedResourceLayer {
+ public:
+  SharedResourceLayer(std::shared_ptr<const fs::Layer> system_layer,
+                      std::uint64_t tmpfs_capacity, double tmpfs_mb_s);
+
+  /// The read-only system layer all containers union-mount.
+  [[nodiscard]] const std::shared_ptr<const fs::Layer>& system_layer()
+      const {
+    return system_layer_;
+  }
+
+  /// Bytes stored once and shared by every container.
+  [[nodiscard]] std::uint64_t shared_bytes() const {
+    return system_layer_->total_bytes();
+  }
+
+  /// The shared offloading-I/O mount.
+  [[nodiscard]] fs::TmpFs& offload_io() { return offload_io_; }
+  [[nodiscard]] const fs::TmpFs& offload_io() const { return offload_io_; }
+
+  /// Stages one request's transferred files into the shared layer under a
+  /// per-request directory; returns false when tmpfs capacity is exceeded.
+  bool stage_request_files(std::uint64_t request_seq, std::uint64_t bytes,
+                           sim::SimTime now);
+
+  /// Consumes (reads + burns) a request's staged files; returns the bytes
+  /// read, or 0 when nothing was staged.
+  std::uint64_t consume_request_files(std::uint64_t request_seq,
+                                      sim::SimTime now);
+
+  /// In-memory transfer time for `bytes`.
+  [[nodiscard]] sim::SimDuration io_time(std::uint64_t bytes) const {
+    return offload_io_.transfer_time(bytes);
+  }
+
+ private:
+  [[nodiscard]] static std::string request_path(std::uint64_t request_seq);
+
+  std::shared_ptr<const fs::Layer> system_layer_;
+  fs::TmpFs offload_io_;
+};
+
+}  // namespace rattrap::core

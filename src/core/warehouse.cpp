@@ -1,0 +1,85 @@
+#include "core/warehouse.hpp"
+
+namespace rattrap::core {
+
+bool AppWarehouse::hit(std::string_view reference) const {
+  return table_.contains(reference);
+}
+
+bool AppWarehouse::lookup(std::string_view reference) {
+  const auto it = table_.find(reference);
+  if (it == table_.end()) {
+    ++miss_total_;
+    return false;
+  }
+  ++hit_total_;
+  ++it->second.hits;
+  it->second.last_use_seq = ++seq_;
+  return true;
+}
+
+Aid AppWarehouse::store(std::string_view reference,
+                        std::uint64_t code_bytes) {
+  auto it = table_.find(reference);
+  if (it != table_.end()) {
+    stored_ -= it->second.code_bytes;
+    it->second.code_bytes = code_bytes;
+    stored_ += code_bytes;
+    it->second.last_use_seq = ++seq_;
+    return it->second.aid;
+  }
+  while (capacity_ != 0 && !table_.empty() &&
+         stored_ + code_bytes > capacity_) {
+    evict_lru();
+  }
+  CacheEntry entry;
+  entry.aid = next_aid_++;
+  entry.reference = std::string(reference);
+  entry.code_bytes = code_bytes;
+  entry.last_use_seq = ++seq_;
+  stored_ += code_bytes;
+  const Aid aid = entry.aid;
+  table_.emplace(std::string(reference), std::move(entry));
+  return aid;
+}
+
+void AppWarehouse::record_execution(std::string_view reference, EnvId env) {
+  const auto it = table_.find(reference);
+  if (it == table_.end()) return;
+  it->second.containers.insert(env);
+  it->second.last_use_seq = ++seq_;
+}
+
+std::optional<EnvId> AppWarehouse::preferred_env(
+    std::string_view reference) const {
+  const auto it = table_.find(reference);
+  if (it == table_.end() || it->second.containers.empty()) {
+    return std::nullopt;
+  }
+  // Deterministic choice: the lowest CID that has run this app.
+  return *it->second.containers.begin();
+}
+
+void AppWarehouse::forget_env(EnvId env) {
+  for (auto& [reference, entry] : table_) {
+    (void)reference;
+    entry.containers.erase(env);
+  }
+}
+
+const CacheEntry* AppWarehouse::find(std::string_view reference) const {
+  const auto it = table_.find(reference);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void AppWarehouse::evict_lru() {
+  auto victim = table_.begin();
+  for (auto it = table_.begin(); it != table_.end(); ++it) {
+    if (it->second.last_use_seq < victim->second.last_use_seq) victim = it;
+  }
+  stored_ -= victim->second.code_bytes;
+  ++evictions_;
+  table_.erase(victim);
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,81 @@
+// App Warehouse and the mobile code cache (§IV-D, Fig. 8).
+//
+// The first offloading request of an application uploads its code, once
+// and for all.  The warehouse preserves the code and maintains a cache
+// table: Reference → AID (application id) → the containers (CIDs) that
+// have already executed this app.  Subsequent requests carry only the
+// Reference; on HIT the cloud fetches the code locally and the Dispatcher
+// prefers a container where the code is already loaded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rattrap::core {
+
+using Aid = std::uint32_t;          ///< application id in the cache table
+using EnvId = std::uint32_t;        ///< runtime-environment id (CID/VM id)
+
+struct CacheEntry {
+  Aid aid = 0;
+  std::string reference;            ///< client-visible code reference
+  std::uint64_t code_bytes = 0;
+  std::set<EnvId> containers;       ///< CIDs holding the loaded code
+  std::uint64_t hits = 0;
+  std::uint64_t last_use_seq = 0;   ///< LRU clock
+};
+
+class AppWarehouse {
+ public:
+  /// `capacity_bytes` bounds stored code; 0 = unbounded. Eviction is LRU.
+  explicit AppWarehouse(std::uint64_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Cache-table lookup: HIT when the code for `reference` is preserved.
+  [[nodiscard]] bool hit(std::string_view reference) const;
+
+  /// Records an upload of `code_bytes` for `reference`; returns its AID.
+  /// Re-uploading refreshes the stored size.
+  Aid store(std::string_view reference, std::uint64_t code_bytes);
+
+  /// Marks an execution of `reference`'s code in environment `env`.
+  void record_execution(std::string_view reference, EnvId env);
+
+  /// The environment the Dispatcher should prefer (one that already
+  /// loaded this code), or nullopt on MISS/none.
+  [[nodiscard]] std::optional<EnvId> preferred_env(
+      std::string_view reference) const;
+
+  /// Drops every mapping to `env` (the container was destroyed).
+  void forget_env(EnvId env);
+
+  [[nodiscard]] const CacheEntry* find(std::string_view reference) const;
+  [[nodiscard]] std::size_t entry_count() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_; }
+  [[nodiscard]] std::uint64_t hit_count() const { return hit_total_; }
+  [[nodiscard]] std::uint64_t miss_count() const { return miss_total_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  /// Lookup that also updates hit/miss statistics (what the Dispatcher
+  /// calls on each request).
+  bool lookup(std::string_view reference);
+
+ private:
+  void evict_lru();
+
+  std::map<std::string, CacheEntry, std::less<>> table_;
+  std::uint64_t capacity_;
+  std::uint64_t stored_ = 0;
+  Aid next_aid_ = 1;
+  std::uint64_t seq_ = 0;
+  std::uint64_t hit_total_ = 0;
+  std::uint64_t miss_total_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rattrap::core

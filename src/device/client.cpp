@@ -1,0 +1,19 @@
+#include "device/client.hpp"
+
+namespace rattrap::device {
+
+UploadPlan OffloadClient::plan_upload(const workloads::OffloadRequest& req,
+                                      std::uint64_t apk_bytes,
+                                      bool code_cached) const {
+  UploadPlan plan;
+  plan.push_code = !code_cached;
+  plan.code_bytes = plan.push_code ? apk_bytes : 0;
+  plan.file_bytes = req.task.input_file_bytes;
+  plan.param_bytes = req.task.param_bytes;
+  plan.control_bytes =
+      sizes_.request_control + sizes_.response_control +
+      sizes_.completion_control;
+  return plan;
+}
+
+}  // namespace rattrap::device

@@ -1,0 +1,68 @@
+// Offloading client: the device-side half of the offloading framework.
+//
+// Rattrap "leaves the offloading details in clients to existing offloading
+// frameworks and only cares about the cloud side" (§V); this client models
+// that existing framework: reflection-based request construction, the
+// code-push negotiation (the server answers HIT/MISS against its App
+// Warehouse, Fig. 8), and an offload-or-local decision.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "net/connection.hpp"
+#include "net/message.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::device {
+
+/// Sizes of the protocol's control exchanges.
+struct ProtocolSizes {
+  std::uint64_t request_control = 1536;   ///< offload request + method ref
+  std::uint64_t response_control = 256;   ///< accept/HIT/MISS answer
+  std::uint64_t completion_control = 384; ///< final ack
+};
+
+/// What the client uploads for one request, given the server's cache
+/// answer.  `push_code` is true on MISS: the APK travels with the task.
+struct UploadPlan {
+  bool push_code = false;
+  std::uint64_t code_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t param_bytes = 0;
+  std::uint64_t control_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return code_bytes + file_bytes + param_bytes + control_bytes;
+  }
+};
+
+class OffloadClient {
+ public:
+  OffloadClient(const MobileDevice& device, ProtocolSizes sizes = {})
+      : device_(device), sizes_(sizes) {}
+
+  /// Builds the upload plan for a request. `code_cached` is the server's
+  /// App Warehouse answer (always MISS for platforms without a code cache
+  /// unless this very environment already received the code).
+  [[nodiscard]] UploadPlan plan_upload(const workloads::OffloadRequest& req,
+                                       std::uint64_t apk_bytes,
+                                       bool code_cached) const;
+
+  /// Simple offload decision: offload when the estimated remote response
+  /// beats local execution. (The paper's benches always offload; the
+  /// decision is exercised by tests and the trace example.)
+  [[nodiscard]] bool should_offload(sim::SimDuration local_estimate,
+                                    sim::SimDuration remote_estimate) const {
+    return remote_estimate < local_estimate;
+  }
+
+  [[nodiscard]] const MobileDevice& device() const { return device_; }
+  [[nodiscard]] const ProtocolSizes& protocol() const { return sizes_; }
+
+ private:
+  const MobileDevice& device_;
+  ProtocolSizes sizes_;
+};
+
+}  // namespace rattrap::device

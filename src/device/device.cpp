@@ -1,0 +1,35 @@
+#include "device/device.hpp"
+
+#include <cassert>
+
+namespace rattrap::device {
+
+KindRates phone_rates() {
+  KindRates rates{};
+  rates[static_cast<std::size_t>(workloads::Kind::kOcr)] = 0.45e6;
+  rates[static_cast<std::size_t>(workloads::Kind::kChess)] = 38e3;
+  rates[static_cast<std::size_t>(workloads::Kind::kVirusScan)] = 0.40e6;
+  rates[static_cast<std::size_t>(workloads::Kind::kLinpack)] = 15e6;
+  return rates;
+}
+
+sim::SimDuration MobileDevice::local_execution_time(
+    workloads::Kind kind, const workloads::TaskResult& result) const {
+  const double rate = config_.rates[static_cast<std::size_t>(kind)];
+  assert(rate > 0);
+  const double compute_s =
+      static_cast<double>(result.units.compute) / rate;
+  const double io_s = static_cast<double>(result.units.io_bytes) /
+                      (config_.flash_mb_s * 1024.0 * 1024.0);
+  return sim::from_seconds(compute_s + io_s);
+}
+
+double MobileDevice::local_energy_mj(workloads::Kind kind,
+                                     const workloads::TaskResult& result,
+                                     const RadioProfile& radio) const {
+  EnergyMeter meter(phone_cpu(), radio);
+  meter.add_compute(local_execution_time(kind, result));
+  return meter.millijoules();
+}
+
+}  // namespace rattrap::device

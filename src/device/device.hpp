@@ -1,0 +1,56 @@
+// Mobile device model: local execution speed and energy.
+//
+// The clients in the paper are 5 Android phones; a device here is a CPU
+// rate per workload kind (a phone runs the OCR JNI code, the Dalvik chess
+// engine, etc. at its own speed) plus a power profile.  Local execution of
+// a task converts the task's real work units through the device rate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "device/power.hpp"
+#include "workloads/workload.hpp"
+
+namespace rattrap::device {
+
+/// Per-kind execution rates in work units per second.
+using KindRates = std::array<double, workloads::kKindCount>;
+
+/// Default phone rates (units/s), calibrated against the server rates in
+/// core/calibration.hpp so local-vs-offload speedups match the paper:
+///   OCR 0.45 M pixel-ops/s, Chess 38 k TT-search nodes/s (Dalvik),
+///   VirusScan 0.4 M transitions/s, Linpack 15 MFLOPS (interpreted Java).
+[[nodiscard]] KindRates phone_rates();
+
+struct DeviceConfig {
+  std::uint32_t id = 0;
+  KindRates rates = phone_rates();
+  /// Flash read bandwidth for local I/O-bound work (MB/s).
+  double flash_mb_s = 28.0;
+  /// Serialization cost of marshalling one offload request.
+  sim::SimDuration serialize_cost = sim::from_millis(18);
+};
+
+class MobileDevice {
+ public:
+  explicit MobileDevice(DeviceConfig config) : config_(config) {}
+
+  [[nodiscard]] std::uint32_t id() const { return config_.id; }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+
+  /// Local execution time of a task that produced `result` work units:
+  /// compute at the device rate plus local flash I/O.
+  [[nodiscard]] sim::SimDuration local_execution_time(
+      workloads::Kind kind, const workloads::TaskResult& result) const;
+
+  /// Energy of running the task locally.
+  [[nodiscard]] double local_energy_mj(workloads::Kind kind,
+                                       const workloads::TaskResult& result,
+                                       const RadioProfile& radio) const;
+
+ private:
+  DeviceConfig config_;
+};
+
+}  // namespace rattrap::device

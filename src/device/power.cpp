@@ -1,0 +1,55 @@
+#include "device/power.hpp"
+
+namespace rattrap::device {
+namespace {
+double mj_of(double mw, sim::SimDuration t) {
+  return mw * sim::to_seconds(t);  // mW × s = mJ
+}
+}  // namespace
+
+RadioProfile wifi_radio() {
+  // 802.11 PSM-adaptive: high-power ~710 mW active, short tail.
+  return RadioProfile{"wifi", 710.0, 650.0, 38.0, 240.0,
+                      sim::from_millis(220)};
+}
+
+RadioProfile radio_3g() {
+  // UMTS: DCH ~570 mW with a long DCH→FACH→IDLE tail.
+  return RadioProfile{"3g", 570.0, 540.0, 10.0, 460.0,
+                      sim::from_millis(4200)};
+}
+
+RadioProfile radio_4g() {
+  // LTE: high instantaneous power, RRC-connected tail ~1.5 s (short DRX).
+  return RadioProfile{"4g", 1210.0, 1080.0, 25.0, 620.0,
+                      sim::from_millis(1500)};
+}
+
+CpuProfile phone_cpu() {
+  // Full-load big-core compute vs screen-on idle.
+  return CpuProfile{920.0, 92.0};
+}
+
+double screen_mw() { return 410.0; }
+
+void EnergyMeter::add_compute(sim::SimDuration duration) {
+  mj_ += mj_of(cpu_.active_mw, duration);
+}
+
+void EnergyMeter::add_wait(sim::SimDuration duration) {
+  mj_ += mj_of(cpu_.idle_mw + radio_.idle_mw, duration);
+}
+
+void EnergyMeter::add_tx(sim::SimDuration duration) {
+  mj_ += mj_of(cpu_.idle_mw + radio_.tx_mw, duration);
+}
+
+void EnergyMeter::add_rx(sim::SimDuration duration) {
+  mj_ += mj_of(cpu_.idle_mw + radio_.rx_mw, duration);
+}
+
+void EnergyMeter::add_radio_tail() {
+  mj_ += mj_of(radio_.tail_mw, radio_.tail_time);
+}
+
+}  // namespace rattrap::device

@@ -1,0 +1,75 @@
+// Smartphone power model (after PowerTutor [22]).
+//
+// PowerTutor models per-component power states; the components that matter
+// for offloading are the CPU (active vs idle) and the network radio, whose
+// defining behaviour is the *tail*: after a transfer the radio lingers in
+// a high-power state (DCH/FACH on 3G, RRC-connected on LTE) burning energy
+// with no traffic.  Energy is reported in millijoules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rattrap::device {
+
+/// Radio power profile of one network interface.
+struct RadioProfile {
+  std::string name;
+  double tx_mw = 0.0;    ///< transmitting
+  double rx_mw = 0.0;    ///< receiving
+  double idle_mw = 0.0;  ///< connected-idle
+  double tail_mw = 0.0;  ///< post-transfer high-power tail
+  sim::SimDuration tail_time = 0;  ///< tail duration after last activity
+};
+
+/// Interface profiles calibrated to PowerTutor-class measurements.
+[[nodiscard]] RadioProfile wifi_radio();      // LAN / WAN WiFi
+[[nodiscard]] RadioProfile radio_3g();
+[[nodiscard]] RadioProfile radio_4g();
+
+struct CpuProfile {
+  double active_mw = 0.0;  ///< full-load compute
+  double idle_mw = 0.0;    ///< waiting (screen-on idle)
+};
+
+[[nodiscard]] CpuProfile phone_cpu();
+
+/// Screen power while the offloading app is in the foreground
+/// (PowerTutor's display model simplified to a constant). The paper's
+/// whole-device measurements include it for the entire experiment, local
+/// or offloaded.
+[[nodiscard]] double screen_mw();
+
+/// Accumulates the energy of one offloading (or local) episode.
+class EnergyMeter {
+ public:
+  EnergyMeter(CpuProfile cpu, RadioProfile radio)
+      : cpu_(cpu), radio_(radio) {}
+
+  /// Local computation for `duration` at full CPU load.
+  void add_compute(sim::SimDuration duration);
+
+  /// Idle wait (CPU idle, radio connected-idle) for `duration`.
+  void add_wait(sim::SimDuration duration);
+
+  /// Radio transmission for `duration` (upload).
+  void add_tx(sim::SimDuration duration);
+
+  /// Radio reception for `duration` (download).
+  void add_rx(sim::SimDuration duration);
+
+  /// One post-transfer radio tail. Callers fold consecutive transfers into
+  /// a single tail when they overlap (the meter does not track wall time).
+  void add_radio_tail();
+
+  [[nodiscard]] double millijoules() const { return mj_; }
+
+ private:
+  CpuProfile cpu_;
+  RadioProfile radio_;
+  double mj_ = 0.0;
+};
+
+}  // namespace rattrap::device

@@ -1,0 +1,86 @@
+#include "device/radio_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rattrap::device {
+
+const char* to_string(RadioState state) {
+  switch (state) {
+    case RadioState::kIdle:
+      return "idle";
+    case RadioState::kActive:
+      return "active";
+    case RadioState::kTail:
+      return "tail";
+  }
+  return "?";
+}
+
+void RadioStateMachine::transfer(sim::SimTime start,
+                                 sim::SimDuration duration) {
+  assert(duration >= 0);
+  assert(windows_.empty() || start >= windows_.back().first);
+  const sim::SimTime end = start + duration;
+  if (!windows_.empty() && start <= windows_.back().second) {
+    windows_.back().second = std::max(windows_.back().second, end);
+  } else {
+    windows_.emplace_back(start, end);
+  }
+}
+
+RadioStateMachine::Dwell RadioStateMachine::dwell(sim::SimTime until) const {
+  Dwell dwell;
+  sim::SimTime cursor = 0;
+  bool after_activity = false;  // a window ended exactly at `cursor`
+  const auto account_gap = [&](sim::SimTime gap_end) {
+    if (gap_end <= cursor) return;
+    if (after_activity) {
+      const sim::SimDuration tail =
+          std::min<sim::SimDuration>(profile_.tail_time, gap_end - cursor);
+      dwell.tail += tail;
+      dwell.idle += (gap_end - cursor) - tail;
+    } else {
+      dwell.idle += gap_end - cursor;
+    }
+    cursor = gap_end;
+  };
+  for (const auto& [start, end] : windows_) {
+    if (start >= until) break;
+    account_gap(std::min(start, until));
+    if (cursor >= until) return dwell;
+    const sim::SimTime active_end = std::min(end, until);
+    if (active_end > cursor) {
+      dwell.active += active_end - cursor;
+      cursor = active_end;
+      after_activity = true;
+    }
+    if (cursor >= until) return dwell;
+  }
+  account_gap(until);
+  return dwell;
+}
+
+RadioState RadioStateMachine::state_at(sim::SimTime t) const {
+  sim::SimTime last_end = -1;
+  for (const auto& [start, end] : windows_) {
+    if (t >= start && t < end) return RadioState::kActive;
+    if (end <= t) last_end = std::max(last_end, end);
+    if (start > t) break;
+  }
+  if (last_end >= 0 && t < last_end + profile_.tail_time) {
+    return RadioState::kTail;
+  }
+  return RadioState::kIdle;
+}
+
+double RadioStateMachine::energy_mj(sim::SimTime until) const {
+  const Dwell d = dwell(until);
+  // Active power approximated as the tx level (tx ≈ rx for this model's
+  // purposes; callers needing the split use EnergyMeter).
+  return profile_.tx_mw * sim::to_seconds(d.active) +
+         profile_.tail_mw * sim::to_seconds(d.tail) +
+         profile_.idle_mw * sim::to_seconds(d.idle);
+}
+
+}  // namespace rattrap::device

@@ -1,0 +1,62 @@
+// Explicit radio state machine (the RRC/PSM model behind PowerTutor).
+//
+// EnergyMeter integrates power over caller-attributed phases, which is
+// what the Fig. 10 reproduction needs.  This class is the finer model:
+// the radio walks IDLE → ACTIVE on traffic and ACTIVE → TAIL → IDLE on
+// inactivity timers, and energy falls out of the dwell time in each
+// state.  It answers questions the phase integrator cannot, e.g. how
+// request spacing interacts with the tail timer (the classic "bundle your
+// transfers" energy result).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "device/power.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::device {
+
+enum class RadioState : std::uint8_t {
+  kIdle,    ///< connected-idle (PSM / RRC idle)
+  kActive,  ///< transmitting or receiving
+  kTail,    ///< post-activity high-power lingering
+};
+
+[[nodiscard]] const char* to_string(RadioState state);
+
+class RadioStateMachine {
+ public:
+  explicit RadioStateMachine(RadioProfile profile)
+      : profile_(std::move(profile)) {}
+
+  /// Accounts a transfer occupying the radio for [start, start+duration).
+  /// Transfers must be fed in nondecreasing start order; overlapping
+  /// transfers merge into one active window.
+  void transfer(sim::SimTime start, sim::SimDuration duration);
+
+  /// State the radio is in at instant `t` (>= the last observed event).
+  [[nodiscard]] RadioState state_at(sim::SimTime t) const;
+
+  /// Total energy consumed in [0, until], including idle floor power and
+  /// any tail still draining at `until`.
+  [[nodiscard]] double energy_mj(sim::SimTime until) const;
+
+  /// Dwell time per state over [0, until].
+  struct Dwell {
+    sim::SimDuration idle = 0;
+    sim::SimDuration active = 0;
+    sim::SimDuration tail = 0;
+  };
+  [[nodiscard]] Dwell dwell(sim::SimTime until) const;
+
+  [[nodiscard]] const RadioProfile& profile() const { return profile_; }
+
+ private:
+  RadioProfile profile_;
+  // Closed active windows [start, end) in order; maintained merged.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> windows_;
+};
+
+}  // namespace rattrap::device

@@ -1,0 +1,82 @@
+#include "fs/image.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "fs/path.hpp"
+
+namespace rattrap::fs {
+
+ImageBuilder& ImageBuilder::add_group(FileGroup group) {
+  assert(!group.directory.empty());
+  groups_.push_back(std::move(group));
+  return *this;
+}
+
+std::uint64_t ImageBuilder::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& g : groups_) sum += g.total_bytes;
+  return sum;
+}
+
+std::uint64_t ImageBuilder::essential_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& g : groups_) {
+    if (g.essential) sum += g.total_bytes;
+  }
+  return sum;
+}
+
+std::string ImageBuilder::file_path(const FileGroup& group,
+                                    std::size_t index) {
+  return join(group.directory,
+              group.stem + std::to_string(index) + group.extension);
+}
+
+std::shared_ptr<Layer> ImageBuilder::build(const std::string& name,
+                                           sim::Rng rng) const {
+  auto layer = std::make_shared<Layer>(name);
+  for (const auto& group : groups_) {
+    if (group.count == 0) continue;
+    layer->put_dir(group.directory);
+    // Lognormal weights normalized so the group hits its declared volume
+    // exactly (up to integer rounding, corrected on the last file).
+    std::vector<double> weights(group.count);
+    sim::Rng group_rng = rng.fork(group.directory + group.extension);
+    double weight_sum = 0.0;
+    for (auto& w : weights) {
+      w = group_rng.lognormal(0.0, 0.75);
+      weight_sum += w;
+    }
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < group.count; ++i) {
+      std::uint64_t size;
+      if (i + 1 == group.count) {
+        size = group.total_bytes - assigned;
+      } else {
+        size = static_cast<std::uint64_t>(
+            static_cast<double>(group.total_bytes) * weights[i] / weight_sum);
+        if (assigned + size > group.total_bytes) {
+          size = group.total_bytes - assigned;
+        }
+      }
+      assigned += size;
+      layer->put_file(file_path(group, i), size);
+    }
+  }
+  return layer;
+}
+
+std::vector<std::string> ImageBuilder::essential_paths() const {
+  std::vector<std::string> out;
+  for (const auto& group : groups_) {
+    if (!group.essential) continue;
+    for (std::size_t i = 0; i < group.count; ++i) {
+      out.push_back(file_path(group, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace rattrap::fs

@@ -1,0 +1,130 @@
+#include "fs/layer.hpp"
+
+#include "fs/path.hpp"
+
+namespace rattrap::fs {
+
+void Layer::account_add(const FileNode& node) {
+  if (node.kind == FileKind::kRegular && !node.whiteout) {
+    total_bytes_ += node.size;
+    ++file_count_;
+  }
+}
+
+void Layer::account_remove(const FileNode& node) {
+  if (node.kind == FileKind::kRegular && !node.whiteout) {
+    total_bytes_ -= node.size;
+    --file_count_;
+  }
+}
+
+void Layer::put_file(std::string_view path, std::uint64_t size,
+                     sim::SimTime mtime) {
+  const std::string key = normalize(path);
+  FileNode node;
+  node.kind = FileKind::kRegular;
+  node.size = size;
+  node.mtime = mtime;
+  auto old = entries_.find(key);
+  if (old != entries_.end()) {
+    account_remove(old->second);
+    old->second = node;
+  } else {
+    entries_.emplace(key, node);
+  }
+  account_add(node);
+}
+
+void Layer::put_dir(std::string_view path, sim::SimTime mtime) {
+  const std::string key = normalize(path);
+  FileNode node;
+  node.kind = FileKind::kDirectory;
+  node.mtime = mtime;
+  auto old = entries_.find(key);
+  if (old != entries_.end()) {
+    account_remove(old->second);
+    old->second = node;
+  } else {
+    entries_.emplace(key, node);
+  }
+}
+
+void Layer::put_device(std::string_view path, sim::SimTime mtime) {
+  const std::string key = normalize(path);
+  FileNode node;
+  node.kind = FileKind::kDevice;
+  node.mtime = mtime;
+  auto old = entries_.find(key);
+  if (old != entries_.end()) {
+    account_remove(old->second);
+    old->second = node;
+  } else {
+    entries_.emplace(key, node);
+  }
+}
+
+void Layer::put_whiteout(std::string_view path) {
+  const std::string key = normalize(path);
+  FileNode node;
+  node.whiteout = true;
+  auto old = entries_.find(key);
+  if (old != entries_.end()) {
+    account_remove(old->second);
+    old->second = node;
+  } else {
+    entries_.emplace(key, node);
+  }
+}
+
+bool Layer::erase(std::string_view path) {
+  const auto it = entries_.find(normalize(path));
+  if (it == entries_.end()) return false;
+  account_remove(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+const FileNode* Layer::find(std::string_view path) const {
+  const auto it = entries_.find(normalize(path));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+FileNode* Layer::find(std::string_view path) {
+  const auto it = entries_.find(normalize(path));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Layer::for_each(
+    const std::function<bool(const std::string&, const FileNode&)>& visit)
+    const {
+  for (const auto& [path, node] : entries_) {
+    if (!visit(path, node)) return;
+  }
+}
+
+void Layer::for_each_under(
+    std::string_view prefix,
+    const std::function<bool(const std::string&, const FileNode&)>& visit)
+    const {
+  const std::string pre = normalize(prefix);
+  for (auto it = entries_.lower_bound(pre); it != entries_.end(); ++it) {
+    if (!is_under(it->first, pre)) {
+      // Entries are path-ordered; once we pass the subtree we may still see
+      // siblings that sort after (e.g. "/ab" after "/a/z" stops at "/ab").
+      if (it->first.compare(0, pre.size(), pre) > 0) break;
+      continue;
+    }
+    if (!visit(it->first, it->second)) return;
+  }
+}
+
+std::uint64_t Layer::bytes_under(std::string_view prefix) const {
+  std::uint64_t sum = 0;
+  for_each_under(prefix, [&](const std::string&, const FileNode& node) {
+    if (node.kind == FileKind::kRegular && !node.whiteout) sum += node.size;
+    return true;
+  });
+  return sum;
+}
+
+}  // namespace rattrap::fs

@@ -1,0 +1,61 @@
+#include "fs/tmpfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fs/path.hpp"
+
+namespace rattrap::fs {
+
+TmpFs::TmpFs(std::string name, std::uint64_t capacity, double bandwidth_mb_s)
+    : store_(std::move(name)),
+      capacity_(capacity),
+      bandwidth_mb_s_(bandwidth_mb_s) {
+  assert(bandwidth_mb_s > 0);
+}
+
+bool TmpFs::write(std::string_view path, std::uint64_t size, sim::SimTime now,
+                  bool burn_after_reading) {
+  const std::string key = normalize(path);
+  std::uint64_t existing = 0;
+  if (const FileNode* node = store_.find(key)) existing = node->size;
+  // Replacing a file frees its old bytes first.
+  if (used_bytes() - existing + size > capacity_) return false;
+  store_.put_file(key, size, now);
+  if (burn_after_reading) {
+    burn_list_.insert(key);
+  } else {
+    burn_list_.erase(key);
+  }
+  written_ += size;
+  peak_ = std::max(peak_, used_bytes());
+  return true;
+}
+
+std::int64_t TmpFs::read(std::string_view path, sim::SimTime now) {
+  const std::string key = normalize(path);
+  FileNode* node = store_.find(key);
+  if (node == nullptr) return -1;
+  node->atime = now;
+  node->accessed = true;
+  const auto size = static_cast<std::int64_t>(node->size);
+  read_ += node->size;
+  if (burn_list_.erase(key) > 0) {
+    store_.erase(key);  // burn after reading
+  }
+  return size;
+}
+
+bool TmpFs::remove(std::string_view path) {
+  const std::string key = normalize(path);
+  burn_list_.erase(key);
+  return store_.erase(key);
+}
+
+sim::SimDuration TmpFs::transfer_time(std::uint64_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) / (bandwidth_mb_s_ * 1024.0 * 1024.0);
+  return sim::from_seconds(seconds);
+}
+
+}  // namespace rattrap::fs

@@ -1,0 +1,56 @@
+#include "kernel/alarm.hpp"
+
+#include <utility>
+
+namespace rattrap::kernel {
+
+void AlarmDriver::on_namespace_destroyed(DevNsId ns) {
+  const auto it = state_.find(ns);
+  if (it == state_.end()) return;
+  for (const auto& [alarm_id, event_id] : it->second.events) {
+    (void)alarm_id;
+    sim_.cancel(event_id);
+  }
+  state_.erase(it);
+}
+
+AlarmId AlarmDriver::set_alarm(DevNsId ns, sim::SimTime when,
+                               std::function<void()> callback) {
+  const AlarmId id = next_id_++;
+  NsState& st = state_[ns];
+  const sim::EventId event = sim_.schedule_at(
+      when, [this, ns, id, cb = std::move(callback)]() {
+        // Remove bookkeeping before user code runs so a callback that sets
+        // a new alarm sees consistent state.
+        auto it = state_.find(ns);
+        if (it != state_.end()) {
+          it->second.events.erase(id);
+          ++it->second.fired;
+        }
+        cb();
+      });
+  st.events[id] = event;
+  return id;
+}
+
+bool AlarmDriver::cancel(DevNsId ns, AlarmId id) {
+  const auto it = state_.find(ns);
+  if (it == state_.end()) return false;
+  const auto alarm_it = it->second.events.find(id);
+  if (alarm_it == it->second.events.end()) return false;
+  sim_.cancel(alarm_it->second);
+  it->second.events.erase(alarm_it);
+  return true;
+}
+
+std::size_t AlarmDriver::pending(DevNsId ns) const {
+  const auto it = state_.find(ns);
+  return it == state_.end() ? 0 : it->second.events.size();
+}
+
+std::uint64_t AlarmDriver::fired(DevNsId ns) const {
+  const auto it = state_.find(ns);
+  return it == state_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,51 @@
+// Alarm driver model (Android's RTC-based alarm for timer messages).
+//
+// Each device namespace owns an isolated set of alarms; firing goes
+// through the shared Simulator so alarm delivery participates in the
+// global event order.  Namespace teardown cancels everything outstanding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "kernel/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace rattrap::kernel {
+
+using AlarmId = std::uint64_t;
+
+class AlarmDriver final : public Device {
+ public:
+  explicit AlarmDriver(sim::Simulator& simulator) : sim_(simulator) {}
+
+  [[nodiscard]] std::string dev_path() const override { return "/dev/alarm"; }
+
+  void on_namespace_destroyed(DevNsId ns) override;
+
+  /// Arms an alarm firing at absolute simulated time `when`.
+  AlarmId set_alarm(DevNsId ns, sim::SimTime when,
+                    std::function<void()> callback);
+
+  /// Cancels an alarm; false if already fired/cancelled.
+  bool cancel(DevNsId ns, AlarmId id);
+
+  /// Outstanding alarms in a namespace.
+  [[nodiscard]] std::size_t pending(DevNsId ns) const;
+
+  /// Alarms fired so far in a namespace.
+  [[nodiscard]] std::uint64_t fired(DevNsId ns) const;
+
+ private:
+  struct NsState {
+    std::map<AlarmId, sim::EventId> events;
+    std::uint64_t fired = 0;
+  };
+
+  sim::Simulator& sim_;
+  std::map<DevNsId, NsState> state_;
+  AlarmId next_id_ = 1;
+};
+
+}  // namespace rattrap::kernel

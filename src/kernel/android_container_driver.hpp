@@ -1,0 +1,83 @@
+// Android Container Driver: the loadable module package of §IV-B1.
+//
+// Packages the Android pseudo drivers — Binder, Alarm, Logger — as kernel
+// modules.  Loading the package dynamically extends a general-purpose host
+// kernel with the Android kernel features, *without* recompiling or
+// rebooting; unloading removes them once no Cloud Android Container needs
+// them.  Each driver is namespace-aware, so one loaded instance serves
+// every container with isolated state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/alarm.hpp"
+#include "kernel/ashmem.hpp"
+#include "kernel/binder.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/logger.hpp"
+#include "kernel/module.hpp"
+#include "kernel/sw_sync.hpp"
+
+namespace rattrap::kernel {
+
+/// Feature/syscall names the package provides.
+inline constexpr const char* kFeatureBinder = "android_binder";
+inline constexpr const char* kFeatureAlarm = "android_alarm";
+inline constexpr const char* kFeatureLogger = "android_logger";
+inline constexpr const char* kFeatureAshmem = "android_ashmem";
+inline constexpr const char* kFeatureSwSync = "android_sw_sync";
+inline constexpr const char* kSysBinderTransact = "binder_transact";
+inline constexpr const char* kSysAlarmSet = "alarm_set";
+inline constexpr const char* kSysLogWrite = "log_write";
+inline constexpr const char* kSysAshmemCreate = "ashmem_create";
+inline constexpr const char* kSysSyncWait = "sync_wait";
+
+/// Module names, as they would appear in /proc/modules.
+inline constexpr const char* kModBinder = "rattrap_binder";
+inline constexpr const char* kModAlarm = "rattrap_alarm";
+inline constexpr const char* kModLogger = "rattrap_logger";
+inline constexpr const char* kModAshmem = "rattrap_ashmem";
+inline constexpr const char* kModSwSync = "rattrap_sw_sync";
+
+class AndroidContainerDriver {
+ public:
+  explicit AndroidContainerDriver(sim::Simulator& simulator);
+
+  /// Loads the whole module package into `kernel` (idempotent).  Returns
+  /// the total simulated insmod cost (0 when already loaded).
+  sim::SimDuration load(HostKernel& kernel);
+
+  /// Unloads the package. Fails (returns false) while any container still
+  /// holds a reference on any of the modules.
+  bool unload(HostKernel& kernel);
+
+  /// True when all package modules are loaded in `kernel`.
+  [[nodiscard]] static bool loaded(const HostKernel& kernel);
+
+  /// Pins the package for one container (module_get on each module).
+  /// Returns false when the package is not loaded.
+  static bool pin(HostKernel& kernel);
+
+  /// Releases one container's pin.
+  static bool unpin(HostKernel& kernel);
+
+  // Drivers survive across load/unload cycles of the same
+  // AndroidContainerDriver object so tests can inspect final state; real
+  // rmmod would free them, which is modelled by namespace teardown having
+  // already cleared all per-container state by that point.
+  [[nodiscard]] BinderDriver& binder() { return *binder_; }
+  [[nodiscard]] AlarmDriver& alarm() { return *alarm_; }
+  [[nodiscard]] LoggerDriver& logger() { return *logger_; }
+  [[nodiscard]] AshmemDriver& ashmem() { return *ashmem_; }
+  [[nodiscard]] SwSyncDriver& sw_sync() { return *sw_sync_; }
+
+ private:
+  std::shared_ptr<BinderDriver> binder_;
+  std::shared_ptr<AlarmDriver> alarm_;
+  std::shared_ptr<LoggerDriver> logger_;
+  std::shared_ptr<AshmemDriver> ashmem_;
+  std::shared_ptr<SwSyncDriver> sw_sync_;
+};
+
+}  // namespace rattrap::kernel

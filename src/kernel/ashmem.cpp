@@ -1,0 +1,117 @@
+#include "kernel/ashmem.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rattrap::kernel {
+
+void AshmemDriver::on_namespace_destroyed(DevNsId ns) {
+  const auto it = regions_.find(ns);
+  if (it == regions_.end()) return;
+  for (const auto& [id, region] : it->second) {
+    (void)id;
+    if (!region.purged) total_ -= region.bytes;
+  }
+  regions_.erase(it);
+}
+
+AshmemId AshmemDriver::create_region(DevNsId ns, std::string name,
+                                     std::uint64_t bytes) {
+  const AshmemId id = next_id_++;
+  Region region;
+  region.name = std::move(name);
+  region.bytes = bytes;
+  regions_[ns].emplace(id, std::move(region));
+  total_ += bytes;
+  return id;
+}
+
+bool AshmemDriver::unpin(DevNsId ns, AshmemId id) {
+  const auto ns_it = regions_.find(ns);
+  if (ns_it == regions_.end()) return false;
+  const auto it = ns_it->second.find(id);
+  if (it == ns_it->second.end() || !it->second.pinned) return false;
+  it->second.pinned = false;
+  it->second.unpin_seq = ++unpin_clock_;
+  return true;
+}
+
+std::optional<PinResult> AshmemDriver::pin(DevNsId ns, AshmemId id) {
+  const auto ns_it = regions_.find(ns);
+  if (ns_it == regions_.end()) return std::nullopt;
+  const auto it = ns_it->second.find(id);
+  if (it == ns_it->second.end()) return std::nullopt;
+  Region& region = it->second;
+  if (region.pinned) return PinResult::kWasPinned;
+  region.pinned = true;
+  if (region.purged) {
+    // The caller repopulates; the region's pages are charged again.
+    region.purged = false;
+    total_ += region.bytes;
+    return PinResult::kPurged;
+  }
+  return PinResult::kRestored;
+}
+
+bool AshmemDriver::destroy_region(DevNsId ns, AshmemId id) {
+  const auto ns_it = regions_.find(ns);
+  if (ns_it == regions_.end()) return false;
+  const auto it = ns_it->second.find(id);
+  if (it == ns_it->second.end()) return false;
+  if (!it->second.purged) total_ -= it->second.bytes;
+  ns_it->second.erase(it);
+  return true;
+}
+
+std::uint64_t AshmemDriver::shrink(std::uint64_t target_bytes) {
+  // Collect unpinned, unpurged regions across namespaces, oldest first.
+  std::vector<Region*> victims;
+  for (auto& [ns, table] : regions_) {
+    (void)ns;
+    for (auto& [id, region] : table) {
+      (void)id;
+      if (!region.pinned && !region.purged) victims.push_back(&region);
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Region* a, const Region* b) {
+              return a->unpin_seq < b->unpin_seq;
+            });
+  std::uint64_t reclaimed = 0;
+  for (Region* region : victims) {
+    if (reclaimed >= target_bytes) break;
+    region->purged = true;
+    total_ -= region->bytes;
+    reclaimed += region->bytes;
+  }
+  return reclaimed;
+}
+
+std::uint64_t AshmemDriver::pinned_bytes(DevNsId ns) const {
+  const auto it = regions_.find(ns);
+  if (it == regions_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& [id, region] : it->second) {
+    (void)id;
+    if (region.pinned) sum += region.bytes;
+  }
+  return sum;
+}
+
+std::uint64_t AshmemDriver::unpinned_bytes(DevNsId ns) const {
+  const auto it = regions_.find(ns);
+  if (it == regions_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& [id, region] : it->second) {
+    (void)id;
+    if (!region.pinned && !region.purged) sum += region.bytes;
+  }
+  return sum;
+}
+
+std::size_t AshmemDriver::region_count(DevNsId ns) const {
+  const auto it = regions_.find(ns);
+  return it == regions_.end() ? 0 : it->second.size();
+}
+
+}  // namespace rattrap::kernel

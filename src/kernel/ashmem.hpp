@@ -1,0 +1,74 @@
+// Ashmem driver model (Android anonymous shared memory).
+//
+// Fig. 5 of the paper lists Ashmem among the pseudo drivers the Android
+// Container Driver ships.  Ashmem regions are named shared-memory areas
+// whose pages can be unpinned: unpinned ranges become reclaimable under
+// memory pressure and a later pin reports whether the content was purged
+// — the protocol Android's caches (e.g. Dalvik's jit cache, cursors)
+// build on.  Regions are per-device-namespace like every other driver.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "kernel/device.hpp"
+
+namespace rattrap::kernel {
+
+using AshmemId = std::uint32_t;
+
+enum class PinResult : std::uint8_t {
+  kWasPinned,   ///< range was already pinned
+  kRestored,    ///< was unpinned but not purged; content intact
+  kPurged,      ///< content was reclaimed; caller must rebuild
+};
+
+class AshmemDriver final : public Device {
+ public:
+  [[nodiscard]] std::string dev_path() const override {
+    return "/dev/ashmem";
+  }
+
+  void on_namespace_destroyed(DevNsId ns) override;
+
+  /// Creates a region of `bytes`, initially pinned.
+  AshmemId create_region(DevNsId ns, std::string name, std::uint64_t bytes);
+
+  /// Unpins a region: its pages become reclaimable.
+  bool unpin(DevNsId ns, AshmemId id);
+
+  /// Pins a region, reporting whether content survived.
+  std::optional<PinResult> pin(DevNsId ns, AshmemId id);
+
+  /// Destroys a region explicitly.
+  bool destroy_region(DevNsId ns, AshmemId id);
+
+  /// Memory-pressure hook: purges unpinned regions (LRU by unpin order)
+  /// until at least `target_bytes` are reclaimed or none remain.
+  /// Returns the bytes actually reclaimed.
+  std::uint64_t shrink(std::uint64_t target_bytes);
+
+  /// Accounting.
+  [[nodiscard]] std::uint64_t pinned_bytes(DevNsId ns) const;
+  [[nodiscard]] std::uint64_t unpinned_bytes(DevNsId ns) const;
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_; }
+  [[nodiscard]] std::size_t region_count(DevNsId ns) const;
+
+ private:
+  struct Region {
+    std::string name;
+    std::uint64_t bytes = 0;
+    bool pinned = true;
+    bool purged = false;
+    std::uint64_t unpin_seq = 0;  ///< LRU clock for the shrinker
+  };
+
+  std::map<DevNsId, std::map<AshmemId, Region>> regions_;
+  AshmemId next_id_ = 1;
+  std::uint64_t total_ = 0;
+  std::uint64_t unpin_clock_ = 0;
+};
+
+}  // namespace rattrap::kernel

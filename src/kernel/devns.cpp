@@ -1,0 +1,18 @@
+#include "kernel/devns.hpp"
+
+namespace rattrap::kernel {
+
+DevNsId DeviceNamespaceManager::create() {
+  const DevNsId ns = next_++;
+  active_.insert(ns);
+  registry_.namespace_created(ns);
+  return ns;
+}
+
+bool DeviceNamespaceManager::destroy(DevNsId ns) {
+  if (active_.erase(ns) == 0) return false;
+  registry_.namespace_destroyed(ns);
+  return true;
+}
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,44 @@
+// Device namespaces: per-container isolation and multiplexing of pseudo
+// devices (binder/alarm/logger), after Cells [17].
+//
+// The original device-namespace framework targets one foreground phone and
+// several background phones on a single device; Rattrap modifies the
+// workflow for the cloud (§IV-B1): *all* namespaces are concurrently
+// active, there is no foreground switch, and namespaces are created and
+// destroyed with container lifecycle at much higher churn.  The manager
+// hands out namespace ids and broadcasts lifecycle to every registered
+// device driver.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "kernel/device.hpp"
+
+namespace rattrap::kernel {
+
+class DeviceNamespaceManager {
+ public:
+  explicit DeviceNamespaceManager(DeviceRegistry& registry)
+      : registry_(registry) {}
+
+  /// Allocates a fresh namespace and notifies all drivers.
+  DevNsId create();
+
+  /// Destroys a namespace; all per-namespace driver state is torn down.
+  /// Returns false for unknown/already-destroyed ids.
+  bool destroy(DevNsId ns);
+
+  [[nodiscard]] bool alive(DevNsId ns) const { return active_.contains(ns); }
+  [[nodiscard]] std::size_t count() const { return active_.size(); }
+
+  /// Total namespaces ever created (monotonic).
+  [[nodiscard]] std::uint64_t created_total() const { return next_ - 1; }
+
+ private:
+  DeviceRegistry& registry_;
+  std::set<DevNsId> active_;
+  DevNsId next_ = 1;  // 0 is the host namespace, never handed out
+};
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,42 @@
+#include "kernel/logger.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rattrap::kernel {
+
+void LoggerDriver::write(DevNsId ns, std::string tag,
+                         std::uint32_t payload_bytes) {
+  Ring& ring = buffers_[ns];
+  const std::uint32_t size = std::min(payload_bytes, capacity_);
+  while (!ring.records.empty() && ring.used + size > capacity_) {
+    ring.used -= ring.records.front().size;
+    ring.records.pop_front();
+    ++ring.evicted;
+  }
+  ring.records.push_back(LogRecord{std::move(tag), size});
+  ring.used += size;
+  ++ring.written;
+}
+
+std::uint32_t LoggerDriver::used_bytes(DevNsId ns) const {
+  const auto it = buffers_.find(ns);
+  return it == buffers_.end() ? 0 : it->second.used;
+}
+
+std::size_t LoggerDriver::record_count(DevNsId ns) const {
+  const auto it = buffers_.find(ns);
+  return it == buffers_.end() ? 0 : it->second.records.size();
+}
+
+std::uint64_t LoggerDriver::total_written(DevNsId ns) const {
+  const auto it = buffers_.find(ns);
+  return it == buffers_.end() ? 0 : it->second.written;
+}
+
+std::uint64_t LoggerDriver::total_evicted(DevNsId ns) const {
+  const auto it = buffers_.find(ns);
+  return it == buffers_.end() ? 0 : it->second.evicted;
+}
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,63 @@
+// Logger driver model (Android's lightweight RAM log, /dev/log/*).
+//
+// Per-namespace ring buffers with byte capacity; writing past capacity
+// evicts the oldest records, exactly like the kernel logger Android used
+// before logd.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "kernel/device.hpp"
+
+namespace rattrap::kernel {
+
+struct LogRecord {
+  std::string tag;
+  std::uint32_t size = 0;  ///< payload bytes
+};
+
+class LoggerDriver final : public Device {
+ public:
+  /// `buffer_capacity`: per-namespace ring size in bytes (Android default
+  /// for /dev/log/main is 256 KiB).
+  explicit LoggerDriver(std::uint32_t buffer_capacity = 256 * 1024)
+      : capacity_(buffer_capacity) {}
+
+  [[nodiscard]] std::string dev_path() const override {
+    return "/dev/log/main";
+  }
+
+  void on_namespace_destroyed(DevNsId ns) override { buffers_.erase(ns); }
+
+  /// Appends a record; evicts oldest records when over capacity.
+  /// Records larger than the whole buffer are truncated to capacity.
+  void write(DevNsId ns, std::string tag, std::uint32_t payload_bytes);
+
+  /// Bytes currently held in a namespace's ring.
+  [[nodiscard]] std::uint32_t used_bytes(DevNsId ns) const;
+
+  /// Records currently held.
+  [[nodiscard]] std::size_t record_count(DevNsId ns) const;
+
+  /// Total records ever written / evicted in a namespace.
+  [[nodiscard]] std::uint64_t total_written(DevNsId ns) const;
+  [[nodiscard]] std::uint64_t total_evicted(DevNsId ns) const;
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Ring {
+    std::deque<LogRecord> records;
+    std::uint32_t used = 0;
+    std::uint64_t written = 0;
+    std::uint64_t evicted = 0;
+  };
+
+  std::uint32_t capacity_;
+  std::map<DevNsId, Ring> buffers_;
+};
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,11 @@
+#include "kernel/module.hpp"
+
+namespace rattrap::kernel {
+
+sim::SimDuration KernelModule::load_cost() const {
+  // Typical insmod latency for a small driver: symbol resolution, section
+  // relocation and module init. Calibrated to tens of milliseconds.
+  return sim::from_millis(25.0);
+}
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,44 @@
+// Loadable kernel module framework.
+//
+// The paper's key enabling idea (§IV-B1) is that Android's extra kernel
+// features need not be compiled in: they can be loadable modules inserted
+// when the first Cloud Android Container starts and removed when the last
+// one stops.  This file models insmod/rmmod semantics: named modules with
+// dependencies, reference counts, and load/unload hooks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rattrap::kernel {
+
+class HostKernel;
+
+/// Base class for loadable modules.  Lifetime: constructed by the caller,
+/// handed to HostKernel::load_module(), destroyed on unload.
+class KernelModule {
+ public:
+  virtual ~KernelModule() = default;
+
+  /// Unique module name (as in /proc/modules).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Names of modules that must be loaded first.
+  [[nodiscard]] virtual std::vector<std::string> dependencies() const {
+    return {};
+  }
+
+  /// Simulated insmod cost (symbol resolution + init).
+  [[nodiscard]] virtual sim::SimDuration load_cost() const;
+
+  /// Called when the module is inserted; register devices/syscalls here.
+  virtual void on_load(HostKernel& kernel) = 0;
+
+  /// Called when the module is removed; must undo on_load.
+  virtual void on_unload(HostKernel& kernel) = 0;
+};
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,107 @@
+#include "kernel/sw_sync.hpp"
+
+#include <algorithm>
+
+namespace rattrap::kernel {
+
+void SwSyncDriver::on_namespace_destroyed(DevNsId ns) {
+  const auto it = timelines_.find(ns);
+  if (it == timelines_.end()) return;
+  // Outstanding fences observe cancellation, as sync_fence_release does.
+  for (auto& [id, timeline] : it->second) {
+    (void)id;
+    for (auto& fence : timeline.fences) {
+      if (fence.on_signal) fence.on_signal(false);
+    }
+  }
+  timelines_.erase(it);
+}
+
+TimelineId SwSyncDriver::create_timeline(DevNsId ns, std::string name) {
+  const TimelineId id = next_timeline_++;
+  Timeline timeline;
+  timeline.name = std::move(name);
+  timelines_[ns].emplace(id, std::move(timeline));
+  return id;
+}
+
+bool SwSyncDriver::destroy_timeline(DevNsId ns, TimelineId timeline) {
+  const auto ns_it = timelines_.find(ns);
+  if (ns_it == timelines_.end()) return false;
+  const auto it = ns_it->second.find(timeline);
+  if (it == ns_it->second.end()) return false;
+  for (auto& fence : it->second.fences) {
+    if (fence.on_signal) fence.on_signal(false);
+  }
+  ns_it->second.erase(it);
+  return true;
+}
+
+std::optional<FenceId> SwSyncDriver::create_fence(
+    DevNsId ns, TimelineId timeline, std::uint64_t value,
+    std::function<void(bool)> on_signal) {
+  const auto ns_it = timelines_.find(ns);
+  if (ns_it == timelines_.end()) return std::nullopt;
+  const auto it = ns_it->second.find(timeline);
+  if (it == ns_it->second.end()) return std::nullopt;
+  const FenceId id = next_fence_++;
+  if (it->second.value >= value) {
+    if (on_signal) on_signal(true);  // already passed: signal immediately
+    return id;
+  }
+  it->second.fences.push_back(Fence{id, value, std::move(on_signal)});
+  return id;
+}
+
+std::size_t SwSyncDriver::advance(DevNsId ns, TimelineId timeline,
+                                  std::uint64_t delta) {
+  const auto ns_it = timelines_.find(ns);
+  if (ns_it == timelines_.end()) return 0;
+  const auto it = ns_it->second.find(timeline);
+  if (it == ns_it->second.end()) return 0;
+  Timeline& tl = it->second;
+  tl.value += delta;
+  // Signal in fence-value order for determinism.
+  std::vector<Fence> due;
+  auto& fences = tl.fences;
+  for (auto fence_it = fences.begin(); fence_it != fences.end();) {
+    if (fence_it->value <= tl.value) {
+      due.push_back(std::move(*fence_it));
+      fence_it = fences.erase(fence_it);
+    } else {
+      ++fence_it;
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Fence& a, const Fence& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.id < b.id;
+  });
+  for (auto& fence : due) {
+    if (fence.on_signal) fence.on_signal(true);
+  }
+  return due.size();
+}
+
+std::optional<std::uint64_t> SwSyncDriver::value(DevNsId ns,
+                                                 TimelineId timeline) const {
+  const auto ns_it = timelines_.find(ns);
+  if (ns_it == timelines_.end()) return std::nullopt;
+  const auto it = ns_it->second.find(timeline);
+  if (it == ns_it->second.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::size_t SwSyncDriver::pending_fences(DevNsId ns,
+                                         TimelineId timeline) const {
+  const auto ns_it = timelines_.find(ns);
+  if (ns_it == timelines_.end()) return 0;
+  const auto it = ns_it->second.find(timeline);
+  return it == ns_it->second.end() ? 0 : it->second.fences.size();
+}
+
+std::size_t SwSyncDriver::timeline_count(DevNsId ns) const {
+  const auto it = timelines_.find(ns);
+  return it == timelines_.end() ? 0 : it->second.size();
+}
+
+}  // namespace rattrap::kernel

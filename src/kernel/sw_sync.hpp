@@ -1,0 +1,71 @@
+// sw_sync driver model (Android software sync timelines and fences).
+//
+// Fig. 5 lists Sw_sync in the Android Container Driver package.  A sync
+// timeline is a monotonically increasing counter; a fence on a timeline
+// signals once the counter reaches the fence value.  Graphics and media
+// pipelines serialize on fences; the customized offloading OS keeps the
+// driver because framework code creates fences even without a display.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/device.hpp"
+
+namespace rattrap::kernel {
+
+using TimelineId = std::uint32_t;
+using FenceId = std::uint64_t;
+
+class SwSyncDriver final : public Device {
+ public:
+  [[nodiscard]] std::string dev_path() const override {
+    return "/dev/sw_sync";
+  }
+
+  void on_namespace_destroyed(DevNsId ns) override;
+
+  /// Creates a timeline starting at value 0.
+  TimelineId create_timeline(DevNsId ns, std::string name);
+
+  /// Destroys a timeline; outstanding fences signal with `cancelled`.
+  bool destroy_timeline(DevNsId ns, TimelineId timeline);
+
+  /// Creates a fence that signals when the timeline reaches `value`.
+  /// Fences on already-passed values signal immediately.
+  std::optional<FenceId> create_fence(DevNsId ns, TimelineId timeline,
+                                      std::uint64_t value,
+                                      std::function<void(bool ok)> on_signal);
+
+  /// Advances a timeline by `delta`, signalling every fence whose value
+  /// is now reached. Returns the number of fences signalled.
+  std::size_t advance(DevNsId ns, TimelineId timeline, std::uint64_t delta);
+
+  [[nodiscard]] std::optional<std::uint64_t> value(DevNsId ns,
+                                                   TimelineId timeline) const;
+  [[nodiscard]] std::size_t pending_fences(DevNsId ns,
+                                           TimelineId timeline) const;
+  [[nodiscard]] std::size_t timeline_count(DevNsId ns) const;
+
+ private:
+  struct Fence {
+    FenceId id;
+    std::uint64_t value;
+    std::function<void(bool)> on_signal;
+  };
+  struct Timeline {
+    std::string name;
+    std::uint64_t value = 0;
+    std::vector<Fence> fences;  ///< unsignalled, unsorted
+  };
+
+  std::map<DevNsId, std::map<TimelineId, Timeline>> timelines_;
+  TimelineId next_timeline_ = 1;
+  FenceId next_fence_ = 1;
+};
+
+}  // namespace rattrap::kernel

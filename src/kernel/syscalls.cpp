@@ -1,0 +1,41 @@
+#include "kernel/syscalls.hpp"
+
+#include <utility>
+
+namespace rattrap::kernel {
+
+bool SyscallTable::add(std::string name, SyscallHandler handler) {
+  auto [it, inserted] =
+      handlers_.try_emplace(std::move(name), Entry{std::move(handler), 0});
+  (void)it;
+  return inserted;
+}
+
+bool SyscallTable::remove(std::string_view name) {
+  const auto it = handlers_.find(name);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  return true;
+}
+
+bool SyscallTable::supports(std::string_view name) const {
+  return handlers_.contains(name);
+}
+
+SyscallResult SyscallTable::invoke(std::string_view name, DevNsId ns,
+                                   std::uint64_t arg) {
+  const auto it = handlers_.find(name);
+  if (it == handlers_.end()) {
+    // Unknown syscall: the trap itself still costs a mode switch.
+    return SyscallResult{KernelError::kNoSys, -1, 1};
+  }
+  ++it->second.calls;
+  return it->second.handler(ns, arg);
+}
+
+std::uint64_t SyscallTable::calls(std::string_view name) const {
+  const auto it = handlers_.find(name);
+  return it == handlers_.end() ? 0 : it->second.calls;
+}
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,70 @@
+// Syscall dispatch table.
+//
+// The host kernel exposes general-purpose syscalls; Android-specific entry
+// points (binder ioctls, alarm set, logger write) appear only while the
+// Android Container Driver is loaded.  A container whose userspace issues
+// an Android syscall on a kernel without the driver gets ENOSYS — the
+// "kernel incompatibility problem" the paper's Fig. 5 addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "kernel/device.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::kernel {
+
+/// Errno subset used by the model.
+enum class KernelError : int {
+  kOk = 0,
+  kNoSys = 38,     ///< ENOSYS: syscall not implemented (driver missing)
+  kNoEnt = 2,      ///< ENOENT
+  kInval = 22,     ///< EINVAL
+  kNoMem = 12,     ///< ENOMEM
+  kDeadObject = 129,  ///< binder's DEAD_OBJECT
+};
+
+struct SyscallResult {
+  KernelError error = KernelError::kOk;
+  std::int64_t value = 0;           ///< return value when error == kOk
+  sim::SimDuration cost = 0;        ///< simulated kernel time consumed
+
+  [[nodiscard]] bool ok() const { return error == KernelError::kOk; }
+};
+
+/// Handler signature: (calling device namespace, opaque argument).
+using SyscallHandler =
+    std::function<SyscallResult(DevNsId ns, std::uint64_t arg)>;
+
+class SyscallTable {
+ public:
+  /// Registers a syscall; returns false when the name is taken.
+  bool add(std::string name, SyscallHandler handler);
+
+  /// Unregisters; returns false when absent.
+  bool remove(std::string_view name);
+
+  [[nodiscard]] bool supports(std::string_view name) const;
+
+  /// Dispatches. Unknown syscalls return ENOSYS with a trap cost.
+  SyscallResult invoke(std::string_view name, DevNsId ns,
+                       std::uint64_t arg = 0);
+
+  /// Invocation count per syscall (0 for unknown names).
+  [[nodiscard]] std::uint64_t calls(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+
+ private:
+  struct Entry {
+    SyscallHandler handler;
+    std::uint64_t calls = 0;
+  };
+  std::map<std::string, Entry, std::less<>> handlers_;
+};
+
+}  // namespace rattrap::kernel

@@ -1,0 +1,25 @@
+#include "net/connection.hpp"
+
+#include <cassert>
+
+namespace rattrap::net {
+
+sim::SimDuration Connection::establish() {
+  const sim::SimDuration t = link_.connect_time(rng_);
+  established_ = true;
+  return t;
+}
+
+sim::SimDuration Connection::upload(const Message& message) {
+  assert(established_ && "upload on unestablished connection");
+  traffic_.record_up(message.type, message.bytes);
+  return link_.upload_time(message.bytes, rng_);
+}
+
+sim::SimDuration Connection::download(const Message& message) {
+  assert(established_ && "download on unestablished connection");
+  traffic_.record_down(message.type, message.bytes);
+  return link_.download_time(message.bytes, rng_);
+}
+
+}  // namespace rattrap::net

@@ -1,0 +1,72 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rattrap::net {
+
+LinkConfig lan_wifi() {
+  return LinkConfig{"LAN", 60.0, 60.0, sim::from_millis(3.0), 0.05, 0.0005};
+}
+
+LinkConfig wan_wifi() {
+  return LinkConfig{"WAN", 20.0, 20.0, sim::from_millis(60.0), 0.08, 0.002};
+}
+
+LinkConfig cellular_3g() {
+  // The paper measures 0.38 Mbps upstream / 0.09 Mbps downstream.
+  return LinkConfig{"3G", 0.38, 0.09, sim::from_millis(250.0), 0.35, 0.02};
+}
+
+LinkConfig cellular_4g() {
+  // 48.97 Mbps upstream / 7.64 Mbps downstream; less stable than WiFi.
+  return LinkConfig{"4G", 48.97, 7.64, sim::from_millis(45.0), 0.20, 0.008};
+}
+
+const std::vector<LinkConfig>& all_scenarios() {
+  static const std::vector<LinkConfig> scenarios = {
+      lan_wifi(), wan_wifi(), cellular_4g(), cellular_3g()};
+  return scenarios;
+}
+
+sim::SimDuration Link::latency(sim::Rng& rng) const {
+  const double base = static_cast<double>(config_.rtt) / 2.0;
+  const double jitter =
+      config_.jitter_sigma > 0.0
+          ? rng.lognormal(0.0, config_.jitter_sigma)
+          : 1.0;
+  return static_cast<sim::SimDuration>(base * jitter);
+}
+
+sim::SimDuration Link::connect_time(sim::Rng& rng) const {
+  sim::SimDuration total = latency(rng) * 3;  // SYN, SYN-ACK, ACK
+  // A lost SYN costs the initial RTO (3 s, RFC 6298 initial value).
+  while (rng.bernoulli(config_.loss)) {
+    total += 3 * sim::kSecond;
+  }
+  return total;
+}
+
+sim::SimDuration Link::transfer_time(std::uint64_t bytes, double mbps,
+                                     sim::Rng& rng) const {
+  assert(mbps > 0);
+  // Effective goodput degrades with loss (Mathis-style back-off simplified
+  // to a linear factor; loss rates here are small).
+  const double goodput_mbps = mbps * (1.0 - 4.0 * config_.loss);
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / (goodput_mbps * 1e6);
+  return sim::from_seconds(seconds) + latency(rng);
+}
+
+sim::SimDuration Link::upload_time(std::uint64_t bytes,
+                                   sim::Rng& rng) const {
+  return transfer_time(bytes, config_.up_mbps, rng);
+}
+
+sim::SimDuration Link::download_time(std::uint64_t bytes,
+                                     sim::Rng& rng) const {
+  return transfer_time(bytes, config_.down_mbps, rng);
+}
+
+}  // namespace rattrap::net

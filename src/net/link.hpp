@@ -1,0 +1,67 @@
+// Network link models for the four mobile scenarios of §VI-A.
+//
+//   LAN WiFi — same LAN as the server, stable and fast.
+//   WAN WiFi — ~60 ms latency via public IP, stable.
+//   3G       — unstable, high latency, 0.38 Mbps up / 0.09 Mbps down.
+//   4G       — 48.97 Mbps up / 7.64 Mbps down, less stable than WiFi.
+//
+// "Up" is device → cloud (offload uploads), "down" is cloud → device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::net {
+
+struct LinkConfig {
+  std::string name;
+  double up_mbps = 1.0;        ///< device → cloud bandwidth
+  double down_mbps = 1.0;      ///< cloud → device bandwidth
+  sim::SimDuration rtt = 0;    ///< mean round-trip time
+  double jitter_sigma = 0.0;   ///< lognormal sigma on one-way latency
+  double loss = 0.0;           ///< packet loss probability
+};
+
+/// Scenario presets with the paper's measured parameters.
+[[nodiscard]] LinkConfig lan_wifi();
+[[nodiscard]] LinkConfig wan_wifi();
+[[nodiscard]] LinkConfig cellular_3g();
+[[nodiscard]] LinkConfig cellular_4g();
+
+/// All four presets, in the order the paper's Fig. 10 charts them.
+[[nodiscard]] const std::vector<LinkConfig>& all_scenarios();
+
+class Link {
+ public:
+  explicit Link(LinkConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  /// One-way latency sample (jittered half-RTT).
+  [[nodiscard]] sim::SimDuration latency(sim::Rng& rng) const;
+
+  /// TCP-style connection establishment: SYN / SYN-ACK / ACK ≈ 1.5 RTT,
+  /// with loss-induced SYN retransmission (3 s timeout) when unlucky.
+  [[nodiscard]] sim::SimDuration connect_time(sim::Rng& rng) const;
+
+  /// Duration of transferring `bytes` device → cloud.
+  [[nodiscard]] sim::SimDuration upload_time(std::uint64_t bytes,
+                                             sim::Rng& rng) const;
+
+  /// Duration of transferring `bytes` cloud → device.
+  [[nodiscard]] sim::SimDuration download_time(std::uint64_t bytes,
+                                               sim::Rng& rng) const;
+
+ private:
+  [[nodiscard]] sim::SimDuration transfer_time(std::uint64_t bytes,
+                                               double mbps,
+                                               sim::Rng& rng) const;
+  LinkConfig config_;
+};
+
+}  // namespace rattrap::net

@@ -1,0 +1,19 @@
+#include "net/message.hpp"
+
+namespace rattrap::net {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kControl:
+      return "control";
+    case MessageType::kMobileCode:
+      return "mobile-code";
+    case MessageType::kFileParams:
+      return "file-params";
+    case MessageType::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+}  // namespace rattrap::net

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rattrap::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_dead() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skip_dead();
+  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_dead();
+  assert(!heap_.empty() && "pop() on empty event queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_ = 0;
+}
+
+}  // namespace rattrap::sim

@@ -1,0 +1,84 @@
+// Priority queue of timed events for the discrete-event engine.
+//
+// Events are callbacks ordered by (time, sequence number).  The sequence
+// number makes ordering total and FIFO among same-time events, which keeps
+// simulations reproducible.  Cancellation is supported via tombstones: a
+// cancelled event's callback is dropped eagerly and its heap entry is
+// skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rattrap::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Invalid event handle.
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `when`. Returns a handle that
+  /// can later be passed to cancel().
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired; false otherwise (already fired, already cancelled, unknown).
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event, or kTimeInfinity when empty.
+  /// Lazily discards cancelled entries, hence non-const.
+  [[nodiscard]] SimTime next_time();
+
+  /// A fired event: when it was due, its handle, and its callback.
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+
+  /// Removes the earliest live event and returns it. Precondition: !empty().
+  Fired pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Order strictly by (time, id); id is monotonically increasing so FIFO
+    // among equal times is guaranteed.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  // Heap of (time, id); the callback lives in `callbacks_` so cancellation
+  // can drop it eagerly and free any captured state.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+
+  // Pops tombstoned (cancelled) entries off the heap top.
+  void skip_dead();
+};
+
+}  // namespace rattrap::sim

@@ -1,0 +1,51 @@
+#include "sim/logging.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace rattrap::sim {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %-12s %s\n", level_name(level), tag,
+               msg.c_str());
+}
+
+namespace detail {
+std::string format_args(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+}  // namespace detail
+
+}  // namespace rattrap::sim

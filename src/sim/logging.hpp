@@ -1,0 +1,41 @@
+// Minimal leveled logger.  Off by default so tests and benches stay quiet;
+// examples turn it on to narrate the platform's behaviour.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace rattrap::sim {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits a printf-style message at `level` tagged with `tag`.
+void log_message(LogLevel level, const char* tag, const std::string& msg);
+
+namespace detail {
+std::string format_args(const char* fmt, ...);
+}  // namespace detail
+
+}  // namespace rattrap::sim
+
+// Convenience macros; arguments are not evaluated when the level is off.
+#define RATTRAP_LOG(level, tag, ...)                                     \
+  do {                                                                   \
+    if (static_cast<int>(::rattrap::sim::log_level()) >=                 \
+        static_cast<int>(level)) {                                       \
+      ::rattrap::sim::log_message(                                       \
+          level, tag, ::rattrap::sim::detail::format_args(__VA_ARGS__)); \
+    }                                                                    \
+  } while (0)
+
+#define RATTRAP_INFO(tag, ...) \
+  RATTRAP_LOG(::rattrap::sim::LogLevel::kInfo, tag, __VA_ARGS__)
+#define RATTRAP_DEBUG(tag, ...) \
+  RATTRAP_LOG(::rattrap::sim::LogLevel::kDebug, tag, __VA_ARGS__)
+#define RATTRAP_ERROR(tag, ...) \
+  RATTRAP_LOG(::rattrap::sim::LogLevel::kError, tag, __VA_ARGS__)

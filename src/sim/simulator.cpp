@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rattrap::sim {
+
+EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
+  assert(when >= now_ && "cannot schedule an event in the past");
+  return queue_.schedule(when < now_ ? now_ : when, std::move(cb));
+}
+
+EventId Simulator::schedule_in(SimDuration delay, EventQueue::Callback cb) {
+  assert(delay >= 0 && "negative delay");
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  ++fired_;
+  fired.callback();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0;
+  fired_ = 0;
+}
+
+}  // namespace rattrap::sim

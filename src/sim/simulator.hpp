@@ -1,0 +1,61 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns the virtual clock and the event queue.  All simulated
+// subsystems (disk, network, boot sequences, CPU scheduler) advance time
+// exclusively by scheduling events here, which makes every experiment in
+// the reproduction deterministic and replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`. `when` must not precede now().
+  EventId schedule_at(SimTime when, EventQueue::Callback cb);
+
+  /// Schedules `cb` after `delay` microseconds (delay >= 0).
+  EventId schedule_in(SimDuration delay, EventQueue::Callback cb);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Fires the next event, advancing the clock to its due time.
+  /// Returns false when no events remain.
+  bool step();
+
+  /// Runs events until the queue drains.
+  void run();
+
+  /// Runs events with due time <= `deadline`, then sets the clock to
+  /// `deadline` (if it is later than the last fired event).
+  void run_until(SimTime deadline);
+
+  /// Number of events fired since construction (or the last reset()).
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// Pending (live) event count.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Clears the queue and rewinds the clock to zero.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace rattrap::sim

@@ -1,0 +1,135 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rattrap::sim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = bins_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= bins_.size()) idx = bins_.size() - 1;
+  }
+  ++bins_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      clamped * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::vector<double> Cdf::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+TimeSeries::TimeSeries(SimDuration granularity) : granularity_(granularity) {
+  assert(granularity > 0);
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  assert(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / granularity_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+void TimeSeries::add_interval(SimTime t0, SimTime t1, double value) {
+  assert(t0 <= t1);
+  if (t0 == t1) {
+    add(t0, value);
+    return;
+  }
+  const double span = static_cast<double>(t1 - t0);
+  SimTime cursor = t0;
+  while (cursor < t1) {
+    const SimTime bucket_end =
+        (cursor / granularity_ + 1) * granularity_;
+    const SimTime chunk_end = std::min(bucket_end, t1);
+    const double share =
+        value * static_cast<double>(chunk_end - cursor) / span;
+    add(cursor, share);
+    cursor = chunk_end;
+  }
+}
+
+}  // namespace rattrap::sim

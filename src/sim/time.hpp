@@ -1,0 +1,43 @@
+// Simulation time base for the Rattrap reproduction.
+//
+// All simulated durations and instants are integer microseconds.  Integer
+// time keeps the discrete-event engine deterministic across platforms and
+// makes event ordering total (ties broken by insertion sequence).
+#pragma once
+
+#include <cstdint>
+
+namespace rattrap::sim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A simulated duration, in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1'000;
+inline constexpr SimDuration kSecond = 1'000'000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+/// Largest representable instant; used as "never".
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+/// Converts a simulated instant/duration to fractional seconds.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts a simulated instant/duration to fractional milliseconds.
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Builds a duration from fractional seconds (rounded to the nearest µs).
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Builds a duration from fractional milliseconds (rounded to the nearest µs).
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * 1e3 + (ms >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace rattrap::sim

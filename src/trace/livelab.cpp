@@ -1,0 +1,113 @@
+#include "trace/livelab.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rattrap::trace {
+
+const std::array<double, 24>& diurnal_profile() {
+  // Relative session rates per hour of day; normalized mean = 1.0.
+  static const std::array<double, 24> profile = {
+      0.15, 0.08, 0.05, 0.04, 0.05, 0.12,  // 00–05: night trough
+      0.45, 0.95, 1.40, 1.45, 1.30, 1.40,  // 06–11: morning ramp
+      1.65, 1.45, 1.35, 1.25, 1.29, 1.50,  // 12–17: lunch peak, afternoon
+      1.75, 1.90, 1.70, 1.35, 0.95, 0.42,  // 18–23: evening peak
+  };
+  return profile;
+}
+
+std::vector<TraceEvent> generate(const TraceConfig& config) {
+  std::vector<TraceEvent> trace;
+  const auto& profile = diurnal_profile();
+  for (std::uint32_t user = 0; user < config.users; ++user) {
+    sim::Rng rng = sim::Rng(config.seed).fork(user + 1);
+    for (std::uint32_t day = 0; day < config.days; ++day) {
+      for (int hour = 0; hour < 24; ++hour) {
+        // Thinned Poisson arrivals within this hour.
+        const double rate =
+            config.sessions_per_day / 24.0 * profile[static_cast<std::size_t>(hour)];
+        double t_hours = 0.0;
+        while (true) {
+          t_hours += rng.exponential(1.0 / std::max(rate, 1e-9));
+          if (t_hours >= 1.0) break;
+          const sim::SimTime session_start =
+              static_cast<sim::SimTime>(day) * sim::kHour * 24 +
+              static_cast<sim::SimTime>(hour) * sim::kHour +
+              sim::from_seconds(t_hours * 3600.0);
+          // Heavy-tailed burst of interactions within the session.
+          const auto burst = static_cast<std::size_t>(std::min(
+              rng.pareto(1.0, 1.0 + 1.0 / config.mean_burst_length) *
+                  config.mean_burst_length / 2.0 + 0.5,
+              40.0));
+          sim::SimTime t = session_start;
+          for (std::size_t i = 0; i < std::max<std::size_t>(burst, 1); ++i) {
+            trace.push_back(TraceEvent{user, t});
+            t += sim::from_seconds(rng.exponential(
+                sim::to_seconds(config.mean_intra_gap)));
+          }
+        }
+      }
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+bool save_csv(const std::vector<TraceEvent>& trace,
+              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "user,timestamp_us\n";
+  for (const auto& event : trace) {
+    out << event.user << ',' << event.time << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<TraceEvent>> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<TraceEvent> trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("user,", 0) == 0) continue;  // header
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    TraceEvent event;
+    try {
+      event.user = static_cast<std::uint32_t>(
+          std::stoul(line.substr(0, comma)));
+      event.time = static_cast<sim::SimTime>(
+          std::stoll(line.substr(comma + 1)));
+    } catch (...) {
+      return std::nullopt;
+    }
+    trace.push_back(event);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+std::vector<sim::SimTime> arrivals(const std::vector<TraceEvent>& trace) {
+  std::vector<sim::SimTime> out;
+  out.reserve(trace.size());
+  for (const auto& event : trace) out.push_back(event.time);
+  return out;
+}
+
+}  // namespace rattrap::trace

@@ -1,0 +1,60 @@
+// LiveLab-style synthetic app-access traces.
+//
+// The LiveLab dataset [23] logs real-world smartphone app accesses; the
+// paper replays its timestamps as offloading request start times (§VI-E).
+// The dataset itself is not redistributable, so this generator synthesizes
+// traces with the same structure: per-user diurnal session arrivals
+// (non-homogeneous Poisson over a 24 h rate profile) and heavy-tailed
+// in-session interaction bursts — the burst/idle mix is what stresses
+// runtime-preparation latency in Fig. 11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::trace {
+
+struct TraceEvent {
+  std::uint32_t user = 0;
+  sim::SimTime time = 0;
+};
+
+struct TraceConfig {
+  std::uint32_t users = 5;
+  std::uint32_t days = 2;
+  double sessions_per_day = 26.0;     ///< mean app sessions per user-day
+  double mean_burst_length = 4.0;     ///< interactions per session (Pareto)
+  sim::SimDuration mean_intra_gap = 9 * sim::kSecond;  ///< within a session
+  std::uint64_t seed = 2011;
+};
+
+/// Generates a time-sorted trace.
+[[nodiscard]] std::vector<TraceEvent> generate(const TraceConfig& config);
+
+/// Extracts just the arrival instants (time-sorted).
+[[nodiscard]] std::vector<sim::SimTime> arrivals(
+    const std::vector<TraceEvent>& trace);
+
+/// The 24-hour activity profile (relative rate per hour; peaks in the
+/// morning, lunch and evening as in smartphone usage studies).
+[[nodiscard]] const std::array<double, 24>& diurnal_profile();
+
+/// Writes a trace as CSV ("user,timestamp_us" with a header line).
+/// Returns false on I/O failure.
+bool save_csv(const std::vector<TraceEvent>& trace,
+              const std::string& path);
+
+/// Loads a CSV trace (the save_csv format — and, equivalently, a LiveLab
+/// app-access export reduced to user + microsecond timestamp columns).
+/// Returns std::nullopt on I/O or parse failure; events are re-sorted by
+/// time.
+[[nodiscard]] std::optional<std::vector<TraceEvent>> load_csv(
+    const std::string& path);
+
+}  // namespace rattrap::trace

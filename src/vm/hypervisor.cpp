@@ -1,0 +1,58 @@
+#include "vm/hypervisor.hpp"
+
+namespace rattrap::vm {
+
+Hypervisor::Hypervisor(sim::Simulator& simulator, fs::DiskModel& disk,
+                       std::uint64_t host_memory)
+    : sim_(simulator), disk_(disk), host_memory_(host_memory) {}
+
+VirtualMachine* Hypervisor::create(VmConfig config) {
+  if (memory_committed_ + config.memory > host_memory_) return nullptr;
+  const VmId id = next_id_++;
+  memory_committed_ += config.memory;
+  disk_committed_ += config.disk_image;
+  auto vm = std::make_unique<VirtualMachine>(id, std::move(config));
+  VirtualMachine* raw = vm.get();
+  vms_.emplace(id, std::move(vm));
+  return raw;
+}
+
+bool Hypervisor::boot(VmId id, std::vector<BootStage> plan,
+                      std::function<void(sim::SimTime)> on_booted) {
+  VirtualMachine* vm = find(id);
+  if (vm == nullptr) return false;
+  return vm->boot(sim_, disk_, std::move(plan), std::move(on_booted));
+}
+
+bool Hypervisor::stop(VmId id) {
+  VirtualMachine* vm = find(id);
+  if (vm == nullptr) return false;
+  vm->stop();
+  return true;
+}
+
+bool Hypervisor::destroy(VmId id) {
+  const auto it = vms_.find(id);
+  if (it == vms_.end()) return false;
+  it->second->stop();
+  memory_committed_ -= it->second->config().memory;
+  disk_committed_ -= it->second->config().disk_image;
+  vms_.erase(it);
+  return true;
+}
+
+VirtualMachine* Hypervisor::find(VmId id) const {
+  const auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Hypervisor::running_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, vm] : vms_) {
+    (void)id;
+    if (vm->state() == VmState::kRunning) ++n;
+  }
+  return n;
+}
+
+}  // namespace rattrap::vm

@@ -1,0 +1,67 @@
+// Hypervisor: VM registry plus host-side resource accounting.
+//
+// The baseline platform (VM-based cloud, §VI-A) creates one Android-x86 VM
+// per runtime environment: 1 vCPU, 512 MB, ~1.1 GB disk image each.  The
+// hypervisor charges full memory at start (no ballooning) and full image
+// size per VM on disk — the redundancy the Shared Resource Layer removes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fs/disk.hpp"
+#include "sim/simulator.hpp"
+#include "vm/vm.hpp"
+
+namespace rattrap::vm {
+
+class Hypervisor {
+ public:
+  Hypervisor(sim::Simulator& simulator, fs::DiskModel& disk,
+             std::uint64_t host_memory);
+
+  /// Creates a VM; returns nullptr when host memory cannot hold it.
+  VirtualMachine* create(VmConfig config);
+
+  /// Boots a VM through `plan`.
+  bool boot(VmId id, std::vector<BootStage> plan,
+            std::function<void(sim::SimTime)> on_booted);
+
+  /// Stops a VM (memory stays reserved until destroy, as with a powered-
+  /// off-but-defined VirtualBox machine keeping its allocation on resume).
+  bool stop(VmId id);
+
+  /// Destroys a VM and releases its memory and disk image.
+  bool destroy(VmId id);
+
+  [[nodiscard]] VirtualMachine* find(VmId id) const;
+  [[nodiscard]] std::size_t count() const { return vms_.size(); }
+  [[nodiscard]] std::size_t running_count() const;
+
+  /// Host memory committed to VMs.
+  [[nodiscard]] std::uint64_t memory_committed() const {
+    return memory_committed_;
+  }
+  [[nodiscard]] std::uint64_t host_memory() const { return host_memory_; }
+
+  /// Host disk consumed by VM images.
+  [[nodiscard]] std::uint64_t disk_committed() const {
+    return disk_committed_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] fs::DiskModel& disk() { return disk_; }
+
+ private:
+  sim::Simulator& sim_;
+  fs::DiskModel& disk_;
+  std::uint64_t host_memory_;
+  std::uint64_t memory_committed_ = 0;
+  std::uint64_t disk_committed_ = 0;
+  std::map<VmId, std::unique_ptr<VirtualMachine>> vms_;
+  VmId next_id_ = 1;
+};
+
+}  // namespace rattrap::vm

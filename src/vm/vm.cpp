@@ -1,0 +1,97 @@
+#include "vm/vm.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rattrap::vm {
+
+const char* to_string(VmState state) {
+  switch (state) {
+    case VmState::kCreated:
+      return "created";
+    case VmState::kBooting:
+      return "booting";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(VmId id, VmConfig config)
+    : id_(id), config_(std::move(config)) {}
+
+sim::SimDuration VirtualMachine::virtualize_cpu(
+    sim::SimDuration native) const {
+  return static_cast<sim::SimDuration>(static_cast<double>(native) /
+                                       config_.cpu_factor);
+}
+
+sim::SimDuration VirtualMachine::io_penalty(sim::SimDuration native) const {
+  const double total = static_cast<double>(native) / config_.io_factor;
+  return static_cast<sim::SimDuration>(total) - native;
+}
+
+bool VirtualMachine::boot(sim::Simulator& simulator, fs::DiskModel& disk,
+                          std::vector<BootStage> plan,
+                          std::function<void(sim::SimTime)> on_booted) {
+  if (state_ != VmState::kCreated && state_ != VmState::kStopped) {
+    return false;
+  }
+  state_ = VmState::kBooting;
+  plan_ = std::move(plan);
+  on_booted_ = std::move(on_booted);
+  boot_start_ = simulator.now();
+  ++boot_epoch_;
+  run_stage(simulator, disk, 0);
+  return true;
+}
+
+void VirtualMachine::run_stage(sim::Simulator& simulator, fs::DiskModel& disk,
+                               std::size_t index) {
+  if (state_ != VmState::kBooting) return;  // aborted
+  if (index >= plan_.size()) {
+    state_ = VmState::kRunning;
+    boot_duration_ = simulator.now() - boot_start_;
+    if (on_booted_) {
+      auto done = std::move(on_booted_);
+      on_booted_ = nullptr;
+      done(simulator.now());
+    }
+    return;
+  }
+  const BootStage& stage = plan_[index];
+  const std::uint64_t epoch = boot_epoch_;
+  const sim::SimDuration cpu = virtualize_cpu(stage.cpu_time);
+
+  auto after_io = [this, &simulator, &disk, index, epoch, cpu]() {
+    if (epoch != boot_epoch_ || state_ != VmState::kBooting) return;
+    simulator.schedule_in(cpu, [this, &simulator, &disk, index, epoch]() {
+      if (epoch != boot_epoch_ || state_ != VmState::kBooting) return;
+      run_stage(simulator, disk, index + 1);
+    });
+  };
+
+  if (stage.disk_read == 0) {
+    after_io();
+    return;
+  }
+  // Virtualized I/O: the native transfer plus the virtio/emulation penalty
+  // modelled as extra latency after the device completes.
+  const sim::SimDuration native = disk.service_time(stage.disk_read, true);
+  const sim::SimDuration penalty = io_penalty(native);
+  disk.submit(fs::IoKind::kRead, stage.disk_read, true,
+              [&simulator, penalty, after_io = std::move(after_io)]() {
+                simulator.schedule_in(penalty, after_io);
+              });
+}
+
+void VirtualMachine::stop() {
+  if (state_ == VmState::kStopped) return;
+  ++boot_epoch_;  // cancels pending stage callbacks
+  on_booted_ = nullptr;
+  state_ = VmState::kStopped;
+}
+
+}  // namespace rattrap::vm

@@ -1,0 +1,94 @@
+// Virtual machine model (the VirtualBox + Android-x86 baseline).
+//
+// A VM boots through the full device-style stage sequence — firmware POST,
+// bootloader, kernel+ramdisk load, root-fs mount, then the guest userspace
+// boot — and each stage costs guest CPU time plus disk reads issued
+// against the host disk.  Hardware virtualization also taxes steady-state
+// execution: guest compute runs at `cpu_factor` of native speed and guest
+// I/O at `io_factor` of native throughput.  These two factors are what the
+// container platform avoids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fs/disk.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::vm {
+
+using VmId = std::uint32_t;
+
+enum class VmState : std::uint8_t {
+  kCreated,
+  kBooting,
+  kRunning,
+  kStopped,
+};
+
+[[nodiscard]] const char* to_string(VmState state);
+
+/// One stage of the boot sequence.
+struct BootStage {
+  std::string name;
+  sim::SimDuration cpu_time = 0;   ///< guest-CPU work at native speed
+  std::uint64_t disk_read = 0;     ///< bytes read from the VM image
+};
+
+struct VmConfig {
+  std::string name;
+  std::uint32_t vcpus = 1;
+  std::uint64_t memory = 512ull * 1024 * 1024;  ///< allocated up front
+  std::uint64_t disk_image = 0;                 ///< image size on host disk
+  double cpu_factor = 0.92;  ///< guest compute speed relative to native
+  double io_factor = 0.55;   ///< guest I/O throughput relative to native
+};
+
+class VirtualMachine {
+ public:
+  VirtualMachine(VmId id, VmConfig config);
+
+  [[nodiscard]] VmId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const VmConfig& config() const { return config_; }
+  [[nodiscard]] VmState state() const { return state_; }
+
+  /// Starts booting through `plan`; `on_booted` fires (with the completion
+  /// time) once the last stage retires and the VM is kRunning.
+  /// Returns false when the VM is not startable.
+  bool boot(sim::Simulator& simulator, fs::DiskModel& disk,
+            std::vector<BootStage> plan,
+            std::function<void(sim::SimTime)> on_booted);
+
+  /// Stops the VM (also aborts an in-flight boot).
+  void stop();
+
+  /// Wall time one unit of guest CPU work takes under virtualization.
+  [[nodiscard]] sim::SimDuration virtualize_cpu(sim::SimDuration native) const;
+
+  /// Extra latency virtualized I/O adds on top of a native transfer.
+  [[nodiscard]] sim::SimDuration io_penalty(sim::SimDuration native) const;
+
+  /// Boot wall-clock duration of the last completed boot (0 before).
+  [[nodiscard]] sim::SimDuration last_boot_duration() const {
+    return boot_duration_;
+  }
+
+ private:
+  void run_stage(sim::Simulator& simulator, fs::DiskModel& disk,
+                 std::size_t index);
+
+  VmId id_;
+  VmConfig config_;
+  VmState state_ = VmState::kCreated;
+  std::vector<BootStage> plan_;
+  std::function<void(sim::SimTime)> on_booted_;
+  sim::SimTime boot_start_ = 0;
+  sim::SimDuration boot_duration_ = 0;
+  std::uint64_t boot_epoch_ = 0;  ///< invalidates stale stage callbacks
+};
+
+}  // namespace rattrap::vm

@@ -1,0 +1,191 @@
+// ChessGame workload: a real chess engine.
+//
+// The paper's ChessGame is an Android port of the CuckooChess engine; the
+// offloaded computation is a best-move search.  This module implements a
+// complete engine: 0x88 board representation, full legal move generation
+// (castling, en passant, promotions), negamax alpha-beta with quiescence
+// search and MVV/LVA move ordering, and material + piece-square
+// evaluation.  Searched nodes are the work units.
+//
+// size_class k searches to depth 3 + k from a randomized midgame position.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace rattrap::workloads::chess {
+
+/// Piece codes; positive = white, negative = black, 0 = empty.
+enum Piece : std::int8_t {
+  kEmpty = 0,
+  kPawn = 1,
+  kKnight = 2,
+  kBishop = 3,
+  kRook = 4,
+  kQueen = 5,
+  kKing = 6,
+};
+
+/// 0x88 square index: file = sq & 7, rank = sq >> 4; off-board if sq & 0x88.
+using Square = std::int16_t;
+
+inline constexpr Square kInvalidSquare = -1;
+
+/// Encodes a move.
+struct Move {
+  Square from = kInvalidSquare;
+  Square to = kInvalidSquare;
+  std::int8_t promotion = 0;  ///< kQueen..kKnight when promoting, else 0
+  bool is_en_passant = false;
+  bool is_castle = false;
+
+  [[nodiscard]] bool valid() const { return from != kInvalidSquare; }
+  bool operator==(const Move&) const = default;
+};
+
+/// Long-algebraic (UCI) notation for a move, e.g. "e2e4", "e7e8q".
+[[nodiscard]] std::string to_uci(const Move& move);
+
+/// Castling-rights bit flags.
+enum CastleRights : std::uint8_t {
+  kWhiteKingSide = 1,
+  kWhiteQueenSide = 2,
+  kBlackKingSide = 4,
+  kBlackQueenSide = 8,
+};
+
+class Board {
+ public:
+  /// Sets up the initial position.
+  Board();
+
+  /// Side to move: +1 white, -1 black.
+  [[nodiscard]] int side() const { return side_; }
+
+  [[nodiscard]] std::int8_t piece_at(Square sq) const { return squares_[sq]; }
+
+  /// Generates all *legal* moves for the side to move.
+  [[nodiscard]] std::vector<Move> legal_moves() const;
+
+  /// Generates pseudo-legal moves (may leave the king in check).
+  void pseudo_moves(std::vector<Move>& out, bool captures_only = false) const;
+
+  /// Applies a move (assumed pseudo-legal); returns undo state.
+  struct Undo {
+    Move move;
+    std::int8_t captured = kEmpty;
+    std::uint8_t castle_rights = 0;
+    Square en_passant = kInvalidSquare;
+    int halfmove_clock = 0;
+  };
+  Undo make_move(const Move& move);
+  void unmake_move(const Undo& undo);
+
+  /// True when `side`'s king is attacked.
+  [[nodiscard]] bool in_check(int side) const;
+
+  /// True when `sq` is attacked by `by_side`.
+  [[nodiscard]] bool square_attacked(Square sq, int by_side) const;
+
+  /// Static evaluation from the side-to-move's perspective (centipawns).
+  [[nodiscard]] int evaluate() const;
+
+  /// Position hash (Zobrist-like) for repetition bookkeeping and testing.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Plays `n` uniformly random legal moves (deterministic in rng); stops
+  /// early at mate/stalemate. Used to set up midgame search positions.
+  void randomize(sim::Rng& rng, int n);
+
+  [[nodiscard]] std::string to_fen_board() const;  ///< board field of FEN
+
+ private:
+  void generate_piece_moves(std::vector<Move>& out, Square from,
+                            bool captures_only) const;
+  void generate_pawn_moves(std::vector<Move>& out, Square from,
+                           bool captures_only) const;
+  void generate_castles(std::vector<Move>& out) const;
+  [[nodiscard]] Square king_square(int side) const;
+
+  std::array<std::int8_t, 128> squares_{};
+  int side_ = 1;
+  std::uint8_t castle_rights_ =
+      kWhiteKingSide | kWhiteQueenSide | kBlackKingSide | kBlackQueenSide;
+  Square en_passant_ = kInvalidSquare;
+  int halfmove_clock_ = 0;
+};
+
+/// Search result.
+struct SearchResult {
+  Move best;
+  int score = 0;            ///< centipawns, side-to-move perspective
+  std::uint64_t nodes = 0;  ///< nodes visited (work units)
+};
+
+/// Transposition table: fixed-size, depth-preferred replacement.  Shared
+/// across iterative-deepening iterations; cleared per search() call so
+/// results stay deterministic.
+class TranspositionTable {
+ public:
+  enum class Bound : std::uint8_t { kExact, kLower, kUpper };
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::int16_t depth = -1;
+    int score = 0;
+    Bound bound = Bound::kExact;
+    Move best;
+  };
+
+  /// `log2_entries`: table holds 2^log2_entries slots (default 64k).
+  explicit TranspositionTable(unsigned log2_entries = 16);
+
+  /// Looks up a position; nullptr on miss.
+  [[nodiscard]] const Entry* probe(std::uint64_t key) const;
+
+  /// Stores a result (replaces shallower entries in the slot).
+  void store(std::uint64_t key, int depth, int score, Bound bound,
+             const Move& best);
+
+  void clear();
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t stores() const { return stores_; }
+
+ private:
+  std::vector<Entry> table_;
+  std::uint64_t mask_;
+  mutable std::uint64_t hits_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+/// Iterative-deepening negamax alpha-beta with a transposition table and
+/// quiescence search (the engine's production search).
+[[nodiscard]] SearchResult search(Board& board, int depth);
+
+/// Plain fixed-depth alpha-beta without a transposition table — kept as a
+/// correctness/ablation baseline; visits strictly more nodes.
+[[nodiscard]] SearchResult search_basic(Board& board, int depth);
+
+/// Perft: leaf count to `depth` (used by movegen correctness tests).
+[[nodiscard]] std::uint64_t perft(Board& board, int depth);
+
+}  // namespace rattrap::workloads::chess
+
+namespace rattrap::workloads {
+
+class ChessWorkload final : public Workload {
+ public:
+  [[nodiscard]] Kind kind() const override { return Kind::kChess; }
+  [[nodiscard]] std::string name() const override { return "ChessGame"; }
+  [[nodiscard]] AppProfile app() const override;
+  [[nodiscard]] TaskSpec make_task(sim::Rng& rng,
+                                   std::uint32_t size_class) const override;
+  [[nodiscard]] TaskResult execute(const TaskSpec& spec) const override;
+};
+
+}  // namespace rattrap::workloads

@@ -1,0 +1,109 @@
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace rattrap::workloads {
+
+std::uint32_t default_size_class(Kind kind) {
+  switch (kind) {
+    case Kind::kOcr:
+      return 3;  // a 72×96-glyph page: several seconds of recognition
+    case Kind::kChess:
+      return 3;  // depth-6 search: a few hundred thousand nodes typical
+    case Kind::kVirusScan:
+      return 1;  // ~4.5 MB corpus per request
+    case Kind::kLinpack:
+      return 3;  // N = 480
+  }
+  return 1;
+}
+
+std::vector<OffloadRequest> make_stream(const StreamConfig& config) {
+  assert(config.devices > 0);
+  std::vector<OffloadRequest> stream;
+  stream.reserve(config.count);
+  sim::Rng arrivals_rng = sim::Rng(config.seed).fork("arrivals");
+  sim::Rng task_rng = sim::Rng(config.seed).fork("tasks");
+  const auto workload = make_workload(config.kind);
+  sim::SimTime clock = 0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    clock += sim::from_seconds(
+        arrivals_rng.exponential(sim::to_seconds(config.mean_gap)));
+    OffloadRequest request;
+    request.sequence = i;
+    request.device_id = static_cast<std::uint32_t>(i % config.devices);
+    request.task = workload->make_task(task_rng, config.size_class);
+    request.arrival = clock;
+    stream.push_back(request);
+  }
+  return stream;
+}
+
+std::vector<OffloadRequest> make_mixed_stream(std::size_t count_per_kind,
+                                              std::uint32_t devices,
+                                              sim::SimDuration mean_gap,
+                                              std::uint64_t seed) {
+  std::vector<OffloadRequest> merged;
+  const std::array<Kind, kKindCount> kinds = {Kind::kOcr, Kind::kChess,
+                                              Kind::kVirusScan,
+                                              Kind::kLinpack};
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    StreamConfig config;
+    config.kind = kinds[k];
+    config.count = count_per_kind;
+    config.devices = devices;
+    config.mean_gap = mean_gap * static_cast<sim::SimDuration>(kinds.size());
+    config.size_class = default_size_class(kinds[k]);
+    config.seed = seed + k * 7919;
+    auto stream = make_stream(config);
+    merged.insert(merged.end(), stream.begin(), stream.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const OffloadRequest& a, const OffloadRequest& b) {
+              return a.arrival < b.arrival;
+            });
+  for (std::size_t i = 0; i < merged.size(); ++i) merged[i].sequence = i;
+  return merged;
+}
+
+std::vector<OffloadRequest> make_stream_from_trace(
+    Kind kind,
+    const std::vector<std::pair<sim::SimTime, std::uint32_t>>& events,
+    std::uint32_t size_class, std::uint64_t seed) {
+  std::vector<OffloadRequest> stream;
+  stream.reserve(events.size());
+  sim::Rng task_rng = sim::Rng(seed).fork("trace-tasks");
+  const auto workload = make_workload(kind);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    OffloadRequest request;
+    request.sequence = i;
+    request.device_id = events[i].second;
+    request.task = workload->make_task(task_rng, size_class);
+    request.arrival = events[i].first;
+    stream.push_back(request);
+  }
+  return stream;
+}
+
+std::vector<OffloadRequest> make_stream_from_arrivals(
+    Kind kind, const std::vector<sim::SimTime>& arrivals,
+    std::uint32_t devices, std::uint32_t size_class, std::uint64_t seed) {
+  assert(devices > 0);
+  std::vector<OffloadRequest> stream;
+  stream.reserve(arrivals.size());
+  sim::Rng task_rng = sim::Rng(seed).fork("trace-tasks");
+  const auto workload = make_workload(kind);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    OffloadRequest request;
+    request.sequence = i;
+    request.device_id = static_cast<std::uint32_t>(i % devices);
+    request.task = workload->make_task(task_rng, size_class);
+    request.arrival = arrivals[i];
+    stream.push_back(request);
+  }
+  return stream;
+}
+
+}  // namespace rattrap::workloads

@@ -1,0 +1,63 @@
+// Offloading-request stream generation.
+//
+// The paper drives each experiment with a fixed inflow of requests from 5
+// Android devices, replayed identically against every platform (§VI-C:
+// "the same inflow of requests is used for both Rattrap and VM-based
+// cloud").  A generated stream is exactly that replayable inflow.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "workloads/workload.hpp"
+
+namespace rattrap::workloads {
+
+/// One offloading request in a replayable stream.
+struct OffloadRequest {
+  std::uint64_t sequence = 0;   ///< global index within the stream
+  std::uint32_t device_id = 0;  ///< originating mobile device
+  TaskSpec task;                ///< what to execute
+  sim::SimTime arrival = 0;     ///< when the device initiates offloading
+};
+
+struct StreamConfig {
+  Kind kind = Kind::kLinpack;
+  std::size_t count = 20;          ///< total requests
+  std::uint32_t devices = 5;       ///< devices issuing round-robin
+  sim::SimDuration mean_gap = 2 * sim::kSecond;  ///< exp. inter-arrival
+  std::uint32_t size_class = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Single-workload stream (Fig. 1/2/3, Table II, Fig. 9 inputs).
+[[nodiscard]] std::vector<OffloadRequest> make_stream(
+    const StreamConfig& config);
+
+/// Mixed stream interleaving all four workloads round-robin by kind.
+[[nodiscard]] std::vector<OffloadRequest> make_mixed_stream(
+    std::size_t count_per_kind, std::uint32_t devices,
+    sim::SimDuration mean_gap, std::uint64_t seed);
+
+/// Arrival-timestamp stream from explicit timestamps (trace replay);
+/// devices are assigned round-robin.
+[[nodiscard]] std::vector<OffloadRequest> make_stream_from_arrivals(
+    Kind kind, const std::vector<sim::SimTime>& arrivals,
+    std::uint32_t devices, std::uint32_t size_class, std::uint64_t seed);
+
+/// Trace replay with explicit (arrival, device) pairs — preserves which
+/// user issued each access, which matters for per-device environment
+/// warmth. `events` must be time-sorted.
+[[nodiscard]] std::vector<OffloadRequest> make_stream_from_trace(
+    Kind kind,
+    const std::vector<std::pair<sim::SimTime, std::uint32_t>>& events,
+    std::uint32_t size_class, std::uint64_t seed);
+
+/// Default paper-calibrated size class per workload: scales each kernel so
+/// its computation time lands in the regime the paper reports.
+[[nodiscard]] std::uint32_t default_size_class(Kind kind);
+
+}  // namespace rattrap::workloads

@@ -1,0 +1,75 @@
+// Template-matching OCR workload.
+//
+// A synthetic "page" of glyphs is rendered from a deterministic 8×8-bitmap
+// font, degraded with salt-and-pepper noise, then recognized by
+// nearest-template matching under Hamming distance.  This reproduces the
+// computational character of the paper's Tesseract-based OCR benchmark:
+// pixel-level compute over a transferred image file.
+//
+// size_class k renders a page of (24·k) columns × (32·k) rows of glyphs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace rattrap::workloads {
+
+/// 8×8 1-bpp glyph bitmap (one byte per row).
+using Glyph = std::array<std::uint8_t, 8>;
+
+/// The recognizer's alphabet: 36 symbols (A–Z, 0–9).
+inline constexpr std::size_t kAlphabetSize = 36;
+
+/// Deterministic font: glyph for symbol index `i` (0..35).  Glyphs are
+/// pairwise distinct with a guaranteed minimum Hamming separation.
+[[nodiscard]] const std::array<Glyph, kAlphabetSize>& font();
+
+/// A rendered page: glyph grid plus the noisy bitmaps.
+struct Page {
+  std::size_t columns = 0;
+  std::size_t rows = 0;
+  std::vector<std::uint8_t> truth;    ///< symbol index per cell (row-major)
+  std::vector<Glyph> bitmaps;         ///< noisy rendering per cell
+};
+
+/// Renders a page of `columns`×`rows` glyphs with per-pixel flip
+/// probability `noise`, deterministic in `seed`.
+[[nodiscard]] Page render_page(std::size_t columns, std::size_t rows,
+                               double noise, std::uint64_t seed);
+
+/// Recognition outcome.
+struct OcrOutcome {
+  std::vector<std::uint8_t> decoded;  ///< recognized symbol per cell
+  std::uint64_t pixel_ops = 0;        ///< pixel operations performed
+  std::size_t correct = 0;            ///< cells matching the ground truth
+};
+
+/// 3×3 majority (salt-and-pepper) filter over one glyph bitmap: a pixel
+/// becomes the majority value of its neighbourhood. Flips isolated noise
+/// pixels while preserving strokes.
+[[nodiscard]] Glyph denoise(const Glyph& glyph);
+
+/// Recognizes every cell by nearest template; `with_denoise` runs the
+/// majority filter first.  Note a property the test suite pins: against
+/// the i.i.d. pixel noise this pipeline faces, the *raw* nearest-template
+/// match is the optimal (matched-filter) decision rule, so denoising can
+/// only discard evidence — it exists for structured noise (scanner
+/// streaks, compression artifacts) and for weaker feature-based
+/// recognizers, and costs extra pixel ops.
+[[nodiscard]] OcrOutcome recognize(const Page& page,
+                                   bool with_denoise = false);
+
+class OcrWorkload final : public Workload {
+ public:
+  [[nodiscard]] Kind kind() const override { return Kind::kOcr; }
+  [[nodiscard]] std::string name() const override { return "OCR"; }
+  [[nodiscard]] AppProfile app() const override;
+  [[nodiscard]] TaskSpec make_task(sim::Rng& rng,
+                                   std::uint32_t size_class) const override;
+  [[nodiscard]] TaskResult execute(const TaskSpec& spec) const override;
+};
+
+}  // namespace rattrap::workloads

@@ -1,0 +1,78 @@
+// VirusScan workload: Aho-Corasick multi-pattern signature scanning.
+//
+// The paper's VirusScan searches target files against a virus database and
+// is the most I/O-intensive benchmark.  Here a real Aho-Corasick automaton
+// is built over a deterministic signature database and run across a
+// synthetic target corpus with planted infections; scanned bytes plus
+// automaton transitions are the work units, and the corpus size is the
+// offloading I/O volume.
+//
+// size_class k scans roughly k × 4.5 MB of corpus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace rattrap::workloads {
+
+/// Aho-Corasick automaton over byte strings.
+class AhoCorasick {
+ public:
+  /// Builds the automaton from `patterns` (goto/fail construction).
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  /// Scans `data`, returning the number of pattern occurrences and
+  /// accumulating transitions into `*transitions` when non-null.
+  [[nodiscard]] std::uint64_t scan(const std::vector<std::uint8_t>& data,
+                                   std::uint64_t* transitions = nullptr) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t pattern_count() const { return patterns_; }
+
+ private:
+  struct Node {
+    std::array<std::int32_t, 256> next;
+    std::int32_t fail = 0;
+    std::uint32_t terminal = 0;  ///< patterns ending here (via fail links)
+    Node() { next.fill(-1); }
+  };
+  std::vector<Node> nodes_;
+  std::size_t patterns_ = 0;
+};
+
+/// Synthesizes a scan-target file tree: lognormally distributed file
+/// sizes accumulating to roughly `total_bytes`. The paper's VirusScan
+/// "spawns more I/O requests than other benchmarks" (§III-A) precisely
+/// because a scan target is many files, each a separate open/read.
+[[nodiscard]] std::vector<std::uint64_t> make_file_tree(
+    std::uint64_t total_bytes, std::uint64_t seed);
+
+/// Deterministic signature database: `count` signatures of 8–24 bytes.
+[[nodiscard]] std::vector<std::string> make_signature_db(std::size_t count,
+                                                         std::uint64_t seed);
+
+/// Synthetic scan target of `bytes` with `infections` planted signatures
+/// drawn from `db`. Returns the buffer and (via out-param) how many
+/// plants were made.
+[[nodiscard]] std::vector<std::uint8_t> make_corpus(
+    std::uint64_t bytes, const std::vector<std::string>& db,
+    std::size_t infections, std::uint64_t seed);
+
+class VirusScanWorkload final : public Workload {
+ public:
+  [[nodiscard]] Kind kind() const override { return Kind::kVirusScan; }
+  [[nodiscard]] std::string name() const override { return "VirusScan"; }
+  [[nodiscard]] AppProfile app() const override;
+  [[nodiscard]] TaskSpec make_task(sim::Rng& rng,
+                                   std::uint32_t size_class) const override;
+  [[nodiscard]] TaskResult execute(const TaskSpec& spec) const override;
+
+  /// Shared signature database (built once; scanning dominates anyway).
+  [[nodiscard]] static const std::vector<std::string>& signature_db();
+};
+
+}  // namespace rattrap::workloads

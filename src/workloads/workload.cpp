@@ -1,0 +1,74 @@
+#include "workloads/workload.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "workloads/chess.hpp"
+#include "workloads/linpack.hpp"
+#include "workloads/ocr.hpp"
+#include "workloads/virusscan.hpp"
+
+namespace rattrap::workloads {
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kOcr:
+      return "OCR";
+    case Kind::kChess:
+      return "ChessGame";
+    case Kind::kVirusScan:
+      return "VirusScan";
+    case Kind::kLinpack:
+      return "Linpack";
+  }
+  return "?";
+}
+
+std::unique_ptr<Workload> make_workload(Kind kind) {
+  switch (kind) {
+    case Kind::kOcr:
+      return std::make_unique<OcrWorkload>();
+    case Kind::kChess:
+      return std::make_unique<ChessWorkload>();
+    case Kind::kVirusScan:
+      return std::make_unique<VirusScanWorkload>();
+    case Kind::kLinpack:
+      return std::make_unique<LinpackWorkload>();
+  }
+  return nullptr;
+}
+
+TaskResult execute_task_cached(const TaskSpec& spec) {
+  struct Key {
+    Kind kind;
+    std::uint64_t seed;
+    std::uint32_t size_class;
+    bool operator<(const Key& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (seed != o.seed) return seed < o.seed;
+      return size_class < o.size_class;
+    }
+  };
+  static std::map<Key, TaskResult> memo;
+  static std::mutex mutex;
+  const Key key{spec.kind, spec.seed, spec.size_class};
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  const TaskResult result = make_workload(spec.kind)->execute(spec);
+  const std::lock_guard<std::mutex> lock(mutex);
+  return memo.emplace(key, result).first->second;
+}
+
+std::vector<std::unique_ptr<Workload>> all_workloads() {
+  std::vector<std::unique_ptr<Workload>> out;
+  out.push_back(make_workload(Kind::kOcr));
+  out.push_back(make_workload(Kind::kChess));
+  out.push_back(make_workload(Kind::kVirusScan));
+  out.push_back(make_workload(Kind::kLinpack));
+  return out;
+}
+
+}  // namespace rattrap::workloads

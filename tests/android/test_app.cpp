@@ -1,0 +1,57 @@
+#include "android/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rattrap::android {
+namespace {
+
+TEST(MobileApp, ForWorkloadBuildsCanonicalApps) {
+  const MobileApp ocr = MobileApp::for_workload(workloads::Kind::kOcr);
+  EXPECT_EQ(ocr.app_id(), "com.bench.ocr");
+  EXPECT_GT(ocr.apk_bytes(), 0u);
+  ASSERT_EQ(ocr.methods().size(), 1u);
+  EXPECT_EQ(ocr.methods()[0].name, "recognizePage");
+  EXPECT_EQ(ocr.methods()[0].kind, workloads::Kind::kOcr);
+}
+
+TEST(MobileApp, EachWorkloadHasDistinctAppId) {
+  std::set<std::string> ids;
+  for (const auto kind :
+       {workloads::Kind::kOcr, workloads::Kind::kChess,
+        workloads::Kind::kVirusScan, workloads::Kind::kLinpack}) {
+    ids.insert(MobileApp::for_workload(kind).app_id());
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(MobileApp, MethodLookup) {
+  const MobileApp chess = MobileApp::for_workload(workloads::Kind::kChess);
+  EXPECT_NE(chess.find_method("searchBestMove"), nullptr);
+  EXPECT_EQ(chess.find_method("unknownMethod"), nullptr);
+}
+
+TEST(MobileApp, ApkSizesMatchWorkloadProfiles) {
+  for (const auto kind :
+       {workloads::Kind::kOcr, workloads::Kind::kChess,
+        workloads::Kind::kVirusScan, workloads::Kind::kLinpack}) {
+    const MobileApp app = MobileApp::for_workload(kind);
+    EXPECT_EQ(app.apk_bytes(), workloads::make_workload(kind)->app().apk_bytes);
+  }
+}
+
+TEST(MobileApp, ChessShipsTheBiggestCode) {
+  // Mobile code dominates Chess/Linpack uploads (Fig. 3); the chess
+  // engine is the largest APK of the benchmark set.
+  const auto apk = [](workloads::Kind kind) {
+    return MobileApp::for_workload(kind).apk_bytes();
+  };
+  EXPECT_GT(apk(workloads::Kind::kChess), apk(workloads::Kind::kOcr));
+  EXPECT_GT(apk(workloads::Kind::kChess),
+            apk(workloads::Kind::kVirusScan));
+  EXPECT_GT(apk(workloads::Kind::kChess), apk(workloads::Kind::kLinpack));
+}
+
+}  // namespace
+}  // namespace rattrap::android

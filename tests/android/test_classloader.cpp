@@ -1,0 +1,42 @@
+#include "android/classloader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::android {
+namespace {
+
+TEST(ClassLoader, FirstLoadPaysDexopt) {
+  ClassLoader loader;
+  const auto cost = loader.load("com.app.a", 1 << 20);
+  EXPECT_EQ(cost, ClassLoader::first_load_cost(1 << 20));
+  EXPECT_TRUE(loader.loaded("com.app.a"));
+}
+
+TEST(ClassLoader, RepeatLoadOnlyRelinks) {
+  ClassLoader loader;
+  loader.load("com.app.a", 1 << 20);
+  const auto cost = loader.load("com.app.a", 1 << 20);
+  EXPECT_EQ(cost, ClassLoader::relink_cost());
+  EXPECT_LT(cost, ClassLoader::first_load_cost(1 << 20));
+}
+
+TEST(ClassLoader, DistinctAppsLoadIndependently) {
+  ClassLoader loader;
+  loader.load("com.app.a", 1 << 20);
+  const auto cost = loader.load("com.app.b", 1 << 20);
+  EXPECT_EQ(cost, ClassLoader::first_load_cost(1 << 20));
+  EXPECT_EQ(loader.loaded_count(), 2u);
+}
+
+TEST(ClassLoader, FirstLoadCostScalesWithApkSize) {
+  EXPECT_LT(ClassLoader::first_load_cost(100 * 1024),
+            ClassLoader::first_load_cost(5 << 20));
+}
+
+TEST(ClassLoader, UnknownAppNotLoaded) {
+  ClassLoader loader;
+  EXPECT_FALSE(loader.loaded("com.never.seen"));
+}
+
+}  // namespace
+}  // namespace rattrap::android

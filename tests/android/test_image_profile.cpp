@@ -1,0 +1,102 @@
+// The §III-E / Obs. 4 inventory checks: these numbers are measurements the
+// paper reports and the reproduction pins exactly.
+#include "android/image_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::android {
+namespace {
+
+constexpr double kMiBd = 1024.0 * 1024.0;
+
+TEST(ImageProfile, StockImageIsAbout1_1GB) {
+  const auto builder = stock_image();
+  EXPECT_EQ(builder.total_bytes(), 1127ull * 1024 * 1024);
+}
+
+TEST(ImageProfile, SystemPartitionIs87Percent) {
+  const auto builder = stock_image();
+  const double fraction =
+      static_cast<double>(system_partition_bytes(builder)) /
+      static_cast<double>(builder.total_bytes());
+  EXPECT_NEAR(fraction, 0.874, 0.005);  // paper: /system = 87.4 %
+}
+
+TEST(ImageProfile, EssentialSubsetIs31_6Percent) {
+  const auto builder = stock_image();
+  const double fraction = static_cast<double>(builder.essential_bytes()) /
+                          static_cast<double>(builder.total_bytes());
+  EXPECT_NEAR(fraction, 0.316, 0.005);  // paper: 31.6 % actually needed
+}
+
+TEST(ImageProfile, NonEssentialIs771MB) {
+  const auto builder = stock_image();
+  const std::uint64_t unused =
+      builder.total_bytes() - builder.essential_bytes();
+  EXPECT_NEAR(static_cast<double>(unused) / kMiBd, 771.0, 1.0);
+}
+
+TEST(ImageProfile, InventoryCountsMatchPaper) {
+  // 20 built-in apps, 197 stripped .so, 4372 .ko, 396 firmware .bin.
+  const auto builder = stock_image();
+  std::size_t apps = 0, stripped_so = 0, ko = 0, fw = 0;
+  for (const auto& group : builder.groups()) {
+    if (group.directory == "/system/app") apps = group.count;
+    if (group.directory == "/system/lib/stripped") stripped_so = group.count;
+    if (group.directory == "/system/lib/modules") ko = group.count;
+    if (group.directory == "/system/etc/firmware") fw = group.count;
+  }
+  EXPECT_EQ(apps, 20u);
+  EXPECT_EQ(stripped_so, 197u);
+  EXPECT_EQ(ko, 4372u);
+  EXPECT_EQ(fw, 396u);
+}
+
+TEST(ImageProfile, ContainerImageDropsBootPartition) {
+  const auto full = stock_image();
+  const auto container = container_stock_image();
+  EXPECT_EQ(full.total_bytes() - container.total_bytes(),
+            83ull * 1024 * 1024);
+  for (const auto& group : container.groups()) {
+    EXPECT_NE(group.directory, "/boot");
+  }
+  // ~1.02 GB: the Table I non-optimized container footprint.
+  EXPECT_NEAR(static_cast<double>(container.total_bytes()) / kMiBd, 1044.0,
+              1.0);
+}
+
+TEST(ImageProfile, CustomizedImageKeepsOnlyEssentials) {
+  const auto customized = customized_image();
+  for (const auto& group : customized.groups()) {
+    EXPECT_TRUE(group.essential) << group.directory;
+  }
+  // 356 MiB essential + 2 MiB stubs.
+  EXPECT_EQ(customized.total_bytes(), 358ull * 1024 * 1024);
+}
+
+TEST(ImageProfile, LayersMaterializeDeclaredBytes) {
+  EXPECT_EQ(stock_layer()->total_bytes(), stock_image().total_bytes());
+  EXPECT_EQ(customized_layer()->total_bytes(),
+            customized_image().total_bytes());
+  EXPECT_EQ(container_stock_layer()->total_bytes(),
+            container_stock_image().total_bytes());
+}
+
+TEST(ImageProfile, LayersAreCachedSingletons) {
+  EXPECT_EQ(stock_layer().get(), stock_layer().get());
+  EXPECT_EQ(customized_layer().get(), customized_layer().get());
+}
+
+TEST(ImageProfile, CustomizedImageHasStubs) {
+  bool has_stub = false;
+  customized_layer()->for_each_under(
+      "/system/framework/stubs",
+      [&](const std::string&, const fs::FileNode&) {
+        has_stub = true;
+        return false;
+      });
+  EXPECT_TRUE(has_stub);
+}
+
+}  // namespace
+}  // namespace rattrap::android

@@ -1,0 +1,86 @@
+#include "android/init_rc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rattrap::android {
+namespace {
+
+TEST(InitRc, StockScriptCoversAllBootStages) {
+  const InitScript script = stock_init_script();
+  for (const char* trigger : {"early-init", "init", "fs", "boot"}) {
+    EXPECT_FALSE(script.under(trigger).empty()) << trigger;
+  }
+  EXPECT_GT(script.total_cost(), sim::from_millis(300));
+}
+
+TEST(InitRc, ContainerizeDropsHardwareAndMounts) {
+  const InitScript container = containerize(stock_init_script());
+  for (const auto& action : container.actions()) {
+    EXPECT_NE(action.kind, ActionKind::kMountKernelFs);
+    EXPECT_NE(action.kind, ActionKind::kMountPartition);
+    EXPECT_NE(action.kind, ActionKind::kLoadFirmware);
+    EXPECT_NE(action.kind, ActionKind::kHardwareInit);
+  }
+}
+
+TEST(InitRc, ContainerizeKeepsDaemonsAndZygote) {
+  const InitScript container = containerize(stock_init_script());
+  std::set<std::string> daemons;
+  bool zygote = false;
+  for (const auto& action : container.actions()) {
+    if (action.kind == ActionKind::kStartDaemon) {
+      daemons.insert(action.argument);
+    }
+    if (action.kind == ActionKind::kStartZygote) zygote = true;
+  }
+  EXPECT_TRUE(zygote);
+  EXPECT_TRUE(daemons.contains("servicemanager"));
+  EXPECT_TRUE(daemons.contains("netd"));
+  EXPECT_TRUE(daemons.contains("offloadcontroller"));
+}
+
+TEST(InitRc, ContainerInitIsMuchCheaper) {
+  const InitScript stock = stock_init_script();
+  const InitScript container = containerize(stock);
+  // The dropped mounts/firmware/hardware dominate the stock cost.
+  EXPECT_LT(container.total_cost(), stock.total_cost() / 3);
+  EXPECT_LT(container.size(), stock.size());
+}
+
+TEST(InitRc, ContainerizePreservesScriptOrder) {
+  const InitScript stock = stock_init_script();
+  const InitScript container = containerize(stock);
+  // The surviving actions appear in their original relative order.
+  std::size_t cursor = 0;
+  for (const auto& action : container.actions()) {
+    bool found = false;
+    for (; cursor < stock.actions().size(); ++cursor) {
+      const auto& original = stock.actions()[cursor];
+      if (original.trigger == action.trigger &&
+          original.kind == action.kind &&
+          original.argument == action.argument) {
+        found = true;
+        ++cursor;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << action.argument;
+  }
+}
+
+TEST(InitRc, ActionKindNames) {
+  EXPECT_STREQ(to_string(ActionKind::kStartZygote), "start-zygote");
+  EXPECT_STREQ(to_string(ActionKind::kLoadFirmware), "load-firmware");
+}
+
+TEST(InitRc, UnderFiltersByTrigger) {
+  const InitScript script = stock_init_script();
+  for (const auto& action : script.under("fs")) {
+    EXPECT_EQ(action.trigger, "fs");
+  }
+}
+
+}  // namespace
+}  // namespace rattrap::android

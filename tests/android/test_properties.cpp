@@ -1,0 +1,86 @@
+#include "android/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::android {
+namespace {
+
+TEST(Properties, SetGetRoundTrip) {
+  PropertyStore store;
+  EXPECT_TRUE(store.set("sys.foo", "bar"));
+  ASSERT_TRUE(store.get("sys.foo").has_value());
+  EXPECT_EQ(*store.get("sys.foo"), "bar");
+  EXPECT_FALSE(store.get("sys.missing").has_value());
+  EXPECT_EQ(store.get_or("sys.missing", "dflt"), "dflt");
+}
+
+TEST(Properties, ReadOnlyPropertiesAreWriteOnce) {
+  PropertyStore store;
+  EXPECT_TRUE(store.set("ro.serialno", "abc"));
+  EXPECT_FALSE(store.set("ro.serialno", "xyz"));
+  EXPECT_EQ(*store.get("ro.serialno"), "abc");
+  // Re-setting the identical value is allowed (idempotent init).
+  EXPECT_TRUE(store.set("ro.serialno", "abc"));
+}
+
+TEST(Properties, NonRoPropertiesAreMutable) {
+  PropertyStore store;
+  store.set("sys.state", "booting");
+  EXPECT_TRUE(store.set("sys.state", "running"));
+  EXPECT_EQ(*store.get("sys.state"), "running");
+}
+
+TEST(Properties, WatchersFireOnMatchingSet) {
+  PropertyStore store;
+  int exact = 0, wildcard = 0;
+  store.watch("sys.boot_completed",
+              [&](const std::string&, const std::string& value) {
+                ++exact;
+                EXPECT_EQ(value, "1");
+              });
+  store.watch("*", [&](const std::string&, const std::string&) {
+    ++wildcard;
+  });
+  store.set("sys.boot_completed", "1");
+  store.set("sys.other", "x");
+  EXPECT_EQ(exact, 1);
+  EXPECT_EQ(wildcard, 2);
+}
+
+TEST(Properties, WatcherSeesStoreAlreadyUpdated) {
+  PropertyStore store;
+  std::string observed;
+  store.watch("sys.a", [&](const std::string& name, const std::string&) {
+    observed = store.get_or(name, "");
+  });
+  store.set("sys.a", "committed");
+  EXPECT_EQ(observed, "committed");
+}
+
+TEST(Properties, PrefixEnumeration) {
+  PropertyStore store;
+  store.set("ro.product.device", "cac");
+  store.set("ro.product.model", "rattrap");
+  store.set("ro.serialno", "s");
+  const auto products = store.by_prefix("ro.product.");
+  ASSERT_EQ(products.size(), 2u);
+  EXPECT_EQ(products[0].first, "ro.product.device");
+  EXPECT_EQ(products[1].first, "ro.product.model");
+}
+
+TEST(Properties, CacPopulationAdvertisesStubs) {
+  PropertyStore customized;
+  populate_cac_properties(customized, "cac-7", /*customized_os=*/true);
+  EXPECT_EQ(*customized.get("ro.serialno"), "cac-7");
+  EXPECT_EQ(*customized.get("ro.rattrap.customized"), "1");
+  EXPECT_EQ(*customized.get("ro.rattrap.stub.surfaceflinger"), "1");
+  EXPECT_EQ(*customized.get("sys.boot_completed"), "1");
+
+  PropertyStore stock;
+  populate_cac_properties(stock, "cac-8", /*customized_os=*/false);
+  EXPECT_EQ(*stock.get("ro.rattrap.customized"), "0");
+  EXPECT_FALSE(stock.get("ro.rattrap.stub.surfaceflinger").has_value());
+}
+
+}  // namespace
+}  // namespace rattrap::android

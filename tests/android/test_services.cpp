@@ -1,0 +1,77 @@
+#include "android/services.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rattrap::android {
+namespace {
+
+TEST(Services, StockSetHasAllClasses) {
+  std::set<ServiceClass> classes;
+  for (const auto& spec : stock_services()) classes.insert(spec.klass);
+  EXPECT_TRUE(classes.contains(ServiceClass::kCore));
+  EXPECT_TRUE(classes.contains(ServiceClass::kHardware));
+  EXPECT_TRUE(classes.contains(ServiceClass::kUi));
+  EXPECT_TRUE(classes.contains(ServiceClass::kTelephony));
+}
+
+TEST(Services, CustomizedKeepsAllCoreServices) {
+  std::set<std::string> customized_names;
+  for (const auto& spec : customized_services()) {
+    customized_names.insert(spec.name);
+  }
+  for (const auto& spec : stock_services()) {
+    if (spec.klass == ServiceClass::kCore) {
+      EXPECT_TRUE(customized_names.contains(spec.name)) << spec.name;
+    }
+  }
+}
+
+TEST(Services, CustomizedDropsHardwareAndUi) {
+  for (const auto& spec : customized_services()) {
+    EXPECT_NE(spec.klass, ServiceClass::kHardware) << spec.name;
+    EXPECT_NE(spec.klass, ServiceClass::kUi) << spec.name;
+    EXPECT_NE(spec.klass, ServiceClass::kTelephony) << spec.name;
+  }
+}
+
+TEST(Services, CustomizedStartsFasterThanStock) {
+  EXPECT_LT(sequential_start_cost(customized_services()),
+            sequential_start_cost(stock_services()));
+}
+
+TEST(Services, CustomizedPreloadIsSmaller) {
+  EXPECT_LT(customized_preload().duration, stock_preload().duration);
+  EXPECT_LT(customized_preload().memory, stock_preload().memory);
+}
+
+TEST(Services, StubbingFakesRemovedInterfaces) {
+  // A naive strip would crash the app on the first surfaceflinger call;
+  // the customized OS answers with a stub instead (§IV-B3).
+  EXPECT_EQ(call_service(stock_services(), "surfaceflinger"),
+            ServiceCallOutcome::kOk);
+  EXPECT_EQ(call_service(customized_services(), "surfaceflinger"),
+            ServiceCallOutcome::kStubbed);
+  EXPECT_EQ(call_service(customized_services(), "activity"),
+            ServiceCallOutcome::kOk);
+  EXPECT_EQ(call_service(customized_services(), "made-up-service"),
+            ServiceCallOutcome::kMissing);
+}
+
+TEST(Services, SequentialCostIsSeventyPercentOfSum) {
+  const auto& services = stock_services();
+  sim::SimDuration sum = 0;
+  for (const auto& spec : services) sum += spec.start_cost;
+  EXPECT_EQ(sequential_start_cost(services),
+            static_cast<sim::SimDuration>(static_cast<double>(sum) * 0.7));
+}
+
+TEST(Services, TotalMemorySums) {
+  std::uint64_t sum = 0;
+  for (const auto& spec : stock_services()) sum += spec.memory;
+  EXPECT_EQ(total_memory(stock_services()), sum);
+}
+
+}  // namespace
+}  // namespace rattrap::android

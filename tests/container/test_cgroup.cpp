@@ -1,0 +1,67 @@
+#include "container/cgroup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::container {
+namespace {
+
+TEST(Cgroup, ChargeWithinLimit) {
+  Cgroup group("g", 1024, 1000);
+  EXPECT_TRUE(group.charge_memory(600));
+  EXPECT_TRUE(group.charge_memory(400));
+  EXPECT_EQ(group.memory_usage(), 1000u);
+}
+
+TEST(Cgroup, ChargeBeyondLimitFailsAtomically) {
+  Cgroup group("g", 1024, 1000);
+  EXPECT_TRUE(group.charge_memory(900));
+  EXPECT_FALSE(group.charge_memory(200));
+  EXPECT_EQ(group.memory_usage(), 900u);  // nothing charged on failure
+}
+
+TEST(Cgroup, UnchargeClampsAtZero) {
+  Cgroup group("g", 1024, 1000);
+  group.charge_memory(100);
+  group.uncharge_memory(500);
+  EXPECT_EQ(group.memory_usage(), 0u);
+}
+
+TEST(Cgroup, PeakTracksHighWater) {
+  Cgroup group("g", 1024, 1000);
+  group.charge_memory(700);
+  group.uncharge_memory(700);
+  group.charge_memory(100);
+  EXPECT_EQ(group.memory_peak(), 700u);
+}
+
+TEST(Cgroup, CpuTimeAccumulates) {
+  Cgroup group("g", 1024, 1000);
+  group.charge_cpu(sim::from_millis(30));
+  group.charge_cpu(sim::from_millis(20));
+  EXPECT_EQ(group.cpu_time(), sim::from_millis(50));
+}
+
+TEST(CgroupHierarchy, CreateFindDestroy) {
+  CgroupHierarchy hierarchy;
+  Cgroup* g = hierarchy.create("cac-1", 1024, 1 << 20);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(hierarchy.find("cac-1"), g);
+  EXPECT_EQ(hierarchy.create("cac-1", 512, 1), nullptr);  // duplicate
+  EXPECT_TRUE(hierarchy.destroy("cac-1"));
+  EXPECT_EQ(hierarchy.find("cac-1"), nullptr);
+  EXPECT_FALSE(hierarchy.destroy("cac-1"));
+}
+
+TEST(CgroupHierarchy, Totals) {
+  CgroupHierarchy hierarchy;
+  Cgroup* a = hierarchy.create("a", 1024, 1 << 20);
+  Cgroup* b = hierarchy.create("b", 512, 1 << 20);
+  a->charge_memory(100);
+  b->charge_memory(50);
+  EXPECT_EQ(hierarchy.total_memory_usage(), 150u);
+  EXPECT_EQ(hierarchy.total_cpu_shares(), 1536u);
+  EXPECT_EQ(hierarchy.count(), 2u);
+}
+
+}  // namespace
+}  // namespace rattrap::container

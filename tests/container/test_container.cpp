@@ -1,0 +1,170 @@
+#include "container/container.hpp"
+#include "container/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/android_container_driver.hpp"
+#include "sim/simulator.hpp"
+
+namespace rattrap::container {
+namespace {
+
+std::shared_ptr<fs::Layer> system_layer() {
+  auto layer = std::make_shared<fs::Layer>("system");
+  layer->put_file("/system/framework/core.jar", 1 << 20);
+  layer->put_file("/system/lib/libc.so", 1 << 19);
+  return layer;
+}
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  ContainerConfig basic_config(std::string name) {
+    ContainerConfig config;
+    config.name = std::move(name);
+    config.lower_layers = {system_layer()};
+    config.memory_limit = 128ull << 20;
+    return config;
+  }
+
+  sim::Simulator simulator_;
+  kernel::HostKernel kernel_{simulator_};
+  ContainerRuntime runtime_{kernel_};
+};
+
+TEST_F(ContainerTest, LifecycleCreateStartStopDestroy) {
+  Container& c = runtime_.create(basic_config("c1"));
+  EXPECT_EQ(c.state(), ContainerState::kCreated);
+  const auto cost = runtime_.start(c.id());
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_GT(*cost, 0);
+  EXPECT_EQ(c.state(), ContainerState::kRunning);
+  EXPECT_GT(runtime_.stop(c.id()), 0);
+  EXPECT_EQ(c.state(), ContainerState::kStopped);
+  EXPECT_TRUE(runtime_.destroy(c.id()));
+  EXPECT_EQ(runtime_.count(), 0u);
+}
+
+TEST_F(ContainerTest, StartRequiresKernelFeatures) {
+  ContainerConfig config = basic_config("needs-binder");
+  config.required_features = {kernel::kFeatureBinder};
+  Container& c = runtime_.create(config);
+  EXPECT_FALSE(runtime_.start(c.id()).has_value());  // driver missing
+  kernel::AndroidContainerDriver acd(simulator_);
+  acd.load(kernel_);
+  EXPECT_TRUE(runtime_.start(c.id()).has_value());
+}
+
+TEST_F(ContainerTest, StartCreatesNamespacesAndDevns) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  EXPECT_NE(c.devns(), kernel::kHostDevNs);
+  EXPECT_TRUE(kernel_.device_namespaces().alive(c.devns()));
+  EXPECT_EQ(c.namespaces().uts.hostname, "c1");
+  EXPECT_FALSE(c.namespaces().net.address.empty());
+}
+
+TEST_F(ContainerTest, StopDestroysDeviceNamespace) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  const kernel::DevNsId ns = c.devns();
+  runtime_.stop(c.id());
+  EXPECT_FALSE(kernel_.device_namespaces().alive(ns));
+}
+
+TEST_F(ContainerTest, RootfsSeesLowerLayers) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  ASSERT_NE(c.rootfs(), nullptr);
+  EXPECT_TRUE(c.rootfs()->exists("/system/lib/libc.so"));
+  EXPECT_EQ(c.private_disk_bytes(), 0u);  // nothing written yet
+  c.rootfs()->write("/data/app.log", 4096, 0);
+  EXPECT_EQ(c.private_disk_bytes(), 4096u);
+}
+
+TEST_F(ContainerTest, MemoryChargedAndReleased) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  Cgroup* group = runtime_.cgroups().find("c1");
+  ASSERT_NE(group, nullptr);
+  EXPECT_GT(group->memory_usage(), 0u);
+  runtime_.stop(c.id());
+  EXPECT_EQ(group->memory_usage(), 0u);
+}
+
+TEST_F(ContainerTest, RestartAfterStop) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  runtime_.stop(c.id());
+  EXPECT_TRUE(runtime_.start(c.id()).has_value());
+  EXPECT_EQ(c.state(), ContainerState::kRunning);
+}
+
+TEST_F(ContainerTest, DoubleStartRejected) {
+  Container& c = runtime_.create(basic_config("c1"));
+  runtime_.start(c.id());
+  EXPECT_FALSE(runtime_.start(c.id()).has_value());
+}
+
+TEST_F(ContainerTest, RunningCountTracksStates) {
+  Container& a = runtime_.create(basic_config("a"));
+  runtime_.create(basic_config("b"));
+  runtime_.start(a.id());
+  EXPECT_EQ(runtime_.running_count(), 1u);
+  EXPECT_EQ(runtime_.count(), 2u);
+}
+
+TEST_F(ContainerTest, DestroyUnknownIdFails) {
+  EXPECT_FALSE(runtime_.destroy(999));
+  EXPECT_EQ(runtime_.find(999), nullptr);
+}
+
+TEST_F(ContainerTest, PerContainerWritesAreIsolated) {
+  // Two containers sharing the same lower layer must not see each
+  // other's writes — the Shared Resource Layer safety property.
+  const auto shared = system_layer();
+  ContainerConfig ca = basic_config("a");
+  ContainerConfig cb = basic_config("b");
+  ca.lower_layers = {shared};
+  cb.lower_layers = {shared};
+  Container& a = runtime_.create(ca);
+  Container& b = runtime_.create(cb);
+  runtime_.start(a.id());
+  runtime_.start(b.id());
+  a.rootfs()->write("/data/secret-a", 100, 0);
+  EXPECT_FALSE(b.rootfs()->exists("/data/secret-a"));
+  a.rootfs()->unlink("/system/lib/libc.so");
+  EXPECT_TRUE(b.rootfs()->exists("/system/lib/libc.so"));
+}
+
+TEST_F(ContainerTest, DiskQuotaBoundsPrivateLayer) {
+  ContainerConfig config = basic_config("quota");
+  config.disk_quota = 10 * 1024;
+  Container& c = runtime_.create(config);
+  runtime_.start(c.id());
+  EXPECT_TRUE(c.write_file("/data/a", 6 * 1024, 0));
+  EXPECT_FALSE(c.write_file("/data/b", 6 * 1024, 0));  // over quota
+  EXPECT_EQ(c.private_disk_bytes(), 6u * 1024);
+  EXPECT_TRUE(c.write_file("/data/b", 4 * 1024, 0));
+}
+
+TEST_F(ContainerTest, DiskQuotaReplacementFreesOldBytes) {
+  ContainerConfig config = basic_config("quota2");
+  config.disk_quota = 10 * 1024;
+  Container& c = runtime_.create(config);
+  runtime_.start(c.id());
+  EXPECT_TRUE(c.write_file("/data/a", 8 * 1024, 0));
+  // Rewriting the same file replaces it, so this fits under the quota.
+  EXPECT_TRUE(c.write_file("/data/a", 9 * 1024, 0));
+  EXPECT_EQ(c.private_disk_bytes(), 9u * 1024);
+}
+
+TEST_F(ContainerTest, ZeroQuotaMeansUnlimited) {
+  Container& c = runtime_.create(basic_config("noquota"));
+  runtime_.start(c.id());
+  EXPECT_TRUE(c.write_file("/data/huge", 500ull << 20, 0));
+}
+
+}  // namespace
+}  // namespace rattrap::container

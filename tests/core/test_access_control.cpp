@@ -1,0 +1,84 @@
+#include "core/access_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::core {
+namespace {
+
+TEST(AccessControl, AnalysisHappensOncePerApp) {
+  RequestAccessController controller;
+  EXPECT_TRUE(controller.ensure_analyzed("app-a"));
+  EXPECT_FALSE(controller.ensure_analyzed("app-a"));
+  EXPECT_TRUE(controller.analyzed("app-a"));
+  EXPECT_EQ(controller.table_count(), 1u);
+}
+
+TEST(AccessControl, GrantedOperationsPass) {
+  RequestAccessController controller;
+  EXPECT_TRUE(controller.check("app-a", Operation::kReadOffloadFile));
+  EXPECT_TRUE(controller.check("app-a", Operation::kReadSharedLayer));
+  EXPECT_TRUE(controller.check("app-a", Operation::kBinderCall));
+  EXPECT_EQ(controller.violations("app-a"), 0u);
+}
+
+TEST(AccessControl, SharedStateAttacksAreViolations) {
+  RequestAccessController controller;
+  // Writing the shared system layer and touching another app's cached
+  // code are exactly the attacks §IV-E worries about.
+  EXPECT_FALSE(controller.check("mal", Operation::kWriteSharedLayer));
+  EXPECT_FALSE(controller.check("mal", Operation::kReadForeignCode));
+  EXPECT_EQ(controller.violations("mal"), 2u);
+}
+
+TEST(AccessControl, BlocksAtThreshold) {
+  RequestAccessController controller(3);
+  for (int i = 0; i < 3; ++i) {
+    controller.check("mal", Operation::kWriteSharedLayer);
+  }
+  EXPECT_TRUE(controller.is_blocked("mal"));
+  // Blocked apps are rejected wholesale, even for granted operations.
+  EXPECT_FALSE(controller.check("mal", Operation::kReadOffloadFile));
+}
+
+TEST(AccessControl, ViolationsBelowThresholdDoNotBlock) {
+  RequestAccessController controller(5);
+  for (int i = 0; i < 4; ++i) {
+    controller.check("gray", Operation::kNetworkEgress);
+  }
+  EXPECT_FALSE(controller.is_blocked("gray"));
+  EXPECT_TRUE(controller.check("gray", Operation::kReadOffloadFile));
+}
+
+TEST(AccessControl, AppsAreIsolated) {
+  RequestAccessController controller(1);
+  controller.check("mal", Operation::kWriteSharedLayer);
+  EXPECT_TRUE(controller.is_blocked("mal"));
+  EXPECT_FALSE(controller.is_blocked("good"));
+  EXPECT_TRUE(controller.check("good", Operation::kReadOffloadFile));
+}
+
+TEST(AccessControl, PermissionTableSharedAcrossRequests) {
+  // "Offloading requests from the same application share one permission
+  // table" — the table count stays 1 regardless of request count.
+  RequestAccessController controller;
+  for (int i = 0; i < 10; ++i) {
+    controller.check("app-a", Operation::kReadOffloadFile);
+  }
+  EXPECT_EQ(controller.table_count(), 1u);
+}
+
+TEST(AccessControl, DefaultGrantsExcludeDangerousOps) {
+  const auto grants = RequestAccessController::default_grants();
+  EXPECT_FALSE(grants.contains(Operation::kWriteSharedLayer));
+  EXPECT_FALSE(grants.contains(Operation::kReadForeignCode));
+  EXPECT_TRUE(grants.contains(Operation::kReadOffloadFile));
+}
+
+TEST(AccessControl, OperationNames) {
+  EXPECT_STREQ(to_string(Operation::kWriteSharedLayer),
+               "write-shared-layer");
+  EXPECT_STREQ(to_string(Operation::kBinderCall), "binder-call");
+}
+
+}  // namespace
+}  // namespace rattrap::core

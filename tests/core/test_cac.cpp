@@ -1,0 +1,128 @@
+#include "core/cac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "android/image_profile.hpp"
+#include "sim/simulator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+class CacTest : public ::testing::Test {
+ protected:
+  CacConfig shared_config(std::string name) {
+    CacConfig config;
+    config.name = std::move(name);
+    config.profile = android::OsProfile::kCustomized;
+    config.lower_layers = {android::customized_layer()};
+    return config;
+  }
+
+  sim::Simulator simulator_;
+  kernel::HostKernel kernel_{simulator_};
+  kernel::AndroidContainerDriver driver_{simulator_};
+  container::ContainerRuntime runtime_{kernel_};
+};
+
+TEST_F(CacTest, StartLoadsDriverOnFirstUse) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  EXPECT_FALSE(kernel::AndroidContainerDriver::loaded(kernel_));
+  const auto cost = cac.start_container(kernel_);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_TRUE(kernel::AndroidContainerDriver::loaded(kernel_));
+  EXPECT_GT(kernel_.module_refcount(kernel::kModBinder), 0u);
+}
+
+TEST_F(CacTest, SecondContainerSkipsDriverLoadCost) {
+  CloudAndroidContainer first(shared_config("cac-1"), runtime_, driver_);
+  CloudAndroidContainer second(shared_config("cac-2"), runtime_, driver_);
+  const auto cost1 = first.start_container(kernel_);
+  const auto cost2 = second.start_container(kernel_);
+  ASSERT_TRUE(cost1 && cost2);
+  EXPECT_GT(*cost1, *cost2);  // insmod only paid once
+}
+
+TEST_F(CacTest, FinishBootBringsUpAndroid) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  cac.start_container(kernel_);
+  cac.finish_boot(0);
+  EXPECT_TRUE(cac.booted());
+  auto* container = cac.container();
+  ASSERT_NE(container, nullptr);
+  // init, servicemanager, zygote, system_server, offloadcontroller.
+  EXPECT_GE(container->namespaces().pid.count(), 5u);
+  // Core services registered with the per-namespace binder.
+  const auto services = driver_.binder().service_names(container->devns());
+  EXPECT_FALSE(services.empty());
+}
+
+TEST_F(CacTest, StartRefusesBrokenRootfs) {
+  // A mis-assembled shared layer (no framework) must fail fast instead of
+  // crashing zygote mid-boot.
+  CacConfig broken = shared_config("broken");
+  auto empty = std::make_shared<fs::Layer>("empty-system");
+  empty->put_file("/system/etc/hosts", 64);
+  broken.lower_layers = {empty};
+  CloudAndroidContainer cac(broken, runtime_, driver_);
+  EXPECT_FALSE(cac.start_container(kernel_).has_value());
+  EXPECT_FALSE(cac.booted());
+}
+
+TEST_F(CacTest, BootPublishesProperties) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  cac.start_container(kernel_);
+  EXPECT_EQ(cac.properties().size(), 0u);  // property service not up yet
+  cac.finish_boot(0);
+  EXPECT_EQ(*cac.properties().get("sys.boot_completed"), "1");
+  EXPECT_EQ(*cac.properties().get("ro.serialno"), "cac-1");
+  // The customized OS advertises its stubbed services.
+  EXPECT_EQ(*cac.properties().get("ro.rattrap.stub.surfaceflinger"), "1");
+}
+
+TEST_F(CacTest, PrivateDeltaIsAFewMegabytes) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  cac.start_container(kernel_);
+  cac.finish_boot(0);
+  // Table I: < 7.1 MB per optimized container.
+  EXPECT_GT(cac.private_disk_bytes(), 6ull * 1024 * 1024);
+  EXPECT_LE(cac.private_disk_bytes(), 7340032u);
+}
+
+TEST_F(CacTest, BootMemoryMatchesProfile) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  const double mb =
+      static_cast<double>(cac.boot_memory()) / (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 96.35, 2.0);
+}
+
+TEST_F(CacTest, ShutdownReleasesDriverPins) {
+  CloudAndroidContainer cac(shared_config("cac-1"), runtime_, driver_);
+  cac.start_container(kernel_);
+  cac.finish_boot(0);
+  cac.shutdown(kernel_);
+  EXPECT_FALSE(cac.booted());
+  EXPECT_EQ(kernel_.module_refcount(kernel::kModBinder), 0u);
+  EXPECT_TRUE(driver_.unload(kernel_));  // no pins left
+}
+
+TEST_F(CacTest, StockProfileUsesMoreMemory) {
+  CacConfig stock = shared_config("stock");
+  stock.profile = android::OsProfile::kStock;
+  stock.lower_layers = {android::container_stock_layer()};
+  CloudAndroidContainer a(stock, runtime_, driver_);
+  CloudAndroidContainer b(shared_config("custom"), runtime_, driver_);
+  EXPECT_GT(a.boot_memory(), b.boot_memory());
+}
+
+TEST_F(CacTest, UserspaceBootRespectsWarmFlag) {
+  CacConfig cold = shared_config("cold");
+  CacConfig warm = shared_config("warm");
+  warm.warm_shared_layer = true;
+  CloudAndroidContainer a(cold, runtime_, driver_);
+  CloudAndroidContainer b(warm, runtime_, driver_);
+  EXPECT_GT(a.userspace_boot().disk_read_bytes,
+            b.userspace_boot().disk_read_bytes);
+}
+
+}  // namespace
+}  // namespace rattrap::core

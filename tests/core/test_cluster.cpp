@@ -1,0 +1,107 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+std::vector<workloads::OffloadRequest> fleet_stream(std::uint32_t devices,
+                                                    std::size_t count) {
+  workloads::StreamConfig config;
+  config.kind = workloads::Kind::kLinpack;
+  config.count = count;
+  config.devices = devices;
+  config.mean_gap = 2 * sim::kSecond;
+  config.size_class = 2;
+  config.seed = 61;
+  return workloads::make_stream(config);
+}
+
+TEST(Cluster, OutcomesKeepStreamOrderAndIdentity) {
+  Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+  const auto stream = fleet_stream(9, 18);
+  const auto outcomes = cluster.run(stream);
+  ASSERT_EQ(outcomes.size(), stream.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].request.sequence, stream[i].sequence);
+    EXPECT_EQ(outcomes[i].request.device_id, stream[i].device_id);
+    EXPECT_GT(outcomes[i].response, 0);
+  }
+}
+
+TEST(Cluster, DevicesShardDeterministically) {
+  Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+  const auto stream = fleet_stream(9, 18);
+  cluster.run(stream);
+  // 9 devices over 3 servers: 3 devices (and 3 environments) each.
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    EXPECT_EQ(cluster.server(s).env_count(), 3u) << "server " << s;
+  }
+  EXPECT_EQ(cluster.stats().environments, 9u);
+}
+
+TEST(Cluster, SingleServerClusterMatchesPlainPlatform) {
+  const auto stream = fleet_stream(4, 12);
+  Cluster cluster(make_config(PlatformKind::kRattrap), 1);
+  Platform plain(make_config(PlatformKind::kRattrap));
+  const auto clustered = cluster.run(stream);
+  // The cluster derives a different per-server seed, which only perturbs
+  // link jitter; the structural outcome (traffic, cache behaviour) must
+  // be identical.
+  const auto direct = plain.run(stream);
+  ASSERT_EQ(clustered.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(clustered[i].traffic.total_up(),
+              direct[i].traffic.total_up());
+    EXPECT_EQ(clustered[i].code_cache_hit, direct[i].code_cache_hit);
+  }
+}
+
+TEST(Cluster, ShardingBreaksTheVmMemoryWall) {
+  // 60 simultaneous devices reject on one 16 GB VM server but fit on a
+  // three-server cluster (20 x 512 MB each).
+  const std::vector<sim::SimTime> zeros(60, 0);
+  const auto stream = workloads::make_stream_from_arrivals(
+      workloads::Kind::kLinpack, zeros, 60, 2, 3);
+  Cluster small(make_config(PlatformKind::kVmCloud), 1);
+  Cluster large(make_config(PlatformKind::kVmCloud), 3);
+  std::size_t rejected_small = 0, rejected_large = 0;
+  for (const auto& o : small.run(stream)) {
+    if (o.rejected) ++rejected_small;
+  }
+  for (const auto& o : large.run(stream)) {
+    if (o.rejected) ++rejected_large;
+  }
+  EXPECT_GT(rejected_small, 0u);
+  EXPECT_EQ(rejected_large, 0u);
+}
+
+TEST(Cluster, PerServerCodeCachesAreIndependent) {
+  // The code cache is per server: a 2-server cluster sees the app's code
+  // uploaded twice (once per server), still far below one-per-VM.
+  Cluster cluster(make_config(PlatformKind::kRattrap), 2);
+  const auto stream = fleet_stream(4, 12);
+  const auto outcomes = cluster.run(stream);
+  std::uint64_t code_up = 0;
+  for (const auto& o : outcomes) {
+    code_up += o.traffic.up_bytes(net::MessageType::kMobileCode);
+  }
+  const auto apk =
+      workloads::make_workload(workloads::Kind::kLinpack)->app().apk_bytes;
+  EXPECT_EQ(code_up, 2 * apk);
+}
+
+TEST(Cluster, StatsAggregateTraffic) {
+  Cluster cluster(make_config(PlatformKind::kRattrap), 2);
+  const auto stream = fleet_stream(4, 8);
+  const auto outcomes = cluster.run(stream);
+  std::uint64_t up = 0;
+  for (const auto& o : outcomes) up += o.traffic.total_up();
+  EXPECT_EQ(cluster.stats().total_up_bytes, up);
+  EXPECT_EQ(cluster.stats().servers, 2u);
+}
+
+}  // namespace
+}  // namespace rattrap::core

@@ -1,0 +1,102 @@
+#include "core/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::core {
+namespace {
+
+workloads::OffloadRequest request_from_device(std::uint32_t device) {
+  workloads::OffloadRequest request;
+  request.device_id = device;
+  return request;
+}
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  ContainerDb db_;
+  AppWarehouse warehouse_;
+};
+
+TEST_F(DispatcherTest, BindingKeyIsPerDevice) {
+  Dispatcher with_affinity(db_, warehouse_, true);
+  Dispatcher without(db_, warehouse_, false);
+  const auto request = request_from_device(2);
+  EXPECT_EQ(with_affinity.binding_key(request, "app"), "dev:2");
+  EXPECT_EQ(without.binding_key(request, "app"), "dev:2");
+}
+
+TEST_F(DispatcherTest, NoAffinityRoutesToDeviceEnv) {
+  Dispatcher dispatcher(db_, warehouse_, false);
+  EXPECT_EQ(dispatcher.assign(request_from_device(0), "app", 0), nullptr);
+  db_.add(1, EnvBacking::kVm, "dev:0", 0);
+  EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app", 0);
+  ASSERT_NE(assigned, nullptr);
+  EXPECT_EQ(assigned->id, 1u);
+}
+
+TEST_F(DispatcherTest, FirstRequestOfDeviceProvisionsEvenWithAffinity) {
+  Dispatcher dispatcher(db_, warehouse_, true);
+  // Another device's container already ran this app...
+  EnvRecord& other = db_.add(1, EnvBacking::kContainer, "dev:1", 0);
+  other.ready_at = 10;
+  warehouse_.store("ref:app", 100);
+  warehouse_.record_execution("ref:app", 1);
+  // ...but device 0 has no environment yet: it must boot its own.
+  EXPECT_EQ(dispatcher.assign(request_from_device(0), "app", 100), nullptr);
+}
+
+TEST_F(DispatcherTest, AffinityReroutesToAppHotContainer) {
+  Dispatcher dispatcher(db_, warehouse_, true);
+  EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
+  own.ready_at = 10;
+  EnvRecord& hot = db_.add(2, EnvBacking::kContainer, "dev:1", 0);
+  hot.ready_at = 10;
+  warehouse_.store("ref:app", 100);
+  warehouse_.record_execution("ref:app", 2);
+  EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app", 100);
+  ASSERT_NE(assigned, nullptr);
+  EXPECT_EQ(assigned->id, 2u);  // rerouted to the code-hot container
+}
+
+TEST_F(DispatcherTest, BackloggedHotContainerIsAvoided) {
+  Dispatcher dispatcher(db_, warehouse_, true);
+  EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
+  own.ready_at = 10;
+  EnvRecord& hot = db_.add(2, EnvBacking::kContainer, "dev:1", 0);
+  hot.ready_at = 10;
+  hot.busy_until = 100 * sim::kSecond;  // deep backlog
+  warehouse_.store("ref:app", 100);
+  warehouse_.record_execution("ref:app", 2);
+  EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app",
+                                          sim::kSecond);
+  ASSERT_NE(assigned, nullptr);
+  EXPECT_EQ(assigned->id, 1u);  // scheduler spreads the load
+}
+
+TEST_F(DispatcherTest, RetiredHotContainerIsSkipped) {
+  Dispatcher dispatcher(db_, warehouse_, true);
+  EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
+  own.ready_at = 10;
+  db_.add(2, EnvBacking::kContainer, "dev:1", 0).ready_at = 10;
+  warehouse_.store("ref:app", 100);
+  warehouse_.record_execution("ref:app", 2);
+  db_.retire(2);
+  EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app", 100);
+  ASSERT_NE(assigned, nullptr);
+  EXPECT_EQ(assigned->id, 1u);
+}
+
+TEST_F(DispatcherTest, ProvisioningHotContainerNotRerouted) {
+  Dispatcher dispatcher(db_, warehouse_, true);
+  EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
+  own.ready_at = 10;
+  db_.add(2, EnvBacking::kContainer, "dev:1", 0);  // ready_at == 0
+  warehouse_.store("ref:app", 100);
+  warehouse_.record_execution("ref:app", 2);
+  EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app", 100);
+  ASSERT_NE(assigned, nullptr);
+  EXPECT_EQ(assigned->id, 1u);
+}
+
+}  // namespace
+}  // namespace rattrap::core

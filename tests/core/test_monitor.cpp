@@ -1,0 +1,68 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::core {
+namespace {
+
+TEST(Monitor, RecordsBusyCoreSeconds) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(0, 2 * sim::kSecond, 1.0);
+  EXPECT_NEAR(monitor.busy_core_seconds(0), 1.0, 1e-9);
+  EXPECT_NEAR(monitor.busy_core_seconds(1), 1.0, 1e-9);
+  EXPECT_EQ(monitor.total_busy(), 2 * sim::kSecond);
+}
+
+TEST(Monitor, FractionalCores) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(0, sim::kSecond, 0.5);
+  EXPECT_NEAR(monitor.busy_core_seconds(0), 0.5, 1e-9);
+}
+
+TEST(Monitor, CpuPercentNormalizedToActiveEnvs) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(0, sim::kSecond, 2.0);  // two envs fully busy
+  EXPECT_NEAR(monitor.cpu_percent(0, 2.0), 100.0, 1e-6);
+  EXPECT_NEAR(monitor.cpu_percent(0, 4.0), 50.0, 1e-6);
+  EXPECT_EQ(monitor.cpu_percent(0, 0.0), 0.0);
+}
+
+TEST(Monitor, PercentIsCappedAtHundred) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(0, sim::kSecond, 8.0);
+  EXPECT_EQ(monitor.cpu_percent(0, 1.0), 100.0);
+}
+
+TEST(Monitor, ZeroSpanRecordsNothing) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(5, 5, 1.0);
+  EXPECT_EQ(monitor.total_busy(), 0);
+}
+
+TEST(Monitor, JobCountingIsBalanced) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.job_started();
+  monitor.job_started();
+  EXPECT_EQ(monitor.running_jobs(), 2u);
+  monitor.job_finished();
+  monitor.job_finished();
+  monitor.job_finished();  // extra finish is clamped
+  EXPECT_EQ(monitor.running_jobs(), 0u);
+}
+
+TEST(Monitor, IntervalSpanningBucketsSplitsProportionally) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 12);
+  monitor.record_cpu(sim::kSecond / 2, sim::kSecond * 3 / 2, 1.0);
+  EXPECT_NEAR(monitor.busy_core_seconds(0), 0.5, 1e-9);
+  EXPECT_NEAR(monitor.busy_core_seconds(1), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace rattrap::core

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+PlatformReport run_and_snapshot() {
+  Platform platform(make_config(PlatformKind::kRattrap));
+  workloads::StreamConfig config;
+  config.kind = workloads::Kind::kLinpack;
+  config.count = 6;
+  config.devices = 2;
+  config.size_class = 2;
+  platform.run(workloads::make_stream(config));
+  return snapshot(platform);
+}
+
+TEST(Report, SnapshotReflectsRunState) {
+  const PlatformReport report = run_and_snapshot();
+  EXPECT_EQ(report.environments_total, 2u);
+  EXPECT_EQ(report.cached_apps, 1u);
+  EXPECT_GT(report.cached_bytes, 0u);
+  EXPECT_GE(report.cache_hits, 5u);
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_EQ(report.permission_tables, 1u);
+  EXPECT_GT(report.cpu_busy_seconds, 0.0);
+  EXPECT_EQ(report.kernel_modules, 5u);  // the ACD package
+  EXPECT_EQ(report.vm_memory_committed, 0u);  // container platform
+}
+
+TEST(Report, TextRenderingMentionsEverySection) {
+  const std::string text = to_text(run_and_snapshot());
+  for (const char* needle :
+       {"environments:", "warehouse:", "access controller:",
+        "offloading tmpfs:", "disk:", "cpu busy:", "kernel modules"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, CsvRowMatchesHeaderArity) {
+  const std::string header = csv_header();
+  const std::string row = to_csv(run_and_snapshot());
+  const auto count_fields = [](const std::string& line) {
+    std::size_t fields = 1;
+    for (const char c : line) {
+      if (c == ',') ++fields;
+    }
+    return fields;
+  };
+  EXPECT_EQ(count_fields(header), count_fields(row));
+  EXPECT_EQ(count_fields(header), 15u);
+}
+
+TEST(Report, FreshPlatformSnapshotsCleanly) {
+  Platform platform(make_config(PlatformKind::kVmCloud));
+  const PlatformReport report = snapshot(platform);
+  EXPECT_EQ(report.environments_total, 0u);
+  EXPECT_EQ(report.cached_apps, 0u);
+  EXPECT_EQ(report.cpu_busy_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rattrap::core

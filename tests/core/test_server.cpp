@@ -1,0 +1,61 @@
+#include "core/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "android/image_profile.hpp"
+
+namespace rattrap::core {
+namespace {
+
+TEST(CloudServer, ModelsThePaperHardware) {
+  const Calibration& cal = default_calibration();
+  EXPECT_EQ(cal.server_cores, 12u);  // 2x six-core X5650
+  EXPECT_EQ(cal.server_memory, 16ull << 30);
+  EXPECT_EQ(cal.server_disk, 300ull << 30);
+  EXPECT_EQ(cal.vm_memory, 512ull << 20);
+  EXPECT_EQ(cal.cac_plain_memory, 128ull << 20);
+  EXPECT_EQ(cal.cac_opt_memory, 96ull << 20);
+}
+
+TEST(CloudServer, OverheadFactorsAreOrdered) {
+  const Calibration& cal = default_calibration();
+  EXPECT_LT(cal.vm_cpu_factor, cal.container_cpu_factor);
+  EXPECT_LT(cal.vm_io_factor, 1.0);
+  EXPECT_LE(cal.container_cpu_factor, 1.0);
+}
+
+TEST(CloudServer, NativeComputeTimeFollowsRates) {
+  CloudServer server(default_calibration(), android::customized_layer());
+  const auto rate = default_calibration().server_rates[static_cast<
+      std::size_t>(workloads::Kind::kLinpack)];
+  const auto t = server.native_compute_time(
+      workloads::Kind::kLinpack, static_cast<std::uint64_t>(rate));
+  EXPECT_NEAR(sim::to_seconds(t), 1.0, 1e-6);
+}
+
+TEST(CloudServer, SubsystemsShareOneClock) {
+  CloudServer server(default_calibration(), android::customized_layer());
+  bool fired = false;
+  server.simulator().schedule_in(10, [&] { fired = true; });
+  server.disk().submit(fs::IoKind::kRead, 4096, true, [] {});
+  server.simulator().run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(server.disk().requests_served(), 1u);
+}
+
+TEST(CloudServer, SharedLayerHoldsTheGivenImage) {
+  CloudServer server(default_calibration(), android::customized_layer());
+  EXPECT_EQ(server.shared_layer().shared_bytes(),
+            android::customized_layer()->total_bytes());
+}
+
+TEST(CloudServer, ServerRatesOutpacePhones) {
+  const Calibration& cal = default_calibration();
+  const auto phone = device::phone_rates();
+  for (std::size_t i = 0; i < phone.size(); ++i) {
+    EXPECT_GT(cal.server_rates[i], phone[i]) << "kind " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rattrap::core

@@ -1,0 +1,66 @@
+#include "core/shared_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "android/image_profile.hpp"
+
+namespace rattrap::core {
+namespace {
+
+SharedResourceLayer make_layer(std::uint64_t tmpfs_cap = 64 << 20) {
+  return SharedResourceLayer(android::customized_layer(), tmpfs_cap,
+                             2600.0);
+}
+
+TEST(SharedLayer, SharesTheCustomizedImage) {
+  auto layer = make_layer();
+  EXPECT_EQ(layer.shared_bytes(),
+            android::customized_layer()->total_bytes());
+  EXPECT_EQ(layer.system_layer().get(), android::customized_layer().get());
+}
+
+TEST(SharedLayer, StageAndConsumeRoundTrip) {
+  auto layer = make_layer();
+  EXPECT_TRUE(layer.stage_request_files(1, 1 << 20, 0));
+  EXPECT_EQ(layer.offload_io().file_count(), 1u);
+  EXPECT_EQ(layer.consume_request_files(1, 1), 1u << 20);
+}
+
+TEST(SharedLayer, BurnAfterReadingFreesMemory) {
+  auto layer = make_layer();
+  layer.stage_request_files(1, 1 << 20, 0);
+  layer.consume_request_files(1, 1);
+  EXPECT_EQ(layer.offload_io().used_bytes(), 0u);
+  // A second consume finds nothing.
+  EXPECT_EQ(layer.consume_request_files(1, 2), 0u);
+}
+
+TEST(SharedLayer, RequestsAreIndependent) {
+  auto layer = make_layer();
+  layer.stage_request_files(1, 100, 0);
+  layer.stage_request_files(2, 200, 0);
+  EXPECT_EQ(layer.consume_request_files(2, 1), 200u);
+  EXPECT_EQ(layer.consume_request_files(1, 1), 100u);
+}
+
+TEST(SharedLayer, ZeroByteStagingIsTrivial) {
+  auto layer = make_layer();
+  EXPECT_TRUE(layer.stage_request_files(1, 0, 0));
+  EXPECT_EQ(layer.offload_io().file_count(), 0u);
+}
+
+TEST(SharedLayer, CapacityOverflowFails) {
+  auto layer = make_layer(1024);
+  EXPECT_FALSE(layer.stage_request_files(1, 1 << 20, 0));
+}
+
+TEST(SharedLayer, IoTimeIsMemorySpeed) {
+  auto layer = make_layer();
+  // 1 MiB at 2600 MB/s ≈ 0.38 ms — orders of magnitude under disk time.
+  const auto t = layer.io_time(1 << 20);
+  EXPECT_LT(t, sim::from_millis(1.0));
+  EXPECT_GT(t, 0);
+}
+
+}  // namespace
+}  // namespace rattrap::core

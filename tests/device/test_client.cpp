@@ -1,0 +1,56 @@
+#include "device/client.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::device {
+namespace {
+
+workloads::OffloadRequest sample_request() {
+  workloads::OffloadRequest request;
+  request.task.kind = workloads::Kind::kOcr;
+  request.task.input_file_bytes = 1 << 20;
+  request.task.param_bytes = 2048;
+  return request;
+}
+
+TEST(OffloadClient, MissPushesCode) {
+  MobileDevice device(DeviceConfig{});
+  OffloadClient client(device);
+  const UploadPlan plan =
+      client.plan_upload(sample_request(), 500000, /*code_cached=*/false);
+  EXPECT_TRUE(plan.push_code);
+  EXPECT_EQ(plan.code_bytes, 500000u);
+  EXPECT_EQ(plan.file_bytes, 1u << 20);
+  EXPECT_EQ(plan.param_bytes, 2048u);
+  EXPECT_GT(plan.control_bytes, 0u);
+  EXPECT_EQ(plan.total(),
+            500000u + (1u << 20) + 2048u + plan.control_bytes);
+}
+
+TEST(OffloadClient, HitSkipsCode) {
+  MobileDevice device(DeviceConfig{});
+  OffloadClient client(device);
+  const UploadPlan plan =
+      client.plan_upload(sample_request(), 500000, /*code_cached=*/true);
+  EXPECT_FALSE(plan.push_code);
+  EXPECT_EQ(plan.code_bytes, 0u);
+  EXPECT_EQ(plan.file_bytes, 1u << 20);  // files still travel
+}
+
+TEST(OffloadClient, ControlBytesIndependentOfCache) {
+  MobileDevice device(DeviceConfig{});
+  OffloadClient client(device);
+  const auto hit = client.plan_upload(sample_request(), 1000, true);
+  const auto miss = client.plan_upload(sample_request(), 1000, false);
+  EXPECT_EQ(hit.control_bytes, miss.control_bytes);
+}
+
+TEST(OffloadClient, DecisionComparesEstimates) {
+  MobileDevice device(DeviceConfig{});
+  OffloadClient client(device);
+  EXPECT_TRUE(client.should_offload(10 * sim::kSecond, sim::kSecond));
+  EXPECT_FALSE(client.should_offload(sim::kSecond, 10 * sim::kSecond));
+}
+
+}  // namespace
+}  // namespace rattrap::device

@@ -1,0 +1,64 @@
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::device {
+namespace {
+
+workloads::TaskResult result_with(std::uint64_t compute,
+                                  std::uint64_t io_bytes = 0) {
+  workloads::TaskResult result;
+  result.units.compute = compute;
+  result.units.io_bytes = io_bytes;
+  return result;
+}
+
+TEST(MobileDevice, LocalTimeFollowsRate) {
+  MobileDevice device(DeviceConfig{});
+  const auto rate = phone_rates()[static_cast<std::size_t>(
+      workloads::Kind::kLinpack)];
+  const auto t = device.local_execution_time(
+      workloads::Kind::kLinpack, result_with(static_cast<std::uint64_t>(rate)));
+  EXPECT_NEAR(sim::to_seconds(t), 1.0, 1e-6);
+}
+
+TEST(MobileDevice, IoAddsFlashTime) {
+  MobileDevice device(DeviceConfig{});
+  const auto compute_only = device.local_execution_time(
+      workloads::Kind::kVirusScan, result_with(1000));
+  const auto with_io = device.local_execution_time(
+      workloads::Kind::kVirusScan, result_with(1000, 28 * 1024 * 1024));
+  // 28 MB at 28 MB/s = +1 s.
+  EXPECT_NEAR(sim::to_seconds(with_io - compute_only), 1.0, 0.01);
+}
+
+TEST(MobileDevice, PhoneSlowerThanServerRates) {
+  // Offloading only makes sense because the server out-computes the
+  // phone on every workload kind.
+  const KindRates phone = phone_rates();
+  for (std::size_t i = 0; i < phone.size(); ++i) {
+    EXPECT_GT(phone[i], 0.0);
+  }
+  EXPECT_LT(phone[static_cast<std::size_t>(workloads::Kind::kOcr)], 1e6);
+}
+
+TEST(MobileDevice, LocalEnergyScalesWithDuration) {
+  MobileDevice device(DeviceConfig{});
+  const double small = device.local_energy_mj(
+      workloads::Kind::kLinpack, result_with(15'000'000), wifi_radio());
+  const double large = device.local_energy_mj(
+      workloads::Kind::kLinpack, result_with(150'000'000), wifi_radio());
+  EXPECT_NEAR(large / small, 10.0, 0.01);
+}
+
+TEST(MobileDevice, ConfigIsRespected) {
+  DeviceConfig config;
+  config.id = 3;
+  config.rates[0] = 123.0;
+  MobileDevice device(config);
+  EXPECT_EQ(device.id(), 3u);
+  EXPECT_EQ(device.config().rates[0], 123.0);
+}
+
+}  // namespace
+}  // namespace rattrap::device

@@ -1,0 +1,71 @@
+#include "device/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::device {
+namespace {
+
+TEST(Power, RadioProfilesOrdering) {
+  // LTE transmit draws the most instantaneous power; 3G has the longest
+  // tail — the classic PowerTutor-era characterization.
+  EXPECT_GT(radio_4g().tx_mw, radio_3g().tx_mw);
+  EXPECT_GT(radio_4g().tx_mw, wifi_radio().tx_mw);
+  EXPECT_GT(radio_3g().tail_time, radio_4g().tail_time);
+  EXPECT_GT(radio_4g().tail_time, wifi_radio().tail_time);
+}
+
+TEST(Power, CpuActiveDominatesIdle) {
+  const CpuProfile cpu = phone_cpu();
+  EXPECT_GT(cpu.active_mw, 5 * cpu.idle_mw);
+}
+
+TEST(EnergyMeterTest, ComputeEnergyMatchesPowerTimesTime) {
+  EnergyMeter meter(phone_cpu(), wifi_radio());
+  meter.add_compute(10 * sim::kSecond);
+  EXPECT_NEAR(meter.millijoules(), phone_cpu().active_mw * 10.0, 1e-6);
+}
+
+TEST(EnergyMeterTest, WaitIncludesRadioIdle) {
+  EnergyMeter meter(phone_cpu(), wifi_radio());
+  meter.add_wait(sim::kSecond);
+  EXPECT_NEAR(meter.millijoules(),
+              phone_cpu().idle_mw + wifi_radio().idle_mw, 1e-6);
+}
+
+TEST(EnergyMeterTest, TxCostsMoreThanWait) {
+  EnergyMeter tx(phone_cpu(), wifi_radio());
+  EnergyMeter wait(phone_cpu(), wifi_radio());
+  tx.add_tx(sim::kSecond);
+  wait.add_wait(sim::kSecond);
+  EXPECT_GT(tx.millijoules(), wait.millijoules());
+}
+
+TEST(EnergyMeterTest, TailEnergyFixedPerBurst) {
+  EnergyMeter meter(phone_cpu(), radio_3g());
+  meter.add_radio_tail();
+  EXPECT_NEAR(meter.millijoules(),
+              radio_3g().tail_mw * sim::to_seconds(radio_3g().tail_time),
+              1e-6);
+}
+
+TEST(EnergyMeterTest, EnergyAccumulatesAcrossPhases) {
+  EnergyMeter meter(phone_cpu(), wifi_radio());
+  meter.add_wait(sim::kSecond);
+  const double after_wait = meter.millijoules();
+  meter.add_rx(sim::kSecond);
+  EXPECT_GT(meter.millijoules(), after_wait);
+}
+
+TEST(Power, CellularTailDwarfsWifiTail) {
+  // The energy reason offloading over 3G is punishing for chatty apps.
+  const double tail_3g =
+      radio_3g().tail_mw * sim::to_seconds(radio_3g().tail_time);
+  const double tail_wifi =
+      wifi_radio().tail_mw * sim::to_seconds(wifi_radio().tail_time);
+  EXPECT_GT(tail_3g, 10 * tail_wifi);
+}
+
+TEST(Power, ScreenPowerPositive) { EXPECT_GT(screen_mw(), 0.0); }
+
+}  // namespace
+}  // namespace rattrap::device

@@ -1,0 +1,101 @@
+#include "device/radio_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::device {
+namespace {
+
+RadioProfile test_profile() {
+  RadioProfile profile = wifi_radio();
+  profile.tail_time = sim::from_millis(200);
+  return profile;
+}
+
+TEST(RadioState, IdleBeforeAnyTraffic) {
+  RadioStateMachine radio(test_profile());
+  EXPECT_EQ(radio.state_at(0), RadioState::kIdle);
+  EXPECT_EQ(radio.state_at(sim::kSecond), RadioState::kIdle);
+  const auto dwell = radio.dwell(sim::kSecond);
+  EXPECT_EQ(dwell.idle, sim::kSecond);
+  EXPECT_EQ(dwell.active, 0);
+  EXPECT_EQ(dwell.tail, 0);
+}
+
+TEST(RadioState, ActiveThenTailThenIdle) {
+  RadioStateMachine radio(test_profile());
+  radio.transfer(sim::kSecond, sim::from_millis(100));
+  EXPECT_EQ(radio.state_at(sim::from_millis(500)), RadioState::kIdle);
+  EXPECT_EQ(radio.state_at(sim::from_millis(1050)), RadioState::kActive);
+  EXPECT_EQ(radio.state_at(sim::from_millis(1150)), RadioState::kTail);
+  EXPECT_EQ(radio.state_at(sim::from_millis(1400)), RadioState::kIdle);
+}
+
+TEST(RadioState, DwellPartitionsTime) {
+  RadioStateMachine radio(test_profile());
+  radio.transfer(sim::kSecond, sim::from_millis(100));
+  const sim::SimTime horizon = 3 * sim::kSecond;
+  const auto dwell = radio.dwell(horizon);
+  EXPECT_EQ(dwell.active, sim::from_millis(100));
+  EXPECT_EQ(dwell.tail, sim::from_millis(200));
+  EXPECT_EQ(dwell.idle + dwell.active + dwell.tail, horizon);
+}
+
+TEST(RadioState, BackToBackTransfersShareOneTail) {
+  // The "bundle your transfers" energy result: two transfers inside one
+  // active window pay a single tail.
+  RadioStateMachine bundled(test_profile());
+  bundled.transfer(0, sim::from_millis(50));
+  bundled.transfer(sim::from_millis(30), sim::from_millis(50));
+  RadioStateMachine spread(test_profile());
+  spread.transfer(0, sim::from_millis(50));
+  spread.transfer(sim::kSecond, sim::from_millis(50));
+  const sim::SimTime horizon = 3 * sim::kSecond;
+  EXPECT_EQ(bundled.dwell(horizon).tail, sim::from_millis(200));
+  EXPECT_EQ(spread.dwell(horizon).tail, 2 * sim::from_millis(200));
+  EXPECT_LT(bundled.energy_mj(horizon), spread.energy_mj(horizon));
+}
+
+TEST(RadioState, WindowStartingInsideTailRestartsActivity) {
+  RadioStateMachine radio(test_profile());
+  radio.transfer(0, sim::from_millis(100));
+  radio.transfer(sim::from_millis(150), sim::from_millis(100));  // in tail
+  const auto dwell = radio.dwell(sim::kSecond);
+  EXPECT_EQ(dwell.active, sim::from_millis(200));
+  // Only 50 ms of the first tail elapsed before activity resumed.
+  EXPECT_EQ(dwell.tail, sim::from_millis(50) + sim::from_millis(200));
+}
+
+TEST(RadioState, TailClippedByHorizon) {
+  RadioStateMachine radio(test_profile());
+  radio.transfer(0, sim::from_millis(100));
+  const auto dwell = radio.dwell(sim::from_millis(150));
+  EXPECT_EQ(dwell.active, sim::from_millis(100));
+  EXPECT_EQ(dwell.tail, sim::from_millis(50));
+  EXPECT_EQ(dwell.idle, 0);
+}
+
+TEST(RadioState, EnergyMatchesDwellIntegral) {
+  const RadioProfile profile = test_profile();
+  RadioStateMachine radio(profile);
+  radio.transfer(sim::kSecond, sim::from_millis(300));
+  const sim::SimTime horizon = 5 * sim::kSecond;
+  const auto dwell = radio.dwell(horizon);
+  const double expected = profile.tx_mw * sim::to_seconds(dwell.active) +
+                          profile.tail_mw * sim::to_seconds(dwell.tail) +
+                          profile.idle_mw * sim::to_seconds(dwell.idle);
+  EXPECT_DOUBLE_EQ(radio.energy_mj(horizon), expected);
+}
+
+TEST(RadioState, CellularTailDominatesChattyTraffic) {
+  // Ten tiny spaced transfers on 3G: tail energy dwarfs active energy —
+  // why the paper's chatty ChessGame hurts on cellular (Fig. 10).
+  RadioStateMachine radio(radio_3g());
+  for (int i = 0; i < 10; ++i) {
+    radio.transfer(i * 10 * sim::kSecond, sim::from_millis(20));
+  }
+  const auto dwell = radio.dwell(100 * sim::kSecond);
+  EXPECT_GT(dwell.tail, 50 * dwell.active);
+}
+
+}  // namespace
+}  // namespace rattrap::device

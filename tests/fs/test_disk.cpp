@@ -1,0 +1,93 @@
+#include "fs/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace rattrap::fs {
+namespace {
+
+TEST(DiskModel, ServiceTimeScalesWithBytes) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  const auto small = disk.service_time(1024 * 1024, true);
+  const auto large = disk.service_time(10 * 1024 * 1024, true);
+  EXPECT_GT(large, small);
+  // 120 MB/s: 1 MiB ≈ 8.7 ms transfer + 0.5 ms positioning.
+  EXPECT_NEAR(sim::to_seconds(small), 1.0 / 120.0 + 0.0005, 0.002);
+}
+
+TEST(DiskModel, RandomIoPaysSeek) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  const auto seq = disk.service_time(4096, true);
+  const auto rnd = disk.service_time(4096, false);
+  EXPECT_GT(rnd, seq);
+  EXPECT_NEAR(sim::to_seconds(rnd - seq), (8.5 + 4.17 - 0.5) / 1000.0,
+              1e-4);
+}
+
+TEST(DiskModel, SubmitCompletesAtServiceTime) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  sim::SimTime done_at = 0;
+  disk.submit(IoKind::kRead, 1024 * 1024, true,
+              [&] { done_at = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(done_at, disk.service_time(1024 * 1024, true));
+}
+
+TEST(DiskModel, FifoQueueingSerializesRequests) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  sim::SimTime first = 0, second = 0;
+  disk.submit(IoKind::kRead, 1024 * 1024, true,
+              [&] { first = simulator.now(); });
+  disk.submit(IoKind::kRead, 1024 * 1024, true,
+              [&] { second = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(second, 2 * first);
+  EXPECT_EQ(disk.requests_served(), 2u);
+}
+
+TEST(DiskModel, EstimatedCompletionIncludesBacklog) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  const auto service = disk.service_time(1024 * 1024, true);
+  disk.submit(IoKind::kWrite, 1024 * 1024, true, [] {});
+  EXPECT_EQ(disk.estimated_completion(1024 * 1024, true), 2 * service);
+}
+
+TEST(DiskModel, ByteCountersSplitByDirection) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  disk.submit(IoKind::kRead, 1000, true, [] {});
+  disk.submit(IoKind::kWrite, 500, true, [] {});
+  simulator.run();
+  EXPECT_EQ(disk.total_read_bytes(), 1000u);
+  EXPECT_EQ(disk.total_write_bytes(), 500u);
+}
+
+TEST(DiskModel, TimeSeriesConservesBytes) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  disk.submit(IoKind::kRead, 50 * 1024 * 1024, true, [] {});
+  simulator.run();
+  double sum = 0;
+  const auto& series = disk.read_bytes_per_sec();
+  for (std::size_t i = 0; i < series.buckets(); ++i) sum += series.bucket(i);
+  EXPECT_NEAR(sum, 50.0 * 1024 * 1024, 1.0);
+}
+
+TEST(DiskModel, BusyTimeAccumulates) {
+  sim::Simulator simulator;
+  DiskModel disk(simulator);
+  const auto service = disk.service_time(1024, false);
+  disk.submit(IoKind::kRead, 1024, false, [] {});
+  disk.submit(IoKind::kRead, 1024, false, [] {});
+  simulator.run();
+  EXPECT_EQ(disk.busy_time(), 2 * service);
+}
+
+}  // namespace
+}  // namespace rattrap::fs

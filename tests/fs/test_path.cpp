@@ -1,0 +1,74 @@
+#include "fs/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::fs {
+namespace {
+
+TEST(Path, NormalizeBasics) {
+  EXPECT_EQ(normalize("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(normalize("a/b"), "/a/b");
+  EXPECT_EQ(normalize("/"), "/");
+  EXPECT_EQ(normalize(""), "/");
+}
+
+TEST(Path, NormalizeCollapsesSlashes) {
+  EXPECT_EQ(normalize("//a///b//"), "/a/b");
+  EXPECT_EQ(normalize("/a/b/"), "/a/b");
+}
+
+TEST(Path, NormalizeDots) {
+  EXPECT_EQ(normalize("/a/./b"), "/a/b");
+  EXPECT_EQ(normalize("/a/../b"), "/b");
+  EXPECT_EQ(normalize("/a/b/../../c"), "/c");
+  EXPECT_EQ(normalize("/.."), "/");
+  EXPECT_EQ(normalize("/../../x"), "/x");
+}
+
+TEST(Path, Join) {
+  EXPECT_EQ(join("/a", "b"), "/a/b");
+  EXPECT_EQ(join("/a/", "/b/"), "/a/b");
+  EXPECT_EQ(join("/a", "../c"), "/c");
+  EXPECT_EQ(join("/", "x"), "/x");
+}
+
+TEST(Path, ParentAndBasename) {
+  EXPECT_EQ(parent("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent("/a"), "/");
+  EXPECT_EQ(parent("/"), "/");
+  EXPECT_EQ(basename("/a/b/c"), "c");
+  EXPECT_EQ(basename("/a"), "a");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(Path, Components) {
+  const auto parts = components("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(components("/").empty());
+}
+
+TEST(Path, IsUnder) {
+  EXPECT_TRUE(is_under("/a/b", "/a"));
+  EXPECT_TRUE(is_under("/a", "/a"));
+  EXPECT_TRUE(is_under("/anything", "/"));
+  EXPECT_FALSE(is_under("/ab", "/a"));  // sibling prefix, not subtree
+  EXPECT_FALSE(is_under("/a", "/a/b"));
+}
+
+class PathIdempotence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PathIdempotence, NormalizeIsIdempotent) {
+  const std::string once = normalize(GetParam());
+  EXPECT_EQ(normalize(once), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathIdempotence,
+    ::testing::Values("/a//b/../c/./d", "////", "a/..", "/x/y/z///",
+                      "../..", "/system/lib/../app"));
+
+}  // namespace
+}  // namespace rattrap::fs

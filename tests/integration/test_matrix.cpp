@@ -1,0 +1,119 @@
+// Cross-product property matrix: invariants that must hold for every
+// (platform, workload, network) combination the evaluation exercises.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+using MatrixParam =
+    std::tuple<PlatformKind, workloads::Kind, const char*>;
+
+net::LinkConfig link_by_name(const char* name) {
+  for (const auto& link : net::all_scenarios()) {
+    if (link.name == name) return link;
+  }
+  return net::lan_wifi();
+}
+
+class PlatformMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static std::vector<workloads::OffloadRequest> stream(
+      workloads::Kind kind) {
+    workloads::StreamConfig config;
+    config.kind = kind;
+    config.count = 8;
+    config.devices = 3;
+    config.mean_gap = 7 * sim::kSecond;
+    config.size_class = workloads::default_size_class(kind);
+    config.seed = 4242;
+    return workloads::make_stream(config);
+  }
+};
+
+TEST_P(PlatformMatrix, UniversalInvariants) {
+  const auto [platform_kind, workload_kind, link_name] = GetParam();
+  Platform platform(
+      make_config(platform_kind, link_by_name(link_name), 7));
+  const auto requests = stream(workload_kind);
+  const auto outcomes = platform.run(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+
+  const auto apk =
+      workloads::make_workload(workload_kind)->app().apk_bytes;
+  std::uint64_t code_up = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    // 1. Phases are non-negative and sum to at most the response.
+    EXPECT_GE(o.phases.network_connection, 0);
+    EXPECT_GE(o.phases.runtime_preparation, 0);
+    EXPECT_GE(o.phases.data_transfer, 0);
+    EXPECT_GE(o.phases.computation, 0);
+    EXPECT_GE(o.response, o.phases.total());
+    // 2. Completion respects causality.
+    EXPECT_EQ(o.completed_at, o.request.arrival + o.response);
+    // 3. Energy is strictly positive both ways.
+    EXPECT_GT(o.offload_energy_mj, 0.0);
+    EXPECT_GT(o.local_energy_mj, 0.0);
+    // 4. Speedup is consistent with its definition.
+    EXPECT_NEAR(o.speedup,
+                static_cast<double>(o.local_time) /
+                    static_cast<double>(o.response),
+                1e-9);
+    // 5. Traffic: files+params and results travel on every request;
+    //    control messages are bounded.
+    EXPECT_GT(o.traffic.total_down(), 0u);
+    EXPECT_EQ(o.traffic.down_bytes(net::MessageType::kResult),
+              o.request.task.result_bytes);
+    code_up += o.traffic.up_bytes(net::MessageType::kMobileCode);
+    EXPECT_FALSE(o.rejected);
+  }
+  // 6. Code-transfer conservation: total code bytes moved is an integer
+  //    multiple of the APK — once per environment without the cache,
+  //    exactly once with it.
+  ASSERT_GT(apk, 0u);
+  EXPECT_EQ(code_up % apk, 0u);
+  if (platform.config().code_cache) {
+    EXPECT_EQ(code_up, apk);
+  } else {
+    EXPECT_GE(code_up, apk);
+    EXPECT_LE(code_up, 3 * apk);  // at most one push per device env
+  }
+  // 7. The server did real work.
+  EXPECT_GT(platform.server().monitor().total_busy(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PlatformMatrix,
+    ::testing::Combine(
+        ::testing::Values(PlatformKind::kVmCloud,
+                          PlatformKind::kRattrapWithoutOpt,
+                          PlatformKind::kRattrap),
+        ::testing::Values(workloads::Kind::kOcr, workloads::Kind::kChess,
+                          workloads::Kind::kVirusScan,
+                          workloads::Kind::kLinpack),
+        ::testing::Values("LAN", "WAN", "4G")),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      const char* platform = "";
+      switch (std::get<0>(info.param)) {
+        case PlatformKind::kVmCloud:
+          platform = "VM";
+          break;
+        case PlatformKind::kRattrapWithoutOpt:
+          platform = "PlainContainer";
+          break;
+        case PlatformKind::kRattrap:
+          platform = "Rattrap";
+          break;
+      }
+      return std::string(platform) + "_" +
+             workloads::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param);
+    });
+
+}  // namespace
+}  // namespace rattrap::core

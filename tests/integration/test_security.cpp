@@ -1,0 +1,74 @@
+// End-to-end Request-based Access Controller behaviour (§IV-E).
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+std::vector<workloads::OffloadRequest> stream_of(workloads::Kind kind,
+                                                 std::size_t count) {
+  workloads::StreamConfig config;
+  config.kind = kind;
+  config.count = count;
+  config.devices = 2;
+  config.mean_gap = 3 * sim::kSecond;
+  config.size_class = 1;
+  config.seed = 17;
+  return workloads::make_stream(config);
+}
+
+TEST(Security, HonestAppsAccumulateNoViolations) {
+  Platform platform(make_config(PlatformKind::kRattrap));
+  const auto outcomes = platform.run(stream_of(workloads::Kind::kOcr, 6));
+  for (const auto& o : outcomes) EXPECT_FALSE(o.rejected);
+  EXPECT_EQ(platform.server().access().violations("com.bench.ocr"), 0u);
+  EXPECT_FALSE(platform.server().access().is_blocked("com.bench.ocr"));
+}
+
+TEST(Security, BlockedAppIsRejectedBeforeReachingAnEnvironment) {
+  Platform platform(make_config(PlatformKind::kRattrap));
+  // The app misbehaves until the controller blocks it (threshold default
+  // 5): repeated attempts to modify the shared system layer.
+  auto& access = platform.server().access();
+  for (int i = 0; i < 5; ++i) {
+    access.check("com.bench.linpack", Operation::kWriteSharedLayer);
+  }
+  ASSERT_TRUE(access.is_blocked("com.bench.linpack"));
+
+  const auto outcomes =
+      platform.run(stream_of(workloads::Kind::kLinpack, 4));
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.rejected);
+    EXPECT_EQ(o.phases.runtime_preparation, 0);
+    EXPECT_EQ(o.traffic.total_up(), 0u);  // nothing was transferred
+  }
+  // No environment was ever provisioned for the blocked app.
+  EXPECT_EQ(platform.env_count(), 0u);
+}
+
+TEST(Security, BlockingOneAppDoesNotAffectOthers) {
+  Platform platform(make_config(PlatformKind::kRattrap));
+  auto& access = platform.server().access();
+  for (int i = 0; i < 5; ++i) {
+    access.check("com.bench.chess", Operation::kReadForeignCode);
+  }
+  const auto outcomes = platform.run(stream_of(workloads::Kind::kOcr, 4));
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.rejected);
+    EXPECT_GT(o.response, 0);
+  }
+}
+
+TEST(Security, RequestsExerciseTheControllerGrants) {
+  Platform platform(make_config(PlatformKind::kRattrap));
+  platform.run(stream_of(workloads::Kind::kVirusScan, 4));
+  // Each request filtered its operations through the per-app table.
+  EXPECT_TRUE(platform.server().access().analyzed("com.bench.virusscan"));
+  EXPECT_EQ(platform.server().access().violations("com.bench.virusscan"),
+            0u);
+}
+
+}  // namespace
+}  // namespace rattrap::core

@@ -1,0 +1,116 @@
+// Android Container Driver: the dynamic kernel-extension mechanism.
+#include "kernel/android_container_driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::kernel {
+namespace {
+
+class AcdTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  HostKernel kernel_{simulator_};
+  AndroidContainerDriver acd_{simulator_};
+};
+
+TEST_F(AcdTest, LoadExtendsKernelWithAndroidFeatures) {
+  EXPECT_FALSE(kernel_.has_feature(kFeatureBinder));
+  const auto cost = acd_.load(kernel_);
+  EXPECT_GT(cost, 0);
+  EXPECT_TRUE(AndroidContainerDriver::loaded(kernel_));
+  EXPECT_TRUE(kernel_.has_feature(kFeatureBinder));
+  EXPECT_TRUE(kernel_.has_feature(kFeatureAlarm));
+  EXPECT_TRUE(kernel_.has_feature(kFeatureLogger));
+  EXPECT_TRUE(kernel_.has_feature(kFeatureAshmem));
+  EXPECT_TRUE(kernel_.has_feature(kFeatureSwSync));
+  EXPECT_NE(kernel_.devices().find("/dev/ashmem"), nullptr);
+  EXPECT_NE(kernel_.devices().find("/dev/sw_sync"), nullptr);
+  EXPECT_TRUE(kernel_.syscalls().supports(kSysBinderTransact));
+  EXPECT_NE(kernel_.devices().find("/dev/binder"), nullptr);
+}
+
+TEST_F(AcdTest, LoadIsIdempotent) {
+  acd_.load(kernel_);
+  EXPECT_EQ(acd_.load(kernel_), 0);
+}
+
+TEST_F(AcdTest, AndroidSyscallsFailWithoutDriver) {
+  // The kernel-incompatibility problem: ENOSYS without the extension.
+  const auto result = kernel_.syscalls().invoke(kSysBinderTransact, 1, 64);
+  EXPECT_EQ(result.error, KernelError::kNoSys);
+}
+
+TEST_F(AcdTest, AndroidSyscallsWorkWithDriver) {
+  acd_.load(kernel_);
+  const DevNsId ns = kernel_.device_namespaces().create();
+  const auto result = kernel_.syscalls().invoke(kSysBinderTransact, ns, 64);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.cost, 0);
+  EXPECT_EQ(acd_.binder().stats(ns).transactions, 1u);
+}
+
+TEST_F(AcdTest, AshmemSyscallCreatesRegion) {
+  acd_.load(kernel_);
+  const DevNsId ns = kernel_.device_namespaces().create();
+  const auto result =
+      kernel_.syscalls().invoke(kSysAshmemCreate, ns, 8192);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(acd_.ashmem().pinned_bytes(ns), 8192u);
+}
+
+TEST_F(AcdTest, LogWriteSyscallReachesLogger) {
+  acd_.load(kernel_);
+  const DevNsId ns = kernel_.device_namespaces().create();
+  kernel_.syscalls().invoke(kSysLogWrite, ns, 128);
+  EXPECT_EQ(acd_.logger().used_bytes(ns), 128u);
+}
+
+TEST_F(AcdTest, UnloadRemovesEverything) {
+  acd_.load(kernel_);
+  EXPECT_TRUE(acd_.unload(kernel_));
+  EXPECT_FALSE(AndroidContainerDriver::loaded(kernel_));
+  EXPECT_FALSE(kernel_.has_feature(kFeatureBinder));
+  EXPECT_FALSE(kernel_.syscalls().supports(kSysBinderTransact));
+  EXPECT_EQ(kernel_.devices().find("/dev/binder"), nullptr);
+}
+
+TEST_F(AcdTest, PinnedPackageRefusesUnload) {
+  acd_.load(kernel_);
+  EXPECT_TRUE(AndroidContainerDriver::pin(kernel_));
+  EXPECT_FALSE(acd_.unload(kernel_));
+  EXPECT_TRUE(AndroidContainerDriver::unpin(kernel_));
+  EXPECT_TRUE(acd_.unload(kernel_));
+}
+
+TEST_F(AcdTest, PinFailsWhenNotLoaded) {
+  EXPECT_FALSE(AndroidContainerDriver::pin(kernel_));
+}
+
+TEST_F(AcdTest, ReloadAfterUnloadWorks) {
+  acd_.load(kernel_);
+  acd_.unload(kernel_);
+  EXPECT_GT(acd_.load(kernel_), 0);
+  EXPECT_TRUE(AndroidContainerDriver::loaded(kernel_));
+}
+
+TEST_F(AcdTest, ProcModulesShowsPackageWithRefcounts) {
+  acd_.load(kernel_);
+  AndroidContainerDriver::pin(kernel_);
+  const std::string table = kernel_.proc_modules();
+  EXPECT_NE(table.find("rattrap_binder 1"), std::string::npos);
+  EXPECT_NE(table.find("rattrap_sw_sync 1"), std::string::npos);
+  AndroidContainerDriver::unpin(kernel_);
+  EXPECT_NE(kernel_.proc_modules().find("rattrap_binder 0"),
+            std::string::npos);
+}
+
+TEST_F(AcdTest, NamespaceTeardownClearsDriverState) {
+  acd_.load(kernel_);
+  const DevNsId ns = kernel_.device_namespaces().create();
+  acd_.binder().create_endpoint(ns);
+  kernel_.device_namespaces().destroy(ns);
+  EXPECT_EQ(acd_.binder().endpoint_count(ns), 0u);
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

@@ -1,0 +1,76 @@
+#include "kernel/alarm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::kernel {
+namespace {
+
+class AlarmTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  AlarmDriver alarm_{simulator_};
+};
+
+TEST_F(AlarmTest, FiresAtRequestedTime) {
+  sim::SimTime fired_at = -1;
+  alarm_.set_alarm(1, 500, [&] { fired_at = simulator_.now(); });
+  simulator_.run();
+  EXPECT_EQ(fired_at, 500);
+  EXPECT_EQ(alarm_.fired(1), 1u);
+  EXPECT_EQ(alarm_.pending(1), 0u);
+}
+
+TEST_F(AlarmTest, CancelPreventsFiring) {
+  bool fired = false;
+  const AlarmId id = alarm_.set_alarm(1, 500, [&] { fired = true; });
+  EXPECT_EQ(alarm_.pending(1), 1u);
+  EXPECT_TRUE(alarm_.cancel(1, id));
+  simulator_.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(alarm_.fired(1), 0u);
+}
+
+TEST_F(AlarmTest, CancelAfterFireFails) {
+  const AlarmId id = alarm_.set_alarm(1, 10, [] {});
+  simulator_.run();
+  EXPECT_FALSE(alarm_.cancel(1, id));
+}
+
+TEST_F(AlarmTest, NamespacesIsolated) {
+  alarm_.set_alarm(1, 100, [] {});
+  alarm_.set_alarm(2, 100, [] {});
+  EXPECT_EQ(alarm_.pending(1), 1u);
+  EXPECT_EQ(alarm_.pending(2), 1u);
+  alarm_.on_namespace_destroyed(1);
+  EXPECT_EQ(alarm_.pending(1), 0u);
+  EXPECT_EQ(alarm_.pending(2), 1u);
+  simulator_.run();
+  EXPECT_EQ(alarm_.fired(1), 0u);
+  EXPECT_EQ(alarm_.fired(2), 1u);
+}
+
+TEST_F(AlarmTest, CallbackCanRearm) {
+  int fires = 0;
+  std::function<void()> rearm = [&] {
+    if (++fires < 3) {
+      alarm_.set_alarm(1, simulator_.now() + 100, rearm);
+    }
+  };
+  alarm_.set_alarm(1, 100, rearm);
+  simulator_.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(alarm_.fired(1), 3u);
+  EXPECT_EQ(simulator_.now(), 300);
+}
+
+TEST_F(AlarmTest, MultipleAlarmsFireInOrder) {
+  std::vector<int> order;
+  alarm_.set_alarm(1, 300, [&] { order.push_back(3); });
+  alarm_.set_alarm(1, 100, [&] { order.push_back(1); });
+  alarm_.set_alarm(1, 200, [&] { order.push_back(2); });
+  simulator_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

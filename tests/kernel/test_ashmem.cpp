@@ -1,0 +1,97 @@
+#include "kernel/ashmem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::kernel {
+namespace {
+
+TEST(Ashmem, CreateAccounts) {
+  AshmemDriver ashmem;
+  ashmem.create_region(1, "cursor", 4096);
+  ashmem.create_region(1, "jit", 8192);
+  EXPECT_EQ(ashmem.region_count(1), 2u);
+  EXPECT_EQ(ashmem.pinned_bytes(1), 12288u);
+  EXPECT_EQ(ashmem.total_bytes(), 12288u);
+}
+
+TEST(Ashmem, PinOnPinnedRegionReportsWasPinned) {
+  AshmemDriver ashmem;
+  const AshmemId id = ashmem.create_region(1, "r", 4096);
+  const auto result = ashmem.pin(1, id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, PinResult::kWasPinned);
+}
+
+TEST(Ashmem, UnpinThenPinRestoresWhenNotPurged) {
+  AshmemDriver ashmem;
+  const AshmemId id = ashmem.create_region(1, "r", 4096);
+  EXPECT_TRUE(ashmem.unpin(1, id));
+  EXPECT_EQ(ashmem.unpinned_bytes(1), 4096u);
+  const auto result = ashmem.pin(1, id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, PinResult::kRestored);
+  EXPECT_EQ(ashmem.pinned_bytes(1), 4096u);
+}
+
+TEST(Ashmem, DoubleUnpinFails) {
+  AshmemDriver ashmem;
+  const AshmemId id = ashmem.create_region(1, "r", 4096);
+  EXPECT_TRUE(ashmem.unpin(1, id));
+  EXPECT_FALSE(ashmem.unpin(1, id));
+}
+
+TEST(Ashmem, ShrinkPurgesUnpinnedLruFirst) {
+  AshmemDriver ashmem;
+  const AshmemId a = ashmem.create_region(1, "a", 1000);
+  const AshmemId b = ashmem.create_region(1, "b", 1000);
+  ashmem.unpin(1, a);  // a is the oldest unpinned
+  ashmem.unpin(1, b);
+  EXPECT_EQ(ashmem.shrink(500), 1000u);  // purges a (whole region)
+  EXPECT_EQ(*ashmem.pin(1, a), PinResult::kPurged);
+  EXPECT_EQ(*ashmem.pin(1, b), PinResult::kRestored);
+}
+
+TEST(Ashmem, ShrinkSkipsPinnedRegions) {
+  AshmemDriver ashmem;
+  ashmem.create_region(1, "pinned", 4096);
+  EXPECT_EQ(ashmem.shrink(1 << 20), 0u);
+  EXPECT_EQ(ashmem.pinned_bytes(1), 4096u);
+}
+
+TEST(Ashmem, PurgedPinRechargesAccounting) {
+  AshmemDriver ashmem;
+  const AshmemId id = ashmem.create_region(1, "r", 4096);
+  ashmem.unpin(1, id);
+  ashmem.shrink(4096);
+  EXPECT_EQ(ashmem.total_bytes(), 0u);
+  EXPECT_EQ(*ashmem.pin(1, id), PinResult::kPurged);
+  EXPECT_EQ(ashmem.total_bytes(), 4096u);
+}
+
+TEST(Ashmem, NamespacesIsolated) {
+  AshmemDriver ashmem;
+  ashmem.create_region(1, "a", 100);
+  ashmem.create_region(2, "b", 200);
+  EXPECT_EQ(ashmem.pinned_bytes(1), 100u);
+  EXPECT_EQ(ashmem.pinned_bytes(2), 200u);
+  ashmem.on_namespace_destroyed(1);
+  EXPECT_EQ(ashmem.region_count(1), 0u);
+  EXPECT_EQ(ashmem.total_bytes(), 200u);
+}
+
+TEST(Ashmem, DestroyRegion) {
+  AshmemDriver ashmem;
+  const AshmemId id = ashmem.create_region(1, "r", 4096);
+  EXPECT_TRUE(ashmem.destroy_region(1, id));
+  EXPECT_FALSE(ashmem.destroy_region(1, id));
+  EXPECT_EQ(ashmem.total_bytes(), 0u);
+}
+
+TEST(Ashmem, UnknownIdsFailGracefully) {
+  AshmemDriver ashmem;
+  EXPECT_FALSE(ashmem.unpin(1, 42));
+  EXPECT_FALSE(ashmem.pin(1, 42).has_value());
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

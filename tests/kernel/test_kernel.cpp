@@ -1,0 +1,113 @@
+#include "kernel/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace rattrap::kernel {
+namespace {
+
+class StubModule final : public KernelModule {
+ public:
+  StubModule(std::string name, std::vector<std::string> deps = {})
+      : name_(std::move(name)), deps_(std::move(deps)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::vector<std::string> dependencies() const override {
+    return deps_;
+  }
+  void on_load(HostKernel& kernel) override {
+    kernel.add_feature(name_ + "_feature");
+  }
+  void on_unload(HostKernel& kernel) override {
+    kernel.remove_feature(name_ + "_feature");
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> deps_;
+};
+
+class KernelTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  HostKernel kernel_{simulator_};
+};
+
+TEST_F(KernelTest, BaseFeaturesPresent) {
+  EXPECT_TRUE(kernel_.has_feature("pid_ns"));
+  EXPECT_TRUE(kernel_.has_feature("cgroups"));
+  EXPECT_TRUE(kernel_.has_feature("overlayfs"));
+  EXPECT_FALSE(kernel_.has_feature("android_binder"));
+}
+
+TEST_F(KernelTest, LoadModuleAddsFeature) {
+  const auto cost = kernel_.load_module(std::make_unique<StubModule>("m1"));
+  EXPECT_GT(cost, 0);
+  EXPECT_TRUE(kernel_.module_loaded("m1"));
+  EXPECT_TRUE(kernel_.has_feature("m1_feature"));
+}
+
+TEST_F(KernelTest, DoubleLoadRejected) {
+  kernel_.load_module(std::make_unique<StubModule>("m1"));
+  const auto cost = kernel_.load_module(std::make_unique<StubModule>("m1"));
+  EXPECT_EQ(cost, 0);
+}
+
+TEST_F(KernelTest, MissingDependencyRejectsLoad) {
+  const auto cost = kernel_.load_module(
+      std::make_unique<StubModule>("child", std::vector<std::string>{"dep"}));
+  EXPECT_EQ(cost, 0);
+  EXPECT_FALSE(kernel_.module_loaded("child"));
+}
+
+TEST_F(KernelTest, DependencyOrderLoadWorks) {
+  kernel_.load_module(std::make_unique<StubModule>("dep"));
+  const auto cost = kernel_.load_module(
+      std::make_unique<StubModule>("child", std::vector<std::string>{"dep"}));
+  EXPECT_GT(cost, 0);
+  EXPECT_TRUE(kernel_.module_loaded("child"));
+}
+
+TEST_F(KernelTest, UnloadRemovesFeature) {
+  kernel_.load_module(std::make_unique<StubModule>("m1"));
+  EXPECT_TRUE(kernel_.unload_module("m1"));
+  EXPECT_FALSE(kernel_.module_loaded("m1"));
+  EXPECT_FALSE(kernel_.has_feature("m1_feature"));
+}
+
+TEST_F(KernelTest, RefcountBlocksUnload) {
+  kernel_.load_module(std::make_unique<StubModule>("m1"));
+  EXPECT_TRUE(kernel_.module_get("m1"));
+  EXPECT_EQ(kernel_.module_refcount("m1"), 1u);
+  EXPECT_FALSE(kernel_.unload_module("m1"));
+  EXPECT_TRUE(kernel_.module_put("m1"));
+  EXPECT_TRUE(kernel_.unload_module("m1"));
+}
+
+TEST_F(KernelTest, DependentBlocksUnload) {
+  kernel_.load_module(std::make_unique<StubModule>("dep"));
+  kernel_.load_module(
+      std::make_unique<StubModule>("child", std::vector<std::string>{"dep"}));
+  EXPECT_FALSE(kernel_.unload_module("dep"));
+  EXPECT_TRUE(kernel_.unload_module("child"));
+  EXPECT_TRUE(kernel_.unload_module("dep"));
+}
+
+TEST_F(KernelTest, ModulePutWithoutGetFails) {
+  kernel_.load_module(std::make_unique<StubModule>("m1"));
+  EXPECT_FALSE(kernel_.module_put("m1"));
+  EXPECT_FALSE(kernel_.module_get("nope"));
+}
+
+TEST_F(KernelTest, LoadedModulesListing) {
+  kernel_.load_module(std::make_unique<StubModule>("b"));
+  kernel_.load_module(std::make_unique<StubModule>("a"));
+  const auto names = kernel_.loaded_modules();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

@@ -1,0 +1,70 @@
+#include "kernel/logger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::kernel {
+namespace {
+
+TEST(Logger, WritesAccumulate) {
+  LoggerDriver logger(1024);
+  logger.write(1, "tag", 100);
+  logger.write(1, "tag", 200);
+  EXPECT_EQ(logger.used_bytes(1), 300u);
+  EXPECT_EQ(logger.record_count(1), 2u);
+  EXPECT_EQ(logger.total_written(1), 2u);
+}
+
+TEST(Logger, RingEvictsOldestWhenFull) {
+  LoggerDriver logger(1000);
+  for (int i = 0; i < 10; ++i) logger.write(1, "t", 100);  // exactly full
+  logger.write(1, "t", 100);  // evicts one
+  EXPECT_EQ(logger.used_bytes(1), 1000u);
+  EXPECT_EQ(logger.record_count(1), 10u);
+  EXPECT_EQ(logger.total_evicted(1), 1u);
+}
+
+TEST(Logger, LargeRecordEvictsMany) {
+  LoggerDriver logger(1000);
+  for (int i = 0; i < 10; ++i) logger.write(1, "t", 100);
+  logger.write(1, "big", 900);
+  EXPECT_EQ(logger.total_evicted(1), 9u);
+  EXPECT_LE(logger.used_bytes(1), 1000u);
+}
+
+TEST(Logger, OversizedRecordIsTruncatedToCapacity) {
+  LoggerDriver logger(256);
+  logger.write(1, "huge", 10000);
+  EXPECT_EQ(logger.used_bytes(1), 256u);
+  EXPECT_EQ(logger.record_count(1), 1u);
+}
+
+TEST(Logger, NamespacesIsolated) {
+  LoggerDriver logger(1024);
+  logger.write(1, "a", 10);
+  logger.write(2, "b", 20);
+  EXPECT_EQ(logger.used_bytes(1), 10u);
+  EXPECT_EQ(logger.used_bytes(2), 20u);
+}
+
+TEST(Logger, NamespaceTeardownClearsRing) {
+  LoggerDriver logger(1024);
+  logger.write(1, "a", 10);
+  logger.on_namespace_destroyed(1);
+  EXPECT_EQ(logger.used_bytes(1), 0u);
+  EXPECT_EQ(logger.record_count(1), 0u);
+}
+
+TEST(Logger, UnknownNamespaceReadsAsEmpty) {
+  LoggerDriver logger;
+  EXPECT_EQ(logger.used_bytes(42), 0u);
+  EXPECT_EQ(logger.total_written(42), 0u);
+}
+
+TEST(Logger, DefaultCapacityIsAndroidMain) {
+  LoggerDriver logger;
+  EXPECT_EQ(logger.capacity(), 256u * 1024);
+  EXPECT_EQ(logger.dev_path(), "/dev/log/main");
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

@@ -1,0 +1,93 @@
+#include "kernel/sw_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rattrap::kernel {
+namespace {
+
+TEST(SwSync, TimelineStartsAtZero) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  EXPECT_EQ(*sync.value(1, tl), 0u);
+  EXPECT_EQ(sync.timeline_count(1), 1u);
+}
+
+TEST(SwSync, FenceSignalsWhenTimelineReachesValue) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  bool signalled = false;
+  bool ok_flag = false;
+  sync.create_fence(1, tl, 3, [&](bool ok) {
+    signalled = true;
+    ok_flag = ok;
+  });
+  EXPECT_EQ(sync.advance(1, tl, 2), 0u);
+  EXPECT_FALSE(signalled);
+  EXPECT_EQ(sync.advance(1, tl, 1), 1u);
+  EXPECT_TRUE(signalled);
+  EXPECT_TRUE(ok_flag);
+  EXPECT_EQ(sync.pending_fences(1, tl), 0u);
+}
+
+TEST(SwSync, PastValueFenceSignalsImmediately) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  sync.advance(1, tl, 10);
+  bool signalled = false;
+  sync.create_fence(1, tl, 5, [&](bool) { signalled = true; });
+  EXPECT_TRUE(signalled);
+  EXPECT_EQ(sync.pending_fences(1, tl), 0u);
+}
+
+TEST(SwSync, FencesSignalInValueOrder) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  std::vector<int> order;
+  sync.create_fence(1, tl, 3, [&](bool) { order.push_back(3); });
+  sync.create_fence(1, tl, 1, [&](bool) { order.push_back(1); });
+  sync.create_fence(1, tl, 2, [&](bool) { order.push_back(2); });
+  sync.advance(1, tl, 5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SwSync, DestroyTimelineCancelsFences) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  bool ok_flag = true;
+  sync.create_fence(1, tl, 10, [&](bool ok) { ok_flag = ok; });
+  EXPECT_TRUE(sync.destroy_timeline(1, tl));
+  EXPECT_FALSE(ok_flag);  // cancelled
+  EXPECT_FALSE(sync.value(1, tl).has_value());
+}
+
+TEST(SwSync, NamespaceTeardownCancelsEverything) {
+  SwSyncDriver sync;
+  const TimelineId tl = sync.create_timeline(1, "gfx");
+  int cancelled = 0;
+  sync.create_fence(1, tl, 5, [&](bool ok) { cancelled += ok ? 0 : 1; });
+  sync.create_fence(1, tl, 6, [&](bool ok) { cancelled += ok ? 0 : 1; });
+  sync.on_namespace_destroyed(1);
+  EXPECT_EQ(cancelled, 2);
+  EXPECT_EQ(sync.timeline_count(1), 0u);
+}
+
+TEST(SwSync, UnknownTimelineFails) {
+  SwSyncDriver sync;
+  EXPECT_FALSE(sync.create_fence(1, 42, 1, nullptr).has_value());
+  EXPECT_EQ(sync.advance(1, 42, 1), 0u);
+  EXPECT_FALSE(sync.destroy_timeline(1, 42));
+}
+
+TEST(SwSync, NamespacesIsolated) {
+  SwSyncDriver sync;
+  const TimelineId a = sync.create_timeline(1, "a");
+  const TimelineId b = sync.create_timeline(2, "b");
+  sync.advance(1, a, 7);
+  EXPECT_EQ(*sync.value(1, a), 7u);
+  EXPECT_EQ(*sync.value(2, b), 0u);
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

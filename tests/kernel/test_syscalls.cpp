@@ -1,0 +1,63 @@
+#include "kernel/syscalls.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::kernel {
+namespace {
+
+TEST(Syscalls, UnknownSyscallReturnsEnosys) {
+  SyscallTable table;
+  const SyscallResult result = table.invoke("binder_transact", 1, 0);
+  EXPECT_EQ(result.error, KernelError::kNoSys);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Syscalls, RegisteredHandlerRuns) {
+  SyscallTable table;
+  EXPECT_TRUE(table.add("my_call", [](DevNsId ns, std::uint64_t arg) {
+    return SyscallResult{KernelError::kOk,
+                         static_cast<std::int64_t>(ns + arg), 5};
+  }));
+  const SyscallResult result = table.invoke("my_call", 3, 4);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.value, 7);
+  EXPECT_EQ(result.cost, 5);
+}
+
+TEST(Syscalls, DuplicateRegistrationRejected) {
+  SyscallTable table;
+  table.add("x", [](DevNsId, std::uint64_t) { return SyscallResult{}; });
+  EXPECT_FALSE(
+      table.add("x", [](DevNsId, std::uint64_t) { return SyscallResult{}; }));
+}
+
+TEST(Syscalls, RemoveRestoresEnosys) {
+  SyscallTable table;
+  table.add("x", [](DevNsId, std::uint64_t) { return SyscallResult{}; });
+  EXPECT_TRUE(table.supports("x"));
+  EXPECT_TRUE(table.remove("x"));
+  EXPECT_FALSE(table.supports("x"));
+  EXPECT_EQ(table.invoke("x", 1).error, KernelError::kNoSys);
+  EXPECT_FALSE(table.remove("x"));
+}
+
+TEST(Syscalls, CallCounting) {
+  SyscallTable table;
+  table.add("x", [](DevNsId, std::uint64_t) { return SyscallResult{}; });
+  table.invoke("x", 1);
+  table.invoke("x", 1);
+  table.invoke("unknown", 1);  // does not count
+  EXPECT_EQ(table.calls("x"), 2u);
+  EXPECT_EQ(table.calls("unknown"), 0u);
+}
+
+TEST(Syscalls, SizeTracksRegistrations) {
+  SyscallTable table;
+  EXPECT_EQ(table.size(), 0u);
+  table.add("a", [](DevNsId, std::uint64_t) { return SyscallResult{}; });
+  table.add("b", [](DevNsId, std::uint64_t) { return SyscallResult{}; });
+  EXPECT_EQ(table.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rattrap::kernel

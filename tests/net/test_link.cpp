@@ -1,0 +1,94 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rattrap::net {
+namespace {
+
+TEST(Link, ScenarioPresetsMatchPaperParameters) {
+  // §VI-A: 3G 0.38/0.09 Mbps up/down; 4G 48.97/7.64; WAN ~60 ms.
+  EXPECT_DOUBLE_EQ(cellular_3g().up_mbps, 0.38);
+  EXPECT_DOUBLE_EQ(cellular_3g().down_mbps, 0.09);
+  EXPECT_DOUBLE_EQ(cellular_4g().up_mbps, 48.97);
+  EXPECT_DOUBLE_EQ(cellular_4g().down_mbps, 7.64);
+  EXPECT_EQ(wan_wifi().rtt, sim::from_millis(60.0));
+  EXPECT_EQ(all_scenarios().size(), 4u);
+}
+
+TEST(Link, LanIsFastestUpstream) {
+  EXPECT_GT(lan_wifi().up_mbps, wan_wifi().up_mbps);
+  EXPECT_GT(lan_wifi().up_mbps, cellular_3g().up_mbps);
+}
+
+TEST(Link, UploadTimeScalesInverselyWithBandwidth) {
+  sim::Rng rng(1);
+  Link lan(lan_wifi());
+  Link g3(cellular_3g());
+  // Average over draws to wash out jitter.
+  double lan_sum = 0, g3_sum = 0;
+  for (int i = 0; i < 50; ++i) {
+    lan_sum += static_cast<double>(lan.upload_time(1 << 20, rng));
+    g3_sum += static_cast<double>(g3.upload_time(1 << 20, rng));
+  }
+  EXPECT_GT(g3_sum, 50.0 * lan_sum);  // 0.38 vs 60 Mbps: ~158x
+}
+
+TEST(Link, AsymmetricCellularBandwidth) {
+  sim::Rng rng(2);
+  Link g4(cellular_4g());
+  double up = 0, down = 0;
+  for (int i = 0; i < 50; ++i) {
+    up += static_cast<double>(g4.upload_time(1 << 20, rng));
+    down += static_cast<double>(g4.download_time(1 << 20, rng));
+  }
+  EXPECT_GT(down, up);  // 7.64 down < 48.97 up in the paper's measurement
+}
+
+TEST(Link, LatencyIsPositiveAndJittered) {
+  sim::Rng rng(3);
+  Link wan(wan_wifi());
+  std::set<sim::SimDuration> seen;
+  for (int i = 0; i < 20; ++i) {
+    const auto latency = wan.latency(rng);
+    EXPECT_GT(latency, 0);
+    seen.insert(latency);
+  }
+  EXPECT_GT(seen.size(), 10u);  // jitter produces distinct samples
+}
+
+TEST(Link, ConnectTimeAtLeastOneAndAHalfRtt) {
+  sim::Rng rng(4);
+  Link lan(lan_wifi());
+  // With negligible loss, the handshake is 3 one-way latencies.
+  double sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    sum += static_cast<double>(lan.connect_time(rng));
+  }
+  const double mean = sum / 200.0;
+  EXPECT_GT(mean, static_cast<double>(lan_wifi().rtt));
+}
+
+TEST(Link, LossDegradesGoodput) {
+  LinkConfig lossy = lan_wifi();
+  lossy.loss = 0.05;
+  lossy.jitter_sigma = 0;
+  LinkConfig clean = lan_wifi();
+  clean.loss = 0.0;
+  clean.jitter_sigma = 0;
+  sim::Rng rng(5);
+  EXPECT_GT(Link(lossy).upload_time(10 << 20, rng),
+            Link(clean).upload_time(10 << 20, rng));
+}
+
+TEST(Link, DeterministicGivenSameRngState) {
+  sim::Rng a(6), b(6);
+  Link link(cellular_4g());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(link.upload_time(1 << 16, a), link.upload_time(1 << 16, b));
+  }
+}
+
+}  // namespace
+}  // namespace rattrap::net

@@ -1,0 +1,45 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::net {
+namespace {
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(to_string(MessageType::kControl), "control");
+  EXPECT_STREQ(to_string(MessageType::kMobileCode), "mobile-code");
+  EXPECT_STREQ(to_string(MessageType::kFileParams), "file-params");
+  EXPECT_STREQ(to_string(MessageType::kResult), "result");
+}
+
+TEST(TrafficAccount, RecordsByTypeAndDirection) {
+  TrafficAccount account;
+  account.record_up(MessageType::kMobileCode, 1000);
+  account.record_up(MessageType::kControl, 10);
+  account.record_down(MessageType::kResult, 50);
+  EXPECT_EQ(account.up_bytes(MessageType::kMobileCode), 1000u);
+  EXPECT_EQ(account.up_bytes(MessageType::kControl), 10u);
+  EXPECT_EQ(account.up_bytes(MessageType::kResult), 0u);
+  EXPECT_EQ(account.down_bytes(MessageType::kResult), 50u);
+  EXPECT_EQ(account.total_up(), 1010u);
+  EXPECT_EQ(account.total_down(), 50u);
+}
+
+TEST(TrafficAccount, MergeAddsComponentwise) {
+  TrafficAccount a, b;
+  a.record_up(MessageType::kFileParams, 100);
+  b.record_up(MessageType::kFileParams, 200);
+  b.record_down(MessageType::kResult, 5);
+  a.merge(b);
+  EXPECT_EQ(a.up_bytes(MessageType::kFileParams), 300u);
+  EXPECT_EQ(a.down_bytes(MessageType::kResult), 5u);
+}
+
+TEST(TrafficAccount, StartsZeroed) {
+  const TrafficAccount account;
+  EXPECT_EQ(account.total_up(), 0u);
+  EXPECT_EQ(account.total_down(), 0u);
+}
+
+}  // namespace
+}  // namespace rattrap::net

@@ -1,0 +1,139 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rattrap::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(10, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(12345));
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue queue;
+  const EventId head = queue.schedule(1, [] { FAIL() << "cancelled event"; });
+  bool fired = false;
+  queue.schedule(2, [&] { fired = true; });
+  queue.cancel(head);
+  EXPECT_EQ(queue.next_time(), 2);
+  queue.pop().callback();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, NextTimeTracksEarliestLive) {
+  EventQueue queue;
+  queue.schedule(50, [] {});
+  const EventId early = queue.schedule(5, [] {});
+  EXPECT_EQ(queue.next_time(), 5);
+  queue.cancel(early);
+  EXPECT_EQ(queue.next_time(), 50);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  for (int i = 0; i < 10; ++i) queue.schedule(i, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1, [] {});
+  queue.schedule(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+// Property sweep: random schedule/cancel sequences always pop in
+// nondecreasing time order and fire exactly the non-cancelled events.
+class EventQueueProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueProperty, OrderAndConservation) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  EventQueue queue;
+  int scheduled = 0;
+  int cancelled = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) {
+    if (rng.bernoulli(0.7) || ids.empty()) {
+      ids.push_back(
+          queue.schedule(rng.uniform_int(0, 1000), [] {}));
+      ++scheduled;
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      if (queue.cancel(ids[pick])) ++cancelled;
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  int fired = 0;
+  SimTime last = -1;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, scheduled - cancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rattrap::sim

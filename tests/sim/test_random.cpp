@@ -1,0 +1,146 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rattrap::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkByTagIsDeterministic) {
+  const Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("alpha");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+  const Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  Rng c = parent.fork(std::uint64_t{0});
+  Rng d = parent.fork(std::uint64_t{1});
+  int same_ab = 0, same_cd = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same_ab;
+    if (c() == d()) ++same_cd;
+  }
+  EXPECT_LT(same_ab, 2);
+  EXPECT_LT(same_cd, 2);
+}
+
+// Property: lognormal(mu, sigma) median is exp(mu).
+class LognormalMedian : public ::testing::TestWithParam<double> {};
+
+TEST_P(LognormalMedian, MedianMatches) {
+  const double mu = GetParam();
+  Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal(mu, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(mu), std::exp(mu) * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, LognormalMedian,
+                         ::testing::Values(-1.0, 0.0, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace rattrap::sim

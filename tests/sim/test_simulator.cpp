@@ -1,0 +1,107 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rattrap::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, StepAdvancesClockToEventTime) {
+  Simulator sim;
+  sim.schedule_at(42, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(sim.now(), 42);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  sim.schedule_at(100, [&sim] {
+    sim.schedule_in(50, [] {});
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), 150);
+}
+
+TEST(Simulator, RunDrainsCascadingEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 10) sim.schedule_in(10, chain);
+  };
+  sim.schedule_in(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.events_fired(), 10u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(sim.pending(), 2u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ResetRewindsClock) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 10);
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventScheduledAtNowFires) {
+  Simulator sim;
+  sim.schedule_at(10, [&sim] {
+    bool fired = false;
+    sim.schedule_at(sim.now(), [&fired] { fired = true; });
+    // The nested event fires after this callback returns.
+  });
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 2u);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+}  // namespace
+}  // namespace rattrap::sim

@@ -1,0 +1,137 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace rattrap::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeEqualsCombined) {
+  Rng rng(5);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Cdf, FractionsAndQuantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(50), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(90), 0.1);
+  EXPECT_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  Cdf cdf;
+  EXPECT_EQ(cdf.fraction_at_or_below(10), 0.0);
+  EXPECT_EQ(cdf.fraction_above(10), 0.0);
+}
+
+TEST(Cdf, SortedIsMonotone) {
+  Cdf cdf;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) cdf.add(rng.uniform(-10, 10));
+  const auto sorted = cdf.sorted();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1], sorted[i]);
+  }
+}
+
+TEST(TimeSeries, PointAttribution) {
+  TimeSeries series(kSecond);
+  series.add(0, 1.0);
+  series.add(kSecond - 1, 2.0);
+  series.add(kSecond, 4.0);
+  EXPECT_DOUBLE_EQ(series.bucket(0), 3.0);
+  EXPECT_DOUBLE_EQ(series.bucket(1), 4.0);
+  EXPECT_DOUBLE_EQ(series.bucket(99), 0.0);  // out of range reads as 0
+}
+
+TEST(TimeSeries, IntervalSplitsProportionally) {
+  TimeSeries series(kSecond);
+  // 1.5 s to 3.5 s: 25 % in bucket 1, 50 % in bucket 2, 25 % in bucket 3.
+  series.add_interval(kSecond * 3 / 2, kSecond * 7 / 2, 100.0);
+  EXPECT_NEAR(series.bucket(1), 25.0, 1e-6);
+  EXPECT_NEAR(series.bucket(2), 50.0, 1e-6);
+  EXPECT_NEAR(series.bucket(3), 25.0, 1e-6);
+}
+
+TEST(TimeSeries, IntervalConservesMass) {
+  TimeSeries series(kSecond);
+  Rng rng(9);
+  double total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t0 = rng.uniform_int(0, 60 * kSecond);
+    const SimTime t1 = t0 + rng.uniform_int(0, 10 * kSecond);
+    const double v = rng.uniform(0, 50);
+    series.add_interval(t0, t1, v);
+    total += v;
+  }
+  double sum = 0;
+  for (std::size_t i = 0; i < series.buckets(); ++i) sum += series.bucket(i);
+  EXPECT_NEAR(sum, total, total * 1e-9);
+}
+
+TEST(TimeSeries, ZeroLengthIntervalActsAsPoint) {
+  TimeSeries series(kSecond);
+  series.add_interval(5 * kSecond, 5 * kSecond, 7.0);
+  EXPECT_DOUBLE_EQ(series.bucket(5), 7.0);
+}
+
+}  // namespace
+}  // namespace rattrap::sim

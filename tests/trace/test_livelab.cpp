@@ -1,0 +1,157 @@
+#include "trace/livelab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+#include <map>
+
+namespace rattrap::trace {
+namespace {
+
+TEST(LiveLab, TraceIsSortedAndNonEmpty) {
+  TraceConfig config;
+  const auto trace = generate(config);
+  ASSERT_GT(trace.size(), 50u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time, trace[i].time);
+  }
+}
+
+TEST(LiveLab, DeterministicInSeed) {
+  TraceConfig config;
+  const auto a = generate(config);
+  const auto b = generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].user, b[i].user);
+  }
+}
+
+TEST(LiveLab, AllUsersAppear) {
+  TraceConfig config;
+  config.users = 4;
+  const auto trace = generate(config);
+  std::map<std::uint32_t, int> per_user;
+  for (const auto& event : trace) ++per_user[event.user];
+  EXPECT_EQ(per_user.size(), 4u);
+}
+
+TEST(LiveLab, EventsStayWithinConfiguredWindow) {
+  TraceConfig config;
+  config.days = 2;
+  const auto trace = generate(config);
+  for (const auto& event : trace) {
+    EXPECT_GE(event.time, 0);
+    // Sessions can spill slightly past midnight through intra-gaps.
+    EXPECT_LT(event.time, (config.days + 1) * 24 * sim::kHour);
+  }
+}
+
+TEST(LiveLab, NightTroughVsEveningPeak) {
+  TraceConfig config;
+  config.users = 20;
+  config.days = 4;
+  config.seed = 99;
+  const auto trace = generate(config);
+  std::array<int, 24> per_hour{};
+  for (const auto& event : trace) {
+    const auto hour =
+        static_cast<std::size_t>((event.time / sim::kHour) % 24);
+    ++per_hour[hour];
+  }
+  const int night = per_hour[2] + per_hour[3] + per_hour[4];
+  const int evening = per_hour[19] + per_hour[20] + per_hour[21];
+  EXPECT_GT(evening, 5 * night);  // strong diurnal shape
+}
+
+TEST(LiveLab, BurstsExist) {
+  // Heavy-tailed sessions: some consecutive gaps are short (< 30 s).
+  TraceConfig config;
+  config.users = 1;
+  const auto trace = generate(config);
+  int short_gaps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].time - trace[i - 1].time < 30 * sim::kSecond) ++short_gaps;
+  }
+  EXPECT_GT(short_gaps, static_cast<int>(trace.size() / 5));
+}
+
+TEST(LiveLab, ArrivalsExtraction) {
+  TraceConfig config;
+  const auto trace = generate(config);
+  const auto times = arrivals(trace);
+  ASSERT_EQ(times.size(), trace.size());
+  EXPECT_EQ(times.front(), trace.front().time);
+}
+
+TEST(LiveLab, MoreSessionsMeansMoreEvents) {
+  TraceConfig sparse, dense;
+  sparse.sessions_per_day = 5;
+  dense.sessions_per_day = 50;
+  EXPECT_GT(generate(dense).size(), 2 * generate(sparse).size());
+}
+
+TEST(LiveLab, DiurnalProfileNormalized) {
+  const auto& profile = diurnal_profile();
+  double sum = 0;
+  for (const double rate : profile) sum += rate;
+  EXPECT_NEAR(sum / 24.0, 1.0, 0.05);
+}
+
+TEST(LiveLabCsv, RoundTrip) {
+  TraceConfig config;
+  config.users = 3;
+  const auto trace = generate(config);
+  const std::string path = ::testing::TempDir() + "livelab_roundtrip.csv";
+  ASSERT_TRUE(save_csv(trace, path));
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].user, trace[i].user);
+    EXPECT_EQ((*loaded)[i].time, trace[i].time);
+  }
+}
+
+TEST(LiveLabCsv, LoadSortsByTime) {
+  const std::string path = ::testing::TempDir() + "livelab_unsorted.csv";
+  {
+    std::vector<TraceEvent> unsorted = {{1, 300}, {2, 100}, {0, 200}};
+    ASSERT_TRUE(save_csv(unsorted, path));
+  }
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].time, 100);
+  EXPECT_EQ((*loaded)[2].time, 300);
+}
+
+TEST(LiveLabCsv, MissingFileFails) {
+  EXPECT_FALSE(load_csv("/nonexistent/dir/trace.csv").has_value());
+}
+
+TEST(LiveLabCsv, MalformedLineFails) {
+  const std::string path = ::testing::TempDir() + "livelab_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp_us\nnot-a-valid-line\n";
+  }
+  EXPECT_FALSE(load_csv(path).has_value());
+}
+
+TEST(LiveLabCsv, HeaderlessFileParses) {
+  const std::string path = ::testing::TempDir() + "livelab_raw.csv";
+  {
+    std::ofstream out(path);
+    out << "4,12345\n2,999\n";
+  }
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].user, 2u);
+}
+
+}  // namespace
+}  // namespace rattrap::trace

@@ -1,0 +1,134 @@
+#include "vm/hypervisor.hpp"
+#include "vm/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::vm {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmConfig basic_config(std::string name) {
+    VmConfig config;
+    config.name = std::move(name);
+    config.memory = 512ull << 20;
+    config.disk_image = 1100ull << 20;
+    return config;
+  }
+
+  std::vector<BootStage> two_stage_plan() {
+    return {{"bios", sim::from_millis(100), 0},
+            {"kernel", sim::from_millis(200), 8 << 20}};
+  }
+
+  sim::Simulator simulator_;
+  fs::DiskModel disk_{simulator_};
+  Hypervisor hypervisor_{simulator_, disk_, 16ull << 30};
+};
+
+TEST_F(VmTest, CreateChargesMemoryAndDisk) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  ASSERT_NE(vm, nullptr);
+  EXPECT_EQ(hypervisor_.memory_committed(), 512ull << 20);
+  EXPECT_EQ(hypervisor_.disk_committed(), 1100ull << 20);
+  EXPECT_EQ(vm->state(), VmState::kCreated);
+}
+
+TEST_F(VmTest, CreateFailsWhenHostMemoryExhausted) {
+  VmConfig config = basic_config("big");
+  config.memory = 17ull << 30;  // more than the host's 16 GB
+  EXPECT_EQ(hypervisor_.create(config), nullptr);
+}
+
+TEST_F(VmTest, BootRunsStagesAndFiresCallback) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  sim::SimTime booted_at = -1;
+  hypervisor_.boot(vm->id(), two_stage_plan(),
+                   [&](sim::SimTime t) { booted_at = t; });
+  EXPECT_EQ(vm->state(), VmState::kBooting);
+  simulator_.run();
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  EXPECT_GT(booted_at, 0);
+  EXPECT_EQ(vm->last_boot_duration(), booted_at);
+}
+
+TEST_F(VmTest, BootDurationIncludesVirtualizationOverheads) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  hypervisor_.boot(vm->id(), two_stage_plan(), [](sim::SimTime) {});
+  simulator_.run();
+  // CPU stages run at cpu_factor < 1, disk reads at io_factor < 1: the
+  // boot must take longer than the native sum.
+  const sim::SimDuration native_cpu = sim::from_millis(300);
+  const sim::SimDuration native_io = disk_.service_time(8 << 20, true);
+  EXPECT_GT(vm->last_boot_duration(), native_cpu + native_io);
+}
+
+TEST_F(VmTest, CpuVirtualizationFactorApplied) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  const sim::SimDuration native = sim::from_millis(920);
+  EXPECT_EQ(vm->virtualize_cpu(native),
+            static_cast<sim::SimDuration>(920000 / 0.92));
+}
+
+TEST_F(VmTest, IoPenaltyPositive) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  EXPECT_GT(vm->io_penalty(sim::from_millis(100)), 0);
+}
+
+TEST_F(VmTest, StopAbortsBoot) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  bool booted = false;
+  hypervisor_.boot(vm->id(), two_stage_plan(),
+                   [&](sim::SimTime) { booted = true; });
+  hypervisor_.stop(vm->id());
+  simulator_.run();
+  EXPECT_FALSE(booted);
+  EXPECT_EQ(vm->state(), VmState::kStopped);
+}
+
+TEST_F(VmTest, RebootAfterStop) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  hypervisor_.boot(vm->id(), two_stage_plan(), [](sim::SimTime) {});
+  simulator_.run();
+  hypervisor_.stop(vm->id());
+  bool booted = false;
+  EXPECT_TRUE(hypervisor_.boot(vm->id(), two_stage_plan(),
+                               [&](sim::SimTime) { booted = true; }));
+  simulator_.run();
+  EXPECT_TRUE(booted);
+}
+
+TEST_F(VmTest, BootWhileRunningRejected) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  hypervisor_.boot(vm->id(), two_stage_plan(), [](sim::SimTime) {});
+  simulator_.run();
+  EXPECT_FALSE(hypervisor_.boot(vm->id(), two_stage_plan(),
+                                [](sim::SimTime) {}));
+}
+
+TEST_F(VmTest, DestroyReleasesResources) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  EXPECT_TRUE(hypervisor_.destroy(vm->id()));
+  EXPECT_EQ(hypervisor_.memory_committed(), 0u);
+  EXPECT_EQ(hypervisor_.disk_committed(), 0u);
+  EXPECT_FALSE(hypervisor_.destroy(99));
+}
+
+TEST_F(VmTest, BootGeneratesDiskLoad) {
+  VirtualMachine* vm = hypervisor_.create(basic_config("v1"));
+  hypervisor_.boot(vm->id(), two_stage_plan(), [](sim::SimTime) {});
+  simulator_.run();
+  EXPECT_EQ(disk_.total_read_bytes(), 8u << 20);
+}
+
+TEST_F(VmTest, RunningCount) {
+  VirtualMachine* a = hypervisor_.create(basic_config("a"));
+  hypervisor_.create(basic_config("b"));
+  hypervisor_.boot(a->id(), two_stage_plan(), [](sim::SimTime) {});
+  simulator_.run();
+  EXPECT_EQ(hypervisor_.running_count(), 1u);
+  EXPECT_EQ(hypervisor_.count(), 2u);
+}
+
+}  // namespace
+}  // namespace rattrap::vm

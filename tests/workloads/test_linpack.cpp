@@ -1,0 +1,69 @@
+#include "workloads/linpack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::workloads {
+namespace {
+
+TEST(Linpack, ResidualIsNumericallySound) {
+  const LinpackOutcome outcome = run_linpack(100, 42);
+  // The normalized residual of a well-conditioned random system solved
+  // with partial pivoting should be O(1)–O(10).
+  EXPECT_LT(outcome.normalized_residual, 100.0);
+  EXPECT_GT(outcome.residual_norm, 0.0);
+}
+
+TEST(Linpack, FlopCountFormula) {
+  const LinpackOutcome outcome = run_linpack(100, 1);
+  const double n = 100.0;
+  EXPECT_EQ(outcome.flops,
+            static_cast<std::uint64_t>(2.0 / 3.0 * n * n * n + 2.0 * n * n));
+}
+
+TEST(Linpack, DeterministicInSeed) {
+  const LinpackOutcome a = run_linpack(64, 7);
+  const LinpackOutcome b = run_linpack(64, 7);
+  EXPECT_EQ(a.residual_norm, b.residual_norm);
+  const LinpackOutcome c = run_linpack(64, 8);
+  EXPECT_NE(a.residual_norm, c.residual_norm);
+}
+
+TEST(Linpack, LargerSystemsStaySound) {
+  for (const std::size_t n : {32, 160, 320}) {
+    EXPECT_LT(run_linpack(n, 3).normalized_residual, 100.0) << n;
+  }
+}
+
+TEST(LinpackTask, ExecuteReportsFlops) {
+  LinpackWorkload workload;
+  sim::Rng rng(1);
+  const TaskSpec spec = workload.make_task(rng, 1);
+  const TaskResult result = workload.execute(spec);
+  const double n = 160.0;
+  EXPECT_EQ(result.units.compute,
+            static_cast<std::uint64_t>(2.0 / 3.0 * n * n * n + 2.0 * n * n));
+  EXPECT_EQ(result.units.io_bytes, 0u);
+  EXPECT_NE(result.checksum, 0u);  // residual check passed
+}
+
+TEST(LinpackTask, TinyTransferFootprint) {
+  // Table II: Linpack's whole 20-request upload is a few hundred KB.
+  LinpackWorkload workload;
+  sim::Rng rng(2);
+  const TaskSpec spec = workload.make_task(rng, 1);
+  EXPECT_EQ(spec.input_file_bytes, 0u);
+  EXPECT_LT(spec.param_bytes, 4096u);
+  EXPECT_LT(workload.app().apk_bytes, 256u * 1024);
+}
+
+class LinpackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinpackSweep, ResidualBoundedAcrossSizes) {
+  EXPECT_LT(run_linpack(GetParam(), 11).normalized_residual, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinpackSweep,
+                         ::testing::Values(8, 16, 33, 64, 127, 256));
+
+}  // namespace
+}  // namespace rattrap::workloads

@@ -1,0 +1,133 @@
+#include "workloads/ocr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::workloads {
+namespace {
+
+TEST(OcrFont, GlyphsAreWellSeparated) {
+  const auto& glyphs = font();
+  auto distance = [](const Glyph& a, const Glyph& b) {
+    int d = 0;
+    for (int i = 0; i < 8; ++i) {
+      d += __builtin_popcount(static_cast<unsigned>(a[i] ^ b[i]));
+    }
+    return d;
+  };
+  for (std::size_t i = 0; i < kAlphabetSize; ++i) {
+    for (std::size_t j = i + 1; j < kAlphabetSize; ++j) {
+      EXPECT_GE(distance(glyphs[i], glyphs[j]), 14)
+          << "glyphs " << i << " and " << j;
+    }
+  }
+}
+
+TEST(OcrRender, PageDimensionsAndDeterminism) {
+  const Page a = render_page(10, 8, 0.02, 99);
+  const Page b = render_page(10, 8, 0.02, 99);
+  EXPECT_EQ(a.columns, 10u);
+  EXPECT_EQ(a.rows, 8u);
+  EXPECT_EQ(a.truth.size(), 80u);
+  EXPECT_EQ(a.truth, b.truth);
+  for (std::size_t i = 0; i < a.bitmaps.size(); ++i) {
+    EXPECT_EQ(a.bitmaps[i], b.bitmaps[i]);
+  }
+}
+
+TEST(OcrRecognize, NoiselessPageIsPerfectlyDecoded) {
+  const Page page = render_page(20, 20, 0.0, 7);
+  const OcrOutcome outcome = recognize(page);
+  EXPECT_EQ(outcome.correct, 400u);
+  EXPECT_EQ(outcome.decoded, page.truth);
+}
+
+TEST(OcrRecognize, ModerateNoiseStillMostlyCorrect) {
+  const Page page = render_page(30, 30, 0.05, 11);
+  const OcrOutcome outcome = recognize(page);
+  // 5 % pixel flips: well inside the minimum glyph separation.
+  EXPECT_GT(static_cast<double>(outcome.correct) / 900.0, 0.95);
+}
+
+TEST(OcrRecognize, HeavyNoiseDegradesAccuracy) {
+  const Page clean = render_page(30, 30, 0.02, 13);
+  const Page noisy = render_page(30, 30, 0.35, 13);
+  EXPECT_GT(recognize(clean).correct, recognize(noisy).correct);
+}
+
+TEST(OcrRecognize, PixelOpsCountIsExact) {
+  const Page page = render_page(5, 4, 0.0, 3);
+  const OcrOutcome outcome = recognize(page);
+  EXPECT_EQ(outcome.pixel_ops, 20u * kAlphabetSize * 64u);
+}
+
+TEST(OcrWorkloadTask, ExecuteIsDeterministic) {
+  OcrWorkload workload;
+  sim::Rng rng(5);
+  const TaskSpec spec = workload.make_task(rng, 2);
+  EXPECT_EQ(workload.execute(spec).checksum,
+            workload.execute(spec).checksum);
+}
+
+TEST(OcrWorkloadTask, WorkScalesQuadraticallyWithSizeClass) {
+  OcrWorkload workload;
+  sim::Rng rng(6);
+  TaskSpec small = workload.make_task(rng, 1);
+  TaskSpec large = small;
+  large.size_class = 2;
+  const auto small_units = workload.execute(small).units.compute;
+  const auto large_units = workload.execute(large).units.compute;
+  EXPECT_EQ(large_units, 4 * small_units);  // 2x columns × 2x rows
+}
+
+TEST(OcrWorkloadTask, ShipsAnImageFile) {
+  OcrWorkload workload;
+  sim::Rng rng(7);
+  const TaskSpec spec = workload.make_task(rng, 3);
+  EXPECT_GT(spec.input_file_bytes, 1024u * 1024);
+  EXPECT_EQ(spec.io_ops, 1u);
+  EXPECT_GT(spec.result_bytes, 0u);
+}
+
+TEST(OcrDenoise, RemovesIsolatedNoisePixels) {
+  Glyph glyph{};          // empty glyph...
+  glyph[3] = 0b00010000;  // ...with one isolated set pixel
+  const Glyph cleaned = denoise(glyph);
+  for (const auto row : cleaned) EXPECT_EQ(row, 0);
+}
+
+TEST(OcrDenoise, FillsIsolatedHoles) {
+  Glyph glyph;
+  glyph.fill(0xff);
+  glyph[4] = 0b11101111;  // one hole inside a solid block
+  const Glyph cleaned = denoise(glyph);
+  EXPECT_EQ(cleaned[4], 0xff);
+}
+
+TEST(OcrDenoise, SolidBlockIsStable) {
+  Glyph glyph;
+  glyph.fill(0xff);
+  EXPECT_EQ(denoise(glyph), glyph);
+  Glyph empty{};
+  EXPECT_EQ(denoise(empty), empty);
+}
+
+TEST(OcrDenoise, MatchedFilterBeatsDenoiseOnIidNoise) {
+  // Against i.i.d. pixel flips the raw nearest-template match is the
+  // optimal decision rule; a denoising pass can only discard evidence.
+  // This pins the (initially counterintuitive) property so nobody
+  // "fixes" the pipeline into a worse one.
+  const Page page = render_page(30, 30, 0.12, 21);
+  const OcrOutcome raw = recognize(page, /*with_denoise=*/false);
+  const OcrOutcome cleaned = recognize(page, /*with_denoise=*/true);
+  EXPECT_GE(raw.correct, cleaned.correct);
+}
+
+TEST(OcrDenoise, CostsExtraPixelOps) {
+  const Page page = render_page(5, 4, 0.0, 3);
+  const OcrOutcome raw = recognize(page, false);
+  const OcrOutcome cleaned = recognize(page, true);
+  EXPECT_EQ(cleaned.pixel_ops, raw.pixel_ops + 20u * 64 * 9);
+}
+
+}  // namespace
+}  // namespace rattrap::workloads
