@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_warm_pool.dir/bench_abl_warm_pool.cpp.o"
+  "CMakeFiles/bench_abl_warm_pool.dir/bench_abl_warm_pool.cpp.o.d"
+  "bench_abl_warm_pool"
+  "bench_abl_warm_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_warm_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_decision.dir/bench_ext_decision.cpp.o"
+  "CMakeFiles/bench_ext_decision.dir/bench_ext_decision.cpp.o.d"
+  "bench_ext_decision"
+  "bench_ext_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

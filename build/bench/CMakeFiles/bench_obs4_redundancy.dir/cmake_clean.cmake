@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs4_redundancy.dir/bench_obs4_redundancy.cpp.o"
+  "CMakeFiles/bench_obs4_redundancy.dir/bench_obs4_redundancy.cpp.o.d"
+  "bench_obs4_redundancy"
+  "bench_obs4_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs4_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_runtime_overheads.dir/bench_table1_runtime_overheads.cpp.o"
+  "CMakeFiles/bench_table1_runtime_overheads.dir/bench_table1_runtime_overheads.cpp.o.d"
+  "bench_table1_runtime_overheads"
+  "bench_table1_runtime_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_runtime_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

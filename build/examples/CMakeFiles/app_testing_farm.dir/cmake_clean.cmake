@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_testing_farm.dir/app_testing_farm.cpp.o"
+  "CMakeFiles/app_testing_farm.dir/app_testing_farm.cpp.o.d"
+  "app_testing_farm"
+  "app_testing_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_testing_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

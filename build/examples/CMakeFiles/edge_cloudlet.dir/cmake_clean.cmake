@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cloudlet.dir/edge_cloudlet.cpp.o"
+  "CMakeFiles/edge_cloudlet.dir/edge_cloudlet.cpp.o.d"
+  "edge_cloudlet"
+  "edge_cloudlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cloudlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

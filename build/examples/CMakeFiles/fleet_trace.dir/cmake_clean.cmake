@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_trace.dir/fleet_trace.cpp.o"
+  "CMakeFiles/fleet_trace.dir/fleet_trace.cpp.o.d"
+  "fleet_trace"
+  "fleet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

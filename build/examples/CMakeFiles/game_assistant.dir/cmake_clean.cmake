@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_assistant.dir/game_assistant.cpp.o"
+  "CMakeFiles/game_assistant.dir/game_assistant.cpp.o.d"
+  "game_assistant"
+  "game_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_batch.dir/photo_batch.cpp.o"
+  "CMakeFiles/photo_batch.dir/photo_batch.cpp.o.d"
+  "photo_batch"
+  "photo_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

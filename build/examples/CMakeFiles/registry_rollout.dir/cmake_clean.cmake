@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_rollout.dir/registry_rollout.cpp.o"
+  "CMakeFiles/registry_rollout.dir/registry_rollout.cpp.o.d"
+  "registry_rollout"
+  "registry_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

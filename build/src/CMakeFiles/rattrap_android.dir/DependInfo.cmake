@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/app.cpp" "src/CMakeFiles/rattrap_android.dir/android/app.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/app.cpp.o.d"
+  "/root/repo/src/android/boot.cpp" "src/CMakeFiles/rattrap_android.dir/android/boot.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/boot.cpp.o.d"
+  "/root/repo/src/android/classloader.cpp" "src/CMakeFiles/rattrap_android.dir/android/classloader.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/classloader.cpp.o.d"
+  "/root/repo/src/android/image_profile.cpp" "src/CMakeFiles/rattrap_android.dir/android/image_profile.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/image_profile.cpp.o.d"
+  "/root/repo/src/android/init_rc.cpp" "src/CMakeFiles/rattrap_android.dir/android/init_rc.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/init_rc.cpp.o.d"
+  "/root/repo/src/android/properties.cpp" "src/CMakeFiles/rattrap_android.dir/android/properties.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/properties.cpp.o.d"
+  "/root/repo/src/android/services.cpp" "src/CMakeFiles/rattrap_android.dir/android/services.cpp.o" "gcc" "src/CMakeFiles/rattrap_android.dir/android/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

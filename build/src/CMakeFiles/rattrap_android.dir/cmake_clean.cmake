@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_android.dir/android/app.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/app.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/boot.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/boot.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/classloader.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/classloader.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/image_profile.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/image_profile.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/init_rc.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/init_rc.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/properties.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/properties.cpp.o.d"
+  "CMakeFiles/rattrap_android.dir/android/services.cpp.o"
+  "CMakeFiles/rattrap_android.dir/android/services.cpp.o.d"
+  "librattrap_android.a"
+  "librattrap_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

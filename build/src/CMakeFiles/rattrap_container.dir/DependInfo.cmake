@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/cgroup.cpp" "src/CMakeFiles/rattrap_container.dir/container/cgroup.cpp.o" "gcc" "src/CMakeFiles/rattrap_container.dir/container/cgroup.cpp.o.d"
+  "/root/repo/src/container/container.cpp" "src/CMakeFiles/rattrap_container.dir/container/container.cpp.o" "gcc" "src/CMakeFiles/rattrap_container.dir/container/container.cpp.o.d"
+  "/root/repo/src/container/namespaces.cpp" "src/CMakeFiles/rattrap_container.dir/container/namespaces.cpp.o" "gcc" "src/CMakeFiles/rattrap_container.dir/container/namespaces.cpp.o.d"
+  "/root/repo/src/container/registry.cpp" "src/CMakeFiles/rattrap_container.dir/container/registry.cpp.o" "gcc" "src/CMakeFiles/rattrap_container.dir/container/registry.cpp.o.d"
+  "/root/repo/src/container/runtime.cpp" "src/CMakeFiles/rattrap_container.dir/container/runtime.cpp.o" "gcc" "src/CMakeFiles/rattrap_container.dir/container/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

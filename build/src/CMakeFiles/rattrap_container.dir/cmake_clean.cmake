@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_container.dir/container/cgroup.cpp.o"
+  "CMakeFiles/rattrap_container.dir/container/cgroup.cpp.o.d"
+  "CMakeFiles/rattrap_container.dir/container/container.cpp.o"
+  "CMakeFiles/rattrap_container.dir/container/container.cpp.o.d"
+  "CMakeFiles/rattrap_container.dir/container/namespaces.cpp.o"
+  "CMakeFiles/rattrap_container.dir/container/namespaces.cpp.o.d"
+  "CMakeFiles/rattrap_container.dir/container/registry.cpp.o"
+  "CMakeFiles/rattrap_container.dir/container/registry.cpp.o.d"
+  "CMakeFiles/rattrap_container.dir/container/runtime.cpp.o"
+  "CMakeFiles/rattrap_container.dir/container/runtime.cpp.o.d"
+  "librattrap_container.a"
+  "librattrap_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

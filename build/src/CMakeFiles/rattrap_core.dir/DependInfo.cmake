@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_control.cpp" "src/CMakeFiles/rattrap_core.dir/core/access_control.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/access_control.cpp.o.d"
+  "/root/repo/src/core/cac.cpp" "src/CMakeFiles/rattrap_core.dir/core/cac.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/cac.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/rattrap_core.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/rattrap_core.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/container_db.cpp" "src/CMakeFiles/rattrap_core.dir/core/container_db.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/container_db.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/rattrap_core.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/offload.cpp" "src/CMakeFiles/rattrap_core.dir/core/offload.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/offload.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/rattrap_core.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/platform.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rattrap_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/rattrap_core.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/server.cpp.o.d"
+  "/root/repo/src/core/shared_layer.cpp" "src/CMakeFiles/rattrap_core.dir/core/shared_layer.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/shared_layer.cpp.o.d"
+  "/root/repo/src/core/warehouse.cpp" "src/CMakeFiles/rattrap_core.dir/core/warehouse.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

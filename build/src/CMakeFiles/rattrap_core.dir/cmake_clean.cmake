@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_core.dir/core/access_control.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/access_control.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/cac.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/cac.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/calibration.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/calibration.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/cluster.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/cluster.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/container_db.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/container_db.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/monitor.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/monitor.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/offload.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/offload.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/platform.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/platform.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/report.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/server.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/server.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/shared_layer.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/shared_layer.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/warehouse.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/warehouse.cpp.o.d"
+  "librattrap_core.a"
+  "librattrap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/client.cpp" "src/CMakeFiles/rattrap_device.dir/device/client.cpp.o" "gcc" "src/CMakeFiles/rattrap_device.dir/device/client.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/rattrap_device.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/rattrap_device.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/power.cpp" "src/CMakeFiles/rattrap_device.dir/device/power.cpp.o" "gcc" "src/CMakeFiles/rattrap_device.dir/device/power.cpp.o.d"
+  "/root/repo/src/device/radio_state.cpp" "src/CMakeFiles/rattrap_device.dir/device/radio_state.cpp.o" "gcc" "src/CMakeFiles/rattrap_device.dir/device/radio_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

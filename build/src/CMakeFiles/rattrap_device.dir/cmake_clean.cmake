@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_device.dir/device/client.cpp.o"
+  "CMakeFiles/rattrap_device.dir/device/client.cpp.o.d"
+  "CMakeFiles/rattrap_device.dir/device/device.cpp.o"
+  "CMakeFiles/rattrap_device.dir/device/device.cpp.o.d"
+  "CMakeFiles/rattrap_device.dir/device/power.cpp.o"
+  "CMakeFiles/rattrap_device.dir/device/power.cpp.o.d"
+  "CMakeFiles/rattrap_device.dir/device/radio_state.cpp.o"
+  "CMakeFiles/rattrap_device.dir/device/radio_state.cpp.o.d"
+  "librattrap_device.a"
+  "librattrap_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

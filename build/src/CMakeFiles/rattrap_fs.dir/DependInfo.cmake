@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/disk.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/disk.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/disk.cpp.o.d"
+  "/root/repo/src/fs/image.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/image.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/image.cpp.o.d"
+  "/root/repo/src/fs/layer.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/layer.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/layer.cpp.o.d"
+  "/root/repo/src/fs/path.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/path.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/path.cpp.o.d"
+  "/root/repo/src/fs/tmpfs.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/tmpfs.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/tmpfs.cpp.o.d"
+  "/root/repo/src/fs/union_fs.cpp" "src/CMakeFiles/rattrap_fs.dir/fs/union_fs.cpp.o" "gcc" "src/CMakeFiles/rattrap_fs.dir/fs/union_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

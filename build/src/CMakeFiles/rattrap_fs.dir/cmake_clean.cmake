@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_fs.dir/fs/disk.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/disk.cpp.o.d"
+  "CMakeFiles/rattrap_fs.dir/fs/image.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/image.cpp.o.d"
+  "CMakeFiles/rattrap_fs.dir/fs/layer.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/layer.cpp.o.d"
+  "CMakeFiles/rattrap_fs.dir/fs/path.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/path.cpp.o.d"
+  "CMakeFiles/rattrap_fs.dir/fs/tmpfs.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/tmpfs.cpp.o.d"
+  "CMakeFiles/rattrap_fs.dir/fs/union_fs.cpp.o"
+  "CMakeFiles/rattrap_fs.dir/fs/union_fs.cpp.o.d"
+  "librattrap_fs.a"
+  "librattrap_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/alarm.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/alarm.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/alarm.cpp.o.d"
+  "/root/repo/src/kernel/android_container_driver.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/android_container_driver.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/android_container_driver.cpp.o.d"
+  "/root/repo/src/kernel/ashmem.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/ashmem.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/ashmem.cpp.o.d"
+  "/root/repo/src/kernel/binder.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/binder.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/binder.cpp.o.d"
+  "/root/repo/src/kernel/device.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/device.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/device.cpp.o.d"
+  "/root/repo/src/kernel/devns.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/devns.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/devns.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/logger.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/logger.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/logger.cpp.o.d"
+  "/root/repo/src/kernel/module.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/module.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/module.cpp.o.d"
+  "/root/repo/src/kernel/sw_sync.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/sw_sync.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/sw_sync.cpp.o.d"
+  "/root/repo/src/kernel/syscalls.cpp" "src/CMakeFiles/rattrap_kernel.dir/kernel/syscalls.cpp.o" "gcc" "src/CMakeFiles/rattrap_kernel.dir/kernel/syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

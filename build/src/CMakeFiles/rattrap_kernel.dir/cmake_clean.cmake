@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_kernel.dir/kernel/alarm.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/alarm.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/android_container_driver.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/android_container_driver.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/ashmem.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/ashmem.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/binder.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/binder.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/device.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/device.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/devns.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/devns.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/kernel.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/kernel.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/logger.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/logger.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/module.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/module.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/sw_sync.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/sw_sync.cpp.o.d"
+  "CMakeFiles/rattrap_kernel.dir/kernel/syscalls.cpp.o"
+  "CMakeFiles/rattrap_kernel.dir/kernel/syscalls.cpp.o.d"
+  "librattrap_kernel.a"
+  "librattrap_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

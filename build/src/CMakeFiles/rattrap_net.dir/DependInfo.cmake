@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/connection.cpp" "src/CMakeFiles/rattrap_net.dir/net/connection.cpp.o" "gcc" "src/CMakeFiles/rattrap_net.dir/net/connection.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/rattrap_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/rattrap_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/rattrap_net.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/rattrap_net.dir/net/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

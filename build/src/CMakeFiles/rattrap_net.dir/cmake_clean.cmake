@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_net.dir/net/connection.cpp.o"
+  "CMakeFiles/rattrap_net.dir/net/connection.cpp.o.d"
+  "CMakeFiles/rattrap_net.dir/net/link.cpp.o"
+  "CMakeFiles/rattrap_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/rattrap_net.dir/net/message.cpp.o"
+  "CMakeFiles/rattrap_net.dir/net/message.cpp.o.d"
+  "librattrap_net.a"
+  "librattrap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

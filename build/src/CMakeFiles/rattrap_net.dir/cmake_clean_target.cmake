@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librattrap_net.a"
+)

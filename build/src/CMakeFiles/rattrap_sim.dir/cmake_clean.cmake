@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/parallel.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/parallel.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/stats.cpp.o.d"
+  "librattrap_sim.a"
+  "librattrap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

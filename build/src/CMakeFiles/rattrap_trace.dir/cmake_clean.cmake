@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_trace.dir/trace/livelab.cpp.o"
+  "CMakeFiles/rattrap_trace.dir/trace/livelab.cpp.o.d"
+  "librattrap_trace.a"
+  "librattrap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

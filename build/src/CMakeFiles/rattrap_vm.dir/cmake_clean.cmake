@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_vm.dir/vm/hypervisor.cpp.o"
+  "CMakeFiles/rattrap_vm.dir/vm/hypervisor.cpp.o.d"
+  "CMakeFiles/rattrap_vm.dir/vm/vm.cpp.o"
+  "CMakeFiles/rattrap_vm.dir/vm/vm.cpp.o.d"
+  "librattrap_vm.a"
+  "librattrap_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

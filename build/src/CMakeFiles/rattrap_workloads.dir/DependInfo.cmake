@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/chess.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/chess.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/chess.cpp.o.d"
+  "/root/repo/src/workloads/generator.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/generator.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/generator.cpp.o.d"
+  "/root/repo/src/workloads/linpack.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/linpack.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/linpack.cpp.o.d"
+  "/root/repo/src/workloads/ocr.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/ocr.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/ocr.cpp.o.d"
+  "/root/repo/src/workloads/virusscan.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/virusscan.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/virusscan.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/rattrap_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/rattrap_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

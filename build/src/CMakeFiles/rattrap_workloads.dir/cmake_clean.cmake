@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_workloads.dir/workloads/chess.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/chess.cpp.o.d"
+  "CMakeFiles/rattrap_workloads.dir/workloads/generator.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/generator.cpp.o.d"
+  "CMakeFiles/rattrap_workloads.dir/workloads/linpack.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/linpack.cpp.o.d"
+  "CMakeFiles/rattrap_workloads.dir/workloads/ocr.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/ocr.cpp.o.d"
+  "CMakeFiles/rattrap_workloads.dir/workloads/virusscan.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/virusscan.cpp.o.d"
+  "CMakeFiles/rattrap_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/rattrap_workloads.dir/workloads/workload.cpp.o.d"
+  "librattrap_workloads.a"
+  "librattrap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

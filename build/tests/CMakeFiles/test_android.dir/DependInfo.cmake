@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android/test_app.cpp" "tests/CMakeFiles/test_android.dir/android/test_app.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_app.cpp.o.d"
+  "/root/repo/tests/android/test_boot.cpp" "tests/CMakeFiles/test_android.dir/android/test_boot.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_boot.cpp.o.d"
+  "/root/repo/tests/android/test_classloader.cpp" "tests/CMakeFiles/test_android.dir/android/test_classloader.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_classloader.cpp.o.d"
+  "/root/repo/tests/android/test_image_profile.cpp" "tests/CMakeFiles/test_android.dir/android/test_image_profile.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_image_profile.cpp.o.d"
+  "/root/repo/tests/android/test_init_rc.cpp" "tests/CMakeFiles/test_android.dir/android/test_init_rc.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_init_rc.cpp.o.d"
+  "/root/repo/tests/android/test_properties.cpp" "tests/CMakeFiles/test_android.dir/android/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_properties.cpp.o.d"
+  "/root/repo/tests/android/test_services.cpp" "tests/CMakeFiles/test_android.dir/android/test_services.cpp.o" "gcc" "tests/CMakeFiles/test_android.dir/android/test_services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_android.dir/android/test_app.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_app.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_boot.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_boot.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_classloader.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_classloader.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_image_profile.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_image_profile.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_init_rc.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_init_rc.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_properties.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_properties.cpp.o.d"
+  "CMakeFiles/test_android.dir/android/test_services.cpp.o"
+  "CMakeFiles/test_android.dir/android/test_services.cpp.o.d"
+  "test_android"
+  "test_android.pdb"
+  "test_android[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container.dir/container/test_cgroup.cpp.o"
+  "CMakeFiles/test_container.dir/container/test_cgroup.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/test_container.cpp.o"
+  "CMakeFiles/test_container.dir/container/test_container.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/test_namespaces.cpp.o"
+  "CMakeFiles/test_container.dir/container/test_namespaces.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/test_registry.cpp.o"
+  "CMakeFiles/test_container.dir/container/test_registry.cpp.o.d"
+  "test_container"
+  "test_container.pdb"
+  "test_container[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

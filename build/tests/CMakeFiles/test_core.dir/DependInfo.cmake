@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_access_control.cpp" "tests/CMakeFiles/test_core.dir/core/test_access_control.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_access_control.cpp.o.d"
+  "/root/repo/tests/core/test_cac.cpp" "tests/CMakeFiles/test_core.dir/core/test_cac.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cac.cpp.o.d"
+  "/root/repo/tests/core/test_cluster.cpp" "tests/CMakeFiles/test_core.dir/core/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cluster.cpp.o.d"
+  "/root/repo/tests/core/test_container_db.cpp" "tests/CMakeFiles/test_core.dir/core/test_container_db.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_container_db.cpp.o.d"
+  "/root/repo/tests/core/test_dispatcher.cpp" "tests/CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o.d"
+  "/root/repo/tests/core/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_server.cpp" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o.d"
+  "/root/repo/tests/core/test_shared_layer.cpp" "tests/CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o.d"
+  "/root/repo/tests/core/test_warehouse.cpp" "tests/CMakeFiles/test_core.dir/core/test_warehouse.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_access_control.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_access_control.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cac.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cac.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cluster.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cluster.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_container_db.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_container_db.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_server.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_server.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_warehouse.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_warehouse.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/test_client.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_client.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_device.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_device.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_power.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_power.cpp.o.d"
+  "CMakeFiles/test_device.dir/device/test_radio_state.cpp.o"
+  "CMakeFiles/test_device.dir/device/test_radio_state.cpp.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fs/test_disk.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_disk.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_disk.cpp.o.d"
+  "/root/repo/tests/fs/test_image.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_image.cpp.o.d"
+  "/root/repo/tests/fs/test_layer.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_layer.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_layer.cpp.o.d"
+  "/root/repo/tests/fs/test_path.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_path.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_path.cpp.o.d"
+  "/root/repo/tests/fs/test_tmpfs.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_tmpfs.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_tmpfs.cpp.o.d"
+  "/root/repo/tests/fs/test_union_fs.cpp" "tests/CMakeFiles/test_fs.dir/fs/test_union_fs.cpp.o" "gcc" "tests/CMakeFiles/test_fs.dir/fs/test_union_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

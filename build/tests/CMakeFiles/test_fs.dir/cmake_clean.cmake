@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs.dir/fs/test_disk.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_disk.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_image.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_image.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_layer.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_layer.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_path.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_path.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_tmpfs.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_tmpfs.cpp.o.d"
+  "CMakeFiles/test_fs.dir/fs/test_union_fs.cpp.o"
+  "CMakeFiles/test_fs.dir/fs/test_union_fs.cpp.o.d"
+  "test_fs"
+  "test_fs.pdb"
+  "test_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_ablations.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o.d"
+  "/root/repo/tests/integration/test_calibration_targets.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o.d"
+  "/root/repo/tests/integration/test_matrix.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o.d"
+  "/root/repo/tests/integration/test_platform.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_platform.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_platform.cpp.o.d"
+  "/root/repo/tests/integration/test_robustness.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o.d"
+  "/root/repo/tests/integration/test_security.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_security.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_security.cpp.o.d"
+  "/root/repo/tests/integration/test_warm_pool.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_warm_pool.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_warm_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rattrap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rattrap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_platform.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_platform.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_security.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_security.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_warm_pool.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_warm_pool.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

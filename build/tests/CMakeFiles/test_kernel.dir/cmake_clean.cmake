@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/test_acd.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_acd.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_alarm.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_alarm.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_ashmem.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_ashmem.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_binder.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_binder.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_devns.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_devns.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_kernel.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_kernel.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_logger.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_logger.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_sw_sync.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_sw_sync.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_syscalls.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_syscalls.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_chess.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_chess.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_generator.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_generator.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_linpack.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_linpack.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_ocr.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_ocr.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_virusscan.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_virusscan.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

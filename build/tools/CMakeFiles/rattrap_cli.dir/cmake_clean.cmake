@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rattrap_cli.dir/rattrap_sim.cpp.o"
+  "CMakeFiles/rattrap_cli.dir/rattrap_sim.cpp.o.d"
+  "rattrap"
+  "rattrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rattrap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
