@@ -221,10 +221,11 @@ bench/CMakeFiles/bench_fig01_phases.dir/bench_fig01_phases.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/time.hpp \
  /root/repo/src/core/cac.hpp /root/repo/src/android/boot.hpp \
  /root/repo/src/android/services.hpp /root/repo/src/vm/vm.hpp \
- /root/repo/src/fs/disk.hpp /root/repo/src/sim/simulator.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/fs/disk.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/stats.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
@@ -241,9 +242,10 @@ bench/CMakeFiles/bench_fig01_phases.dir/bench_fig01_phases.cpp.o: \
  /root/repo/src/kernel/sw_sync.hpp /root/repo/src/core/dispatcher.hpp \
  /root/repo/src/core/container_db.hpp /root/repo/src/core/warehouse.hpp \
  /root/repo/src/workloads/generator.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/offload.hpp \
- /root/repo/src/device/power.hpp /root/repo/src/net/message.hpp \
- /root/repo/src/core/server.hpp /root/repo/src/core/access_control.hpp \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/invariant.hpp \
+ /root/repo/src/core/offload.hpp /root/repo/src/device/power.hpp \
+ /root/repo/src/net/message.hpp /root/repo/src/core/server.hpp \
+ /root/repo/src/core/access_control.hpp \
  /root/repo/src/core/calibration.hpp /root/repo/src/device/device.hpp \
  /root/repo/src/core/monitor.hpp /root/repo/src/core/shared_layer.hpp \
  /root/repo/src/fs/tmpfs.hpp /root/repo/src/vm/hypervisor.hpp \

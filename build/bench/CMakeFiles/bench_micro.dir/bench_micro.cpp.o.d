@@ -221,10 +221,10 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/sim/time.hpp \
  /root/repo/src/sim/random.hpp /root/repo/src/fs/union_fs.hpp \
  /root/repo/src/kernel/binder.hpp /root/repo/src/kernel/device.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/fs/tmpfs.hpp /root/repo/src/workloads/chess.hpp \
- /root/repo/src/workloads/workload.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/fs/tmpfs.hpp \
+ /root/repo/src/workloads/chess.hpp /root/repo/src/workloads/workload.hpp \
  /root/repo/src/workloads/linpack.hpp /root/repo/src/workloads/ocr.hpp \
  /root/repo/src/workloads/virusscan.hpp

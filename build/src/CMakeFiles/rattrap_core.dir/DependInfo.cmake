@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/rattrap_core.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/cluster.cpp.o.d"
   "/root/repo/src/core/container_db.cpp" "src/CMakeFiles/rattrap_core.dir/core/container_db.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/container_db.cpp.o.d"
   "/root/repo/src/core/dispatcher.cpp" "src/CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o.d"
+  "/root/repo/src/core/invariant.cpp" "src/CMakeFiles/rattrap_core.dir/core/invariant.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/invariant.cpp.o.d"
   "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/rattrap_core.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/monitor.cpp.o.d"
   "/root/repo/src/core/offload.cpp" "src/CMakeFiles/rattrap_core.dir/core/offload.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/offload.cpp.o.d"
   "/root/repo/src/core/platform.cpp" "src/CMakeFiles/rattrap_core.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/rattrap_core.dir/core/platform.cpp.o.d"

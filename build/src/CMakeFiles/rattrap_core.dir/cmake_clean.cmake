@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rattrap_core.dir/core/container_db.cpp.o.d"
   "CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o"
   "CMakeFiles/rattrap_core.dir/core/dispatcher.cpp.o.d"
+  "CMakeFiles/rattrap_core.dir/core/invariant.cpp.o"
+  "CMakeFiles/rattrap_core.dir/core/invariant.cpp.o.d"
   "CMakeFiles/rattrap_core.dir/core/monitor.cpp.o"
   "CMakeFiles/rattrap_core.dir/core/monitor.cpp.o.d"
   "CMakeFiles/rattrap_core.dir/core/offload.cpp.o"

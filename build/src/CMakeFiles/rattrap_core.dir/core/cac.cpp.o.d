@@ -211,6 +211,7 @@ src/CMakeFiles/rattrap_core.dir/core/cac.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/fs/disk.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

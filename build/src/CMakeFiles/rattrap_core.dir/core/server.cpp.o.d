@@ -218,7 +218,8 @@ src/CMakeFiles/rattrap_core.dir/core/server.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/kernel/device.hpp /root/repo/src/kernel/kernel.hpp \
- /root/repo/src/kernel/devns.hpp /root/repo/src/kernel/module.hpp \
+ /root/repo/src/kernel/devns.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/kernel/module.hpp \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
@@ -226,9 +227,8 @@ src/CMakeFiles/rattrap_core.dir/core/server.cpp.o: \
  /root/repo/src/core/access_control.hpp \
  /root/repo/src/core/calibration.hpp /root/repo/src/device/device.hpp \
  /root/repo/src/device/power.hpp /root/repo/src/workloads/workload.hpp \
- /root/repo/src/sim/random.hpp /root/repo/src/fs/disk.hpp \
- /root/repo/src/sim/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/fs/disk.hpp /root/repo/src/sim/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \

@@ -210,5 +210,6 @@ src/CMakeFiles/rattrap_kernel.dir/kernel/binder.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/rattrap_sim.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/rattrap_sim.dir/sim/fault.cpp.o.d"
   "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o.d"
   "/root/repo/src/sim/parallel.cpp" "src/CMakeFiles/rattrap_sim.dir/sim/parallel.cpp.o" "gcc" "src/CMakeFiles/rattrap_sim.dir/sim/parallel.cpp.o.d"
   "/root/repo/src/sim/random.cpp" "src/CMakeFiles/rattrap_sim.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/rattrap_sim.dir/sim/random.cpp.o.d"

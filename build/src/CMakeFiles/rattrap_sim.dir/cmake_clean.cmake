@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o"
   "CMakeFiles/rattrap_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/rattrap_sim.dir/sim/fault.cpp.o"
+  "CMakeFiles/rattrap_sim.dir/sim/fault.cpp.o.d"
   "CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o"
   "CMakeFiles/rattrap_sim.dir/sim/logging.cpp.o.d"
   "CMakeFiles/rattrap_sim.dir/sim/parallel.cpp.o"

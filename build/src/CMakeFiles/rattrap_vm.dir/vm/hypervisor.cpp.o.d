@@ -210,11 +210,12 @@ src/CMakeFiles/rattrap_vm.dir/vm/hypervisor.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/optional /root/repo/src/sim/random.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/stats.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

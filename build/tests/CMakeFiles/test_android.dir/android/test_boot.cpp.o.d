@@ -138,11 +138,16 @@ tests/CMakeFiles/test_android.dir/android/test_boot.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/fs/disk.hpp \
- /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/stats.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
@@ -152,11 +157,8 @@ tests/CMakeFiles/test_android.dir/android/test_boot.cpp.o: \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -247,8 +249,7 @@ tests/CMakeFiles/test_android.dir/android/test_boot.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \

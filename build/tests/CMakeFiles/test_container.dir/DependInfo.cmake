@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/container/test_container.cpp" "tests/CMakeFiles/test_container.dir/container/test_container.cpp.o" "gcc" "tests/CMakeFiles/test_container.dir/container/test_container.cpp.o.d"
   "/root/repo/tests/container/test_namespaces.cpp" "tests/CMakeFiles/test_container.dir/container/test_namespaces.cpp.o" "gcc" "tests/CMakeFiles/test_container.dir/container/test_namespaces.cpp.o.d"
   "/root/repo/tests/container/test_registry.cpp" "tests/CMakeFiles/test_container.dir/container/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_container.dir/container/test_registry.cpp.o.d"
+  "/root/repo/tests/container/test_runtime.cpp" "tests/CMakeFiles/test_container.dir/container/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_container.dir/container/test_runtime.cpp.o.d"
   )
 
 # Targets to which this target links.

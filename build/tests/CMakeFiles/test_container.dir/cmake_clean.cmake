@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_container.dir/container/test_namespaces.cpp.o.d"
   "CMakeFiles/test_container.dir/container/test_registry.cpp.o"
   "CMakeFiles/test_container.dir/container/test_registry.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/test_runtime.cpp.o"
+  "CMakeFiles/test_container.dir/container/test_runtime.cpp.o.d"
   "test_container"
   "test_container.pdb"
   "test_container[1]_tests.cmake"

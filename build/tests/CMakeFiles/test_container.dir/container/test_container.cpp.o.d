@@ -217,7 +217,8 @@ tests/CMakeFiles/test_container.dir/container/test_container.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/kernel/device.hpp /root/repo/src/kernel/kernel.hpp \
- /root/repo/src/kernel/devns.hpp /root/repo/src/kernel/module.hpp \
+ /root/repo/src/kernel/devns.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/kernel/module.hpp \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/sim/simulator.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

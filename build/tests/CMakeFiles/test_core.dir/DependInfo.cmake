@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/test_container_db.cpp" "tests/CMakeFiles/test_core.dir/core/test_container_db.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_container_db.cpp.o.d"
   "/root/repo/tests/core/test_dispatcher.cpp" "tests/CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o.d"
   "/root/repo/tests/core/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_offload.cpp" "tests/CMakeFiles/test_core.dir/core/test_offload.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_offload.cpp.o.d"
   "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
   "/root/repo/tests/core/test_server.cpp" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_server.cpp.o.d"
   "/root/repo/tests/core/test_shared_layer.cpp" "tests/CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_shared_layer.cpp.o.d"

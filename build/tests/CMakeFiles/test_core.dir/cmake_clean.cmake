@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/test_dispatcher.cpp.o.d"
   "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
   "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_offload.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_offload.cpp.o.d"
   "CMakeFiles/test_core.dir/core/test_report.cpp.o"
   "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
   "CMakeFiles/test_core.dir/core/test_server.cpp.o"

@@ -211,6 +211,7 @@ tests/CMakeFiles/test_core.dir/core/test_cac.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/fs/disk.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -312,5 +313,4 @@ tests/CMakeFiles/test_core.dir/core/test_cac.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/android/image_profile.hpp /root/repo/src/fs/image.hpp \
- /root/repo/src/sim/random.hpp
+ /root/repo/src/android/image_profile.hpp /root/repo/src/fs/image.hpp

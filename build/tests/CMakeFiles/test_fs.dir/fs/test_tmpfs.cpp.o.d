@@ -144,6 +144,7 @@ tests/CMakeFiles/test_fs.dir/fs/test_tmpfs.cpp.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/random.hpp \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/integration/test_ablations.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o.d"
   "/root/repo/tests/integration/test_calibration_targets.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o.d"
+  "/root/repo/tests/integration/test_fault_injection.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o.d"
   "/root/repo/tests/integration/test_matrix.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o.d"
   "/root/repo/tests/integration/test_platform.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_platform.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_platform.cpp.o.d"
   "/root/repo/tests/integration/test_robustness.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o.d"

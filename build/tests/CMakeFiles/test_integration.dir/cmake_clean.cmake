@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_integration.dir/integration/test_ablations.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_calibration_targets.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_fault_injection.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_matrix.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_platform.cpp.o"

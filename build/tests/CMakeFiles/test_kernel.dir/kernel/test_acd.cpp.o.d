@@ -217,7 +217,8 @@ tests/CMakeFiles/test_kernel.dir/kernel/test_acd.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.hpp \
  /root/repo/src/kernel/ashmem.hpp /usr/include/c++/12/optional \
- /root/repo/src/kernel/binder.hpp /root/repo/src/kernel/kernel.hpp \
+ /root/repo/src/kernel/binder.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/kernel/kernel.hpp \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/kernel/devns.hpp \
  /root/repo/src/kernel/module.hpp /root/repo/src/kernel/syscalls.hpp \

@@ -210,7 +210,8 @@ tests/CMakeFiles/test_kernel.dir/kernel/test_binder.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/time.hpp \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_fault_determinism.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fault_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fault_determinism.cpp.o.d"
   "/root/repo/tests/sim/test_parallel.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o.d"
   "/root/repo/tests/sim/test_random.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_random.cpp.o.d"
   "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"

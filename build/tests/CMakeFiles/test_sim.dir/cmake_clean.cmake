@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
   "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fault_determinism.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_fault_determinism.cpp.o.d"
   "CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o"
   "CMakeFiles/test_sim.dir/sim/test_parallel.cpp.o.d"
   "CMakeFiles/test_sim.dir/sim/test_random.cpp.o"

@@ -60,6 +60,17 @@ std::optional<sim::SimDuration> Container::start(Cgroup& cgroup) {
   namespaces_.uts.hostname = config_.name;
   namespaces_.ipc.id = id_;
   devns_ = kernel_.device_namespaces().create();
+  if (!kernel_.device_namespaces().alive(devns_)) {
+    // The device namespace was torn down under us (injected teardown
+    // race): roll back and fail the start instead of running with dead
+    // pseudo devices.
+    devns_ = kernel::kHostDevNs;
+    rootfs_.reset();
+    cgroup.uncharge_memory(base_memory_);
+    base_memory_ = 0;
+    cgroup_ = nullptr;
+    return std::nullopt;
+  }
 
   state_ = ContainerState::kRunning;
   return kNamespaceKinds * kNamespaceCost + kVethCost + kUnionMountCost +

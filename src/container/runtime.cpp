@@ -27,6 +27,14 @@ sim::SimDuration ContainerRuntime::stop(ContainerId id) {
   return c == nullptr ? 0 : c->stop();
 }
 
+bool ContainerRuntime::crash(ContainerId id) {
+  Container* c = find(id);
+  if (c == nullptr || c->state() != ContainerState::kRunning) return false;
+  c->stop();  // kernel-side reaping is identical to a clean stop
+  ++crashes_;
+  return true;
+}
+
 bool ContainerRuntime::destroy(ContainerId id) {
   Container* c = find(id);
   if (c == nullptr) return false;

@@ -28,6 +28,16 @@ class ContainerRuntime {
   /// Stops a running container. Returns the cost (0 when not running).
   sim::SimDuration stop(ContainerId id);
 
+  /// Crash-kills a running container (SIGKILL to init / OOM-kill): no
+  /// graceful shutdown cost, but namespaces, devices and memory charges
+  /// are reaped exactly as a clean stop reaps them — the kernel does that
+  /// regardless of how the processes died. Returns false when the
+  /// container is absent or not running.
+  bool crash(ContainerId id);
+
+  /// Containers crash-killed so far (fault-injection accounting).
+  [[nodiscard]] std::uint64_t crash_count() const { return crashes_; }
+
   /// Stops if needed, then destroys and removes the container.
   bool destroy(ContainerId id);
 
@@ -44,6 +54,7 @@ class ContainerRuntime {
   CgroupHierarchy cgroups_;
   std::map<ContainerId, std::unique_ptr<Container>> containers_;
   ContainerId next_id_ = 1;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace rattrap::container

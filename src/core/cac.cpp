@@ -57,8 +57,12 @@ android::UserspaceBoot CloudAndroidContainer::userspace_boot() const {
 }
 
 void CloudAndroidContainer::finish_boot(sim::SimTime now) {
-  assert(container_ != nullptr &&
-         container_->state() == container::ContainerState::kRunning);
+  assert(container_ != nullptr);
+  if (container_->state() != container::ContainerState::kRunning) {
+    // The container died (crash injection) between start and boot
+    // completion; the boot event is stale and must not touch dead state.
+    return;
+  }
   booted_ = true;
   // init's property service comes up first and publishes the build info
   // plus the faked-service markers.
@@ -104,6 +108,22 @@ void CloudAndroidContainer::shutdown(kernel::HostKernel& kernel) {
       charged_memory_ = 0;
     }
     container_->stop();
+  }
+  if (pinned_) {
+    kernel::AndroidContainerDriver::unpin(kernel);
+    pinned_ = false;
+  }
+  booted_ = false;
+}
+
+void CloudAndroidContainer::crash(kernel::HostKernel& kernel) {
+  crashed_ = true;
+  if (container_ != nullptr) {
+    if (charged_memory_ > 0 && container_->cgroup() != nullptr) {
+      container_->cgroup()->uncharge_memory(charged_memory_);
+      charged_memory_ = 0;
+    }
+    runtime_.crash(cid_);
   }
   if (pinned_) {
     kernel::AndroidContainerDriver::unpin(kernel);

@@ -67,6 +67,13 @@ class CloudAndroidContainer {
   /// Stops the container and releases driver pins and memory.
   void shutdown(kernel::HostKernel& kernel);
 
+  /// Crash-kills the container (fault injection): abrupt death with the
+  /// same kernel-side reaping as shutdown, flagged so the platform's
+  /// Monitor can distinguish a crashed CAC from a reclaimed one.
+  void crash(kernel::HostKernel& kernel);
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   /// The container's private (copy-on-write top layer) disk bytes.
   [[nodiscard]] std::uint64_t private_disk_bytes() const;
 
@@ -87,6 +94,7 @@ class CloudAndroidContainer {
   android::PropertyStore properties_;
   bool booted_ = false;
   bool pinned_ = false;
+  bool crashed_ = false;
   std::uint64_t charged_memory_ = 0;
 };
 

@@ -24,7 +24,13 @@ EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
   if (device_env == nullptr) return nullptr;
   if (const auto preferred = warehouse_.preferred_env("ref:" + app_id)) {
     EnvRecord* record = db_.find(*preferred);
-    if (record != nullptr && record->state != EnvState::kRetired &&
+    // Only reroute onto a container that is actually serving: a retired
+    // record is a dead environment (the warehouse learns of crashes
+    // asynchronously), and a provisioning one has no Dispatcher
+    // registration yet.  Routing to either strands the session.
+    if (record != nullptr &&
+        (record->state == EnvState::kIdle ||
+         record->state == EnvState::kBusy) &&
         record->ready_at > 0 &&
         record->busy_until <= now + backlog_threshold) {
       return record;

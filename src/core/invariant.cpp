@@ -1,0 +1,35 @@
+#include "core/invariant.hpp"
+
+#include <utility>
+
+namespace rattrap::core {
+
+void InvariantChecker::add_invariant(std::string name, Check check) {
+  invariants_.push_back({std::move(name), std::move(check)});
+}
+
+bool InvariantChecker::run(sim::SimTime now) {
+  ++checks_run_;
+  bool all_held = true;
+  for (const auto& invariant : invariants_) {
+    auto detail = invariant.check();
+    if (!detail.has_value()) continue;
+    all_held = false;
+    ++total_violations_;
+    if (violations_.size() < max_recorded_) {
+      violations_.push_back(
+          {invariant.name, std::move(*detail), now, checks_run_ - 1});
+    }
+  }
+  return all_held;
+}
+
+std::string InvariantChecker::report() const {
+  std::string out;
+  for (const auto& v : violations_) {
+    out += std::to_string(v.when) + "us " + v.name + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,78 @@
+// Invariant checker: cross-component consistency validation.
+//
+// Fault injection is only as good as the oracle judging the aftermath.
+// This harness holds a set of named predicates over platform state —
+// "no session is bound to a dead container", "the shared tmpfs holds
+// exactly the live offload files" — and evaluates all of them after every
+// simulator event (via Simulator::set_post_event_hook).  A violation is
+// recorded with the virtual time and a human-readable detail string so a
+// failing seed can be replayed and diagnosed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rattrap::core {
+
+struct InvariantViolation {
+  std::string name;    ///< which invariant tripped
+  std::string detail;  ///< what the predicate saw
+  sim::SimTime when = 0;
+  std::uint64_t event_index = 0;  ///< how many checks had run before this
+};
+
+class InvariantChecker {
+ public:
+  /// A check returns std::nullopt when the invariant holds, or a detail
+  /// string describing the inconsistency when it is violated.
+  using Check = std::function<std::optional<std::string>()>;
+
+  void add_invariant(std::string name, Check check);
+
+  /// Evaluates every registered invariant at virtual time `now`.
+  /// Returns true when all hold.  Violations are recorded (up to
+  /// `max_recorded()` of them; the counter keeps counting past the cap).
+  bool run(sim::SimTime now);
+
+  [[nodiscard]] bool ok() const { return total_violations_ == 0; }
+  [[nodiscard]] std::uint64_t total_violations() const {
+    return total_violations_;
+  }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t invariant_count() const {
+    return invariants_.size();
+  }
+
+  /// First recorded violation, or nullptr when everything held.
+  [[nodiscard]] const InvariantViolation* first_violation() const {
+    return violations_.empty() ? nullptr : &violations_.front();
+  }
+
+  /// One line per recorded violation: "<time>us <name>: <detail>".
+  [[nodiscard]] std::string report() const;
+
+  void set_max_recorded(std::size_t max) { max_recorded_ = max; }
+  [[nodiscard]] std::size_t max_recorded() const { return max_recorded_; }
+
+ private:
+  struct Invariant {
+    std::string name;
+    Check check;
+  };
+
+  std::vector<Invariant> invariants_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t checks_run_ = 0;
+  std::size_t max_recorded_ = 64;
+};
+
+}  // namespace rattrap::core

@@ -25,4 +25,14 @@ double MonitorScheduler::cpu_percent(std::size_t second,
   return std::min(100.0, 100.0 * busy / active_envs);
 }
 
+void MonitorScheduler::notify_crash(std::uint32_t env_id) {
+  if (!pending_crashes_.insert(env_id).second) return;  // already reported
+  ++reported_;
+  sim_.schedule_in(detection_latency_, [this, env_id]() {
+    if (pending_crashes_.erase(env_id) == 0) return;
+    ++detected_;
+    if (crash_handler_) crash_handler_(env_id);
+  });
+}
+
 }  // namespace rattrap::core

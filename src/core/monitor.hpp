@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <set>
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -45,12 +47,48 @@ class MonitorScheduler {
   }
   [[nodiscard]] std::uint32_t running_jobs() const { return running_jobs_; }
 
+  // -- Crashed-environment detection -----------------------------------
+  //
+  // The Monitor's health sweep notices a CAC whose processes vanished and
+  // tells the platform, which re-dispatches the sessions that were bound
+  // to it. Detection is not instantaneous: the sweep runs on an interval,
+  // so a crashed environment stays undetected for up to
+  // detection_latency() of virtual time.
+
+  /// Platform recovery hook, invoked once per detected crash.
+  void set_crash_handler(std::function<void(std::uint32_t env_id)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+
+  void set_detection_latency(sim::SimDuration latency) {
+    detection_latency_ = latency;
+  }
+  [[nodiscard]] sim::SimDuration detection_latency() const {
+    return detection_latency_;
+  }
+
+  /// Reports that environment `env_id` just died; the next health sweep
+  /// (after detection_latency()) detects it and fires the crash handler.
+  void notify_crash(std::uint32_t env_id);
+
+  /// A crash of `env_id` has been reported but not yet detected.
+  [[nodiscard]] bool crash_pending(std::uint32_t env_id) const {
+    return pending_crashes_.contains(env_id);
+  }
+  [[nodiscard]] std::uint64_t crashes_reported() const { return reported_; }
+  [[nodiscard]] std::uint64_t crashes_detected() const { return detected_; }
+
  private:
   sim::Simulator& sim_;
   std::uint32_t cores_;
   sim::TimeSeries cpu_{sim::kSecond};
   sim::SimDuration total_busy_ = 0;
   std::uint32_t running_jobs_ = 0;
+  std::function<void(std::uint32_t)> crash_handler_;
+  sim::SimDuration detection_latency_ = 100 * sim::kMillisecond;
+  std::set<std::uint32_t> pending_crashes_;
+  std::uint64_t reported_ = 0;
+  std::uint64_t detected_ = 0;
 };
 
 }  // namespace rattrap::core

@@ -48,7 +48,22 @@ struct RequestOutcome {
   bool code_cache_hit = false;
   /// The Request-based Access Controller refused this request (its app
   /// accumulated too many permission violations and is blocked, §IV-E).
+  /// Under fault injection, also requests rejected after exhausting
+  /// their retry budgets (connection drops, crashed environments).
   bool rejected = false;
+
+  // -- Fault-injection bookkeeping -------------------------------------
+
+  /// Times the Dispatcher assigned this request to an environment; > 1
+  /// means the first environment(s) died and the session was recovered.
+  std::uint32_t dispatch_attempts = 0;
+  /// Connection-establishment attempts (> 1 under injected drops).
+  std::uint32_t connect_attempts = 0;
+  /// Completed only after surviving at least one environment crash.
+  bool recovered = false;
+  /// Still in flight when the simulation drained (recovery disabled or
+  /// exhausted); counted as rejected.
+  bool stranded = false;
 
   [[nodiscard]] bool offloading_failure() const { return speedup < 1.0; }
 };

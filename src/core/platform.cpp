@@ -72,6 +72,7 @@ struct Platform::Env {
   std::uint64_t jobs_served = 0;    ///< reclaim-epoch counter
   bool pool = false;                ///< pre-booted, waiting for a claimant
   bool failed = false;              ///< provisioning failed (capacity)
+  bool crashed = false;             ///< died abruptly (fault injection)
   std::uint64_t memory_bytes = 0;   ///< committed allocation
   sim::SimTime commit_start = 0;
   sim::SimTime commit_end = -1;     ///< -1 while still committed
@@ -91,6 +92,17 @@ struct Platform::Session {
   bool cache_hit = false;
   bool spilled_to_disk = false;  ///< tmpfs full: files staged on disk
   Env* env = nullptr;
+
+  // Fault-injection state. Scheduled continuations capture `epoch` and
+  // bail when it moved on — a crash invalidates every event the session
+  // had in flight without having to cancel them individually.
+  std::uint64_t epoch = 0;
+  std::uint32_t dispatch_attempts = 0;
+  std::uint32_t connect_attempts = 0;
+  bool recovered = false;   ///< survived at least one environment crash
+  bool staged = false;      ///< files currently staged in the shared tmpfs
+  bool computing = false;   ///< holds a Monitor job slot
+  bool done = false;        ///< outcome recorded (completed or rejected)
 };
 
 // ---------------------------------------------------------------------
@@ -110,6 +122,23 @@ Platform::Platform(PlatformConfig config)
   dispatcher_ = std::make_unique<Dispatcher>(server_->env_db(),
                                              server_->warehouse(),
                                              config_.dispatcher_affinity);
+  if (!config_.fault_plan.empty()) {
+    faults_ = std::make_unique<sim::FaultInjector>(config_.fault_plan,
+                                                   config_.seed);
+    faults_->set_clock(
+        [this]() { return server_->simulator().now(); });
+    link_->set_fault_injector(faults_.get());
+    server_->install_fault_injector(faults_.get());
+    server_->monitor().set_detection_latency(
+        config_.crash_detection_latency);
+    server_->monitor().set_crash_handler(
+        [this](std::uint32_t env_id) { recover_env(env_id); });
+    if (config_.check_invariants) {
+      register_invariants();
+      server_->simulator().set_post_event_hook(
+          [this]() { invariants_.run(server_->simulator().now()); });
+    }
+  }
 }
 
 Platform::~Platform() = default;
@@ -260,7 +289,23 @@ void Platform::provision_cac(Env& env) {
   env.commit_start = server_->simulator().now();
 
   const auto start_cost = env.cac->start_container(server_->kernel());
-  assert(start_cost.has_value() && "container start failed");
+  if (!start_cost.has_value()) {
+    // Container start failed — missing kernel feature, cgroup memory
+    // limit, or an injected device-namespace teardown. Same answer as
+    // the VM capacity wall: the environment is dead on arrival and
+    // every waiting session gets a rejection.
+    env.failed = true;
+    env.retired = true;
+    env.memory_bytes = 0;
+    env.commit_end = env.commit_start;
+    server_->env_db().retire(env.id);
+    server_->simulator().schedule_in(0, [this, &env]() {
+      auto waiters = std::move(env.waiters);
+      env.waiters.clear();
+      for (auto& waiter : waiters) waiter();
+    });
+    return;
+  }
   const android::UserspaceBoot boot = env.cac->userspace_boot();
 
   // Per-environment disk: a private image copy without the shared layer,
@@ -345,12 +390,39 @@ std::vector<RequestOutcome> Platform::run(
     const std::vector<workloads::OffloadRequest>& stream) {
   outcomes_.assign(stream.size(), RequestOutcome{});
   completed_ = 0;
+  live_sessions_.clear();
   sim::Simulator& simulator = server_->simulator();
   for (std::uint32_t i = envs_.empty() ? 0 : config_.warm_pool;
        i < config_.warm_pool; ++i) {
     Env& pooled =
         provision_env("pool:" + std::to_string(i), simulator.now());
     pooled.pool = true;
+  }
+  if (faults_) {
+    // Fault pump: one-shot (at=) crash rules fire against whichever
+    // environment is live at that virtual time — preferring one with
+    // sessions in flight, so the crash actually hurts.
+    for (const sim::FaultKind kind : {sim::FaultKind::kContainerCrash,
+                                      sim::FaultKind::kContainerOom}) {
+      for (const sim::SimTime when : faults_->scheduled_times(kind)) {
+        simulator.schedule_at(when, [this, kind]() {
+          Env* victim = nullptr;
+          for (auto& [id, env] : envs_) {
+            (void)id;
+            if (env->retired || !env->ready) continue;
+            if (victim == nullptr) victim = env.get();
+            if (env->inflight > 0) {
+              victim = env.get();
+              break;
+            }
+          }
+          if (victim == nullptr) return;  // nothing alive to kill
+          faults_->record_scheduled_fire(kind,
+                                         server_->simulator().now());
+          crash_env(*victim);
+        });
+      }
+    }
   }
   for (const auto& request : stream) {
     auto session = std::make_shared<Session>();
@@ -370,6 +442,30 @@ std::vector<RequestOutcome> Platform::run(
     });
   }
   simulator.run();
+  if (faults_) {
+    // With recovery disabled (or budgets exhausted mid-flight) sessions
+    // can strand on a dead environment; the event queue drains with
+    // their outcomes unrecorded. Mark them rejected so the caller sees
+    // every request accounted for — and so the invariant report is the
+    // only place a stranding hides.
+    for (const auto& s : live_sessions_) {
+      if (s->done) continue;
+      RequestOutcome outcome;
+      outcome.request = s->request;
+      outcome.phases = s->phases;
+      outcome.completed_at = simulator.now();
+      outcome.response = simulator.now() - s->request.arrival;
+      outcome.rejected = true;
+      outcome.stranded = true;
+      outcome.dispatch_attempts = s->dispatch_attempts;
+      outcome.connect_attempts = s->connect_attempts;
+      assert(s->request.sequence < outcomes_.size());
+      outcomes_[s->request.sequence] = std::move(outcome);
+      s->done = true;
+      ++completed_;
+    }
+    live_sessions_.clear();
+  }
   assert(completed_ == stream.size());
   return outcomes_;
 }
@@ -410,10 +506,33 @@ void Platform::on_arrival(std::shared_ptr<Session> s) {
       return;
     }
   }
+  live_sessions_.push_back(s);
+  attempt_connect(s);
+}
+
+void Platform::attempt_connect(std::shared_ptr<Session> s) {
+  sim::Simulator& simulator = server_->simulator();
+  ++s->connect_attempts;
   const sim::SimDuration connect = s->conn->establish();
-  s->phases.network_connection = connect;
-  server_->simulator().schedule_in(
-      connect, [this, s]() { on_connected(s); });
+  s->phases.network_connection += connect;
+  if (faults_ &&
+      faults_->should_fire(sim::FaultKind::kNetDrop, simulator.now())) {
+    // The handshake never completes; the client times out and retries
+    // with exponential backoff until its attempt budget runs dry.
+    if (s->connect_attempts >= config_.max_connect_attempts) {
+      simulator.schedule_in(connect,
+                            [this, s]() { reject_session(s); });
+      return;
+    }
+    const sim::SimDuration backoff =
+        config_.connect_backoff *
+        static_cast<sim::SimDuration>(1u << (s->connect_attempts - 1));
+    s->phases.network_connection += backoff;
+    simulator.schedule_in(connect + backoff,
+                          [this, s]() { attempt_connect(s); });
+    return;
+  }
+  simulator.schedule_in(connect, [this, s]() { on_connected(s); });
 }
 
 void Platform::on_connected(std::shared_ptr<Session> s) {
@@ -436,17 +555,17 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
   // Request-based Access Controller front gate: requests from blocked
   // apps never reach an environment (§IV-E).
   if (server_->access().is_blocked(s->app_id)) {
-    RequestOutcome outcome;
-    outcome.request = s->request;
-    outcome.completed_at = simulator.now();
-    outcome.response = simulator.now() - s->request.arrival;
-    outcome.rejected = true;
-    assert(s->request.sequence < outcomes_.size());
-    outcomes_[s->request.sequence] = std::move(outcome);
-    ++completed_;
+    reject_session(s);
     return;
   }
 
+  dispatch(s, platform_cost);
+}
+
+void Platform::dispatch(std::shared_ptr<Session> s,
+                        sim::SimDuration lead_cost) {
+  sim::Simulator& simulator = server_->simulator();
+  ++s->dispatch_attempts;
   EnvRecord* record =
       dispatcher_->assign(s->request, s->app_id, simulator.now());
   Env* env = nullptr;
@@ -455,7 +574,9 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
     assert(it != envs_.end());
     env = it->second.get();
   }
-  simulator.schedule_in(platform_cost, [this, s, env]() {
+  const std::uint64_t epoch = s->epoch;
+  simulator.schedule_in(lead_cost, [this, s, env, epoch]() {
+    if (s->done || s->epoch != epoch) return;  // aborted meanwhile
     Env* target = env;
     if (target == nullptr || target->retired) {
       const std::string key =
@@ -486,7 +607,10 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
     if (target->ready) {
       on_env_ready(s);
     } else {
-      target->waiters.push_back([this, s]() { on_env_ready(s); });
+      target->waiters.push_back([this, s, epoch]() {
+        if (s->done || s->epoch != epoch) return;
+        on_env_ready(s);
+      });
     }
   });
 }
@@ -495,15 +619,7 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
   if (s->env->failed) {
     // Provisioning failed (host capacity): reject the request.
-    RequestOutcome outcome;
-    outcome.request = s->request;
-    outcome.completed_at = simulator.now();
-    outcome.response = simulator.now() - s->request.arrival;
-    outcome.rejected = true;
-    assert(s->request.sequence < outcomes_.size());
-    outcomes_[s->request.sequence] = std::move(outcome);
-    ++completed_;
-    if (s->env->inflight > 0) --s->env->inflight;
+    reject_session(s);
     return;
   }
   s->phases.runtime_preparation = simulator.now() - s->connected_at;
@@ -558,6 +674,7 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
           s->request.sequence, payload, simulator.now());
       if (staged) {
         ingest = server_->shared_layer().io_time(ingest_bytes);
+        s->staged = payload > 0;
       }
     }
     if (config_.sharing_offload_io && !staged && payload > 0) {
@@ -588,7 +705,11 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
   s->upload_time = upload;
   const sim::SimDuration transfer = std::max(upload, ingest);
   s->phases.data_transfer = transfer;
-  simulator.schedule_in(transfer, [this, s]() { on_uploaded(s); });
+  const std::uint64_t epoch = s->epoch;
+  simulator.schedule_in(transfer, [this, s, epoch]() {
+    if (s->done || s->epoch != epoch) return;  // env died mid-transfer
+    on_uploaded(s);
+  });
 }
 
 void Platform::on_uploaded(std::shared_ptr<Session> s) {
@@ -648,6 +769,7 @@ void Platform::on_uploaded(std::shared_ptr<Session> s) {
     // Burn after reading: consume the staged files.
     server_->shared_layer().consume_request_files(s->request.sequence,
                                                   simulator.now());
+    s->staged = false;
   } else if (s->executed.units.io_bytes > 0) {
     // The task reads its inputs back off the disk.
     server_->disk().submit(fs::IoKind::kRead, s->executed.units.io_bytes,
@@ -688,12 +810,36 @@ void Platform::on_uploaded(std::shared_ptr<Session> s) {
   }
   server_->monitor().record_cpu(start, done, 1.0);
   server_->monitor().job_started();
-  simulator.schedule_at(done, [this, s]() { on_computed(s); });
+  s->computing = true;
+  if (faults_) {
+    // Container crash / OOM-kill: the environment dies halfway through
+    // this job. One consult per job and per kind keeps both substreams
+    // advancing deterministically regardless of which one fires.
+    const bool crash_fire =
+        faults_->should_fire(sim::FaultKind::kContainerCrash,
+                             simulator.now());
+    const bool oom_fire = faults_->should_fire(
+        sim::FaultKind::kContainerOom, simulator.now());
+    if (crash_fire || oom_fire) {
+      const std::uint32_t env_id = env.id;
+      simulator.schedule_at(start + duration / 2, [this, env_id]() {
+        const auto it = envs_.find(env_id);
+        if (it == envs_.end() || it->second->retired) return;
+        crash_env(*it->second);
+      });
+    }
+  }
+  const std::uint64_t epoch = s->epoch;
+  simulator.schedule_at(done, [this, s, epoch]() {
+    if (s->done || s->epoch != epoch) return;  // env died mid-compute
+    on_computed(s);
+  });
 }
 
 void Platform::on_computed(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
   server_->monitor().job_finished();
+  s->computing = false;
   Env& env = *s->env;
   // Computation phase spans upload-end → compute-end (queueing included).
   s->phases.computation = simulator.now() -
@@ -719,7 +865,11 @@ void Platform::on_computed(std::shared_ptr<Session> s) {
       s->app_id});
   s->download_time = download;
   s->phases.data_transfer += download;
-  simulator.schedule_in(download, [this, s]() { complete(s); });
+  const std::uint64_t epoch = s->epoch;
+  simulator.schedule_in(download, [this, s, epoch]() {
+    if (s->done || s->epoch != epoch) return;  // env died mid-download
+    complete(s);
+  });
 }
 
 void Platform::complete(std::shared_ptr<Session> s) {
@@ -744,14 +894,16 @@ void Platform::complete(std::shared_ptr<Session> s) {
   outcome.traffic = s->conn->traffic();
   outcome.env_id = s->env->id;
   outcome.code_cache_hit = s->cache_hit;
+  outcome.dispatch_attempts = s->dispatch_attempts;
+  outcome.connect_attempts = s->connect_attempts;
+  outcome.recovered = s->recovered;
   env_traffic_[s->env->id].merge(s->conn->traffic());
 
   assert(s->request.sequence < outcomes_.size());
   outcomes_[s->request.sequence] = std::move(outcome);
-  ++completed_;
 
-  if (s->env->inflight > 0) --s->env->inflight;
-  if (s->env->inflight == 0) schedule_reclaim(*s->env);
+  unbind_session(*s);
+  finish_session(*s);
 
   if (config_.adaptive_offloading) {
     DecisionState& history = decisions_[s->app_id];
@@ -768,6 +920,228 @@ void Platform::complete(std::shared_ptr<Session> s) {
                                : 0.7 * history.ewma_local_s + 0.3 * local_s;
     ++history.samples;
   }
+}
+
+// ---------------------------------------------------------------------
+// Fault handling and recovery
+
+void Platform::crash_env(Env& env) {
+  if (env.retired) return;
+  env.crashed = true;
+  env.retired = true;
+  env.ready = false;
+  env.commit_end = server_->simulator().now();
+  server_->env_db().retire(env.id);
+  server_->warehouse().forget_env(env.id);
+  if (env.is_vm) {
+    server_->hypervisor().destroy(env.vm_id);
+  } else if (env.cac) {
+    env.cac->crash(server_->kernel());
+  }
+  // Sessions bound to the dead environment: neutralize every scheduled
+  // continuation (epoch bump) and give back what they held — Monitor job
+  // slots and staged one-shot files die with the container. The sessions
+  // stay *bound*: the Monitor has not discovered the crash yet, and the
+  // session-env-liveness invariant tolerates exactly that window.
+  for (const auto& s : live_sessions_) {
+    if (s->done || s->env != &env) continue;
+    ++s->epoch;
+    if (s->computing) {
+      server_->monitor().job_finished();
+      s->computing = false;
+    }
+    if (s->staged) {
+      server_->shared_layer().release_request_files(s->request.sequence);
+      s->staged = false;
+    }
+  }
+  server_->monitor().notify_crash(env.id);
+}
+
+void Platform::recover_env(std::uint32_t env_id) {
+  // The Monitor's health sweep found the corpse. Without crash recovery
+  // the platform does nothing — sessions stay bound to the dead CID and
+  // the invariant harness is what notices.
+  if (!config_.crash_recovery) return;
+  const auto it = envs_.find(env_id);
+  if (it == envs_.end()) return;
+  Env& dead = *it->second;
+  std::vector<std::shared_ptr<Session>> victims;
+  for (const auto& s : live_sessions_) {
+    if (!s->done && s->env == &dead) victims.push_back(s);
+  }
+  for (const auto& s : victims) {
+    if (dead.inflight > 0) --dead.inflight;
+    s->env = nullptr;
+    ++s->epoch;
+    if (s->dispatch_attempts >= config_.max_redispatch) {
+      reject_session(s);
+      continue;
+    }
+    // Re-dispatch over the existing connection: the device re-sends its
+    // request and the session restarts from runtime preparation.
+    s->recovered = true;
+    s->connected_at = server_->simulator().now();
+    dispatch(s, server_->calibration().dispatcher_cost);
+  }
+}
+
+void Platform::reject_session(std::shared_ptr<Session> s) {
+  if (s->done) return;
+  sim::Simulator& simulator = server_->simulator();
+  RequestOutcome outcome;
+  outcome.request = s->request;
+  outcome.phases = s->phases;
+  outcome.completed_at = simulator.now();
+  outcome.response = simulator.now() - s->request.arrival;
+  outcome.rejected = true;
+  outcome.dispatch_attempts = s->dispatch_attempts;
+  outcome.connect_attempts = s->connect_attempts;
+  assert(s->request.sequence < outcomes_.size());
+  outcomes_[s->request.sequence] = std::move(outcome);
+  unbind_session(*s);
+  finish_session(*s);
+}
+
+void Platform::unbind_session(Session& s) {
+  if (s.computing) {
+    server_->monitor().job_finished();
+    s.computing = false;
+  }
+  if (s.staged) {
+    server_->shared_layer().release_request_files(s.request.sequence);
+    s.staged = false;
+  }
+  if (s.env != nullptr) {
+    if (s.env->inflight > 0) --s.env->inflight;
+    if (!s.env->retired && s.env->ready && s.env->inflight == 0) {
+      schedule_reclaim(*s.env);
+    }
+    s.env = nullptr;
+  }
+}
+
+void Platform::finish_session(Session& s) {
+  s.done = true;
+  ++completed_;
+  for (auto it = live_sessions_.begin(); it != live_sessions_.end(); ++it) {
+    if (it->get() == &s) {
+      live_sessions_.erase(it);
+      break;
+    }
+  }
+}
+
+void Platform::register_invariants() {
+  // 1. No session is bound to a dead environment — except during the
+  //    Monitor's detection window (crash reported, sweep not yet run)
+  //    and for provision-failure envs, whose rejection is a scheduled
+  //    zero-delay event.
+  invariants_.add_invariant(
+      "session-env-liveness", [this]() -> std::optional<std::string> {
+        for (const auto& s : live_sessions_) {
+          if (s->done || s->env == nullptr) continue;
+          const Env& env = *s->env;
+          if (!env.retired || env.failed) continue;
+          if (server_->monitor().crash_pending(env.id)) continue;
+          return "request " + std::to_string(s->request.sequence) +
+                 " bound to dead env " + std::to_string(env.id);
+        }
+        return std::nullopt;
+      });
+  // 2. The AID→CID affinity map only references live containers.
+  invariants_.add_invariant(
+      "affinity-live", [this]() -> std::optional<std::string> {
+        for (const auto& [ref, entry] : server_->warehouse().entries()) {
+          for (const EnvId env_id : entry.containers) {
+            const EnvRecord* record = server_->env_db().find(env_id);
+            if (record == nullptr ||
+                record->state == EnvState::kRetired) {
+              return ref + " maps to dead env " + std::to_string(env_id);
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  // 3. The shared tmpfs holds exactly the live offload files.
+  invariants_.add_invariant(
+      "tmpfs-accounting", [this]() -> std::optional<std::string> {
+        const auto& shared = server_->shared_layer();
+        if (shared.offload_io().used_bytes() == shared.staged_bytes()) {
+          return std::nullopt;
+        }
+        return "tmpfs holds " +
+               std::to_string(shared.offload_io().used_bytes()) +
+               " bytes, ledger says " +
+               std::to_string(shared.staged_bytes());
+      });
+  // 4. "Burn after reading" actually frees: one file per staged request.
+  invariants_.add_invariant(
+      "burn-after-reading", [this]() -> std::optional<std::string> {
+        const auto& shared = server_->shared_layer();
+        if (shared.offload_io().file_count() == shared.staged_count()) {
+          return std::nullopt;
+        }
+        return std::to_string(shared.offload_io().file_count()) +
+               " files for " + std::to_string(shared.staged_count()) +
+               " staged requests";
+      });
+  // 5. Monitor job slots match the sessions actually computing.
+  invariants_.add_invariant(
+      "monitor-jobs", [this]() -> std::optional<std::string> {
+        std::uint32_t computing = 0;
+        for (const auto& s : live_sessions_) {
+          if (!s->done && s->computing) ++computing;
+        }
+        if (computing == server_->monitor().running_jobs()) {
+          return std::nullopt;
+        }
+        return "monitor reports " +
+               std::to_string(server_->monitor().running_jobs()) +
+               " jobs, " + std::to_string(computing) +
+               " sessions computing";
+      });
+  // 6. Every environment's inflight pin count equals its bound sessions.
+  invariants_.add_invariant(
+      "inflight-consistency", [this]() -> std::optional<std::string> {
+        for (const auto& [id, env] : envs_) {
+          std::uint32_t bound = 0;
+          for (const auto& s : live_sessions_) {
+            if (!s->done && s->env == env.get()) ++bound;
+          }
+          if (bound != env->inflight) {
+            return "env " + std::to_string(id) + " pins " +
+                   std::to_string(env->inflight) + " sessions, " +
+                   std::to_string(bound) + " bound";
+          }
+        }
+        return std::nullopt;
+      });
+  // 7. The Container DB mirrors engine state: records retire exactly
+  //    when their environment does, and a live, ready container-backed
+  //    environment has a booted CAC underneath.
+  invariants_.add_invariant(
+      "db-consistency", [this]() -> std::optional<std::string> {
+        for (const auto& [id, env] : envs_) {
+          const EnvRecord* record = server_->env_db().find(id);
+          if (record == nullptr) {
+            return "env " + std::to_string(id) + " missing from DB";
+          }
+          const bool record_retired =
+              record->state == EnvState::kRetired;
+          if (record_retired != env->retired) {
+            return "env " + std::to_string(id) + " retired=" +
+                   (env->retired ? "1" : "0") + " but DB says " +
+                   to_string(record->state);
+          }
+          if (!env->retired && env->ready && !env->is_vm &&
+              (env->cac == nullptr || !env->cac->booted())) {
+            return "env " + std::to_string(id) +
+                   " serving without a booted container";
+          }
+        }
+        return std::nullopt;
+      });
 }
 
 // ---------------------------------------------------------------------

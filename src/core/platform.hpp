@@ -24,12 +24,14 @@
 #include "android/classloader.hpp"
 #include "core/cac.hpp"
 #include "core/dispatcher.hpp"
+#include "core/invariant.hpp"
 #include "core/offload.hpp"
 #include "core/server.hpp"
 #include "device/client.hpp"
 #include "device/device.hpp"
 #include "net/connection.hpp"
 #include "net/link.hpp"
+#include "sim/fault.hpp"
 
 namespace rattrap::core {
 
@@ -83,6 +85,35 @@ struct PlatformConfig {
   /// Warm-pool environments are exempt from idle reclamation until first
   /// use.
   std::uint32_t warm_pool = 0;
+
+  // -- Fault injection (docs/FAULTS.md) --------------------------------
+
+  /// Fault schedule evaluated during run(); empty = no faults. Build it
+  /// programmatically or with sim::FaultPlan::parse("net.drop:p=0.05;…").
+  sim::FaultPlan fault_plan;
+
+  /// Evaluate the cross-component invariants after every simulator event
+  /// (active only while a fault plan is installed).
+  bool check_invariants = true;
+
+  /// Crash recovery: the Monitor's health sweep detects a dead
+  /// environment and the Dispatcher re-dispatches its sessions to a
+  /// fresh one. Disabling this strands those sessions on a dead CID —
+  /// which the invariant harness must catch.
+  bool crash_recovery = true;
+
+  /// Re-dispatch budget per session (crashed environments); exceeded ⇒
+  /// the request is rejected.
+  std::uint32_t max_redispatch = 3;
+
+  /// Connection-attempt budget under injected drops; each retry backs
+  /// off exponentially from connect_backoff.
+  std::uint32_t max_connect_attempts = 4;
+  sim::SimDuration connect_backoff = 200 * sim::kMillisecond;
+
+  /// How long a crashed environment stays undetected (the Monitor's
+  /// health-sweep interval).
+  sim::SimDuration crash_detection_latency = 100 * sim::kMillisecond;
 };
 
 /// Canonical configuration for one of the three evaluated platforms.
@@ -136,6 +167,26 @@ class Platform {
   /// (byte·seconds) — the resource cost a warm pool pays (§III-B).
   [[nodiscard]] double memory_time_byte_seconds() const;
 
+  /// The installed fault injector, or nullptr when the plan is empty.
+  [[nodiscard]] sim::FaultInjector* fault_injector() {
+    return faults_.get();
+  }
+  [[nodiscard]] const sim::FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
+
+  /// The cross-component invariant harness (populated when a fault plan
+  /// is installed; checks run after every simulator event).
+  [[nodiscard]] const InvariantChecker& invariants() const {
+    return invariants_;
+  }
+  [[nodiscard]] InvariantChecker& invariants() { return invariants_; }
+
+  /// Sessions currently in flight (bound or connecting).
+  [[nodiscard]] std::size_t live_session_count() const {
+    return live_sessions_.size();
+  }
+
  private:
   struct Env;
   struct Session;
@@ -148,11 +199,21 @@ class Platform {
   void retire_env(Env& env);
 
   void on_arrival(std::shared_ptr<Session> s);
+  void attempt_connect(std::shared_ptr<Session> s);
   void on_connected(std::shared_ptr<Session> s);
+  void dispatch(std::shared_ptr<Session> s, sim::SimDuration lead_cost);
   void on_env_ready(std::shared_ptr<Session> s);
   void on_uploaded(std::shared_ptr<Session> s);
   void on_computed(std::shared_ptr<Session> s);
   void complete(std::shared_ptr<Session> s);
+
+  // Fault-injection machinery.
+  void crash_env(Env& env);
+  void recover_env(std::uint32_t env_id);
+  void reject_session(std::shared_ptr<Session> s);
+  void finish_session(Session& s);
+  void unbind_session(Session& s);
+  void register_invariants();
 
   [[nodiscard]] double cpu_factor() const;
   [[nodiscard]] sim::SimDuration compute_io_time(Env& env,
@@ -163,6 +224,9 @@ class Platform {
   std::unique_ptr<CloudServer> server_;
   std::unique_ptr<net::Link> link_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<sim::FaultInjector> faults_;
+  InvariantChecker invariants_;
+  std::vector<std::shared_ptr<Session>> live_sessions_;
   sim::Rng rng_;
   std::map<std::uint32_t, std::unique_ptr<Env>> envs_;
   std::map<std::uint32_t, net::TrafficAccount> env_traffic_;

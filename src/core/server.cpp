@@ -17,6 +17,14 @@ CloudServer::CloudServer(const Calibration& calibration,
               calibration.tmpfs_mb_s),
       warehouse_() {}
 
+void CloudServer::install_fault_injector(sim::FaultInjector* faults) {
+  disk_.set_fault_injector(faults);
+  shared_.offload_io().set_fault_injector(faults);
+  acd_.binder().set_fault_injector(faults);
+  kernel_.device_namespaces().set_fault_injector(faults);
+  warehouse_.set_fault_injector(faults);
+}
+
 sim::SimDuration CloudServer::native_compute_time(
     workloads::Kind kind, std::uint64_t units) const {
   const double rate = cal_.server_rates[static_cast<std::size_t>(kind)];

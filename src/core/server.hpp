@@ -20,6 +20,7 @@
 #include "fs/disk.hpp"
 #include "kernel/android_container_driver.hpp"
 #include "kernel/kernel.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "vm/hypervisor.hpp"
 
@@ -51,6 +52,11 @@ class CloudServer {
   /// native speed (platform overheads are applied by the caller).
   [[nodiscard]] sim::SimDuration native_compute_time(
       workloads::Kind kind, std::uint64_t units) const;
+
+  /// Threads one fault injector through every server-side fault point:
+  /// the HDD, the shared offload tmpfs, the binder context, the device-
+  /// namespace subsystem and the warehouse cache. Pass nullptr to detach.
+  void install_fault_injector(sim::FaultInjector* faults);
 
  private:
   Calibration cal_;

@@ -21,14 +21,42 @@ bool SharedResourceLayer::stage_request_files(std::uint64_t request_seq,
                                               sim::SimTime now) {
   if (bytes == 0) return true;
   // "Burn after reading": migrated data is a one-time deal (§IV-C).
-  return offload_io_.write(request_path(request_seq), bytes, now,
-                           /*burn_after_reading=*/true);
+  if (!offload_io_.write(request_path(request_seq), bytes, now,
+                         /*burn_after_reading=*/true)) {
+    return false;
+  }
+  // Restaging (a re-dispatched session uploading again) replaces the
+  // previous copy in place, so account the delta.
+  auto [it, inserted] = staged_.try_emplace(request_seq, bytes);
+  if (!inserted) {
+    staged_bytes_ -= it->second;
+    it->second = bytes;
+  }
+  staged_bytes_ += bytes;
+  return true;
 }
 
 std::uint64_t SharedResourceLayer::consume_request_files(
     std::uint64_t request_seq, sim::SimTime now) {
   const std::int64_t read = offload_io_.read(request_path(request_seq), now);
-  return read < 0 ? 0 : static_cast<std::uint64_t>(read);
+  if (read < 0) return 0;
+  const auto it = staged_.find(request_seq);
+  if (it != staged_.end()) {
+    staged_bytes_ -= it->second;
+    staged_.erase(it);
+  }
+  return static_cast<std::uint64_t>(read);
+}
+
+std::uint64_t SharedResourceLayer::release_request_files(
+    std::uint64_t request_seq) {
+  const auto it = staged_.find(request_seq);
+  if (it == staged_.end()) return 0;
+  const std::uint64_t bytes = it->second;
+  offload_io_.remove(request_path(request_seq));
+  staged_bytes_ -= bytes;
+  staged_.erase(it);
+  return bytes;
 }
 
 }  // namespace rattrap::core

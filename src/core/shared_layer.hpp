@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -49,16 +50,28 @@ class SharedResourceLayer {
   std::uint64_t consume_request_files(std::uint64_t request_seq,
                                       sim::SimTime now);
 
+  /// Unlinks a request's staged files without reading them — the cleanup
+  /// path for sessions that die between staging and execution (crash
+  /// recovery must not leak one-shot files). Returns the bytes freed.
+  std::uint64_t release_request_files(std::uint64_t request_seq);
+
   /// In-memory transfer time for `bytes`.
   [[nodiscard]] sim::SimDuration io_time(std::uint64_t bytes) const {
     return offload_io_.transfer_time(bytes);
   }
+
+  /// Staged-but-unconsumed accounting, for the invariant that the shared
+  /// tmpfs holds exactly the live offload files and nothing else.
+  [[nodiscard]] std::uint64_t staged_bytes() const { return staged_bytes_; }
+  [[nodiscard]] std::size_t staged_count() const { return staged_.size(); }
 
  private:
   [[nodiscard]] static std::string request_path(std::uint64_t request_seq);
 
   std::shared_ptr<const fs::Layer> system_layer_;
   fs::TmpFs offload_io_;
+  std::map<std::uint64_t, std::uint64_t> staged_;  ///< request seq → bytes
+  std::uint64_t staged_bytes_ = 0;
 };
 
 }  // namespace rattrap::core

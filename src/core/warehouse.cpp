@@ -7,7 +7,17 @@ bool AppWarehouse::hit(std::string_view reference) const {
 }
 
 bool AppWarehouse::lookup(std::string_view reference) {
-  const auto it = table_.find(reference);
+  auto it = table_.find(reference);
+  if (it != table_.end() && faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kCacheEvict)) {
+    // Eviction racing the lookup: the entry vanishes before the answer
+    // lands, so this request must re-upload its code.
+    stored_ -= it->second.code_bytes;
+    ++evictions_;
+    ++injected_evictions_;
+    table_.erase(it);
+    it = table_.end();
+  }
   if (it == table_.end()) {
     ++miss_total_;
     return false;

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/fault.hpp"
+
 namespace rattrap::core {
 
 using Aid = std::uint32_t;          ///< application id in the cache table
@@ -65,6 +67,24 @@ class AppWarehouse {
   /// calls on each request).
   bool lookup(std::string_view reference);
 
+  /// Attaches a fault injector: lookups consult kCacheEvict and, when it
+  /// fires against a present entry, evict that entry *before* answering —
+  /// the race where eviction lands between the Dispatcher's decision and
+  /// the container's fetch. nullptr detaches.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Entries evicted by injected races (subset of evictions()).
+  [[nodiscard]] std::uint64_t injected_evictions() const {
+    return injected_evictions_;
+  }
+
+  /// Whole cache table, for cross-component invariant checks (AID→CID
+  /// mappings must only reference live containers).
+  [[nodiscard]] const std::map<std::string, CacheEntry, std::less<>>&
+  entries() const {
+    return table_;
+  }
+
  private:
   void evict_lru();
 
@@ -76,6 +96,8 @@ class AppWarehouse {
   std::uint64_t hit_total_ = 0;
   std::uint64_t miss_total_ = 0;
   std::uint64_t evictions_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t injected_evictions_ = 0;
 };
 
 }  // namespace rattrap::core

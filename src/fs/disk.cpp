@@ -33,7 +33,14 @@ sim::SimTime DiskModel::estimated_completion(std::uint64_t bytes,
 void DiskModel::submit(IoKind kind, std::uint64_t bytes, bool sequential,
                        std::function<void()> done) {
   const sim::SimTime start = std::max(sim_.now(), arm_free_at_);
-  const sim::SimDuration service = service_time(bytes, sequential);
+  sim::SimDuration service = service_time(bytes, sequential);
+  if (kind == IoKind::kWrite && faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kDiskWriteFail)) {
+    // Failed write, retried by the block layer: the arm services the
+    // request twice (seek + transfer) before completion.
+    ++write_retries_;
+    service += service_time(bytes, /*sequential=*/false);
+  }
   const sim::SimTime finish = start + service;
   arm_free_at_ = finish;
   busy_ += service;

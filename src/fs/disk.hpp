@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -58,6 +59,16 @@ class DiskModel {
   /// Busy time accumulated (for utilization accounting).
   [[nodiscard]] sim::SimDuration busy_time() const { return busy_; }
 
+  /// Attaches a fault injector: writes consult kDiskWriteFail; a fired
+  /// fault models a failed sector write that the block layer retries, so
+  /// the request is serviced twice (time penalty, no data loss).
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Writes that needed an injected-failure retry.
+  [[nodiscard]] std::uint64_t injected_write_retries() const {
+    return write_retries_;
+  }
+
  private:
   sim::Simulator& sim_;
   DiskConfig config_;
@@ -68,6 +79,8 @@ class DiskModel {
   std::uint64_t total_write_ = 0;
   std::uint64_t served_ = 0;
   sim::SimDuration busy_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t write_retries_ = 0;
 };
 
 }  // namespace rattrap::fs

@@ -16,6 +16,13 @@ TmpFs::TmpFs(std::string name, std::uint64_t capacity, double bandwidth_mb_s)
 
 bool TmpFs::write(std::string_view path, std::uint64_t size, sim::SimTime now,
                   bool burn_after_reading) {
+  if (faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kTmpfsWriteFail)) {
+    // Injected ENOSPC/EIO: the write fails exactly like a capacity
+    // refusal, so callers exercise their spill/degradation paths.
+    ++injected_write_failures_;
+    return false;
+  }
   const std::string key = normalize(path);
   std::uint64_t existing = 0;
   if (const FileNode* node = store_.find(key)) existing = node->size;

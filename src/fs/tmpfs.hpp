@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "fs/layer.hpp"
+#include "sim/fault.hpp"
 #include "sim/time.hpp"
 
 namespace rattrap::fs {
@@ -55,6 +56,15 @@ class TmpFs {
   [[nodiscard]] std::uint64_t bytes_written() const { return written_; }
   [[nodiscard]] std::uint64_t bytes_read() const { return read_; }
 
+  /// Attaches a fault injector: writes consult kTmpfsWriteFail and fail
+  /// (as ENOSPC does) when it fires. nullptr detaches.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Writes refused by an injected fault (capacity refusals not counted).
+  [[nodiscard]] std::uint64_t injected_write_failures() const {
+    return injected_write_failures_;
+  }
+
  private:
   Layer store_;
   std::set<std::string, std::less<>> burn_list_;
@@ -63,6 +73,8 @@ class TmpFs {
   std::uint64_t peak_ = 0;
   std::uint64_t written_ = 0;
   std::uint64_t read_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t injected_write_failures_ = 0;
 };
 
 }  // namespace rattrap::fs

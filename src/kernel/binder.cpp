@@ -101,6 +101,13 @@ std::optional<sim::SimDuration> BinderDriver::transact(
     ++ctx.stats.failed;
     return std::nullopt;
   }
+  if (faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kBinderFail)) {
+    // Target thread died mid-transaction: BR_DEAD_REPLY to the caller.
+    ++ctx.stats.failed;
+    ++injected_failures_;
+    return std::nullopt;
+  }
   ++ctx.stats.transactions;
   ctx.stats.bytes += payload_bytes;
   // Synchronous transaction: request copy + reply copy.
@@ -116,6 +123,12 @@ std::optional<sim::SimDuration> BinderDriver::transact_oneway(
   if (src == ctx.endpoints.end() || !src->second ||
       dst == ctx.endpoints.end() || !dst->second) {
     ++ctx.stats.failed;
+    return std::nullopt;
+  }
+  if (faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kBinderFail)) {
+    ++ctx.stats.failed;
+    ++injected_failures_;
     return std::nullopt;
   }
   std::uint64_t& queued = ctx.async_queued[to];

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "kernel/device.hpp"
+#include "sim/fault.hpp"
 #include "sim/time.hpp"
 
 namespace rattrap::kernel {
@@ -102,6 +103,16 @@ class BinderDriver final : public Device {
   [[nodiscard]] static sim::SimDuration transaction_cost(
       std::uint64_t payload_bytes);
 
+  /// Attaches a fault injector: transactions consult kBinderFail and
+  /// return BR_DEAD_REPLY-style failures (nullopt, counted in
+  /// stats().failed) when it fires. nullptr detaches.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Transactions failed by injection (subset of stats().failed totals).
+  [[nodiscard]] std::uint64_t injected_failures() const {
+    return injected_failures_;
+  }
+
  private:
   struct Context {
     BinderHandle next_handle = 1;  // 0 reserved for the service manager
@@ -117,6 +128,8 @@ class BinderDriver final : public Device {
   [[nodiscard]] const Context* find_context(DevNsId ns) const;
 
   std::map<DevNsId, Context> contexts_;
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t injected_failures_ = 0;
 };
 
 }  // namespace rattrap::kernel

@@ -6,6 +6,14 @@ DevNsId DeviceNamespaceManager::create() {
   const DevNsId ns = next_++;
   active_.insert(ns);
   registry_.namespace_created(ns);
+  if (faults_ != nullptr &&
+      faults_->should_fire(sim::FaultKind::kDevNsTeardown)) {
+    // Teardown racing creation: every driver sees the full
+    // created → destroyed lifecycle, but the caller gets a dead id and
+    // must fail its container start cleanly.
+    ++injected_teardowns_;
+    destroy(ns);
+  }
   return ns;
 }
 

@@ -14,6 +14,7 @@
 #include <set>
 
 #include "kernel/device.hpp"
+#include "sim/fault.hpp"
 
 namespace rattrap::kernel {
 
@@ -35,10 +36,23 @@ class DeviceNamespaceManager {
   /// Total namespaces ever created (monotonic).
   [[nodiscard]] std::uint64_t created_total() const { return next_ - 1; }
 
+  /// Attaches a fault injector: create() consults kDevNsTeardown; a fired
+  /// fault tears the fresh namespace down immediately (drivers see
+  /// created-then-destroyed), returning an id that is already dead —
+  /// callers must check alive(). nullptr detaches.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Namespaces killed at birth by injection.
+  [[nodiscard]] std::uint64_t injected_teardowns() const {
+    return injected_teardowns_;
+  }
+
  private:
   DeviceRegistry& registry_;
   std::set<DevNsId> active_;
   DevNsId next_ = 1;  // 0 is the host namespace, never handed out
+  sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t injected_teardowns_ = 0;
 };
 
 }  // namespace rattrap::kernel

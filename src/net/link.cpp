@@ -56,7 +56,20 @@ sim::SimDuration Link::transfer_time(std::uint64_t bytes, double mbps,
   const double goodput_mbps = mbps * (1.0 - 4.0 * config_.loss);
   const double seconds =
       static_cast<double>(bytes) * 8.0 / (goodput_mbps * 1e6);
-  return sim::from_seconds(seconds) + latency(rng);
+  sim::SimDuration total = sim::from_seconds(seconds) + latency(rng);
+  if (faults_ != nullptr) {
+    if (faults_->should_fire(sim::FaultKind::kNetCorrupt)) {
+      // Checksum failure at the receiver: the whole transfer is resent.
+      ++corrupted_;
+      total += sim::from_seconds(seconds) + latency(rng);
+    }
+    if (faults_->should_fire(sim::FaultKind::kNetDelay)) {
+      // Latency spike (bufferbloat / radio handover): one-off stall.
+      ++delayed_;
+      total += faults_->delay_of(sim::FaultKind::kNetDelay);
+    }
+  }
+  return total;
 }
 
 sim::SimDuration Link::upload_time(std::uint64_t bytes,

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -42,6 +43,18 @@ class Link {
   [[nodiscard]] const LinkConfig& config() const { return config_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
 
+  /// Attaches a fault injector: transfers then consult it for latency
+  /// spikes (kNetDelay) and corruption-forced retransmissions
+  /// (kNetCorrupt). nullptr detaches (clean path).
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Transfers retransmitted due to injected corruption.
+  [[nodiscard]] std::uint64_t corrupted_transfers() const {
+    return corrupted_;
+  }
+  /// Transfers hit by an injected latency spike.
+  [[nodiscard]] std::uint64_t delayed_transfers() const { return delayed_; }
+
   /// One-way latency sample (jittered half-RTT).
   [[nodiscard]] sim::SimDuration latency(sim::Rng& rng) const;
 
@@ -62,6 +75,9 @@ class Link {
                                                double mbps,
                                                sim::Rng& rng) const;
   LinkConfig config_;
+  sim::FaultInjector* faults_ = nullptr;
+  mutable std::uint64_t corrupted_ = 0;
+  mutable std::uint64_t delayed_ = 0;
 };
 
 }  // namespace rattrap::net

@@ -1,0 +1,235 @@
+#include "sim/fault.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace rattrap::sim {
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kNetDrop, "net.drop"},
+    {FaultKind::kNetCorrupt, "net.corrupt"},
+    {FaultKind::kNetDelay, "net.delay"},
+    {FaultKind::kTmpfsWriteFail, "tmpfs.write_fail"},
+    {FaultKind::kDiskWriteFail, "disk.write_fail"},
+    {FaultKind::kBinderFail, "binder.fail"},
+    {FaultKind::kDevNsTeardown, "devns.teardown"},
+    {FaultKind::kContainerCrash, "container.crash"},
+    {FaultKind::kContainerOom, "container.oom"},
+    {FaultKind::kCacheEvict, "cache.evict"},
+};
+
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kFaultKindCount);
+
+std::optional<double> parse_double(std::string_view text) {
+  // std::from_chars<double> is unevenly supported; strtod via a bounded
+  // copy keeps the parser portable.
+  if (text.empty() || text.size() > 63) return std::nullopt;
+  char buffer[64];
+  text.copy(buffer, text.size());
+  buffer[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view token) {
+  for (const auto& entry : kKindNames) {
+    if (token == entry.name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
+FaultPlan& FaultPlan::add(FaultRule rule) {
+  rules_.push_back(rule);
+  return *this;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    std::string_view clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      if (end == spec.size()) break;
+      continue;  // tolerate empty clauses ("a;;b")
+    }
+    const std::size_t colon = clause.find(':');
+    const std::string_view kind_token = clause.substr(0, colon);
+    const auto kind = fault_kind_from_string(kind_token);
+    if (!kind) return std::nullopt;
+    FaultRule rule;
+    rule.kind = *kind;
+    if (colon != std::string_view::npos) {
+      std::string_view params = clause.substr(colon + 1);
+      std::size_t ppos = 0;
+      while (ppos <= params.size()) {
+        const std::size_t pend = std::min(params.find(',', ppos), params.size());
+        const std::string_view param = params.substr(ppos, pend - ppos);
+        ppos = pend + 1;
+        if (param.empty()) {
+          if (pend == params.size()) break;
+          return std::nullopt;
+        }
+        const std::size_t eq = param.find('=');
+        if (eq == std::string_view::npos) return std::nullopt;
+        const std::string_view key = param.substr(0, eq);
+        const auto value = parse_double(param.substr(eq + 1));
+        if (!value) return std::nullopt;
+        if (key == "p") {
+          if (*value < 0.0 || *value > 1.0) return std::nullopt;
+          rule.probability = *value;
+        } else if (key == "at") {
+          rule.at = from_seconds(*value);
+        } else if (key == "after") {
+          rule.after = from_seconds(*value);
+        } else if (key == "until") {
+          rule.until = from_seconds(*value);
+        } else if (key == "max") {
+          if (*value < 0) return std::nullopt;
+          rule.max_fires = static_cast<std::uint32_t>(*value);
+        } else if (key == "delay_ms") {
+          rule.delay = from_millis(*value);
+        } else {
+          return std::nullopt;
+        }
+        if (pend == params.size()) break;
+      }
+    }
+    if (rule.probability == 0.0 && rule.at < 0) return std::nullopt;
+    plan.add(rule);
+    if (end == spec.size()) break;
+  }
+  // A non-empty spec that produced no rules (";;", "  ") is garbage, not
+  // a request for zero faults — only "" means an empty plan.
+  if (plan.rules_.empty() && !spec.empty()) return std::nullopt;
+  return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::ostringstream out;
+  bool first_rule = true;
+  for (const FaultRule& rule : rules_) {
+    if (!first_rule) out << ';';
+    first_rule = false;
+    out << to_string(rule.kind);
+    char sep = ':';
+    if (rule.probability > 0.0) {
+      out << sep << "p=" << rule.probability;
+      sep = ',';
+    }
+    if (rule.at >= 0) {
+      out << sep << "at=" << to_seconds(rule.at);
+      sep = ',';
+    }
+    if (rule.after > 0) {
+      out << sep << "after=" << to_seconds(rule.after);
+      sep = ',';
+    }
+    if (rule.until >= 0) {
+      out << sep << "until=" << to_seconds(rule.until);
+      sep = ',';
+    }
+    if (rule.max_fires != UINT32_MAX) {
+      out << sep << "max=" << rule.max_fires;
+      sep = ',';
+    }
+    if (rule.kind == FaultKind::kNetDelay) {
+      out << sep << "delay_ms=" << to_millis(rule.delay);
+    }
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {
+  const Rng master(seed);
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    // One substream per kind: consults in one domain never shift another
+    // domain's draws.
+    kinds_[i].rng = master.fork(std::string("fault:") +
+                                to_string(static_cast<FaultKind>(i)));
+  }
+  rule_fires_.assign(plan_.rules().size(), 0);
+}
+
+bool FaultInjector::should_fire(FaultKind kind, SimTime now) {
+  KindState& state = kinds_[static_cast<std::size_t>(kind)];
+  ++state.consults;
+  // A single draw per consult keeps the schedule a pure function of the
+  // per-kind op index, independent of how many rules match.
+  const double draw = state.rng.uniform();
+  for (std::size_t i = 0; i < plan_.rules().size(); ++i) {
+    const FaultRule& rule = plan_.rules()[i];
+    if (rule.kind != kind || rule.probability <= 0.0) continue;
+    if (now < rule.after) continue;
+    if (rule.until >= 0 && now > rule.until) continue;
+    if (rule_fires_[i] >= rule.max_fires) continue;
+    if (draw < rule.probability) {
+      ++rule_fires_[i];
+      ++state.fired;
+      log_.push_back({kind, now, state.consults});
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration FaultInjector::delay_of(FaultKind kind) const {
+  for (const FaultRule& rule : plan_.rules()) {
+    if (rule.kind == kind) return rule.delay;
+  }
+  return 250 * kMillisecond;
+}
+
+std::vector<SimTime> FaultInjector::scheduled_times(FaultKind kind) const {
+  std::vector<SimTime> times;
+  for (const FaultRule& rule : plan_.rules()) {
+    if (rule.kind == kind && rule.at >= 0) times.push_back(rule.at);
+  }
+  return times;
+}
+
+void FaultInjector::record_scheduled_fire(FaultKind kind, SimTime now) {
+  KindState& state = kinds_[static_cast<std::size_t>(kind)];
+  ++state.fired;
+  log_.push_back({kind, now, state.consults});
+}
+
+std::uint64_t FaultInjector::consults(FaultKind kind) const {
+  return kinds_[static_cast<std::size_t>(kind)].consults;
+}
+
+std::uint64_t FaultInjector::fired_count(FaultKind kind) const {
+  return kinds_[static_cast<std::size_t>(kind)].fired;
+}
+
+std::string FaultInjector::log_string() const {
+  std::ostringstream out;
+  for (const FiredFault& fault : log_) {
+    out << fault.when << ' ' << to_string(fault.kind) << " op="
+        << fault.op_index << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rattrap::sim

@@ -1,0 +1,161 @@
+// Deterministic fault injection for the simulated platform.
+//
+// A FaultPlan schedules faults either probabilistically per operation or
+// at fixed virtual times; a FaultInjector evaluates the plan with a
+// seed-derived substream *per fault kind*, so drawing faults in one
+// subsystem never perturbs the schedule of another (the same substream
+// discipline sim::Rng::fork gives the workload generators).  Every fired
+// fault is appended to a replayable log: (seed, plan) ⇒ byte-identical
+// fault schedule, which is what makes a sweep violation reproducible.
+//
+// Components consult the injector at their fault points (link transfer,
+// tmpfs write, disk write, binder transaction, device-namespace creation,
+// warehouse lookup); the offload engine consults it for connection drops
+// and container crash/OOM events.  A null injector means "no faults" —
+// all hooks are no-ops on the clean path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNetDrop,         ///< connection attempt dropped (client must retry)
+  kNetCorrupt,      ///< transfer corrupted → full retransmission
+  kNetDelay,        ///< latency spike on one transfer
+  kTmpfsWriteFail,  ///< shared tmpfs write error / space exhaustion
+  kDiskWriteFail,   ///< disk write error → one retry (second service)
+  kBinderFail,      ///< binder transaction returns DEAD_REPLY
+  kDevNsTeardown,   ///< device namespace torn down right after creation
+  kContainerCrash,  ///< container dies mid-session
+  kContainerOom,    ///< container OOM-killed mid-session
+  kCacheEvict,      ///< warehouse entry evicted between lookup and use
+};
+
+inline constexpr std::size_t kFaultKindCount = 10;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Parses a spec token ("net.drop", "container.crash", ...).
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_string(
+    std::string_view token);
+
+/// One scheduling rule. Probabilistic rules (probability > 0) are
+/// evaluated per consulted operation inside the [after, until] window;
+/// time-triggered rules (at >= 0) fire exactly once at virtual time `at`
+/// and are delivered by the engine's fault pump.
+struct FaultRule {
+  FaultKind kind = FaultKind::kNetDrop;
+  double probability = 0.0;          ///< per-op firing probability
+  SimTime at = -1;                   ///< one-shot virtual time (µs); -1 = none
+  SimTime after = 0;                 ///< window start for probabilistic rules
+  SimTime until = -1;                ///< window end; -1 = open
+  std::uint32_t max_fires = UINT32_MAX;  ///< budget for probabilistic rules
+  SimDuration delay = 250 * kMillisecond;  ///< spike size for kNetDelay
+};
+
+/// An ordered set of fault rules, buildable programmatically or parsed
+/// from a compact spec string:
+///
+///   spec    := clause (';' clause)*
+///   clause  := kind [':' param (',' param)*]
+///   param   := 'p=' float | 'at=' seconds | 'after=' seconds
+///            | 'until=' seconds | 'max=' int | 'delay_ms=' float
+///
+/// e.g. "net.drop:p=0.05;container.crash:at=3;tmpfs.write_fail:p=0.3,max=5"
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses `spec`; returns std::nullopt on malformed input.
+  [[nodiscard]] static std::optional<FaultPlan> parse(std::string_view spec);
+
+  FaultPlan& add(FaultRule rule);
+
+  [[nodiscard]] const std::vector<FaultRule>& rules() const { return rules_; }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+  /// Canonical round-trippable spec string (for logs and repro lines).
+  [[nodiscard]] std::string spec() const;
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+/// One fired fault, in firing order.
+struct FiredFault {
+  FaultKind kind = FaultKind::kNetDrop;
+  SimTime when = 0;
+  std::uint64_t op_index = 0;  ///< per-kind consult counter at firing time
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Attaches the virtual clock (usually [&sim]{ return sim.now(); }) so
+  /// components without a simulator reference can consult the injector;
+  /// unset, the clock reads 0 (rule windows then always match at=0).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  /// Per-operation consult: returns true when a probabilistic rule of
+  /// `kind` fires for this operation at virtual time `now`. Each consult
+  /// advances only the substream of `kind`.
+  bool should_fire(FaultKind kind, SimTime now);
+
+  /// Consult at the attached clock's current time.
+  bool should_fire(FaultKind kind) {
+    return should_fire(kind, clock_ ? clock_() : 0);
+  }
+
+  /// Latency-spike magnitude for a just-fired kNetDelay (the matching
+  /// rule's `delay`); kMillisecond-scale default otherwise.
+  [[nodiscard]] SimDuration delay_of(FaultKind kind) const;
+
+  /// Virtual times of the plan's one-shot (at >= 0) rules of `kind`, in
+  /// schedule order. The engine's fault pump schedules these.
+  [[nodiscard]] std::vector<SimTime> scheduled_times(FaultKind kind) const;
+
+  /// Records a pump-delivered one-shot fault in the log.
+  void record_scheduled_fire(FaultKind kind, SimTime now);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Operations consulted / faults fired per kind.
+  [[nodiscard]] std::uint64_t consults(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t fired_count(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t total_fired() const { return log_.size(); }
+
+  /// Every fired fault in firing order — the replayable schedule.
+  [[nodiscard]] const std::vector<FiredFault>& log() const { return log_; }
+
+  /// Canonical textual form of the log; byte-identical across runs with
+  /// the same (seed, plan, workload).
+  [[nodiscard]] std::string log_string() const;
+
+ private:
+  struct KindState {
+    Rng rng{0};
+    std::uint64_t consults = 0;
+    std::uint64_t fired = 0;
+  };
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  std::function<SimTime()> clock_;
+  std::array<KindState, kFaultKindCount> kinds_;
+  std::vector<std::uint32_t> rule_fires_;  ///< per-rule budget spent
+  std::vector<FiredFault> log_;
+};
+
+}  // namespace rattrap::sim

@@ -22,6 +22,7 @@ bool Simulator::step() {
   now_ = fired.time;
   ++fired_;
   fired.callback();
+  if (post_event_) post_event_();
   return true;
 }
 

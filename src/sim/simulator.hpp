@@ -46,6 +46,13 @@ class Simulator {
   /// Number of events fired since construction (or the last reset()).
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Installs a hook invoked after every fired event (post-callback, clock
+  /// already advanced) — the invariant-checking harness's attachment
+  /// point. Empty function uninstalls.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_ = std::move(hook);
+  }
+
   /// Pending (live) event count.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
@@ -56,6 +63,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t fired_ = 0;
+  std::function<void()> post_event_;
 };
 
 }  // namespace rattrap::sim

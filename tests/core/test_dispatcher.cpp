@@ -49,8 +49,10 @@ TEST_F(DispatcherTest, AffinityReroutesToAppHotContainer) {
   Dispatcher dispatcher(db_, warehouse_, true);
   EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
   own.ready_at = 10;
+  own.state = EnvState::kIdle;
   EnvRecord& hot = db_.add(2, EnvBacking::kContainer, "dev:1", 0);
   hot.ready_at = 10;
+  hot.state = EnvState::kIdle;
   warehouse_.store("ref:app", 100);
   warehouse_.record_execution("ref:app", 2);
   EnvRecord* assigned = dispatcher.assign(request_from_device(0), "app", 100);
@@ -62,8 +64,10 @@ TEST_F(DispatcherTest, BackloggedHotContainerIsAvoided) {
   Dispatcher dispatcher(db_, warehouse_, true);
   EnvRecord& own = db_.add(1, EnvBacking::kContainer, "dev:0", 0);
   own.ready_at = 10;
+  own.state = EnvState::kIdle;
   EnvRecord& hot = db_.add(2, EnvBacking::kContainer, "dev:1", 0);
   hot.ready_at = 10;
+  hot.state = EnvState::kBusy;
   hot.busy_until = 100 * sim::kSecond;  // deep backlog
   warehouse_.store("ref:app", 100);
   warehouse_.record_execution("ref:app", 2);

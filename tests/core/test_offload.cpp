@@ -1,0 +1,106 @@
+// Offload phase/outcome backfill: the §III-B breakdown arithmetic and the
+// device-side energy model every evaluation figure projects from.
+#include "core/offload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/power.hpp"
+
+namespace rattrap::core {
+namespace {
+
+PhaseBreakdown phases_of(sim::SimDuration connect, sim::SimDuration prep,
+                         sim::SimDuration transfer,
+                         sim::SimDuration compute) {
+  PhaseBreakdown phases;
+  phases.network_connection = connect;
+  phases.runtime_preparation = prep;
+  phases.data_transfer = transfer;
+  phases.computation = compute;
+  return phases;
+}
+
+TEST(PhaseBreakdownTest, TotalSumsAllFourPhases) {
+  const PhaseBreakdown phases =
+      phases_of(10 * sim::kMillisecond, 20 * sim::kMillisecond,
+                30 * sim::kMillisecond, 40 * sim::kMillisecond);
+  EXPECT_EQ(phases.total(), 100 * sim::kMillisecond);
+  EXPECT_EQ(PhaseBreakdown{}.total(), 0);
+}
+
+TEST(RequestOutcomeTest, SpeedupBelowOneIsAnOffloadingFailure) {
+  RequestOutcome outcome;
+  outcome.speedup = 0.8;
+  EXPECT_TRUE(outcome.offloading_failure());
+  outcome.speedup = 1.0;
+  EXPECT_FALSE(outcome.offloading_failure());
+  outcome.speedup = 3.5;
+  EXPECT_FALSE(outcome.offloading_failure());
+}
+
+TEST(RequestOutcomeTest, FaultBookkeepingDefaultsToCleanRun) {
+  const RequestOutcome outcome;
+  EXPECT_EQ(outcome.dispatch_attempts, 0u);
+  EXPECT_EQ(outcome.connect_attempts, 0u);
+  EXPECT_FALSE(outcome.recovered);
+  EXPECT_FALSE(outcome.stranded);
+  EXPECT_FALSE(outcome.rejected);
+}
+
+TEST(OffloadEnergyTest, ZeroEpisodeCostsOnlyTheFinalTail) {
+  const device::RadioProfile radio = device::wifi_radio();
+  const double mj = offload_energy_mj(PhaseBreakdown{}, 0, 0, radio);
+  const double tail_mj = radio.tail_mw * sim::to_seconds(radio.tail_time);
+  EXPECT_NEAR(mj, tail_mj, 1e-9);
+}
+
+TEST(OffloadEnergyTest, MoreTransmissionCostsMoreEnergy) {
+  const device::RadioProfile radio = device::wifi_radio();
+  const PhaseBreakdown phases =
+      phases_of(50 * sim::kMillisecond, 100 * sim::kMillisecond,
+                sim::kSecond, 2 * sim::kSecond);
+  const double small =
+      offload_energy_mj(phases, 200 * sim::kMillisecond,
+                        100 * sim::kMillisecond, radio);
+  const double large = offload_energy_mj(phases, 2 * sim::kSecond,
+                                         100 * sim::kMillisecond, radio);
+  EXPECT_GT(large, small);
+}
+
+TEST(OffloadEnergyTest, LongComputationAbsorbsTheUploadTail) {
+  // Once computation exceeds the radio tail, extra compute time is billed
+  // at idle power — so the marginal energy of one extra compute second is
+  // strictly less than the tail-time seconds (billed at tail power).
+  const device::RadioProfile radio = device::radio_3g();
+  ASSERT_GT(radio.tail_time, 0);
+  const sim::SimDuration upload = 500 * sim::kMillisecond;
+  const auto energy_at = [&](sim::SimDuration compute) {
+    return offload_energy_mj(phases_of(0, 0, upload, compute), upload, 0,
+                             radio);
+  };
+  // Inside the tail window the marginal milliwatt rate is tail power...
+  const double within =
+      energy_at(radio.tail_time) - energy_at(radio.tail_time / 2);
+  // ...past it, idle power.
+  const double beyond =
+      energy_at(3 * radio.tail_time) - energy_at(2 * radio.tail_time + radio.tail_time / 2);
+  EXPECT_GT(within, beyond);
+}
+
+TEST(OffloadEnergyTest, CellularRadioCostsMoreThanWifi) {
+  // The 3G radio's higher transmit and tail power make the same episode
+  // strictly more expensive — why Fig. 10 worsens on cellular links.
+  const PhaseBreakdown phases =
+      phases_of(100 * sim::kMillisecond, 200 * sim::kMillisecond,
+                sim::kSecond, sim::kSecond);
+  const double wifi = offload_energy_mj(phases, 800 * sim::kMillisecond,
+                                        200 * sim::kMillisecond,
+                                        device::wifi_radio());
+  const double cell = offload_energy_mj(phases, 800 * sim::kMillisecond,
+                                        200 * sim::kMillisecond,
+                                        device::radio_3g());
+  EXPECT_GT(cell, wifi);
+}
+
+}  // namespace
+}  // namespace rattrap::core

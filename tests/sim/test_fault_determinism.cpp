@@ -1,0 +1,185 @@
+// Fault-injection determinism: the property that makes a sweep violation
+// a bug report instead of an anecdote. Same (seed, plan, workload) must
+// reproduce the byte-identical fault schedule and outcomes; different
+// seeds must explore different schedules; and consulting one fault kind
+// must never perturb another kind's substream.
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::sim {
+namespace {
+
+TEST(FaultPlanTest, ParsesKindsAndParams) {
+  const auto plan = FaultPlan::parse(
+      "net.drop:p=0.05;container.crash:at=3;"
+      "tmpfs.write_fail:p=0.3,max=5,after=1,until=9;"
+      "net.delay:p=0.2,delay_ms=400");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->rules().size(), 4u);
+  EXPECT_EQ(plan->rules()[0].kind, FaultKind::kNetDrop);
+  EXPECT_DOUBLE_EQ(plan->rules()[0].probability, 0.05);
+  EXPECT_EQ(plan->rules()[1].kind, FaultKind::kContainerCrash);
+  EXPECT_EQ(plan->rules()[1].at, 3 * kSecond);
+  EXPECT_EQ(plan->rules()[2].max_fires, 5u);
+  EXPECT_EQ(plan->rules()[2].after, kSecond);
+  EXPECT_EQ(plan->rules()[2].until, 9 * kSecond);
+  EXPECT_EQ(plan->rules()[3].delay, 400 * kMillisecond);
+}
+
+TEST(FaultPlanTest, SpecRoundTrips) {
+  const auto plan = FaultPlan::parse(
+      "net.corrupt:p=0.1;binder.fail:p=0.25,max=3;container.oom:at=7");
+  ASSERT_TRUE(plan.has_value());
+  const auto reparsed = FaultPlan::parse(plan->spec());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->spec(), plan->spec());
+  ASSERT_EQ(reparsed->rules().size(), plan->rules().size());
+  for (std::size_t i = 0; i < plan->rules().size(); ++i) {
+    EXPECT_EQ(reparsed->rules()[i].kind, plan->rules()[i].kind);
+    EXPECT_DOUBLE_EQ(reparsed->rules()[i].probability,
+                     plan->rules()[i].probability);
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::parse("bogus.kind:p=0.1").has_value());
+  EXPECT_FALSE(FaultPlan::parse("net.drop:p=").has_value());
+  EXPECT_FALSE(FaultPlan::parse("net.drop:q=1").has_value());
+  EXPECT_FALSE(FaultPlan::parse("net.drop").has_value());  // no p, no at
+  EXPECT_FALSE(FaultPlan::parse("net.drop:p=nope").has_value());
+  EXPECT_FALSE(FaultPlan::parse(";;").has_value());
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanSameSchedule) {
+  const auto plan = FaultPlan::parse("net.drop:p=0.3;disk.write_fail:p=0.2");
+  ASSERT_TRUE(plan.has_value());
+  const auto drive = [&](std::uint64_t seed) {
+    FaultInjector injector(*plan, seed);
+    for (int i = 0; i < 500; ++i) {
+      injector.should_fire(FaultKind::kNetDrop, i * kMillisecond);
+      injector.should_fire(FaultKind::kDiskWriteFail, i * kMillisecond);
+    }
+    return injector.log_string();
+  };
+  EXPECT_EQ(drive(42), drive(42));
+  EXPECT_NE(drive(42), drive(43));
+}
+
+TEST(FaultInjectorTest, KindSubstreamsAreIndependent) {
+  // Consulting kNetDrop 1000 extra times must not move a single
+  // kDiskWriteFail decision — per-kind substreams, like Rng::fork.
+  const auto plan = FaultPlan::parse("net.drop:p=0.5;disk.write_fail:p=0.5");
+  ASSERT_TRUE(plan.has_value());
+  const auto disk_decisions = [&](bool interleave_net) {
+    FaultInjector injector(*plan, 99);
+    std::string decisions;
+    for (int i = 0; i < 200; ++i) {
+      if (interleave_net) {
+        for (int j = 0; j < 5; ++j) {
+          injector.should_fire(FaultKind::kNetDrop, i * kMillisecond);
+        }
+      }
+      decisions += injector.should_fire(FaultKind::kDiskWriteFail,
+                                        i * kMillisecond)
+                       ? '1'
+                       : '0';
+    }
+    return decisions;
+  };
+  EXPECT_EQ(disk_decisions(false), disk_decisions(true));
+}
+
+TEST(FaultInjectorTest, WindowsGateFiring) {
+  const auto plan =
+      FaultPlan::parse("binder.fail:p=1,after=2,until=4");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, 1);
+  EXPECT_FALSE(injector.should_fire(FaultKind::kBinderFail, kSecond));
+  EXPECT_TRUE(injector.should_fire(FaultKind::kBinderFail, 3 * kSecond));
+  EXPECT_FALSE(injector.should_fire(FaultKind::kBinderFail, 5 * kSecond));
+  EXPECT_EQ(injector.consults(FaultKind::kBinderFail), 3u);
+  EXPECT_EQ(injector.fired_count(FaultKind::kBinderFail), 1u);
+}
+
+TEST(FaultInjectorTest, MaxFiresBudgetIsHonored) {
+  const auto plan = FaultPlan::parse("cache.evict:p=1,max=2");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, 5);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.should_fire(FaultKind::kCacheEvict, i)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(injector.total_fired(), 2u);
+}
+
+TEST(FaultInjectorTest, ScheduledTimesAndPumpLog) {
+  const auto plan =
+      FaultPlan::parse("container.crash:at=3;container.crash:at=8");
+  ASSERT_TRUE(plan.has_value());
+  FaultInjector injector(*plan, 1);
+  const std::vector<SimTime> times =
+      injector.scheduled_times(FaultKind::kContainerCrash);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 3 * kSecond);
+  EXPECT_EQ(times[1], 8 * kSecond);
+  // One-shot rules never fire on per-op consults...
+  EXPECT_FALSE(injector.should_fire(FaultKind::kContainerCrash, 3 * kSecond));
+  // ...they are delivered by the engine's fault pump.
+  injector.record_scheduled_fire(FaultKind::kContainerCrash, 3 * kSecond);
+  EXPECT_EQ(injector.fired_count(FaultKind::kContainerCrash), 1u);
+  EXPECT_NE(injector.log_string().find("container.crash"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Whole-platform determinism: the sweep's reproducibility contract.
+
+std::string outcome_log(std::uint64_t seed, bool crash_recovery = true) {
+  core::PlatformConfig config = core::make_config(
+      core::PlatformKind::kRattrap, net::lan_wifi(), seed);
+  const auto plan = FaultPlan::parse(
+      "net.drop:p=0.1;net.corrupt:p=0.1;tmpfs.write_fail:p=0.2;"
+      "container.crash:p=0.1;cache.evict:p=0.2;binder.fail:p=0.1");
+  EXPECT_TRUE(plan.has_value());
+  config.fault_plan = *plan;
+  config.crash_recovery = crash_recovery;
+  core::Platform platform(std::move(config));
+
+  workloads::StreamConfig stream;
+  stream.count = 30;
+  stream.devices = 4;
+  stream.seed = seed;
+  const auto outcomes = platform.run(workloads::make_stream(stream));
+
+  std::string log = platform.fault_injector()->log_string();
+  for (const auto& outcome : outcomes) {
+    log += std::to_string(outcome.request.sequence) + ":" +
+           std::to_string(outcome.completed_at) + ":" +
+           std::to_string(outcome.response) + ":" +
+           (outcome.rejected ? "R" : "C") +
+           (outcome.recovered ? "+" : "") + "\n";
+  }
+  return log;
+}
+
+TEST(FaultDeterminismTest, SameSeedByteIdenticalOutcomeLog) {
+  EXPECT_EQ(outcome_log(7), outcome_log(7));
+  EXPECT_EQ(outcome_log(1234), outcome_log(1234));
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsExploreDifferentSchedules) {
+  const std::string a = outcome_log(7);
+  const std::string b = outcome_log(8);
+  const std::string c = outcome_log(9);
+  EXPECT_FALSE(a == b && b == c);  // three identical schedules ≈ broken RNG
+}
+
+}  // namespace
+}  // namespace rattrap::sim

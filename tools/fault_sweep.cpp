@@ -1,0 +1,226 @@
+// fault_sweep — seed-sweep driver for the fault-injection harness.
+//
+// Runs N seeds × M fault plans against the full Rattrap platform with the
+// cross-component invariant checker armed, and reports the first invariant
+// violation together with the exact (seed, plan) pair that reproduces it:
+//
+//   fault_sweep                         # default 10 seeds × 3 plans
+//   fault_sweep --seeds 50 --count 60   # bigger sweep
+//   fault_sweep --plan "net.drop:p=0.2;container.crash:p=0.1"
+//   fault_sweep --no-redispatch         # recovery off: violations expected
+//
+// Exit code 0: every run completed with zero invariant violations.
+// Exit code 1: at least one violation (the repro line is printed).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: fault_sweep [options]\n"
+      "  --seeds N        seeds to sweep (default 10)\n"
+      "  --first-seed S   first seed of the sweep (default 1)\n"
+      "  --count N        requests per run (default 40)\n"
+      "  --devices N      client devices (default 6)\n"
+      "  --plan SPEC      sweep only this fault plan (repeatable)\n"
+      "  --no-redispatch  disable crash recovery (violations expected)\n"
+      "  --no-invariants  run faults without the invariant harness\n"
+      "  --verbose        per-run fault/outcome counters\n"
+      "  --help");
+}
+
+struct Options {
+  std::uint64_t seeds = 10;
+  std::uint64_t first_seed = 1;
+  std::size_t count = 40;
+  std::uint32_t devices = 6;
+  std::vector<std::string> plans;
+  bool redispatch = true;
+  bool invariants = true;
+  bool verbose = false;
+};
+
+// The three default plans cover every fault class the injector knows:
+// network misbehavior, storage-layer failures, and environment death.
+const char* const kDefaultPlans[] = {
+    "net.drop:p=0.08;net.corrupt:p=0.05;net.delay:p=0.1,delay_ms=400",
+    "tmpfs.write_fail:p=0.15;disk.write_fail:p=0.1;cache.evict:p=0.2",
+    "container.crash:p=0.06;container.oom:p=0.04;binder.fail:p=0.05;"
+    "devns.teardown:p=0.1",
+};
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help") {
+      usage();
+      std::exit(0);
+    } else if (arg == "--no-redispatch") {
+      options.redispatch = false;
+    } else if (arg == "--no-invariants") {
+      options.invariants = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--first-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.first_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--devices") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.devices =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.plans.emplace_back(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options.seeds == 0 || options.count == 0) {
+    std::fprintf(stderr, "nothing to sweep: --seeds and --count must be > 0\n");
+    return false;
+  }
+  if (options.plans.empty()) {
+    for (const char* plan : kDefaultPlans) options.plans.emplace_back(plan);
+  }
+  return true;
+}
+
+struct RunResult {
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t stranded = 0;
+  std::size_t recovered = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t violations = 0;
+  std::string first_violation;
+};
+
+RunResult run_once(const Options& options, const sim::FaultPlan& plan,
+                   std::uint64_t seed) {
+  core::PlatformConfig config = core::make_config(
+      core::PlatformKind::kRattrap, net::lan_wifi(), seed);
+  config.fault_plan = plan;
+  config.check_invariants = options.invariants;
+  config.crash_recovery = options.redispatch;
+  core::Platform platform(std::move(config));
+
+  workloads::StreamConfig stream;
+  stream.count = options.count;
+  stream.devices = options.devices;
+  stream.mean_gap = 2 * sim::kSecond;
+  stream.seed = seed;
+  const auto outcomes = platform.run(workloads::make_stream(stream));
+
+  RunResult result;
+  for (const auto& outcome : outcomes) {
+    if (outcome.rejected) {
+      ++result.rejected;
+      if (outcome.stranded) ++result.stranded;
+    } else {
+      ++result.completed;
+      if (outcome.recovered) ++result.recovered;
+    }
+  }
+  result.faults_fired = platform.fault_injector()->total_fired();
+  result.violations = platform.invariants().total_violations();
+  if (const auto* first = platform.invariants().first_violation()) {
+    result.first_violation = first->name + " at " +
+                             std::to_string(first->when) + "us: " +
+                             first->detail;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+
+  std::vector<sim::FaultPlan> plans;
+  for (const auto& spec : options.plans) {
+    auto plan = sim::FaultPlan::parse(spec);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "malformed fault plan: %s\n", spec.c_str());
+      return 2;
+    }
+    plans.push_back(std::move(*plan));
+  }
+
+  std::printf("fault sweep: %llu seeds x %zu plans, %zu requests each%s\n",
+              static_cast<unsigned long long>(options.seeds), plans.size(),
+              options.count, options.redispatch ? "" : " (recovery OFF)");
+
+  std::uint64_t total_runs = 0;
+  std::uint64_t total_faults = 0;
+  std::uint64_t violating_runs = 0;
+  std::string first_repro;
+
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    for (std::uint64_t seed = options.first_seed;
+         seed < options.first_seed + options.seeds; ++seed) {
+      const RunResult result = run_once(options, plans[p], seed);
+      ++total_runs;
+      total_faults += result.faults_fired;
+      if (options.verbose) {
+        std::printf(
+            "  plan %zu seed %llu: %zu ok (%zu recovered), %zu rejected "
+            "(%zu stranded), %llu faults, %llu violations\n",
+            p, static_cast<unsigned long long>(seed), result.completed,
+            result.recovered, result.rejected, result.stranded,
+            static_cast<unsigned long long>(result.faults_fired),
+            static_cast<unsigned long long>(result.violations));
+      }
+      if (result.violations > 0) {
+        ++violating_runs;
+        const std::string repro =
+            "fault_sweep --seeds 1 --first-seed " + std::to_string(seed) +
+            " --count " + std::to_string(options.count) + " --plan \"" +
+            plans[p].spec() + "\"" +
+            (options.redispatch ? "" : " --no-redispatch");
+        if (first_repro.empty()) {
+          first_repro = repro;
+          std::printf("VIOLATION plan=%zu seed=%llu: %s\n", p,
+                      static_cast<unsigned long long>(seed),
+                      result.first_violation.c_str());
+          std::printf("  repro: %s\n", repro.c_str());
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "%llu runs, %llu faults injected, %llu runs with invariant "
+      "violations\n",
+      static_cast<unsigned long long>(total_runs),
+      static_cast<unsigned long long>(total_faults),
+      static_cast<unsigned long long>(violating_runs));
+  return violating_runs == 0 ? 0 : 1;
+}
