@@ -14,11 +14,15 @@ int main() {
   std::printf(
       "Fig. 1 — Phase details and offloading speedups, first 20 requests\n"
       "(VM-based cloud platform, LAN WiFi; times in ms)\n");
+  bench::JsonEmitter json("bench_fig01_phases");
   for (const auto kind : bench::paper_workloads()) {
     const auto stream = bench::paper_stream(kind);
     core::Platform platform(
         core::make_config(core::PlatformKind::kVmCloud));
     const auto outcomes = platform.run(stream);
+    json.add(workloads::to_string(kind), bench::summarize(outcomes));
+    json.add_platform(std::string(workloads::to_string(kind)) + ".metrics",
+                      platform);
 
     bench::print_rule('=');
     std::printf("(%s)\n", workloads::to_string(kind));

@@ -14,12 +14,17 @@ using namespace rattrap;
 int main() {
   std::printf(
       "Fig. 9 — Average offloading performance (20 requests, LAN WiFi)\n");
+  bench::JsonEmitter json("bench_fig09_performance");
   for (const auto kind : bench::paper_workloads()) {
     const auto stream = bench::paper_stream(kind);
     bench::RunSummary results[3];
     int column = 0;
     for (const auto platform_kind : bench::paper_platforms()) {
-      results[column++] = bench::run_platform(platform_kind, stream);
+      results[column] = bench::run_platform(platform_kind, stream);
+      json.add(std::string(workloads::to_string(kind)) + "." +
+                   core::to_string(platform_kind),
+               results[column]);
+      ++column;
     }
     const bench::RunSummary& rattrap = results[0];
     const bench::RunSummary& plain = results[1];

@@ -27,11 +27,21 @@ int main() {
       {core::PlatformKind::kRattrap, "CAC", 1.75},
   };
 
+  bench::JsonEmitter json("bench_table1_runtime_overheads");
   double vm_setup = 0;
   for (const Row& row : rows) {
     core::Platform platform(core::make_config(row.kind));
     const core::ProvisionStats stats = platform.measure_provision();
     const double setup_s = sim::to_seconds(stats.setup_time);
+    json.add_raw(
+        row.label,
+        "{\"setup_s\":" + obs::json_number(setup_s) +
+            ",\"memory_configured\":" +
+            obs::json_number(stats.memory_configured) +
+            ",\"memory_usage\":" + obs::json_number(stats.memory_usage) +
+            ",\"disk_bytes\":" + obs::json_number(stats.disk_bytes) +
+            ",\"shared_disk_bytes\":" +
+            obs::json_number(stats.shared_disk_bytes) + "}");
     if (row.kind == core::PlatformKind::kVmCloud) vm_setup = setup_s;
     char disk[64];
     if (stats.disk_bytes < (100ull << 20)) {

@@ -1,20 +1,33 @@
 // Shared helpers for the reproduction benches: canonical request streams,
-// per-platform aggregate statistics and table printing.
+// per-platform aggregate statistics, table printing and the structured
+// JSON output the CI bench-smoke job archives (docs/OBSERVABILITY.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/platform.hpp"
+#include "obs/json.hpp"
 #include "workloads/generator.hpp"
 
 namespace rattrap::bench {
+
+/// CI smoke runs set RATTRAP_BENCH_QUICK=1 to shrink request streams so
+/// every bench binary finishes in seconds.
+inline bool quick_mode() {
+  const char* v = std::getenv("RATTRAP_BENCH_QUICK");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
 
 /// The paper's experiment shape: 20 requests from 5 devices (§VI-C), with
 /// a request inflow matching the ~180 s Fig. 1/2 timelines.
 inline std::vector<workloads::OffloadRequest> paper_stream(
     workloads::Kind kind, std::size_t count = 20, std::uint64_t seed = 42) {
+  if (quick_mode()) count = std::min<std::size_t>(count, 6);
   workloads::StreamConfig config;
   config.kind = kind;
   config.count = count;
@@ -106,5 +119,91 @@ inline void print_rule(char c = '-', int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Structured bench output. When RATTRAP_BENCH_JSON_DIR is set, each
+/// bench that creates an emitter writes "<dir>/<name>.metrics.json" on
+/// exit with every labelled entry; unset, all calls are no-ops and the
+/// bench stays a plain table printer. Labels are emitted in insertion
+/// order and all numbers deterministically, so same-seed runs produce
+/// byte-identical files.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("RATTRAP_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') dir_ = dir;
+  }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+  ~JsonEmitter() { write(); }
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  /// Adds one run summary under `label`.
+  void add(const std::string& label, const RunSummary& s) {
+    if (!enabled()) return;
+    std::string body = "{";
+    const auto field = [&body](const char* key, const std::string& value) {
+      if (body.size() > 1) body += ',';
+      body += '"';
+      body += key;
+      body += "\":";
+      body += value;
+    };
+    field("count", obs::json_number(static_cast<std::uint64_t>(s.count)));
+    field("mean_connection_s", obs::json_number(s.mean_connection_s));
+    field("mean_preparation_s", obs::json_number(s.mean_preparation_s));
+    field("mean_transfer_s", obs::json_number(s.mean_transfer_s));
+    field("mean_computation_s", obs::json_number(s.mean_computation_s));
+    field("mean_response_s", obs::json_number(s.mean_response_s));
+    field("mean_speedup", obs::json_number(s.mean_speedup));
+    field("offload_energy_mj", obs::json_number(s.offload_energy_mj));
+    field("local_energy_mj", obs::json_number(s.local_energy_mj));
+    field("up_bytes", obs::json_number(s.up_bytes));
+    field("down_bytes", obs::json_number(s.down_bytes));
+    field("failures",
+          obs::json_number(static_cast<std::uint64_t>(s.failures)));
+    field("makespan_s", obs::json_number(sim::to_seconds(s.makespan)));
+    field("local_makespan_s", obs::json_number(s.local_makespan_s));
+    body += '}';
+    add_raw(label, std::move(body));
+  }
+
+  /// Dumps a platform's whole metrics registry under `label`.
+  void add_platform(const std::string& label, const core::Platform& p) {
+    if (!enabled()) return;
+    add_raw(label, p.metrics().to_json());
+  }
+
+  /// Adds a pre-rendered JSON value under `label`.
+  void add_raw(const std::string& label, std::string json) {
+    if (!enabled()) return;
+    entries_.emplace_back(label, std::move(json));
+  }
+
+  /// Writes the file (idempotent; also runs from the destructor).
+  bool write() {
+    if (!enabled() || written_) return true;
+    written_ = true;
+    std::string out = "{\"bench\":" + obs::json_quote(name_) +
+                      ",\"quick\":" + (quick_mode() ? "true" : "false") +
+                      ",\"runs\":{";
+    bool first = true;
+    for (const auto& [label, body] : entries_) {
+      if (!first) out += ',';
+      first = false;
+      out += obs::json_quote(label);
+      out += ':';
+      out += body;
+    }
+    out += "}}\n";
+    return obs::write_text_file(dir_ + "/" + name_ + ".metrics.json", out);
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  bool written_ = false;
+};
 
 }  // namespace rattrap::bench

@@ -16,6 +16,17 @@ const char* to_string(EnvState state) {
   return "?";
 }
 
+void ContainerDb::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_added_ = metric_retired_ = nullptr;
+    metric_active_ = nullptr;
+    return;
+  }
+  metric_added_ = &metrics->counter("envdb.added");
+  metric_retired_ = &metrics->counter("envdb.retired");
+  metric_active_ = &metrics->gauge("envdb.active");
+}
+
 EnvRecord& ContainerDb::add(EnvId id, EnvBacking backing,
                             std::string bound_key, sim::SimTime now) {
   EnvRecord record;
@@ -26,6 +37,10 @@ EnvRecord& ContainerDb::add(EnvId id, EnvBacking backing,
   record.bound_key = std::move(bound_key);
   auto [it, inserted] = envs_.insert_or_assign(id, std::move(record));
   (void)inserted;
+  if (metric_added_ != nullptr) {
+    metric_added_->inc();
+    metric_active_->set(static_cast<double>(active_count()));
+  }
   return it->second;
 }
 
@@ -53,6 +68,10 @@ bool ContainerDb::retire(EnvId id) {
   EnvRecord* record = find(id);
   if (record == nullptr || record->state == EnvState::kRetired) return false;
   record->state = EnvState::kRetired;
+  if (metric_retired_ != nullptr) {
+    metric_retired_->inc();
+    metric_active_->set(static_cast<double>(active_count()));
+  }
   return true;
 }
 

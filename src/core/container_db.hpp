@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/warehouse.hpp"  // EnvId
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace rattrap::core {
@@ -61,8 +62,16 @@ class ContainerDb {
 
   [[nodiscard]] std::vector<EnvId> ids() const;
 
+  /// Attaches a metrics registry: registrations/retirements count into
+  /// envdb.added / envdb.retired and envdb.active tracks the live
+  /// environment population. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   std::map<EnvId, EnvRecord> envs_;
+  obs::Counter* metric_added_ = nullptr;
+  obs::Counter* metric_retired_ = nullptr;
+  obs::Gauge* metric_active_ = nullptr;
 };
 
 }  // namespace rattrap::core

@@ -11,17 +11,45 @@ std::string Dispatcher::binding_key(const workloads::OffloadRequest& request,
   return "dev:" + std::to_string(request.device_id);
 }
 
+void Dispatcher::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    assign_total_ = assign_new_env_ = nullptr;
+    affinity_hits_ = affinity_misses_ = nullptr;
+    affinity_hit_rate_ = nullptr;
+    return;
+  }
+  assign_total_ = &metrics->counter("dispatcher.assign.total");
+  assign_new_env_ = &metrics->counter("dispatcher.assign.new_env");
+  affinity_hits_ = &metrics->counter("dispatcher.affinity.hits");
+  affinity_misses_ = &metrics->counter("dispatcher.affinity.misses");
+  affinity_hit_rate_ = &metrics->gauge("dispatcher.affinity.hit_rate");
+}
+
 EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
                               const std::string& app_id, sim::SimTime now,
                               sim::SimDuration backlog_threshold) {
+  const auto finish = [this](EnvRecord* record, bool affinity_hit) {
+    if (assign_total_ != nullptr) {
+      assign_total_->inc();
+      if (record == nullptr) assign_new_env_->inc();
+      if (affinity_) {
+        (affinity_hit ? affinity_hits_ : affinity_misses_)->inc();
+        const double total = static_cast<double>(affinity_hits_->value() +
+                                                 affinity_misses_->value());
+        affinity_hit_rate_->set(
+            static_cast<double>(affinity_hits_->value()) / total);
+      }
+    }
+    return record;
+  };
   EnvRecord* device_env =
       db_.find_by_key("dev:" + std::to_string(request.device_id));
-  if (!affinity_) return device_env;
+  if (!affinity_) return finish(device_env, false);
   // A device's first request always provisions its own environment (all
   // three platforms pay one boot per device); affinity then *reroutes*
   // subsequent requests to a container that already executed this app —
   // saving the code-loading time — unless that container is backlogged.
-  if (device_env == nullptr) return nullptr;
+  if (device_env == nullptr) return finish(nullptr, false);
   if (const auto preferred = warehouse_.preferred_env("ref:" + app_id)) {
     EnvRecord* record = db_.find(*preferred);
     // Only reroute onto a container that is actually serving: a retired
@@ -33,10 +61,10 @@ EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
          record->state == EnvState::kBusy) &&
         record->ready_at > 0 &&
         record->busy_until <= now + backlog_threshold) {
-      return record;
+      return finish(record, true);
     }
   }
-  return device_env;
+  return finish(device_env, false);
 }
 
 }  // namespace rattrap::core

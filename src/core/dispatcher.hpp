@@ -12,6 +12,7 @@
 
 #include "core/container_db.hpp"
 #include "core/warehouse.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/generator.hpp"
 
 namespace rattrap::core {
@@ -42,10 +43,20 @@ class Dispatcher {
 
   [[nodiscard]] bool affinity() const { return affinity_; }
 
+  /// Attaches a metrics registry: assigns count into dispatcher.assign.*
+  /// and, with affinity enabled, reroute hits/misses maintain
+  /// dispatcher.affinity.hit_rate. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   ContainerDb& db_;
   AppWarehouse& warehouse_;
   bool affinity_;
+  obs::Counter* assign_total_ = nullptr;
+  obs::Counter* assign_new_env_ = nullptr;
+  obs::Counter* affinity_hits_ = nullptr;
+  obs::Counter* affinity_misses_ = nullptr;
+  obs::Gauge* affinity_hit_rate_ = nullptr;
 };
 
 }  // namespace rattrap::core

@@ -25,12 +25,26 @@ double MonitorScheduler::cpu_percent(std::size_t second,
   return std::min(100.0, 100.0 * busy / active_envs);
 }
 
+void MonitorScheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_jobs_ = metric_jobs_peak_ = nullptr;
+    metric_crashes_reported_ = metric_crashes_detected_ = nullptr;
+    return;
+  }
+  metric_jobs_ = &metrics->gauge("monitor.running_jobs");
+  metric_jobs_peak_ = &metrics->gauge("monitor.peak_jobs");
+  metric_crashes_reported_ = &metrics->counter("monitor.crashes.reported");
+  metric_crashes_detected_ = &metrics->counter("monitor.crashes.detected");
+}
+
 void MonitorScheduler::notify_crash(std::uint32_t env_id) {
   if (!pending_crashes_.insert(env_id).second) return;  // already reported
   ++reported_;
+  if (metric_crashes_reported_ != nullptr) metric_crashes_reported_->inc();
   sim_.schedule_in(detection_latency_, [this, env_id]() {
     if (pending_crashes_.erase(env_id) == 0) return;
     ++detected_;
+    if (metric_crashes_detected_ != nullptr) metric_crashes_detected_->inc();
     if (crash_handler_) crash_handler_(env_id);
   });
 }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -41,11 +42,27 @@ class MonitorScheduler {
   [[nodiscard]] sim::SimDuration total_busy() const { return total_busy_; }
 
   /// Currently running compute jobs (informational, for scheduling).
-  void job_started() { ++running_jobs_; }
+  void job_started() {
+    ++running_jobs_;
+    if (metric_jobs_ != nullptr) {
+      metric_jobs_->set(static_cast<double>(running_jobs_));
+      metric_jobs_peak_->set(
+          std::max(metric_jobs_peak_->value(),
+                   static_cast<double>(running_jobs_)));
+    }
+  }
   void job_finished() {
     if (running_jobs_ > 0) --running_jobs_;
+    if (metric_jobs_ != nullptr) {
+      metric_jobs_->set(static_cast<double>(running_jobs_));
+    }
   }
   [[nodiscard]] std::uint32_t running_jobs() const { return running_jobs_; }
+
+  /// Attaches a metrics registry: job slots maintain monitor.running_jobs
+  /// / monitor.peak_jobs and crash detection counts into
+  /// monitor.crashes.* . nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   // -- Crashed-environment detection -----------------------------------
   //
@@ -89,6 +106,10 @@ class MonitorScheduler {
   std::set<std::uint32_t> pending_crashes_;
   std::uint64_t reported_ = 0;
   std::uint64_t detected_ = 0;
+  obs::Gauge* metric_jobs_ = nullptr;
+  obs::Gauge* metric_jobs_peak_ = nullptr;
+  obs::Counter* metric_crashes_reported_ = nullptr;
+  obs::Counter* metric_crashes_detected_ = nullptr;
 };
 
 }  // namespace rattrap::core

@@ -103,7 +103,80 @@ struct Platform::Session {
   bool staged = false;      ///< files currently staged in the shared tmpfs
   bool computing = false;   ///< holds a Monitor job slot
   bool done = false;        ///< outcome recorded (completed or rejected)
+
+  // Observability state (docs/OBSERVABILITY.md). Spans live on track
+  // `request.sequence + 1`; track 0 is the platform itself.
+  obs::SpanId span_session = obs::kNoSpan;  ///< root "session" span
+  obs::SpanId span_phase = obs::kNoSpan;    ///< current phase span
+  bool fresh_env = false;  ///< bound to an env that still had to boot
+  std::map<sim::FaultKind, std::uint64_t> fault_hits;
 };
+
+/// Track 0 carries platform-wide instants (faults outside any session).
+constexpr std::uint64_t kPlatformTrack = 0;
+
+// Marks the session a handler (and everything it synchronously calls
+// into — link, tmpfs, warehouse, kernel) acts for, so a fault fired deep
+// inside a component annotates the right span. Scopes nest because
+// handlers invoke each other directly.
+struct Platform::SessionScope {
+  SessionScope(Platform& platform, Session& session)
+      : platform_(platform),
+        prev_session_(platform.active_session_),
+        prev_span_(platform.trace_.active()) {
+    platform_.active_session_ = &session;
+    platform_.trace_.set_active(session.span_phase != obs::kNoSpan
+                                    ? session.span_phase
+                                    : session.span_session);
+  }
+  ~SessionScope() {
+    platform_.active_session_ = prev_session_;
+    platform_.trace_.set_active(prev_span_);
+  }
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+ private:
+  Platform& platform_;
+  Session* prev_session_;
+  obs::SpanId prev_span_;
+};
+
+void Platform::begin_phase(Session& s, const char* name) {
+  if (!trace_.enabled()) return;
+  if (s.span_phase != obs::kNoSpan) end_phase(s);
+  s.span_phase = trace_.begin(s.request.sequence + 1, name, "phase",
+                              server_->simulator().now());
+  trace_.set_active(s.span_phase);
+}
+
+void Platform::end_phase(Session& s) {
+  if (s.span_phase == obs::kNoSpan) return;
+  trace_.end(s.span_phase, server_->simulator().now());
+  s.span_phase = obs::kNoSpan;
+}
+
+void Platform::on_fault_fired(sim::FaultKind kind, sim::SimTime when) {
+  metrics_.counter(std::string("faults.fired.") + sim::to_string(kind))
+      .inc();
+  if (!trace_.enabled()) return;
+  const std::string name = std::string("fault:") + sim::to_string(kind);
+  Session* s = active_session_;
+  if (s != nullptr && !s->done) {
+    const std::uint64_t hits = ++s->fault_hits[kind];
+    const std::string key = std::string("fault.") + sim::to_string(kind);
+    if (s->span_phase != obs::kNoSpan) {
+      trace_.annotate(s->span_phase, key, hits);
+    }
+    if (s->span_session != obs::kNoSpan) {
+      trace_.annotate(s->span_session, key, hits);
+    }
+    trace_.instant(s->request.sequence + 1, name, "fault", when);
+  } else {
+    // No session context (e.g. a pump-delivered container crash).
+    trace_.instant(kPlatformTrack, name, "fault", when);
+  }
+}
 
 // ---------------------------------------------------------------------
 
@@ -122,6 +195,9 @@ Platform::Platform(PlatformConfig config)
   dispatcher_ = std::make_unique<Dispatcher>(server_->env_db(),
                                              server_->warehouse(),
                                              config_.dispatcher_affinity);
+  server_->install_metrics(&metrics_);
+  link_->set_metrics(&metrics_);
+  dispatcher_->set_metrics(&metrics_);
   if (!config_.fault_plan.empty()) {
     faults_ = std::make_unique<sim::FaultInjector>(config_.fault_plan,
                                                    config_.seed);
@@ -129,6 +205,10 @@ Platform::Platform(PlatformConfig config)
         [this]() { return server_->simulator().now(); });
     link_->set_fault_injector(faults_.get());
     server_->install_fault_injector(faults_.get());
+    faults_->set_fire_observer(
+        [this](sim::FaultKind kind, sim::SimTime when) {
+          on_fault_fired(kind, when);
+        });
     server_->monitor().set_detection_latency(
         config_.crash_detection_latency);
     server_->monitor().set_crash_handler(
@@ -237,6 +317,7 @@ void Platform::provision_vm(Env& env) {
     // Host memory exhausted: the environment cannot be provisioned. Every
     // waiting session is answered with a rejection — the density wall a
     // 512 MB-per-VM resource model hits on a 16 GB server.
+    metrics_.counter("env.provision_failed").inc();
     env.failed = true;
     env.retired = true;
     server_->env_db().retire(env.id);
@@ -294,6 +375,7 @@ void Platform::provision_cac(Env& env) {
     // limit, or an injected device-namespace teardown. Same answer as
     // the VM capacity wall: the environment is dead on arrival and
     // every waiting session gets a rejection.
+    metrics_.counter("env.provision_failed").inc();
     env.failed = true;
     env.retired = true;
     env.memory_bytes = 0;
@@ -346,6 +428,9 @@ void Platform::env_ready(Env& env) {
   env.ready = true;
   env.ready_at = server_->simulator().now();
   env.busy_until = env.ready_at;
+  metrics_.counter("env.provisioned").inc();
+  metrics_.histogram("env.provision_ms")
+      .observe(sim::to_millis(env.ready_at - env.provision_start));
   if (EnvRecord* record = server_->env_db().find(env.id)) {
     record->state = EnvState::kIdle;
     record->ready_at = env.ready_at;
@@ -437,6 +522,7 @@ std::vector<RequestOutcome> Platform::run(
     session->executed = execute_task_cached(request.task);
     session->conn = std::make_unique<net::Connection>(
         *link_, rng_.fork(request.sequence + 1));
+    session->conn->set_metrics(&metrics_);
     simulator.schedule_at(request.arrival, [this, session]() {
       on_arrival(session);
     });
@@ -463,14 +549,26 @@ std::vector<RequestOutcome> Platform::run(
       outcomes_[s->request.sequence] = std::move(outcome);
       s->done = true;
       ++completed_;
+      metrics_.counter("sessions.stranded").inc();
+      if (s->span_session != obs::kNoSpan) {
+        trace_.annotate(s->span_session, "stranded", std::uint64_t{1});
+      }
     }
     live_sessions_.clear();
   }
+  trace_.close_open_spans(simulator.now());
   assert(completed_ == stream.size());
   return outcomes_;
 }
 
 void Platform::on_arrival(std::shared_ptr<Session> s) {
+  if (trace_.enabled()) {
+    s->span_session = trace_.begin(s->request.sequence + 1, "session",
+                                   "session", server_->simulator().now());
+    trace_.annotate(s->span_session, "app", s->app_id);
+    trace_.annotate(s->span_session, "device",
+                    static_cast<std::uint64_t>(s->request.device_id));
+  }
   if (config_.adaptive_offloading) {
     DecisionState& history = decisions_[s->app_id];
     constexpr std::uint32_t kExplore = 3;  // first offloads gather data
@@ -496,6 +594,11 @@ void Platform::on_arrival(std::shared_ptr<Session> s) {
         assert(s->request.sequence < outcomes_.size());
         outcomes_[s->request.sequence] = std::move(outcome);
         ++completed_;
+        metrics_.counter("sessions.local").inc();
+        if (s->span_session != obs::kNoSpan) {
+          trace_.annotate(s->span_session, "local", std::uint64_t{1});
+          trace_.end(s->span_session, server_->simulator().now());
+        }
         // Local runs refresh the local estimate.
         DecisionState& h = decisions_[s->app_id];
         const double local_s = sim::to_seconds(local);
@@ -512,7 +615,14 @@ void Platform::on_arrival(std::shared_ptr<Session> s) {
 
 void Platform::attempt_connect(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
+  // Retries reuse the one "connect" span; it ends when a handshake lands.
+  if (s->span_phase == obs::kNoSpan) begin_phase(*s, "connect");
   ++s->connect_attempts;
+  if (s->span_phase != obs::kNoSpan) {
+    trace_.annotate(s->span_phase, "attempts",
+                    static_cast<std::uint64_t>(s->connect_attempts));
+  }
   const sim::SimDuration connect = s->conn->establish();
   s->phases.network_connection += connect;
   if (faults_ &&
@@ -537,13 +647,20 @@ void Platform::attempt_connect(std::shared_ptr<Session> s) {
 
 void Platform::on_connected(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
   s->connected_at = simulator.now();
+  end_phase(*s);  // connect
+  begin_phase(*s, "dispatch");
   const Calibration& cal = server_->calibration();
 
   sim::SimDuration platform_cost = cal.dispatcher_cost;
   if (config_.code_cache) {
     platform_cost += cal.warehouse_lookup_cost;
     s->cache_hit = server_->warehouse().lookup("ref:" + s->app_id);
+    if (s->span_phase != obs::kNoSpan) {
+      trace_.annotate(s->span_phase, "cache_hit",
+                      static_cast<std::uint64_t>(s->cache_hit ? 1 : 0));
+    }
   }
   // Request-based Access Controller: per-app analysis, once.
   if (server_->access().ensure_analyzed(s->app_id)) {
@@ -577,7 +694,10 @@ void Platform::dispatch(std::shared_ptr<Session> s,
   const std::uint64_t epoch = s->epoch;
   simulator.schedule_in(lead_cost, [this, s, env, epoch]() {
     if (s->done || s->epoch != epoch) return;  // aborted meanwhile
+    SessionScope scope(*this, *s);
     Env* target = env;
+    bool claimed_pool = false;
+    bool fresh = false;
     if (target == nullptr || target->retired) {
       const std::string key =
           dispatcher_->binding_key(s->request, s->app_id);
@@ -598,8 +718,26 @@ void Platform::dispatch(std::shared_ptr<Session> s,
           rec->bound_key = key;
         }
         target = claimed;
+        claimed_pool = true;
       } else {
+        // Switch the phase before provisioning so faults fired during
+        // the (synchronous) container start annotate the boot, not the
+        // dispatch decision.
+        begin_phase(*s, "provision");
+        fresh = true;
         target = &provision_env(key, server_->simulator().now());
+      }
+    }
+    if (!fresh) {
+      fresh = !target->ready;
+      begin_phase(*s, fresh ? "provision" : "reuse");
+    }
+    s->fresh_env = fresh;
+    if (s->span_phase != obs::kNoSpan) {
+      trace_.annotate(s->span_phase, "env_id",
+                      static_cast<std::uint64_t>(target->id));
+      if (claimed_pool) {
+        trace_.annotate(s->span_phase, "warm_pool", std::uint64_t{1});
       }
     }
     s->env = target;
@@ -617,12 +755,20 @@ void Platform::dispatch(std::shared_ptr<Session> s,
 
 void Platform::on_env_ready(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
   if (s->env->failed) {
     // Provisioning failed (host capacity): reject the request.
     reject_session(s);
     return;
   }
   s->phases.runtime_preparation = simulator.now() - s->connected_at;
+  // The paper's headline latency split: what a session waits when its
+  // environment must boot vs when a warm one is rebound.
+  metrics_
+      .histogram(s->fresh_env ? "session.prep.provision_ms"
+                              : "session.prep.reuse_ms")
+      .observe(sim::to_millis(s->phases.runtime_preparation));
+  begin_phase(*s, "transfer");
 
   // Determine the code push. With a code cache the warehouse answer
   // rules; without one the client must push into every environment that
@@ -705,6 +851,15 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
   s->upload_time = upload;
   const sim::SimDuration transfer = std::max(upload, ingest);
   s->phases.data_transfer = transfer;
+  if (s->span_phase != obs::kNoSpan) {
+    trace_.annotate(s->span_phase, "push_code",
+                    static_cast<std::uint64_t>(plan.push_code ? 1 : 0));
+    trace_.annotate(s->span_phase, "bytes",
+                    static_cast<std::uint64_t>(ingest_bytes));
+    if (s->spilled_to_disk) {
+      trace_.annotate(s->span_phase, "spilled", std::uint64_t{1});
+    }
+  }
   const std::uint64_t epoch = s->epoch;
   simulator.schedule_in(transfer, [this, s, epoch]() {
     if (s->done || s->epoch != epoch) return;  // env died mid-transfer
@@ -714,6 +869,8 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
 
 void Platform::on_uploaded(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
+  begin_phase(*s, "execute");  // transfer ends now; queueing included
   Env& env = *s->env;
 
   // The controller filters every workflow leaving the container (§IV-E);
@@ -838,6 +995,7 @@ void Platform::on_uploaded(std::shared_ptr<Session> s) {
 
 void Platform::on_computed(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
   server_->monitor().job_finished();
   s->computing = false;
   Env& env = *s->env;
@@ -845,6 +1003,7 @@ void Platform::on_computed(std::shared_ptr<Session> s) {
   s->phases.computation = simulator.now() -
                           (s->connected_at + s->phases.runtime_preparation +
                            s->phases.data_transfer);
+  begin_phase(*s, "teardown");  // result download + completion control
   ++env.jobs_served;
   if (EnvRecord* record = server_->env_db().find(env.id)) {
     if (record->busy_until <= simulator.now()) {
@@ -874,6 +1033,8 @@ void Platform::on_computed(std::shared_ptr<Session> s) {
 
 void Platform::complete(std::shared_ptr<Session> s) {
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
+  end_phase(*s);  // teardown
   RequestOutcome outcome;
   outcome.request = s->request;
   outcome.phases = s->phases;
@@ -898,6 +1059,23 @@ void Platform::complete(std::shared_ptr<Session> s) {
   outcome.connect_attempts = s->connect_attempts;
   outcome.recovered = s->recovered;
   env_traffic_[s->env->id].merge(s->conn->traffic());
+
+  metrics_.counter("sessions.completed").inc();
+  if (s->cache_hit) metrics_.counter("sessions.cache_hits").inc();
+  if (s->recovered) metrics_.counter("sessions.recovered").inc();
+  metrics_.histogram("session.response_ms")
+      .observe(sim::to_millis(outcome.response));
+  if (s->span_session != obs::kNoSpan) {
+    trace_.annotate(s->span_session, "env_id",
+                    static_cast<std::uint64_t>(s->env->id));
+    trace_.annotate(s->span_session, "cache_hit",
+                    static_cast<std::uint64_t>(s->cache_hit ? 1 : 0));
+    if (s->recovered) {
+      trace_.annotate(s->span_session, "recovered", std::uint64_t{1});
+    }
+    trace_.annotate(s->span_session, "speedup", outcome.speedup);
+    trace_.end(s->span_session, simulator.now());
+  }
 
   assert(s->request.sequence < outcomes_.size());
   outcomes_[s->request.sequence] = std::move(outcome);
@@ -927,6 +1105,7 @@ void Platform::complete(std::shared_ptr<Session> s) {
 
 void Platform::crash_env(Env& env) {
   if (env.retired) return;
+  metrics_.counter("env.crashes").inc();
   env.crashed = true;
   env.retired = true;
   env.ready = false;
@@ -946,6 +1125,10 @@ void Platform::crash_env(Env& env) {
   for (const auto& s : live_sessions_) {
     if (s->done || s->env != &env) continue;
     ++s->epoch;
+    if (trace_.enabled()) {
+      trace_.instant(s->request.sequence + 1, "env_crash", "fault",
+                     server_->simulator().now());
+    }
     if (s->computing) {
       server_->monitor().job_finished();
       s->computing = false;
@@ -982,6 +1165,10 @@ void Platform::recover_env(std::uint32_t env_id) {
     // request and the session restarts from runtime preparation.
     s->recovered = true;
     s->connected_at = server_->simulator().now();
+    {
+      SessionScope scope(*this, *s);
+      begin_phase(*s, "redispatch");  // closes the span the crash cut off
+    }
     dispatch(s, server_->calibration().dispatcher_cost);
   }
 }
@@ -989,6 +1176,13 @@ void Platform::recover_env(std::uint32_t env_id) {
 void Platform::reject_session(std::shared_ptr<Session> s) {
   if (s->done) return;
   sim::Simulator& simulator = server_->simulator();
+  SessionScope scope(*this, *s);
+  metrics_.counter("sessions.rejected").inc();
+  end_phase(*s);
+  if (s->span_session != obs::kNoSpan) {
+    trace_.annotate(s->span_session, "rejected", std::uint64_t{1});
+    trace_.end(s->span_session, simulator.now());
+  }
   RequestOutcome outcome;
   outcome.request = s->request;
   outcome.phases = s->phases;

@@ -31,6 +31,8 @@
 #include "device/device.hpp"
 #include "net/connection.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 
 namespace rattrap::core {
@@ -187,9 +189,23 @@ class Platform {
     return live_sessions_.size();
   }
 
+  /// The platform-wide metrics registry (docs/OBSERVABILITY.md). Always
+  /// live: every component is wired at construction and instrument
+  /// updates are cheap enough for benchmark builds.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
+  /// Session tracing (disabled by default; call trace().enable() before
+  /// run() to record spans and export Chrome trace-event JSON).
+  [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
+
  private:
   struct Env;
   struct Session;
+  struct SessionScope;  ///< RAII: marks the session a handler acts for
 
   Env& provision_env(const std::string& binding_key, sim::SimTime now);
   void provision_vm(Env& env);
@@ -215,12 +231,22 @@ class Platform {
   void unbind_session(Session& s);
   void register_invariants();
 
+  // Observability: one phase span open per session at a time.
+  void begin_phase(Session& s, const char* name);
+  void end_phase(Session& s);
+  void on_fault_fired(sim::FaultKind kind, sim::SimTime when);
+
   [[nodiscard]] double cpu_factor() const;
   [[nodiscard]] sim::SimDuration compute_io_time(Env& env,
                                                  std::uint64_t bytes,
                                                  std::uint32_t ops) const;
 
   PlatformConfig config_;
+  // Declared before the engine so components holding cached instrument
+  // handles are destroyed first.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+  Session* active_session_ = nullptr;  ///< set while a handler executes
   std::unique_ptr<CloudServer> server_;
   std::unique_ptr<net::Link> link_;
   std::unique_ptr<Dispatcher> dispatcher_;

@@ -17,6 +17,13 @@ CloudServer::CloudServer(const Calibration& calibration,
               calibration.tmpfs_mb_s),
       warehouse_() {}
 
+void CloudServer::install_metrics(obs::MetricsRegistry* metrics) {
+  monitor_.set_metrics(metrics);
+  shared_.set_metrics(metrics);
+  warehouse_.set_metrics(metrics);
+  env_db_.set_metrics(metrics);
+}
+
 void CloudServer::install_fault_injector(sim::FaultInjector* faults) {
   disk_.set_fault_injector(faults);
   shared_.offload_io().set_fault_injector(faults);

@@ -58,6 +58,11 @@ class CloudServer {
   /// namespace subsystem and the warehouse cache. Pass nullptr to detach.
   void install_fault_injector(sim::FaultInjector* faults);
 
+  /// Threads one metrics registry through every instrumented server
+  /// component (monitor, shared layer, warehouse, container DB). Pass
+  /// nullptr to detach.
+  void install_metrics(obs::MetricsRegistry* metrics);
+
  private:
   Calibration cal_;
   sim::Simulator sim_;

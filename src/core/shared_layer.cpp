@@ -16,6 +16,29 @@ std::string SharedResourceLayer::request_path(std::uint64_t request_seq) {
   return "/offload/req-" + std::to_string(request_seq) + "/input";
 }
 
+void SharedResourceLayer::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_staged_requests_ = metric_bytes_shared_ = nullptr;
+    metric_stage_rejected_ = metric_consumed_bytes_ = nullptr;
+    metric_released_bytes_ = nullptr;
+    metric_used_bytes_ = metric_peak_bytes_ = nullptr;
+    return;
+  }
+  metric_staged_requests_ = &metrics->counter("tmpfs.staged.requests");
+  metric_bytes_shared_ = &metrics->counter("tmpfs.bytes_shared");
+  metric_stage_rejected_ = &metrics->counter("tmpfs.stage_rejected");
+  metric_consumed_bytes_ = &metrics->counter("tmpfs.consumed_bytes");
+  metric_released_bytes_ = &metrics->counter("tmpfs.released_bytes");
+  metric_used_bytes_ = &metrics->gauge("tmpfs.used_bytes");
+  metric_peak_bytes_ = &metrics->gauge("tmpfs.peak_bytes");
+}
+
+void SharedResourceLayer::update_usage_metrics() {
+  if (metric_used_bytes_ == nullptr) return;
+  metric_used_bytes_->set(static_cast<double>(offload_io_.used_bytes()));
+  metric_peak_bytes_->set(static_cast<double>(offload_io_.peak_bytes()));
+}
+
 bool SharedResourceLayer::stage_request_files(std::uint64_t request_seq,
                                               std::uint64_t bytes,
                                               sim::SimTime now) {
@@ -23,6 +46,7 @@ bool SharedResourceLayer::stage_request_files(std::uint64_t request_seq,
   // "Burn after reading": migrated data is a one-time deal (§IV-C).
   if (!offload_io_.write(request_path(request_seq), bytes, now,
                          /*burn_after_reading=*/true)) {
+    if (metric_stage_rejected_ != nullptr) metric_stage_rejected_->inc();
     return false;
   }
   // Restaging (a re-dispatched session uploading again) replaces the
@@ -33,6 +57,11 @@ bool SharedResourceLayer::stage_request_files(std::uint64_t request_seq,
     it->second = bytes;
   }
   staged_bytes_ += bytes;
+  if (metric_staged_requests_ != nullptr) {
+    metric_staged_requests_->inc();
+    metric_bytes_shared_->inc(bytes);
+    update_usage_metrics();
+  }
   return true;
 }
 
@@ -45,6 +74,10 @@ std::uint64_t SharedResourceLayer::consume_request_files(
     staged_bytes_ -= it->second;
     staged_.erase(it);
   }
+  if (metric_consumed_bytes_ != nullptr) {
+    metric_consumed_bytes_->inc(static_cast<std::uint64_t>(read));
+    update_usage_metrics();
+  }
   return static_cast<std::uint64_t>(read);
 }
 
@@ -56,6 +89,10 @@ std::uint64_t SharedResourceLayer::release_request_files(
   offload_io_.remove(request_path(request_seq));
   staged_bytes_ -= bytes;
   staged_.erase(it);
+  if (metric_released_bytes_ != nullptr) {
+    metric_released_bytes_->inc(bytes);
+    update_usage_metrics();
+  }
   return bytes;
 }
 

@@ -17,6 +17,7 @@
 
 #include "fs/layer.hpp"
 #include "fs/tmpfs.hpp"
+#include "obs/metrics.hpp"
 
 namespace rattrap::core {
 
@@ -65,13 +66,27 @@ class SharedResourceLayer {
   [[nodiscard]] std::uint64_t staged_bytes() const { return staged_bytes_; }
   [[nodiscard]] std::size_t staged_count() const { return staged_.size(); }
 
+  /// Attaches a metrics registry: staging counts into tmpfs.staged.* and
+  /// tmpfs.bytes_shared (total bytes that transited the shared layer),
+  /// rejections into tmpfs.stage_rejected, and tmpfs.used_bytes /
+  /// tmpfs.peak_bytes track the live footprint. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   [[nodiscard]] static std::string request_path(std::uint64_t request_seq);
+  void update_usage_metrics();
 
   std::shared_ptr<const fs::Layer> system_layer_;
   fs::TmpFs offload_io_;
   std::map<std::uint64_t, std::uint64_t> staged_;  ///< request seq → bytes
   std::uint64_t staged_bytes_ = 0;
+  obs::Counter* metric_staged_requests_ = nullptr;
+  obs::Counter* metric_bytes_shared_ = nullptr;
+  obs::Counter* metric_stage_rejected_ = nullptr;
+  obs::Counter* metric_consumed_bytes_ = nullptr;
+  obs::Counter* metric_released_bytes_ = nullptr;
+  obs::Gauge* metric_used_bytes_ = nullptr;
+  obs::Gauge* metric_peak_bytes_ = nullptr;
 };
 
 }  // namespace rattrap::core

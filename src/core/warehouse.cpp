@@ -6,6 +6,18 @@ bool AppWarehouse::hit(std::string_view reference) const {
   return table_.contains(reference);
 }
 
+void AppWarehouse::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_hits_ = metric_misses_ = metric_evictions_ = nullptr;
+    metric_stored_bytes_ = nullptr;
+    return;
+  }
+  metric_hits_ = &metrics->counter("warehouse.hits");
+  metric_misses_ = &metrics->counter("warehouse.misses");
+  metric_evictions_ = &metrics->counter("warehouse.evictions");
+  metric_stored_bytes_ = &metrics->gauge("warehouse.stored_bytes");
+}
+
 bool AppWarehouse::lookup(std::string_view reference) {
   auto it = table_.find(reference);
   if (it != table_.end() && faults_ != nullptr &&
@@ -15,14 +27,20 @@ bool AppWarehouse::lookup(std::string_view reference) {
     stored_ -= it->second.code_bytes;
     ++evictions_;
     ++injected_evictions_;
+    if (metric_evictions_ != nullptr) {
+      metric_evictions_->inc();
+      metric_stored_bytes_->set(static_cast<double>(stored_));
+    }
     table_.erase(it);
     it = table_.end();
   }
   if (it == table_.end()) {
     ++miss_total_;
+    if (metric_misses_ != nullptr) metric_misses_->inc();
     return false;
   }
   ++hit_total_;
+  if (metric_hits_ != nullptr) metric_hits_->inc();
   ++it->second.hits;
   it->second.last_use_seq = ++seq_;
   return true;
@@ -50,6 +68,9 @@ Aid AppWarehouse::store(std::string_view reference,
   stored_ += code_bytes;
   const Aid aid = entry.aid;
   table_.emplace(std::string(reference), std::move(entry));
+  if (metric_stored_bytes_ != nullptr) {
+    metric_stored_bytes_->set(static_cast<double>(stored_));
+  }
   return aid;
 }
 
@@ -89,6 +110,10 @@ void AppWarehouse::evict_lru() {
   }
   stored_ -= victim->second.code_bytes;
   ++evictions_;
+  if (metric_evictions_ != nullptr) {
+    metric_evictions_->inc();
+    metric_stored_bytes_->set(static_cast<double>(stored_));
+  }
   table_.erase(victim);
 }
 

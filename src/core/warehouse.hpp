@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/fault.hpp"
 
 namespace rattrap::core {
@@ -78,6 +79,11 @@ class AppWarehouse {
     return injected_evictions_;
   }
 
+  /// Attaches a metrics registry: lookups count into warehouse.hits /
+  /// warehouse.misses, evictions into warehouse.evictions, and
+  /// warehouse.stored_bytes tracks the cache footprint. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Whole cache table, for cross-component invariant checks (AID→CID
   /// mappings must only reference live containers).
   [[nodiscard]] const std::map<std::string, CacheEntry, std::less<>>&
@@ -98,6 +104,10 @@ class AppWarehouse {
   std::uint64_t evictions_ = 0;
   sim::FaultInjector* faults_ = nullptr;
   std::uint64_t injected_evictions_ = 0;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Gauge* metric_stored_bytes_ = nullptr;
 };
 
 }  // namespace rattrap::core

@@ -8,6 +8,7 @@
 
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -36,11 +37,18 @@ class Connection {
   [[nodiscard]] const TrafficAccount& traffic() const { return traffic_; }
   [[nodiscard]] const Link& link() const { return link_; }
 
+  /// Attaches a metrics registry: handshakes count into net.connects and
+  /// per-message traffic into net.messages.* . nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   const Link& link_;
   sim::Rng rng_;
   TrafficAccount traffic_;
   bool established_ = false;
+  obs::Counter* connects_ = nullptr;
+  obs::Counter* messages_up_ = nullptr;
+  obs::Counter* messages_down_ = nullptr;
 };
 
 }  // namespace rattrap::net

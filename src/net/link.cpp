@@ -30,6 +30,20 @@ const std::vector<LinkConfig>& all_scenarios() {
   return scenarios;
 }
 
+void Link::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    up_transfers_ = up_bytes_ = down_transfers_ = down_bytes_ = nullptr;
+    fault_corrupted_ = fault_delayed_ = nullptr;
+    return;
+  }
+  up_transfers_ = &metrics->counter("net.up.transfers");
+  up_bytes_ = &metrics->counter("net.up.bytes");
+  down_transfers_ = &metrics->counter("net.down.transfers");
+  down_bytes_ = &metrics->counter("net.down.bytes");
+  fault_corrupted_ = &metrics->counter("net.fault.corrupted");
+  fault_delayed_ = &metrics->counter("net.fault.delayed");
+}
+
 sim::SimDuration Link::latency(sim::Rng& rng) const {
   const double base = static_cast<double>(config_.rtt) / 2.0;
   const double jitter =
@@ -61,11 +75,13 @@ sim::SimDuration Link::transfer_time(std::uint64_t bytes, double mbps,
     if (faults_->should_fire(sim::FaultKind::kNetCorrupt)) {
       // Checksum failure at the receiver: the whole transfer is resent.
       ++corrupted_;
+      if (fault_corrupted_ != nullptr) fault_corrupted_->inc();
       total += sim::from_seconds(seconds) + latency(rng);
     }
     if (faults_->should_fire(sim::FaultKind::kNetDelay)) {
       // Latency spike (bufferbloat / radio handover): one-off stall.
       ++delayed_;
+      if (fault_delayed_ != nullptr) fault_delayed_->inc();
       total += faults_->delay_of(sim::FaultKind::kNetDelay);
     }
   }
@@ -74,11 +90,19 @@ sim::SimDuration Link::transfer_time(std::uint64_t bytes, double mbps,
 
 sim::SimDuration Link::upload_time(std::uint64_t bytes,
                                    sim::Rng& rng) const {
+  if (up_transfers_ != nullptr) {
+    up_transfers_->inc();
+    up_bytes_->inc(bytes);
+  }
   return transfer_time(bytes, config_.up_mbps, rng);
 }
 
 sim::SimDuration Link::download_time(std::uint64_t bytes,
                                      sim::Rng& rng) const {
+  if (down_transfers_ != nullptr) {
+    down_transfers_->inc();
+    down_bytes_->inc(bytes);
+  }
   return transfer_time(bytes, config_.down_mbps, rng);
 }
 

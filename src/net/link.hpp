@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/fault.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -48,6 +49,11 @@ class Link {
   /// (kNetCorrupt). nullptr detaches (clean path).
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
+  /// Attaches a metrics registry: transfers count into net.up.* /
+  /// net.down.* and fault perturbations into net.fault.*
+  /// (docs/OBSERVABILITY.md). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Transfers retransmitted due to injected corruption.
   [[nodiscard]] std::uint64_t corrupted_transfers() const {
     return corrupted_;
@@ -78,6 +84,14 @@ class Link {
   sim::FaultInjector* faults_ = nullptr;
   mutable std::uint64_t corrupted_ = 0;
   mutable std::uint64_t delayed_ = 0;
+  // Cached instrument handles (stable for the registry's lifetime);
+  // transfers are const, hence mutable.
+  mutable obs::Counter* up_transfers_ = nullptr;
+  mutable obs::Counter* up_bytes_ = nullptr;
+  mutable obs::Counter* down_transfers_ = nullptr;
+  mutable obs::Counter* down_bytes_ = nullptr;
+  mutable obs::Counter* fault_corrupted_ = nullptr;
+  mutable obs::Counter* fault_delayed_ = nullptr;
 };
 
 }  // namespace rattrap::net

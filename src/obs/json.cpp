@@ -1,0 +1,81 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace rattrap::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 1e15) {
+    return json_number(static_cast<std::int64_t>(value));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  return buf;
+}
+
+std::string json_number(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string json_number(std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace rattrap::obs

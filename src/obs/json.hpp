@@ -1,0 +1,29 @@
+// Minimal JSON emission helpers shared by the metrics and trace
+// exporters.  Output is deterministic: keys are emitted in the order the
+// caller provides (the exporters iterate ordered maps), and numbers are
+// formatted with a fixed printf recipe so two identical runs produce
+// byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rattrap::obs {
+
+/// JSON string literal with escaping, including the surrounding quotes.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trippable decimal for a double ("%.17g" fallback from
+/// "%.15g"); integral values print without an exponent or trailing ".0".
+[[nodiscard]] std::string json_number(double value);
+
+[[nodiscard]] std::string json_number(std::uint64_t value);
+[[nodiscard]] std::string json_number(std::int64_t value);
+
+/// Writes `content` to `path` atomically enough for result files (write
+/// then flush); returns false on any I/O error.
+[[nodiscard]] bool write_text_file(const std::string& path,
+                                   std::string_view content);
+
+}  // namespace rattrap::obs

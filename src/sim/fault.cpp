@@ -188,6 +188,7 @@ bool FaultInjector::should_fire(FaultKind kind, SimTime now) {
       ++rule_fires_[i];
       ++state.fired;
       log_.push_back({kind, now, state.consults});
+      if (fire_observer_) fire_observer_(kind, now);
       return true;
     }
   }
@@ -213,6 +214,7 @@ void FaultInjector::record_scheduled_fire(FaultKind kind, SimTime now) {
   KindState& state = kinds_[static_cast<std::size_t>(kind)];
   ++state.fired;
   log_.push_back({kind, now, state.consults});
+  if (fire_observer_) fire_observer_(kind, now);
 }
 
 std::uint64_t FaultInjector::consults(FaultKind kind) const {

@@ -128,6 +128,14 @@ class FaultInjector {
   /// Records a pump-delivered one-shot fault in the log.
   void record_scheduled_fire(FaultKind kind, SimTime now);
 
+  /// Observer invoked on every fired fault (probabilistic and pump-
+  /// delivered), after the log entry is appended.  The observability
+  /// layer uses it to count faults and annotate the span the fault
+  /// perturbed; observation never influences the schedule.
+  void set_fire_observer(std::function<void(FaultKind, SimTime)> observer) {
+    fire_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
@@ -153,6 +161,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::uint64_t seed_;
   std::function<SimTime()> clock_;
+  std::function<void(FaultKind, SimTime)> fire_observer_;
   std::array<KindState, kFaultKindCount> kinds_;
   std::vector<std::uint32_t> rule_fires_;  ///< per-rule budget spent
   std::vector<FiredFault> log_;

@@ -1,0 +1,195 @@
+// Observability layer under the deterministic simulator: metric
+// coverage, run-to-run stability, span nesting/ordering and fault
+// annotation (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap {
+namespace {
+
+std::vector<workloads::OffloadRequest> small_stream(std::size_t count = 12,
+                                                    std::uint64_t seed = 7) {
+  workloads::StreamConfig config;
+  config.kind = workloads::Kind::kOcr;
+  config.count = count;
+  config.devices = 3;
+  config.mean_gap = 5 * sim::kSecond;
+  config.size_class = workloads::default_size_class(config.kind);
+  config.seed = seed;
+  return workloads::make_stream(config);
+}
+
+TEST(Observability, MetricsCoverTheHeadlineQuantities) {
+  const auto stream = small_stream();
+  core::Platform platform(
+      core::make_config(core::PlatformKind::kRattrap));
+  const auto outcomes = platform.run(stream);
+  const obs::MetricsRegistry& m = platform.metrics();
+
+  const obs::Counter* completed = m.find_counter("sessions.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value(), outcomes.size());
+
+  // Dispatcher affinity: every request assigned, hit rate in [0, 1].
+  const obs::Counter* assigns = m.find_counter("dispatcher.assign.total");
+  ASSERT_NE(assigns, nullptr);
+  EXPECT_GE(assigns->value(), outcomes.size());
+  const obs::Gauge* hit_rate = m.find_gauge("dispatcher.affinity.hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  EXPECT_GE(hit_rate->value(), 0.0);
+  EXPECT_LE(hit_rate->value(), 1.0);
+
+  // Provision-vs-reuse latency split: every clean session lands in
+  // exactly one of the two histograms, and every boot is timed.
+  const obs::Histogram* provision =
+      m.find_histogram("session.prep.provision_ms");
+  const obs::Histogram* reuse = m.find_histogram("session.prep.reuse_ms");
+  ASSERT_NE(provision, nullptr);
+  ASSERT_NE(reuse, nullptr);
+  EXPECT_EQ(provision->count() + reuse->count(), outcomes.size());
+  EXPECT_GT(provision->count(), 0u);
+  EXPECT_GT(provision->quantile(0.5), 0.0);
+  const obs::Histogram* boots = m.find_histogram("env.provision_ms");
+  ASSERT_NE(boots, nullptr);
+  const obs::Counter* provisioned = m.find_counter("env.provisioned");
+  ASSERT_NE(provisioned, nullptr);
+  EXPECT_EQ(boots->count(), provisioned->value());
+
+  // Sharing Offloading I/O and the network path saw traffic.
+  const obs::Counter* shared_bytes = m.find_counter("tmpfs.bytes_shared");
+  ASSERT_NE(shared_bytes, nullptr);
+  EXPECT_GT(shared_bytes->value(), 0u);
+  const obs::Counter* up = m.find_counter("net.up.transfers");
+  ASSERT_NE(up, nullptr);
+  EXPECT_GT(up->value(), 0u);
+}
+
+TEST(Observability, SameSeedRunsProduceIdenticalOutput) {
+  const auto run = [](std::string* metrics, std::string* trace) {
+    const auto stream = small_stream();
+    core::Platform platform(
+        core::make_config(core::PlatformKind::kRattrap));
+    platform.trace().enable();
+    platform.run(stream);
+    *metrics = platform.metrics().to_json();
+    *trace = platform.trace().to_chrome_json();
+  };
+  std::string metrics_a, trace_a, metrics_b, trace_b;
+  run(&metrics_a, &trace_a);
+  run(&metrics_b, &trace_b);
+  EXPECT_EQ(metrics_a, metrics_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+TEST(Observability, SpansNestAndOrderWithinEachSession) {
+  const auto stream = small_stream(8);
+  core::Platform platform(
+      core::make_config(core::PlatformKind::kRattrap));
+  platform.trace().enable();
+  const auto outcomes = platform.run(stream);
+
+  // Group spans by track (track = sequence + 1; track 0 is platform).
+  std::map<std::uint64_t, const obs::SpanRecord*> roots;
+  std::map<std::uint64_t, std::vector<const obs::SpanRecord*>> phases;
+  for (const obs::SpanRecord& span : platform.trace().spans()) {
+    ASSERT_FALSE(span.open()) << span.name << " left open";
+    ASSERT_GE(span.end, span.start);
+    if (span.category == "session") {
+      EXPECT_EQ(roots.count(span.track), 0u);
+      roots[span.track] = &span;
+    } else if (span.category == "phase") {
+      phases[span.track].push_back(&span);
+    }
+  }
+  EXPECT_EQ(roots.size(), outcomes.size());
+
+  for (const auto& [track, root] : roots) {
+    const auto it = phases.find(track);
+    ASSERT_NE(it, phases.end()) << "session with no phase spans";
+    std::vector<const obs::SpanRecord*> ordered = it->second;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                return a->start < b->start;
+              });
+    // Nesting: every phase inside the root session span.
+    for (const obs::SpanRecord* phase : ordered) {
+      EXPECT_GE(phase->start, root->start);
+      EXPECT_LE(phase->end, root->end);
+    }
+    // Ordering: phases never overlap, and a clean offload walks the
+    // canonical sequence end to end.
+    for (std::size_t i = 1; i < ordered.size(); ++i) {
+      EXPECT_GE(ordered[i]->start, ordered[i - 1]->end)
+          << ordered[i - 1]->name << " overlaps " << ordered[i]->name;
+    }
+    EXPECT_EQ(ordered.front()->name, "connect");
+    EXPECT_EQ(ordered.back()->name, "teardown");
+    const auto has = [&ordered](const char* name) {
+      return std::any_of(ordered.begin(), ordered.end(),
+                         [name](const obs::SpanRecord* s) {
+                           return s->name == name;
+                         });
+    };
+    EXPECT_TRUE(has("dispatch"));
+    EXPECT_TRUE(has("provision") || has("reuse"));
+    EXPECT_TRUE(has("transfer"));
+    EXPECT_TRUE(has("execute"));
+  }
+}
+
+TEST(Observability, FaultsAnnotateTheSpansTheyPerturb) {
+  auto config = core::make_config(core::PlatformKind::kRattrap);
+  const auto plan = sim::FaultPlan::parse("net.corrupt:p=1,max=3");
+  ASSERT_TRUE(plan.has_value());
+  config.fault_plan = *plan;
+  core::Platform platform(std::move(config));
+  platform.trace().enable();
+  platform.run(small_stream(8));
+
+  ASSERT_NE(platform.fault_injector(), nullptr);
+  const std::uint64_t fired =
+      platform.fault_injector()->fired_count(sim::FaultKind::kNetCorrupt);
+  EXPECT_EQ(fired, 3u);
+
+  // Fired faults show up as counters...
+  const obs::Counter* counter =
+      platform.metrics().find_counter("faults.fired.net.corrupt");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), fired);
+
+  // ...as instant events on the perturbed session's track...
+  std::size_t instants = 0;
+  std::size_t annotated = 0;
+  for (const obs::SpanRecord& span : platform.trace().spans()) {
+    if (span.instant && span.name == "fault:net.corrupt") {
+      EXPECT_GT(span.track, 0u) << "fault fired outside session context";
+      ++instants;
+    }
+    for (const auto& [key, value] : span.args) {
+      if (key == "fault.net.corrupt" && !span.instant) ++annotated;
+    }
+  }
+  EXPECT_EQ(instants, fired);
+  // ...and as args on both the phase and the root span they hit.
+  EXPECT_GE(annotated, 2u);
+}
+
+TEST(Observability, DisabledTraceRecordsNothing) {
+  const auto stream = small_stream(6);
+  core::Platform platform(
+      core::make_config(core::PlatformKind::kRattrap));
+  platform.run(stream);
+  EXPECT_EQ(platform.trace().span_count(), 0u);
+  // Metrics are always on regardless.
+  EXPECT_GT(platform.metrics().size(), 0u);
+}
+
+}  // namespace
+}  // namespace rattrap

@@ -1,0 +1,103 @@
+// TraceRecorder: span lifecycle, annotations and the Chrome trace-event
+// JSON export.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rattrap::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledRecorderIsANoOp) {
+  TraceRecorder t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.begin(1, "session", "session", 0), kNoSpan);
+  EXPECT_EQ(t.instant(1, "fault", "fault", 5), kNoSpan);
+  t.end(kNoSpan, 10);
+  t.annotate(kNoSpan, "key", std::uint64_t{1});
+  EXPECT_EQ(t.span_count(), 0u);
+  EXPECT_EQ(t.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(TraceRecorder, SpanLifecycle) {
+  TraceRecorder t;
+  t.enable();
+  const SpanId root = t.begin(3, "session", "session", 100);
+  ASSERT_NE(root, kNoSpan);
+  const SpanRecord* span = t.find(root);
+  ASSERT_NE(span, nullptr);
+  EXPECT_TRUE(span->open());
+  EXPECT_EQ(span->track, 3u);
+  t.end(root, 250);
+  EXPECT_FALSE(span->open());
+  EXPECT_EQ(span->end, 250);
+  // Ending again is a no-op.
+  t.end(root, 999);
+  EXPECT_EQ(span->end, 250);
+}
+
+TEST(TraceRecorder, EndNeverPrecedesStart) {
+  TraceRecorder t;
+  t.enable();
+  const SpanId id = t.begin(1, "phase", "phase", 100);
+  t.end(id, 50);  // clock can't run backwards in the export
+  EXPECT_EQ(t.find(id)->end, 100);
+}
+
+TEST(TraceRecorder, AnnotateLastWriteWins) {
+  TraceRecorder t;
+  t.enable();
+  const SpanId id = t.begin(1, "phase", "phase", 0);
+  t.annotate(id, "attempts", std::uint64_t{1});
+  t.annotate(id, "attempts", std::uint64_t{2});
+  t.annotate(id, "app", std::string_view("ocr"));
+  const SpanRecord* span = t.find(id);
+  ASSERT_EQ(span->args.size(), 2u);
+  EXPECT_EQ(span->args[0].first, "attempts");
+  EXPECT_EQ(span->args[0].second, "2");
+  EXPECT_EQ(span->args[1].second, "\"ocr\"");
+}
+
+TEST(TraceRecorder, ActiveSpanContext) {
+  TraceRecorder t;
+  t.enable();
+  EXPECT_EQ(t.active(), kNoSpan);
+  const SpanId id = t.begin(1, "phase", "phase", 0);
+  t.set_active(id);
+  EXPECT_EQ(t.active(), id);
+  t.set_active(kNoSpan);
+  EXPECT_EQ(t.active(), kNoSpan);
+}
+
+TEST(TraceRecorder, CloseOpenSpansClosesOnlyOpenOnes) {
+  TraceRecorder t;
+  t.enable();
+  const SpanId a = t.begin(1, "a", "phase", 10);
+  const SpanId b = t.begin(1, "b", "phase", 20);
+  t.end(a, 30);
+  t.close_open_spans(100);
+  EXPECT_EQ(t.find(a)->end, 30);
+  EXPECT_EQ(t.find(b)->end, 100);
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  TraceRecorder t;
+  t.enable();
+  const SpanId root = t.begin(2, "session", "session", 1000);
+  t.annotate(root, "cache_hit", std::uint64_t{1});
+  t.end(root, 4000);
+  t.instant(2, "fault:net.corrupt", "fault", 2500);
+  const std::string json = t.to_chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"session\",\"cat\":\"session\","
+                      "\"ph\":\"X\",\"dur\":3000,\"ts\":1000,"
+                      "\"pid\":1,\"tid\":2,\"args\":{\"cache_hit\":1}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"fault:net.corrupt\",\"cat\":\"fault\","
+                      "\"ph\":\"i\",\"s\":\"t\",\"ts\":2500,"
+                      "\"pid\":1,\"tid\":2}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rattrap::obs

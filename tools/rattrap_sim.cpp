@@ -15,6 +15,7 @@
 
 #include "core/platform.hpp"
 #include "core/report.hpp"
+#include "obs/json.hpp"
 #include "trace/livelab.hpp"
 #include "workloads/generator.hpp"
 
@@ -36,6 +37,9 @@ void usage() {
       "  --adaptive       client-side offloading decision\n"
       "  --trace FILE     replay arrivals from a CSV trace (user,ts_us)\n"
       "  --csv            machine-readable per-request output\n"
+      "  --faults SPEC    fault plan (docs/FAULTS.md spec string)\n"
+      "  --metrics-out FILE   write platform metrics as JSON\n"
+      "  --trace-out FILE     write session spans as Chrome trace JSON\n"
       "  --help");
 }
 
@@ -51,6 +55,9 @@ struct Options {
   bool adaptive = false;
   bool csv = false;
   std::string trace_file;
+  std::string fault_spec;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 bool parse(int argc, char** argv, Options& options) {
@@ -122,6 +129,18 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.trace_file = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.fault_spec = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.trace_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -179,8 +198,33 @@ int main(int argc, char** argv) {
                         options.seed);
   config.warm_pool = options.warm_pool;
   config.adaptive_offloading = options.adaptive;
+  if (!options.fault_spec.empty()) {
+    const auto plan = sim::FaultPlan::parse(options.fault_spec);
+    if (!plan) {
+      std::fprintf(stderr, "malformed fault spec '%s'\n",
+                   options.fault_spec.c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+  }
   core::Platform platform(config);
+  if (!options.trace_out.empty()) platform.trace().enable();
   const auto outcomes = platform.run(stream);
+
+  if (!options.metrics_out.empty() &&
+      !obs::write_text_file(options.metrics_out,
+                            platform.metrics().to_json())) {
+    std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                 options.metrics_out.c_str());
+    return 1;
+  }
+  if (!options.trace_out.empty() &&
+      !obs::write_text_file(options.trace_out,
+                            platform.trace().to_chrome_json())) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n",
+                 options.trace_out.c_str());
+    return 1;
+  }
 
   if (options.csv) {
     std::puts(
