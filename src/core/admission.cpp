@@ -1,0 +1,178 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+
+namespace rattrap::core {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kAccessDenied:
+      return "access_denied";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kRateLimited:
+      return "rate_limited";
+    case RejectReason::kOverloaded:
+      return "overloaded";
+    case RejectReason::kCapacity:
+      return "capacity";
+    case RejectReason::kConnectFailed:
+      return "connect_failed";
+    case RejectReason::kRedispatchExhausted:
+      return "redispatch_exhausted";
+    case RejectReason::kStranded:
+      return "stranded";
+  }
+  return "?";
+}
+
+bool TokenBucket::try_take(sim::SimTime now) {
+  if (now > last_refill_) {
+    tokens_ = std::min(
+        burst_, tokens_ + rate_per_s_ * sim::to_seconds(now - last_refill_));
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         const MonitorScheduler& monitor,
+                                         std::uint32_t server_cores)
+    : config_(config),
+      monitor_(monitor),
+      max_in_service_(config.max_in_service > 0 ? config.max_in_service
+                                                : 4 * server_cores),
+      queue_capacity_(config.queue_capacity) {}
+
+void AdmissionController::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_admitted_ = metric_enqueued_ = metric_rejected_queue_full_ =
+        metric_rejected_rate_limited_ = metric_rejected_overloaded_ = nullptr;
+    metric_queue_depth_ = metric_queue_peak_ = metric_backpressure_ = nullptr;
+    metric_queue_wait_ms_ = metric_queue_depth_samples_ = nullptr;
+    return;
+  }
+  metric_admitted_ = &metrics->counter("admission.admitted");
+  metric_enqueued_ = &metrics->counter("admission.enqueued");
+  metric_rejected_queue_full_ =
+      &metrics->counter("admission.rejected.queue_full");
+  metric_rejected_rate_limited_ =
+      &metrics->counter("admission.rejected.rate_limited");
+  metric_rejected_overloaded_ =
+      &metrics->counter("admission.rejected.overloaded");
+  metric_queue_depth_ = &metrics->gauge("admission.queue.depth");
+  metric_queue_peak_ = &metrics->gauge("admission.queue.peak");
+  metric_backpressure_ = &metrics->gauge("admission.backpressure");
+  metric_queue_wait_ms_ = &metrics->histogram("admission.queue.wait_ms");
+  metric_queue_depth_samples_ = &metrics->histogram(
+      "admission.queue.depth_samples", obs::queue_depth_buckets());
+}
+
+AdmissionController::Verdict AdmissionController::offer(
+    const std::string& tenant, sim::SimTime now) {
+  if (config_.tenant_rate_per_s > 0) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      const double burst = config_.tenant_burst > 0
+                               ? config_.tenant_burst
+                               : std::max(1.0, config_.tenant_rate_per_s);
+      it = buckets_
+               .emplace(tenant,
+                        TokenBucket(config_.tenant_rate_per_s, burst))
+               .first;
+    }
+    if (!it->second.try_take(now)) {
+      ++rejected_;
+      if (metric_rejected_rate_limited_ != nullptr) {
+        metric_rejected_rate_limited_->inc();
+      }
+      return Verdict::kRejectRateLimited;
+    }
+  }
+  if (config_.shed_utilization > 0 &&
+      monitor_.load_fraction() >= config_.shed_utilization) {
+    ++rejected_;
+    if (metric_rejected_overloaded_ != nullptr) {
+      metric_rejected_overloaded_->inc();
+    }
+    return Verdict::kRejectOverloaded;
+  }
+  if (in_service_ < max_in_service_) {
+    ++in_service_;
+    ++admitted_;
+    if (metric_admitted_ != nullptr) metric_admitted_->inc();
+    update_gauges();
+    return Verdict::kAdmit;
+  }
+  if (queue_depth_ < queue_capacity_) {
+    ++queue_depth_;
+    if (metric_enqueued_ != nullptr) metric_enqueued_->inc();
+    if (metric_queue_depth_samples_ != nullptr) {
+      metric_queue_depth_samples_->observe(
+          static_cast<double>(queue_depth_));
+    }
+    if (metric_queue_peak_ != nullptr) {
+      metric_queue_peak_->set(std::max(
+          metric_queue_peak_->value(), static_cast<double>(queue_depth_)));
+    }
+    update_gauges();
+    return Verdict::kEnqueue;
+  }
+  ++rejected_;
+  if (metric_rejected_queue_full_ != nullptr) {
+    metric_rejected_queue_full_->inc();
+  }
+  return Verdict::kRejectQueueFull;
+}
+
+void AdmissionController::release() {
+  if (in_service_ > 0) --in_service_;
+  update_gauges();
+}
+
+void AdmissionController::start_queued(sim::SimDuration waited) {
+  if (queue_depth_ > 0) --queue_depth_;
+  ++in_service_;
+  ++admitted_;
+  if (metric_admitted_ != nullptr) metric_admitted_->inc();
+  if (metric_queue_wait_ms_ != nullptr) {
+    metric_queue_wait_ms_->observe(sim::to_millis(waited));
+  }
+  update_gauges();
+}
+
+void AdmissionController::abandon_queued() {
+  if (queue_depth_ > 0) --queue_depth_;
+  update_gauges();
+}
+
+double AdmissionController::backpressure() const {
+  if (!config_.enabled) return 0.0;
+  double bp = 0.0;
+  if (queue_capacity_ > 0) {
+    bp = static_cast<double>(queue_depth_) /
+         static_cast<double>(queue_capacity_);
+  }
+  // Utilization component: 0 at the shed threshold's lower half, 1 at
+  // the threshold itself (or at 1.0× cores when shedding is off).
+  const double threshold =
+      config_.shed_utilization > 0 ? config_.shed_utilization : 1.0;
+  const double load = monitor_.load_fraction() / threshold;
+  if (load > 0.5) bp = std::max(bp, std::min(1.0, 2.0 * (load - 0.5)));
+  return std::clamp(bp, 0.0, 1.0);
+}
+
+void AdmissionController::update_gauges() {
+  if (metric_queue_depth_ != nullptr) {
+    metric_queue_depth_->set(static_cast<double>(queue_depth_));
+  }
+  if (metric_backpressure_ != nullptr) {
+    metric_backpressure_->set(backpressure());
+  }
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,175 @@
+// Admission control for the Dispatcher front door.
+//
+// The paper's density argument only holds while the server is protected:
+// CloneCloud-style offloading collapses precisely when the cloud side
+// saturates, so a production Dispatcher must bound what it accepts
+// instead of letting an unbounded session backlog melt the host.  Three
+// mechanisms, all deterministic:
+//
+//   * a bounded accept queue — sessions the server cannot start yet wait
+//     in FIFO order; when the queue is full, new arrivals are shed;
+//   * per-tenant token buckets — each application (the tenant sharing
+//     the platform) is limited to a sustained request rate plus a burst
+//     allowance, so one chatty app cannot starve the rest;
+//   * utilization-based load shedding — when the Monitor reports the
+//     compute plane saturated beyond a threshold, arrivals are rejected
+//     outright with a typed reply the device can back off on.
+//
+// The controller also derives a backpressure signal in [0, 1] from queue
+// occupancy and Monitor utilization; closed-loop load generators stretch
+// their think times by it (docs/LOADGEN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::core {
+
+/// Why a session ended without executing (the typed reject reply).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,           ///< not rejected
+  kAccessDenied,       ///< Request-based Access Controller block (§IV-E)
+  kQueueFull,          ///< bounded accept queue at capacity
+  kRateLimited,        ///< tenant token bucket empty
+  kOverloaded,         ///< utilization shed threshold exceeded
+  kCapacity,           ///< environment provisioning failed (host full)
+  kConnectFailed,      ///< connection-attempt budget exhausted
+  kRedispatchExhausted,///< crashed-environment re-dispatch budget spent
+  kStranded,           ///< still in flight when the simulation drained
+};
+
+[[nodiscard]] const char* to_string(RejectReason reason);
+
+struct AdmissionConfig {
+  /// Master switch; disabled keeps the pre-admission behaviour (every
+  /// connected session dispatches immediately).
+  bool enabled = false;
+
+  /// Sessions dispatched concurrently (in service). 0 derives the limit
+  /// from the calibration: 4 × server cores.
+  std::uint32_t max_in_service = 0;
+
+  /// Bounded accept queue capacity; arrivals beyond it are shed. 0
+  /// disables queueing entirely (admit-or-reject).
+  std::uint32_t queue_capacity = 64;
+
+  /// Per-tenant sustained request rate (req/s); 0 disables rate
+  /// limiting.
+  double tenant_rate_per_s = 0.0;
+
+  /// Token bucket capacity (burst allowance); 0 defaults to
+  /// max(1, tenant_rate_per_s).
+  double tenant_burst = 0.0;
+
+  /// Shed arrivals while Monitor utilization (running jobs / cores)
+  /// meets or exceeds this fraction; 0 disables shedding.  Values > 1
+  /// tolerate oversubscription before shedding.
+  double shed_utilization = 0.0;
+};
+
+/// Deterministic token bucket over simulated time.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst)
+      : rate_per_s_(rate_per_s), burst_(burst), tokens_(burst) {}
+
+  /// Refills by elapsed virtual time and takes one token if available.
+  bool try_take(sim::SimTime now);
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_s_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_refill_ = 0;
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict : std::uint8_t {
+    kAdmit = 0,
+    kEnqueue,
+    kRejectQueueFull,
+    kRejectRateLimited,
+    kRejectOverloaded,
+  };
+
+  AdmissionController(const AdmissionConfig& config,
+                      const MonitorScheduler& monitor,
+                      std::uint32_t server_cores);
+
+  /// Decides one arrival from `tenant` at virtual time `now`.  kAdmit
+  /// and kEnqueue update in-service / queue-depth accounting; the caller
+  /// owns the actual queued session objects and must pair every kAdmit
+  /// with release() and every kEnqueue with either start_queued() or
+  /// abandon_queued().
+  Verdict offer(const std::string& tenant, sim::SimTime now);
+
+  /// An admitted (in-service) session finished; frees its slot.
+  void release();
+
+  /// True when a dispatch slot is free and the accept queue is
+  /// non-empty — the caller should pop its oldest queued session and
+  /// call start_queued() for it.
+  [[nodiscard]] bool can_start_queued() const {
+    return queue_depth_ > 0 && in_service_ < max_in_service_;
+  }
+
+  /// Moves one queued session into service (queue → in-service).
+  void start_queued(sim::SimDuration waited);
+
+  /// A queued session evaporated without starting (end-of-run drain).
+  void abandon_queued();
+
+  /// Backpressure in [0, 1]: max of queue occupancy and how far Monitor
+  /// utilization overshoots the shed threshold (or 1.0× cores when
+  /// shedding is off).  0 when admission control is disabled.
+  [[nodiscard]] double backpressure() const;
+
+  [[nodiscard]] std::uint32_t in_service() const { return in_service_; }
+  [[nodiscard]] std::uint32_t queue_depth() const { return queue_depth_; }
+  [[nodiscard]] std::uint32_t queue_capacity() const {
+    return queue_capacity_;
+  }
+  [[nodiscard]] std::uint32_t max_in_service() const {
+    return max_in_service_;
+  }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+  /// Attaches a metrics registry (admission.* instruments,
+  /// docs/LOADGEN.md). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  void update_gauges();
+
+  AdmissionConfig config_;
+  const MonitorScheduler& monitor_;
+  std::uint32_t max_in_service_;
+  std::uint32_t queue_capacity_;
+  std::uint32_t in_service_ = 0;
+  std::uint32_t queue_depth_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::map<std::string, TokenBucket> buckets_;  ///< by tenant (app id)
+
+  obs::Counter* metric_admitted_ = nullptr;
+  obs::Counter* metric_enqueued_ = nullptr;
+  obs::Counter* metric_rejected_queue_full_ = nullptr;
+  obs::Counter* metric_rejected_rate_limited_ = nullptr;
+  obs::Counter* metric_rejected_overloaded_ = nullptr;
+  obs::Gauge* metric_queue_depth_ = nullptr;
+  obs::Gauge* metric_queue_peak_ = nullptr;
+  obs::Gauge* metric_backpressure_ = nullptr;
+  obs::Histogram* metric_queue_wait_ms_ = nullptr;
+  obs::Histogram* metric_queue_depth_samples_ = nullptr;
+};
+
+}  // namespace rattrap::core

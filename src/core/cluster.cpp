@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/parallel.hpp"
+
 namespace rattrap::core {
 
 Cluster::Cluster(PlatformConfig config, std::size_t servers) {
@@ -31,9 +33,13 @@ std::vector<RequestOutcome> Cluster::run(
     original_sequence[shard].push_back(request.sequence);
   }
 
+  // Servers never interact, so their simulations fan out across hardware
+  // threads (kernel executions share the thread-safe process-wide memo).
+  // Each shard writes a disjoint set of `merged` slots, and the merge is
+  // order-independent — the result is bit-identical to the serial loop.
   std::vector<RequestOutcome> merged(stream.size());
-  for (std::size_t shard = 0; shard < n; ++shard) {
-    if (shards[shard].empty()) continue;
+  sim::parallel_for(n, [&](std::size_t shard) {
+    if (shards[shard].empty()) return;
     auto outcomes = servers_[shard]->run(shards[shard]);
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       RequestOutcome outcome = std::move(outcomes[i]);
@@ -45,7 +51,7 @@ std::vector<RequestOutcome> Cluster::run(
           static_cast<std::uint32_t>(shard);
       merged[original] = std::move(outcome);
     }
-  }
+  });
 
   stats_.environments = 0;
   for (const auto& server : servers_) {

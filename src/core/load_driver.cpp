@@ -1,0 +1,136 @@
+#include "core/load_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "workloads/workload.hpp"
+
+namespace rattrap::core {
+
+namespace {
+
+std::vector<workloads::TaskSpec> make_variants(
+    const LoadDriverConfig& config) {
+  const std::uint32_t count = std::max<std::uint32_t>(1, config.task_variants);
+  const std::uint32_t size_class =
+      config.size_class > 0 ? config.size_class
+                            : workloads::default_size_class(config.kind);
+  sim::Rng task_rng = sim::Rng(config.loadgen.seed).fork("loadgen-tasks");
+  const auto workload = workloads::make_workload(config.kind);
+  std::vector<workloads::TaskSpec> variants;
+  variants.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    variants.push_back(workload->make_task(task_rng, size_class));
+  }
+  return variants;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+}  // namespace
+
+std::vector<workloads::OffloadRequest> make_load_stream(
+    const LoadDriverConfig& config) {
+  const std::vector<sim::Arrival> arrivals =
+      sim::make_arrivals(config.loadgen);
+  const std::vector<workloads::TaskSpec> variants = make_variants(config);
+  std::vector<workloads::OffloadRequest> stream;
+  stream.reserve(arrivals.size());
+  for (const sim::Arrival& arrival : arrivals) {
+    workloads::OffloadRequest request;
+    request.sequence = arrival.sequence;
+    request.device_id = arrival.device_id;
+    request.task = variants[arrival.sequence % variants.size()];
+    request.arrival = arrival.at;
+    stream.push_back(request);
+  }
+  return stream;
+}
+
+LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
+  if (config.loadgen.arrival != sim::ArrivalProcess::kClosedLoop) {
+    return summarize_load(platform.run(make_load_stream(config)));
+  }
+
+  // Closed loop: the seed wave is materialized; every follow-up request
+  // is born inside the completion observer, after the issuing device's
+  // think time.  Backpressure at completion instant stretches the think
+  // draw, which is the graceful-degradation feedback path.
+  const std::vector<workloads::TaskSpec> variants = make_variants(config);
+  sim::ClosedLoopSource source(config.loadgen);
+  platform.begin_run();
+  platform.set_completion_observer([&platform, &source,
+                                    &variants](const RequestOutcome& done) {
+    if (source.exhausted()) return;
+    const std::uint64_t sequence = source.take();
+    const sim::SimDuration think =
+        source.think(done.request.device_id, platform.backpressure());
+    workloads::OffloadRequest next;
+    next.sequence = sequence;
+    next.device_id = done.request.device_id;
+    next.task = variants[sequence % variants.size()];
+    next.arrival = platform.server().simulator().now() + think;
+    platform.submit(next);
+  });
+  for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
+    const std::uint64_t sequence = source.take();
+    assert(sequence == arrival.sequence);
+    workloads::OffloadRequest request;
+    request.sequence = sequence;
+    request.device_id = arrival.device_id;
+    request.task = variants[sequence % variants.size()];
+    request.arrival = arrival.at;
+    platform.submit(request);
+  }
+  std::vector<RequestOutcome> outcomes = platform.finish_run();
+  platform.set_completion_observer({});
+  return summarize_load(outcomes);
+}
+
+LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
+  LoadSummary summary;
+  summary.offered = outcomes.size();
+  std::vector<double> responses_ms;
+  responses_ms.reserve(outcomes.size());
+  double queue_wait_ms = 0;
+  sim::SimTime span_end = 0;
+  for (const RequestOutcome& outcome : outcomes) {
+    span_end = std::max(span_end, outcome.completed_at);
+    if (outcome.rejected) {
+      ++summary.rejected;
+      ++summary.rejects_by_reason[outcome.reject_reason];
+      if (outcome.stranded) ++summary.stranded;
+      continue;
+    }
+    ++summary.completed;
+    responses_ms.push_back(sim::to_millis(outcome.response));
+    queue_wait_ms += sim::to_millis(outcome.queue_wait);
+  }
+  summary.duration_s = sim::to_seconds(span_end);
+  if (summary.duration_s > 0) {
+    summary.offered_rate_per_s =
+        static_cast<double>(summary.offered) / summary.duration_s;
+    summary.goodput_per_s =
+        static_cast<double>(summary.completed) / summary.duration_s;
+  }
+  if (!responses_ms.empty()) {
+    std::sort(responses_ms.begin(), responses_ms.end());
+    double sum = 0;
+    for (const double r : responses_ms) sum += r;
+    summary.mean_ms = sum / static_cast<double>(responses_ms.size());
+    summary.p50_ms = percentile(responses_ms, 0.50);
+    summary.p95_ms = percentile(responses_ms, 0.95);
+    summary.p99_ms = percentile(responses_ms, 0.99);
+    summary.mean_queue_wait_ms =
+        queue_wait_ms / static_cast<double>(responses_ms.size());
+  }
+  return summary;
+}
+
+}  // namespace rattrap::core

@@ -1,0 +1,77 @@
+// Cluster-scale load driver: adapts the sim-layer arrival engine
+// (sim/loadgen.hpp) into offloading requests against a core::Platform.
+//
+// Open-loop runs (Poisson / MMPP) materialize the whole arrival schedule
+// up front and replay it through Platform::run().  Closed-loop runs use
+// the incremental begin_run()/submit()/finish_run() API: a completion
+// observer draws the device's next think time — stretched by the
+// platform's admission backpressure signal — and submits the follow-up
+// request onto the same event queue, so the feedback loop is exactly as
+// deterministic as a replayed stream (docs/LOADGEN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "sim/loadgen.hpp"
+#include "workloads/generator.hpp"
+
+namespace rattrap::core {
+
+struct LoadDriverConfig {
+  sim::LoadGenConfig loadgen;
+
+  /// Workload every synthetic request runs.
+  workloads::Kind kind = workloads::Kind::kLinpack;
+
+  /// Input scale; 0 uses the paper-calibrated default for `kind`.
+  std::uint32_t size_class = 0;
+
+  /// Distinct task instances cycled across requests.  Tasks are executed
+  /// for real to obtain work units, so a 10^5-request run must reuse a
+  /// small variant pool (the process-wide memo makes repeats free).
+  std::uint32_t task_variants = 8;
+};
+
+/// What one load-generation run produced, reduced to the numbers the
+/// saturation bench sweeps (goodput curve, tail latency, shed classes).
+struct LoadSummary {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;   ///< all reject classes, stranded included
+  std::size_t stranded = 0;
+  std::map<RejectReason, std::size_t> rejects_by_reason;
+
+  double duration_s = 0;          ///< virtual span, first arrival → drain
+  double offered_rate_per_s = 0;  ///< offered / duration
+  double goodput_per_s = 0;       ///< completed / duration
+
+  // Response-time distribution of *completed* requests (ms).
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+
+  /// Mean accept-queue wait across completed requests (ms).
+  double mean_queue_wait_ms = 0;
+};
+
+/// Materialized open-loop request stream for `config` (also the seed wave
+/// of a closed-loop run).  Deterministic in the config; tasks cycle
+/// through the variant pool.
+[[nodiscard]] std::vector<workloads::OffloadRequest> make_load_stream(
+    const LoadDriverConfig& config);
+
+/// Drives `platform` with the configured load to completion and reduces
+/// the outcomes.  Dispatches on config.loadgen.arrival: open-loop models
+/// replay a materialized schedule; kClosedLoop closes the loop through a
+/// completion observer (installed for the duration of the call).
+LoadSummary run_load(Platform& platform, const LoadDriverConfig& config);
+
+/// Reduces an outcome vector to a LoadSummary (exposed for tests).
+[[nodiscard]] LoadSummary summarize_load(
+    const std::vector<RequestOutcome>& outcomes);
+
+}  // namespace rattrap::core

@@ -59,6 +59,15 @@ class MonitorScheduler {
   }
   [[nodiscard]] std::uint32_t running_jobs() const { return running_jobs_; }
 
+  /// Instantaneous compute-plane utilization: running jobs per core.
+  /// > 1 means the processor-sharing model is stretching every job —
+  /// the saturation signal admission control sheds on.
+  [[nodiscard]] double load_fraction() const {
+    return cores_ > 0 ? static_cast<double>(running_jobs_) /
+                            static_cast<double>(cores_)
+                      : 0.0;
+  }
+
   /// Attaches a metrics registry: job slots maintain monitor.running_jobs
   /// / monitor.peak_jobs and crash detection counts into
   /// monitor.crashes.* . nullptr detaches.

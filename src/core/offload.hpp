@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/admission.hpp"
 #include "device/power.hpp"
 #include "net/message.hpp"
 #include "sim/time.hpp"
@@ -49,8 +50,15 @@ struct RequestOutcome {
   /// The Request-based Access Controller refused this request (its app
   /// accumulated too many permission violations and is blocked, §IV-E).
   /// Under fault injection, also requests rejected after exhausting
-  /// their retry budgets (connection drops, crashed environments).
+  /// their retry budgets (connection drops, crashed environments); under
+  /// admission control, shed load.
   bool rejected = false;
+  /// Why the session was rejected (kNone while rejected == false); the
+  /// code the typed reject reply carries back to the device.
+  RejectReason reject_reason = RejectReason::kNone;
+  /// Time spent waiting in the bounded accept queue before dispatch
+  /// (admission control; contained in runtime_preparation).
+  sim::SimDuration queue_wait = 0;
 
   // -- Fault-injection bookkeeping -------------------------------------
 

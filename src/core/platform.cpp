@@ -104,6 +104,13 @@ struct Platform::Session {
   bool computing = false;   ///< holds a Monitor job slot
   bool done = false;        ///< outcome recorded (completed or rejected)
 
+  // Admission-control state (docs/LOADGEN.md).
+  bool admitted = false;    ///< holds an in-service slot
+  bool queued = false;      ///< waiting in the bounded accept queue
+  sim::SimTime enqueued_at = 0;
+  sim::SimDuration queue_wait = 0;
+  sim::SimDuration pending_lead = 0;  ///< dispatch lead cost when popped
+
   // Observability state (docs/OBSERVABILITY.md). Spans live on track
   // `request.sequence + 1`; track 0 is the platform itself.
   obs::SpanId span_session = obs::kNoSpan;  ///< root "session" span
@@ -198,6 +205,19 @@ Platform::Platform(PlatformConfig config)
   server_->install_metrics(&metrics_);
   link_->set_metrics(&metrics_);
   dispatcher_->set_metrics(&metrics_);
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(
+        config_.admission, server_->monitor(), calibration.server_cores);
+    admission_->set_metrics(&metrics_);
+  }
+  if (config_.force_invariants && config_.check_invariants &&
+      config_.fault_plan.empty()) {
+    // The property battery wants the oracle active on fault-free runs
+    // too; with a fault plan installed the block below wires it instead.
+    register_invariants();
+    server_->simulator().set_post_event_hook(
+        [this]() { invariants_.run(server_->simulator().now()); });
+  }
   if (!config_.fault_plan.empty()) {
     faults_ = std::make_unique<sim::FaultInjector>(config_.fault_plan,
                                                    config_.seed);
@@ -473,9 +493,16 @@ void Platform::retire_env(Env& env) {
 
 std::vector<RequestOutcome> Platform::run(
     const std::vector<workloads::OffloadRequest>& stream) {
-  outcomes_.assign(stream.size(), RequestOutcome{});
+  begin_run();
+  for (const auto& request : stream) submit(request);
+  return finish_run();
+}
+
+void Platform::begin_run() {
+  outcomes_.clear();
   completed_ = 0;
   live_sessions_.clear();
+  accept_queue_.clear();
   sim::Simulator& simulator = server_->simulator();
   for (std::uint32_t i = envs_.empty() ? 0 : config_.warm_pool;
        i < config_.warm_pool; ++i) {
@@ -509,39 +536,61 @@ std::vector<RequestOutcome> Platform::run(
       }
     }
   }
-  for (const auto& request : stream) {
-    auto session = std::make_shared<Session>();
-    session->request = request;
-    session->kind = request.task.kind;
-    const android::MobileApp& app = app_for(session->kind);
-    session->app_id = app.app_id();
-    session->apk_bytes = app.apk_bytes();
-    // Execute the real kernel now; work units drive the simulated times.
-    // Identical tasks replayed across platforms (§VI-D record/replay)
-    // share one execution through a process-wide memo.
-    session->executed = execute_task_cached(request.task);
-    session->conn = std::make_unique<net::Connection>(
-        *link_, rng_.fork(request.sequence + 1));
-    session->conn->set_metrics(&metrics_);
-    simulator.schedule_at(request.arrival, [this, session]() {
-      on_arrival(session);
-    });
+}
+
+void Platform::submit(const workloads::OffloadRequest& request) {
+  sim::Simulator& simulator = server_->simulator();
+  if (outcomes_.size() <= request.sequence) {
+    outcomes_.resize(request.sequence + 1);
   }
+  metrics_.counter("sessions.offered").inc();
+  auto session = std::make_shared<Session>();
+  session->request = request;
+  session->kind = request.task.kind;
+  const android::MobileApp& app = app_for(session->kind);
+  session->app_id = app.app_id();
+  session->apk_bytes = app.apk_bytes();
+  // Execute the real kernel now; work units drive the simulated times.
+  // Identical tasks replayed across platforms (§VI-D record/replay)
+  // share one execution through a process-wide memo.
+  session->executed = execute_task_cached(request.task);
+  session->conn = std::make_unique<net::Connection>(
+      *link_, rng_.fork(request.sequence + 1));
+  session->conn->set_metrics(&metrics_);
+  simulator.schedule_at(std::max(request.arrival, simulator.now()),
+                        [this, session]() { on_arrival(session); });
+}
+
+std::vector<RequestOutcome> Platform::finish_run() {
+  sim::Simulator& simulator = server_->simulator();
   simulator.run();
   if (faults_) {
     // With recovery disabled (or budgets exhausted mid-flight) sessions
     // can strand on a dead environment; the event queue drains with
     // their outcomes unrecorded. Mark them rejected so the caller sees
     // every request accounted for — and so the invariant report is the
-    // only place a stranding hides.
+    // only place a stranding hides.  Sessions stranded *in the accept
+    // queue* (every in-service session died first) give their slot back
+    // so the admission ledger stays balanced.
     for (const auto& s : live_sessions_) {
       if (s->done) continue;
+      if (admission_ != nullptr) {
+        if (s->queued) {
+          admission_->abandon_queued();
+          s->queued = false;
+        }
+        if (s->admitted) {
+          admission_->release();
+          s->admitted = false;
+        }
+      }
       RequestOutcome outcome;
       outcome.request = s->request;
       outcome.phases = s->phases;
       outcome.completed_at = simulator.now();
       outcome.response = simulator.now() - s->request.arrival;
       outcome.rejected = true;
+      outcome.reject_reason = RejectReason::kStranded;
       outcome.stranded = true;
       outcome.dispatch_attempts = s->dispatch_attempts;
       outcome.connect_attempts = s->connect_attempts;
@@ -555,9 +604,10 @@ std::vector<RequestOutcome> Platform::run(
       }
     }
     live_sessions_.clear();
+    accept_queue_.clear();
   }
   trace_.close_open_spans(simulator.now());
-  assert(completed_ == stream.size());
+  assert(completed_ == outcomes_.size());
   return outcomes_;
 }
 
@@ -630,8 +680,9 @@ void Platform::attempt_connect(std::shared_ptr<Session> s) {
     // The handshake never completes; the client times out and retries
     // with exponential backoff until its attempt budget runs dry.
     if (s->connect_attempts >= config_.max_connect_attempts) {
-      simulator.schedule_in(connect,
-                            [this, s]() { reject_session(s); });
+      simulator.schedule_in(connect, [this, s]() {
+        reject_session(s, RejectReason::kConnectFailed);
+      });
       return;
     }
     const sim::SimDuration backoff =
@@ -672,11 +723,61 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
   // Request-based Access Controller front gate: requests from blocked
   // apps never reach an environment (§IV-E).
   if (server_->access().is_blocked(s->app_id)) {
-    reject_session(s);
+    reject_session(s, RejectReason::kAccessDenied);
     return;
   }
 
+  // Admission front door (docs/LOADGEN.md): per-tenant token bucket,
+  // utilization shedding, then a dispatch slot or the bounded queue.
+  if (admission_ != nullptr) {
+    switch (admission_->offer(s->app_id, simulator.now())) {
+      case AdmissionController::Verdict::kAdmit:
+        s->admitted = true;
+        break;
+      case AdmissionController::Verdict::kEnqueue:
+        s->queued = true;
+        s->enqueued_at = simulator.now();
+        s->pending_lead = platform_cost;
+        accept_queue_.push_back(s);
+        if (s->span_phase != obs::kNoSpan) {
+          trace_.annotate(s->span_phase, "queued", std::uint64_t{1});
+        }
+        return;  // dispatched by maybe_start_queued() when a slot frees
+      case AdmissionController::Verdict::kRejectQueueFull:
+        reject_session(s, RejectReason::kQueueFull);
+        return;
+      case AdmissionController::Verdict::kRejectRateLimited:
+        reject_session(s, RejectReason::kRateLimited);
+        return;
+      case AdmissionController::Verdict::kRejectOverloaded:
+        reject_session(s, RejectReason::kOverloaded);
+        return;
+    }
+  }
+
   dispatch(s, platform_cost);
+}
+
+void Platform::maybe_start_queued() {
+  if (admission_ == nullptr) return;
+  sim::Simulator& simulator = server_->simulator();
+  while (!accept_queue_.empty() && admission_->can_start_queued()) {
+    std::shared_ptr<Session> s = accept_queue_.front();
+    accept_queue_.pop_front();
+    // Stale entry: the session was finished while waiting (its slot was
+    // already given back by finish_session's abandon_queued()).
+    if (s->done || !s->queued) continue;
+    s->queued = false;
+    s->admitted = true;
+    s->queue_wait = simulator.now() - s->enqueued_at;
+    admission_->start_queued(s->queue_wait);
+    SessionScope scope(*this, *s);
+    if (s->span_phase != obs::kNoSpan) {
+      trace_.annotate(s->span_phase, "queue_wait_us",
+                      static_cast<std::uint64_t>(s->queue_wait));
+    }
+    dispatch(s, s->pending_lead);
+  }
 }
 
 void Platform::dispatch(std::shared_ptr<Session> s,
@@ -758,7 +859,7 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
   SessionScope scope(*this, *s);
   if (s->env->failed) {
     // Provisioning failed (host capacity): reject the request.
-    reject_session(s);
+    reject_session(s, RejectReason::kCapacity);
     return;
   }
   s->phases.runtime_preparation = simulator.now() - s->connected_at;
@@ -1055,6 +1156,7 @@ void Platform::complete(std::shared_ptr<Session> s) {
   outcome.traffic = s->conn->traffic();
   outcome.env_id = s->env->id;
   outcome.code_cache_hit = s->cache_hit;
+  outcome.queue_wait = s->queue_wait;
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;
   outcome.recovered = s->recovered;
@@ -1065,6 +1167,12 @@ void Platform::complete(std::shared_ptr<Session> s) {
   if (s->recovered) metrics_.counter("sessions.recovered").inc();
   metrics_.histogram("session.response_ms")
       .observe(sim::to_millis(outcome.response));
+  if (admission_ != nullptr) {
+    // Goodput latency: responses of sessions that made it through
+    // admission (the saturation bench's p99-of-accepted curve).
+    metrics_.histogram("session.accepted.response_ms")
+        .observe(sim::to_millis(outcome.response));
+  }
   if (s->span_session != obs::kNoSpan) {
     trace_.annotate(s->span_session, "env_id",
                     static_cast<std::uint64_t>(s->env->id));
@@ -1082,6 +1190,9 @@ void Platform::complete(std::shared_ptr<Session> s) {
 
   unbind_session(*s);
   finish_session(*s);
+  if (completion_observer_) {
+    completion_observer_(outcomes_[s->request.sequence]);
+  }
 
   if (config_.adaptive_offloading) {
     DecisionState& history = decisions_[s->app_id];
@@ -1158,7 +1269,7 @@ void Platform::recover_env(std::uint32_t env_id) {
     s->env = nullptr;
     ++s->epoch;
     if (s->dispatch_attempts >= config_.max_redispatch) {
-      reject_session(s);
+      reject_session(s, RejectReason::kRedispatchExhausted);
       continue;
     }
     // Re-dispatch over the existing connection: the device re-sends its
@@ -1173,14 +1284,26 @@ void Platform::recover_env(std::uint32_t env_id) {
   }
 }
 
-void Platform::reject_session(std::shared_ptr<Session> s) {
+void Platform::reject_session(std::shared_ptr<Session> s,
+                              RejectReason reason) {
   if (s->done) return;
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   metrics_.counter("sessions.rejected").inc();
+  metrics_
+      .counter(std::string("sessions.rejected.") + to_string(reason))
+      .inc();
+  // Typed reject reply: the device learns *why* it was turned away
+  // (back-off hint) at the cost of one small downlink frame.  Sessions
+  // whose connection never established have nowhere to send it.
+  if (reason != RejectReason::kConnectFailed && s->conn != nullptr) {
+    s->conn->download(net::Message{net::MessageType::kReject,
+                                   net::kRejectReplyBytes, s->app_id});
+  }
   end_phase(*s);
   if (s->span_session != obs::kNoSpan) {
     trace_.annotate(s->span_session, "rejected", std::uint64_t{1});
+    trace_.annotate(s->span_session, "reject_reason", to_string(reason));
     trace_.end(s->span_session, simulator.now());
   }
   RequestOutcome outcome;
@@ -1189,12 +1312,18 @@ void Platform::reject_session(std::shared_ptr<Session> s) {
   outcome.completed_at = simulator.now();
   outcome.response = simulator.now() - s->request.arrival;
   outcome.rejected = true;
+  outcome.reject_reason = reason;
+  outcome.queue_wait = s->queue_wait;
+  outcome.traffic = s->conn ? s->conn->traffic() : net::TrafficAccount{};
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;
   assert(s->request.sequence < outcomes_.size());
   outcomes_[s->request.sequence] = std::move(outcome);
   unbind_session(*s);
   finish_session(*s);
+  if (completion_observer_) {
+    completion_observer_(outcomes_[s->request.sequence]);
+  }
 }
 
 void Platform::unbind_session(Session& s) {
@@ -1223,6 +1352,20 @@ void Platform::finish_session(Session& s) {
       live_sessions_.erase(it);
       break;
     }
+  }
+  if (admission_ != nullptr) {
+    if (s.queued) {
+      // Rejected while still waiting in the accept queue (e.g. the
+      // access controller blocked its app meanwhile); the deque entry is
+      // skipped lazily by maybe_start_queued()'s done check.
+      admission_->abandon_queued();
+      s.queued = false;
+    }
+    if (s.admitted) {
+      admission_->release();
+      s.admitted = false;
+    }
+    maybe_start_queued();
   }
 }
 
@@ -1333,6 +1476,48 @@ void Platform::register_invariants() {
             return "env " + std::to_string(id) +
                    " serving without a booted container";
           }
+        }
+        return std::nullopt;
+      });
+  if (admission_ == nullptr) return;
+  // 8. The bounded accept queue never exceeds its capacity, and the
+  //    controller's queue-depth ledger matches the live queued sessions.
+  invariants_.add_invariant(
+      "admission-queue-bound", [this]() -> std::optional<std::string> {
+        std::uint32_t queued = 0;
+        for (const auto& s : accept_queue_) {
+          if (!s->done && s->queued) ++queued;
+        }
+        if (queued != admission_->queue_depth()) {
+          return "controller ledger says " +
+                 std::to_string(admission_->queue_depth()) +
+                 " queued, deque holds " + std::to_string(queued);
+        }
+        if (queued > admission_->queue_capacity()) {
+          return std::to_string(queued) + " queued sessions exceed the " +
+                 std::to_string(admission_->queue_capacity()) +
+                 "-slot bound";
+        }
+        return std::nullopt;
+      });
+  // 9. In-service accounting: the controller's slots equal the admitted
+  //    live sessions, and never exceed the configured ceiling.
+  invariants_.add_invariant(
+      "admission-in-service", [this]() -> std::optional<std::string> {
+        std::uint32_t admitted = 0;
+        for (const auto& s : live_sessions_) {
+          if (!s->done && s->admitted) ++admitted;
+        }
+        if (admitted != admission_->in_service()) {
+          return "controller ledger says " +
+                 std::to_string(admission_->in_service()) +
+                 " in service, " + std::to_string(admitted) +
+                 " sessions hold slots";
+        }
+        if (admitted > admission_->max_in_service()) {
+          return std::to_string(admitted) +
+                 " in-service sessions exceed the limit of " +
+                 std::to_string(admission_->max_in_service());
         }
         return std::nullopt;
       });

@@ -22,6 +22,7 @@
 
 #include "android/app.hpp"
 #include "android/classloader.hpp"
+#include "core/admission.hpp"
 #include "core/cac.hpp"
 #include "core/dispatcher.hpp"
 #include "core/invariant.hpp"
@@ -116,6 +117,19 @@ struct PlatformConfig {
   /// How long a crashed environment stays undetected (the Monitor's
   /// health-sweep interval).
   sim::SimDuration crash_detection_latency = 100 * sim::kMillisecond;
+
+  // -- Admission control (docs/LOADGEN.md) -----------------------------
+
+  /// Dispatcher front door: bounded accept queue, per-tenant token
+  /// buckets, utilization-based shedding.  Disabled by default — the
+  /// paper-reproduction benches run unprotected, like the prototype.
+  AdmissionConfig admission;
+
+  /// Run the invariant harness even without a fault plan (the load-gen
+  /// property battery).  Expensive: the checks are O(live sessions ×
+  /// environments) after every event, so keep this off at 10^4+ session
+  /// scale.
+  bool force_invariants = false;
 };
 
 /// Canonical configuration for one of the three evaluated platforms.
@@ -148,6 +162,51 @@ class Platform {
   /// obtain their work units.
   std::vector<RequestOutcome> run(
       const std::vector<workloads::OffloadRequest>& stream);
+
+  // -- Incremental session API (closed-loop load generation) -----------
+  //
+  // run() is sugar over these three calls.  A closed-loop driver instead
+  // submits seed requests, installs a completion observer, and submits
+  // follow-up requests *from inside the observer* — the arrivals land on
+  // the same event queue, so a dynamically generated workload is exactly
+  // as deterministic as a replayed one.
+
+  /// Resets per-run state (outcomes, live sessions, accept queue) and
+  /// provisions the warm pool / fault pump.  Call before submit().
+  void begin_run();
+
+  /// Schedules one request.  Sequences across a run must be dense and
+  /// unique starting at 0; arrivals before the current virtual time are
+  /// clamped to "now".  Valid between begin_run() and the return of
+  /// finish_run(), including from within a completion observer.
+  void submit(const workloads::OffloadRequest& request);
+
+  /// Drains the event queue and returns every outcome submitted since
+  /// begin_run(), indexed by sequence.
+  std::vector<RequestOutcome> finish_run();
+
+  /// Observer invoked with each finished outcome (completed, rejected or
+  /// executed locally) — the closed-loop feedback path. Empty uninstalls.
+  void set_completion_observer(
+      std::function<void(const RequestOutcome&)> observer) {
+    completion_observer_ = std::move(observer);
+  }
+
+  /// Admission backpressure in [0, 1] (0 when admission is disabled).
+  [[nodiscard]] double backpressure() const {
+    return admission_ ? admission_->backpressure() : 0.0;
+  }
+
+  /// The admission controller, or nullptr when disabled.
+  [[nodiscard]] AdmissionController* admission() { return admission_.get(); }
+  [[nodiscard]] const AdmissionController* admission() const {
+    return admission_.get();
+  }
+
+  /// Sessions waiting in the bounded accept queue right now.
+  [[nodiscard]] std::size_t accept_queue_depth() const {
+    return accept_queue_.size();
+  }
 
   /// Provisions one environment on an otherwise idle platform and reports
   /// the Table I statistics.  Usable once, on a fresh Platform.
@@ -226,10 +285,13 @@ class Platform {
   // Fault-injection machinery.
   void crash_env(Env& env);
   void recover_env(std::uint32_t env_id);
-  void reject_session(std::shared_ptr<Session> s);
+  void reject_session(std::shared_ptr<Session> s, RejectReason reason);
   void finish_session(Session& s);
   void unbind_session(Session& s);
   void register_invariants();
+
+  // Admission control.
+  void maybe_start_queued();
 
   // Observability: one phase span open per session at a time.
   void begin_phase(Session& s, const char* name);
@@ -251,6 +313,9 @@ class Platform {
   std::unique_ptr<net::Link> link_;
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::deque<std::shared_ptr<Session>> accept_queue_;
+  std::function<void(const RequestOutcome&)> completion_observer_;
   InvariantChecker invariants_;
   std::vector<std::shared_ptr<Session>> live_sessions_;
   sim::Rng rng_;

@@ -12,6 +12,8 @@ const char* to_string(MessageType type) {
       return "file-params";
     case MessageType::kResult:
       return "result";
+    case MessageType::kReject:
+      return "reject";
   }
   return "?";
 }

@@ -17,9 +17,15 @@ enum class MessageType : std::uint8_t {
   kMobileCode = 1,  ///< app (APK/dex) files to execute
   kFileParams = 2,  ///< input files and method parameters
   kResult = 3,      ///< computation results (downstream)
+  kReject = 4,      ///< typed admission/recovery rejection (downstream)
 };
 
-inline constexpr std::size_t kMessageTypeCount = 4;
+inline constexpr std::size_t kMessageTypeCount = 5;
+
+/// Wire size of a reject reply: a control-sized frame carrying the
+/// RejectReason code, so shed load still costs the device one small
+/// downlink message instead of a silent timeout.
+inline constexpr std::uint64_t kRejectReplyBytes = 32;
 
 [[nodiscard]] const char* to_string(MessageType type);
 

@@ -73,6 +73,15 @@ const std::vector<double>& bytes_buckets() {
   return buckets;
 }
 
+const std::vector<double>& queue_depth_buckets() {
+  // 1 .. 64k waiting sessions, powers of two; depth is integral so the
+  // inclusive upper edges make every bucket exact.
+  static const std::vector<double> buckets = {
+      1,   2,    4,    8,    16,   32,    64,    128,  256,
+      512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  return buckets;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

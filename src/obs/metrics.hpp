@@ -91,6 +91,8 @@ class Histogram {
 /// resolution everywhere (docs/OBSERVABILITY.md documents both).
 [[nodiscard]] const std::vector<double>& latency_ms_buckets();
 [[nodiscard]] const std::vector<double>& bytes_buckets();
+/// Queue occupancy (admission.queue.depth_samples and friends).
+[[nodiscard]] const std::vector<double>& queue_depth_buckets();
 
 class MetricsRegistry {
  public:

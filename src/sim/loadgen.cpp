@@ -1,0 +1,151 @@
+#include "sim/loadgen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rattrap::sim {
+
+const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kMmpp:
+      return "mmpp";
+    case ArrivalProcess::kClosedLoop:
+      return "closed-loop";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Arrival> poisson_arrivals(const LoadGenConfig& config) {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(config.requests);
+  Rng gaps = Rng(config.seed).fork("loadgen-gaps");
+  Rng devices = Rng(config.seed).fork("loadgen-devices");
+  const double mean_gap_s =
+      config.rate_per_s > 0 ? 1.0 / config.rate_per_s : 1.0;
+  SimTime clock = 0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    clock += from_seconds(gaps.exponential(mean_gap_s));
+    Arrival arrival;
+    arrival.sequence = i;
+    arrival.device_id = static_cast<std::uint32_t>(
+        devices.uniform_int(0, static_cast<std::int64_t>(config.devices) - 1));
+    arrival.at = clock;
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> mmpp_arrivals(const LoadGenConfig& config) {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(config.requests);
+  Rng gaps = Rng(config.seed).fork("loadgen-gaps");
+  Rng devices = Rng(config.seed).fork("loadgen-devices");
+  Rng states = Rng(config.seed).fork("loadgen-states");
+  const double calm_rate = std::max(config.rate_per_s, 1e-9);
+  const double burst_rate = calm_rate * std::max(config.burst_factor, 1.0);
+  bool bursting = false;
+  SimTime clock = 0;
+  // Next modulating-state flip; holding times are exponential per state.
+  SimTime flip_at =
+      from_seconds(states.exponential(std::max(config.mean_calm_s, 1e-9)));
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    for (;;) {
+      const double rate = bursting ? burst_rate : calm_rate;
+      const SimTime candidate =
+          clock + from_seconds(gaps.exponential(1.0 / rate));
+      if (candidate < flip_at) {
+        clock = candidate;
+        break;
+      }
+      // The state flipped before this gap elapsed: restart the gap from
+      // the flip instant at the new rate (memorylessness makes the
+      // restart exact, not an approximation).
+      clock = flip_at;
+      bursting = !bursting;
+      const double hold_s =
+          bursting ? config.mean_burst_s : config.mean_calm_s;
+      flip_at =
+          clock + from_seconds(states.exponential(std::max(hold_s, 1e-9)));
+    }
+    Arrival arrival;
+    arrival.sequence = i;
+    arrival.device_id = static_cast<std::uint32_t>(
+        devices.uniform_int(0, static_cast<std::int64_t>(config.devices) - 1));
+    arrival.at = clock;
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> closed_loop_initial_arrivals(
+    const LoadGenConfig& config) {
+  // Each device issues its first request after one think period, so a
+  // 10^5-device fleet ramps up over ~think_time_s instead of stampeding
+  // the dispatcher at t=0.
+  const std::uint64_t first_wave =
+      std::min<std::uint64_t>(config.devices, config.requests);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(first_wave);
+  Rng stagger = Rng(config.seed).fork("loadgen-stagger");
+  for (std::uint64_t device = 0; device < first_wave; ++device) {
+    Arrival arrival;
+    arrival.device_id = static_cast<std::uint32_t>(device);
+    arrival.at = from_seconds(
+        stagger.exponential(std::max(config.think_time_s, 1e-6)));
+    arrivals.push_back(arrival);
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.device_id < b.device_id;
+            });
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i].sequence = i;
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+std::vector<Arrival> make_arrivals(const LoadGenConfig& config) {
+  assert(config.devices > 0);
+  switch (config.arrival) {
+    case ArrivalProcess::kPoisson:
+      return poisson_arrivals(config);
+    case ArrivalProcess::kMmpp:
+      return mmpp_arrivals(config);
+    case ArrivalProcess::kClosedLoop:
+      return closed_loop_initial_arrivals(config);
+  }
+  return {};
+}
+
+ClosedLoopSource::ClosedLoopSource(const LoadGenConfig& config)
+    : config_(config),
+      master_(Rng(config.seed).fork("loadgen-think")),
+      budget_(config.requests) {}
+
+SimDuration ClosedLoopSource::think(std::uint32_t device,
+                                    double backpressure) {
+  if (device_rngs_.size() <= device) {
+    const std::size_t old = device_rngs_.size();
+    device_rngs_.reserve(device + 1);
+    for (std::size_t i = old; i <= device; ++i) {
+      device_rngs_.push_back(master_.fork(static_cast<std::uint64_t>(i)));
+    }
+  }
+  const double bp = std::clamp(backpressure, 0.0, 1.0);
+  const double stretch =
+      1.0 + bp * (std::max(config_.backpressure_slowdown, 1.0) - 1.0);
+  const double think_s =
+      device_rngs_[device].exponential(
+          std::max(config_.think_time_s, 1e-6)) *
+      stretch;
+  return std::max<SimDuration>(1, from_seconds(think_s));
+}
+
+}  // namespace rattrap::sim

@@ -1,0 +1,111 @@
+// Cluster-scale load generation: seeded arrival processes for driving a
+// platform with the traffic of very large device fleets.
+//
+// The paper evaluates with 5 devices; the density argument (§V–VI: ~1 s
+// CAC boots, <7.1 MB deltas) is about serving *thousands* of concurrent
+// offloading sessions per host.  This engine synthesizes that traffic
+// deterministically:
+//
+//   kPoisson    — open-loop superposed Poisson arrivals at an aggregate
+//                 offered rate; devices drawn uniformly from the fleet.
+//   kMmpp       — bursty arrivals from a 2-state Markov-modulated Poisson
+//                 process (calm rate / burst_factor × calm rate), the
+//                 classic model for flash crowds.
+//   kClosedLoop — per-device think time: each simulated device waits an
+//                 exponential think period after its previous response
+//                 before issuing the next request, optionally stretched
+//                 by the platform's backpressure signal.
+//
+// Everything is a pure function of (config, seed): same seed ⇒ the
+// byte-identical arrival schedule, which the golden determinism tests
+// and the saturation bench rely on.  The engine knows nothing about
+// core::Platform — the core-side driver (core/load_driver.hpp) adapts
+// arrivals into offloading requests and feeds completions back in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rattrap::sim {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson = 0,
+  kMmpp = 1,
+  kClosedLoop = 2,
+};
+
+[[nodiscard]] const char* to_string(ArrivalProcess process);
+
+struct LoadGenConfig {
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+
+  /// Simulated fleet size; device ids are drawn from [0, devices).
+  std::uint32_t devices = 1000;
+
+  /// Total requests offered over the run (the stop condition for every
+  /// arrival model).
+  std::size_t requests = 1000;
+
+  /// Aggregate offered arrival rate (req/s) for the open-loop models;
+  /// the MMPP calm-state rate.
+  double rate_per_s = 100.0;
+
+  // -- MMPP (2-state) ---------------------------------------------------
+  double burst_factor = 8.0;  ///< burst-state rate = burst_factor × calm
+  double mean_burst_s = 2.0;  ///< exponential burst-state holding time
+  double mean_calm_s = 10.0;  ///< exponential calm-state holding time
+
+  // -- Closed loop ------------------------------------------------------
+  /// Mean exponential think time between a device's response and its
+  /// next request.
+  double think_time_s = 1.0;
+  /// Think-time multiplier at full backpressure: a device observing
+  /// backpressure b in [0, 1] waits think × (1 + b × (slowdown − 1)).
+  double backpressure_slowdown = 4.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// One synthetic arrival: request `sequence` from `device_id` at `at`.
+struct Arrival {
+  std::uint64_t sequence = 0;
+  std::uint32_t device_id = 0;
+  SimTime at = 0;
+};
+
+/// Open-loop arrival schedule (kPoisson / kMmpp; kClosedLoop yields only
+/// the initial per-device staggered arrivals, capped at config.requests —
+/// the rest of a closed-loop run is generated online by ClosedLoopSource).
+/// Deterministic in config; arrivals are time-sorted with dense sequences.
+[[nodiscard]] std::vector<Arrival> make_arrivals(const LoadGenConfig& config);
+
+/// Online think-time source for closed-loop runs.  The driver asks for
+/// the next think period whenever a device's request finishes; draws are
+/// per-device substreams, so one device's completion count never perturbs
+/// another device's schedule.
+class ClosedLoopSource {
+ public:
+  explicit ClosedLoopSource(const LoadGenConfig& config);
+
+  /// Think period before `device` issues its next request, given the
+  /// platform backpressure signal in [0, 1] at completion time.
+  [[nodiscard]] SimDuration think(std::uint32_t device, double backpressure);
+
+  /// True while the offered-request budget has not been exhausted; each
+  /// take() consumes one unit and returns the next global sequence.
+  [[nodiscard]] bool exhausted() const { return issued_ >= budget_; }
+  [[nodiscard]] std::uint64_t take() { return issued_++; }
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+ private:
+  LoadGenConfig config_;
+  Rng master_;
+  std::vector<Rng> device_rngs_;  ///< lazily forked per device
+  std::uint64_t issued_ = 0;
+  std::uint64_t budget_ = 0;
+};
+
+}  // namespace rattrap::sim

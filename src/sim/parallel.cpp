@@ -15,22 +15,30 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> workers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    // Claim the workers under the lock so concurrent shutdown() calls
+    // join disjoint (at most one non-empty) sets.
+    workers.swap(workers_);
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
     queue_.push(std::move(task));
     ++in_flight_;
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {

@@ -26,11 +26,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.
-  void submit(std::function<void()> task);
+  /// Enqueues a task.  Returns false (and drops the task) once shutdown
+  /// has begun — a submit racing the destructor used to enqueue work no
+  /// worker would ever run, wedging the next wait_idle() forever.
+  bool submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
+
+  /// Stops accepting work, drains the tasks already queued, and joins
+  /// every worker.  Idempotent and safe to call concurrently with
+  /// submit() from other threads (their submits are rejected).  The
+  /// destructor calls this.
+  void shutdown();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 

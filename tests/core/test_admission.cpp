@@ -1,0 +1,193 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace rattrap::core {
+namespace {
+
+using Verdict = AdmissionController::Verdict;
+
+TEST(RejectReason, EveryValueHasAName) {
+  for (const auto reason :
+       {RejectReason::kNone, RejectReason::kAccessDenied,
+        RejectReason::kQueueFull, RejectReason::kRateLimited,
+        RejectReason::kOverloaded, RejectReason::kCapacity,
+        RejectReason::kConnectFailed, RejectReason::kRedispatchExhausted,
+        RejectReason::kStranded}) {
+    EXPECT_STRNE(to_string(reason), "?");
+  }
+}
+
+TEST(TokenBucket, StartsFullAndRefillsOverVirtualTime) {
+  TokenBucket bucket(/*rate_per_s=*/2.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(0));  // burst spent
+  // 500 ms at 2 tokens/s refills one token.
+  EXPECT_TRUE(bucket.try_take(500 * sim::kMillisecond));
+  EXPECT_FALSE(bucket.try_take(500 * sim::kMillisecond));
+  // Refill caps at the burst size no matter how long the gap.
+  EXPECT_TRUE(bucket.try_take(1000 * sim::kSecond));
+  EXPECT_TRUE(bucket.try_take(1000 * sim::kSecond));
+  EXPECT_TRUE(bucket.try_take(1000 * sim::kSecond));
+  EXPECT_FALSE(bucket.try_take(1000 * sim::kSecond));
+}
+
+AdmissionConfig small_config() {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_in_service = 2;
+  config.queue_capacity = 2;
+  return config;
+}
+
+TEST(AdmissionController, AdmitThenQueueThenShed) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 4);
+  AdmissionController admission(small_config(), monitor, 4);
+
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  EXPECT_EQ(admission.in_service(), 2u);
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  EXPECT_EQ(admission.queue_depth(), 2u);
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kRejectQueueFull);
+  EXPECT_EQ(admission.admitted(), 2u);
+  EXPECT_EQ(admission.rejected(), 1u);
+}
+
+TEST(AdmissionController, ReleaseOpensAQueuedSlot) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 4);
+  AdmissionController admission(small_config(), monitor, 4);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  EXPECT_FALSE(admission.can_start_queued());
+
+  admission.release();
+  EXPECT_TRUE(admission.can_start_queued());
+  admission.start_queued(250 * sim::kMillisecond);
+  EXPECT_EQ(admission.in_service(), 2u);
+  EXPECT_EQ(admission.queue_depth(), 0u);
+  EXPECT_FALSE(admission.can_start_queued());
+  EXPECT_EQ(admission.admitted(), 3u);
+}
+
+TEST(AdmissionController, AbandonQueuedReturnsTheSlot) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 4);
+  AdmissionController admission(small_config(), monitor, 4);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  admission.abandon_queued();
+  EXPECT_EQ(admission.queue_depth(), 0u);
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);  // space again
+}
+
+TEST(AdmissionController, TenantRateLimitIsPerTenant) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 4);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_in_service = 100;
+  config.tenant_rate_per_s = 1.0;
+  config.tenant_burst = 1.0;
+  AdmissionController admission(config, monitor, 4);
+
+  EXPECT_EQ(admission.offer("a", 0), Verdict::kAdmit);
+  EXPECT_EQ(admission.offer("a", 0), Verdict::kRejectRateLimited);
+  EXPECT_EQ(admission.offer("b", 0), Verdict::kAdmit);  // separate bucket
+  // One second later tenant a has a token again.
+  EXPECT_EQ(admission.offer("a", sim::kSecond), Verdict::kAdmit);
+}
+
+TEST(AdmissionController, ShedsAboveUtilizationThreshold) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 2);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_in_service = 100;
+  config.shed_utilization = 2.0;  // shed at 2x oversubscription
+  AdmissionController admission(config, monitor, 2);
+
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  for (int i = 0; i < 4; ++i) monitor.job_started();  // 4 jobs / 2 cores
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kRejectOverloaded);
+  monitor.job_finished();  // 3/2 = 1.5 < 2.0
+  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+}
+
+TEST(AdmissionController, BackpressureTracksQueueAndLoad) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 2);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_in_service = 1;
+  config.queue_capacity = 4;
+  config.shed_utilization = 2.0;
+  AdmissionController admission(config, monitor, 2);
+
+  EXPECT_DOUBLE_EQ(admission.backpressure(), 0.0);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  EXPECT_DOUBLE_EQ(admission.backpressure(), 0.5);  // 2 of 4 slots
+
+  for (int i = 0; i < 4; ++i) monitor.job_started();  // load 2.0 = shed
+  EXPECT_DOUBLE_EQ(admission.backpressure(), 1.0);
+  for (int i = 0; i < 4; ++i) monitor.job_finished();
+  EXPECT_DOUBLE_EQ(admission.backpressure(), 0.5);
+
+  AdmissionConfig off;
+  AdmissionController disabled(off, monitor, 2);
+  EXPECT_DOUBLE_EQ(disabled.backpressure(), 0.0);
+}
+
+TEST(AdmissionController, DefaultServiceCeilingIsFourTimesCores) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 8);
+  AdmissionConfig config;
+  config.enabled = true;  // max_in_service left 0
+  AdmissionController admission(config, monitor, 8);
+  EXPECT_EQ(admission.max_in_service(), 32u);
+}
+
+TEST(AdmissionController, MetricsLedger) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 4);
+  obs::MetricsRegistry metrics;
+  AdmissionController admission(small_config(), monitor, 4);
+  admission.set_metrics(&metrics);
+
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  ASSERT_EQ(admission.offer("app", 0), Verdict::kRejectQueueFull);
+  admission.release();
+  admission.start_queued(100 * sim::kMillisecond);
+
+  EXPECT_EQ(metrics.find_counter("admission.admitted")->value(), 3u);
+  EXPECT_EQ(metrics.find_counter("admission.enqueued")->value(), 2u);
+  EXPECT_EQ(
+      metrics.find_counter("admission.rejected.queue_full")->value(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.find_gauge("admission.queue.depth")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(metrics.find_gauge("admission.queue.peak")->value(),
+                   2.0);
+  const obs::Histogram* wait =
+      metrics.find_histogram("admission.queue.wait_ms");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count(), 1u);
+  EXPECT_DOUBLE_EQ(wait->sum(), 100.0);
+}
+
+}  // namespace
+}  // namespace rattrap::core

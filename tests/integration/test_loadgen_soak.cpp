@@ -1,0 +1,116 @@
+// Stress/soak battery (ctest label: soak — excluded from the tier-1
+// suite; the CI soak job opts in with RATTRAP_SOAK=1).
+//
+// Runs saturation rounds for a wall-clock budget (default 60 s,
+// RATTRAP_SOAK_SECONDS overrides): closed-loop load with the admission
+// front door armed, fault injection live and the invariant harness
+// evaluating after every simulator event.  Passing means zero invariant
+// violations across every round, every request accounted for, and
+// process memory growth bounded (no per-round leak) — under ASan in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/load_driver.hpp"
+#include "core/platform.hpp"
+
+namespace rattrap::core {
+namespace {
+
+/// Resident set size in bytes via /proc/self/statm (0 where unsupported).
+std::size_t resident_bytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long size_pages = 0;
+  unsigned long resident_pages = 0;
+  const int got =
+      std::fscanf(statm, "%lu %lu", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident_pages) * 4096u;
+}
+
+TEST(LoadGenSoak, SaturationUnderFaultsStaysInvariantCleanAndBounded) {
+  const char* opt_in = std::getenv("RATTRAP_SOAK");
+  if (opt_in == nullptr || *opt_in == '\0' || *opt_in == '0') {
+    GTEST_SKIP() << "soak battery runs only with RATTRAP_SOAK=1 "
+                    "(see docs/LOADGEN.md)";
+  }
+  double budget_s = 60.0;
+  if (const char* seconds = std::getenv("RATTRAP_SOAK_SECONDS")) {
+    budget_s = std::strtod(seconds, nullptr);
+    if (budget_s <= 0) budget_s = 60.0;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Warm-up round establishes the RSS baseline after every lazy
+  // allocation (kernel memos, gtest, sanitizer shadow) has happened.
+  std::size_t baseline_rss = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t seed = 1;
+  while (elapsed_s() < budget_s) {
+    ++seed;
+    PlatformConfig config = make_config(PlatformKind::kRattrap);
+    config.seed = seed;
+    config.admission.enabled = true;
+    config.admission.max_in_service = 3 + seed % 4;
+    config.admission.queue_capacity = 4 + seed % 8;
+    config.admission.shed_utilization = 5.0;
+    const auto plan = sim::FaultPlan::parse(
+        "net.drop:p=0.05;container.crash:p=0.03;tmpfs.write_fail:p=0.05");
+    ASSERT_TRUE(plan.has_value());
+    config.fault_plan = *plan;
+    Platform platform(std::move(config));
+
+    LoadDriverConfig driver;
+    driver.loadgen.arrival = seed % 2 == 0
+                                 ? sim::ArrivalProcess::kClosedLoop
+                                 : sim::ArrivalProcess::kMmpp;
+    driver.loadgen.devices = 8 + static_cast<std::uint32_t>(seed % 16);
+    driver.loadgen.requests = 150;
+    driver.loadgen.rate_per_s = 40;
+    driver.loadgen.think_time_s = 0.3;
+    driver.loadgen.seed = seed;
+    driver.size_class = 1;
+    driver.task_variants = 4;
+    const LoadSummary summary = run_load(platform, driver);
+
+    ASSERT_TRUE(platform.invariants().ok())
+        << "seed " << seed << ":\n"
+        << platform.invariants().report();
+    ASSERT_EQ(summary.completed + summary.rejected, summary.offered)
+        << "seed " << seed << " lost requests";
+
+    ++rounds;
+    total_requests += summary.offered;
+    if (rounds == 1) baseline_rss = resident_bytes();
+  }
+
+  EXPECT_GE(rounds, 2u) << "budget too small to exercise anything";
+  // Bounded memory: platforms are destroyed per round, so RSS must not
+  // grow materially beyond the post-warm-up baseline.  256 MB of slack
+  // absorbs allocator retention and sanitizer bookkeeping.
+  const std::size_t final_rss = resident_bytes();
+  if (baseline_rss > 0 && final_rss > 0) {
+    EXPECT_LT(final_rss, baseline_rss + (256u << 20))
+        << "RSS grew from " << baseline_rss << " to " << final_rss
+        << " across " << rounds << " rounds";
+  }
+  std::printf("soak: %llu rounds, %llu requests, %.1fs, rss %.1f MB\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(total_requests), elapsed_s(),
+              static_cast<double>(final_rss) / (1024.0 * 1024.0));
+}
+
+}  // namespace
+}  // namespace rattrap::core

@@ -1,0 +1,171 @@
+#include "sim/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rattrap::sim {
+namespace {
+
+LoadGenConfig base_config(ArrivalProcess process) {
+  LoadGenConfig config;
+  config.arrival = process;
+  config.devices = 50;
+  config.requests = 400;
+  config.rate_per_s = 200;
+  config.seed = 9;
+  return config;
+}
+
+void expect_well_formed(const std::vector<Arrival>& arrivals,
+                        const LoadGenConfig& config) {
+  ASSERT_LE(arrivals.size(), config.requests);
+  SimTime previous = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].sequence, i);  // dense, in vector order
+    EXPECT_LT(arrivals[i].device_id, config.devices);
+    EXPECT_GE(arrivals[i].at, previous);  // time-sorted
+    previous = arrivals[i].at;
+  }
+}
+
+TEST(LoadGen, PoissonScheduleIsWellFormed) {
+  const LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  const auto arrivals = make_arrivals(config);
+  ASSERT_EQ(arrivals.size(), config.requests);
+  expect_well_formed(arrivals, config);
+}
+
+TEST(LoadGen, PoissonMeanRateApproximatesConfig) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.requests = 20000;
+  const auto arrivals = make_arrivals(config);
+  const double span_s = to_seconds(arrivals.back().at);
+  const double rate = static_cast<double>(arrivals.size()) / span_s;
+  EXPECT_NEAR(rate, config.rate_per_s, 0.05 * config.rate_per_s);
+}
+
+TEST(LoadGen, MmppScheduleIsWellFormedAndBursty) {
+  LoadGenConfig config = base_config(ArrivalProcess::kMmpp);
+  config.requests = 20000;
+  config.burst_factor = 16;
+  config.mean_burst_s = 1;
+  config.mean_calm_s = 4;
+  const auto arrivals = make_arrivals(config);
+  ASSERT_EQ(arrivals.size(), config.requests);
+  expect_well_formed(arrivals, config);
+  // Burstiness: the squared coefficient of variation of inter-arrival
+  // gaps must exceed a Poisson process's (CV² = 1 for exponential).
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size() - 1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(to_seconds(arrivals[i].at - arrivals[i - 1].at));
+  }
+  double mean = 0;
+  for (const double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0;
+  for (const double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  EXPECT_GT(var / (mean * mean), 1.5);
+}
+
+TEST(LoadGen, SameSeedSameSchedule) {
+  for (const auto process : {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp,
+                             ArrivalProcess::kClosedLoop}) {
+    const LoadGenConfig config = base_config(process);
+    const auto a = make_arrivals(config);
+    const auto b = make_arrivals(config);
+    ASSERT_EQ(a.size(), b.size()) << to_string(process);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].sequence, b[i].sequence);
+      EXPECT_EQ(a[i].device_id, b[i].device_id);
+      EXPECT_EQ(a[i].at, b[i].at);
+    }
+  }
+}
+
+TEST(LoadGen, DifferentSeedsDiverge) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  const auto a = make_arrivals(config);
+  config.seed = 10;
+  const auto b = make_arrivals(config);
+  bool diverged = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].at != b[i].at || a[i].device_id != b[i].device_id) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(LoadGen, ClosedLoopSeedWaveIsOnePerDevice) {
+  LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  const auto arrivals = make_arrivals(config);
+  ASSERT_EQ(arrivals.size(), config.devices);  // requests > devices
+  expect_well_formed(arrivals, config);
+  std::set<std::uint32_t> devices;
+  for (const auto& arrival : arrivals) devices.insert(arrival.device_id);
+  EXPECT_EQ(devices.size(), config.devices);  // each device exactly once
+}
+
+TEST(LoadGen, ClosedLoopSeedWaveCappedByBudget) {
+  LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  config.devices = 1000;
+  config.requests = 64;
+  const auto arrivals = make_arrivals(config);
+  EXPECT_EQ(arrivals.size(), 64u);
+}
+
+TEST(LoadGen, ClosedLoopSourceBudget) {
+  LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  config.requests = 5;
+  ClosedLoopSource source(config);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_FALSE(source.exhausted());
+    EXPECT_EQ(source.take(), i);
+  }
+  EXPECT_TRUE(source.exhausted());
+  EXPECT_EQ(source.issued(), 5u);
+}
+
+TEST(LoadGen, ClosedLoopThinkDrawsArePerDeviceSubstreams) {
+  const LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  // Source A consumes device 0's stream before touching device 7;
+  // source B asks device 7 first.  Device 7's draws must be identical —
+  // one device's completion count never perturbs another's schedule.
+  ClosedLoopSource a(config);
+  ClosedLoopSource b(config);
+  for (int i = 0; i < 10; ++i) (void)a.think(0, 0.0);
+  const SimDuration a7 = a.think(7, 0.0);
+  const SimDuration b7 = b.think(7, 0.0);
+  EXPECT_EQ(a7, b7);
+}
+
+TEST(LoadGen, BackpressureStretchesThinkTime) {
+  const LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  ClosedLoopSource relaxed(config);
+  ClosedLoopSource pressed(config);
+  // Same underlying draw, scaled by 1 + bp * (slowdown - 1).
+  const SimDuration base = relaxed.think(3, 0.0);
+  const SimDuration stretched = pressed.think(3, 1.0);
+  EXPECT_NEAR(static_cast<double>(stretched),
+              static_cast<double>(base) * config.backpressure_slowdown,
+              2.0);  // integer-µs rounding
+  EXPECT_GT(stretched, base);
+}
+
+TEST(LoadGen, ThinkTimeIsAlwaysPositive) {
+  LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  config.think_time_s = 1e-9;  // degenerate config must not yield 0
+  ClosedLoopSource source(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(source.think(static_cast<std::uint32_t>(i % 5), 0.5), 1);
+  }
+}
+
+}  // namespace
+}  // namespace rattrap::sim

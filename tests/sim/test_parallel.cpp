@@ -42,6 +42,51 @@ TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] {}));
+  pool.shutdown();
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+  EXPECT_EQ(ran.load(), 0);
+  pool.wait_idle();  // no orphaned task may wedge this
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op
+  EXPECT_EQ(counter.load(), 8);  // queued work drained before joining
+}
+
+// Regression: a submit racing shutdown used to enqueue a task no worker
+// would ever run, wedging the next wait_idle() forever.  Hammer the race
+// from several producer threads; every accepted task must execute and
+// wait_idle() must return.  (Run under TSan in CI.)
+TEST(ThreadPool, SubmitRacingShutdownNeverLosesAcceptedTasks) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pool, &accepted, &executed] {
+        for (int i = 0; i < 50; ++i) {
+          if (pool.submit([&executed] { ++executed; })) ++accepted;
+        }
+      });
+    }
+    pool.shutdown();
+    for (auto& producer : producers) producer.join();
+    pool.wait_idle();  // must not hang on orphaned queue entries
+    EXPECT_EQ(executed.load(), accepted.load());
+    EXPECT_FALSE(pool.submit([] {}));
+  }
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(257);
   parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
