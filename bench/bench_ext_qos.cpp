@@ -1,0 +1,233 @@
+// Extension bench: QoS protection — interactive latency under batch
+// saturation, and weighted tenant fairness (docs/QOS.md).
+//
+// Part 1 runs the same interactive trickle three ways on one Rattrap
+// server: alone (the unloaded baseline), drowned in a batch flood with
+// the QoS scheduler armed, and drowned in the same flood through the
+// legacy single FIFO.  With QoS on, strict priority plus the earlier
+// batch shed threshold must keep the interactive accepted p99 within 2x
+// of the unloaded value; the FIFO contrast shows what the flood does
+// without class separation.
+//
+// Part 2 saturates a serialized admission queue from two tenants at 3:1
+// DRR weight and equal offered load, counting only completions inside
+// the arrival window (the drain tail would dilute the ratio toward the
+// enqueue mix).  The completed ratio must land near 3:1.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/load_driver.hpp"
+#include "obs/json.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+struct FloodResult {
+  core::LoadSummary summary;
+  std::size_t batch_shed = 0;
+};
+
+/// Interactive trickle (2/s) plus an optional batch flood, one server.
+FloodResult run_flood(double batch_rate, bool qos_on, std::size_t requests) {
+  core::PlatformConfig config =
+      core::make_config(core::PlatformKind::kRattrap);
+  config.seed = 17;
+  config.admission.enabled = true;
+  config.admission.qos.enabled = qos_on;
+  config.admission.queue_capacity = 64;
+  // Batch sheds at 2x oversubscription, far before interactive (6x): the
+  // per-class threshold is what keeps the flood from parking ahead of
+  // interactive work in the service slots.
+  config.admission.shed_utilization = 6.0;
+  if (qos_on) config.admission.qos.batch.shed_utilization = 2.0;
+  core::Platform platform(std::move(config));
+
+  core::LoadDriverConfig driver;
+  driver.kind = workloads::Kind::kLinpack;
+  driver.size_class = 2;
+  driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+  driver.loadgen.devices = 20;
+  driver.loadgen.requests = requests;
+  driver.loadgen.seed = 17;
+  constexpr double kInteractiveRate = 2.0;
+  if (batch_rate > 0) {
+    driver.loadgen.rate_per_s = kInteractiveRate + batch_rate;
+    driver.loadgen.mix = {
+        {"app", 0, 1, kInteractiveRate},  // interactive trickle
+        {"batch", 2, 1, batch_rate},      // the flood
+    };
+  } else {
+    driver.loadgen.rate_per_s = kInteractiveRate;
+    driver.loadgen.mix = {{"app", 0, 1, 1.0}};
+  }
+
+  FloodResult result;
+  result.summary = core::run_load(platform, driver);
+  const obs::Counter* shed =
+      platform.metrics().find_counter("qos.rejected.batch");
+  if (shed != nullptr) result.batch_shed = shed->value();
+  return result;
+}
+
+/// Two tenants, 3:1 weights, equal offered load, serialized service.
+/// Returns in-window completions {gold, bronze}.
+std::pair<std::size_t, std::size_t> run_weighted(std::size_t requests) {
+  core::PlatformConfig config =
+      core::make_config(core::PlatformKind::kRattrap);
+  config.seed = 23;
+  config.admission.enabled = true;
+  config.admission.qos.enabled = true;
+  config.admission.max_in_service = 1;
+  config.admission.queue_capacity = 4096;  // no shedding in the window
+  core::Platform platform(std::move(config));
+
+  core::LoadDriverConfig driver;
+  driver.kind = workloads::Kind::kLinpack;
+  driver.size_class = 1;
+  driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+  driver.loadgen.devices = 16;
+  driver.loadgen.requests = requests;
+  driver.loadgen.rate_per_s = 30;
+  driver.loadgen.seed = 23;
+  const auto stream = core::make_load_stream(driver);
+  sim::SimTime last_arrival = 0;
+  for (const auto& request : stream) {
+    last_arrival = std::max(last_arrival, request.arrival);
+  }
+
+  core::SessionConfig gold_config;
+  gold_config.tenant = "gold";
+  gold_config.tenant_weight = 3;
+  core::SessionConfig bronze_config;
+  bronze_config.tenant = "bronze";
+  core::Result<core::Session> gold = platform.open_session(gold_config);
+  core::Result<core::Session> bronze =
+      platform.open_session(bronze_config);
+  for (const auto& request : stream) {
+    ((request.sequence % 2 != 0) ? *bronze : *gold).submit(request);
+  }
+  const auto in_window = [&](const std::vector<core::RequestOutcome>& v) {
+    std::size_t count = 0;
+    for (const auto& outcome : v) {
+      if (!outcome.rejected && outcome.completed_at <= last_arrival) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  return {in_window(gold->close()), in_window(bronze->close())};
+}
+
+std::string flood_json(const FloodResult& r) {
+  const core::ClassLoadStats& interactive =
+      r.summary.for_class(core::qos::PriorityClass::kInteractive);
+  std::string body = "{";
+  const auto field = [&body](const char* key, const std::string& value) {
+    if (body.size() > 1) body += ',';
+    body += '"';
+    body += key;
+    body += "\":";
+    body += value;
+  };
+  field("interactive_completed",
+        obs::json_number(
+            static_cast<std::uint64_t>(interactive.completed)));
+  field("interactive_p50_ms", obs::json_number(interactive.p50_ms));
+  field("interactive_p99_ms", obs::json_number(interactive.p99_ms));
+  field("batch_completed",
+        obs::json_number(static_cast<std::uint64_t>(
+            r.summary.for_class(core::qos::PriorityClass::kBatch)
+                .completed)));
+  field("batch_shed",
+        obs::json_number(static_cast<std::uint64_t>(r.batch_shed)));
+  field("goodput_per_s", obs::json_number(r.summary.goodput_per_s));
+  body += '}';
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const std::size_t flood_requests = quick ? 400 : 3000;
+  const double batch_rate = 120.0;
+
+  std::printf(
+      "QoS protection — interactive p99 under a %.0f/s batch flood "
+      "(Linpack, %zu requests)\n",
+      batch_rate, flood_requests);
+  bench::print_rule('=');
+  std::printf("%-22s | %9s %9s | %8s %8s\n", "scenario", "i_p50[ms]",
+              "i_p99[ms]", "i_done", "b_shed");
+  bench::print_rule();
+
+  bench::JsonEmitter json("bench_ext_qos");
+
+  const FloodResult unloaded =
+      run_flood(0.0, /*qos_on=*/true,
+                std::max<std::size_t>(60, flood_requests / 10));
+  const FloodResult protected_run =
+      run_flood(batch_rate, /*qos_on=*/true, flood_requests);
+  const FloodResult fifo_run =
+      run_flood(batch_rate, /*qos_on=*/false, flood_requests);
+
+  const auto row = [](const char* name, const FloodResult& r) {
+    const core::ClassLoadStats& i =
+        r.summary.for_class(core::qos::PriorityClass::kInteractive);
+    std::printf("%-22s | %9.1f %9.1f | %8zu %8zu\n", name, i.p50_ms,
+                i.p99_ms, i.completed, r.batch_shed);
+  };
+  row("unloaded", unloaded);
+  row("batch flood, QoS on", protected_run);
+  row("batch flood, FIFO", fifo_run);
+  bench::print_rule();
+
+  const double base_p99 =
+      unloaded.summary.for_class(core::qos::PriorityClass::kInteractive)
+          .p99_ms;
+  const double qos_p99 =
+      protected_run.summary
+          .for_class(core::qos::PriorityClass::kInteractive)
+          .p99_ms;
+  const double fifo_p99 =
+      fifo_run.summary.for_class(core::qos::PriorityClass::kInteractive)
+          .p99_ms;
+  const double blowup = base_p99 > 0 ? qos_p99 / base_p99 : 0;
+  const bool bounded = blowup <= 2.0;
+  std::printf(
+      "interactive p99: %.1f ms unloaded -> %.1f ms under flood with QoS "
+      "(%.2fx, bound 2x: %s)\n"
+      "                 vs %.1f ms through the legacy FIFO (%.2fx)\n",
+      base_p99, qos_p99, blowup, bounded ? "OK" : "VIOLATED", fifo_p99,
+      base_p99 > 0 ? fifo_p99 / base_p99 : 0);
+
+  const std::size_t weighted_requests = quick ? 400 : 1200;
+  const auto [gold_done, bronze_done] = run_weighted(weighted_requests);
+  const double ratio =
+      bronze_done > 0 ? static_cast<double>(gold_done) /
+                            static_cast<double>(bronze_done)
+                      : 0;
+  std::printf(
+      "weighted fairness: 3:1 weights, equal load -> %zu vs %zu "
+      "in-window completions (%.2f:1)\n",
+      gold_done, bronze_done, ratio);
+
+  json.add_raw("unloaded", flood_json(unloaded));
+  json.add_raw("flood_qos", flood_json(protected_run));
+  json.add_raw("flood_fifo", flood_json(fifo_run));
+  json.add_raw("summary",
+               "{\"p99_blowup_qos\":" + obs::json_number(blowup) +
+                   ",\"p99_blowup_fifo\":" +
+                   obs::json_number(base_p99 > 0 ? fifo_p99 / base_p99
+                                                 : 0) +
+                   ",\"bounded\":" + (bounded ? "true" : "false") +
+                   ",\"weighted_ratio\":" + obs::json_number(ratio) + "}");
+
+  // The 2x bound is the acceptance bar for the QoS subsystem; a
+  // violation should fail the CI smoke run loudly.
+  return bounded ? 0 : 1;
+}

@@ -4,30 +4,6 @@
 
 namespace rattrap::core {
 
-const char* to_string(RejectReason reason) {
-  switch (reason) {
-    case RejectReason::kNone:
-      return "none";
-    case RejectReason::kAccessDenied:
-      return "access_denied";
-    case RejectReason::kQueueFull:
-      return "queue_full";
-    case RejectReason::kRateLimited:
-      return "rate_limited";
-    case RejectReason::kOverloaded:
-      return "overloaded";
-    case RejectReason::kCapacity:
-      return "capacity";
-    case RejectReason::kConnectFailed:
-      return "connect_failed";
-    case RejectReason::kRedispatchExhausted:
-      return "redispatch_exhausted";
-    case RejectReason::kStranded:
-      return "stranded";
-  }
-  return "?";
-}
-
 bool TokenBucket::try_take(sim::SimTime now) {
   if (now > last_refill_) {
     tokens_ = std::min(
@@ -46,9 +22,11 @@ AdmissionController::AdmissionController(const AdmissionConfig& config,
       monitor_(monitor),
       max_in_service_(config.max_in_service > 0 ? config.max_in_service
                                                 : 4 * server_cores),
-      queue_capacity_(config.queue_capacity) {}
+      queue_capacity_(config.queue_capacity),
+      scheduler_(config.qos, config.queue_capacity) {}
 
 void AdmissionController::set_metrics(obs::MetricsRegistry* metrics) {
+  scheduler_.set_metrics(metrics);
   if (metrics == nullptr) {
     metric_admitted_ = metric_enqueued_ = metric_rejected_queue_full_ =
         metric_rejected_rate_limited_ = metric_rejected_overloaded_ = nullptr;
@@ -72,16 +50,16 @@ void AdmissionController::set_metrics(obs::MetricsRegistry* metrics) {
       "admission.queue.depth_samples", obs::queue_depth_buckets());
 }
 
-AdmissionController::Verdict AdmissionController::offer(
-    const std::string& tenant, sim::SimTime now) {
+Result<AdmissionController::Admitted> AdmissionController::offer(
+    const Offer& offer, sim::SimTime now) {
   if (config_.tenant_rate_per_s > 0) {
-    auto it = buckets_.find(tenant);
+    auto it = buckets_.find(offer.tenant);
     if (it == buckets_.end()) {
       const double burst = config_.tenant_burst > 0
                                ? config_.tenant_burst
                                : std::max(1.0, config_.tenant_rate_per_s);
       it = buckets_
-               .emplace(tenant,
+               .emplace(offer.tenant,
                         TokenBucket(config_.tenant_rate_per_s, burst))
                .first;
     }
@@ -90,43 +68,48 @@ AdmissionController::Verdict AdmissionController::offer(
       if (metric_rejected_rate_limited_ != nullptr) {
         metric_rejected_rate_limited_->inc();
       }
-      return Verdict::kRejectRateLimited;
+      return RejectReason::kRateLimited;
     }
   }
-  if (config_.shed_utilization > 0 &&
-      monitor_.load_fraction() >= config_.shed_utilization) {
+  // Per-class shed threshold: interactive traffic can be configured to
+  // survive utilization levels that shed batch (docs/QOS.md).
+  const double shed =
+      scheduler_.shed_threshold(offer.klass, config_.shed_utilization);
+  if (shed > 0 && monitor_.load_fraction() >= shed) {
     ++rejected_;
     if (metric_rejected_overloaded_ != nullptr) {
       metric_rejected_overloaded_->inc();
     }
-    return Verdict::kRejectOverloaded;
+    return RejectReason::kOverloaded;
   }
   if (in_service_ < max_in_service_) {
     ++in_service_;
     ++admitted_;
     if (metric_admitted_ != nullptr) metric_admitted_->inc();
     update_gauges();
-    return Verdict::kAdmit;
+    return Admitted::kDispatch;
   }
-  if (queue_depth_ < queue_capacity_) {
-    ++queue_depth_;
-    if (metric_enqueued_ != nullptr) metric_enqueued_->inc();
-    if (metric_queue_depth_samples_ != nullptr) {
-      metric_queue_depth_samples_->observe(
-          static_cast<double>(queue_depth_));
+  const Result<std::uint32_t> pushed =
+      scheduler_.push(offer.klass, offer.tenant, offer.id, now);
+  if (!pushed) {
+    ++rejected_;
+    if (metric_rejected_queue_full_ != nullptr) {
+      metric_rejected_queue_full_->inc();
     }
-    if (metric_queue_peak_ != nullptr) {
-      metric_queue_peak_->set(std::max(
-          metric_queue_peak_->value(), static_cast<double>(queue_depth_)));
-    }
-    update_gauges();
-    return Verdict::kEnqueue;
+    return pushed.error();
   }
-  ++rejected_;
-  if (metric_rejected_queue_full_ != nullptr) {
-    metric_rejected_queue_full_->inc();
+  if (metric_enqueued_ != nullptr) metric_enqueued_->inc();
+  if (metric_queue_depth_samples_ != nullptr) {
+    metric_queue_depth_samples_->observe(
+        static_cast<double>(scheduler_.total_depth()));
   }
-  return Verdict::kRejectQueueFull;
+  if (metric_queue_peak_ != nullptr) {
+    metric_queue_peak_->set(
+        std::max(metric_queue_peak_->value(),
+                 static_cast<double>(scheduler_.total_depth())));
+  }
+  update_gauges();
+  return Admitted::kQueued;
 }
 
 void AdmissionController::release() {
@@ -134,19 +117,25 @@ void AdmissionController::release() {
   update_gauges();
 }
 
-void AdmissionController::start_queued(sim::SimDuration waited) {
-  if (queue_depth_ > 0) --queue_depth_;
+std::optional<qos::QosScheduler::Popped> AdmissionController::pop_queued(
+    sim::SimTime now) {
+  if (!can_start_queued()) return std::nullopt;
+  std::optional<qos::QosScheduler::Popped> popped = scheduler_.pop(now);
+  if (!popped) return std::nullopt;
   ++in_service_;
   ++admitted_;
   if (metric_admitted_ != nullptr) metric_admitted_->inc();
   if (metric_queue_wait_ms_ != nullptr) {
-    metric_queue_wait_ms_->observe(sim::to_millis(waited));
+    metric_queue_wait_ms_->observe(sim::to_millis(popped->waited));
   }
   update_gauges();
+  return popped;
 }
 
-void AdmissionController::abandon_queued() {
-  if (queue_depth_ > 0) --queue_depth_;
+void AdmissionController::abandon_queued(qos::PriorityClass klass,
+                                         const std::string& tenant,
+                                         std::uint64_t id) {
+  scheduler_.remove(klass, tenant, id);
   update_gauges();
 }
 
@@ -154,7 +143,7 @@ double AdmissionController::backpressure() const {
   if (!config_.enabled) return 0.0;
   double bp = 0.0;
   if (queue_capacity_ > 0) {
-    bp = static_cast<double>(queue_depth_) /
+    bp = static_cast<double>(scheduler_.total_depth()) /
          static_cast<double>(queue_capacity_);
   }
   // Utilization component: 0 at the shed threshold's lower half, 1 at
@@ -168,7 +157,7 @@ double AdmissionController::backpressure() const {
 
 void AdmissionController::update_gauges() {
   if (metric_queue_depth_ != nullptr) {
-    metric_queue_depth_->set(static_cast<double>(queue_depth_));
+    metric_queue_depth_->set(static_cast<double>(scheduler_.total_depth()));
   }
   if (metric_backpressure_ != nullptr) {
     metric_backpressure_->set(backpressure());

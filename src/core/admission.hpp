@@ -3,17 +3,21 @@
 // The paper's density argument only holds while the server is protected:
 // CloneCloud-style offloading collapses precisely when the cloud side
 // saturates, so a production Dispatcher must bound what it accepts
-// instead of letting an unbounded session backlog melt the host.  Three
+// instead of letting an unbounded session backlog melt the host.  The
 // mechanisms, all deterministic:
 //
-//   * a bounded accept queue — sessions the server cannot start yet wait
-//     in FIFO order; when the queue is full, new arrivals are shed;
-//   * per-tenant token buckets — each application (the tenant sharing
-//     the platform) is limited to a sustained request rate plus a burst
-//     allowance, so one chatty app cannot starve the rest;
+//   * class-aware bounded accept queues — sessions the server cannot
+//     start yet wait in a QosScheduler (priority classes + weighted DRR
+//     across tenants, docs/QOS.md); when a class lane is full, new
+//     arrivals of that class are shed.  With QoS disabled this is the
+//     single FIFO of the original front door.
+//   * per-tenant token buckets — each tenant sharing the platform is
+//     limited to a sustained request rate plus a burst allowance, so one
+//     chatty app cannot starve the rest;
 //   * utilization-based load shedding — when the Monitor reports the
-//     compute plane saturated beyond a threshold, arrivals are rejected
-//     outright with a typed reply the device can back off on.
+//     compute plane saturated beyond a (per-class) threshold, arrivals
+//     are rejected outright with a typed reply the device can back off
+//     on.
 //
 // The controller also derives a backpressure signal in [0, 1] from queue
 // occupancy and Monitor utilization; closed-loop load generators stretch
@@ -22,28 +26,16 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/monitor.hpp"
+#include "core/offload.hpp"
+#include "core/qos/scheduler.hpp"
 #include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace rattrap::core {
-
-/// Why a session ended without executing (the typed reject reply).
-enum class RejectReason : std::uint8_t {
-  kNone = 0,           ///< not rejected
-  kAccessDenied,       ///< Request-based Access Controller block (§IV-E)
-  kQueueFull,          ///< bounded accept queue at capacity
-  kRateLimited,        ///< tenant token bucket empty
-  kOverloaded,         ///< utilization shed threshold exceeded
-  kCapacity,           ///< environment provisioning failed (host full)
-  kConnectFailed,      ///< connection-attempt budget exhausted
-  kRedispatchExhausted,///< crashed-environment re-dispatch budget spent
-  kStranded,           ///< still in flight when the simulation drained
-};
-
-[[nodiscard]] const char* to_string(RejectReason reason);
 
 struct AdmissionConfig {
   /// Master switch; disabled keeps the pre-admission behaviour (every
@@ -54,8 +46,9 @@ struct AdmissionConfig {
   /// from the calibration: 4 × server cores.
   std::uint32_t max_in_service = 0;
 
-  /// Bounded accept queue capacity; arrivals beyond it are shed. 0
-  /// disables queueing entirely (admit-or-reject).
+  /// Bounded accept-queue capacity; arrivals beyond it are shed. With
+  /// QoS enabled this is the default per-class lane capacity (overridden
+  /// per class by qos.<class>.queue_capacity).
   std::uint32_t queue_capacity = 64;
 
   /// Per-tenant sustained request rate (req/s); 0 disables rate
@@ -68,8 +61,13 @@ struct AdmissionConfig {
 
   /// Shed arrivals while Monitor utilization (running jobs / cores)
   /// meets or exceeds this fraction; 0 disables shedding.  Values > 1
-  /// tolerate oversubscription before shedding.
+  /// tolerate oversubscription before shedding.  Per-class overrides live
+  /// in qos.<class>.shed_utilization.
   double shed_utilization = 0.0;
+
+  /// Class scheduling policy (docs/QOS.md).  Disabled degrades the
+  /// accept queue to the legacy single FIFO.
+  qos::QosConfig qos;
 };
 
 /// Deterministic token bucket over simulated time.
@@ -92,40 +90,54 @@ class TokenBucket {
 
 class AdmissionController {
  public:
-  enum class Verdict : std::uint8_t {
-    kAdmit = 0,
-    kEnqueue,
-    kRejectQueueFull,
-    kRejectRateLimited,
-    kRejectOverloaded,
+  /// How an accepted arrival proceeds.
+  enum class Admitted : std::uint8_t {
+    kDispatch = 0,  ///< holds an in-service slot; dispatch immediately
+    kQueued,        ///< parked in the class queue; popped when a slot frees
+  };
+
+  /// One arrival at the front door.
+  struct Offer {
+    std::string tenant;
+    qos::PriorityClass klass = qos::PriorityClass::kStandard;
+    /// Caller-owned id for the queued item (the platform uses the request
+    /// sequence); echoed back by pop_queued().
+    std::uint64_t id = 0;
   };
 
   AdmissionController(const AdmissionConfig& config,
                       const MonitorScheduler& monitor,
                       std::uint32_t server_cores);
 
-  /// Decides one arrival from `tenant` at virtual time `now`.  kAdmit
-  /// and kEnqueue update in-service / queue-depth accounting; the caller
-  /// owns the actual queued session objects and must pair every kAdmit
-  /// with release() and every kEnqueue with either start_queued() or
-  /// abandon_queued().
-  Verdict offer(const std::string& tenant, sim::SimTime now);
+  /// Decides one arrival at virtual time `now`.  The typed error carries
+  /// the reject reason (kRateLimited / kOverloaded / kQueueFull); kAdmit
+  /// results update in-service or queue accounting.  The caller owns the
+  /// session objects and must pair every kDispatch with release() and
+  /// every kQueued with either pop_queued() or abandon_queued().
+  Result<Admitted> offer(const Offer& offer, sim::SimTime now);
 
   /// An admitted (in-service) session finished; frees its slot.
   void release();
 
-  /// True when a dispatch slot is free and the accept queue is
-  /// non-empty — the caller should pop its oldest queued session and
-  /// call start_queued() for it.
+  /// True when a dispatch slot is free and some class queue is
+  /// non-empty — the caller should pop_queued() and dispatch the result.
   [[nodiscard]] bool can_start_queued() const {
-    return queue_depth_ > 0 && in_service_ < max_in_service_;
+    return scheduler_.total_depth() > 0 && in_service_ < max_in_service_;
   }
 
-  /// Moves one queued session into service (queue → in-service).
-  void start_queued(sim::SimDuration waited);
+  /// Pops the next queued session under priority + DRR and moves it into
+  /// service; nullopt when nothing is queued or no slot is free.
+  std::optional<qos::QosScheduler::Popped> pop_queued(sim::SimTime now);
 
-  /// A queued session evaporated without starting (end-of-run drain).
-  void abandon_queued();
+  /// A queued session evaporated without starting (finished while
+  /// waiting, or the end-of-run drain); removes it from its class queue.
+  void abandon_queued(qos::PriorityClass klass, const std::string& tenant,
+                      std::uint64_t id);
+
+  /// DRR weight for `tenant` within its class (docs/QOS.md).
+  void set_tenant_weight(const std::string& tenant, std::uint32_t weight) {
+    scheduler_.set_tenant_weight(tenant, weight);
+  }
 
   /// Backpressure in [0, 1]: max of queue occupancy and how far Monitor
   /// utilization overshoots the shed threshold (or 1.0× cores when
@@ -133,7 +145,9 @@ class AdmissionController {
   [[nodiscard]] double backpressure() const;
 
   [[nodiscard]] std::uint32_t in_service() const { return in_service_; }
-  [[nodiscard]] std::uint32_t queue_depth() const { return queue_depth_; }
+  [[nodiscard]] std::uint32_t queue_depth() const {
+    return static_cast<std::uint32_t>(scheduler_.total_depth());
+  }
   [[nodiscard]] std::uint32_t queue_capacity() const {
     return queue_capacity_;
   }
@@ -143,8 +157,14 @@ class AdmissionController {
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
 
-  /// Attaches a metrics registry (admission.* instruments,
-  /// docs/LOADGEN.md). nullptr detaches.
+  /// The class scheduler (queue introspection for invariants and tests).
+  [[nodiscard]] qos::QosScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const qos::QosScheduler& scheduler() const {
+    return scheduler_;
+  }
+
+  /// Attaches a metrics registry (admission.* and qos.* instruments,
+  /// docs/LOADGEN.md, docs/QOS.md). nullptr detaches.
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
@@ -155,10 +175,10 @@ class AdmissionController {
   std::uint32_t max_in_service_;
   std::uint32_t queue_capacity_;
   std::uint32_t in_service_ = 0;
-  std::uint32_t queue_depth_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
-  std::map<std::string, TokenBucket> buckets_;  ///< by tenant (app id)
+  std::map<std::string, TokenBucket> buckets_;  ///< by tenant
+  qos::QosScheduler scheduler_;
 
   obs::Counter* metric_admitted_ = nullptr;
   obs::Counter* metric_enqueued_ = nullptr;

@@ -6,29 +6,71 @@
 
 namespace rattrap::core {
 
-Cluster::Cluster(PlatformConfig config, std::size_t servers) {
+Cluster::Cluster(PlatformConfig config, std::size_t servers,
+                 qos::PlacementPolicy placement)
+    : placement_(placement),
+      placer_(servers, config.seed),
+      static_counts_(servers, 0) {
   assert(servers > 0);
   servers_.reserve(servers);
   for (std::size_t i = 0; i < servers; ++i) {
     PlatformConfig per_server = config;
     per_server.seed = config.seed + 7919 * (i + 1);
+    per_server.shard_index = static_cast<std::int32_t>(i);
     servers_.push_back(std::make_unique<Platform>(per_server));
   }
   stats_.servers = servers;
 }
 
+double Cluster::probe(std::size_t shard) {
+  // Live load signal: sessions waiting at the admission front door plus
+  // jobs occupying the compute plane.  Both read 0 on an idle server, so
+  // the placer's own in-pass routing counts break first-wave ties.
+  Platform& platform = *servers_[shard];
+  return static_cast<double>(platform.accept_queue_depth()) +
+         static_cast<double>(platform.server().monitor().running_jobs());
+}
+
+std::size_t Cluster::shard_for_device(std::uint32_t device_id) const {
+  if (placement_ == qos::PlacementPolicy::kStatic) {
+    return device_id % servers_.size();
+  }
+  if (const auto shard = placer_.shard_of(device_id)) return *shard;
+  // Unplaced device: the decision is made (and remembered) on its first
+  // routed request, so predicting it here would desync the candidate
+  // stream.  Report the static fallback.
+  return device_id % servers_.size();
+}
+
+std::size_t Cluster::devices_on_shard(std::size_t shard) const {
+  return placement_ == qos::PlacementPolicy::kStatic
+             ? static_counts_.at(shard)
+             : placer_.assigned(shard);
+}
+
 std::vector<RequestOutcome> Cluster::run(
     const std::vector<workloads::OffloadRequest>& stream) {
   const std::size_t n = servers_.size();
-  // Shard by owning device; renumber sequences per shard so each
-  // platform sees a dense stream, then restore the originals.
+  // Route each request to the server owning its device — statically or
+  // by sticky power-of-two-choices over the live load probe — and
+  // renumber sequences per shard so each platform sees a dense stream.
+  // Devices keep their original ids: each server simply serves a sparse
+  // subset of the device population.
   std::vector<std::vector<workloads::OffloadRequest>> shards(n);
   std::vector<std::vector<std::uint64_t>> original_sequence(n);
   for (const auto& request : stream) {
-    const std::size_t shard = request.device_id % n;
+    std::size_t shard;
+    if (placement_ == qos::PlacementPolicy::kStatic) {
+      shard = request.device_id % n;
+      if (static_seen_.insert(request.device_id).second) {
+        ++static_counts_[shard];
+      }
+    } else {
+      shard = placer_.place(request.device_id,
+                            [this](std::size_t s) { return probe(s); });
+    }
     workloads::OffloadRequest local = request;
     local.sequence = shards[shard].size();
-    local.device_id = request.device_id / static_cast<std::uint32_t>(n);
     shards[shard].push_back(local);
     original_sequence[shard].push_back(request.sequence);
   }
@@ -43,12 +85,9 @@ std::vector<RequestOutcome> Cluster::run(
     auto outcomes = servers_[shard]->run(shards[shard]);
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       RequestOutcome outcome = std::move(outcomes[i]);
-      // Restore the caller-visible identifiers.
+      // Restore the caller-visible sequence.
       const std::uint64_t original = original_sequence[shard][i];
       outcome.request.sequence = original;
-      outcome.request.device_id =
-          outcome.request.device_id * static_cast<std::uint32_t>(n) +
-          static_cast<std::uint32_t>(shard);
       merged[original] = std::move(outcome);
     }
   });

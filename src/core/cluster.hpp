@@ -7,13 +7,21 @@
 // interact, which keeps every per-server simulation independent and
 // deterministic.  The front-end merges per-server outcomes back into
 // stream order and aggregates fleet-level statistics.
+//
+// Device→server placement is admission-aware by default: a new device is
+// routed by power-of-two-choices over each candidate server's live load
+// (admission-queue depth + Monitor utilization, qos/placement.hpp), and
+// the choice is sticky for the device's lifetime.  kStatic restores the
+// pre-QoS `device_id % servers` sharding.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/platform.hpp"
+#include "core/qos/placement.hpp"
 
 namespace rattrap::core {
 
@@ -30,11 +38,12 @@ class Cluster {
  public:
   /// `servers` identical machines running `config`. Each server's
   /// platform gets a distinct seed derived from config.seed.
-  Cluster(PlatformConfig config, std::size_t servers);
+  Cluster(PlatformConfig config, std::size_t servers,
+          qos::PlacementPolicy placement = qos::PlacementPolicy::kPowerOfTwo);
 
   /// Replays a stream across the cluster: requests are routed to the
-  /// server owning their device (device_id % servers). Outcomes come back
-  /// indexed by the original sequence.
+  /// server owning their device.  Outcomes come back indexed by the
+  /// original sequence.
   std::vector<RequestOutcome> run(
       const std::vector<workloads::OffloadRequest>& stream);
 
@@ -42,12 +51,28 @@ class Cluster {
   [[nodiscard]] Platform& server(std::size_t index) {
     return *servers_.at(index);
   }
+  [[nodiscard]] qos::PlacementPolicy placement() const { return placement_; }
+
+  /// The server a device is (or would be, for an unseen device under
+  /// kStatic) routed to.
+  [[nodiscard]] std::size_t shard_for_device(std::uint32_t device_id) const;
+
+  /// Devices currently routed to `shard` (placement decisions so far).
+  [[nodiscard]] std::size_t devices_on_shard(std::size_t shard) const;
 
   /// Fleet statistics over everything run so far.
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
 
  private:
+  /// Live load score for a shard: admission queue depth plus running
+  /// jobs (Monitor utilization × cores).  Higher is busier.
+  [[nodiscard]] double probe(std::size_t shard);
+
   std::vector<std::unique_ptr<Platform>> servers_;
+  qos::PlacementPolicy placement_;
+  qos::PowerOfTwoPlacer placer_;
+  std::vector<std::size_t> static_counts_;  ///< kStatic bookkeeping
+  std::set<std::uint32_t> static_seen_;     ///< kStatic: devices routed
   ClusterStats stats_;
 };
 

@@ -14,12 +14,17 @@ std::string Dispatcher::binding_key(const workloads::OffloadRequest& request,
 void Dispatcher::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     assign_total_ = assign_new_env_ = nullptr;
+    assign_by_class_.fill(nullptr);
     affinity_hits_ = affinity_misses_ = nullptr;
     affinity_hit_rate_ = nullptr;
     return;
   }
   assign_total_ = &metrics->counter("dispatcher.assign.total");
   assign_new_env_ = &metrics->counter("dispatcher.assign.new_env");
+  for (const qos::PriorityClass klass : qos::kAllClasses) {
+    assign_by_class_[qos::class_index(klass)] = &metrics->counter(
+        std::string("dispatcher.assign.") + qos::to_string(klass));
+  }
   affinity_hits_ = &metrics->counter("dispatcher.affinity.hits");
   affinity_misses_ = &metrics->counter("dispatcher.affinity.misses");
   affinity_hit_rate_ = &metrics->gauge("dispatcher.affinity.hit_rate");
@@ -27,11 +32,15 @@ void Dispatcher::set_metrics(obs::MetricsRegistry* metrics) {
 
 EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
                               const std::string& app_id, sim::SimTime now,
-                              sim::SimDuration backlog_threshold) {
-  const auto finish = [this](EnvRecord* record, bool affinity_hit) {
+                              sim::SimDuration backlog_threshold,
+                              qos::PriorityClass klass) {
+  const auto finish = [this, klass](EnvRecord* record, bool affinity_hit) {
     if (assign_total_ != nullptr) {
       assign_total_->inc();
       if (record == nullptr) assign_new_env_->inc();
+      if (assign_by_class_[qos::class_index(klass)] != nullptr) {
+        assign_by_class_[qos::class_index(klass)]->inc();
+      }
       if (affinity_) {
         (affinity_hit ? affinity_hits_ : affinity_misses_)->inc();
         const double total = static_cast<double>(affinity_hits_->value() +

@@ -7,10 +7,12 @@
 // (§IV-D) — saving the code-loading time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "core/container_db.hpp"
+#include "core/qos/qos.hpp"
 #include "core/warehouse.hpp"
 #include "obs/metrics.hpp"
 #include "workloads/generator.hpp"
@@ -39,7 +41,9 @@ class Dispatcher {
                                   const std::string& app_id,
                                   sim::SimTime now,
                                   sim::SimDuration backlog_threshold =
-                                      sim::from_millis(600));
+                                      sim::from_millis(600),
+                                  qos::PriorityClass klass =
+                                      qos::PriorityClass::kStandard);
 
   [[nodiscard]] bool affinity() const { return affinity_; }
 
@@ -54,6 +58,7 @@ class Dispatcher {
   bool affinity_;
   obs::Counter* assign_total_ = nullptr;
   obs::Counter* assign_new_env_ = nullptr;
+  std::array<obs::Counter*, qos::kClassCount> assign_by_class_{};
   obs::Counter* affinity_hits_ = nullptr;
   obs::Counter* affinity_misses_ = nullptr;
   obs::Gauge* affinity_hit_rate_ = nullptr;

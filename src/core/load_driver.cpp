@@ -33,6 +33,39 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[std::min(sorted.size() - 1, rank > 0 ? rank - 1 : 0)];
 }
 
+/// One Session per mix entry; a single default standard-class session
+/// when no mix is configured (slot 0 then serves every arrival).
+std::vector<Session> open_mix_sessions(Platform& platform,
+                                       const sim::LoadGenConfig& loadgen) {
+  const std::size_t slots = std::max<std::size_t>(1, loadgen.mix.size());
+  std::vector<Session> sessions;
+  sessions.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    SessionConfig session_config;
+    if (i < loadgen.mix.size()) {
+      const sim::TrafficClassMix& entry = loadgen.mix[i];
+      session_config.tenant = entry.tenant;
+      session_config.priority = static_cast<qos::PriorityClass>(
+          std::min<std::uint8_t>(entry.priority, qos::kClassCount - 1));
+      session_config.tenant_weight = std::max<std::uint32_t>(1, entry.weight);
+    }
+    Result<Session> opened = platform.open_session(session_config);
+    assert(opened && "load-driver session configs are well-formed");
+    sessions.push_back(std::move(*opened));
+  }
+  return sessions;
+}
+
+/// Merges per-session outcome vectors back into sequence order.
+void absorb_outcomes(std::vector<RequestOutcome>& merged,
+                     std::vector<RequestOutcome> part) {
+  for (RequestOutcome& outcome : part) {
+    const std::size_t sequence = outcome.request.sequence;
+    if (merged.size() <= sequence) merged.resize(sequence + 1);
+    merged[sequence] = std::move(outcome);
+  }
+}
+
 }  // namespace
 
 std::vector<workloads::OffloadRequest> make_load_stream(
@@ -54,41 +87,65 @@ std::vector<workloads::OffloadRequest> make_load_stream(
 }
 
 LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
-  if (config.loadgen.arrival != sim::ArrivalProcess::kClosedLoop) {
-    return summarize_load(platform.run(make_load_stream(config)));
+  const std::vector<workloads::TaskSpec> variants = make_variants(config);
+  std::vector<Session> sessions = open_mix_sessions(platform, config.loadgen);
+
+  // The closed-loop source must outlive the close() drain below: the
+  // completion observer captures it and keeps drawing from it until the
+  // run's event queue is empty.
+  sim::ClosedLoopSource source(config.loadgen);
+
+  if (config.loadgen.arrival == sim::ArrivalProcess::kClosedLoop) {
+    // Closed loop: the seed wave is materialized; every follow-up request
+    // is born inside the completion observer, after the issuing device's
+    // think time.  Backpressure at completion instant stretches the think
+    // draw, which is the graceful-degradation feedback path.  Devices are
+    // pinned to one mix slot (mix_for_device), so a device's tenant and
+    // class never flap mid-run.
+    platform.set_completion_observer([&platform, &source, &variants,
+                                      &sessions,
+                                      &config](const RequestOutcome& done) {
+      if (source.exhausted()) return;
+      const std::uint64_t sequence = source.take();
+      const sim::SimDuration think =
+          source.think(done.request.device_id, platform.backpressure());
+      workloads::OffloadRequest next;
+      next.sequence = sequence;
+      next.device_id = done.request.device_id;
+      next.task = variants[sequence % variants.size()];
+      next.arrival = platform.server().simulator().now() + think;
+      sessions[sim::mix_for_device(config.loadgen, done.request.device_id)]
+          .submit(next);
+    });
+    for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
+      const std::uint64_t sequence = source.take();
+      assert(sequence == arrival.sequence);
+      workloads::OffloadRequest request;
+      request.sequence = sequence;
+      request.device_id = arrival.device_id;
+      request.task = variants[sequence % variants.size()];
+      request.arrival = arrival.at;
+      sessions[arrival.mix_index].submit(request);
+    }
+  } else {
+    // Open loop: submit the whole schedule up front, routed by the
+    // per-arrival mix draw.
+    for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
+      workloads::OffloadRequest request;
+      request.sequence = arrival.sequence;
+      request.device_id = arrival.device_id;
+      request.task = variants[arrival.sequence % variants.size()];
+      request.arrival = arrival.at;
+      sessions[arrival.mix_index].submit(request);
+    }
   }
 
-  // Closed loop: the seed wave is materialized; every follow-up request
-  // is born inside the completion observer, after the issuing device's
-  // think time.  Backpressure at completion instant stretches the think
-  // draw, which is the graceful-degradation feedback path.
-  const std::vector<workloads::TaskSpec> variants = make_variants(config);
-  sim::ClosedLoopSource source(config.loadgen);
-  platform.begin_run();
-  platform.set_completion_observer([&platform, &source,
-                                    &variants](const RequestOutcome& done) {
-    if (source.exhausted()) return;
-    const std::uint64_t sequence = source.take();
-    const sim::SimDuration think =
-        source.think(done.request.device_id, platform.backpressure());
-    workloads::OffloadRequest next;
-    next.sequence = sequence;
-    next.device_id = done.request.device_id;
-    next.task = variants[sequence % variants.size()];
-    next.arrival = platform.server().simulator().now() + think;
-    platform.submit(next);
-  });
-  for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
-    const std::uint64_t sequence = source.take();
-    assert(sequence == arrival.sequence);
-    workloads::OffloadRequest request;
-    request.sequence = sequence;
-    request.device_id = arrival.device_id;
-    request.task = variants[sequence % variants.size()];
-    request.arrival = arrival.at;
-    platform.submit(request);
+  // The first close() drains the whole run (the event queue is shared),
+  // so any observer-born follow-ups complete before their session closes.
+  std::vector<RequestOutcome> outcomes;
+  for (Session& session : sessions) {
+    absorb_outcomes(outcomes, session.close());
   }
-  std::vector<RequestOutcome> outcomes = platform.finish_run();
   platform.set_completion_observer({});
   return summarize_load(outcomes);
 }
@@ -98,18 +155,29 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
   summary.offered = outcomes.size();
   std::vector<double> responses_ms;
   responses_ms.reserve(outcomes.size());
+  std::array<std::vector<double>, qos::kClassCount> class_responses_ms;
   double queue_wait_ms = 0;
   sim::SimTime span_end = 0;
   for (const RequestOutcome& outcome : outcomes) {
     span_end = std::max(span_end, outcome.completed_at);
+    ClassLoadStats& klass =
+        summary.by_class[qos::class_index(outcome.qos_class)];
+    ++klass.offered;
     if (outcome.rejected) {
       ++summary.rejected;
+      ++klass.rejected;
       ++summary.rejects_by_reason[outcome.reject_reason];
       if (outcome.stranded) ++summary.stranded;
       continue;
     }
     ++summary.completed;
-    responses_ms.push_back(sim::to_millis(outcome.response));
+    ++klass.completed;
+    if (outcome.deadline_missed) ++klass.deadline_missed;
+    ++summary.completed_by_tenant[outcome.tenant];
+    const double response_ms = sim::to_millis(outcome.response);
+    responses_ms.push_back(response_ms);
+    class_responses_ms[qos::class_index(outcome.qos_class)].push_back(
+        response_ms);
     queue_wait_ms += sim::to_millis(outcome.queue_wait);
   }
   summary.duration_s = sim::to_seconds(span_end);
@@ -129,6 +197,19 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     summary.p99_ms = percentile(responses_ms, 0.99);
     summary.mean_queue_wait_ms =
         queue_wait_ms / static_cast<double>(responses_ms.size());
+  }
+  for (const qos::PriorityClass klass : qos::kAllClasses) {
+    std::vector<double>& sorted =
+        class_responses_ms[qos::class_index(klass)];
+    if (sorted.empty()) continue;
+    std::sort(sorted.begin(), sorted.end());
+    ClassLoadStats& stats = summary.by_class[qos::class_index(klass)];
+    double sum = 0;
+    for (const double r : sorted) sum += r;
+    stats.mean_ms = sum / static_cast<double>(sorted.size());
+    stats.p50_ms = percentile(sorted, 0.50);
+    stats.p95_ms = percentile(sorted, 0.95);
+    stats.p99_ms = percentile(sorted, 0.99);
   }
   return summary;
 }

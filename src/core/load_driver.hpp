@@ -1,20 +1,25 @@
 // Cluster-scale load driver: adapts the sim-layer arrival engine
 // (sim/loadgen.hpp) into offloading requests against a core::Platform.
 //
-// Open-loop runs (Poisson / MMPP) materialize the whole arrival schedule
-// up front and replay it through Platform::run().  Closed-loop runs use
-// the incremental begin_run()/submit()/finish_run() API: a completion
-// observer draws the device's next think time — stretched by the
-// platform's admission backpressure signal — and submits the follow-up
-// request onto the same event queue, so the feedback loop is exactly as
-// deterministic as a replayed stream (docs/LOADGEN.md).
+// Every run drives the platform through the Session API: one session per
+// traffic-mix entry (or a single default standard-class session), each
+// carrying its tenant / priority class / DRR weight.  Open-loop runs
+// (Poisson / MMPP) submit the whole arrival schedule up front; closed-loop
+// runs install a completion observer that draws the device's next think
+// time — stretched by the platform's admission backpressure signal — and
+// submits the follow-up request onto the same event queue, so the feedback
+// loop is exactly as deterministic as a replayed stream (docs/LOADGEN.md,
+// docs/QOS.md).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/platform.hpp"
+#include "core/qos/qos.hpp"
 #include "sim/loadgen.hpp"
 #include "workloads/generator.hpp"
 
@@ -33,6 +38,20 @@ struct LoadDriverConfig {
   /// for real to obtain work units, so a 10^5-request run must reuse a
   /// small variant pool (the process-wide memo makes repeats free).
   std::uint32_t task_variants = 8;
+};
+
+/// Per-priority-class slice of a LoadSummary (docs/QOS.md).
+struct ClassLoadStats {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t deadline_missed = 0;
+
+  // Response-time distribution of this class's *completed* requests (ms).
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
 };
 
 /// What one load-generation run produced, reduced to the numbers the
@@ -56,6 +75,23 @@ struct LoadSummary {
 
   /// Mean accept-queue wait across completed requests (ms).
   double mean_queue_wait_ms = 0;
+
+  /// Per-priority-class breakdown, indexed by qos::class_index().
+  std::array<ClassLoadStats, qos::kClassCount> by_class;
+
+  /// Completed requests per tenant (the DRR fairness numerator).
+  std::map<std::string, std::size_t> completed_by_tenant;
+
+  [[nodiscard]] const ClassLoadStats& for_class(
+      qos::PriorityClass klass) const {
+    return by_class[qos::class_index(klass)];
+  }
+
+  /// Rejects with the given reason (0 when the reason never fired).
+  [[nodiscard]] std::size_t rejected_for(RejectReason reason) const {
+    const auto it = rejects_by_reason.find(reason);
+    return it == rejects_by_reason.end() ? 0 : it->second;
+  }
 };
 
 /// Materialized open-loop request stream for `config` (also the seed wave
@@ -65,9 +101,12 @@ struct LoadSummary {
     const LoadDriverConfig& config);
 
 /// Drives `platform` with the configured load to completion and reduces
-/// the outcomes.  Dispatches on config.loadgen.arrival: open-loop models
-/// replay a materialized schedule; kClosedLoop closes the loop through a
-/// completion observer (installed for the duration of the call).
+/// the outcomes.  Opens one Session per traffic-mix entry (or a single
+/// default session when the mix is empty) so every request carries its
+/// tenant / class / weight through admission.  Dispatches on
+/// config.loadgen.arrival: open-loop models submit a materialized
+/// schedule; kClosedLoop closes the loop through a completion observer
+/// (installed for the duration of the call).
 LoadSummary run_load(Platform& platform, const LoadDriverConfig& config);
 
 /// Reduces an outcome vector to a LoadSummary (exposed for tests).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace rattrap::core {
 
@@ -28,11 +29,16 @@ double MonitorScheduler::cpu_percent(std::size_t second,
 void MonitorScheduler::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     metric_jobs_ = metric_jobs_peak_ = nullptr;
+    metric_class_jobs_.fill(nullptr);
     metric_crashes_reported_ = metric_crashes_detected_ = nullptr;
     return;
   }
   metric_jobs_ = &metrics->gauge("monitor.running_jobs");
   metric_jobs_peak_ = &metrics->gauge("monitor.peak_jobs");
+  for (const qos::PriorityClass klass : qos::kAllClasses) {
+    metric_class_jobs_[qos::class_index(klass)] = &metrics->gauge(
+        std::string("qos.running.") + qos::to_string(klass));
+  }
   metric_crashes_reported_ = &metrics->counter("monitor.crashes.reported");
   metric_crashes_detected_ = &metrics->counter("monitor.crashes.detected");
 }

@@ -6,10 +6,12 @@
 // compute jobs, and exposes utilization for scheduling decisions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <set>
 
+#include "core/qos/qos.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -42,22 +44,40 @@ class MonitorScheduler {
   [[nodiscard]] sim::SimDuration total_busy() const { return total_busy_; }
 
   /// Currently running compute jobs (informational, for scheduling).
-  void job_started() {
+  /// Jobs are accounted per QoS class so the scheduler can see which
+  /// traffic tier is occupying the compute plane (docs/QOS.md).
+  void job_started(
+      qos::PriorityClass klass = qos::PriorityClass::kStandard) {
     ++running_jobs_;
+    ++running_by_class_[qos::class_index(klass)];
     if (metric_jobs_ != nullptr) {
       metric_jobs_->set(static_cast<double>(running_jobs_));
       metric_jobs_peak_->set(
           std::max(metric_jobs_peak_->value(),
                    static_cast<double>(running_jobs_)));
     }
+    if (metric_class_jobs_[qos::class_index(klass)] != nullptr) {
+      metric_class_jobs_[qos::class_index(klass)]->set(static_cast<double>(
+          running_by_class_[qos::class_index(klass)]));
+    }
   }
-  void job_finished() {
+  void job_finished(
+      qos::PriorityClass klass = qos::PriorityClass::kStandard) {
     if (running_jobs_ > 0) --running_jobs_;
+    auto& by_class = running_by_class_[qos::class_index(klass)];
+    if (by_class > 0) --by_class;
     if (metric_jobs_ != nullptr) {
       metric_jobs_->set(static_cast<double>(running_jobs_));
     }
+    if (metric_class_jobs_[qos::class_index(klass)] != nullptr) {
+      metric_class_jobs_[qos::class_index(klass)]->set(
+          static_cast<double>(by_class));
+    }
   }
   [[nodiscard]] std::uint32_t running_jobs() const { return running_jobs_; }
+  [[nodiscard]] std::uint32_t running_jobs(qos::PriorityClass klass) const {
+    return running_by_class_[qos::class_index(klass)];
+  }
 
   /// Instantaneous compute-plane utilization: running jobs per core.
   /// > 1 means the processor-sharing model is stretching every job —
@@ -110,6 +130,7 @@ class MonitorScheduler {
   sim::TimeSeries cpu_{sim::kSecond};
   sim::SimDuration total_busy_ = 0;
   std::uint32_t running_jobs_ = 0;
+  std::array<std::uint32_t, qos::kClassCount> running_by_class_{};
   std::function<void(std::uint32_t)> crash_handler_;
   sim::SimDuration detection_latency_ = 100 * sim::kMillisecond;
   std::set<std::uint32_t> pending_crashes_;
@@ -117,6 +138,7 @@ class MonitorScheduler {
   std::uint64_t detected_ = 0;
   obs::Gauge* metric_jobs_ = nullptr;
   obs::Gauge* metric_jobs_peak_ = nullptr;
+  std::array<obs::Gauge*, qos::kClassCount> metric_class_jobs_{};
   obs::Counter* metric_crashes_reported_ = nullptr;
   obs::Counter* metric_crashes_detected_ = nullptr;
 };

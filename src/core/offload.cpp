@@ -4,6 +4,32 @@
 
 namespace rattrap::core {
 
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kAccessDenied:
+      return "access_denied";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kRateLimited:
+      return "rate_limited";
+    case RejectReason::kOverloaded:
+      return "overloaded";
+    case RejectReason::kCapacity:
+      return "capacity";
+    case RejectReason::kConnectFailed:
+      return "connect_failed";
+    case RejectReason::kRedispatchExhausted:
+      return "redispatch_exhausted";
+    case RejectReason::kStranded:
+      return "stranded";
+    case RejectReason::kInvalidConfig:
+      return "invalid_config";
+  }
+  return "?";
+}
+
 double offload_energy_mj(const PhaseBreakdown& phases,
                          sim::SimDuration upload_time,
                          sim::SimDuration download_time,

@@ -7,15 +7,75 @@
 // it to energy, Fig. 11 to speedup distributions).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
 
-#include "core/admission.hpp"
+#include "core/qos/qos.hpp"
 #include "device/power.hpp"
 #include "net/message.hpp"
 #include "sim/time.hpp"
 #include "workloads/generator.hpp"
 
 namespace rattrap::core {
+
+/// Why a session ended without executing (the typed reject reply).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,           ///< not rejected
+  kAccessDenied,       ///< Request-based Access Controller block (§IV-E)
+  kQueueFull,          ///< bounded accept queue at capacity
+  kRateLimited,        ///< tenant token bucket empty
+  kOverloaded,         ///< utilization shed threshold exceeded
+  kCapacity,           ///< environment provisioning failed (host full)
+  kConnectFailed,      ///< connection-attempt budget exhausted
+  kRedispatchExhausted,///< crashed-environment re-dispatch budget spent
+  kStranded,           ///< still in flight when the simulation drained
+  kInvalidConfig,      ///< malformed session configuration (open_session)
+};
+
+[[nodiscard]] const char* to_string(RejectReason reason);
+
+/// Expected-style result used across the admission / platform front-door
+/// APIs: either a value or a typed RejectReason, never an out-param pair.
+/// Implicitly constructible from both sides so `return kQueueFull;` and
+/// `return Admitted::kDispatch;` read naturally at call sites.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(RejectReason reason) : reason_(reason) {  // NOLINT(google-explicit-constructor)
+    assert(reason != RejectReason::kNone && "errors need a real reason");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// kNone while ok() — callers can always log error().
+  [[nodiscard]] RejectReason error() const { return reason_; }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  RejectReason reason_ = RejectReason::kNone;
+};
 
 struct PhaseBreakdown {
   sim::SimDuration network_connection = 0;
@@ -59,6 +119,16 @@ struct RequestOutcome {
   /// Time spent waiting in the bounded accept queue before dispatch
   /// (admission control; contained in runtime_preparation).
   sim::SimDuration queue_wait = 0;
+
+  // -- QoS identity (docs/QOS.md) --------------------------------------
+
+  /// Tenant the session ran under (SessionConfig::tenant, or the app id
+  /// when the session did not name one).
+  std::string tenant;
+  /// Priority class the session was scheduled in.
+  qos::PriorityClass qos_class = qos::PriorityClass::kStandard;
+  /// The session carried a deadline and the response overshot it.
+  bool deadline_missed = false;
 
   // -- Fault-injection bookkeeping -------------------------------------
 

@@ -78,7 +78,7 @@ struct Platform::Env {
   sim::SimTime commit_end = -1;     ///< -1 while still committed
 };
 
-struct Platform::Session {
+struct Platform::SessionState {
   workloads::OffloadRequest request;
   std::string app_id;
   std::uint64_t apk_bytes = 0;
@@ -111,6 +111,13 @@ struct Platform::Session {
   sim::SimDuration queue_wait = 0;
   sim::SimDuration pending_lead = 0;  ///< dispatch lead cost when popped
 
+  // QoS identity, inherited from the owning Session (docs/QOS.md).
+  std::uint64_t stream_id = 0;
+  std::string tenant;       ///< resolved: stream tenant, or app id
+  qos::PriorityClass klass = qos::PriorityClass::kStandard;
+  sim::SimDuration deadline = 0;
+  std::uint64_t drr_deficit = 0;  ///< tenant deficit after the queue pop
+
   // Observability state (docs/OBSERVABILITY.md). Spans live on track
   // `request.sequence + 1`; track 0 is the platform itself.
   obs::SpanId span_session = obs::kNoSpan;  ///< root "session" span
@@ -122,12 +129,30 @@ struct Platform::Session {
 /// Track 0 carries platform-wide instants (faults outside any session).
 constexpr std::uint64_t kPlatformTrack = 0;
 
+namespace {
+/// Affinity-reroute backlog tolerance by class: interactive sessions give
+/// up the code-cache reroute sooner than batch, which will happily wait
+/// behind a longer queue to save the code push (docs/QOS.md).  Standard
+/// keeps the pre-QoS 600 ms default.
+sim::SimDuration class_backlog_threshold(qos::PriorityClass klass) {
+  switch (klass) {
+    case qos::PriorityClass::kInteractive:
+      return sim::from_millis(300);
+    case qos::PriorityClass::kStandard:
+      return sim::from_millis(600);
+    case qos::PriorityClass::kBatch:
+      return sim::from_millis(1200);
+  }
+  return sim::from_millis(600);
+}
+}  // namespace
+
 // Marks the session a handler (and everything it synchronously calls
 // into — link, tmpfs, warehouse, kernel) acts for, so a fault fired deep
 // inside a component annotates the right span. Scopes nest because
 // handlers invoke each other directly.
 struct Platform::SessionScope {
-  SessionScope(Platform& platform, Session& session)
+  SessionScope(Platform& platform, SessionState& session)
       : platform_(platform),
         prev_session_(platform.active_session_),
         prev_span_(platform.trace_.active()) {
@@ -145,11 +170,11 @@ struct Platform::SessionScope {
 
  private:
   Platform& platform_;
-  Session* prev_session_;
+  SessionState* prev_session_;
   obs::SpanId prev_span_;
 };
 
-void Platform::begin_phase(Session& s, const char* name) {
+void Platform::begin_phase(SessionState& s, const char* name) {
   if (!trace_.enabled()) return;
   if (s.span_phase != obs::kNoSpan) end_phase(s);
   s.span_phase = trace_.begin(s.request.sequence + 1, name, "phase",
@@ -157,7 +182,7 @@ void Platform::begin_phase(Session& s, const char* name) {
   trace_.set_active(s.span_phase);
 }
 
-void Platform::end_phase(Session& s) {
+void Platform::end_phase(SessionState& s) {
   if (s.span_phase == obs::kNoSpan) return;
   trace_.end(s.span_phase, server_->simulator().now());
   s.span_phase = obs::kNoSpan;
@@ -168,7 +193,7 @@ void Platform::on_fault_fired(sim::FaultKind kind, sim::SimTime when) {
       .inc();
   if (!trace_.enabled()) return;
   const std::string name = std::string("fault:") + sim::to_string(kind);
-  Session* s = active_session_;
+  SessionState* s = active_session_;
   if (s != nullptr && !s->done) {
     const std::uint64_t hits = ++s->fault_hits[kind];
     const std::string key = std::string("fault.") + sim::to_string(kind);
@@ -489,7 +514,7 @@ void Platform::retire_env(Env& env) {
 }
 
 // ---------------------------------------------------------------------
-// Session flow
+// SessionState flow
 
 std::vector<RequestOutcome> Platform::run(
     const std::vector<workloads::OffloadRequest>& stream) {
@@ -498,11 +523,150 @@ std::vector<RequestOutcome> Platform::run(
   return finish_run();
 }
 
+// -- Session handles (docs/QOS.md) ------------------------------------
+
+Session::Session(Session&& other) noexcept
+    : platform_(other.platform_), id_(other.id_) {
+  other.platform_ = nullptr;
+  other.id_ = 0;
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    if (platform_ != nullptr) platform_->close_stream(id_);
+    platform_ = other.platform_;
+    id_ = other.id_;
+    other.platform_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Session::~Session() {
+  if (platform_ != nullptr) platform_->close_stream(id_);
+}
+
+void Session::submit(const workloads::OffloadRequest& request) {
+  assert(platform_ != nullptr && "submit on a closed Session");
+  platform_->submit_to_stream(id_, request);
+}
+
+const RequestOutcome* Session::result(std::uint64_t sequence) const {
+  assert(platform_ != nullptr && "result on a closed Session");
+  return platform_->result(sequence);
+}
+
+std::vector<RequestOutcome> Session::close() {
+  assert(platform_ != nullptr && "close on a closed Session");
+  // The handle stays live through the drain: close_stream() runs the
+  // shared event queue dry, and a completion observer may legitimately
+  // submit follow-ups into this very session while that happens
+  // (closed-loop load does exactly this).  Only once the drain finishes
+  // does the handle detach.
+  std::vector<RequestOutcome> results = platform_->close_stream(id_);
+  platform_ = nullptr;
+  return results;
+}
+
+const SessionConfig& Session::config() const {
+  assert(platform_ != nullptr && "config on a closed Session");
+  return platform_->stream_config(id_);
+}
+
+Result<Session> Platform::open_session(SessionConfig config) {
+  if (config.tenant_weight == 0 ||
+      (config.tenant_weight != 1 && config.tenant.empty())) {
+    // A weight needs a named tenant to attach to, and 0 would stall DRR.
+    return RejectReason::kInvalidConfig;
+  }
+  if (!run_active_) reset_run();
+  const std::uint64_t id = next_stream_id_++;
+  Stream stream;
+  stream.config = std::move(config);
+  if (admission_ != nullptr && stream.config.tenant_weight != 1) {
+    admission_->set_tenant_weight(stream.config.tenant,
+                                  stream.config.tenant_weight);
+  }
+  streams_.emplace(id, std::move(stream));
+  return Session(this, id);
+}
+
+const SessionConfig& Platform::stream_config(
+    std::uint64_t stream_id) const {
+  const auto it = streams_.find(stream_id);
+  assert(it != streams_.end());
+  return it->second.config;
+}
+
+const RequestOutcome* Platform::result(std::uint64_t sequence) const {
+  if (sequence >= outcomes_.size() || outcome_done_[sequence] == 0) {
+    return nullptr;
+  }
+  return &outcomes_[sequence];
+}
+
+std::vector<RequestOutcome> Platform::close_stream(
+    std::uint64_t stream_id) {
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end() || !it->second.open) return {};
+  drain_run();
+  it->second.open = false;
+  std::vector<RequestOutcome> results;
+  results.reserve(it->second.sequences.size());
+  for (const std::uint64_t sequence : it->second.sequences) {
+    assert(sequence < outcomes_.size() && outcome_done_[sequence] != 0);
+    results.push_back(outcomes_[sequence]);
+  }
+  bool any_open = false;
+  for (const auto& [id, stream] : streams_) {
+    (void)id;
+    if (stream.open) any_open = true;
+  }
+  if (!any_open) run_active_ = false;
+  return results;
+}
+
+// -- Legacy wrappers (one default session) ----------------------------
+
 void Platform::begin_run() {
+  reset_run();
+  default_stream_ = next_stream_id_++;
+  streams_.emplace(default_stream_, Stream{});
+}
+
+void Platform::submit(const workloads::OffloadRequest& request) {
+  if (!run_active_) reset_run();
+  const auto it = streams_.find(default_stream_);
+  if (it == streams_.end() || !it->second.open) {
+    default_stream_ = next_stream_id_++;
+    streams_.emplace(default_stream_, Stream{});
+  }
+  submit_to_stream(default_stream_, request);
+}
+
+std::vector<RequestOutcome> Platform::finish_run() {
+  drain_run();
+  for (auto& [id, stream] : streams_) {
+    (void)id;
+    stream.open = false;
+  }
+  run_active_ = false;
+  default_stream_ = 0;
+  return outcomes_;
+}
+
+// ---------------------------------------------------------------------
+
+void Platform::reset_run() {
   outcomes_.clear();
+  outcome_done_.clear();
   completed_ = 0;
   live_sessions_.clear();
-  accept_queue_.clear();
+  queued_sessions_.clear();
+  if (admission_ != nullptr) admission_->scheduler().clear();
+  streams_.clear();
+  default_stream_ = 0;
+  run_active_ = true;
   sim::Simulator& simulator = server_->simulator();
   for (std::uint32_t i = envs_.empty() ? 0 : config_.warm_pool;
        i < config_.warm_pool; ++i) {
@@ -538,18 +702,36 @@ void Platform::begin_run() {
   }
 }
 
-void Platform::submit(const workloads::OffloadRequest& request) {
+void Platform::submit_to_stream(std::uint64_t stream_id,
+                                const workloads::OffloadRequest& request) {
+  const auto stream_it = streams_.find(stream_id);
+  assert(stream_it != streams_.end() && stream_it->second.open &&
+         "submit on an unknown or closed session");
+  Stream& stream = stream_it->second;
+  stream.sequences.push_back(request.sequence);
   sim::Simulator& simulator = server_->simulator();
   if (outcomes_.size() <= request.sequence) {
     outcomes_.resize(request.sequence + 1);
+    outcome_done_.resize(request.sequence + 1, 0);
   }
   metrics_.counter("sessions.offered").inc();
-  auto session = std::make_shared<Session>();
+  auto session = std::make_shared<SessionState>();
   session->request = request;
   session->kind = request.task.kind;
   const android::MobileApp& app = app_for(session->kind);
   session->app_id = app.app_id();
   session->apk_bytes = app.apk_bytes();
+  // The QoS identity rides on the session the request was submitted
+  // through; an empty tenant falls back to per-app tenancy (the legacy
+  // token-bucket key).
+  session->stream_id = stream_id;
+  session->klass = stream.config.priority;
+  session->deadline = stream.config.deadline;
+  session->tenant = stream.config.tenant.empty() ? session->app_id
+                                                 : stream.config.tenant;
+  metrics_
+      .counter(std::string("qos.offered.") + qos::to_string(session->klass))
+      .inc();
   // Execute the real kernel now; work units drive the simulated times.
   // Identical tasks replayed across platforms (§VI-D record/replay)
   // share one execution through a process-wide memo.
@@ -561,7 +743,7 @@ void Platform::submit(const workloads::OffloadRequest& request) {
                         [this, session]() { on_arrival(session); });
 }
 
-std::vector<RequestOutcome> Platform::finish_run() {
+void Platform::drain_run() {
   sim::Simulator& simulator = server_->simulator();
   simulator.run();
   if (faults_) {
@@ -569,14 +751,16 @@ std::vector<RequestOutcome> Platform::finish_run() {
     // can strand on a dead environment; the event queue drains with
     // their outcomes unrecorded. Mark them rejected so the caller sees
     // every request accounted for — and so the invariant report is the
-    // only place a stranding hides.  Sessions stranded *in the accept
+    // only place a stranding hides.  Sessions stranded *in a class
     // queue* (every in-service session died first) give their slot back
     // so the admission ledger stays balanced.
     for (const auto& s : live_sessions_) {
       if (s->done) continue;
       if (admission_ != nullptr) {
         if (s->queued) {
-          admission_->abandon_queued();
+          admission_->abandon_queued(s->klass, s->tenant,
+                                     s->request.sequence);
+          queued_sessions_.erase(s->request.sequence);
           s->queued = false;
         }
         if (s->admitted) {
@@ -592,32 +776,53 @@ std::vector<RequestOutcome> Platform::finish_run() {
       outcome.rejected = true;
       outcome.reject_reason = RejectReason::kStranded;
       outcome.stranded = true;
+      outcome.tenant = s->tenant;
+      outcome.qos_class = s->klass;
       outcome.dispatch_attempts = s->dispatch_attempts;
       outcome.connect_attempts = s->connect_attempts;
-      assert(s->request.sequence < outcomes_.size());
-      outcomes_[s->request.sequence] = std::move(outcome);
+      record_outcome(s->request.sequence, std::move(outcome));
       s->done = true;
       ++completed_;
       metrics_.counter("sessions.stranded").inc();
+      metrics_
+          .counter(std::string("qos.stranded.") + qos::to_string(s->klass))
+          .inc();
       if (s->span_session != obs::kNoSpan) {
         trace_.annotate(s->span_session, "stranded", std::uint64_t{1});
       }
     }
     live_sessions_.clear();
-    accept_queue_.clear();
+    queued_sessions_.clear();
   }
   trace_.close_open_spans(simulator.now());
   assert(completed_ == outcomes_.size());
-  return outcomes_;
 }
 
-void Platform::on_arrival(std::shared_ptr<Session> s) {
+void Platform::record_outcome(std::uint64_t sequence,
+                              RequestOutcome outcome) {
+  assert(sequence < outcomes_.size());
+  outcomes_[sequence] = std::move(outcome);
+  outcome_done_[sequence] = 1;
+}
+
+void Platform::on_arrival(std::shared_ptr<SessionState> s) {
   if (trace_.enabled()) {
     s->span_session = trace_.begin(s->request.sequence + 1, "session",
                                    "session", server_->simulator().now());
     trace_.annotate(s->span_session, "app", s->app_id);
     trace_.annotate(s->span_session, "device",
                     static_cast<std::uint64_t>(s->request.device_id));
+    trace_.annotate(s->span_session, "class", qos::to_string(s->klass));
+    trace_.annotate(s->span_session, "tenant", s->tenant);
+    if (const auto it = streams_.find(s->stream_id); it != streams_.end()) {
+      trace_.annotate(
+          s->span_session, "tenant_weight",
+          static_cast<std::uint64_t>(it->second.config.tenant_weight));
+    }
+    if (config_.shard_index >= 0) {
+      trace_.annotate(s->span_session, "placement",
+                      static_cast<std::uint64_t>(config_.shard_index));
+    }
   }
   if (config_.adaptive_offloading) {
     DecisionState& history = decisions_[s->app_id];
@@ -641,10 +846,14 @@ void Platform::on_arrival(std::shared_ptr<Session> s) {
         outcome.local_energy_mj =
             dev2.local_energy_mj(s->kind, s->executed, radio);
         outcome.offload_energy_mj = outcome.local_energy_mj;
-        assert(s->request.sequence < outcomes_.size());
-        outcomes_[s->request.sequence] = std::move(outcome);
+        outcome.tenant = s->tenant;
+        outcome.qos_class = s->klass;
+        record_outcome(s->request.sequence, std::move(outcome));
         ++completed_;
         metrics_.counter("sessions.local").inc();
+        metrics_
+            .counter(std::string("qos.local.") + qos::to_string(s->klass))
+            .inc();
         if (s->span_session != obs::kNoSpan) {
           trace_.annotate(s->span_session, "local", std::uint64_t{1});
           trace_.end(s->span_session, server_->simulator().now());
@@ -663,7 +872,7 @@ void Platform::on_arrival(std::shared_ptr<Session> s) {
   attempt_connect(s);
 }
 
-void Platform::attempt_connect(std::shared_ptr<Session> s) {
+void Platform::attempt_connect(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   // Retries reuse the one "connect" span; it ends when a handshake lands.
@@ -696,7 +905,7 @@ void Platform::attempt_connect(std::shared_ptr<Session> s) {
   simulator.schedule_in(connect, [this, s]() { on_connected(s); });
 }
 
-void Platform::on_connected(std::shared_ptr<Session> s) {
+void Platform::on_connected(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   s->connected_at = simulator.now();
@@ -727,32 +936,29 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
     return;
   }
 
-  // Admission front door (docs/LOADGEN.md): per-tenant token bucket,
-  // utilization shedding, then a dispatch slot or the bounded queue.
+  // Admission front door (docs/LOADGEN.md, docs/QOS.md): per-tenant
+  // token bucket, per-class utilization shedding, then a dispatch slot
+  // or the class-aware bounded queue.
   if (admission_ != nullptr) {
-    switch (admission_->offer(s->app_id, simulator.now())) {
-      case AdmissionController::Verdict::kAdmit:
-        s->admitted = true;
-        break;
-      case AdmissionController::Verdict::kEnqueue:
-        s->queued = true;
-        s->enqueued_at = simulator.now();
-        s->pending_lead = platform_cost;
-        accept_queue_.push_back(s);
-        if (s->span_phase != obs::kNoSpan) {
-          trace_.annotate(s->span_phase, "queued", std::uint64_t{1});
-        }
-        return;  // dispatched by maybe_start_queued() when a slot frees
-      case AdmissionController::Verdict::kRejectQueueFull:
-        reject_session(s, RejectReason::kQueueFull);
-        return;
-      case AdmissionController::Verdict::kRejectRateLimited:
-        reject_session(s, RejectReason::kRateLimited);
-        return;
-      case AdmissionController::Verdict::kRejectOverloaded:
-        reject_session(s, RejectReason::kOverloaded);
-        return;
+    const Result<AdmissionController::Admitted> verdict = admission_->offer(
+        AdmissionController::Offer{s->tenant, s->klass,
+                                   s->request.sequence},
+        simulator.now());
+    if (!verdict) {
+      reject_session(s, verdict.error());
+      return;
     }
+    if (*verdict == AdmissionController::Admitted::kQueued) {
+      s->queued = true;
+      s->enqueued_at = simulator.now();
+      s->pending_lead = platform_cost;
+      queued_sessions_.emplace(s->request.sequence, s);
+      if (s->span_phase != obs::kNoSpan) {
+        trace_.annotate(s->span_phase, "queued", std::uint64_t{1});
+      }
+      return;  // dispatched by maybe_start_queued() when a slot frees
+    }
+    s->admitted = true;
   }
 
   dispatch(s, platform_cost);
@@ -761,31 +967,38 @@ void Platform::on_connected(std::shared_ptr<Session> s) {
 void Platform::maybe_start_queued() {
   if (admission_ == nullptr) return;
   sim::Simulator& simulator = server_->simulator();
-  while (!accept_queue_.empty() && admission_->can_start_queued()) {
-    std::shared_ptr<Session> s = accept_queue_.front();
-    accept_queue_.pop_front();
-    // Stale entry: the session was finished while waiting (its slot was
-    // already given back by finish_session's abandon_queued()).
-    if (s->done || !s->queued) continue;
+  while (admission_->can_start_queued()) {
+    // The scheduler decides which class/tenant goes next (strict priority
+    // + weighted DRR); finished sessions were already removed from the
+    // queue by finish_session, so every pop maps to a live session.
+    const auto popped = admission_->pop_queued(simulator.now());
+    if (!popped) break;
+    const auto it = queued_sessions_.find(popped->id);
+    assert(it != queued_sessions_.end() &&
+           "scheduler echoed an id the platform is not tracking");
+    std::shared_ptr<SessionState> s = it->second;
+    queued_sessions_.erase(it);
     s->queued = false;
     s->admitted = true;
-    s->queue_wait = simulator.now() - s->enqueued_at;
-    admission_->start_queued(s->queue_wait);
+    s->queue_wait = popped->waited;
+    s->drr_deficit = popped->deficit_after;
     SessionScope scope(*this, *s);
     if (s->span_phase != obs::kNoSpan) {
       trace_.annotate(s->span_phase, "queue_wait_us",
                       static_cast<std::uint64_t>(s->queue_wait));
+      trace_.annotate(s->span_phase, "deficit", s->drr_deficit);
     }
     dispatch(s, s->pending_lead);
   }
 }
 
-void Platform::dispatch(std::shared_ptr<Session> s,
+void Platform::dispatch(std::shared_ptr<SessionState> s,
                         sim::SimDuration lead_cost) {
   sim::Simulator& simulator = server_->simulator();
   ++s->dispatch_attempts;
   EnvRecord* record =
-      dispatcher_->assign(s->request, s->app_id, simulator.now());
+      dispatcher_->assign(s->request, s->app_id, simulator.now(),
+                          class_backlog_threshold(s->klass), s->klass);
   Env* env = nullptr;
   if (record != nullptr) {
     const auto it = envs_.find(record->id);
@@ -854,7 +1067,7 @@ void Platform::dispatch(std::shared_ptr<Session> s,
   });
 }
 
-void Platform::on_env_ready(std::shared_ptr<Session> s) {
+void Platform::on_env_ready(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   if (s->env->failed) {
@@ -968,7 +1181,7 @@ void Platform::on_env_ready(std::shared_ptr<Session> s) {
   });
 }
 
-void Platform::on_uploaded(std::shared_ptr<Session> s) {
+void Platform::on_uploaded(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   begin_phase(*s, "execute");  // transfer ends now; queueing included
@@ -1067,7 +1280,7 @@ void Platform::on_uploaded(std::shared_ptr<Session> s) {
     record->busy_until = done;
   }
   server_->monitor().record_cpu(start, done, 1.0);
-  server_->monitor().job_started();
+  server_->monitor().job_started(s->klass);
   s->computing = true;
   if (faults_) {
     // Container crash / OOM-kill: the environment dies halfway through
@@ -1094,10 +1307,10 @@ void Platform::on_uploaded(std::shared_ptr<Session> s) {
   });
 }
 
-void Platform::on_computed(std::shared_ptr<Session> s) {
+void Platform::on_computed(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
-  server_->monitor().job_finished();
+  server_->monitor().job_finished(s->klass);
   s->computing = false;
   Env& env = *s->env;
   // Computation phase spans upload-end → compute-end (queueing included).
@@ -1132,7 +1345,7 @@ void Platform::on_computed(std::shared_ptr<Session> s) {
   });
 }
 
-void Platform::complete(std::shared_ptr<Session> s) {
+void Platform::complete(std::shared_ptr<SessionState> s) {
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   end_phase(*s);  // teardown
@@ -1160,12 +1373,25 @@ void Platform::complete(std::shared_ptr<Session> s) {
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;
   outcome.recovered = s->recovered;
+  outcome.tenant = s->tenant;
+  outcome.qos_class = s->klass;
+  outcome.deadline_missed =
+      s->deadline > 0 && outcome.response > s->deadline;
   env_traffic_[s->env->id].merge(s->conn->traffic());
 
   metrics_.counter("sessions.completed").inc();
+  metrics_
+      .counter(std::string("qos.completed.") + qos::to_string(s->klass))
+      .inc();
+  if (outcome.deadline_missed) {
+    metrics_.counter("qos.deadline.missed").inc();
+  }
   if (s->cache_hit) metrics_.counter("sessions.cache_hits").inc();
   if (s->recovered) metrics_.counter("sessions.recovered").inc();
   metrics_.histogram("session.response_ms")
+      .observe(sim::to_millis(outcome.response));
+  metrics_
+      .histogram(std::string("qos.response_ms.") + qos::to_string(s->klass))
       .observe(sim::to_millis(outcome.response));
   if (admission_ != nullptr) {
     // Goodput latency: responses of sessions that made it through
@@ -1182,11 +1408,13 @@ void Platform::complete(std::shared_ptr<Session> s) {
       trace_.annotate(s->span_session, "recovered", std::uint64_t{1});
     }
     trace_.annotate(s->span_session, "speedup", outcome.speedup);
+    if (outcome.deadline_missed) {
+      trace_.annotate(s->span_session, "deadline_missed", std::uint64_t{1});
+    }
     trace_.end(s->span_session, simulator.now());
   }
 
-  assert(s->request.sequence < outcomes_.size());
-  outcomes_[s->request.sequence] = std::move(outcome);
+  record_outcome(s->request.sequence, std::move(outcome));
 
   unbind_session(*s);
   finish_session(*s);
@@ -1241,7 +1469,7 @@ void Platform::crash_env(Env& env) {
                      server_->simulator().now());
     }
     if (s->computing) {
-      server_->monitor().job_finished();
+      server_->monitor().job_finished(s->klass);
       s->computing = false;
     }
     if (s->staged) {
@@ -1260,7 +1488,7 @@ void Platform::recover_env(std::uint32_t env_id) {
   const auto it = envs_.find(env_id);
   if (it == envs_.end()) return;
   Env& dead = *it->second;
-  std::vector<std::shared_ptr<Session>> victims;
+  std::vector<std::shared_ptr<SessionState>> victims;
   for (const auto& s : live_sessions_) {
     if (!s->done && s->env == &dead) victims.push_back(s);
   }
@@ -1284,7 +1512,7 @@ void Platform::recover_env(std::uint32_t env_id) {
   }
 }
 
-void Platform::reject_session(std::shared_ptr<Session> s,
+void Platform::reject_session(std::shared_ptr<SessionState> s,
                               RejectReason reason) {
   if (s->done) return;
   sim::Simulator& simulator = server_->simulator();
@@ -1292,6 +1520,9 @@ void Platform::reject_session(std::shared_ptr<Session> s,
   metrics_.counter("sessions.rejected").inc();
   metrics_
       .counter(std::string("sessions.rejected.") + to_string(reason))
+      .inc();
+  metrics_
+      .counter(std::string("qos.rejected.") + qos::to_string(s->klass))
       .inc();
   // Typed reject reply: the device learns *why* it was turned away
   // (back-off hint) at the cost of one small downlink frame.  Sessions
@@ -1314,11 +1545,12 @@ void Platform::reject_session(std::shared_ptr<Session> s,
   outcome.rejected = true;
   outcome.reject_reason = reason;
   outcome.queue_wait = s->queue_wait;
+  outcome.tenant = s->tenant;
+  outcome.qos_class = s->klass;
   outcome.traffic = s->conn ? s->conn->traffic() : net::TrafficAccount{};
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;
-  assert(s->request.sequence < outcomes_.size());
-  outcomes_[s->request.sequence] = std::move(outcome);
+  record_outcome(s->request.sequence, std::move(outcome));
   unbind_session(*s);
   finish_session(*s);
   if (completion_observer_) {
@@ -1326,9 +1558,9 @@ void Platform::reject_session(std::shared_ptr<Session> s,
   }
 }
 
-void Platform::unbind_session(Session& s) {
+void Platform::unbind_session(SessionState& s) {
   if (s.computing) {
-    server_->monitor().job_finished();
+    server_->monitor().job_finished(s.klass);
     s.computing = false;
   }
   if (s.staged) {
@@ -1344,7 +1576,7 @@ void Platform::unbind_session(Session& s) {
   }
 }
 
-void Platform::finish_session(Session& s) {
+void Platform::finish_session(SessionState& s) {
   s.done = true;
   ++completed_;
   for (auto it = live_sessions_.begin(); it != live_sessions_.end(); ++it) {
@@ -1355,10 +1587,11 @@ void Platform::finish_session(Session& s) {
   }
   if (admission_ != nullptr) {
     if (s.queued) {
-      // Rejected while still waiting in the accept queue (e.g. the
-      // access controller blocked its app meanwhile); the deque entry is
-      // skipped lazily by maybe_start_queued()'s done check.
-      admission_->abandon_queued();
+      // Rejected while still waiting in a class queue (e.g. the access
+      // controller blocked its app meanwhile); pull it out of the
+      // scheduler so no stale id is ever echoed by pop_queued().
+      admission_->abandon_queued(s.klass, s.tenant, s.request.sequence);
+      queued_sessions_.erase(s.request.sequence);
       s.queued = false;
     }
     if (s.admitted) {
@@ -1480,23 +1713,28 @@ void Platform::register_invariants() {
         return std::nullopt;
       });
   if (admission_ == nullptr) return;
-  // 8. The bounded accept queue never exceeds its capacity, and the
-  //    controller's queue-depth ledger matches the live queued sessions.
+  // 8. The class queues never exceed their capacity, and the scheduler's
+  //    depth matches the sessions the platform is tracking as queued.
   invariants_.add_invariant(
       "admission-queue-bound", [this]() -> std::optional<std::string> {
         std::uint32_t queued = 0;
-        for (const auto& s : accept_queue_) {
+        for (const auto& [sequence, s] : queued_sessions_) {
+          (void)sequence;
           if (!s->done && s->queued) ++queued;
         }
         if (queued != admission_->queue_depth()) {
-          return "controller ledger says " +
+          return "scheduler holds " +
                  std::to_string(admission_->queue_depth()) +
-                 " queued, deque holds " + std::to_string(queued);
+                 " queued, platform tracks " + std::to_string(queued);
         }
-        if (queued > admission_->queue_capacity()) {
-          return std::to_string(queued) + " queued sessions exceed the " +
-                 std::to_string(admission_->queue_capacity()) +
-                 "-slot bound";
+        const qos::QosScheduler& scheduler = admission_->scheduler();
+        for (const qos::PriorityClass klass : qos::kAllClasses) {
+          if (scheduler.depth(klass) > scheduler.capacity(klass)) {
+            return std::string(qos::to_string(klass)) + " lane holds " +
+                   std::to_string(scheduler.depth(klass)) +
+                   " sessions, capacity " +
+                   std::to_string(scheduler.capacity(klass));
+          }
         }
         return std::nullopt;
       });
@@ -1520,6 +1758,24 @@ void Platform::register_invariants() {
                  std::to_string(admission_->max_in_service());
         }
         return std::nullopt;
+      });
+  // 10. DRR bookkeeping conserves quanta: per tenant per lane,
+  //     granted == served + live deficit + forfeited (docs/QOS.md).
+  invariants_.add_invariant(
+      "qos-drr-conservation", [this]() -> std::optional<std::string> {
+        return admission_->scheduler().check_conservation();
+      });
+  // 11. Anti-starvation promotion is bounded: a run of lower-class pops
+  //     while a higher lane waits never exceeds the configured burst.
+  invariants_.add_invariant(
+      "qos-priority-burst", [this]() -> std::optional<std::string> {
+        const qos::QosScheduler& scheduler = admission_->scheduler();
+        const std::uint32_t burst =
+            std::max(1u, scheduler.config().starvation_burst);
+        if (scheduler.max_lower_run() <= burst) return std::nullopt;
+        return "lower-class run of " +
+               std::to_string(scheduler.max_lower_run()) +
+               " exceeds the starvation burst of " + std::to_string(burst);
       });
 }
 

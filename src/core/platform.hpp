@@ -9,10 +9,15 @@
 // engine; feeding it a replayable request stream produces per-request
 // phase breakdowns, traffic accounts, energy figures and the server-load
 // timelines — everything the evaluation section charts.
+//
+// Clients talk to the engine through Session handles (open_session →
+// submit → result/close): a session carries the QoS identity — tenant,
+// priority class, DRR weight, deadline — that the admission front door
+// schedules on (docs/QOS.md).  The legacy begin_run / submit /
+// finish_run trio survives as thin wrappers over one default session.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <functional>
 #include <map>
@@ -27,6 +32,7 @@
 #include "core/dispatcher.hpp"
 #include "core/invariant.hpp"
 #include "core/offload.hpp"
+#include "core/qos/qos.hpp"
 #include "core/server.hpp"
 #include "device/client.hpp"
 #include "device/device.hpp"
@@ -118,12 +124,16 @@ struct PlatformConfig {
   /// health-sweep interval).
   sim::SimDuration crash_detection_latency = 100 * sim::kMillisecond;
 
-  // -- Admission control (docs/LOADGEN.md) -----------------------------
+  // -- Admission control & QoS (docs/LOADGEN.md, docs/QOS.md) ----------
 
-  /// Dispatcher front door: bounded accept queue, per-tenant token
-  /// buckets, utilization-based shedding.  Disabled by default — the
-  /// paper-reproduction benches run unprotected, like the prototype.
+  /// Dispatcher front door: class-aware bounded accept queues, per-tenant
+  /// token buckets, utilization-based shedding.  Disabled by default —
+  /// the paper-reproduction benches run unprotected, like the prototype.
   AdmissionConfig admission;
+
+  /// The cluster shard this platform instance serves as (set by Cluster;
+  /// annotated on session spans as "placement").  -1 = standalone.
+  std::int32_t shard_index = -1;
 
   /// Run the invariant harness even without a fault plan (the load-gen
   /// property battery).  Expensive: the checks are O(live sessions ×
@@ -146,6 +156,67 @@ struct ProvisionStats {
   std::uint64_t shared_disk_bytes = 0;  ///< amortized shared layer (once)
 };
 
+/// QoS identity of one client session (docs/QOS.md).
+struct SessionConfig {
+  /// Admission tenant: the token-bucket and DRR-fairness key.  Empty =
+  /// per-app tenancy (each app id is its own tenant), the legacy
+  /// behaviour.
+  std::string tenant;
+
+  /// Priority class for every request submitted on this session.
+  qos::PriorityClass priority = qos::PriorityClass::kStandard;
+
+  /// DRR weight of `tenant` within its class: a weight-3 tenant drains
+  /// 3× the queued requests of a weight-1 tenant under saturation.
+  /// Requires a named tenant when != 1.  0 is invalid.
+  std::uint32_t tenant_weight = 1;
+
+  /// Response-time target; responses above it mark the outcome
+  /// deadline_missed (accounting only — no scheduling effect).  0 = none.
+  sim::SimDuration deadline = 0;
+};
+
+class Platform;
+
+/// Move-only handle for one client's request stream on a Platform.
+/// Obtained from Platform::open_session(); submit() schedules requests
+/// under this session's QoS identity, result() reads finished outcomes,
+/// close() drains the run and returns this session's outcomes.  The
+/// handle does not own the run: closing one session leaves others open.
+class Session {
+ public:
+  Session() = default;
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Schedules one request under this session's tenant/class/deadline.
+  /// Sequences must stay dense and unique across *all* sessions of a run.
+  void submit(const workloads::OffloadRequest& request);
+
+  /// The finished outcome for `sequence`, or nullptr while in flight.
+  [[nodiscard]] const RequestOutcome* result(std::uint64_t sequence) const;
+
+  /// Drains the event queue and returns the outcomes of every request
+  /// submitted through *this* session, in submission order.  The handle
+  /// is closed afterwards; submit() on it is invalid.
+  std::vector<RequestOutcome> close();
+
+  [[nodiscard]] bool open() const { return platform_ != nullptr; }
+  [[nodiscard]] const SessionConfig& config() const;
+
+ private:
+  friend class Platform;
+  Session(Platform* platform, std::uint64_t id)
+      : platform_(platform), id_(id) {}
+
+  Platform* platform_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
 class Platform {
  public:
   explicit Platform(PlatformConfig config);
@@ -163,26 +234,39 @@ class Platform {
   std::vector<RequestOutcome> run(
       const std::vector<workloads::OffloadRequest>& stream);
 
-  // -- Incremental session API (closed-loop load generation) -----------
+  // -- Session API (docs/QOS.md) ---------------------------------------
   //
-  // run() is sugar over these three calls.  A closed-loop driver instead
-  // submits seed requests, installs a completion observer, and submits
-  // follow-up requests *from inside the observer* — the arrivals land on
-  // the same event queue, so a dynamically generated workload is exactly
-  // as deterministic as a replayed one.
+  // run() is sugar over one Session.  A closed-loop driver opens one
+  // session per traffic class, installs a completion observer, and
+  // submits follow-up requests *from inside the observer* — the arrivals
+  // land on the same event queue, so a dynamically generated workload is
+  // exactly as deterministic as a replayed one.
 
-  /// Resets per-run state (outcomes, live sessions, accept queue) and
-  /// provisions the warm pool / fault pump.  Call before submit().
+  /// Opens a client session carrying the given QoS identity.  The first
+  /// session opened after the previous run finished resets per-run state
+  /// (outcomes, live sessions, accept queues) and provisions the warm
+  /// pool / fault pump; further sessions join the active run.
+  /// kInvalidConfig: tenant_weight of 0, or a non-default weight without
+  /// a named tenant.
+  Result<Session> open_session(SessionConfig config = {});
+
+  /// The finished outcome for `sequence` (any session), or nullptr.
+  [[nodiscard]] const RequestOutcome* result(std::uint64_t sequence) const;
+
+  // -- Legacy incremental API ------------------------------------------
+  //
+  // Deprecated wrappers over one default (standard-class, per-app-tenant)
+  // session; prefer open_session().  Kept so pre-QoS callers compile
+  // unchanged.
+
+  /// Deprecated: open_session() resets per-run state on demand.
   void begin_run();
 
-  /// Schedules one request.  Sequences across a run must be dense and
-  /// unique starting at 0; arrivals before the current virtual time are
-  /// clamped to "now".  Valid between begin_run() and the return of
-  /// finish_run(), including from within a completion observer.
+  /// Deprecated: Session::submit() on the default session.
   void submit(const workloads::OffloadRequest& request);
 
-  /// Drains the event queue and returns every outcome submitted since
-  /// begin_run(), indexed by sequence.
+  /// Deprecated: drains the event queue and returns every outcome of the
+  /// run — *all* sessions', indexed by sequence — then ends the run.
   std::vector<RequestOutcome> finish_run();
 
   /// Observer invoked with each finished outcome (completed, rejected or
@@ -203,9 +287,9 @@ class Platform {
     return admission_.get();
   }
 
-  /// Sessions waiting in the bounded accept queue right now.
+  /// Sessions waiting in the bounded accept queues right now.
   [[nodiscard]] std::size_t accept_queue_depth() const {
-    return accept_queue_.size();
+    return admission_ ? admission_->queue_depth() : 0;
   }
 
   /// Provisions one environment on an otherwise idle platform and reports
@@ -262,9 +346,18 @@ class Platform {
   [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
 
  private:
+  friend class Session;
+
   struct Env;
-  struct Session;
+  struct SessionState;
   struct SessionScope;  ///< RAII: marks the session a handler acts for
+
+  /// One open Session handle's server-side record.
+  struct Stream {
+    SessionConfig config;
+    std::vector<std::uint64_t> sequences;  ///< submission order
+    bool open = true;
+  };
 
   Env& provision_env(const std::string& binding_key, sim::SimTime now);
   void provision_vm(Env& env);
@@ -273,29 +366,39 @@ class Platform {
   void schedule_reclaim(Env& env);
   void retire_env(Env& env);
 
-  void on_arrival(std::shared_ptr<Session> s);
-  void attempt_connect(std::shared_ptr<Session> s);
-  void on_connected(std::shared_ptr<Session> s);
-  void dispatch(std::shared_ptr<Session> s, sim::SimDuration lead_cost);
-  void on_env_ready(std::shared_ptr<Session> s);
-  void on_uploaded(std::shared_ptr<Session> s);
-  void on_computed(std::shared_ptr<Session> s);
-  void complete(std::shared_ptr<Session> s);
+  // Session-handle plumbing.
+  void reset_run();
+  void drain_run();
+  void submit_to_stream(std::uint64_t stream_id,
+                        const workloads::OffloadRequest& request);
+  std::vector<RequestOutcome> close_stream(std::uint64_t stream_id);
+  [[nodiscard]] const SessionConfig& stream_config(
+      std::uint64_t stream_id) const;
+  void record_outcome(std::uint64_t sequence, RequestOutcome outcome);
+
+  void on_arrival(std::shared_ptr<SessionState> s);
+  void attempt_connect(std::shared_ptr<SessionState> s);
+  void on_connected(std::shared_ptr<SessionState> s);
+  void dispatch(std::shared_ptr<SessionState> s, sim::SimDuration lead_cost);
+  void on_env_ready(std::shared_ptr<SessionState> s);
+  void on_uploaded(std::shared_ptr<SessionState> s);
+  void on_computed(std::shared_ptr<SessionState> s);
+  void complete(std::shared_ptr<SessionState> s);
 
   // Fault-injection machinery.
   void crash_env(Env& env);
   void recover_env(std::uint32_t env_id);
-  void reject_session(std::shared_ptr<Session> s, RejectReason reason);
-  void finish_session(Session& s);
-  void unbind_session(Session& s);
+  void reject_session(std::shared_ptr<SessionState> s, RejectReason reason);
+  void finish_session(SessionState& s);
+  void unbind_session(SessionState& s);
   void register_invariants();
 
   // Admission control.
   void maybe_start_queued();
 
   // Observability: one phase span open per session at a time.
-  void begin_phase(Session& s, const char* name);
-  void end_phase(Session& s);
+  void begin_phase(SessionState& s, const char* name);
+  void end_phase(SessionState& s);
   void on_fault_fired(sim::FaultKind kind, sim::SimTime when);
 
   [[nodiscard]] double cpu_factor() const;
@@ -308,22 +411,29 @@ class Platform {
   // handles are destroyed first.
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder trace_;
-  Session* active_session_ = nullptr;  ///< set while a handler executes
+  SessionState* active_session_ = nullptr;  ///< set while a handler runs
   std::unique_ptr<CloudServer> server_;
   std::unique_ptr<net::Link> link_;
   std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<sim::FaultInjector> faults_;
   std::unique_ptr<AdmissionController> admission_;
-  std::deque<std::shared_ptr<Session>> accept_queue_;
+  /// Sessions parked in the admission class queues, by request sequence
+  /// (the id the QosScheduler echoes back on pop).
+  std::map<std::uint64_t, std::shared_ptr<SessionState>> queued_sessions_;
   std::function<void(const RequestOutcome&)> completion_observer_;
   InvariantChecker invariants_;
-  std::vector<std::shared_ptr<Session>> live_sessions_;
+  std::vector<std::shared_ptr<SessionState>> live_sessions_;
   sim::Rng rng_;
   std::map<std::uint32_t, std::unique_ptr<Env>> envs_;
   std::map<std::uint32_t, net::TrafficAccount> env_traffic_;
   std::map<std::string, android::MobileApp> apps_;  ///< by app id
   std::vector<device::MobileDevice> devices_;
   std::vector<RequestOutcome> outcomes_;
+  std::vector<std::uint8_t> outcome_done_;  ///< parallel to outcomes_
+  std::map<std::uint64_t, Stream> streams_;  ///< by Session handle id
+  std::uint64_t next_stream_id_ = 1;
+  std::uint64_t default_stream_ = 0;  ///< legacy-wrapper session, 0 = none
+  bool run_active_ = false;
   std::size_t completed_ = 0;
   std::uint32_t next_env_id_ = 1;
 

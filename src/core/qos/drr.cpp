@@ -1,0 +1,145 @@
+#include "core/qos/drr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rattrap::core::qos {
+
+void DrrScheduler::set_weight(const std::string& tenant,
+                              std::uint32_t weight) {
+  tenants_[tenant].weight = std::max<std::uint32_t>(1, weight);
+}
+
+std::uint32_t DrrScheduler::weight(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.weight : 1;
+}
+
+void DrrScheduler::push(const std::string& tenant, std::uint64_t id,
+                        sim::SimTime at) {
+  Tenant& t = tenants_[tenant];
+  t.fifo.push_back(Item{id, at});
+  ++size_;
+  if (!t.active) {
+    t.active = true;
+    ring_.push_back(tenant);
+  }
+}
+
+std::optional<DrrScheduler::Served> DrrScheduler::pop() {
+  while (size_ > 0) {
+    assert(!ring_.empty());
+    const std::string name = ring_.front();
+    Tenant& t = tenants_[name];
+    if (t.fifo.empty()) {
+      // Stale ring slot (remove() emptied the queue); drop it.
+      deactivate(name, t);
+      continue;
+    }
+    if (t.deficit == 0) {
+      const std::uint64_t grant =
+          static_cast<std::uint64_t>(quantum_) * t.weight;
+      t.deficit += grant;
+      t.granted += grant;
+    }
+    Served out;
+    out.id = t.fifo.front().id;
+    out.enqueued_at = t.fifo.front().enqueued_at;
+    out.tenant = name;
+    t.fifo.pop_front();
+    --size_;
+    --t.deficit;
+    ++t.served;
+    out.deficit_after = t.deficit;
+    if (t.fifo.empty()) {
+      // Going idle forfeits the unspent grant — a returning tenant starts
+      // a fresh round instead of cashing saved credit (standard DRR).
+      deactivate(name, t);
+    } else if (t.deficit == 0) {
+      // Quantum spent: rotate to the back of the ring.
+      ring_.pop_front();
+      ring_.push_back(name);
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+bool DrrScheduler::remove(const std::string& tenant, std::uint64_t id) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  Tenant& t = it->second;
+  const auto pos =
+      std::find_if(t.fifo.begin(), t.fifo.end(),
+                   [id](const Item& item) { return item.id == id; });
+  if (pos == t.fifo.end()) return false;
+  t.fifo.erase(pos);
+  --size_;
+  if (t.fifo.empty() && t.active) deactivate(tenant, t);
+  return true;
+}
+
+void DrrScheduler::clear() {
+  for (auto& [name, t] : tenants_) {
+    (void)name;
+    t.fifo.clear();
+    t.forfeited += t.deficit;
+    t.deficit = 0;
+    t.active = false;
+  }
+  ring_.clear();
+  size_ = 0;
+}
+
+std::uint64_t DrrScheduler::deficit(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.deficit : 0;
+}
+
+std::uint64_t DrrScheduler::served(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.served : 0;
+}
+
+std::size_t DrrScheduler::queued(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.fifo.size() : 0;
+}
+
+std::optional<std::string> DrrScheduler::check_conservation() const {
+  std::size_t total = 0;
+  for (const auto& [name, t] : tenants_) {
+    total += t.fifo.size();
+    if (t.granted != t.served + t.deficit + t.forfeited) {
+      return "tenant " + name + ": granted " + std::to_string(t.granted) +
+             " != served " + std::to_string(t.served) + " + deficit " +
+             std::to_string(t.deficit) + " + forfeited " +
+             std::to_string(t.forfeited);
+    }
+    const std::uint64_t bound =
+        static_cast<std::uint64_t>(quantum_) * t.weight;
+    if (t.deficit > bound) {
+      return "tenant " + name + ": deficit " + std::to_string(t.deficit) +
+             " exceeds quantum*weight " + std::to_string(bound);
+    }
+    if (!t.active && t.deficit != 0) {
+      return "tenant " + name + ": idle with nonzero deficit " +
+             std::to_string(t.deficit);
+    }
+  }
+  if (total != size_) {
+    return "per-tenant queues hold " + std::to_string(total) +
+           " items, ledger says " + std::to_string(size_);
+  }
+  return std::nullopt;
+}
+
+void DrrScheduler::deactivate(const std::string& name, Tenant& tenant) {
+  tenant.active = false;
+  tenant.forfeited += tenant.deficit;
+  tenant.deficit = 0;
+  const auto pos = std::find(ring_.begin(), ring_.end(), name);
+  if (pos != ring_.end()) ring_.erase(pos);
+}
+
+}  // namespace rattrap::core::qos

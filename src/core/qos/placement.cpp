@@ -1,0 +1,57 @@
+#include "core/qos/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rattrap::core::qos {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kStatic:
+      return "static";
+    case PlacementPolicy::kPowerOfTwo:
+      return "p2c";
+  }
+  return "?";
+}
+
+PowerOfTwoPlacer::PowerOfTwoPlacer(std::size_t shards, std::uint64_t seed)
+    : shards_(shards),
+      rng_(sim::Rng(seed).fork("qos-placement")),
+      counts_(shards, 0) {
+  assert(shards > 0);
+}
+
+std::size_t PowerOfTwoPlacer::place(std::uint32_t device,
+                                    const Probe& probe) {
+  if (const auto it = sticky_.find(device); it != sticky_.end()) {
+    return it->second;
+  }
+  std::size_t choice = 0;
+  if (shards_ > 1) {
+    // Two distinct candidates: b is drawn from the range with a removed.
+    const auto a = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(shards_) - 1));
+    auto b = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(shards_) - 2));
+    if (b >= a) ++b;
+    const double score_a =
+        (probe ? probe(a) : 0.0) + static_cast<double>(counts_[a]);
+    const double score_b =
+        (probe ? probe(b) : 0.0) + static_cast<double>(counts_[b]);
+    // Ties break toward the lower shard index (deterministic).
+    choice = score_b < score_a ? b : (score_a < score_b ? a : std::min(a, b));
+  }
+  sticky_.emplace(device, choice);
+  ++counts_[choice];
+  return choice;
+}
+
+std::optional<std::size_t> PowerOfTwoPlacer::shard_of(
+    std::uint32_t device) const {
+  const auto it = sticky_.find(device);
+  if (it == sticky_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rattrap::core::qos

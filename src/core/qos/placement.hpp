@@ -1,0 +1,66 @@
+// Admission-aware cluster placement: power-of-two-choices.
+//
+// The Cluster used to shard devices statically (device_id % servers) —
+// blind to what each server is actually carrying.  The placer replaces
+// that with the classic power-of-two-choices rule: for each new device,
+// sample two distinct candidate shards from a seeded stream and send the
+// device to the one with the lower load score.  The score combines a
+// live probe (admission-queue depth + Monitor utilization, supplied by
+// the Cluster) with the placer's own count of devices already routed this
+// pass, so balance holds even before any live signal exists.
+//
+// Placement is sticky per device: a device's environments, code cache and
+// dispatcher affinity live on one server (the Cluster's shard-locality
+// contract), so the first placement decision is remembered for the
+// device's lifetime.  Determinism: the candidate stream is a pure
+// function of the seed and the order of first sightings, which is the
+// stream order — same seed + same stream ⇒ identical placements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rattrap::core::qos {
+
+enum class PlacementPolicy : std::uint8_t {
+  kStatic = 0,      ///< device_id % servers (the pre-QoS behaviour)
+  kPowerOfTwo = 1,  ///< two seeded candidates, lower probe score wins
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy);
+
+class PowerOfTwoPlacer {
+ public:
+  PowerOfTwoPlacer(std::size_t shards, std::uint64_t seed);
+
+  /// Probe callback: the caller's live load score for a shard (higher is
+  /// busier).  The placer adds its own routed-device count on top.
+  using Probe = std::function<double(std::size_t shard)>;
+
+  /// Shard for `device`: the remembered one, or a fresh power-of-two
+  /// choice for a first sighting.
+  std::size_t place(std::uint32_t device, const Probe& probe);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_; }
+  [[nodiscard]] std::size_t placed_devices() const { return sticky_.size(); }
+  /// Devices routed to `shard` so far.
+  [[nodiscard]] std::size_t assigned(std::size_t shard) const {
+    return counts_.at(shard);
+  }
+  /// The remembered shard for `device`, or nullopt before first sighting.
+  [[nodiscard]] std::optional<std::size_t> shard_of(
+      std::uint32_t device) const;
+
+ private:
+  std::size_t shards_;
+  sim::Rng rng_;
+  std::map<std::uint32_t, std::size_t> sticky_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace rattrap::core::qos

@@ -1,0 +1,24 @@
+#include "core/qos/qos.hpp"
+
+namespace rattrap::core::qos {
+
+const char* to_string(PriorityClass klass) {
+  switch (klass) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kStandard:
+      return "standard";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+std::optional<PriorityClass> parse_class(std::string_view name) {
+  if (name == "interactive") return PriorityClass::kInteractive;
+  if (name == "standard") return PriorityClass::kStandard;
+  if (name == "batch") return PriorityClass::kBatch;
+  return std::nullopt;
+}
+
+}  // namespace rattrap::core::qos

@@ -1,0 +1,96 @@
+// QoS vocabulary: priority classes and the scheduling configuration.
+//
+// The admission front door (core/admission.hpp) protects the server from
+// *volume*; this subsystem decides *who gets in first and where*.  Three
+// service classes cover the offloading spectrum the related work spans:
+//
+//   kInteractive — latency-sensitive offloads (UI-blocking OCR, a chess
+//                  move the player is waiting on).  Smallest queue, first
+//                  pick of every freed dispatch slot.
+//   kStandard    — the default; everything the paper's prototype served.
+//   kBatch       — throughput clones (CloneCloud-style background scans).
+//                  Deep queue, served only when nothing above is waiting
+//                  (modulo the anti-starvation promotion budget).
+//
+// Within a class, tenants share the queue under weighted deficit round
+// robin (qos/drr.hpp) so one chatty tenant cannot starve the rest.  The
+// whole configuration is deterministic data — no clocks, no randomness —
+// which keeps golden-determinism guarantees intact (docs/QOS.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rattrap::core::qos {
+
+enum class PriorityClass : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,
+  kBatch = 2,
+};
+
+inline constexpr std::size_t kClassCount = 3;
+
+/// All classes, highest priority first (iteration order for schedulers).
+inline constexpr std::array<PriorityClass, kClassCount> kAllClasses = {
+    PriorityClass::kInteractive, PriorityClass::kStandard,
+    PriorityClass::kBatch};
+
+[[nodiscard]] const char* to_string(PriorityClass klass);
+
+/// Parses "interactive" | "standard" | "batch" (metric/CLI spelling).
+[[nodiscard]] std::optional<PriorityClass> parse_class(std::string_view name);
+
+[[nodiscard]] constexpr std::size_t class_index(PriorityClass klass) {
+  return static_cast<std::size_t>(klass);
+}
+
+/// Per-class front-door policy.
+struct ClassConfig {
+  /// Bounded queue capacity for this class; arrivals beyond it are shed
+  /// with kQueueFull.  0 inherits AdmissionConfig::queue_capacity.
+  std::uint32_t queue_capacity = 0;
+
+  /// Utilization shed threshold for this class (Monitor running jobs per
+  /// core); 0 inherits AdmissionConfig::shed_utilization.  Lower values
+  /// shed batch work earlier so interactive arrivals still find room.
+  double shed_utilization = 0.0;
+};
+
+struct QosConfig {
+  /// Master switch.  Disabled preserves the PR-3 front door exactly: one
+  /// FIFO accept queue, no class or tenant differentiation (the unified
+  /// scheduler degrades to a single-tenant single-lane FIFO).
+  bool enabled = false;
+
+  ClassConfig interactive;
+  ClassConfig standard;
+  ClassConfig batch;
+
+  /// DRR quantum (requests added to a tenant's deficit per round); the
+  /// fairness granularity.  Weighted tenants receive quantum × weight.
+  std::uint32_t quantum = 1;
+
+  /// Anti-starvation: after `promote_every` consecutive higher-class pops
+  /// while lower classes wait, grant the highest waiting lower class a
+  /// burst of `starvation_burst` pops.  The qos-priority-burst invariant
+  /// bounds observed lower-class runs by this value.
+  std::uint32_t starvation_burst = 1;
+  std::uint32_t promote_every = 8;
+
+  [[nodiscard]] const ClassConfig& for_class(PriorityClass klass) const {
+    switch (klass) {
+      case PriorityClass::kInteractive:
+        return interactive;
+      case PriorityClass::kBatch:
+        return batch;
+      case PriorityClass::kStandard:
+        break;
+    }
+    return standard;
+  }
+};
+
+}  // namespace rattrap::core::qos

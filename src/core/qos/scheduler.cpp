@@ -1,0 +1,208 @@
+#include "core/qos/scheduler.hpp"
+
+#include <algorithm>
+
+namespace rattrap::core::qos {
+
+namespace {
+/// Single pseudo-tenant for the legacy (QoS-disabled) FIFO lane: one
+/// tenant under DRR is served in strict arrival order.
+const std::string kFifoTenant;
+}  // namespace
+
+QosScheduler::QosScheduler(const QosConfig& config,
+                           std::uint32_t fifo_capacity)
+    : config_(config) {
+  for (const PriorityClass klass : kAllClasses) {
+    Lane& lane = lanes_[class_index(klass)];
+    lane.drr = DrrScheduler(config_.quantum);
+    const std::uint32_t configured =
+        config_.for_class(klass).queue_capacity;
+    lane.capacity =
+        (config_.enabled && configured > 0) ? configured : fifo_capacity;
+  }
+}
+
+std::pair<PriorityClass, std::string> QosScheduler::lane_key(
+    PriorityClass klass, const std::string& tenant) const {
+  if (!config_.enabled) return {PriorityClass::kStandard, kFifoTenant};
+  return {klass, tenant};
+}
+
+Result<std::uint32_t> QosScheduler::push(PriorityClass klass,
+                                         const std::string& tenant,
+                                         std::uint64_t id,
+                                         sim::SimTime now) {
+  const auto [lane_class, lane_tenant] = lane_key(klass, tenant);
+  Lane& lane = lanes_[class_index(lane_class)];
+  if (lane.drr.size() >= lane.capacity) {
+    if (lane.shed_queue_full != nullptr) lane.shed_queue_full->inc();
+    return RejectReason::kQueueFull;
+  }
+  lane.drr.push(lane_tenant, id, now);
+  if (lane.enqueued != nullptr) lane.enqueued->inc();
+  update_depth_gauge(lane);
+  return static_cast<std::uint32_t>(lane.drr.size());
+}
+
+std::optional<QosScheduler::Popped> QosScheduler::pop(sim::SimTime now) {
+  // Highest non-empty lane (strict priority default).
+  std::size_t highest = kClassCount;
+  for (std::size_t i = 0; i < kClassCount; ++i) {
+    if (!lanes_[i].drr.empty()) {
+      highest = i;
+      break;
+    }
+  }
+  if (highest == kClassCount) return std::nullopt;
+
+  // First non-empty lane strictly below it (the starvation candidate).
+  std::size_t lower = kClassCount;
+  for (std::size_t i = highest + 1; i < kClassCount; ++i) {
+    if (!lanes_[i].drr.empty()) {
+      lower = i;
+      break;
+    }
+  }
+
+  std::size_t serve = highest;
+  bool promoted = false;
+  if (config_.enabled && lower != kClassCount &&
+      config_.starvation_burst > 0) {
+    if (promote_credit_ == 0 && higher_streak_ >= config_.promote_every) {
+      promote_credit_ = config_.starvation_burst;
+      higher_streak_ = 0;
+    }
+    if (promote_credit_ > 0) {
+      serve = lower;
+      --promote_credit_;
+      promoted = true;
+    }
+  }
+  if (lower == kClassCount) {
+    // Nothing waiting below: no starvation pressure to track.
+    higher_streak_ = 0;
+    promote_credit_ = 0;
+  }
+
+  Lane& lane = lanes_[serve];
+  const std::optional<DrrScheduler::Served> served = lane.drr.pop();
+  if (!served) return std::nullopt;  // unreachable: lane was non-empty
+
+  if (promoted) {
+    ++promotions_;
+    ++lower_run_;
+    max_lower_run_ = std::max(max_lower_run_, lower_run_);
+    if (metric_promotions_ != nullptr) metric_promotions_->inc();
+    if (metric_lower_run_peak_ != nullptr) {
+      metric_lower_run_peak_->set(static_cast<double>(max_lower_run_));
+    }
+  } else {
+    lower_run_ = 0;
+    if (lower != kClassCount) ++higher_streak_;
+  }
+
+  Popped out;
+  out.id = served->id;
+  out.klass = static_cast<PriorityClass>(serve);
+  out.tenant = served->tenant;
+  out.waited = now - served->enqueued_at;
+  out.deficit_after = served->deficit_after;
+  if (lane.dequeued != nullptr) lane.dequeued->inc();
+  if (lane.wait_ms != nullptr) lane.wait_ms->observe(sim::to_millis(out.waited));
+  update_depth_gauge(lane);
+  return out;
+}
+
+bool QosScheduler::remove(PriorityClass klass, const std::string& tenant,
+                          std::uint64_t id) {
+  const auto [lane_class, lane_tenant] = lane_key(klass, tenant);
+  Lane& lane = lanes_[class_index(lane_class)];
+  if (!lane.drr.remove(lane_tenant, id)) return false;
+  update_depth_gauge(lane);
+  return true;
+}
+
+void QosScheduler::clear() {
+  for (Lane& lane : lanes_) {
+    lane.drr.clear();
+    update_depth_gauge(lane);
+  }
+  higher_streak_ = 0;
+  promote_credit_ = 0;
+  lower_run_ = 0;
+}
+
+void QosScheduler::set_tenant_weight(const std::string& tenant,
+                                     std::uint32_t weight) {
+  if (!config_.enabled) return;  // the FIFO pseudo-tenant stays weight 1
+  for (Lane& lane : lanes_) lane.drr.set_weight(tenant, weight);
+}
+
+std::size_t QosScheduler::depth(PriorityClass klass) const {
+  return lanes_[class_index(klass)].drr.size();
+}
+
+std::size_t QosScheduler::total_depth() const {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.drr.size();
+  return total;
+}
+
+std::uint32_t QosScheduler::capacity(PriorityClass klass) const {
+  return lanes_[class_index(klass)].capacity;
+}
+
+double QosScheduler::shed_threshold(PriorityClass klass,
+                                    double fallback) const {
+  if (!config_.enabled) return fallback;
+  const double configured = config_.for_class(klass).shed_utilization;
+  return configured > 0 ? configured : fallback;
+}
+
+std::optional<std::string> QosScheduler::check_conservation() const {
+  for (const PriorityClass klass : kAllClasses) {
+    if (const auto violation =
+            lanes_[class_index(klass)].drr.check_conservation()) {
+      return std::string(to_string(klass)) + " lane: " + *violation;
+    }
+  }
+  return std::nullopt;
+}
+
+void QosScheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    for (Lane& lane : lanes_) {
+      lane.enqueued = lane.dequeued = lane.shed_queue_full = nullptr;
+      lane.depth_gauge = lane.depth_peak = nullptr;
+      lane.wait_ms = nullptr;
+    }
+    metric_promotions_ = nullptr;
+    metric_lower_run_peak_ = nullptr;
+    return;
+  }
+  for (const PriorityClass klass : kAllClasses) {
+    Lane& lane = lanes_[class_index(klass)];
+    const std::string suffix = to_string(klass);
+    lane.enqueued = &metrics->counter("qos.enqueued." + suffix);
+    lane.dequeued = &metrics->counter("qos.dequeued." + suffix);
+    lane.shed_queue_full =
+        &metrics->counter("qos.shed.queue_full." + suffix);
+    lane.depth_gauge = &metrics->gauge("qos.queue.depth." + suffix);
+    lane.depth_peak = &metrics->gauge("qos.queue.peak." + suffix);
+    lane.wait_ms = &metrics->histogram("qos.queue.wait_ms." + suffix);
+  }
+  metric_promotions_ = &metrics->counter("qos.promotions");
+  metric_lower_run_peak_ = &metrics->gauge("qos.lower_run.peak");
+}
+
+void QosScheduler::update_depth_gauge(Lane& lane) {
+  if (lane.depth_gauge == nullptr) return;
+  const auto depth = static_cast<double>(lane.drr.size());
+  lane.depth_gauge->set(depth);
+  if (lane.depth_peak != nullptr) {
+    lane.depth_peak->set(std::max(lane.depth_peak->value(), depth));
+  }
+}
+
+}  // namespace rattrap::core::qos

@@ -128,7 +128,9 @@ const Histogram* MetricsRegistry::find_histogram(
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"schema\":";
+  out += json_number(static_cast<std::int64_t>(kMetricsSchemaVersion));
+  out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) out.push_back(',');

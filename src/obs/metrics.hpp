@@ -23,6 +23,13 @@
 
 namespace rattrap::obs {
 
+/// Version of the exported metrics document.  Bump whenever a metric is
+/// renamed, removed, or changes meaning — golden-determinism fingerprints
+/// embed it, so a rename fails tests loudly instead of silently matching
+/// a stale baseline.  History: 1 = pre-QoS; 2 = qos.* metrics + schema
+/// field in to_json().
+inline constexpr int kMetricsSchemaVersion = 2;
+
 /// Monotonic event count.
 class Counter {
  public:
@@ -119,7 +126,7 @@ class MetricsRegistry {
   }
 
   /// Deterministic JSON document:
-  ///   {"counters":{...},"gauges":{...},"histograms":{name:
+  ///   {"schema":2,"counters":{...},"gauges":{...},"histograms":{name:
   ///    {"count":..,"sum":..,"min":..,"max":..,"mean":..,
   ///     "p50":..,"p95":..,"p99":..,"buckets":[{"le":..,"n":..},...]}}}
   /// Keys sort lexicographically; identical runs produce identical bytes.

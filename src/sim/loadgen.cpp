@@ -19,11 +19,28 @@ const char* to_string(ArrivalProcess process) {
 
 namespace {
 
+/// Share-weighted mix slot draw.  Degenerate mixes (≤1 entry, all shares
+/// non-positive) collapse to slot 0 without consuming a draw, so adding
+/// an empty mix never perturbs existing arrival schedules.
+std::uint32_t pick_mix(const LoadGenConfig& config, Rng& rng) {
+  if (config.mix.size() <= 1) return 0;
+  double total = 0.0;
+  for (const auto& entry : config.mix) total += std::max(entry.share, 0.0);
+  if (total <= 0.0) return 0;
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < config.mix.size(); ++i) {
+    x -= std::max(config.mix[i].share, 0.0);
+    if (x < 0.0) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(config.mix.size() - 1);
+}
+
 std::vector<Arrival> poisson_arrivals(const LoadGenConfig& config) {
   std::vector<Arrival> arrivals;
   arrivals.reserve(config.requests);
   Rng gaps = Rng(config.seed).fork("loadgen-gaps");
   Rng devices = Rng(config.seed).fork("loadgen-devices");
+  Rng mixes = Rng(config.seed).fork("loadgen-mix");
   const double mean_gap_s =
       config.rate_per_s > 0 ? 1.0 / config.rate_per_s : 1.0;
   SimTime clock = 0;
@@ -34,6 +51,7 @@ std::vector<Arrival> poisson_arrivals(const LoadGenConfig& config) {
     arrival.device_id = static_cast<std::uint32_t>(
         devices.uniform_int(0, static_cast<std::int64_t>(config.devices) - 1));
     arrival.at = clock;
+    arrival.mix_index = pick_mix(config, mixes);
     arrivals.push_back(arrival);
   }
   return arrivals;
@@ -45,6 +63,7 @@ std::vector<Arrival> mmpp_arrivals(const LoadGenConfig& config) {
   Rng gaps = Rng(config.seed).fork("loadgen-gaps");
   Rng devices = Rng(config.seed).fork("loadgen-devices");
   Rng states = Rng(config.seed).fork("loadgen-states");
+  Rng mixes = Rng(config.seed).fork("loadgen-mix");
   const double calm_rate = std::max(config.rate_per_s, 1e-9);
   const double burst_rate = calm_rate * std::max(config.burst_factor, 1.0);
   bool bursting = false;
@@ -76,6 +95,7 @@ std::vector<Arrival> mmpp_arrivals(const LoadGenConfig& config) {
     arrival.device_id = static_cast<std::uint32_t>(
         devices.uniform_int(0, static_cast<std::int64_t>(config.devices) - 1));
     arrival.at = clock;
+    arrival.mix_index = pick_mix(config, mixes);
     arrivals.push_back(arrival);
   }
   return arrivals;
@@ -96,6 +116,8 @@ std::vector<Arrival> closed_loop_initial_arrivals(
     arrival.device_id = static_cast<std::uint32_t>(device);
     arrival.at = from_seconds(
         stagger.exponential(std::max(config.think_time_s, 1e-6)));
+    arrival.mix_index =
+        mix_for_device(config, static_cast<std::uint32_t>(device));
     arrivals.push_back(arrival);
   }
   std::sort(arrivals.begin(), arrivals.end(),
@@ -110,6 +132,13 @@ std::vector<Arrival> closed_loop_initial_arrivals(
 }
 
 }  // namespace
+
+std::uint32_t mix_for_device(const LoadGenConfig& config,
+                             std::uint32_t device) {
+  if (config.mix.size() <= 1) return 0;
+  Rng rng = Rng(config.seed).fork("loadgen-mix").fork(device);
+  return pick_mix(config, rng);
+}
 
 std::vector<Arrival> make_arrivals(const LoadGenConfig& config) {
   assert(config.devices > 0);

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -38,6 +39,17 @@ enum class ArrivalProcess : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(ArrivalProcess process);
+
+/// One slice of a multi-class traffic mix: a tenant stream with a QoS
+/// class receiving `share` of the offered load.  The class is a plain
+/// index (0 = interactive, 1 = standard, 2 = batch, matching
+/// core/qos/qos.hpp) so the sim layer stays ignorant of core types.
+struct TrafficClassMix {
+  std::string tenant;         ///< tenant label ("" ⇒ per-app tenancy)
+  std::uint8_t priority = 1;  ///< class index; 1 = standard
+  std::uint32_t weight = 1;   ///< DRR tenant weight within the class
+  double share = 1.0;         ///< relative share of offered arrivals
+};
 
 struct LoadGenConfig {
   ArrivalProcess arrival = ArrivalProcess::kPoisson;
@@ -66,15 +78,30 @@ struct LoadGenConfig {
   /// backpressure b in [0, 1] waits think × (1 + b × (slowdown − 1)).
   double backpressure_slowdown = 4.0;
 
+  /// Multi-class traffic mix.  Empty ⇒ one anonymous standard-class
+  /// stream (every arrival gets mix_index 0).  Open-loop models draw the
+  /// mix slot per arrival (shares weight the draw); closed-loop runs pin
+  /// each device to one slot (mix_for_device) so a device's class never
+  /// flaps mid-run.
+  std::vector<TrafficClassMix> mix;
+
   std::uint64_t seed = 1;
 };
 
-/// One synthetic arrival: request `sequence` from `device_id` at `at`.
+/// One synthetic arrival: request `sequence` from `device_id` at `at`,
+/// belonging to mix slot `mix_index` (0 when no mix is configured).
 struct Arrival {
   std::uint64_t sequence = 0;
   std::uint32_t device_id = 0;
   SimTime at = 0;
+  std::uint32_t mix_index = 0;
 };
+
+/// Deterministic mix slot for a device: closed-loop runs pin each device
+/// to one mix entry for its whole lifetime.  Pure in (config, device);
+/// returns 0 when the mix has at most one entry.
+[[nodiscard]] std::uint32_t mix_for_device(const LoadGenConfig& config,
+                                           std::uint32_t device);
 
 /// Open-loop arrival schedule (kPoisson / kMmpp; kClosedLoop yields only
 /// the initial per-device staggered arrivals, capped at config.requests —

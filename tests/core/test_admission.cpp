@@ -8,7 +8,17 @@
 namespace rattrap::core {
 namespace {
 
-using Verdict = AdmissionController::Verdict;
+using Admitted = AdmissionController::Admitted;
+
+AdmissionController::Offer offer_of(
+    const char* tenant, std::uint64_t id = 0,
+    qos::PriorityClass klass = qos::PriorityClass::kStandard) {
+  AdmissionController::Offer offer;
+  offer.tenant = tenant;
+  offer.klass = klass;
+  offer.id = id;
+  return offer;
+}
 
 TEST(RejectReason, EveryValueHasAName) {
   for (const auto reason :
@@ -16,9 +26,21 @@ TEST(RejectReason, EveryValueHasAName) {
         RejectReason::kQueueFull, RejectReason::kRateLimited,
         RejectReason::kOverloaded, RejectReason::kCapacity,
         RejectReason::kConnectFailed, RejectReason::kRedispatchExhausted,
-        RejectReason::kStranded}) {
+        RejectReason::kStranded, RejectReason::kInvalidConfig}) {
     EXPECT_STRNE(to_string(reason), "?");
   }
+}
+
+TEST(ResultType, CarriesValueOrTypedReason) {
+  const Result<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.error(), RejectReason::kNone);
+
+  const Result<int> bad = RejectReason::kQueueFull;
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), RejectReason::kQueueFull);
+  EXPECT_EQ(bad.value_or(-1), -1);
 }
 
 TEST(TokenBucket, StartsFullAndRefillsOverVirtualTime) {
@@ -50,13 +72,15 @@ TEST(AdmissionController, AdmitThenQueueThenShed) {
   MonitorScheduler monitor(simulator, 4);
   AdmissionController admission(small_config(), monitor, 4);
 
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  EXPECT_EQ(*admission.offer(offer_of("app", 1), 0), Admitted::kDispatch);
+  EXPECT_EQ(*admission.offer(offer_of("app", 2), 0), Admitted::kDispatch);
   EXPECT_EQ(admission.in_service(), 2u);
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  EXPECT_EQ(*admission.offer(offer_of("app", 3), 0), Admitted::kQueued);
+  EXPECT_EQ(*admission.offer(offer_of("app", 4), 0), Admitted::kQueued);
   EXPECT_EQ(admission.queue_depth(), 2u);
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kRejectQueueFull);
+  const Result<Admitted> shed = admission.offer(offer_of("app", 5), 0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error(), RejectReason::kQueueFull);
   EXPECT_EQ(admission.admitted(), 2u);
   EXPECT_EQ(admission.rejected(), 1u);
 }
@@ -65,14 +89,17 @@ TEST(AdmissionController, ReleaseOpensAQueuedSlot) {
   sim::Simulator simulator;
   MonitorScheduler monitor(simulator, 4);
   AdmissionController admission(small_config(), monitor, 4);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  ASSERT_TRUE(admission.offer(offer_of("app", 1), 0).ok());
+  ASSERT_TRUE(admission.offer(offer_of("app", 2), 0).ok());
+  ASSERT_EQ(*admission.offer(offer_of("app", 3), 0), Admitted::kQueued);
   EXPECT_FALSE(admission.can_start_queued());
 
   admission.release();
   EXPECT_TRUE(admission.can_start_queued());
-  admission.start_queued(250 * sim::kMillisecond);
+  const auto popped = admission.pop_queued(250 * sim::kMillisecond);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 3u);
+  EXPECT_EQ(popped->waited, 250 * sim::kMillisecond);
   EXPECT_EQ(admission.in_service(), 2u);
   EXPECT_EQ(admission.queue_depth(), 0u);
   EXPECT_FALSE(admission.can_start_queued());
@@ -83,12 +110,13 @@ TEST(AdmissionController, AbandonQueuedReturnsTheSlot) {
   sim::Simulator simulator;
   MonitorScheduler monitor(simulator, 4);
   AdmissionController admission(small_config(), monitor, 4);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
-  admission.abandon_queued();
+  ASSERT_TRUE(admission.offer(offer_of("app", 1), 0).ok());
+  ASSERT_TRUE(admission.offer(offer_of("app", 2), 0).ok());
+  ASSERT_EQ(*admission.offer(offer_of("app", 3), 0), Admitted::kQueued);
+  admission.abandon_queued(qos::PriorityClass::kStandard, "app", 3);
   EXPECT_EQ(admission.queue_depth(), 0u);
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kEnqueue);  // space again
+  // Space again.
+  EXPECT_EQ(*admission.offer(offer_of("app", 4), 0), Admitted::kQueued);
 }
 
 TEST(AdmissionController, TenantRateLimitIsPerTenant) {
@@ -101,11 +129,13 @@ TEST(AdmissionController, TenantRateLimitIsPerTenant) {
   config.tenant_burst = 1.0;
   AdmissionController admission(config, monitor, 4);
 
-  EXPECT_EQ(admission.offer("a", 0), Verdict::kAdmit);
-  EXPECT_EQ(admission.offer("a", 0), Verdict::kRejectRateLimited);
-  EXPECT_EQ(admission.offer("b", 0), Verdict::kAdmit);  // separate bucket
+  EXPECT_TRUE(admission.offer(offer_of("a"), 0).ok());
+  const Result<Admitted> limited = admission.offer(offer_of("a"), 0);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.error(), RejectReason::kRateLimited);
+  EXPECT_TRUE(admission.offer(offer_of("b"), 0).ok());  // separate bucket
   // One second later tenant a has a token again.
-  EXPECT_EQ(admission.offer("a", sim::kSecond), Verdict::kAdmit);
+  EXPECT_TRUE(admission.offer(offer_of("a"), sim::kSecond).ok());
 }
 
 TEST(AdmissionController, ShedsAboveUtilizationThreshold) {
@@ -117,11 +147,34 @@ TEST(AdmissionController, ShedsAboveUtilizationThreshold) {
   config.shed_utilization = 2.0;  // shed at 2x oversubscription
   AdmissionController admission(config, monitor, 2);
 
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  EXPECT_TRUE(admission.offer(offer_of("app"), 0).ok());
   for (int i = 0; i < 4; ++i) monitor.job_started();  // 4 jobs / 2 cores
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kRejectOverloaded);
+  const Result<Admitted> shed = admission.offer(offer_of("app"), 0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.error(), RejectReason::kOverloaded);
   monitor.job_finished();  // 3/2 = 1.5 < 2.0
-  EXPECT_EQ(admission.offer("app", 0), Verdict::kAdmit);
+  EXPECT_TRUE(admission.offer(offer_of("app"), 0).ok());
+}
+
+TEST(AdmissionController, PerClassShedThresholdProtectsInteractive) {
+  sim::Simulator simulator;
+  MonitorScheduler monitor(simulator, 2);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_in_service = 100;
+  config.shed_utilization = 4.0;
+  config.qos.enabled = true;
+  config.qos.batch.shed_utilization = 1.0;  // batch sheds much earlier
+  AdmissionController admission(config, monitor, 2);
+
+  for (int i = 0; i < 3; ++i) monitor.job_started();  // load 1.5
+  const Result<Admitted> batch = admission.offer(
+      offer_of("t", 1, qos::PriorityClass::kBatch), 0);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.error(), RejectReason::kOverloaded);
+  EXPECT_TRUE(admission
+                  .offer(offer_of("t", 2, qos::PriorityClass::kInteractive), 0)
+                  .ok());
 }
 
 TEST(AdmissionController, BackpressureTracksQueueAndLoad) {
@@ -135,9 +188,9 @@ TEST(AdmissionController, BackpressureTracksQueueAndLoad) {
   AdmissionController admission(config, monitor, 2);
 
   EXPECT_DOUBLE_EQ(admission.backpressure(), 0.0);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
+  ASSERT_TRUE(admission.offer(offer_of("app", 1), 0).ok());
+  ASSERT_EQ(*admission.offer(offer_of("app", 2), 0), Admitted::kQueued);
+  ASSERT_EQ(*admission.offer(offer_of("app", 3), 0), Admitted::kQueued);
   EXPECT_DOUBLE_EQ(admission.backpressure(), 0.5);  // 2 of 4 slots
 
   for (int i = 0; i < 4; ++i) monitor.job_started();  // load 2.0 = shed
@@ -166,13 +219,13 @@ TEST(AdmissionController, MetricsLedger) {
   AdmissionController admission(small_config(), monitor, 4);
   admission.set_metrics(&metrics);
 
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kAdmit);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kEnqueue);
-  ASSERT_EQ(admission.offer("app", 0), Verdict::kRejectQueueFull);
+  ASSERT_TRUE(admission.offer(offer_of("app", 1), 0).ok());
+  ASSERT_TRUE(admission.offer(offer_of("app", 2), 0).ok());
+  ASSERT_EQ(*admission.offer(offer_of("app", 3), 0), Admitted::kQueued);
+  ASSERT_EQ(*admission.offer(offer_of("app", 4), 0), Admitted::kQueued);
+  ASSERT_FALSE(admission.offer(offer_of("app", 5), 0).ok());
   admission.release();
-  admission.start_queued(100 * sim::kMillisecond);
+  ASSERT_TRUE(admission.pop_queued(100 * sim::kMillisecond).has_value());
 
   EXPECT_EQ(metrics.find_counter("admission.admitted")->value(), 3u);
   EXPECT_EQ(metrics.find_counter("admission.enqueued")->value(), 2u);
@@ -187,6 +240,9 @@ TEST(AdmissionController, MetricsLedger) {
   ASSERT_NE(wait, nullptr);
   EXPECT_EQ(wait->count(), 1u);
   EXPECT_DOUBLE_EQ(wait->sum(), 100.0);
+  // With QoS disabled everything flows through the standard lane.
+  EXPECT_EQ(metrics.find_counter("qos.enqueued.standard")->value(), 2u);
+  EXPECT_EQ(metrics.find_counter("qos.dequeued.standard")->value(), 1u);
 }
 
 }  // namespace

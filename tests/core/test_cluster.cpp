@@ -32,14 +32,59 @@ TEST(Cluster, OutcomesKeepStreamOrderAndIdentity) {
 }
 
 TEST(Cluster, DevicesShardDeterministically) {
-  Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+  // Static policy: the pre-QoS device_id % servers sharding, exact.
+  Cluster cluster(make_config(PlatformKind::kRattrap), 3,
+                  qos::PlacementPolicy::kStatic);
   const auto stream = fleet_stream(9, 18);
   cluster.run(stream);
   // 9 devices over 3 servers: 3 devices (and 3 environments) each.
   for (std::size_t s = 0; s < cluster.server_count(); ++s) {
     EXPECT_EQ(cluster.server(s).env_count(), 3u) << "server " << s;
+    EXPECT_EQ(cluster.devices_on_shard(s), 3u) << "server " << s;
   }
   EXPECT_EQ(cluster.stats().environments, 9u);
+}
+
+TEST(Cluster, PowerOfTwoPlacementBalancesDevices) {
+  Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+  ASSERT_EQ(cluster.placement(), qos::PlacementPolicy::kPowerOfTwo);
+  const auto stream = fleet_stream(30, 60);
+  cluster.run(stream);
+  // Power-of-two-choices over the live probe + in-pass routed counts
+  // keeps the spread tight: no shard more than a few devices off even.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    const std::size_t devices = cluster.devices_on_shard(s);
+    total += devices;
+    EXPECT_GE(devices, 7u) << "server " << s;
+    EXPECT_LE(devices, 13u) << "server " << s;
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(Cluster, PowerOfTwoPlacementIsStickyAndDeterministic) {
+  const auto stream = fleet_stream(12, 36);
+  Cluster first(make_config(PlatformKind::kRattrap), 3);
+  Cluster second(make_config(PlatformKind::kRattrap), 3);
+  first.run(stream);
+  second.run(stream);
+  for (std::uint32_t device = 0; device < 12; ++device) {
+    // Same seed + same stream => identical placements.
+    EXPECT_EQ(first.shard_for_device(device),
+              second.shard_for_device(device))
+        << "device " << device;
+  }
+  // Re-running the same stream must not move any device (stickiness).
+  std::vector<std::size_t> before;
+  before.reserve(12);
+  for (std::uint32_t device = 0; device < 12; ++device) {
+    before.push_back(first.shard_for_device(device));
+  }
+  first.run(stream);
+  for (std::uint32_t device = 0; device < 12; ++device) {
+    EXPECT_EQ(first.shard_for_device(device), before[device])
+        << "device " << device;
+  }
 }
 
 TEST(Cluster, SingleServerClusterMatchesPlainPlatform) {

@@ -64,6 +64,19 @@ PropertyCase make_case(std::uint64_t seed) {
           1.0 + static_cast<double>(seed % 10);
     }
     if (seed % 5 == 0) c.platform.admission.shed_utilization = 4.0;
+    // A quarter of the admission seeds run the full QoS scheduler with a
+    // three-class, two-tenant traffic mix (closed-loop seeds route it
+    // through per-mix sessions; open-loop legacy runs degrade to the
+    // standard lane).  The mix draws from a dedicated rng fork, so
+    // arrival times are unchanged versus the plain seeds.
+    if (seed % 4 == 3) {
+      c.platform.admission.qos.enabled = true;
+      c.driver.loadgen.mix = {
+          {"gold", 0, 3, 1.0},    // interactive, weight 3
+          {"bronze", 1, 1, 2.0},  // standard
+          {"bronze", 2, 1, 1.0},  // batch
+      };
+    }
   }
   return c;
 }
@@ -128,6 +141,34 @@ TEST(LoadGenProperties, RandomizedSeedsHoldEveryInvariant) {
       fail("accounting identity broken: " + std::to_string(completed) +
            "+" + std::to_string(rejected) + "+" + std::to_string(local) +
            "+" + std::to_string(stranded) +
+           " != " + std::to_string(offered));
+      return;
+    }
+
+    // The same identity must hold class by class, and the per-class
+    // ledgers must sum back to the session totals (no request ever
+    // changes class between offer and terminal state).
+    std::uint64_t class_offered_total = 0;
+    for (const qos::PriorityClass klass : qos::kAllClasses) {
+      const std::string name = qos::to_string(klass);
+      const std::uint64_t class_offered =
+          counter(("qos.offered." + name).c_str());
+      const std::uint64_t class_terminal =
+          counter(("qos.completed." + name).c_str()) +
+          counter(("qos.rejected." + name).c_str()) +
+          counter(("qos.local." + name).c_str()) +
+          counter(("qos.stranded." + name).c_str());
+      if (class_offered != class_terminal) {
+        fail("per-class accounting identity broken for " + name + ": " +
+             std::to_string(class_terminal) +
+             " != " + std::to_string(class_offered));
+        return;
+      }
+      class_offered_total += class_offered;
+    }
+    if (class_offered_total != offered) {
+      fail("class ledgers do not sum to sessions.offered: " +
+           std::to_string(class_offered_total) +
            " != " + std::to_string(offered));
       return;
     }
@@ -253,6 +294,126 @@ TEST(LoadGenProperties, GoldenDeterminismMetricsAndTrace) {
   const auto [metrics_c, trace_c] = run_once(6);
   EXPECT_NE(metrics_a, metrics_c);
   EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(LoadGenProperties, MixedClassGoldenDeterminism) {
+  // Same seed + same three-class/two-tenant mix => byte-identical
+  // metrics and trace JSON; QoS scheduling must stay deterministic.
+  const auto run_once = [](std::uint64_t seed) {
+    PlatformConfig config = make_config(PlatformKind::kRattrap);
+    config.seed = seed;
+    config.admission.enabled = true;
+    config.admission.qos.enabled = true;
+    config.admission.max_in_service = 4;
+    config.admission.queue_capacity = 8;
+    Platform platform(std::move(config));
+    platform.trace().enable();
+
+    LoadDriverConfig driver;
+    driver.loadgen.arrival = sim::ArrivalProcess::kClosedLoop;
+    driver.loadgen.devices = 12;
+    driver.loadgen.requests = 60;
+    driver.loadgen.think_time_s = 0.3;
+    driver.loadgen.seed = seed;
+    driver.loadgen.mix = {
+        {"gold", 0, 3, 1.0},    // interactive, weight 3
+        {"bronze", 1, 1, 2.0},  // standard
+        {"bronze", 2, 1, 1.0},  // batch
+    };
+    driver.size_class = 1;
+    (void)run_load(platform, driver);
+    return std::make_pair(platform.metrics().to_json(),
+                          platform.trace().to_chrome_json());
+  };
+
+  const auto [metrics_a, trace_a] = run_once(9);
+  const auto [metrics_b, trace_b] = run_once(9);
+  EXPECT_EQ(metrics_a, metrics_b) << "metrics JSON not byte-identical";
+  EXPECT_EQ(trace_a, trace_b) << "trace JSON not byte-identical";
+  // The mix actually reached the scheduler: every class lane shows up.
+  EXPECT_NE(metrics_a.find("qos.offered.interactive"), std::string::npos);
+  EXPECT_NE(metrics_a.find("qos.offered.batch"), std::string::npos);
+
+  const auto [metrics_c, trace_c] = run_once(10);
+  EXPECT_NE(metrics_a, metrics_c);
+  EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(LoadGenProperties, TenantWeightsShapeCompletionsUnderSaturation) {
+  // Two tenants at 3:1 DRR weight, equal offered load, one service slot:
+  // while the admission queue stays saturated, completions must track the
+  // weights within 10%.  Only completions before the last arrival count —
+  // the drain tail serves both backlogs to exhaustion and would dilute
+  // the ratio toward the 1:1 enqueue mix.
+  PlatformConfig config = make_config(PlatformKind::kRattrap);
+  config.seed = 21;
+  config.admission.enabled = true;
+  config.admission.qos.enabled = true;
+  config.admission.max_in_service = 1;  // serialized: the queue decides
+  // Deep enough that nothing sheds inside the measurement window: with
+  // tail-drop both tenants would be re-admitted 1:1 once full, the gold
+  // backlog would run dry, and DRR could no longer express the weights.
+  config.admission.queue_capacity = 2048;
+  Platform platform(std::move(config));
+
+  LoadDriverConfig driver;
+  driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+  // Sized against the serialized service rate (~2/s after a ~2 s warmup):
+  // a 40 s arrival window yields ~85 in-window completions, enough for a
+  // 10% ratio check, while 30/s offered load keeps the queue saturated.
+  driver.loadgen.devices = 16;
+  driver.loadgen.requests = 1200;
+  driver.loadgen.rate_per_s = 30;
+  driver.loadgen.seed = 21;
+  driver.size_class = 1;
+  const auto stream = make_load_stream(driver);
+  sim::SimTime last_arrival = 0;
+  for (const auto& request : stream) {
+    last_arrival = std::max(last_arrival, request.arrival);
+  }
+
+  SessionConfig gold_config;
+  gold_config.tenant = "gold";
+  gold_config.tenant_weight = 3;
+  SessionConfig bronze_config;
+  bronze_config.tenant = "bronze";
+  Result<Session> gold_opened = platform.open_session(gold_config);
+  Result<Session> bronze_opened = platform.open_session(bronze_config);
+  ASSERT_TRUE(gold_opened.ok());
+  ASSERT_TRUE(bronze_opened.ok());
+  Session gold = std::move(*gold_opened);
+  Session bronze = std::move(*bronze_opened);
+  for (const auto& request : stream) {
+    ((request.sequence % 2 != 0) ? bronze : gold).submit(request);
+  }
+  const auto gold_outcomes = gold.close();
+  const auto bronze_outcomes = bronze.close();
+
+  const auto completed_in_window =
+      [&](const std::vector<RequestOutcome>& outcomes) {
+        std::size_t count = 0;
+        for (const RequestOutcome& outcome : outcomes) {
+          if (!outcome.rejected && outcome.completed_at <= last_arrival) {
+            ++count;
+          }
+        }
+        return count;
+      };
+  const double gold_done =
+      static_cast<double>(completed_in_window(gold_outcomes));
+  const double bronze_done =
+      static_cast<double>(completed_in_window(bronze_outcomes));
+  ASSERT_GE(bronze_done, 10.0) << "saturation window served too little "
+                                  "to measure the ratio";
+  const double ratio = gold_done / bronze_done;
+  EXPECT_GE(ratio, 2.7) << gold_done << " vs " << bronze_done;
+  EXPECT_LE(ratio, 3.3) << gold_done << " vs " << bronze_done;
+  // The queue really saturated: a deep standing backlog built up, so the
+  // ratio was decided by DRR dequeue order, not by arrival order.
+  const obs::Gauge* peak =
+      platform.metrics().find_gauge("admission.queue.peak");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_GE(peak->value(), 100.0);
 }
 
 TEST(LoadGenProperties, QueueDepthNeverExceedsBoundMidRun) {

@@ -158,6 +158,56 @@ TEST(LoadGen, BackpressureStretchesThinkTime) {
   EXPECT_GT(stretched, base);
 }
 
+TEST(LoadGen, MixDrawsLeaveArrivalTimesUntouched) {
+  // The per-arrival mix draw comes from a dedicated rng fork: adding a
+  // traffic mix must route arrivals without perturbing the schedule.
+  const LoadGenConfig plain = base_config(ArrivalProcess::kPoisson);
+  LoadGenConfig mixed = plain;
+  mixed.mix = {{"gold", 0, 3, 1.0}, {"bronze", 2, 1, 3.0}};
+  const auto a = make_arrivals(plain);
+  const auto b = make_arrivals(mixed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
+    EXPECT_EQ(a[i].device_id, b[i].device_id) << i;
+    EXPECT_EQ(a[i].mix_index, 0u) << i;  // no mix => slot 0
+  }
+}
+
+TEST(LoadGen, MixIndicesAreDeterministicAndShareWeighted) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.requests = 4000;
+  config.mix = {{"gold", 0, 3, 1.0}, {"bronze", 2, 1, 3.0}};
+  const auto first = make_arrivals(config);
+  const auto second = make_arrivals(config);
+  std::size_t gold = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].mix_index, second[i].mix_index) << i;
+    ASSERT_LT(first[i].mix_index, 2u);
+    if (first[i].mix_index == 0) ++gold;
+  }
+  // Shares 1:3 => about a quarter of arrivals land on slot 0.
+  EXPECT_NEAR(static_cast<double>(gold) / 4000.0, 0.25, 0.03);
+}
+
+TEST(LoadGen, MixForDevicePinsClosedLoopDevices) {
+  LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
+  config.mix = {{"gold", 0, 3, 1.0}, {"bronze", 2, 1, 1.0}};
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t device = 0; device < config.devices; ++device) {
+    const std::uint32_t slot = mix_for_device(config, device);
+    ASSERT_LT(slot, 2u);
+    EXPECT_EQ(slot, mix_for_device(config, device));  // stable
+    seen.insert(slot);
+  }
+  EXPECT_EQ(seen.size(), 2u) << "50 devices never hit both slots";
+  // The seed wave routes every device to its pinned slot.
+  for (const Arrival& arrival : make_arrivals(config)) {
+    EXPECT_EQ(arrival.mix_index,
+              mix_for_device(config, arrival.device_id));
+  }
+}
+
 TEST(LoadGen, ThinkTimeIsAlwaysPositive) {
   LoadGenConfig config = base_config(ArrivalProcess::kClosedLoop);
   config.think_time_s = 1e-9;  // degenerate config must not yield 0

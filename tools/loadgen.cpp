@@ -16,9 +16,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/load_driver.hpp"
 #include "core/platform.hpp"
+#include "core/qos/qos.hpp"
+#include "obs/metrics.hpp"
 
 using namespace rattrap;
 
@@ -40,6 +43,14 @@ void usage() {
       "  --max-in-service N  concurrent dispatch bound (0 = 4x cores)\n"
       "  --tenant-rate R  per-app token-bucket rate, req/s (0 = off)\n"
       "  --shed U         utilization shed threshold (0 = off)\n"
+      "  --qos            enable class/tenant QoS scheduling (implies\n"
+      "                   --admission)\n"
+      "  --mix T:C[:W[:S]]  add a traffic-mix slice: tenant T, class C\n"
+      "                   (interactive|standard|batch), DRR weight W\n"
+      "                   (default 1), share S (default 1). Repeatable.\n"
+      "  --quantum N      DRR quantum (default 1)\n"
+      "  --starvation-burst N  anti-starvation burst size (default 1)\n"
+      "  --promote-every N     pops between promotions (default 8)\n"
       "  --json           print the full metrics JSON\n"
       "  --help");
 }
@@ -49,6 +60,36 @@ struct Options {
   core::AdmissionConfig admission;
   bool json = false;
 };
+
+/// "tenant:class[:weight[:share]]", e.g. "gold:interactive:3:0.25".
+bool parse_mix(const char* v, sim::TrafficClassMix& mix) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char* p = v;; ++p) {
+    if (*p == ':' || *p == '\0') {
+      parts.push_back(current);
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current.push_back(*p);
+    }
+  }
+  if (parts.size() < 2 || parts.size() > 4) return false;
+  mix.tenant = parts[0];
+  const auto klass = core::qos::parse_class(parts[1]);
+  if (!klass) return false;
+  mix.priority = static_cast<std::uint8_t>(core::qos::class_index(*klass));
+  if (parts.size() > 2) {
+    mix.weight =
+        static_cast<std::uint32_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
+    if (mix.weight == 0) return false;
+  }
+  if (parts.size() > 3) {
+    mix.share = std::strtod(parts[3].c_str(), nullptr);
+    if (mix.share <= 0) return false;
+  }
+  return true;
+}
 
 bool parse_kind(const char* v, workloads::Kind& kind) {
   const std::string s = v;
@@ -133,6 +174,32 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.admission.shed_utilization = std::strtod(v, nullptr);
+    } else if (arg == "--qos") {
+      options.admission.enabled = true;
+      options.admission.qos.enabled = true;
+    } else if (arg == "--mix") {
+      const char* v = next();
+      sim::TrafficClassMix mix;
+      if (v == nullptr || !parse_mix(v, mix)) {
+        std::fprintf(stderr, "bad --mix spec (tenant:class[:weight[:share]])\n");
+        return false;
+      }
+      options.driver.loadgen.mix.push_back(std::move(mix));
+    } else if (arg == "--quantum") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.admission.qos.quantum =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--starvation-burst") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.admission.qos.starvation_burst =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--promote-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.admission.qos.promote_every =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -191,11 +258,30 @@ int main(int argc, char** argv) {
               "queue_wait_mean=%.2f\n",
               summary.mean_ms, summary.p50_ms, summary.p95_ms,
               summary.p99_ms, summary.mean_queue_wait_ms);
+  for (const core::qos::PriorityClass klass : core::qos::kAllClasses) {
+    const core::ClassLoadStats& stats = summary.for_class(klass);
+    if (stats.offered == 0) continue;
+    std::printf(
+        "class.%s offered=%zu completed=%zu rejected=%zu "
+        "deadline_missed=%zu p50=%.1f p99=%.1f\n",
+        core::qos::to_string(klass), stats.offered, stats.completed,
+        stats.rejected, stats.deadline_missed, stats.p50_ms, stats.p99_ms);
+  }
+  if (!options.driver.loadgen.mix.empty()) {
+    for (const auto& [tenant, completed] : summary.completed_by_tenant) {
+      std::printf("tenant.%s completed=%zu\n", tenant.c_str(), completed);
+    }
+  }
   std::printf("virtual_duration=%.1fs envs=%zu\n", summary.duration_s,
               platform.env_count());
 
+  // The fingerprint hashes the full registry export — qos.* series,
+  // admission gauges, the lot — and the export leads with its schema
+  // version, so metric renames change both the printed schema and the
+  // fingerprint instead of silently matching a stale golden value.
   const std::string metrics_json = platform.metrics().to_json();
   if (options.json) std::printf("%s\n", metrics_json.c_str());
+  std::printf("metrics_schema=%d\n", obs::kMetricsSchemaVersion);
   std::printf("metrics_fingerprint=%016llx\n",
               static_cast<unsigned long long>(fingerprint(metrics_json)));
   return 0;
