@@ -5,10 +5,14 @@
 // and increase the complexity of the system. Leveraging a lightweight and
 // fast-boot cloud resource model may change the game."
 //
-// This bench quantifies the claim: a warm pool of 5 Android VMs removes
-// the cold-start failures exactly like Rattrap does, but at the price of
-// holding 2.5 GB of memory for the whole experiment; Rattrap achieves the
-// same failure profile on demand with a fraction of the memory-time.
+// This bench quantifies the claim through the elastic PoolController
+// (docs/ELASTIC.md): every pooled arm runs the same lifecycle-managed
+// code path, with the *static* arms simply pinning the controller's
+// target (forecast off) and the predictive arm letting the Holt
+// forecaster set it.  A static pool of 5 Android VMs removes the
+// cold-start failures exactly like Rattrap does, but at the price of
+// holding 2.5 GB of memory for the whole experiment; Rattrap achieves
+// the same failure profile on demand with a fraction of the memory-time.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -21,6 +25,7 @@ struct PoolResult {
   std::size_t failures = 0;
   double mean_prep_s = 0;
   double memory_gb_s = 0;
+  double idle_gb_s = 0;  ///< warm-idle slice of the memory-time integral
 };
 
 PoolResult run(core::PlatformConfig config,
@@ -33,8 +38,9 @@ PoolResult run(core::PlatformConfig config,
     result.mean_prep_s += sim::to_seconds(o.phases.runtime_preparation);
   }
   result.mean_prep_s /= static_cast<double>(outcomes.size());
-  result.memory_gb_s =
-      platform.memory_time_byte_seconds() / (1024.0 * 1024.0 * 1024.0);
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  result.memory_gb_s = platform.memory_time_byte_seconds() / kGiB;
+  result.idle_gb_s = platform.idle_byte_seconds() / kGiB;
   return result;
 }
 
@@ -44,8 +50,8 @@ int main() {
   std::printf(
       "Warm-pool ablation — pre-loading vs on-demand (OCR, 20 requests)\n");
   bench::print_rule('=');
-  std::printf("%-28s %8s %12s %14s\n", "configuration", "fails",
-              "prep[s]", "memory[GB*s]");
+  std::printf("%-28s %8s %12s %14s %12s\n", "configuration", "fails",
+              "prep[s]", "memory[GB*s]", "idle[GB*s]");
   bench::print_rule();
 
   const auto stream = bench::paper_stream(workloads::Kind::kOcr);
@@ -53,33 +59,46 @@ int main() {
   struct Row {
     const char* label;
     core::PlatformKind kind;
-    std::uint32_t pool;
+    core::elastic::PoolMode mode;
+    std::uint32_t target;  ///< static_target; ignored for kPredictive
   };
   const Row rows[] = {
-      {"VM, on-demand", core::PlatformKind::kVmCloud, 0},
-      {"VM, warm pool of 5", core::PlatformKind::kVmCloud, 5},
-      {"Rattrap, on-demand", core::PlatformKind::kRattrap, 0},
-      {"Rattrap, warm pool of 5", core::PlatformKind::kRattrap, 5},
+      {"VM, on-demand", core::PlatformKind::kVmCloud,
+       core::elastic::PoolMode::kDisabled, 0},
+      {"VM, static pool of 5", core::PlatformKind::kVmCloud,
+       core::elastic::PoolMode::kStatic, 5},
+      {"Rattrap, on-demand", core::PlatformKind::kRattrap,
+       core::elastic::PoolMode::kDisabled, 0},
+      {"Rattrap, static pool of 5", core::PlatformKind::kRattrap,
+       core::elastic::PoolMode::kStatic, 5},
+      {"Rattrap, predictive pool", core::PlatformKind::kRattrap,
+       core::elastic::PoolMode::kPredictive, 0},
   };
   double warm_vm_mem = 0, rattrap_mem = 0;
   for (const Row& row : rows) {
     core::PlatformConfig config = core::make_config(row.kind);
-    config.warm_pool = row.pool;
+    config.elastic.mode = row.mode;
+    config.elastic.static_target = row.target;
+    config.elastic.max_warm = 8;
     const PoolResult result = run(config, stream);
-    if (row.kind == core::PlatformKind::kVmCloud && row.pool > 0) {
+    if (row.kind == core::PlatformKind::kVmCloud &&
+        row.mode == core::elastic::PoolMode::kStatic) {
       warm_vm_mem = result.memory_gb_s;
     }
-    if (row.kind == core::PlatformKind::kRattrap && row.pool == 0) {
+    if (row.kind == core::PlatformKind::kRattrap &&
+        row.mode == core::elastic::PoolMode::kDisabled) {
       rattrap_mem = result.memory_gb_s;
     }
-    std::printf("%-28s %8zu %12.3f %14.2f\n", row.label, result.failures,
-                result.mean_prep_s, result.memory_gb_s);
+    std::printf("%-28s %8zu %12.3f %14.2f %12.2f\n", row.label,
+                result.failures, result.mean_prep_s, result.memory_gb_s,
+                result.idle_gb_s);
   }
   bench::print_rule();
   std::printf(
       "check: the warm VM pool hides the cold starts but holds %.1fx the\n"
       "memory-time of on-demand Rattrap, whose <2s boots make pre-loading\n"
-      "unnecessary — the paper's §III-B argument.\n",
+      "unnecessary — the paper's §III-B argument.  The predictive arm\n"
+      "gets the warm hits without pinning a fixed pool (docs/ELASTIC.md).\n",
       warm_vm_mem / rattrap_mem);
   return 0;
 }

@@ -136,6 +136,11 @@ std::uint64_t CloudAndroidContainer::private_disk_bytes() const {
   return container_ == nullptr ? 0 : container_->private_disk_bytes();
 }
 
+std::uint64_t CloudAndroidContainer::reclaim_private_layer() {
+  if (container_ == nullptr || container_->rootfs() == nullptr) return 0;
+  return container_->rootfs()->purge_top_layer();
+}
+
 std::uint64_t CloudAndroidContainer::boot_memory() const {
   return userspace_boot().boot_memory;
 }

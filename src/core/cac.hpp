@@ -77,6 +77,11 @@ class CloudAndroidContainer {
   /// The container's private (copy-on-write top layer) disk bytes.
   [[nodiscard]] std::uint64_t private_disk_bytes() const;
 
+  /// Discards the private COW layer (drain-based reclaim): the shared
+  /// lower layers are untouched, the per-CAC delta is gone.  Returns the
+  /// bytes freed.
+  std::uint64_t reclaim_private_layer();
+
   /// Resident memory once booted.
   [[nodiscard]] std::uint64_t boot_memory() const;
 

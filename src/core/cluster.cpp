@@ -1,6 +1,8 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "sim/parallel.hpp"
 
@@ -23,12 +25,76 @@ Cluster::Cluster(PlatformConfig config, std::size_t servers,
 }
 
 double Cluster::probe(std::size_t shard) {
-  // Live load signal: sessions waiting at the admission front door plus
-  // jobs occupying the compute plane.  Both read 0 on an idle server, so
-  // the placer's own in-pass routing counts break first-wave ties.
+  // Live load signal: sessions waiting at the admission front door, jobs
+  // occupying the compute plane, and a quarter-weight per live
+  // environment (a standing memory commitment, cheaper than an active
+  // job).  The Monitor invalidates its live-environment count on every
+  // teardown path — idle reclaim, drain completion, crash — so this
+  // signal cannot go stale across a reclaim and keep routing work to a
+  // shard whose warm capacity is gone.  Everything reads 0 on an idle
+  // server, so the placer's own in-pass routing counts break first-wave
+  // ties.
   Platform& platform = *servers_[shard];
   return static_cast<double>(platform.accept_queue_depth()) +
-         static_cast<double>(platform.server().monitor().running_jobs());
+         static_cast<double>(platform.server().monitor().running_jobs()) +
+         0.25 * static_cast<double>(
+                    platform.server().monitor().active_envs());
+}
+
+void Cluster::rebalance_warm_capacity() {
+  const std::size_t n = servers_.size();
+  if (n < 2) return;
+  if (servers_.front()->config().elastic.mode ==
+      elastic::PoolMode::kDisabled) {
+    return;
+  }
+  std::vector<std::uint32_t> warm(n, 0);
+  std::vector<double> score(n, 0.0);
+  std::uint32_t total_warm = 0;
+  double total_score = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    warm[s] = servers_[s]->warm_idle_count();
+    total_warm += warm[s];
+    score[s] = probe(s) + static_cast<double>(devices_on_shard(s));
+    total_score += score[s];
+  }
+  if (total_warm == 0 || total_score <= 0.0) return;
+  // Largest-remainder apportionment of the fleet's warm capacity by
+  // load score; ties break by shard index so the pass is deterministic.
+  std::vector<std::uint32_t> desired(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainder;
+  remainder.reserve(n);
+  std::uint32_t apportioned = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double raw =
+        static_cast<double>(total_warm) * score[s] / total_score;
+    desired[s] = static_cast<std::uint32_t>(raw);
+    apportioned += desired[s];
+    remainder.emplace_back(raw - static_cast<double>(desired[s]), s);
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; apportioned < total_warm && i < remainder.size();
+       ++i, ++apportioned) {
+    ++desired[remainder[i].second];
+  }
+  // Retire surplus on cold shards first (frees fleet memory), then
+  // prewarm the deficit on hot ones.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (warm[s] > desired[s]) {
+      stats_.rebalance_retired +=
+          servers_[s]->elastic_retire_warm(warm[s] - desired[s]);
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (warm[s] < desired[s]) {
+      stats_.rebalance_prewarmed +=
+          servers_[s]->elastic_prewarm(desired[s] - warm[s]);
+    }
+  }
 }
 
 std::size_t Cluster::shard_for_device(std::uint32_t device_id) const {
@@ -51,6 +117,10 @@ std::size_t Cluster::devices_on_shard(std::size_t shard) const {
 std::vector<RequestOutcome> Cluster::run(
     const std::vector<workloads::OffloadRequest>& stream) {
   const std::size_t n = servers_.size();
+  // Move warm capacity to where the load is before routing this wave —
+  // a serial pre-pass, like routing itself, so the parallel per-shard
+  // simulations below stay independent and deterministic.
+  rebalance_warm_capacity();
   // Route each request to the server owning its device — statically or
   // by sticky power-of-two-choices over the live load probe — and
   // renumber sequences per shard so each platform sees a dense stream.

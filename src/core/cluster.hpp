@@ -32,6 +32,10 @@ struct ClusterStats {
   std::uint64_t total_down_bytes = 0;
   std::size_t failures = 0;
   std::size_t rejected = 0;
+  /// Warm capacity moved by the cross-shard rebalancer (docs/ELASTIC.md):
+  /// environments booted on hot shards / drained on cold ones.
+  std::uint64_t rebalance_prewarmed = 0;
+  std::uint64_t rebalance_retired = 0;
 };
 
 class Cluster {
@@ -65,8 +69,15 @@ class Cluster {
 
  private:
   /// Live load score for a shard: admission queue depth plus running
-  /// jobs (Monitor utilization × cores).  Higher is busier.
+  /// jobs (Monitor utilization × cores) plus a fraction of the live
+  /// environment count.  Higher is busier.
   [[nodiscard]] double probe(std::size_t shard);
+
+  /// Serial pre-pass before routing: re-apportions the fleet's warm-idle
+  /// capacity across shards by load score (largest-remainder method),
+  /// draining surplus on cold shards and prewarming hot ones.  No-op
+  /// unless every server runs the elastic pool (docs/ELASTIC.md).
+  void rebalance_warm_capacity();
 
   std::vector<std::unique_ptr<Platform>> servers_;
   qos::PlacementPolicy placement_;

@@ -10,6 +10,8 @@ const char* to_string(EnvState state) {
       return "idle";
     case EnvState::kBusy:
       return "busy";
+    case EnvState::kDraining:
+      return "draining";
     case EnvState::kRetired:
       return "retired";
   }

@@ -22,6 +22,7 @@ enum class EnvState : std::uint8_t {
   kProvisioning,  ///< booting, not yet connected to the Dispatcher
   kIdle,          ///< booted, no running job
   kBusy,          ///< executing offloaded code
+  kDraining,      ///< no new leases; finishing in-flight work
   kRetired,       ///< stopped
 };
 

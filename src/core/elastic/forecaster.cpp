@@ -1,0 +1,43 @@
+#include "core/elastic/forecaster.hpp"
+
+#include <algorithm>
+
+namespace rattrap::core::elastic {
+
+void Forecaster::tick(double window_s) {
+  if (window_s <= 0) return;
+  for (Track& track : tracks_) {
+    const double x =
+        static_cast<double>(track.pending) / window_s;
+    track.pending = 0;
+    if (!track.seeded) {
+      // First window: seed the level with the observed rate so the
+      // estimator does not spend its early ticks climbing from zero.
+      track.level = x;
+      track.trend = 0;
+      track.seeded = true;
+      continue;
+    }
+    const double prev_level = track.level;
+    track.level = alpha_ * x + (1.0 - alpha_) * (track.level + track.trend);
+    track.trend =
+        beta_ * (track.level - prev_level) + (1.0 - beta_) * track.trend;
+  }
+  primed_ = true;
+}
+
+double Forecaster::forecast(qos::PriorityClass klass,
+                            double horizon_s) const {
+  const Track& track = tracks_[qos::class_index(klass)];
+  return std::max(0.0, track.level + track.trend * horizon_s);
+}
+
+double Forecaster::total_forecast(double horizon_s) const {
+  double sum = 0;
+  for (const qos::PriorityClass klass : qos::kAllClasses) {
+    sum += forecast(klass, horizon_s);
+  }
+  return sum;
+}
+
+}  // namespace rattrap::core::elastic

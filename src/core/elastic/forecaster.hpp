@@ -1,0 +1,67 @@
+// Per-class arrival-rate forecaster (docs/ELASTIC.md).
+//
+// Holt's linear exponential smoothing over per-tick arrival counts, one
+// track per QoS priority class.  The engine calls observe() for every
+// arrival and tick() on fixed event-queue intervals — no wall clock is
+// ever consulted, so a forecast is a pure function of the arrival
+// schedule and stays deterministic under the seeded simulator.
+//
+//   level ← α·x + (1−α)·(level + trend)
+//   trend ← β·(level − level_prev) + (1−β)·trend
+//   forecast(h) = max(0, level + trend·h)
+//
+// where x is the arrival rate measured over the tick window (count /
+// window seconds) and h is the look-ahead horizon in seconds.  The trend
+// term is what buys prewarm lead time on a ramp: by the time demand
+// arrives, the containers it needs are already booting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/qos/qos.hpp"
+
+namespace rattrap::core::elastic {
+
+class Forecaster {
+ public:
+  Forecaster(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+  /// Counts one arrival of `klass` toward the current tick window.
+  void observe(qos::PriorityClass klass) {
+    ++tracks_[qos::class_index(klass)].pending;
+  }
+
+  /// Folds the window's counts into the per-class estimators.
+  void tick(double window_s);
+
+  /// Smoothed arrival rate of `klass` (requests/s).
+  [[nodiscard]] double rate(qos::PriorityClass klass) const {
+    return tracks_[qos::class_index(klass)].level;
+  }
+
+  /// Rate of `klass` projected `horizon_s` ahead, floored at zero.
+  [[nodiscard]] double forecast(qos::PriorityClass klass,
+                                double horizon_s) const;
+
+  /// Sum of per-class forecasts — the total demand the pool must absorb.
+  [[nodiscard]] double total_forecast(double horizon_s) const;
+
+  /// True once at least one tick folded real data.
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  struct Track {
+    double level = 0;
+    double trend = 0;
+    std::uint64_t pending = 0;
+    bool seeded = false;  ///< first window seeds level directly
+  };
+
+  std::array<Track, qos::kClassCount> tracks_;
+  double alpha_;
+  double beta_;
+  bool primed_ = false;
+};
+
+}  // namespace rattrap::core::elastic

@@ -1,0 +1,115 @@
+#include "core/elastic/lifecycle.hpp"
+
+namespace rattrap::core::elastic {
+
+const char* to_string(CacState state) {
+  switch (state) {
+    case CacState::kCold:
+      return "cold";
+    case CacState::kBooting:
+      return "booting";
+    case CacState::kWarmIdle:
+      return "warm_idle";
+    case CacState::kLeased:
+      return "leased";
+    case CacState::kDraining:
+      return "draining";
+    case CacState::kReclaimed:
+      return "reclaimed";
+  }
+  return "?";
+}
+
+namespace {
+/// The legal edges of the state machine.  Booting may reclaim directly
+/// (provision failure, crash mid-boot) and may lease directly (a session
+/// was already waiting when the boot finished).
+bool legal(CacState from, CacState to) {
+  switch (from) {
+    case CacState::kCold:
+      return to == CacState::kBooting;
+    case CacState::kBooting:
+      return to == CacState::kWarmIdle || to == CacState::kLeased ||
+             to == CacState::kDraining || to == CacState::kReclaimed;
+    case CacState::kWarmIdle:
+      return to == CacState::kLeased || to == CacState::kDraining ||
+             to == CacState::kReclaimed;
+    case CacState::kLeased:
+      return to == CacState::kWarmIdle || to == CacState::kDraining ||
+             to == CacState::kReclaimed;
+    case CacState::kDraining:
+      return to == CacState::kReclaimed;
+    case CacState::kReclaimed:
+      return false;
+  }
+  return false;
+}
+}  // namespace
+
+void CacLifecycle::admit(std::uint32_t cid, sim::SimTime now,
+                         std::uint64_t memory_bytes) {
+  if (entries_.contains(cid)) {
+    if (first_error_.empty()) {
+      first_error_ =
+          "cid " + std::to_string(cid) + " admitted twice";
+    }
+    return;
+  }
+  Entry entry;
+  entry.state = CacState::kBooting;
+  entry.memory_bytes = memory_bytes;
+  entry.entered_at = now;
+  entries_.emplace(cid, entry);
+  ++counts_[static_cast<std::size_t>(CacState::kBooting)];
+  ++transition_counts_[static_cast<std::size_t>(CacState::kBooting)];
+  if (hook_) hook_(cid, CacState::kCold, CacState::kBooting, now);
+}
+
+void CacLifecycle::transition(std::uint32_t cid, CacState to,
+                              sim::SimTime now) {
+  const auto it = entries_.find(cid);
+  if (it == entries_.end()) {
+    if (first_error_.empty()) {
+      first_error_ = "transition on untracked cid " + std::to_string(cid) +
+                     " to " + to_string(to);
+    }
+    return;
+  }
+  Entry& entry = it->second;
+  const CacState from = entry.state;
+  if (!legal(from, to)) {
+    if (first_error_.empty()) {
+      first_error_ = "illegal transition on cid " + std::to_string(cid) +
+                     ": " + to_string(from) + " -> " + to_string(to);
+    }
+    return;
+  }
+  if (from == CacState::kWarmIdle) {
+    idle_byte_seconds_ += static_cast<double>(entry.memory_bytes) *
+                          sim::to_seconds(now - entry.entered_at);
+  }
+  --counts_[static_cast<std::size_t>(from)];
+  ++counts_[static_cast<std::size_t>(to)];
+  ++transition_counts_[static_cast<std::size_t>(to)];
+  entry.state = to;
+  entry.entered_at = now;
+  if (hook_) hook_(cid, from, to, now);
+}
+
+CacState CacLifecycle::state(std::uint32_t cid) const {
+  const auto it = entries_.find(cid);
+  return it == entries_.end() ? CacState::kCold : it->second.state;
+}
+
+double CacLifecycle::idle_byte_seconds(sim::SimTime now) const {
+  double sum = idle_byte_seconds_;
+  for (const auto& [cid, entry] : entries_) {
+    (void)cid;
+    if (entry.state != CacState::kWarmIdle) continue;
+    sum += static_cast<double>(entry.memory_bytes) *
+           sim::to_seconds(now - entry.entered_at);
+  }
+  return sum;
+}
+
+}  // namespace rattrap::core::elastic

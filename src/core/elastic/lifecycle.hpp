@@ -1,0 +1,106 @@
+// CAC lifecycle state machine (docs/ELASTIC.md).
+//
+// Every container on a shard lives in exactly one of six states:
+//
+//   cold ──admit──▶ booting ──▶ warm-idle ◀──▶ leased
+//                      │            │             │
+//                      └────────▶ draining ◀─────┘
+//                                   │
+//                                   ▼
+//                               reclaimed
+//
+// The engine (core/platform.cpp) drives the transitions; this class is
+// pure bookkeeping — it validates transition legality, keeps per-state
+// population counts, accumulates the warm-idle memory-occupancy integral
+// (the byte·seconds the §III-B ablation prices), and invokes an optional
+// hook so the observability layer can emit per-transition spans and
+// state gauges.  Illegal transitions are not fatal here: they are
+// recorded as first_error() and surfaced by the lifecycle-state
+// conservation invariant, so a violation fails loudly in the harness
+// instead of crashing a release build.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rattrap::core::elastic {
+
+enum class CacState : std::uint8_t {
+  kCold = 0,      ///< known id, not yet admitted (transient)
+  kBooting = 1,   ///< provisioning in progress
+  kWarmIdle = 2,  ///< ready, unleased, holding memory
+  kLeased = 3,    ///< ready with at least one session bound
+  kDraining = 4,  ///< no new leases; waiting for in-flight work
+  kReclaimed = 5, ///< retired, memory and private layer released
+};
+
+inline constexpr std::size_t kStateCount = 6;
+
+[[nodiscard]] const char* to_string(CacState state);
+
+class CacLifecycle {
+ public:
+  /// Invoked on every successful transition (including admit's
+  /// cold→booting) with the container id, the endpoints and the event
+  /// time.  The hook may read counts/states (they are already updated
+  /// when it fires) but must not re-enter admit() or transition().
+  using TransitionHook = std::function<void(
+      std::uint32_t cid, CacState from, CacState to, sim::SimTime now)>;
+
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// Starts tracking `cid` and moves it cold→booting.  `memory_bytes` is
+  /// the committed allocation used for the idle-occupancy integral.
+  void admit(std::uint32_t cid, sim::SimTime now, std::uint64_t memory_bytes);
+
+  /// Moves `cid` to `to` if the edge is legal; otherwise records the
+  /// violation in first_error() and leaves the state unchanged.
+  void transition(std::uint32_t cid, CacState to, sim::SimTime now);
+
+  [[nodiscard]] bool tracked(std::uint32_t cid) const {
+    return entries_.contains(cid);
+  }
+  [[nodiscard]] CacState state(std::uint32_t cid) const;
+
+  /// Containers currently in `state`.
+  [[nodiscard]] std::size_t count(CacState state) const {
+    return counts_[static_cast<std::size_t>(state)];
+  }
+  [[nodiscard]] std::size_t tracked_count() const { return entries_.size(); }
+
+  /// Total transitions *into* `state` so far (admit counts into booting).
+  [[nodiscard]] std::uint64_t transitions_into(CacState state) const {
+    return transition_counts_[static_cast<std::size_t>(state)];
+  }
+
+  /// Integral of committed memory over time spent warm-idle, in
+  /// byte·seconds up to `now` — the standing cost of the warm pool.
+  [[nodiscard]] double idle_byte_seconds(sim::SimTime now) const;
+
+  /// First illegal transition observed, or empty.  The lifecycle-state
+  /// conservation invariant reports this.
+  [[nodiscard]] const std::string& first_error() const { return first_error_; }
+
+ private:
+  struct Entry {
+    CacState state = CacState::kCold;
+    std::uint64_t memory_bytes = 0;
+    sim::SimTime entered_at = 0;
+  };
+
+  std::map<std::uint32_t, Entry> entries_;
+  std::array<std::size_t, kStateCount> counts_{};
+  std::array<std::uint64_t, kStateCount> transition_counts_{};
+  /// Completed warm-idle occupancy (closed intervals only); the live
+  /// interval of currently warm containers is added by the accessor.
+  double idle_byte_seconds_ = 0;
+  TransitionHook hook_;
+  std::string first_error_;
+};
+
+}  // namespace rattrap::core::elastic

@@ -1,0 +1,86 @@
+#include "core/elastic/pool_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rattrap::core::elastic {
+
+const char* to_string(PoolMode mode) {
+  switch (mode) {
+    case PoolMode::kDisabled:
+      return "disabled";
+    case PoolMode::kStatic:
+      return "static";
+    case PoolMode::kPredictive:
+      return "predictive";
+  }
+  return "?";
+}
+
+void PoolController::observe_boot(double seconds) {
+  if (seconds <= 0) return;
+  boot_ewma_s_ =
+      boot_seen_ ? 0.7 * boot_ewma_s_ + 0.3 * seconds : seconds;
+  boot_seen_ = true;
+}
+
+std::uint32_t PoolController::clamp_target(
+    double raw, std::uint64_t memory_per_env) const {
+  double target = std::max(raw, static_cast<double>(config_.min_warm));
+  target = std::min(target, static_cast<double>(config_.max_warm));
+  if (config_.memory_budget_bytes > 0 && memory_per_env > 0) {
+    const double budget_cap = std::floor(
+        static_cast<double>(config_.memory_budget_bytes) /
+        static_cast<double>(memory_per_env));
+    target = std::min(target, budget_cap);
+  }
+  return static_cast<std::uint32_t>(std::max(0.0, target));
+}
+
+std::uint32_t PoolController::initial_target(
+    std::uint64_t memory_per_env) const {
+  const double raw = config_.mode == PoolMode::kStatic
+                         ? static_cast<double>(config_.static_target)
+                         : static_cast<double>(config_.min_warm);
+  return clamp_target(raw, memory_per_env);
+}
+
+PoolDecision PoolController::tick(const PoolSnapshot& snapshot,
+                                  double window_s) {
+  forecaster_.tick(window_s);
+
+  double raw;
+  if (config_.mode == PoolMode::kStatic) {
+    raw = static_cast<double>(config_.static_target);
+  } else {
+    const double horizon = config_.prewarm_horizon_s > 0
+                               ? config_.prewarm_horizon_s
+                               : boot_ewma_s_;
+    // Little's law: arrivals expected during one boot time is the warm
+    // capacity that keeps a cold start off the critical path.
+    raw = std::ceil(forecaster_.total_forecast(horizon) * horizon *
+                    config_.safety);
+  }
+
+  PoolDecision decision;
+  decision.target = clamp_target(raw, snapshot.memory_per_env);
+  const std::size_t pipeline = snapshot.warm + snapshot.booting;
+  if (pipeline < decision.target) {
+    decision.prewarm =
+        static_cast<std::uint32_t>(decision.target - pipeline);
+    over_ticks_ = 0;
+  } else if (snapshot.warm >
+             static_cast<std::size_t>(decision.target) +
+                 config_.hysteresis) {
+    if (++over_ticks_ >= std::max(1u, config_.drain_hold_ticks)) {
+      decision.drain = static_cast<std::uint32_t>(
+          snapshot.warm - decision.target);
+      over_ticks_ = 0;
+    }
+  } else {
+    over_ticks_ = 0;
+  }
+  return decision;
+}
+
+}  // namespace rattrap::core::elastic

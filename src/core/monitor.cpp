@@ -31,16 +31,32 @@ void MonitorScheduler::set_metrics(obs::MetricsRegistry* metrics) {
     metric_jobs_ = metric_jobs_peak_ = nullptr;
     metric_class_jobs_.fill(nullptr);
     metric_crashes_reported_ = metric_crashes_detected_ = nullptr;
+    metric_active_envs_ = nullptr;
     return;
   }
   metric_jobs_ = &metrics->gauge("monitor.running_jobs");
   metric_jobs_peak_ = &metrics->gauge("monitor.peak_jobs");
+  metric_active_envs_ = &metrics->gauge("monitor.active_envs");
   for (const qos::PriorityClass klass : qos::kAllClasses) {
     metric_class_jobs_[qos::class_index(klass)] = &metrics->gauge(
         std::string("qos.running.") + qos::to_string(klass));
   }
   metric_crashes_reported_ = &metrics->counter("monitor.crashes.reported");
   metric_crashes_detected_ = &metrics->counter("monitor.crashes.detected");
+}
+
+void MonitorScheduler::env_up(std::uint32_t env_id) {
+  live_envs_.insert(env_id);
+  if (metric_active_envs_ != nullptr) {
+    metric_active_envs_->set(static_cast<double>(live_envs_.size()));
+  }
+}
+
+void MonitorScheduler::env_down(std::uint32_t env_id) {
+  live_envs_.erase(env_id);
+  if (metric_active_envs_ != nullptr) {
+    metric_active_envs_->set(static_cast<double>(live_envs_.size()));
+  }
 }
 
 void MonitorScheduler::notify_crash(std::uint32_t env_id) {

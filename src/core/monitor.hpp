@@ -93,6 +93,20 @@ class MonitorScheduler {
   /// monitor.crashes.* . nullptr detaches.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  // -- Live-environment tracking (docs/ELASTIC.md) ----------------------
+  //
+  // The p2c placement probe folds the shard's live environment count
+  // into its load score.  The count is invalidated on *every* teardown
+  // path — idle reclaim, drain completion and crash alike — otherwise
+  // the signal goes stale across reclaim and a shard whose warm capacity
+  // just drained keeps winning placements it can only serve cold.
+
+  void env_up(std::uint32_t env_id);
+  void env_down(std::uint32_t env_id);
+  [[nodiscard]] std::size_t active_envs() const {
+    return live_envs_.size();
+  }
+
   // -- Crashed-environment detection -----------------------------------
   //
   // The Monitor's health sweep notices a CAC whose processes vanished and
@@ -134,9 +148,11 @@ class MonitorScheduler {
   std::function<void(std::uint32_t)> crash_handler_;
   sim::SimDuration detection_latency_ = 100 * sim::kMillisecond;
   std::set<std::uint32_t> pending_crashes_;
+  std::set<std::uint32_t> live_envs_;
   std::uint64_t reported_ = 0;
   std::uint64_t detected_ = 0;
   obs::Gauge* metric_jobs_ = nullptr;
+  obs::Gauge* metric_active_envs_ = nullptr;
   obs::Gauge* metric_jobs_peak_ = nullptr;
   std::array<obs::Gauge*, qos::kClassCount> metric_class_jobs_{};
   obs::Counter* metric_crashes_reported_ = nullptr;

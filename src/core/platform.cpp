@@ -71,6 +71,7 @@ struct Platform::Env {
   std::uint32_t inflight = 0;       ///< sessions bound but not completed
   std::uint64_t jobs_served = 0;    ///< reclaim-epoch counter
   bool pool = false;                ///< pre-booted, waiting for a claimant
+  bool draining = false;            ///< no new leases; reclaim when idle
   bool failed = false;              ///< provisioning failed (capacity)
   bool crashed = false;             ///< died abruptly (fault injection)
   std::uint64_t memory_bytes = 0;   ///< committed allocation
@@ -128,6 +129,10 @@ struct Platform::SessionState {
 
 /// Track 0 carries platform-wide instants (faults outside any session).
 constexpr std::uint64_t kPlatformTrack = 0;
+
+/// Lifecycle-state spans live on one track per environment, far above
+/// any session's (session tracks are sequence + 1).
+constexpr std::uint64_t kLifecycleTrackBase = 1'000'000'000;
 
 namespace {
 /// Affinity-reroute backlog tolerance by class: interactive sessions give
@@ -235,6 +240,41 @@ Platform::Platform(PlatformConfig config)
         config_.admission, server_->monitor(), calibration.server_cores);
     admission_->set_metrics(&metrics_);
   }
+  if (config_.elastic.mode != elastic::PoolMode::kDisabled) {
+    pool_controller_ =
+        std::make_unique<elastic::PoolController>(config_.elastic);
+  }
+  // Lifecycle transitions feed the elastic.* metrics schema and, when
+  // tracing is on, one state span per environment (docs/ELASTIC.md).
+  lifecycle_.set_transition_hook(
+      [this](std::uint32_t cid, elastic::CacState from, elastic::CacState to,
+             sim::SimTime now) {
+        metrics_
+            .counter(std::string("elastic.transitions.") +
+                     elastic::to_string(to))
+            .inc();
+        metrics_.gauge(std::string("elastic.state.") + elastic::to_string(to))
+            .set(static_cast<double>(lifecycle_.count(to)));
+        if (from != elastic::CacState::kCold) {
+          metrics_
+              .gauge(std::string("elastic.state.") + elastic::to_string(from))
+              .set(static_cast<double>(lifecycle_.count(from)));
+        }
+        if (!trace_.enabled()) return;
+        if (const auto it = lifecycle_spans_.find(cid);
+            it != lifecycle_spans_.end()) {
+          trace_.end(it->second, now);  // no-op if a drain already closed it
+          lifecycle_spans_.erase(it);
+        }
+        const std::uint64_t track = kLifecycleTrackBase + cid;
+        if (to == elastic::CacState::kReclaimed) {
+          trace_.instant(track, "reclaimed", "lifecycle", now);
+          return;
+        }
+        lifecycle_spans_.emplace(
+            cid,
+            trace_.begin(track, elastic::to_string(to), "lifecycle", now));
+      });
   if (config_.force_invariants && config_.check_invariants &&
       config_.fault_plan.empty()) {
     // The property battery wants the oracle active on fault-free runs
@@ -345,6 +385,11 @@ Platform::Env& Platform::provision_env(const std::string& binding_key,
   } else {
     provision_cac(ref);
   }
+  lifecycle_.admit(id, now, ref.memory_bytes);
+  if (ref.failed) {
+    // Dead on arrival (capacity wall): straight to reclaimed.
+    lifecycle_.transition(id, elastic::CacState::kReclaimed, now);
+  }
   return ref;
 }
 
@@ -409,6 +454,14 @@ void Platform::provision_cac(Env& env) {
   cc.memory_limit = config_.customized_os
                         ? server_->calibration().cac_opt_memory
                         : server_->calibration().cac_plain_memory;
+  // Pin the lower layers by content digest: deduplicated across every
+  // CAC, and held here so the shared base outlives any one container's
+  // drain (only the private top layer is reclaimed).
+  for (const auto& layer : cc.lower_layers) {
+    layer_store_.add(container::layer_digest(*layer), layer);
+  }
+  metrics_.gauge("elastic.layers.pinned_bytes")
+      .set(static_cast<double>(layer_store_.stored_bytes()));
   env.cac = std::make_unique<CloudAndroidContainer>(
       cc, server_->containers(), server_->driver());
   env.memory_bytes = cc.memory_limit;
@@ -476,13 +529,29 @@ void Platform::env_ready(Env& env) {
   metrics_.counter("env.provisioned").inc();
   metrics_.histogram("env.provision_ms")
       .observe(sim::to_millis(env.ready_at - env.provision_start));
+  server_->monitor().env_up(env.id);
+  if (pool_controller_ != nullptr) {
+    pool_controller_->observe_boot(
+        sim::to_seconds(env.ready_at - env.provision_start));
+  }
   if (EnvRecord* record = server_->env_db().find(env.id)) {
-    record->state = EnvState::kIdle;
+    record->state = env.draining ? EnvState::kDraining : EnvState::kIdle;
     record->ready_at = env.ready_at;
+  }
+  if (!env.draining) {
+    // A drain begun mid-boot already moved the ledger to kDraining.
+    lifecycle_.transition(env.id,
+                          env.inflight > 0 ? elastic::CacState::kLeased
+                                           : elastic::CacState::kWarmIdle,
+                          env.ready_at);
   }
   auto waiters = std::move(env.waiters);
   env.waiters.clear();
   for (auto& waiter : waiters) waiter();
+  if (env.draining) {
+    if (env.inflight == 0) finish_drain(env);
+    return;
+  }
   schedule_reclaim(env);
 }
 
@@ -496,7 +565,7 @@ void Platform::schedule_reclaim(Env& env) {
         if (env.jobs_served != epoch) return;  // work arrived since
         if (env.inflight > 0) return;          // sessions in progress
         if (env.busy_until > server_->simulator().now()) return;
-        retire_env(env);
+        begin_drain(env);
       });
 }
 
@@ -504,12 +573,160 @@ void Platform::retire_env(Env& env) {
   env.retired = true;
   env.ready = false;
   env.commit_end = server_->simulator().now();
+  server_->monitor().env_down(env.id);
+  lifecycle_.transition(env.id, elastic::CacState::kReclaimed,
+                        server_->simulator().now());
   server_->env_db().retire(env.id);
   server_->warehouse().forget_env(env.id);
   if (env.is_vm) {
     server_->hypervisor().destroy(env.vm_id);
   } else if (env.cac) {
     env.cac->shutdown(server_->kernel());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Elastic capacity machinery (docs/ELASTIC.md)
+
+void Platform::begin_drain(Env& env) {
+  if (env.draining || env.retired) return;
+  env.draining = true;
+  env.pool = false;  // never claimable again
+  metrics_.counter("elastic.drained").inc();
+  lifecycle_.transition(env.id, elastic::CacState::kDraining,
+                        server_->simulator().now());
+  // Unbind the affinity key so the dispatcher never routes new work
+  // here; in-flight sessions keep their binding through s->env.
+  env.binding_key = "drain:" + std::to_string(env.id);
+  if (EnvRecord* record = server_->env_db().find(env.id)) {
+    record->bound_key = env.binding_key;
+    if (record->state != EnvState::kRetired) {
+      record->state = EnvState::kDraining;
+    }
+  }
+  if (env.ready && env.inflight == 0) finish_drain(env);
+}
+
+void Platform::finish_drain(Env& env) {
+  if (env.retired) return;
+  if (!env.is_vm && env.cac != nullptr) {
+    // Reclaim the private COW layer; shared lower layers stay for the
+    // environments still referencing them.
+    const std::uint64_t freed = env.cac->reclaim_private_layer();
+    if (freed > 0) {
+      metrics_.counter("elastic.reclaimed.private_bytes").inc(freed);
+    }
+  }
+  retire_env(env);
+}
+
+bool Platform::drain_env(std::uint32_t env_id) {
+  const auto it = envs_.find(env_id);
+  if (it == envs_.end()) return false;
+  Env& env = *it->second;
+  if (env.retired || env.draining) return false;
+  begin_drain(env);
+  return true;
+}
+
+Platform::Env& Platform::prewarm_env() {
+  Env& env = provision_env("pool:" + std::to_string(pool_seq_++),
+                           server_->simulator().now());
+  env.pool = true;
+  metrics_.counter("elastic.prewarmed").inc();
+  return env;
+}
+
+std::uint64_t Platform::default_env_memory() const {
+  const Calibration& cal = server_->calibration();
+  if (!config_.container_backing) return cal.vm_memory;
+  return config_.customized_os ? cal.cac_opt_memory : cal.cac_plain_memory;
+}
+
+std::uint32_t Platform::warm_idle_count() const {
+  std::uint32_t n = 0;
+  for (const auto& [id, env] : envs_) {
+    (void)id;
+    if (env->pool && !env->retired && !env->draining && env->ready &&
+        env->inflight == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint32_t Platform::elastic_prewarm(std::uint32_t count) {
+  if (count == 0) return 0;
+  // Honor the memory budget against the whole pool pipeline (booting
+  // included) so a rebalance burst cannot overshoot it either.
+  const std::uint64_t budget =
+      pool_controller_ ? pool_controller_->config().memory_budget_bytes : 0;
+  const std::uint64_t mem = default_env_memory();
+  if (budget > 0 && mem > 0) {
+    std::uint64_t committed = 0;
+    for (const auto& [id, env] : envs_) {
+      (void)id;
+      if (env->pool && !env->retired && !env->draining) {
+        committed += env->memory_bytes > 0 ? env->memory_bytes : mem;
+      }
+    }
+    const std::uint64_t room = budget > committed ? budget - committed : 0;
+    count = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count, room / mem));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) prewarm_env();
+  return count;
+}
+
+std::uint32_t Platform::elastic_retire_warm(std::uint32_t count) {
+  std::uint32_t drained = 0;
+  // Newest-first: the longest-warm environments (page caches hottest)
+  // survive; deterministic because env ids are allocation-ordered.
+  for (auto it = envs_.rbegin(); it != envs_.rend() && drained < count;
+       ++it) {
+    Env& env = *it->second;
+    if (!env.pool || env.retired || env.draining) continue;
+    if (!env.ready || env.inflight > 0) continue;
+    begin_drain(env);
+    ++drained;
+  }
+  return drained;
+}
+
+void Platform::arm_elastic_tick() {
+  if (pool_controller_ == nullptr || elastic_tick_armed_) return;
+  elastic_tick_armed_ = true;
+  server_->simulator().schedule_in(
+      sim::from_seconds(pool_controller_->config().tick_s),
+      [this]() { elastic_tick(); });
+}
+
+void Platform::elastic_tick() {
+  elastic_tick_armed_ = false;
+  if (pool_controller_ == nullptr) return;
+  elastic::PoolSnapshot snapshot;
+  snapshot.memory_per_env = default_env_memory();
+  for (const auto& [id, env] : envs_) {
+    (void)id;
+    if (!env->pool || env->retired || env->draining) continue;
+    if (!env->ready) {
+      ++snapshot.booting;
+    } else if (env->inflight == 0) {
+      ++snapshot.warm;
+    }
+  }
+  const elastic::PoolDecision decision =
+      pool_controller_->tick(snapshot, pool_controller_->config().tick_s);
+  metrics_.gauge("elastic.target").set(static_cast<double>(decision.target));
+  metrics_.gauge("elastic.forecast_rate")
+      .set(pool_controller_->forecast_rate());
+  metrics_.gauge("elastic.idle_byte_seconds").set(idle_byte_seconds());
+  if (decision.prewarm > 0) elastic_prewarm(decision.prewarm);
+  if (decision.drain > 0) elastic_retire_warm(decision.drain);
+  // Keep ticking only while the run has work; the next arrival re-arms,
+  // so an idle platform's event queue actually drains.
+  if (!live_sessions_.empty() || !queued_sessions_.empty()) {
+    arm_elastic_tick();
   }
 }
 
@@ -668,12 +885,14 @@ void Platform::reset_run() {
   default_stream_ = 0;
   run_active_ = true;
   sim::Simulator& simulator = server_->simulator();
-  for (std::uint32_t i = envs_.empty() ? 0 : config_.warm_pool;
-       i < config_.warm_pool; ++i) {
-    Env& pooled =
-        provision_env("pool:" + std::to_string(i), simulator.now());
-    pooled.pool = true;
+  if (envs_.empty()) {
+    const std::uint32_t initial =
+        pool_controller_
+            ? pool_controller_->initial_target(default_env_memory())
+            : config_.warm_pool;
+    for (std::uint32_t i = 0; i < initial; ++i) prewarm_env();
   }
+  if (pool_controller_ != nullptr) arm_elastic_tick();
   if (faults_) {
     // Fault pump: one-shot (at=) crash rules fire against whichever
     // environment is live at that virtual time — preferring one with
@@ -868,6 +1087,12 @@ void Platform::on_arrival(std::shared_ptr<SessionState> s) {
       return;
     }
   }
+  if (pool_controller_ != nullptr) {
+    // Offloaded arrivals feed the forecaster; locally served requests
+    // (the adaptive early-return above) never need warm capacity.
+    pool_controller_->observe_arrival(s->klass);
+    arm_elastic_tick();
+  }
   live_sessions_.push_back(s);
   attempt_connect(s);
 }
@@ -1012,20 +1237,29 @@ void Platform::dispatch(std::shared_ptr<SessionState> s,
     Env* target = env;
     bool claimed_pool = false;
     bool fresh = false;
-    if (target == nullptr || target->retired) {
+    if (target == nullptr || target->retired || target->draining) {
       const std::string key =
           dispatcher_->binding_key(s->request, s->app_id);
       // A warm-pool environment (pre-booted, unclaimed) is rebound to
-      // this device instead of paying a cold start.
+      // this device instead of paying a cold start.  Draining capacity
+      // stopped leasing the moment its drain began.
       Env* claimed = nullptr;
       for (auto& [id, candidate] : envs_) {
         (void)id;
-        if (candidate->pool && !candidate->retired) {
+        if (candidate->pool && !candidate->retired &&
+            !candidate->draining) {
           claimed = candidate.get();
           break;
         }
       }
       if (claimed != nullptr) {
+        if (claimed->ready) {
+          // Prewarm lead time: how far ahead of demand the controller
+          // had this environment standing warm.
+          metrics_.histogram("elastic.prewarm.lead_ms")
+              .observe(sim::to_millis(server_->simulator().now() -
+                                      claimed->ready_at));
+        }
         claimed->pool = false;
         claimed->binding_key = key;
         if (EnvRecord* rec = server_->env_db().find(claimed->id)) {
@@ -1056,6 +1290,10 @@ void Platform::dispatch(std::shared_ptr<SessionState> s,
     }
     s->env = target;
     ++target->inflight;  // pins the env against idle reclamation
+    if (target->ready && target->inflight == 1) {
+      lifecycle_.transition(target->id, elastic::CacState::kLeased,
+                            server_->simulator().now());
+    }
     if (target->ready) {
       on_env_ready(s);
     } else {
@@ -1082,6 +1320,17 @@ void Platform::on_env_ready(std::shared_ptr<SessionState> s) {
       .histogram(s->fresh_env ? "session.prep.provision_ms"
                               : "session.prep.reuse_ms")
       .observe(sim::to_millis(s->phases.runtime_preparation));
+  metrics_
+      .counter(s->fresh_env ? "elastic.cold_boots" : "elastic.warm_hits")
+      .inc();
+  {
+    const double hits = static_cast<double>(
+        metrics_.counter("elastic.warm_hits").value());
+    const double cold = static_cast<double>(
+        metrics_.counter("elastic.cold_boots").value());
+    metrics_.gauge("elastic.warm_hit_ratio")
+        .set(hits / std::max(1.0, hits + cold));
+  }
   begin_phase(*s, "transfer");
 
   // Determine the code push. With a code cache the warehouse answer
@@ -1276,7 +1525,7 @@ void Platform::on_uploaded(std::shared_ptr<SessionState> s) {
   const sim::SimTime done = start + duration;
   env.busy_until = done;
   if (EnvRecord* record = server_->env_db().find(env.id)) {
-    record->state = EnvState::kBusy;
+    if (!env.draining) record->state = EnvState::kBusy;
     record->busy_until = done;
   }
   server_->monitor().record_cpu(start, done, 1.0);
@@ -1320,7 +1569,8 @@ void Platform::on_computed(std::shared_ptr<SessionState> s) {
   begin_phase(*s, "teardown");  // result download + completion control
   ++env.jobs_served;
   if (EnvRecord* record = server_->env_db().find(env.id)) {
-    if (record->busy_until <= simulator.now()) {
+    if (record->busy_until <= simulator.now() &&
+        record->state == EnvState::kBusy) {
       record->state = EnvState::kIdle;
     }
     ++record->jobs_executed;
@@ -1449,6 +1699,9 @@ void Platform::crash_env(Env& env) {
   env.retired = true;
   env.ready = false;
   env.commit_end = server_->simulator().now();
+  server_->monitor().env_down(env.id);
+  lifecycle_.transition(env.id, elastic::CacState::kReclaimed,
+                        server_->simulator().now());
   server_->env_db().retire(env.id);
   server_->warehouse().forget_env(env.id);
   if (env.is_vm) {
@@ -1570,7 +1823,14 @@ void Platform::unbind_session(SessionState& s) {
   if (s.env != nullptr) {
     if (s.env->inflight > 0) --s.env->inflight;
     if (!s.env->retired && s.env->ready && s.env->inflight == 0) {
-      schedule_reclaim(*s.env);
+      if (s.env->draining) {
+        // Last in-flight session left a draining environment: reclaim.
+        finish_drain(*s.env);
+      } else {
+        lifecycle_.transition(s.env->id, elastic::CacState::kWarmIdle,
+                              server_->simulator().now());
+        schedule_reclaim(*s.env);
+      }
     }
     s.env = nullptr;
   }
@@ -1711,6 +1971,61 @@ void Platform::register_invariants() {
           }
         }
         return std::nullopt;
+      });
+  // 12. Lifecycle-state conservation: the ledger tracks every
+  //     environment the engine ever provisioned, no illegal transition
+  //     was ever attempted, and the ledger state matches what the
+  //     engine's flags imply for each environment (docs/ELASTIC.md).
+  invariants_.add_invariant(
+      "lifecycle-state", [this]() -> std::optional<std::string> {
+        if (const std::string& err = lifecycle_.first_error();
+            !err.empty()) {
+          return "lifecycle error: " + err;
+        }
+        if (lifecycle_.tracked_count() != envs_.size()) {
+          return "lifecycle tracks " +
+                 std::to_string(lifecycle_.tracked_count()) +
+                 " envs, engine has " + std::to_string(envs_.size());
+        }
+        for (const auto& [id, env] : envs_) {
+          elastic::CacState expected;
+          if (env->retired) {
+            expected = elastic::CacState::kReclaimed;
+          } else if (env->draining) {
+            expected = elastic::CacState::kDraining;
+          } else if (!env->ready) {
+            expected = elastic::CacState::kBooting;
+          } else if (env->inflight > 0) {
+            expected = elastic::CacState::kLeased;
+          } else {
+            expected = elastic::CacState::kWarmIdle;
+          }
+          if (lifecycle_.state(id) != expected) {
+            return "env " + std::to_string(id) + " is " +
+                   elastic::to_string(lifecycle_.state(id)) +
+                   ", engine state implies " + elastic::to_string(expected);
+          }
+        }
+        return std::nullopt;
+      });
+  // 13. The elastic memory budget is a hard ceiling on the warm pool:
+  //     committed pool memory (booting + warm) never exceeds it.
+  invariants_.add_invariant(
+      "elastic-memory-budget", [this]() -> std::optional<std::string> {
+        if (pool_controller_ == nullptr) return std::nullopt;
+        const std::uint64_t budget =
+            pool_controller_->config().memory_budget_bytes;
+        if (budget == 0) return std::nullopt;
+        std::uint64_t committed = 0;
+        for (const auto& [id, env] : envs_) {
+          (void)id;
+          if (env->pool && !env->retired && !env->draining) {
+            committed += env->memory_bytes;
+          }
+        }
+        if (committed <= budget) return std::nullopt;
+        return "warm pool commits " + std::to_string(committed) +
+               " bytes, budget is " + std::to_string(budget);
       });
   if (admission_ == nullptr) return;
   // 8. The class queues never exceed their capacity, and the scheduler's

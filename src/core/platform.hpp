@@ -27,9 +27,12 @@
 
 #include "android/app.hpp"
 #include "android/classloader.hpp"
+#include "container/registry.hpp"
 #include "core/admission.hpp"
 #include "core/cac.hpp"
 #include "core/dispatcher.hpp"
+#include "core/elastic/lifecycle.hpp"
+#include "core/elastic/pool_controller.hpp"
 #include "core/invariant.hpp"
 #include "core/offload.hpp"
 #include "core/qos/qos.hpp"
@@ -92,8 +95,14 @@ struct PlatformConfig {
   /// ask. Pre-loading hides the cold start but holds memory the whole
   /// time — the §III-B tradeoff the warm-pool ablation quantifies.
   /// Warm-pool environments are exempt from idle reclamation until first
-  /// use.
+  /// use.  Legacy knob: ignored when `elastic.mode` is not kDisabled —
+  /// the PoolController owns the pool then (docs/ELASTIC.md).
   std::uint32_t warm_pool = 0;
+
+  /// Elastic capacity manager: lifecycle-managed warm pool with a
+  /// static-replenishing or forecast-driven target, hysteretic
+  /// drain-based scale-down and a memory budget (docs/ELASTIC.md).
+  elastic::ElasticConfig elastic;
 
   // -- Fault injection (docs/FAULTS.md) --------------------------------
 
@@ -345,6 +354,46 @@ class Platform {
   [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
 
+  // -- Elastic capacity (docs/ELASTIC.md) ------------------------------
+
+  /// Lifecycle ledger: the authoritative cold → booting → warm-idle →
+  /// leased → draining → reclaimed state of every environment this
+  /// platform ever provisioned.
+  [[nodiscard]] const elastic::CacLifecycle& lifecycle() const {
+    return lifecycle_;
+  }
+
+  /// Integral of warm-idle memory over simulated time (byte·seconds) —
+  /// the idle-capacity cost the §III-B frontier charts.
+  [[nodiscard]] double idle_byte_seconds() const {
+    return lifecycle_.idle_byte_seconds(server_->simulator().now());
+  }
+
+  /// Warm-idle pool environments available for immediate lease.
+  [[nodiscard]] std::uint32_t warm_idle_count() const;
+
+  /// Boots up to `count` fresh pool environments (respects the elastic
+  /// memory budget); returns how many were actually started.  Used by
+  /// the controller tick and by cross-shard rebalancing.
+  std::uint32_t elastic_prewarm(std::uint32_t count);
+
+  /// Drains up to `count` warm-idle pool environments; returns how many
+  /// drains began.  Draining capacity stops leasing and is reclaimed
+  /// once in-flight work finishes.
+  std::uint32_t elastic_retire_warm(std::uint32_t count);
+
+  /// Starts draining one specific environment (tests / operations).
+  /// False if the id is unknown, already draining, or retired.
+  bool drain_env(std::uint32_t env_id);
+
+  /// Content-addressed store of every lower layer the platform's CACs
+  /// stack on.  Layers are pinned here by digest (deduplicated), so the
+  /// shared base survives any individual environment's drain — only the
+  /// private top layer is burned (docs/ELASTIC.md).
+  [[nodiscard]] const container::LayerStore& layer_store() const {
+    return layer_store_;
+  }
+
  private:
   friend class Session;
 
@@ -365,6 +414,14 @@ class Platform {
   void env_ready(Env& env);
   void schedule_reclaim(Env& env);
   void retire_env(Env& env);
+
+  // Elastic capacity machinery (docs/ELASTIC.md).
+  void begin_drain(Env& env);
+  void finish_drain(Env& env);
+  Env& prewarm_env();
+  void elastic_tick();
+  void arm_elastic_tick();
+  [[nodiscard]] std::uint64_t default_env_memory() const;
 
   // Session-handle plumbing.
   void reset_run();
@@ -430,6 +487,13 @@ class Platform {
   std::vector<device::MobileDevice> devices_;
   std::vector<RequestOutcome> outcomes_;
   std::vector<std::uint8_t> outcome_done_;  ///< parallel to outcomes_
+  elastic::CacLifecycle lifecycle_;
+  std::unique_ptr<elastic::PoolController> pool_controller_;
+  container::LayerStore layer_store_;
+  std::uint32_t pool_seq_ = 0;       ///< names pool:<n> environments
+  bool elastic_tick_armed_ = false;
+  /// Open lifecycle-state span per environment (trace enabled only).
+  std::map<std::uint32_t, obs::SpanId> lifecycle_spans_;
   std::map<std::uint64_t, Stream> streams_;  ///< by Session handle id
   std::uint64_t next_stream_id_ = 1;
   std::uint64_t default_stream_ = 0;  ///< legacy-wrapper session, 0 = none

@@ -101,6 +101,17 @@ bool UnionFs::unlink(std::string_view path) {
   return top_visible || below;
 }
 
+std::uint64_t UnionFs::purge_top_layer() {
+  const std::uint64_t freed = top_.total_bytes();
+  std::vector<std::string> paths;
+  top_.for_each([&](const std::string& path, const FileNode&) {
+    paths.push_back(path);
+    return true;
+  });
+  for (const std::string& path : paths) top_.erase(path);
+  return freed;
+}
+
 std::uint64_t UnionFs::visible_bytes() const {
   std::uint64_t sum = 0;
   for_each_visible([&](const std::string&, const FileNode& node) {

@@ -65,6 +65,12 @@ class UnionFs {
     return top_.total_bytes();
   }
 
+  /// Drops every top-layer entry (files, whiteouts, COW copies) — the
+  /// drain-based reclaim path discards the container's private delta
+  /// while the shared lower layers stay untouched.  Returns the regular
+  /// file bytes freed.
+  std::uint64_t purge_top_layer();
+
   /// Bytes materialized by copy-up operations so far.
   [[nodiscard]] std::uint64_t cow_bytes() const { return cow_bytes_; }
 

@@ -27,8 +27,9 @@ namespace rattrap::obs {
 /// renamed, removed, or changes meaning — golden-determinism fingerprints
 /// embed it, so a rename fails tests loudly instead of silently matching
 /// a stale baseline.  History: 1 = pre-QoS; 2 = qos.* metrics + schema
-/// field in to_json().
-inline constexpr int kMetricsSchemaVersion = 2;
+/// field in to_json(); 3 = elastic.* lifecycle/pool metrics and
+/// monitor.active_envs (docs/ELASTIC.md).
+inline constexpr int kMetricsSchemaVersion = 3;
 
 /// Monotonic event count.
 class Counter {

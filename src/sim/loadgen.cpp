@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace rattrap::sim {
 
@@ -15,6 +17,72 @@ const char* to_string(ArrivalProcess process) {
       return "closed-loop";
   }
   return "?";
+}
+
+const char* to_string(RateProfile profile) {
+  switch (profile) {
+    case RateProfile::kFlat:
+      return "flat";
+    case RateProfile::kRamp:
+      return "ramp";
+    case RateProfile::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Steps per profile period.  Piecewise-constant with few steps keeps
+/// the boundary-restart sampling cheap while the staircase still tracks
+/// the intended shape closely.
+constexpr std::uint64_t kProfileSteps = 16;
+
+/// Whether the profile actually shapes the rate (kFlat and degenerate
+/// parameterizations collapse to the unshaped generator byte-for-byte).
+bool profile_active(const LoadGenConfig& config) {
+  return config.profile != RateProfile::kFlat &&
+         config.profile_period_s > 0.0 && config.profile_peak_factor > 1.0;
+}
+
+SimDuration profile_step_length(const LoadGenConfig& config) {
+  return std::max<SimDuration>(
+      1, from_seconds(config.profile_period_s /
+                      static_cast<double>(kProfileSteps)));
+}
+
+/// The next step boundary strictly after `at` — the instant the rate
+/// multiplier changes and an in-flight exponential gap must restart
+/// (memorylessness makes the restart exact, as with the MMPP flip).
+SimTime next_profile_boundary(const LoadGenConfig& config, SimTime at) {
+  if (!profile_active(config)) return std::numeric_limits<SimTime>::max();
+  const SimDuration step = profile_step_length(config);
+  return (at / step + 1) * step;
+}
+
+}  // namespace
+
+double profile_multiplier(const LoadGenConfig& config, SimTime at) {
+  if (!profile_active(config)) return 1.0;
+  const SimDuration step = profile_step_length(config);
+  const double phase =
+      static_cast<double>((at / step) % kProfileSteps) /
+      static_cast<double>(kProfileSteps);
+  double shape = 0.0;  // 0 = trough (1×), 1 = peak (peak_factor×)
+  switch (config.profile) {
+    case RateProfile::kRamp:
+      // Triangular: staircase up over the first half-period, down over
+      // the second.
+      shape = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+      break;
+    case RateProfile::kDiurnal:
+      // Raised cosine: trough at phase 0, peak at the half-period.
+      shape = 0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * phase));
+      break;
+    case RateProfile::kFlat:
+      break;
+  }
+  return 1.0 + (config.profile_peak_factor - 1.0) * shape;
 }
 
 namespace {
@@ -41,11 +109,22 @@ std::vector<Arrival> poisson_arrivals(const LoadGenConfig& config) {
   Rng gaps = Rng(config.seed).fork("loadgen-gaps");
   Rng devices = Rng(config.seed).fork("loadgen-devices");
   Rng mixes = Rng(config.seed).fork("loadgen-mix");
-  const double mean_gap_s =
-      config.rate_per_s > 0 ? 1.0 / config.rate_per_s : 1.0;
+  const double base_rate = config.rate_per_s > 0 ? config.rate_per_s : 1.0;
   SimTime clock = 0;
   for (std::size_t i = 0; i < config.requests; ++i) {
-    clock += from_seconds(gaps.exponential(mean_gap_s));
+    for (;;) {
+      const double rate = base_rate * profile_multiplier(config, clock);
+      const SimTime candidate =
+          clock + from_seconds(gaps.exponential(1.0 / rate));
+      const SimTime boundary = next_profile_boundary(config, clock);
+      if (candidate < boundary) {
+        clock = candidate;
+        break;
+      }
+      // The profile stepped before this gap elapsed: restart the gap
+      // from the boundary at the new rate (exact, by memorylessness).
+      clock = boundary;
+    }
     Arrival arrival;
     arrival.sequence = i;
     arrival.device_id = static_cast<std::uint32_t>(
@@ -73,22 +152,29 @@ std::vector<Arrival> mmpp_arrivals(const LoadGenConfig& config) {
       from_seconds(states.exponential(std::max(config.mean_calm_s, 1e-9)));
   for (std::size_t i = 0; i < config.requests; ++i) {
     for (;;) {
-      const double rate = bursting ? burst_rate : calm_rate;
+      const double rate = (bursting ? burst_rate : calm_rate) *
+                          profile_multiplier(config, clock);
       const SimTime candidate =
           clock + from_seconds(gaps.exponential(1.0 / rate));
-      if (candidate < flip_at) {
+      // The gap must restart at whichever rate change lands first: the
+      // modulating-state flip or a profile step boundary.
+      const SimTime boundary =
+          std::min(flip_at, next_profile_boundary(config, clock));
+      if (candidate < boundary) {
         clock = candidate;
         break;
       }
-      // The state flipped before this gap elapsed: restart the gap from
-      // the flip instant at the new rate (memorylessness makes the
-      // restart exact, not an approximation).
-      clock = flip_at;
-      bursting = !bursting;
-      const double hold_s =
-          bursting ? config.mean_burst_s : config.mean_calm_s;
-      flip_at =
-          clock + from_seconds(states.exponential(std::max(hold_s, 1e-9)));
+      // A rate change preempted this gap: restart it from that instant
+      // at the new rate (memorylessness makes the restart exact, not an
+      // approximation).
+      clock = boundary;
+      if (boundary == flip_at) {
+        bursting = !bursting;
+        const double hold_s =
+            bursting ? config.mean_burst_s : config.mean_calm_s;
+        flip_at = clock +
+                  from_seconds(states.exponential(std::max(hold_s, 1e-9)));
+      }
     }
     Arrival arrival;
     arrival.sequence = i;

@@ -40,6 +40,29 @@ enum class ArrivalProcess : std::uint8_t {
 
 [[nodiscard]] const char* to_string(ArrivalProcess process);
 
+/// Deterministic time-of-day shaping of the offered rate for the
+/// open-loop models (docs/LOADGEN.md, docs/ELASTIC.md).  The profile is
+/// a periodic piecewise-constant multiplier staircase (16 steps per
+/// period) applied on top of rate_per_s — piecewise-constant so the
+/// thinning-free boundary-restart sampling stays exact:
+///
+///   kFlat    — multiplier 1 everywhere; schedules are byte-identical to
+///              the pre-profile generator.
+///   kRamp    — triangular: staircase up from 1× to profile_peak_factor
+///              over the first half-period, back down over the second.
+///   kDiurnal — raised cosine: smooth day/night swing with the trough at
+///              phase 0 and the peak at half-period.
+///
+/// Closed-loop runs ignore the profile (their rate emerges from think
+/// times and completions, not an offered schedule).
+enum class RateProfile : std::uint8_t {
+  kFlat = 0,
+  kRamp = 1,
+  kDiurnal = 2,
+};
+
+[[nodiscard]] const char* to_string(RateProfile profile);
+
 /// One slice of a multi-class traffic mix: a tenant stream with a QoS
 /// class receiving `share` of the offered load.  The class is a plain
 /// index (0 = interactive, 1 = standard, 2 = batch, matching
@@ -69,6 +92,11 @@ struct LoadGenConfig {
   double burst_factor = 8.0;  ///< burst-state rate = burst_factor × calm
   double mean_burst_s = 2.0;  ///< exponential burst-state holding time
   double mean_calm_s = 10.0;  ///< exponential calm-state holding time
+
+  // -- Rate profile (open-loop models only) -----------------------------
+  RateProfile profile = RateProfile::kFlat;
+  double profile_period_s = 60.0;     ///< one full profile cycle
+  double profile_peak_factor = 8.0;   ///< peak multiplier over rate_per_s
 
   // -- Closed loop ------------------------------------------------------
   /// Mean exponential think time between a device's response and its
@@ -102,6 +130,12 @@ struct Arrival {
 /// returns 0 when the mix has at most one entry.
 [[nodiscard]] std::uint32_t mix_for_device(const LoadGenConfig& config,
                                            std::uint32_t device);
+
+/// The profile's rate multiplier in effect at virtual time `at` (1.0 for
+/// kFlat or a degenerate period).  Pure in (config, at) — what the
+/// forecaster benches plot the offered-rate curve with.
+[[nodiscard]] double profile_multiplier(const LoadGenConfig& config,
+                                        SimTime at);
 
 /// Open-loop arrival schedule (kPoisson / kMmpp; kClosedLoop yields only
 /// the initial per-device staggered arrivals, capped at config.requests —

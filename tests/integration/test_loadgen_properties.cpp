@@ -78,6 +78,30 @@ PropertyCase make_case(std::uint64_t seed) {
       };
     }
   }
+
+  // A third of the seeds run the elastic capacity manager
+  // (docs/ELASTIC.md), alternating the static and predictive pools and
+  // occasionally pinning a memory budget — this is what exercises the
+  // lifecycle-state and elastic-memory-budget invariants across the
+  // battery.  Open-loop elastic seeds also shape the offered rate with
+  // a ramp or diurnal profile.
+  if (seed % 3 == 2) {
+    c.platform.elastic.mode = (seed % 2 == 0)
+                                  ? elastic::PoolMode::kStatic
+                                  : elastic::PoolMode::kPredictive;
+    c.platform.elastic.static_target =
+        1 + static_cast<std::uint32_t>(seed % 4);
+    c.platform.elastic.min_warm = static_cast<std::uint32_t>(seed % 2);
+    c.platform.elastic.max_warm = 6;
+    c.platform.elastic.tick_s = 0.25 + 0.25 * static_cast<double>(seed % 3);
+    if (seed % 4 == 2) {
+      c.platform.elastic.memory_budget_bytes = 256ull << 20;
+    }
+    c.driver.loadgen.profile =
+        static_cast<sim::RateProfile>(1 + seed % 2);  // ramp or diurnal
+    c.driver.loadgen.profile_period_s = 10.0;
+    c.driver.loadgen.profile_peak_factor = 4.0;
+  }
   return c;
 }
 
@@ -335,6 +359,51 @@ TEST(LoadGenProperties, MixedClassGoldenDeterminism) {
   EXPECT_NE(metrics_a.find("qos.offered.batch"), std::string::npos);
 
   const auto [metrics_c, trace_c] = run_once(10);
+  EXPECT_NE(metrics_a, metrics_c);
+  EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(LoadGenProperties, RampProfileElasticGoldenDeterminism) {
+  // The full elastic loop under a shaped open-loop schedule: MMPP
+  // arrivals on the ramp profile, the predictive pool prewarming and
+  // draining, lifecycle spans tracing.  Same seed ⇒ byte-identical
+  // metrics and trace JSON (docs/ELASTIC.md, docs/LOADGEN.md).
+  const auto run_once = [](std::uint64_t seed) {
+    PlatformConfig config = make_config(PlatformKind::kRattrap);
+    config.seed = seed;
+    config.admission.enabled = true;
+    config.elastic.mode = elastic::PoolMode::kPredictive;
+    config.elastic.min_warm = 1;
+    config.elastic.max_warm = 6;
+    Platform platform(std::move(config));
+    platform.trace().enable();
+
+    LoadDriverConfig driver;
+    driver.loadgen.arrival = sim::ArrivalProcess::kMmpp;
+    driver.loadgen.devices = 24;
+    driver.loadgen.requests = 80;
+    driver.loadgen.rate_per_s = 2.0;
+    driver.loadgen.profile = sim::RateProfile::kRamp;
+    driver.loadgen.profile_period_s = 20.0;
+    driver.loadgen.profile_peak_factor = 4.0;
+    driver.loadgen.seed = seed;
+    driver.size_class = 1;
+    (void)run_load(platform, driver);
+    EXPECT_TRUE(platform.lifecycle().first_error().empty())
+        << platform.lifecycle().first_error();
+    return std::make_pair(platform.metrics().to_json(),
+                          platform.trace().to_chrome_json());
+  };
+
+  const auto [metrics_a, trace_a] = run_once(13);
+  const auto [metrics_b, trace_b] = run_once(13);
+  EXPECT_EQ(metrics_a, metrics_b) << "metrics JSON not byte-identical";
+  EXPECT_EQ(trace_a, trace_b) << "trace JSON not byte-identical";
+  // The elastic loop actually ran: prewarms and lifecycle gauges exist.
+  EXPECT_NE(metrics_a.find("elastic.prewarmed"), std::string::npos);
+  EXPECT_NE(metrics_a.find("elastic.target"), std::string::npos);
+
+  const auto [metrics_c, trace_c] = run_once(14);
   EXPECT_NE(metrics_a, metrics_c);
   EXPECT_NE(trace_a, trace_c);
 }

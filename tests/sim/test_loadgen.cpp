@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -205,6 +206,108 @@ TEST(LoadGen, MixForDevicePinsClosedLoopDevices) {
   for (const Arrival& arrival : make_arrivals(config)) {
     EXPECT_EQ(arrival.mix_index,
               mix_for_device(config, arrival.device_id));
+  }
+}
+
+TEST(LoadGen, FlatProfileIsByteIdenticalToUnshapedSchedule) {
+  // kFlat must collapse to the pre-profile generator draw-for-draw, for
+  // both open-loop models: the profile machinery may not consume or
+  // reorder a single rng sample.
+  for (const ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp}) {
+    const LoadGenConfig plain = base_config(process);
+    LoadGenConfig flat = plain;
+    flat.profile = RateProfile::kFlat;
+    flat.profile_period_s = 60.0;
+    flat.profile_peak_factor = 8.0;
+    const auto a = make_arrivals(plain);
+    const auto b = make_arrivals(flat);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].at, b[i].at) << to_string(process) << " " << i;
+      EXPECT_EQ(a[i].device_id, b[i].device_id) << i;
+    }
+  }
+}
+
+TEST(LoadGen, ProfileMultiplierShapes) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.profile_period_s = 16.0;  // one step per second
+  config.profile_peak_factor = 9.0;
+
+  config.profile = RateProfile::kRamp;
+  // Triangular staircase: 1x at the period start, peak at half-period,
+  // symmetric on the way down.
+  EXPECT_NEAR(profile_multiplier(config, 0), 1.0, 1e-9);
+  EXPECT_NEAR(profile_multiplier(config, from_seconds(8.0)), 9.0, 1e-9);
+  EXPECT_NEAR(profile_multiplier(config, from_seconds(4.0)),
+              profile_multiplier(config, from_seconds(12.0)), 1e-9);
+  // Periodic: one full period later, the same multiplier.
+  EXPECT_NEAR(profile_multiplier(config, from_seconds(2.0)),
+              profile_multiplier(config, from_seconds(18.0)), 1e-9);
+
+  config.profile = RateProfile::kDiurnal;
+  EXPECT_NEAR(profile_multiplier(config, 0), 1.0, 1e-9);  // trough
+  EXPECT_NEAR(profile_multiplier(config, from_seconds(8.0)), 9.0, 1e-9);
+  for (double t = 0; t < 16.0; t += 0.5) {
+    const double m = profile_multiplier(config, from_seconds(t));
+    EXPECT_GE(m, 1.0) << t;
+    EXPECT_LE(m, 9.0) << t;
+  }
+
+  config.profile = RateProfile::kFlat;
+  EXPECT_NEAR(profile_multiplier(config, from_seconds(8.0)), 1.0, 1e-9);
+}
+
+TEST(LoadGen, RampProfileShiftsMassTowardThePeak) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.requests = 20000;
+  config.rate_per_s = 50;
+  config.profile = RateProfile::kRamp;
+  config.profile_period_s = 40.0;
+  config.profile_peak_factor = 8.0;
+  const auto arrivals = make_arrivals(config);
+  expect_well_formed(arrivals, config);
+  // Count arrivals landing in the peak half of each period (phase in
+  // [0.25, 0.75), multiplier above the midpoint) vs the trough half.
+  std::size_t peak_half = 0;
+  for (const Arrival& arrival : arrivals) {
+    const double phase =
+        to_seconds(arrival.at) / config.profile_period_s;
+    const double frac = phase - std::floor(phase);
+    if (frac >= 0.25 && frac < 0.75) ++peak_half;
+  }
+  const double share =
+      static_cast<double>(peak_half) / static_cast<double>(arrivals.size());
+  // Uniform would be 0.5; the triangular ramp concentrates ~70%+ of the
+  // offered load in the peak half.
+  EXPECT_GT(share, 0.65);
+}
+
+TEST(LoadGen, ProfileScheduleIsDeterministic) {
+  LoadGenConfig config = base_config(ArrivalProcess::kMmpp);
+  config.profile = RateProfile::kDiurnal;
+  config.profile_period_s = 20.0;
+  config.profile_peak_factor = 6.0;
+  const auto a = make_arrivals(config);
+  const auto b = make_arrivals(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
+    EXPECT_EQ(a[i].device_id, b[i].device_id) << i;
+    EXPECT_EQ(a[i].mix_index, b[i].mix_index) << i;
+  }
+}
+
+TEST(LoadGen, ClosedLoopIgnoresProfile) {
+  const LoadGenConfig plain = base_config(ArrivalProcess::kClosedLoop);
+  LoadGenConfig shaped = plain;
+  shaped.profile = RateProfile::kRamp;
+  const auto a = make_arrivals(plain);
+  const auto b = make_arrivals(shaped);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
   }
 }
 

@@ -35,6 +35,9 @@ void usage() {
       "  --requests N     total offered requests (default 1000)\n"
       "  --rate R         offered req/s, open loop (default 100)\n"
       "  --burst-factor F mmpp burst-state rate multiplier (default 8)\n"
+      "  --profile P      flat | ramp | diurnal rate profile (default flat)\n"
+      "  --profile-period S  profile cycle length, seconds (default 60)\n"
+      "  --profile-peak F    profile peak rate multiplier (default 8)\n"
       "  --think S        closed-loop mean think time, seconds (default 1)\n"
       "  --kind K         linpack | ocr | chess | virusscan (default linpack)\n"
       "  --seed S         master seed (default 1)\n"
@@ -145,6 +148,28 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.driver.loadgen.burst_factor = std::strtod(v, nullptr);
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string s = v;
+      if (s == "flat") {
+        options.driver.loadgen.profile = sim::RateProfile::kFlat;
+      } else if (s == "ramp") {
+        options.driver.loadgen.profile = sim::RateProfile::kRamp;
+      } else if (s == "diurnal") {
+        options.driver.loadgen.profile = sim::RateProfile::kDiurnal;
+      } else {
+        std::fprintf(stderr, "unknown rate profile: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--profile-period") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.driver.loadgen.profile_period_s = std::strtod(v, nullptr);
+    } else if (arg == "--profile-peak") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.driver.loadgen.profile_peak_factor = std::strtod(v, nullptr);
     } else if (arg == "--think") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -242,8 +267,9 @@ int main(int argc, char** argv) {
   const core::LoadSummary summary =
       core::run_load(platform, options.driver);
 
-  std::printf("arrival=%s devices=%u requests=%zu seed=%llu\n",
+  std::printf("arrival=%s profile=%s devices=%u requests=%zu seed=%llu\n",
               to_string(options.driver.loadgen.arrival),
+              to_string(options.driver.loadgen.profile),
               options.driver.loadgen.devices, summary.offered,
               static_cast<unsigned long long>(options.driver.loadgen.seed));
   std::printf(
