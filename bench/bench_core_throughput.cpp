@@ -1,0 +1,321 @@
+// Simulator-core throughput: the calendar EventQueue vs the seed
+// binary-heap implementation on a canonical 10^6-device diurnal day.
+//
+// The workload is the hold model the DES literature benches schedulers
+// with, shaped like a Rattrap fleet: every device keeps one pending
+// timer (its next offload request); each fired timer schedules the
+// device's next request at a diurnally modulated gap, re-arms the
+// device's two far timers — idle watchdog and CAC lease renewal — by
+// cancelling the previous ones (the arm/cancel cycle every real session
+// performs), and a slice of devices churn — their pending timer is
+// cancelled and rescheduled.  Cancels are the
+// seed heap's pathology: each one leaves a tombstone that must later be
+// popped and sifted past, which is exactly the cost this bench makes it
+// pay.  Both engines execute the identical operation stream (same
+// seeded Rng), and an order checksum over the fired sequence proves
+// they fire in the same total order — the determinism contract the
+// golden battery checks end to end.
+//
+// Exit code is the acceptance bar: 0 only when the calendar queue
+// sustains >= 3x the reference heap's events/sec (and the checksums
+// match).  bench-smoke runs this binary, so a scheduler regression fails
+// CI.  Results are also written to BENCH_core_throughput.json (see
+// docs/PERF.md for how to read the trajectory).
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/json.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/heap_queue_ref.hpp"
+#include "sim/loadgen.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace rattrap;
+
+constexpr double kSpeedupBar = 3.0;
+
+struct DayResult {
+  std::uint64_t ops = 0;         ///< schedules + pops + cancels
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;   ///< ops / wall
+  std::uint64_t order_checksum = 0;
+};
+
+/// Inverse-CDF exponential sampler over a 4096-step table with linear
+/// interpolation.  The bench draws two exponentials per fired event;
+/// keeping libm's log() off that path keeps the harness cost (paid
+/// identically by both engines) from diluting the queue-speed ratio the
+/// exit code is judging.  Deterministic: one uniform draw per sample.
+class FastExp {
+ public:
+  FastExp() {
+    for (std::size_t i = 0; i < kSteps; ++i) {
+      tbl_[i] = -std::log(1.0 - static_cast<double>(i) / kSteps);
+    }
+    // Clamp the tail: u in the last table cell samples ~ the p=1-1/4096
+    // quantile, bounding gaps at ~8.3 means instead of infinity.
+    tbl_[kSteps] = -std::log(1.0 / kSteps);
+  }
+
+  double operator()(sim::Rng& rng, double mean) const {
+    const double x = rng.uniform() * kSteps;
+    const auto i = static_cast<std::size_t>(x);
+    const double frac = x - static_cast<double>(i);
+    return mean * (tbl_[i] + (tbl_[i + 1] - tbl_[i]) * frac);
+  }
+
+ private:
+  static constexpr std::size_t kSteps = 4096;
+  std::array<double, kSteps + 1> tbl_{};
+};
+
+/// Order-sensitive xor-multiply fold (splitmix-style): one multiply per
+/// word keeps the checksum cost negligible next to the queue ops it is
+/// auditing, while any reordering of the folded stream still changes
+/// the result.
+std::uint64_t fold(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 31);
+}
+
+/// One simulated day on queue `q`.  The Queue only needs the common
+/// schedule/cancel/pop surface, so the same template body drives both
+/// engines with bit-identical operation streams.
+template <typename Queue>
+DayResult run_day(Queue& queue, std::size_t devices,
+                  std::uint64_t target_fired, std::uint64_t seed) {
+  sim::LoadGenConfig profile;
+  profile.profile = sim::RateProfile::kDiurnal;
+  profile.profile_period_s = 86'400;
+  profile.profile_peak_factor = 4.0;
+
+  sim::Rng rng(seed);
+  const FastExp exp_gap;
+  DayResult result;
+  // Each fired timer stamps its schedule serial here; folding the serial
+  // into the checksum captures the exact firing order, FIFO ties
+  // included.
+  std::uint64_t fired_serial = 0;
+  std::uint64_t next_serial = 0;
+  // All of a device's timer handles live in one 24-byte record so the
+  // per-event bookkeeping costs one cache line, not three.
+  struct DeviceTimers {
+    std::uint64_t pending = 0;
+    std::uint64_t timeout = sim::kNoEvent;
+    std::uint64_t lease = sim::kNoEvent;
+  };
+  std::vector<DeviceTimers> timers(devices);
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // Prime: every device holds one pending timer inside the first hour.
+  for (std::size_t d = 0; d < devices; ++d) {
+    const auto at = static_cast<sim::SimTime>(
+        rng.uniform(0.0, static_cast<double>(sim::kHour)));
+    const std::uint64_t serial = next_serial++;
+    timers[d].pending = queue.schedule(
+        at, [serial, &fired_serial] { fired_serial = serial; });
+    ++result.ops;
+  }
+
+  // Mean inter-request gap, sized so the day holds target_fired events.
+  const double mean_gap =
+      static_cast<double>(86'400 * sim::kSecond) *
+      static_cast<double>(devices) / static_cast<double>(target_fired);
+  sim::SimTime rate_window_end = 0;
+  double rate = 1.0;
+
+  while (result.fired < target_fired) {
+    auto fired = queue.pop();
+    fired.callback();
+    ++result.ops;
+    ++result.fired;
+    // The fired device's timer record is a random (cold) line; start it
+    // loading while the checksum and rate work below runs.  Both engines
+    // execute this identically, so it cancels out of the speedup ratio —
+    // it just keeps harness stalls from diluting the queue costs the
+    // exit code judges.
+    const std::size_t device = fired_serial % devices;
+    __builtin_prefetch(&timers[device], 1 /*rw*/);
+    result.order_checksum = fold(result.order_checksum, fired_serial);
+    result.order_checksum = fold(
+        result.order_checksum, static_cast<std::uint64_t>(fired.time));
+
+    // The fired device schedules its next request at a diurnally
+    // modulated gap (busy hours = shorter gaps).  The multiplier is
+    // re-evaluated per simulated 10-minute window, not per event —
+    // fired.time is monotonic and identical across engines, so this
+    // stays deterministic while keeping trig off the per-op path.
+    if (fired.time >= rate_window_end) {
+      rate = sim::profile_multiplier(profile, fired.time);
+      rate_window_end = fired.time + 600 * sim::kSecond;
+    }
+    DeviceTimers& mine = timers[device];
+    const double gap = exp_gap(rng, mean_gap / rate);
+    const auto next_at =
+        fired.time + std::max<sim::SimTime>(1, static_cast<sim::SimTime>(gap));
+    const std::uint64_t serial = next_serial++;
+    mine.pending = queue.schedule(
+        next_at, [serial, &fired_serial] { fired_serial = serial; });
+    ++result.ops;
+
+    // Session-watchdog cycle: every completed request cancels and
+    // re-arms the device's two far timers — the 24-hour idle watchdog
+    // and the 12-hour CAC lease renewal — two cancels + two schedules
+    // per fired event, the platform's real per-session pattern.  The
+    // watchdogs virtually never fire, which is exactly the seed heap's
+    // pathology: every cancel leaves a tombstone that the heap carries
+    // (and percolates past) for the rest of the day, while the calendar
+    // queue frees the far-parked node by touching one cache line.
+    // Both cancels issue back-to-back: each touches one random (cold)
+    // line, and adjacent independent loads overlap in the memory system
+    // instead of serializing — again identically for both engines.
+    if (mine.timeout != sim::kNoEvent && queue.cancel(mine.timeout)) {
+      ++result.cancelled;
+      ++result.ops;
+    }
+    if (mine.lease != sim::kNoEvent && queue.cancel(mine.lease)) {
+      ++result.cancelled;
+      ++result.ops;
+    }
+    const std::uint64_t tserial = next_serial++;
+    mine.timeout = queue.schedule(
+        next_at + 86'400 * sim::kSecond,
+        [tserial, &fired_serial] { fired_serial = tserial; });
+    ++result.ops;
+    const std::uint64_t lserial = next_serial++;
+    mine.lease = queue.schedule(
+        next_at + 43'200 * sim::kSecond,
+        [lserial, &fired_serial] { fired_serial = lserial; });
+    ++result.ops;
+
+    // Churn: one device in ten goes offline and comes back — its pending
+    // timer is cancelled and rescheduled.  The seed heap kept a tombstone
+    // for every one of these.
+    if (rng.bernoulli(0.1)) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(devices) - 1));
+      if (victim != device && queue.cancel(timers[victim].pending)) {
+        ++result.cancelled;
+        ++result.ops;
+        const auto back_at = next_at + static_cast<sim::SimTime>(
+                                           exp_gap(rng, mean_gap));
+        const std::uint64_t vserial = next_serial++;
+        timers[victim].pending = queue.schedule(
+            back_at, [vserial, &fired_serial] { fired_serial = vserial; });
+        ++result.ops;
+      }
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_s = std::chrono::duration<double>(end - start).count();
+  result.events_per_sec =
+      static_cast<double>(result.ops) / std::max(result.wall_s, 1e-9);
+  queue.clear();
+  return result;
+}
+
+std::string result_json(const DayResult& r) {
+  std::string body = "{";
+  const auto field = [&body](const char* key, const std::string& value) {
+    if (body.size() > 1) body += ',';
+    body += '"';
+    body += key;
+    body += "\":";
+    body += value;
+  };
+  field("ops", obs::json_number(r.ops));
+  field("fired", obs::json_number(r.fired));
+  field("cancelled", obs::json_number(r.cancelled));
+  field("wall_s", obs::json_number(r.wall_s));
+  field("events_per_sec", obs::json_number(r.events_per_sec));
+  body += '}';
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  // The canonical day: ~24 offload requests per device (one per
+  // simulated hour — light interactive use).  Quick mode shrinks the
+  // fleet to 2^17 devices but keeps the per-device day identical, so
+  // the heap's tombstone accumulation — and therefore the >=3x bar —
+  // holds: the heap drags ~2 dead watchdog entries per fired event to
+  // the end of the day, while the calendar queue's throughput is flat
+  // in day length.
+  const std::size_t devices = quick ? (1u << 17) : 1'000'000;
+  const std::uint64_t target_fired = devices * 24;
+  const std::uint64_t seed = 20'260'809;
+  // Repetitions interleave the engines and keep each engine's best run:
+  // the shared CI runners have multi-tens-of-percent wall-clock noise,
+  // and min-of-N is the standard low-noise estimator (a slow outlier
+  // means interference, never a genuinely faster machine).
+  const int reps = quick ? 3 : 1;
+
+  DayResult fast, slow;
+  for (int r = 0; r < reps; ++r) {
+    sim::EventQueue calendar(sim::EventQueue::Engine::kCalendar);
+    const DayResult f = run_day(calendar, devices, target_fired, seed);
+    sim::ReferenceHeapQueue heap;
+    const DayResult s = run_day(heap, devices, target_fired, seed);
+    if (r == 0 || f.wall_s < fast.wall_s) fast = f;
+    if (r == 0 || s.wall_s < slow.wall_s) slow = s;
+    if (f.order_checksum != s.order_checksum) {
+      fast = f;
+      slow = s;
+      break;
+    }
+  }
+
+  const double speedup = fast.events_per_sec / slow.events_per_sec;
+  const bool order_ok = fast.order_checksum == slow.order_checksum;
+
+  std::printf("bench_core_throughput (%s): %zu devices, %llu fired\n",
+              quick ? "quick" : "full", devices,
+              static_cast<unsigned long long>(fast.fired));
+  std::printf("  calendar   %12.0f events/s  (%.3f s wall)\n",
+              fast.events_per_sec, fast.wall_s);
+  std::printf("  heap (ref) %12.0f events/s  (%.3f s wall)\n",
+              slow.events_per_sec, slow.wall_s);
+  std::printf("  speedup    %.2fx (bar: %.1fx)   order checksums %s\n",
+              speedup, kSpeedupBar, order_ok ? "match" : "DIFFER");
+
+  // BENCH_core_throughput.json: the perf-trajectory document re-anchors
+  // and the CI tolerance check read (committed baseline lives in
+  // bench/BENCH_core_throughput.json).
+  const char* dir = std::getenv("RATTRAP_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    std::string out = "{\"bench\":\"core_throughput\",\"quick\":";
+    out += quick ? "true" : "false";
+    out += ",\"devices\":" +
+           obs::json_number(static_cast<std::uint64_t>(devices));
+    out += ",\"speedup\":" + obs::json_number(speedup);
+    out += ",\"order_match\":";
+    out += order_ok ? "true" : "false";
+    out += ",\"calendar\":" + result_json(fast);
+    out += ",\"reference_heap\":" + result_json(slow);
+    out += "}\n";
+    if (!obs::write_text_file(
+            std::string(dir) + "/BENCH_core_throughput.json", out)) {
+      std::fprintf(stderr, "warning: could not write bench JSON to %s\n",
+                   dir);
+    }
+  }
+
+  if (!order_ok) return 2;
+  return speedup >= kSpeedupBar ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/staging.hpp"
 #include "sim/parallel.hpp"
 
 namespace rattrap::core {
@@ -150,17 +151,38 @@ std::vector<RequestOutcome> Cluster::run(
   // Each shard writes a disjoint set of `merged` slots, and the merge is
   // order-independent — the result is bit-identical to the serial loop.
   std::vector<RequestOutcome> merged(stream.size());
+  // Fleet metrics are staged per shard inside the parallel region (each
+  // stage is thread-private) and flushed serially, in shard order, after
+  // the barrier — the registry never depends on thread interleaving.
+  std::vector<obs::MetricsStage> stages(n);
   sim::parallel_for(n, [&](std::size_t shard) {
     if (shards[shard].empty()) return;
     auto outcomes = servers_[shard]->run(shards[shard]);
+    obs::MetricsStage& stage = stages[shard];
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       RequestOutcome outcome = std::move(outcomes[i]);
+      if (outcome.rejected) {
+        stage.counter_add("fleet.requests.rejected");
+      } else if (outcome.offloading_failure()) {
+        stage.counter_add("fleet.requests.failed");
+      } else {
+        stage.counter_add("fleet.requests.completed");
+        stage.histogram_observe("fleet.response_ms",
+                                sim::to_millis(outcome.response));
+      }
+      stage.counter_add("fleet.bytes.up", outcome.traffic.total_up());
+      stage.counter_add("fleet.bytes.down", outcome.traffic.total_down());
       // Restore the caller-visible sequence.
       const std::uint64_t original = original_sequence[shard][i];
       outcome.request.sequence = original;
       merged[original] = std::move(outcome);
     }
+    stage.gauge_set("fleet.shard" + std::to_string(shard) + ".environments",
+                    static_cast<double>(servers_[shard]->env_count()));
   });
+  for (obs::MetricsStage& stage : stages) {
+    stage.flush_into(metrics_);
+  }
 
   stats_.environments = 0;
   for (const auto& server : servers_) {

@@ -22,6 +22,7 @@
 
 #include "core/platform.hpp"
 #include "core/qos/placement.hpp"
+#include "obs/metrics.hpp"
 
 namespace rattrap::core {
 
@@ -67,6 +68,15 @@ class Cluster {
   /// Fleet statistics over everything run so far.
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
 
+  /// Fleet-level metrics (fleet.*): aggregated from per-shard staging
+  /// buffers flushed in shard order at the end of each run() — the
+  /// registry contents are independent of thread scheduling, so its
+  /// to_json() is a determinism fingerprint for the whole cluster run
+  /// (docs/PERF.md).
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   /// Live load score for a shard: admission queue depth plus running
   /// jobs (Monitor utilization × cores) plus a fraction of the live
@@ -85,6 +95,7 @@ class Cluster {
   std::vector<std::size_t> static_counts_;  ///< kStatic bookkeeping
   std::set<std::uint32_t> static_seen_;     ///< kStatic: devices routed
   ClusterStats stats_;
+  obs::MetricsRegistry metrics_;            ///< fleet.* aggregates
 };
 
 }  // namespace rattrap::core

@@ -1,5 +1,7 @@
 #include "core/container_db.hpp"
 
+#include <algorithm>
+
 namespace rattrap::core {
 
 const char* to_string(EnvState state) {
@@ -29,6 +31,19 @@ void ContainerDb::set_metrics(obs::MetricsRegistry* metrics) {
   metric_active_ = &metrics->gauge("envdb.active");
 }
 
+void ContainerDb::index_key(const std::string& key, EnvId id) {
+  std::vector<EnvId>& ids = by_key_[key];
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+}
+
+void ContainerDb::unindex_key(const std::string& key, EnvId id) {
+  std::vector<EnvId>* ids = by_key_.find(key);
+  if (ids == nullptr) return;
+  const auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it != ids->end() && *it == id) ids->erase(it);
+  if (ids->empty()) by_key_.erase(key);
+}
+
 EnvRecord& ContainerDb::add(EnvId id, EnvBacking backing,
                             std::string bound_key, sim::SimTime now) {
   EnvRecord record;
@@ -37,33 +52,58 @@ EnvRecord& ContainerDb::add(EnvId id, EnvBacking backing,
   record.state = EnvState::kProvisioning;
   record.provisioned_at = now;
   record.bound_key = std::move(bound_key);
-  auto [it, inserted] = envs_.insert_or_assign(id, std::move(record));
-  (void)inserted;
+
+  EnvRecord* stored;
+  if (const std::uint32_t* slot = by_id_.find(id)) {
+    // Re-registration of an existing id replaces the record in place
+    // (insert_or_assign semantics of the original ordered map).
+    stored = &records_[*slot];
+    unindex_key(stored->bound_key, id);
+    *stored = std::move(record);
+  } else {
+    const auto fresh = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(std::move(record));
+    by_id_.insert_or_assign(id, fresh);
+    stored = &records_.back();
+  }
+  index_key(stored->bound_key, id);
   if (metric_added_ != nullptr) {
     metric_added_->inc();
     metric_active_->set(static_cast<double>(active_count()));
   }
-  return it->second;
+  return *stored;
 }
 
 EnvRecord* ContainerDb::find(EnvId id) {
-  const auto it = envs_.find(id);
-  return it == envs_.end() ? nullptr : &it->second;
+  const std::uint32_t* slot = by_id_.find(id);
+  return slot == nullptr ? nullptr : &records_[*slot];
 }
 
 const EnvRecord* ContainerDb::find(EnvId id) const {
-  const auto it = envs_.find(id);
-  return it == envs_.end() ? nullptr : &it->second;
+  const std::uint32_t* slot = by_id_.find(id);
+  return slot == nullptr ? nullptr : &records_[*slot];
 }
 
 EnvRecord* ContainerDb::find_by_key(std::string_view key) {
-  for (auto& [id, record] : envs_) {
-    (void)id;
-    if (record.bound_key == key && record.state != EnvState::kRetired) {
-      return &record;
+  const std::vector<EnvId>* ids = by_key_.find(key);
+  if (ids == nullptr) return nullptr;
+  for (const EnvId id : *ids) {  // ascending: lowest live id wins
+    EnvRecord* record = find(id);
+    if (record != nullptr && record->state != EnvState::kRetired) {
+      return record;
     }
   }
   return nullptr;
+}
+
+bool ContainerDb::rebind(EnvId id, std::string key) {
+  EnvRecord* record = find(id);
+  if (record == nullptr) return false;
+  if (record->bound_key == key) return true;
+  unindex_key(record->bound_key, id);
+  record->bound_key = std::move(key);
+  index_key(record->bound_key, id);
+  return true;
 }
 
 bool ContainerDb::retire(EnvId id) {
@@ -79,8 +119,7 @@ bool ContainerDb::retire(EnvId id) {
 
 std::size_t ContainerDb::count_in(EnvState state) const {
   std::size_t n = 0;
-  for (const auto& [id, record] : envs_) {
-    (void)id;
+  for (const EnvRecord& record : records_) {
     if (record.state == state) ++n;
   }
   return n;
@@ -92,11 +131,9 @@ std::size_t ContainerDb::active_count() const {
 
 std::vector<EnvId> ContainerDb::ids() const {
   std::vector<EnvId> out;
-  out.reserve(envs_.size());
-  for (const auto& [id, record] : envs_) {
-    (void)record;
-    out.push_back(id);
-  }
+  out.reserve(records_.size());
+  for (const EnvRecord& record : records_) out.push_back(record.id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

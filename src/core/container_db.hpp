@@ -3,10 +3,17 @@
 // "Container DB stores information of Cloud Android Containers as basis of
 // resource management" (§IV-A).  The same registry also tracks VM-backed
 // environments so the three platform variants share one bookkeeping path.
+//
+// Storage layout (the dispatch hot path does one lookup per request):
+// records live in a std::deque so the EnvRecord& returned by add()/find()
+// stays stable for the environment's lifetime, while two flat hash maps
+// (sim/flat_hash.hpp) index them — id→slot and bound-key→ids.  The key
+// index keeps ids sorted ascending so find_by_key() still returns the
+// lowest-id live match, exactly like the ordered-map scan it replaced.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +21,7 @@
 
 #include "core/warehouse.hpp"  // EnvId
 #include "obs/metrics.hpp"
+#include "sim/flat_hash.hpp"
 #include "sim/time.hpp"
 
 namespace rattrap::core {
@@ -38,24 +46,31 @@ struct EnvRecord {
   sim::SimTime ready_at = 0;        ///< boot end + dispatcher registration
   sim::SimTime busy_until = 0;      ///< compute backlog horizon
   std::uint32_t jobs_executed = 0;
-  std::string bound_key;  ///< dispatcher binding (device or app key)
+  /// Dispatcher binding (device or app key).  Indexed — change it through
+  /// ContainerDb::rebind(), never by assigning to this field.
+  std::string bound_key;
 };
 
 class ContainerDb {
  public:
-  /// Registers a new environment; returns its record.
+  /// Registers a new environment; returns its record.  The reference is
+  /// stable for the environment's lifetime.
   EnvRecord& add(EnvId id, EnvBacking backing, std::string bound_key,
                  sim::SimTime now);
 
   [[nodiscard]] EnvRecord* find(EnvId id);
   [[nodiscard]] const EnvRecord* find(EnvId id) const;
 
-  /// Environment bound to `key`, if any.
+  /// Environment bound to `key`, if any: the lowest-id non-retired match.
   [[nodiscard]] EnvRecord* find_by_key(std::string_view key);
+
+  /// Re-points an environment's binding key, keeping the key index
+  /// coherent. Returns false for unknown ids.
+  bool rebind(EnvId id, std::string key);
 
   bool retire(EnvId id);
 
-  [[nodiscard]] std::size_t count() const { return envs_.size(); }
+  [[nodiscard]] std::size_t count() const { return by_id_.size(); }
   [[nodiscard]] std::size_t count_in(EnvState state) const;
 
   /// Environments live (not retired) — the Fig. 2 active-env denominator.
@@ -69,7 +84,13 @@ class ContainerDb {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  std::map<EnvId, EnvRecord> envs_;
+  void unindex_key(const std::string& key, EnvId id);
+  void index_key(const std::string& key, EnvId id);
+
+  std::deque<EnvRecord> records_;  ///< stable addresses; never shrinks
+  sim::FlatHashMap<EnvId, std::uint32_t> by_id_;  ///< id → records_ slot
+  /// bound key → ids holding it, sorted ascending (usually size 1).
+  sim::FlatHashMap<std::string, std::vector<EnvId>> by_key_;
   obs::Counter* metric_added_ = nullptr;
   obs::Counter* metric_retired_ = nullptr;
   obs::Gauge* metric_active_ = nullptr;

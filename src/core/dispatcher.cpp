@@ -1,5 +1,7 @@
 #include "core/dispatcher.hpp"
 
+#include <cstdio>
+
 namespace rattrap::core {
 
 std::string Dispatcher::binding_key(const workloads::OffloadRequest& request,
@@ -51,8 +53,13 @@ EnvRecord* Dispatcher::assign(const workloads::OffloadRequest& request,
     }
     return record;
   };
-  EnvRecord* device_env =
-      db_.find_by_key("dev:" + std::to_string(request.device_id));
+  // Format the device key on the stack: this runs once per request and
+  // the flat key index takes a string_view, so no allocation is needed.
+  char device_key[24];
+  const int key_len = std::snprintf(device_key, sizeof device_key, "dev:%u",
+                                    request.device_id);
+  EnvRecord* device_env = db_.find_by_key(
+      std::string_view(device_key, static_cast<std::size_t>(key_len)));
   if (!affinity_) return finish(device_env, false);
   // A device's first request always provisions its own environment (all
   // three platforms pay one boot per device); affinity then *reroutes*

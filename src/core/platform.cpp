@@ -219,6 +219,12 @@ void Platform::on_fault_fired(sim::FaultKind kind, sim::SimTime when) {
 
 Platform::Platform(PlatformConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  // Session records are pooled: one slab block fits the shared_ptr
+  // control block plus the SessionState payload (64 bytes of headroom
+  // covers the library's control-block layout; anything bigger falls
+  // through to the heap and is counted, never lost).
+  session_pool_ =
+      std::make_unique<sim::SlabPool>(sizeof(SessionState) + 64);
   const auto system_layer = config_.customized_os
                                 ? android::customized_layer()
                                 : android::container_stock_layer();
@@ -588,6 +594,10 @@ void Platform::retire_env(Env& env) {
 // ---------------------------------------------------------------------
 // Elastic capacity machinery (docs/ELASTIC.md)
 
+std::uint64_t Platform::session_pool_heap_fallbacks() const {
+  return session_pool_->heap_fallbacks();
+}
+
 void Platform::begin_drain(Env& env) {
   if (env.draining || env.retired) return;
   env.draining = true;
@@ -598,8 +608,8 @@ void Platform::begin_drain(Env& env) {
   // Unbind the affinity key so the dispatcher never routes new work
   // here; in-flight sessions keep their binding through s->env.
   env.binding_key = "drain:" + std::to_string(env.id);
+  server_->env_db().rebind(env.id, env.binding_key);
   if (EnvRecord* record = server_->env_db().find(env.id)) {
-    record->bound_key = env.binding_key;
     if (record->state != EnvState::kRetired) {
       record->state = EnvState::kDraining;
     }
@@ -934,7 +944,8 @@ void Platform::submit_to_stream(std::uint64_t stream_id,
     outcome_done_.resize(request.sequence + 1, 0);
   }
   metrics_.counter("sessions.offered").inc();
-  auto session = std::make_shared<SessionState>();
+  auto session = std::allocate_shared<SessionState>(
+      sim::StlSlabAllocator<SessionState>(session_pool_.get()));
   session->request = request;
   session->kind = request.task.kind;
   const android::MobileApp& app = app_for(session->kind);
@@ -1262,9 +1273,7 @@ void Platform::dispatch(std::shared_ptr<SessionState> s,
         }
         claimed->pool = false;
         claimed->binding_key = key;
-        if (EnvRecord* rec = server_->env_db().find(claimed->id)) {
-          rec->bound_key = key;
-        }
+        server_->env_db().rebind(claimed->id, key);
         target = claimed;
         claimed_pool = true;
       } else {
@@ -1882,16 +1891,20 @@ void Platform::register_invariants() {
   // 2. The AID→CID affinity map only references live containers.
   invariants_.add_invariant(
       "affinity-live", [this]() -> std::optional<std::string> {
-        for (const auto& [ref, entry] : server_->warehouse().entries()) {
+        std::optional<std::string> violation;
+        server_->warehouse().for_each_entry([&](const CacheEntry& entry) {
+          if (violation.has_value()) return;
           for (const EnvId env_id : entry.containers) {
             const EnvRecord* record = server_->env_db().find(env_id);
             if (record == nullptr ||
                 record->state == EnvState::kRetired) {
-              return ref + " maps to dead env " + std::to_string(env_id);
+              violation = entry.reference + " maps to dead env " +
+                          std::to_string(env_id);
+              return;
             }
           }
-        }
-        return std::nullopt;
+        });
+        return violation;
       });
   // 3. The shared tmpfs holds exactly the live offload files.
   invariants_.add_invariant(

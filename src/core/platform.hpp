@@ -43,6 +43,7 @@
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/arena.hpp"
 #include "sim/fault.hpp"
 
 namespace rattrap::core {
@@ -341,6 +342,11 @@ class Platform {
     return live_sessions_.size();
   }
 
+  /// Session-record allocations that overflowed the slab pool into the
+  /// heap.  Stays 0 when the pool's block size covers allocate_shared's
+  /// combined control-block + SessionState request (tests assert this).
+  [[nodiscard]] std::uint64_t session_pool_heap_fallbacks() const;
+
   /// The platform-wide metrics registry (docs/OBSERVABILITY.md). Always
   /// live: every component is wired at construction and instrument
   /// updates are cheap enough for benchmark builds.
@@ -469,6 +475,13 @@ class Platform {
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder trace_;
   SessionState* active_session_ = nullptr;  ///< set while a handler runs
+  /// Slab pool backing session records: every SessionState is created
+  /// via std::allocate_shared, so control block + payload land in one
+  /// recycled slab block instead of a per-session heap allocation
+  /// (docs/PERF.md).  Declared before server_ and the session containers
+  /// so it is destroyed after every shared_ptr<SessionState> — including
+  /// those captured in the simulator's pending event callbacks.
+  std::unique_ptr<sim::SlabPool> session_pool_;
   std::unique_ptr<CloudServer> server_;
   std::unique_ptr<net::Link> link_;
   std::unique_ptr<Dispatcher> dispatcher_;

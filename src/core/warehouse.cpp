@@ -1,10 +1,9 @@
 #include "core/warehouse.hpp"
 
-namespace rattrap::core {
+#include <cassert>
+#include <utility>
 
-bool AppWarehouse::hit(std::string_view reference) const {
-  return table_.contains(reference);
-}
+namespace rattrap::core {
 
 void AppWarehouse::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
@@ -18,103 +17,131 @@ void AppWarehouse::set_metrics(obs::MetricsRegistry* metrics) {
   metric_stored_bytes_ = &metrics->gauge("warehouse.stored_bytes");
 }
 
+CacheEntry* AppWarehouse::lookup_slot(std::string_view reference) {
+  const std::uint32_t* slot = index_.find(reference);
+  return slot == nullptr ? nullptr : &slots_[*slot].entry;
+}
+
+void AppWarehouse::erase_entry(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  assert(s.live);
+  index_.erase(s.entry.reference);
+  s.entry = CacheEntry{};
+  s.live = false;
+  free_.push_back(slot);
+}
+
 bool AppWarehouse::lookup(std::string_view reference) {
-  auto it = table_.find(reference);
-  if (it != table_.end() && faults_ != nullptr &&
+  const std::uint32_t* slot = index_.find(reference);
+  if (slot != nullptr && faults_ != nullptr &&
       faults_->should_fire(sim::FaultKind::kCacheEvict)) {
     // Eviction racing the lookup: the entry vanishes before the answer
     // lands, so this request must re-upload its code.
-    stored_ -= it->second.code_bytes;
+    stored_ -= slots_[*slot].entry.code_bytes;
     ++evictions_;
     ++injected_evictions_;
     if (metric_evictions_ != nullptr) {
       metric_evictions_->inc();
       metric_stored_bytes_->set(static_cast<double>(stored_));
     }
-    table_.erase(it);
-    it = table_.end();
+    erase_entry(*slot);
+    slot = nullptr;
   }
-  if (it == table_.end()) {
+  if (slot == nullptr) {
     ++miss_total_;
     if (metric_misses_ != nullptr) metric_misses_->inc();
     return false;
   }
+  CacheEntry& entry = slots_[*slot].entry;
   ++hit_total_;
   if (metric_hits_ != nullptr) metric_hits_->inc();
-  ++it->second.hits;
-  it->second.last_use_seq = ++seq_;
+  ++entry.hits;
+  entry.last_use_seq = ++seq_;
   return true;
 }
 
 Aid AppWarehouse::store(std::string_view reference,
                         std::uint64_t code_bytes) {
-  auto it = table_.find(reference);
-  if (it != table_.end()) {
-    stored_ -= it->second.code_bytes;
-    it->second.code_bytes = code_bytes;
+  if (CacheEntry* entry = lookup_slot(reference)) {
+    stored_ -= entry->code_bytes;
+    entry->code_bytes = code_bytes;
     stored_ += code_bytes;
-    it->second.last_use_seq = ++seq_;
-    return it->second.aid;
+    entry->last_use_seq = ++seq_;
+    return entry->aid;
   }
-  while (capacity_ != 0 && !table_.empty() &&
+  while (capacity_ != 0 && index_.size() != 0 &&
          stored_ + code_bytes > capacity_) {
     evict_lru();
   }
-  CacheEntry entry;
-  entry.aid = next_aid_++;
-  entry.reference = std::string(reference);
-  entry.code_bytes = code_bytes;
-  entry.last_use_seq = ++seq_;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.entry.aid = next_aid_++;
+  s.entry.reference = std::string(reference);
+  s.entry.code_bytes = code_bytes;
+  s.entry.last_use_seq = ++seq_;
+  s.live = true;
   stored_ += code_bytes;
-  const Aid aid = entry.aid;
-  table_.emplace(std::string(reference), std::move(entry));
+  index_.insert_or_assign(s.entry.reference, slot);
   if (metric_stored_bytes_ != nullptr) {
     metric_stored_bytes_->set(static_cast<double>(stored_));
   }
-  return aid;
+  return s.entry.aid;
 }
 
 void AppWarehouse::record_execution(std::string_view reference, EnvId env) {
-  const auto it = table_.find(reference);
-  if (it == table_.end()) return;
-  it->second.containers.insert(env);
-  it->second.last_use_seq = ++seq_;
+  CacheEntry* entry = lookup_slot(reference);
+  if (entry == nullptr) return;
+  entry->containers.insert(env);
+  entry->last_use_seq = ++seq_;
 }
 
 std::optional<EnvId> AppWarehouse::preferred_env(
     std::string_view reference) const {
-  const auto it = table_.find(reference);
-  if (it == table_.end() || it->second.containers.empty()) {
-    return std::nullopt;
-  }
+  const std::uint32_t* slot = index_.find(reference);
+  if (slot == nullptr) return std::nullopt;
+  const CacheEntry& entry = slots_[*slot].entry;
+  if (entry.containers.empty()) return std::nullopt;
   // Deterministic choice: the lowest CID that has run this app.
-  return *it->second.containers.begin();
+  return *entry.containers.begin();
 }
 
 void AppWarehouse::forget_env(EnvId env) {
-  for (auto& [reference, entry] : table_) {
-    (void)reference;
-    entry.containers.erase(env);
+  for (Slot& slot : slots_) {
+    if (slot.live) slot.entry.containers.erase(env);
   }
 }
 
 const CacheEntry* AppWarehouse::find(std::string_view reference) const {
-  const auto it = table_.find(reference);
-  return it == table_.end() ? nullptr : &it->second;
+  const std::uint32_t* slot = index_.find(reference);
+  return slot == nullptr ? nullptr : &slots_[*slot].entry;
 }
 
 void AppWarehouse::evict_lru() {
-  auto victim = table_.begin();
-  for (auto it = table_.begin(); it != table_.end(); ++it) {
-    if (it->second.last_use_seq < victim->second.last_use_seq) victim = it;
+  // The LRU clock is unique per entry, so the victim — and therefore the
+  // eviction order — is deterministic regardless of slot layout.
+  std::uint32_t victim = UINT32_MAX;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    if (victim == UINT32_MAX ||
+        slots_[i].entry.last_use_seq < slots_[victim].entry.last_use_seq) {
+      victim = i;
+    }
   }
-  stored_ -= victim->second.code_bytes;
+  assert(victim != UINT32_MAX);
+  stored_ -= slots_[victim].entry.code_bytes;
   ++evictions_;
   if (metric_evictions_ != nullptr) {
     metric_evictions_->inc();
     metric_stored_bytes_->set(static_cast<double>(stored_));
   }
-  table_.erase(victim);
+  erase_entry(victim);
 }
 
 }  // namespace rattrap::core

@@ -6,10 +6,16 @@
 // have already executed this app.  Subsequent requests carry only the
 // Reference; on HIT the cloud fetches the code locally and the Dispatcher
 // prefers a container where the code is already loaded.
+//
+// The cache table is on the dispatch hot path (one lookup per request),
+// so entries live in a slot deque indexed by a flat hash map
+// (sim/flat_hash.hpp) with transparent string_view lookup — no per-lookup
+// allocation, no tree walk.  Freed slots are recycled LIFO; entry
+// addresses are stable while the entry is live.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <set>
 #include <string>
@@ -18,6 +24,7 @@
 
 #include "obs/metrics.hpp"
 #include "sim/fault.hpp"
+#include "sim/flat_hash.hpp"
 
 namespace rattrap::core {
 
@@ -40,7 +47,9 @@ class AppWarehouse {
       : capacity_(capacity_bytes) {}
 
   /// Cache-table lookup: HIT when the code for `reference` is preserved.
-  [[nodiscard]] bool hit(std::string_view reference) const;
+  [[nodiscard]] bool hit(std::string_view reference) const {
+    return index_.contains(reference);
+  }
 
   /// Records an upload of `code_bytes` for `reference`; returns its AID.
   /// Re-uploading refreshes the stored size.
@@ -58,7 +67,7 @@ class AppWarehouse {
   void forget_env(EnvId env);
 
   [[nodiscard]] const CacheEntry* find(std::string_view reference) const;
-  [[nodiscard]] std::size_t entry_count() const { return table_.size(); }
+  [[nodiscard]] std::size_t entry_count() const { return index_.size(); }
   [[nodiscard]] std::uint64_t stored_bytes() const { return stored_; }
   [[nodiscard]] std::uint64_t hit_count() const { return hit_total_; }
   [[nodiscard]] std::uint64_t miss_count() const { return miss_total_; }
@@ -84,17 +93,29 @@ class AppWarehouse {
   /// warehouse.stored_bytes tracks the cache footprint. nullptr detaches.
   void set_metrics(obs::MetricsRegistry* metrics);
 
-  /// Whole cache table, for cross-component invariant checks (AID→CID
-  /// mappings must only reference live containers).
-  [[nodiscard]] const std::map<std::string, CacheEntry, std::less<>>&
-  entries() const {
-    return table_;
+  /// Visits every live cache entry (deterministic slot order), for
+  /// cross-component invariant checks — AID→CID mappings must only
+  /// reference live containers.  Entries carry their own `reference`.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.live) fn(slot.entry);
+    }
   }
 
  private:
+  struct Slot {
+    CacheEntry entry;
+    bool live = false;
+  };
+
+  CacheEntry* lookup_slot(std::string_view reference);
+  void erase_entry(std::uint32_t slot);
   void evict_lru();
 
-  std::map<std::string, CacheEntry, std::less<>> table_;
+  std::deque<Slot> slots_;               ///< stable entry storage
+  std::vector<std::uint32_t> free_;      ///< recycled slots (LIFO)
+  sim::FlatHashMap<std::string, std::uint32_t> index_;  ///< ref → slot
   std::uint64_t capacity_;
   std::uint64_t stored_ = 0;
   Aid next_aid_ = 1;

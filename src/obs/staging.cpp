@@ -1,0 +1,25 @@
+#include "obs/staging.hpp"
+
+namespace rattrap::obs {
+
+void MetricsStage::flush_into(MetricsRegistry& registry) {
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kCounterAdd:
+        registry.counter(op.name).inc(static_cast<std::uint64_t>(op.value));
+        break;
+      case OpKind::kGaugeSet:
+        registry.gauge(op.name).set(op.value);
+        break;
+      case OpKind::kGaugeAdd:
+        registry.gauge(op.name).add(op.value);
+        break;
+      case OpKind::kHistogramObserve:
+        registry.histogram(op.name).observe(op.value);
+        break;
+    }
+  }
+  ops_.clear();
+}
+
+}  // namespace rattrap::obs

@@ -1,0 +1,67 @@
+// Per-shard metric staging (the batched-recording half of the simulator
+// throughput overhaul — docs/PERF.md).
+//
+// Parallel sections (sim::parallel_for over cluster shards) must not
+// touch a shared MetricsRegistry: locking would serialize the hot path
+// and lock-free updates would make aggregate values dependent on thread
+// interleaving, breaking the determinism contract.  Instead each shard
+// records into its own MetricsStage — an append-only operation log with
+// no synchronization — and the coordinator flushes the stages serially,
+// in shard-index order, at a commit point after the parallel barrier.
+// The flushed registry is therefore a pure function of (inputs, shard
+// count): identical bytes in to_json() no matter how many threads ran.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rattrap::obs {
+
+/// Thread-private staging buffer of metric updates.  Fill from exactly
+/// one thread; flush from the coordinating thread once the filling
+/// thread has joined (parallel_for's return is the barrier).
+class MetricsStage {
+ public:
+  void counter_add(std::string name, std::uint64_t n = 1) {
+    ops_.push_back(Op{OpKind::kCounterAdd, std::move(name),
+                      static_cast<double>(n)});
+  }
+  void gauge_set(std::string name, double value) {
+    ops_.push_back(Op{OpKind::kGaugeSet, std::move(name), value});
+  }
+  void gauge_add(std::string name, double value) {
+    ops_.push_back(Op{OpKind::kGaugeAdd, std::move(name), value});
+  }
+  /// Histogram with the default (latency) bucket layout.
+  void histogram_observe(std::string name, double value) {
+    ops_.push_back(Op{OpKind::kHistogramObserve, std::move(name), value});
+  }
+
+  /// Updates recorded and not yet flushed.
+  [[nodiscard]] std::size_t pending() const { return ops_.size(); }
+
+  /// Replays every staged update into `registry` in recording order,
+  /// then clears the stage.
+  void flush_into(MetricsRegistry& registry);
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kCounterAdd,
+    kGaugeSet,
+    kGaugeAdd,
+    kHistogramObserve,
+  };
+
+  struct Op {
+    OpKind kind;
+    std::string name;
+    double value;
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace rattrap::obs

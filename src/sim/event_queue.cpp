@@ -1,54 +1,406 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <utility>
 
+#include "sim/heap_queue_ref.hpp"
+
 namespace rattrap::sim {
 
+namespace {
+
+/// Initial (and minimum) calendar size.
+constexpr std::size_t kMinBuckets = 16;
+/// Default bucket width before the first resample, µs (2^kInitialShift).
+constexpr std::uint32_t kInitialShift = 10;
+constexpr SimTime kInitialWidth = SimTime{1} << kInitialShift;
+/// Pops per scan-effort check, and the average buckets-per-pop above
+/// which the width is considered stale and resampled.
+constexpr std::uint32_t kScanWindow = 256;
+constexpr std::uint64_t kScanBudget = 6;
+/// Cap on width_shift_, keeping (virtual_bucket + 1) << shift far from
+/// SimTime overflow.
+constexpr std::uint32_t kMaxShift = 46;
+
+std::atomic<EventQueue::Engine> g_default_engine{
+    EventQueue::Engine::kCalendar};
+
+}  // namespace
+
+void EventQueue::set_default_engine(Engine engine) {
+  g_default_engine.store(engine, std::memory_order_relaxed);
+}
+
+EventQueue::Engine EventQueue::default_engine() {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+EventQueue::EventQueue() : EventQueue(default_engine()) {}
+
+EventQueue::EventQueue(Engine engine) {
+  if (engine == Engine::kReferenceHeap) {
+    ref_ = std::make_unique<ReferenceHeapQueue>();
+    return;
+  }
+  buckets_.resize(kMinBuckets);
+  width_ = kInitialWidth;
+  width_shift_ = kInitialShift;
+  year_end_ = static_cast<SimTime>(kMinBuckets) << kInitialShift;
+}
+
+EventQueue::~EventQueue() { clear(); }
+
+std::size_t EventQueue::size() const { return ref_ ? ref_->size() : live_; }
+
+void EventQueue::ensure_slot(std::uint32_t slot) {
+  if (slot < meta_.size()) return;
+  meta_.resize(slot + 1);
+}
+
 EventId EventQueue::schedule(SimTime when, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(cb));
+  if (ref_) return ref_->schedule(when, std::move(cb));
+  assert(when >= 0 && "simulation time is non-negative");
+  // Start the destination bucket's (usually cold) line loading now, so
+  // the fetch overlaps the arena and Meta work before link() reads it.
+  if (when < year_end_) {
+    __builtin_prefetch(&buckets_[bucket_index(when)], 1 /*rw*/);
+  }
+  auto [payload, slot] = arena_.create(std::move(cb));
+  static_cast<void>(payload);
+  ensure_slot(slot);
+  Meta& node = meta_[slot];
+  node.time = when;
+  node.seq = next_seq_++;
+  if (when >= year_end_) {
+    // Far events carry no structure at all: no list, no neighbours.
+    // They are enumerated (rarely) by a sequential sweep of meta_, so
+    // parking one — and, more importantly, cancelling one, which is how
+    // almost all of them die — touches only the node's own line.
+    node.bucket = kOverflowBucket;
+    ++overflow_live_;
+  } else {
+    link(slot);
+  }
   ++live_;
-  return id;
+  // Keep the cursor a lower bound even for events scheduled "in the past"
+  // relative to the last pop (the queue itself is time-agnostic; the
+  // Simulator enforces causality separately).
+  if (when < cursor_) cursor_ = when;
+  // An overflow event can never beat the cached (bucketed) minimum:
+  // overflow times are >= year_end_, bucketed times below it.
+  if (cached_min_ != kNoSlot) {
+    const Meta& cached = meta_[cached_min_];
+    if (before(node.time, node.seq, cached.time, cached.seq)) {
+      cached_min_ = slot;
+    }
+  }
+  maybe_resize();
+  return handle_of(slot, node.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  if (ref_) return ref_->cancel(id);
+  if ((id >> 32) == 0) return false;
+  const auto slot = static_cast<std::uint32_t>((id >> 32) - 1);
+  const auto gen = static_cast<std::uint32_t>(id);
+  // Generation match <=> the slot currently holds this exact event:
+  // destroy bumps the generation, so handles to fired/cancelled events
+  // (and to recycled slots) never match again.
+  if (slot >= meta_.size() || meta_[slot].gen != gen) return false;
+  // The callback cell is cold (the event was scheduled long ago); start
+  // its fetch now so it overlaps the rest of the removal.
+  arena_.prefetch(slot);
+  Meta& node = meta_[slot];
+  if (node.bucket == kOverflowBucket) {
+    --overflow_live_;
+  } else {
+    unlink(slot);
+  }
+  node.bucket = kFreeBucket;
+  ++node.gen;
+  arena_.destroy(slot);
   --live_;
+  if (cached_min_ == slot) cached_min_ = kNoSlot;
+  maybe_resize();
   return true;
 }
 
-void EventQueue::skip_dead() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
-  }
-}
-
 SimTime EventQueue::next_time() {
-  skip_dead();
-  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+  if (ref_) return ref_->next_time();
+  if (live_ == 0) return kTimeInfinity;
+  return meta_[find_min()].time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skip_dead();
-  assert(!heap_.empty() && "pop() on empty event queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
+  if (ref_) {
+    auto fired = ref_->pop();
+    return Fired{fired.time, fired.id, std::move(fired.callback)};
+  }
+  assert(live_ > 0 && "pop() on empty event queue");
+  const std::uint32_t slot = find_min();
+  arena_.prefetch(slot);
+  Meta& node = meta_[slot];
+  cursor_ = node.time;
+  unlink(slot);
+  Fired fired{node.time, handle_of(slot, node.gen),
+              std::move(arena_.at(slot))};
+  node.bucket = kFreeBucket;
+  ++node.gen;
+  arena_.destroy(slot);
   --live_;
+  cached_min_ = kNoSlot;
+  // Width feedback: when the last window of pops averaged long scans
+  // (many empty buckets per pop — the width is too narrow for the
+  // current event spacing, e.g. after a dense warm-up drained into a
+  // sparse day), rebuild to resample the width from the live
+  // distribution.  Checked per window so the bookkeeping stays at two
+  // integer adds per pop.
+  ++scan_pops_;
+  if (scan_pops_ >= kScanWindow) {
+    if (live_ > 0 && scan_steps_ > kScanBudget * scan_pops_) {
+      rebuild(buckets_.size());
+    }
+    scan_steps_ = 0;
+    scan_pops_ = 0;
+  }
+  maybe_resize();
   return fired;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
-  callbacks_.clear();
+  if (ref_) {
+    ref_->clear();
+    return;
+  }
+  for (Bucket& bucket : buckets_) {
+    std::uint32_t slot = bucket.head;
+    while (slot != kNoSlot) {
+      Meta& node = meta_[slot];
+      const std::uint32_t next = node.next;
+      node.bucket = kFreeBucket;
+      ++node.gen;
+      arena_.destroy(slot);
+      slot = next;
+    }
+    bucket = Bucket{};
+  }
+  for (std::uint32_t slot = 0; slot < meta_.size(); ++slot) {
+    Meta& node = meta_[slot];
+    if (node.bucket == kOverflowBucket) {
+      node.bucket = kFreeBucket;
+      ++node.gen;
+      arena_.destroy(slot);
+    }
+  }
+  overflow_live_ = 0;
   live_ = 0;
+  arena_.clear();
+  // meta_ (and with it every slot's generation) is deliberately
+  // retained: handles issued before clear() must keep failing cancel()
+  // even after their slots are recycled.
+  buckets_.assign(kMinBuckets, Bucket{});
+  width_ = kInitialWidth;
+  width_shift_ = kInitialShift;
+  cursor_ = 0;
+  year_end_ = static_cast<SimTime>(kMinBuckets) << kInitialShift;
+  cached_min_ = kNoSlot;
+  scan_steps_ = 0;
+  scan_pops_ = 0;
+}
+
+void EventQueue::link(std::uint32_t slot) {
+  Meta& node = meta_[slot];
+  const std::uint32_t b = bucket_index(node.time);
+  node.bucket = b;
+  Bucket& bucket = buckets_[b];
+  // Walk backward from the tail: new events are usually the latest in
+  // their bucket (and same-time events always are, seq being monotonic),
+  // so this is O(1) in the common case.
+  std::uint32_t after = kNoSlot;
+  std::uint32_t prev = bucket.tail;
+  while (prev != kNoSlot) {
+    const Meta& p = meta_[prev];
+    if (before(p.time, p.seq, node.time, node.seq)) break;
+    after = prev;
+    prev = p.prev;
+  }
+  node.prev = prev;
+  node.next = after;
+  if (prev == kNoSlot) {
+    bucket.head = slot;
+    bucket.head_time = node.time;
+  } else {
+    meta_[prev].next = slot;
+  }
+  if (after == kNoSlot) {
+    bucket.tail = slot;
+  } else {
+    meta_[after].prev = slot;
+  }
+}
+
+void EventQueue::unlink(std::uint32_t slot) {
+  const Meta& node = meta_[slot];
+  assert(node.bucket != kOverflowBucket && node.bucket != kFreeBucket);
+  Bucket& bucket = buckets_[node.bucket];
+  if (node.prev == kNoSlot) {
+    bucket.head = node.next;
+    if (node.next != kNoSlot) bucket.head_time = meta_[node.next].time;
+  } else {
+    meta_[node.prev].next = node.next;
+  }
+  if (node.next == kNoSlot) {
+    bucket.tail = node.prev;
+  } else {
+    meta_[node.next].prev = node.prev;
+  }
+}
+
+std::uint32_t EventQueue::find_min() {
+  assert(live_ > 0);
+  if (cached_min_ != kNoSlot) return cached_min_;
+  if (live_ == overflow_live_) {
+    // Every live event is parked past year_end_: advance the year.  The
+    // rebuild re-anchors the calendar at the new minimum, migrates the
+    // now-near overflow events into buckets and leaves cached_min_
+    // pointing at the global minimum.  Amortized O(1): one O(n) rebuild
+    // per year's worth of pops.
+    rebuild(buckets_.size());
+    assert(cached_min_ != kNoSlot);
+    return cached_min_;
+  }
+  const std::size_t nbuckets = buckets_.size();
+  // Scan one "year" (nbuckets windows of width_) starting at the
+  // cursor's bucket.  Bucket lists are sorted, so checking each head
+  // against its current-year window is enough: the first head that falls
+  // inside its window is the global minimum.
+  auto virtual_bucket = static_cast<std::uint64_t>(cursor_) >> width_shift_;
+  for (std::size_t k = 0; k < nbuckets; ++k, ++virtual_bucket) {
+    const Bucket& bucket = buckets_[virtual_bucket & (nbuckets - 1)];
+    if (bucket.head == kNoSlot) continue;
+    const auto window_end =
+        static_cast<SimTime>((virtual_bucket + 1) << width_shift_);
+    // head_time is mirrored in the bucket itself, so rejecting a bucket
+    // whose head wrapped in from a later year costs no meta_ load — the
+    // scan streams the bucket array and nothing else.
+    if (bucket.head_time < window_end) {
+      cached_min_ = bucket.head;
+      cursor_ = bucket.head_time;
+      scan_steps_ += k + 1;
+      return cached_min_;
+    }
+  }
+  // Sparse year: fall back to a direct search over all bucket heads and
+  // jump the cursor.  Charged at double weight so the scan-effort
+  // feedback in pop() resamples quickly when this becomes common.
+  // head_time alone decides: equal times map to the same bucket, so two
+  // distinct bucket heads can never tie (no seq comparison needed).
+  scan_steps_ += 2 * nbuckets;
+  std::uint32_t best = kNoSlot;
+  SimTime best_time = 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.head == kNoSlot) continue;
+    if (best == kNoSlot || bucket.head_time < best_time) {
+      best = bucket.head;
+      best_time = bucket.head_time;
+    }
+  }
+  assert(best != kNoSlot);
+  cached_min_ = best;
+  cursor_ = best_time;
+  return cached_min_;
+}
+
+void EventQueue::maybe_resize() {
+  const std::size_t nbuckets = buckets_.size();
+  if (live_ > nbuckets * 2) {
+    rebuild(nbuckets * 2);
+  } else if (nbuckets > kMinBuckets && live_ < nbuckets / 8) {
+    rebuild(nbuckets / 2);
+  }
+}
+
+void EventQueue::rebuild(std::size_t nbuckets) {
+  ++resizes_;
+  scan_steps_ = 0;
+  scan_pops_ = 0;
+  std::vector<std::uint32_t> slots;
+  slots.reserve(live_);
+  for (const Bucket& bucket : buckets_) {
+    for (std::uint32_t s = bucket.head; s != kNoSlot; s = meta_[s].next) {
+      slots.push_back(s);
+    }
+  }
+  // Far events are unstructured; find them with a sequential sweep of
+  // the (dense, 32-byte-stride) meta array.  This streams at memory
+  // bandwidth — far cheaper per event than chasing a linked list would
+  // be, and it only runs on the rare rebuild.
+  for (std::uint32_t s = 0; s < meta_.size(); ++s) {
+    if (meta_[s].bucket == kOverflowBucket) slots.push_back(s);
+  }
+  overflow_live_ = 0;
+  const auto earlier = [this](std::uint32_t a, std::uint32_t b) {
+    const Meta& x = meta_[a];
+    const Meta& y = meta_[b];
+    return before(x.time, x.seq, y.time, y.seq);
+  };
+  // Resample the bucket width from the gaps between the nearest events —
+  // aim for roughly one event per bucket in the upcoming window.  Only
+  // the `sample` earliest events are needed, so an O(n) partial select
+  // replaces the full sort a textbook rebuild would do: reinsertion
+  // below is per-bucket sorted insert, which is O(1) expected at the
+  // calendar's operating load factor.
+  if (slots.size() >= 2) {
+    const std::size_t sample = std::min<std::size_t>(slots.size(), 64);
+    std::nth_element(slots.begin(),
+                     slots.begin() + static_cast<std::ptrdiff_t>(sample - 1),
+                     slots.end(), earlier);
+    std::sort(slots.begin(),
+              slots.begin() + static_cast<std::ptrdiff_t>(sample), earlier);
+    const SimTime span =
+        meta_[slots[sample - 1]].time - meta_[slots[0]].time;
+    const auto target = static_cast<std::uint64_t>(std::max<SimTime>(
+        1, 3 * span / static_cast<SimTime>(sample - 1)));
+    // Round the width up to a power of two: bucket_index() then needs no
+    // division, and the factor-of-sqrt(2) sizing error is irrelevant
+    // next to the 3x headroom in the gap target itself.  Cap the shift
+    // so (virtual_bucket + 1) << shift stays far from SimTime overflow.
+    width_shift_ = std::min<std::uint32_t>(
+        kMaxShift, target <= 1 ? 0 : std::bit_width(target - 1));
+    width_ = SimTime{1} << width_shift_;
+  }
+  // Re-anchor the calendar year at the (new) minimum: everything due
+  // within nbuckets windows of it is bucketed, everything later parks
+  // unstructured past year_end_.
+  const SimTime anchor =
+      slots.empty() ? cursor_ : meta_[slots.front()].time;
+  const auto anchor_vb = static_cast<std::uint64_t>(anchor) >> width_shift_;
+  if (anchor_vb + nbuckets >= std::uint64_t{1} << (62 - width_shift_)) {
+    year_end_ = kTimeInfinity;  // astronomically far: nothing overflows
+  } else {
+    year_end_ =
+        static_cast<SimTime>((anchor_vb + nbuckets) << width_shift_);
+  }
+  buckets_.assign(nbuckets, Bucket{});
+  for (const std::uint32_t s : slots) {
+    if (meta_[s].time >= year_end_) {
+      meta_[s].bucket = kOverflowBucket;
+      ++overflow_live_;
+    } else {
+      link(s);
+    }
+  }
+  if (!slots.empty()) {
+    // slots[0] is the global minimum: either the only event, or the head
+    // of the sorted earliest-`sample` prefix.
+    cached_min_ = slots.front();
+    cursor_ = meta_[slots.front()].time;
+  } else {
+    cached_min_ = kNoSlot;
+  }
 }
 
 }  // namespace rattrap::sim

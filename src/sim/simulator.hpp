@@ -56,6 +56,10 @@ class Simulator {
   /// Pending (live) event count.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// The underlying scheduler (introspection: engine, bucket shape,
+  /// arena high-water mark — see docs/PERF.md).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
   /// Clears the queue and rewinds the clock to zero.
   void reset();
 

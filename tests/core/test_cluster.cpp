@@ -138,6 +138,51 @@ TEST(Cluster, PerServerCodeCachesAreIndependent) {
   EXPECT_EQ(code_up, 2 * apk);
 }
 
+TEST(Cluster, FleetMetricsAggregateAndStayDeterministic) {
+  // fleet.* metrics are staged per shard inside the parallel region and
+  // flushed in shard order — the registry JSON must be a pure function
+  // of the input stream, bit-identical across repeated runs regardless
+  // of how the thread pool interleaved the shards.
+  const auto stream = fleet_stream(9, 27);
+  const auto run_fleet = [&stream]() {
+    Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+    cluster.run(stream);
+    return cluster.metrics().to_json();
+  };
+  const std::string first = run_fleet();
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(run_fleet(), first) << "round " << round;
+  }
+
+  // The aggregates reconcile with the merged outcome vector.
+  Cluster cluster(make_config(PlatformKind::kRattrap), 3);
+  const auto outcomes = cluster.run(stream);
+  std::uint64_t completed = 0;
+  std::uint64_t up = 0;
+  for (const auto& o : outcomes) {
+    if (!o.rejected && !o.offloading_failure()) ++completed;
+    up += o.traffic.total_up();
+  }
+  const obs::Counter* fleet_completed =
+      cluster.metrics().find_counter("fleet.requests.completed");
+  ASSERT_NE(fleet_completed, nullptr);
+  EXPECT_EQ(fleet_completed->value(), completed);
+  const obs::Counter* fleet_up =
+      cluster.metrics().find_counter("fleet.bytes.up");
+  ASSERT_NE(fleet_up, nullptr);
+  EXPECT_EQ(fleet_up->value(), up);
+  const obs::Histogram* response =
+      cluster.metrics().find_histogram("fleet.response_ms");
+  ASSERT_NE(response, nullptr);
+  // Every shard reported its environment gauge.
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    EXPECT_NE(cluster.metrics().find_gauge(
+                  "fleet.shard" + std::to_string(s) + ".environments"),
+              nullptr)
+        << "shard " << s;
+  }
+}
+
 TEST(Cluster, StatsAggregateTraffic) {
   Cluster cluster(make_config(PlatformKind::kRattrap), 2);
   const auto stream = fleet_stream(4, 8);

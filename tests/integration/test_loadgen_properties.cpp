@@ -23,6 +23,7 @@
 
 #include "core/load_driver.hpp"
 #include "core/platform.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/parallel.hpp"
 
 namespace rattrap::core {
@@ -406,6 +407,75 @@ TEST(LoadGenProperties, RampProfileElasticGoldenDeterminism) {
   const auto [metrics_c, trace_c] = run_once(14);
   EXPECT_NE(metrics_a, metrics_c);
   EXPECT_NE(trace_a, trace_c);
+}
+
+TEST(LoadGenProperties, EngineSwapGoldenDeterminism) {
+  // The queue/allocator swap must be invisible to every artifact: the
+  // same seed + config run on the calendar engine and on the seed
+  // binary-heap engine (kept as the reference oracle) must produce
+  // byte-identical metrics and trace JSON.  Arms cover flat, ramp and
+  // diurnal arrival shaping, each with faults off and on — the fault
+  // pump schedules one-shot events and is the likeliest place a tie-break
+  // difference between engines would surface.
+  struct Arm {
+    sim::RateProfile profile;
+    bool faults;
+  };
+  const std::vector<Arm> arms = {
+      {sim::RateProfile::kFlat, false},    {sim::RateProfile::kFlat, true},
+      {sim::RateProfile::kRamp, false},    {sim::RateProfile::kRamp, true},
+      {sim::RateProfile::kDiurnal, false}, {sim::RateProfile::kDiurnal, true},
+  };
+
+  const auto run_arm = [](const Arm& arm, std::uint64_t seed) {
+    PlatformConfig config = make_config(PlatformKind::kRattrap);
+    config.seed = seed;
+    config.force_invariants = true;
+    config.admission.enabled = true;
+    config.admission.max_in_service = 3;
+    config.admission.queue_capacity = 6;
+    if (arm.faults) {
+      config.fault_plan = *sim::FaultPlan::parse(
+          "net.drop:p=0.05;net.delay:p=0.05;container.crash:at=3");
+    }
+    Platform platform(std::move(config));
+    platform.trace().enable();
+
+    LoadDriverConfig driver;
+    driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+    driver.loadgen.devices = 12;
+    driver.loadgen.requests = 60;
+    driver.loadgen.rate_per_s = 8.0;
+    driver.loadgen.profile = arm.profile;
+    driver.loadgen.profile_period_s = 10.0;
+    driver.loadgen.profile_peak_factor = 4.0;
+    driver.loadgen.seed = seed;
+    driver.size_class = 1;
+    (void)platform.run(make_load_stream(driver));
+    EXPECT_TRUE(platform.invariants().ok())
+        << platform.invariants().report();
+    return std::make_pair(platform.metrics().to_json(),
+                          platform.trace().to_chrome_json());
+  };
+
+  const sim::EventQueue::Engine saved = sim::EventQueue::default_engine();
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const std::uint64_t seed = 31 + i;
+    sim::EventQueue::set_default_engine(sim::EventQueue::Engine::kCalendar);
+    const auto [metrics_cal, trace_cal] = run_arm(arms[i], seed);
+    sim::EventQueue::set_default_engine(
+        sim::EventQueue::Engine::kReferenceHeap);
+    const auto [metrics_ref, trace_ref] = run_arm(arms[i], seed);
+    sim::EventQueue::set_default_engine(saved);
+    EXPECT_EQ(metrics_cal, metrics_ref)
+        << "arm " << i << " (" << sim::to_string(arms[i].profile)
+        << (arms[i].faults ? ", faults" : ", no faults")
+        << "): metrics fingerprint changed across the engine swap";
+    EXPECT_EQ(trace_cal, trace_ref)
+        << "arm " << i << ": trace changed across the engine swap";
+    EXPECT_FALSE(metrics_cal.empty());
+  }
+  sim::EventQueue::set_default_engine(saved);
 }
 
 TEST(LoadGenProperties, TenantWeightsShapeCompletionsUnderSaturation) {

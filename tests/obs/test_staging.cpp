@@ -1,0 +1,77 @@
+#include "obs/staging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/parallel.hpp"
+
+namespace rattrap::obs {
+namespace {
+
+TEST(MetricsStage, ReplaysOpsInRecordingOrder) {
+  MetricsStage stage;
+  stage.counter_add("requests", 2);
+  stage.counter_add("requests");
+  stage.gauge_set("depth", 7.0);
+  stage.gauge_add("depth", -2.0);
+  stage.histogram_observe("latency_ms", 12.5);
+  EXPECT_EQ(stage.pending(), 5u);
+
+  MetricsRegistry registry;
+  stage.flush_into(registry);
+  EXPECT_EQ(stage.pending(), 0u);
+
+  EXPECT_EQ(registry.find_counter("requests")->value(), 3u);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("depth")->value(), 5.0);
+  EXPECT_EQ(registry.find_histogram("latency_ms")->count(), 1u);
+}
+
+TEST(MetricsStage, GaugeSetOrderIsLastWriterWins) {
+  // Recording order is replay order: a later set overrides an earlier
+  // one even when they come from different stages flushed in sequence.
+  MetricsStage first;
+  MetricsStage second;
+  first.gauge_set("target", 1.0);
+  second.gauge_set("target", 2.0);
+
+  MetricsRegistry registry;
+  first.flush_into(registry);
+  second.flush_into(registry);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("target")->value(), 2.0);
+}
+
+TEST(MetricsStage, ShardOrderFlushIsThreadIndependent) {
+  // The cluster pattern: thread-private stages filled under
+  // parallel_for, flushed serially in shard order.  The registry JSON
+  // must not depend on which thread ran which shard or in what order
+  // they finished.
+  const auto run_once = []() {
+    constexpr std::size_t kShards = 8;
+    std::vector<MetricsStage> stages(kShards);
+    sim::parallel_for(kShards, [&stages](std::size_t shard) {
+      MetricsStage& stage = stages[shard];
+      for (std::size_t i = 0; i <= shard; ++i) {
+        stage.counter_add("work.items");
+        stage.histogram_observe("work.cost_ms",
+                                static_cast<double>(shard * 10 + i));
+      }
+      stage.gauge_set("work.shard" + std::to_string(shard),
+                      static_cast<double>(shard));
+    });
+    MetricsRegistry registry;
+    for (MetricsStage& stage : stages) stage.flush_into(registry);
+    return registry.to_json();
+  };
+
+  const std::string golden = run_once();
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_EQ(run_once(), golden) << "round " << round;
+  }
+  EXPECT_NE(golden.find("work.items"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rattrap::obs

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "sim/heap_queue_ref.hpp"
 #include "sim/random.hpp"
 
 namespace rattrap::sim {
@@ -134,6 +138,193 @@ TEST_P(EventQueueProperty, OrderAndConservation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// Calendar-queue specifics: tie FIFO across rollover/resize, cancel and
+// reschedule semantics, handle recycling, and the differential oracle
+// against the preserved seed heap (sim/heap_queue_ref.hpp).
+
+TEST(EventQueue, FifoTiesSurviveBucketResize) {
+  EventQueue queue;
+  // Enough same-time events to force calendar growth (live > 2 * buckets)
+  // — the rebuild must preserve schedule order within the tie.
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    queue.schedule(7777, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_GT(queue.resizes(), 0u);
+  while (!queue.empty()) queue.pop().callback();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, RescheduleAfterCancelFiresAtNewTime) {
+  EventQueue queue;
+  int fired_at = 0;
+  const EventId first = queue.schedule(10, [&] { fired_at = 10; });
+  ASSERT_TRUE(queue.cancel(first));
+  queue.schedule(20, [&] { fired_at = 20; });
+  EXPECT_EQ(queue.next_time(), 20);
+  queue.pop().callback();
+  EXPECT_EQ(fired_at, 20);
+}
+
+TEST(EventQueue, RecycledSlotDoesNotResurrectOldHandle) {
+  EventQueue queue;
+  const EventId stale = queue.schedule(10, [] {});
+  ASSERT_TRUE(queue.cancel(stale));
+  // The new event recycles the arena slot; the stale handle must not
+  // cancel it (generation mismatch).
+  const EventId fresh = queue.schedule(10, [] {});
+  EXPECT_FALSE(queue.cancel(stale));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.cancel(fresh));
+}
+
+TEST(EventQueue, HandlesIssuedBeforeClearStayDead) {
+  EventQueue queue;
+  const EventId old = queue.schedule(5, [] {});
+  queue.clear();
+  queue.schedule(5, [] {});
+  EXPECT_FALSE(queue.cancel(old));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, FarFutureRolloverPopsAcrossYears) {
+  EventQueue queue;
+  // Events many bucket-years apart: pop must roll the cursor forward
+  // (direct-search fallback) without losing order.
+  std::vector<SimTime> times = {1, 2'000'000, 30'000'000, 50'000'000,
+                                86'400'000'000};
+  std::vector<SimTime> fired;
+  for (const SimTime t : times) {
+    queue.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!queue.empty()) queue.pop().callback();
+  std::vector<SimTime> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(fired, sorted);
+}
+
+TEST(EventQueue, ShrinksAfterMassCancel) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  ids.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(queue.schedule(i, [] {}));
+  }
+  const std::size_t grown = queue.bucket_count();
+  EXPECT_GT(grown, 16u);
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    ASSERT_TRUE(queue.cancel(ids[i]));
+  }
+  // live == 1 against a large calendar: the shrink heuristic must have
+  // walked the size back down.
+  EXPECT_LT(queue.bucket_count(), grown);
+  EXPECT_EQ(queue.next_time(), 4095);
+}
+
+// Satellite fix regression: the seed implementation grew its heap
+// monotonically when events were cancelled before firing (tombstones
+// drained only when the cursor passed them).  The calendar queue unlinks
+// on cancel, so arena memory stays bounded under timer churn.
+TEST(EventQueue, ChurnWorkloadStaysBounded) {
+  EventQueue queue;
+  ReferenceHeapQueue seed_queue;
+  EventId live = queue.schedule(1'000'000, [] {});
+  std::uint64_t seed_live = seed_queue.schedule(1'000'000, [] {});
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(queue.cancel(live));
+    ASSERT_TRUE(seed_queue.cancel(seed_live));
+    const SimTime at = 1'000'000 + i;
+    live = queue.schedule(at, [] {});
+    seed_live = seed_queue.schedule(at, [] {});
+  }
+  // The fixed queue recycles the cancelled slot: bounded regardless of
+  // churn volume.  The preserved seed implementation demonstrates the
+  // bug it fixes: one tombstone per churn round.
+  EXPECT_LE(queue.allocated_nodes(), 4u);
+  EXPECT_GE(seed_queue.heap_entries(), 20'000u);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(seed_queue.size(), 1u);
+}
+
+// Differential oracle: random interleaved schedule/cancel/pop sequences
+// must produce the identical fired (time, order) stream on the calendar
+// queue and the seed binary heap.
+class EventQueueDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueDifferential, MatchesReferenceHeapOpForOp) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  EventQueue calendar(EventQueue::Engine::kCalendar);
+  ReferenceHeapQueue heap;
+  // Serial stamps: both queues fire callbacks that record the schedule
+  // serial, so comparing streams checks FIFO tie order too.
+  std::vector<std::uint64_t> fired_calendar;
+  std::vector<std::uint64_t> fired_heap;
+  std::uint64_t serial = 0;
+  std::vector<std::pair<EventId, std::uint64_t>> ids;  // calendar, heap
+  for (int op = 0; op < 2'000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.55 || ids.empty()) {
+      const SimTime at = rng.uniform_int(0, 5'000);
+      const std::uint64_t s = serial++;
+      ids.emplace_back(
+          calendar.schedule(at, [s, &fired_calendar] {
+            fired_calendar.push_back(s);
+          }),
+          heap.schedule(at, [s, &fired_heap] { fired_heap.push_back(s); }));
+    } else if (dice < 0.75) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      EXPECT_EQ(calendar.cancel(ids[pick].first),
+                heap.cancel(ids[pick].second));
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!calendar.empty()) {
+      ASSERT_FALSE(heap.empty());
+      const auto a = calendar.pop();
+      const auto b = heap.pop();
+      EXPECT_EQ(a.time, b.time);
+      a.callback();
+      b.callback();
+      ASSERT_EQ(fired_calendar.back(), fired_heap.back());
+    }
+    EXPECT_EQ(calendar.size(), heap.size());
+    EXPECT_EQ(calendar.next_time(), heap.next_time());
+  }
+  while (!calendar.empty()) {
+    const auto a = calendar.pop();
+    const auto b = heap.pop();
+    EXPECT_EQ(a.time, b.time);
+    a.callback();
+    b.callback();
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(fired_calendar, fired_heap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDifferential,
+                         ::testing::Range(1, 13));
+
+// The engine switch the golden-determinism battery relies on: a queue
+// constructed under the reference default routes every operation to the
+// seed implementation.
+TEST(EventQueue, DefaultEngineSwitchRoutesToReference) {
+  EventQueue::set_default_engine(EventQueue::Engine::kReferenceHeap);
+  EventQueue queue;
+  EventQueue::set_default_engine(EventQueue::Engine::kCalendar);
+  EXPECT_EQ(queue.engine(), EventQueue::Engine::kReferenceHeap);
+  std::vector<int> order;
+  queue.schedule(2, [&] { order.push_back(2); });
+  const EventId cancelled = queue.schedule(1, [&] { order.push_back(1); });
+  queue.schedule(3, [&] { order.push_back(3); });
+  EXPECT_TRUE(queue.cancel(cancelled));
+  while (!queue.empty()) queue.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+
+  EventQueue fresh;
+  EXPECT_EQ(fresh.engine(), EventQueue::Engine::kCalendar);
+}
 
 }  // namespace
 }  // namespace rattrap::sim
