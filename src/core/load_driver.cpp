@@ -163,6 +163,7 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     ClassLoadStats& klass =
         summary.by_class[qos::class_index(outcome.qos_class)];
     ++klass.offered;
+    if (outcome.resumed) ++summary.resumed;
     if (outcome.rejected) {
       ++summary.rejected;
       ++klass.rejected;
@@ -174,6 +175,13 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     ++klass.completed;
     if (outcome.deadline_missed) ++klass.deadline_missed;
     ++summary.completed_by_tenant[outcome.tenant];
+    if (!outcome.radio.empty()) {
+      RadioLoadStats& radio = summary.by_radio[outcome.radio];
+      ++radio.completed;
+      radio.mean_transfer_ms += sim::to_millis(outcome.phases.data_transfer);
+      radio.mean_response_ms += sim::to_millis(outcome.response);
+      radio.mean_energy_mj += outcome.offload_energy_mj;
+    }
     const double response_ms = sim::to_millis(outcome.response);
     responses_ms.push_back(response_ms);
     class_responses_ms[qos::class_index(outcome.qos_class)].push_back(
@@ -197,6 +205,13 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     summary.p99_ms = percentile(responses_ms, 0.99);
     summary.mean_queue_wait_ms =
         queue_wait_ms / static_cast<double>(responses_ms.size());
+  }
+  for (auto& [name, radio] : summary.by_radio) {
+    (void)name;
+    const double n = std::max<double>(1.0, static_cast<double>(radio.completed));
+    radio.mean_transfer_ms /= n;
+    radio.mean_response_ms /= n;
+    radio.mean_energy_mj /= n;
   }
   for (const qos::PriorityClass klass : qos::kAllClasses) {
     std::vector<double>& sorted =

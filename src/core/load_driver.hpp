@@ -40,6 +40,17 @@ struct LoadDriverConfig {
   std::uint32_t task_variants = 8;
 };
 
+/// Per-radio slice of a LoadSummary: completed requests split by the
+/// radio ("LAN", "3G", ...) the device was on at completion — how the
+/// mobility-handoff experiments show the paper's per-radio cost models
+/// (§VI-A links, PowerTutor radio profiles) acting on each phase.
+struct RadioLoadStats {
+  std::size_t completed = 0;
+  double mean_transfer_ms = 0;   ///< data_transfer phase (up + down)
+  double mean_response_ms = 0;
+  double mean_energy_mj = 0;     ///< device-side offload episode energy
+};
+
 /// Per-priority-class slice of a LoadSummary (docs/QOS.md).
 struct ClassLoadStats {
   std::size_t offered = 0;
@@ -81,6 +92,15 @@ struct LoadSummary {
 
   /// Completed requests per tenant (the DRR fairness numerator).
   std::map<std::string, std::size_t> completed_by_tenant;
+
+  /// Completed requests split by the radio at completion (mid-run
+  /// handoffs populate several slices; steady links exactly one).
+  std::map<std::string, RadioLoadStats> by_radio;
+
+  /// Sessions interrupted by a handoff outage that resumed and reached a
+  /// terminal outcome (completed or rejected) — the session-resumption
+  /// numerator the mobility experiments gate on.
+  std::size_t resumed = 0;
 
   [[nodiscard]] const ClassLoadStats& for_class(
       qos::PriorityClass klass) const {

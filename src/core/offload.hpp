@@ -143,6 +143,16 @@ struct RequestOutcome {
   /// exhausted); counted as rejected.
   bool stranded = false;
 
+  // -- Mobility bookkeeping (docs/LOADGEN.md) ---------------------------
+
+  /// Radio the device was on when the outcome was recorded ("LAN",
+  /// "WAN", "3G", "4G") — how per-radio cost-model effects are split in
+  /// load summaries under mid-run handoffs.
+  std::string radio;
+  /// The session was interrupted by a connectivity outage (handoff
+  /// disconnect) and resumed after the radio re-attached.
+  bool resumed = false;
+
   [[nodiscard]] bool offloading_failure() const { return speedup < 1.0; }
 };
 

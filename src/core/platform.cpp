@@ -101,6 +101,7 @@ struct Platform::SessionState {
   std::uint32_t dispatch_attempts = 0;
   std::uint32_t connect_attempts = 0;
   bool recovered = false;   ///< survived at least one environment crash
+  bool resumed = false;     ///< stalled through a handoff outage
   bool staged = false;      ///< files currently staged in the shared tmpfs
   bool computing = false;   ///< holds a Monitor job slot
   bool done = false;        ///< outcome recorded (completed or rejected)
@@ -235,6 +236,7 @@ Platform::Platform(PlatformConfig config)
   }
   server_ = std::make_unique<CloudServer>(calibration, system_layer);
   link_ = std::make_unique<net::Link>(config_.link);
+  base_link_ = config_.link;
   dispatcher_ = std::make_unique<Dispatcher>(server_->env_db(),
                                              server_->warehouse(),
                                              config_.dispatcher_affinity);
@@ -903,6 +905,7 @@ void Platform::reset_run() {
     for (std::uint32_t i = 0; i < initial; ++i) prewarm_env();
   }
   if (pool_controller_ != nullptr) arm_elastic_tick();
+  arm_mobility_pump();
   if (faults_) {
     // Fault pump: one-shot (at=) crash rules fire against whichever
     // environment is live at that virtual time — preferring one with
@@ -1008,6 +1011,8 @@ void Platform::drain_run() {
       outcome.stranded = true;
       outcome.tenant = s->tenant;
       outcome.qos_class = s->klass;
+      outcome.radio = config_.link.name;
+      outcome.resumed = s->resumed;
       outcome.dispatch_attempts = s->dispatch_attempts;
       outcome.connect_attempts = s->connect_attempts;
       record_outcome(s->request.sequence, std::move(outcome));
@@ -1078,6 +1083,7 @@ void Platform::on_arrival(std::shared_ptr<SessionState> s) {
         outcome.offload_energy_mj = outcome.local_energy_mj;
         outcome.tenant = s->tenant;
         outcome.qos_class = s->klass;
+        outcome.radio = config_.link.name;
         record_outcome(s->request.sequence, std::move(outcome));
         ++completed_;
         metrics_.counter("sessions.local").inc();
@@ -1113,6 +1119,21 @@ void Platform::attempt_connect(std::shared_ptr<SessionState> s) {
   SessionScope scope(*this, *s);
   // Retries reuse the one "connect" span; it ends when a handshake lands.
   if (s->span_phase == obs::kNoSpan) begin_phase(*s, "connect");
+  const sim::SimDuration stall = mobility_stall(simulator.now());
+  if (stall > 0) {
+    // Radio detached (handoff outage): the handshake cannot even start;
+    // the device re-attempts the instant the new radio attaches.  A
+    // session whose connection the outage cut mid-retry counts as
+    // resumed; a request merely *arriving* during the gap just waits.
+    if (s->connect_attempts > 0) note_resumption(*s);
+    s->phases.network_connection += stall;
+    const std::uint64_t epoch = s->epoch;
+    simulator.schedule_in(stall, [this, s, epoch]() {
+      if (s->done || s->epoch != epoch) return;
+      attempt_connect(s);
+    });
+    return;
+  }
   ++s->connect_attempts;
   if (s->span_phase != obs::kNoSpan) {
     trace_.annotate(s->span_phase, "attempts",
@@ -1320,6 +1341,20 @@ void Platform::on_env_ready(std::shared_ptr<SessionState> s) {
   if (s->env->failed) {
     // Provisioning failed (host capacity): reject the request.
     reject_session(s, RejectReason::kCapacity);
+    return;
+  }
+  const sim::SimDuration stall = mobility_stall(simulator.now());
+  if (stall > 0) {
+    // Handoff outage cut the session between dispatch and upload: the
+    // environment stays bound and the upload starts when the new radio
+    // attaches (the wait lands in runtime_preparation, which is wall
+    // time from the device's perspective).
+    note_resumption(*s);
+    const std::uint64_t epoch = s->epoch;
+    simulator.schedule_in(stall, [this, s, epoch]() {
+      if (s->done || s->epoch != epoch) return;
+      on_env_ready(s);
+    });
     return;
   }
   s->phases.runtime_preparation = simulator.now() - s->connected_at;
@@ -1597,8 +1632,16 @@ void Platform::on_computed(std::shared_ptr<SessionState> s) {
       s->app_id});
   s->download_time = download;
   s->phases.data_transfer += download;
+  // Handoff outage at result-delivery time: the download waits for the
+  // new radio to attach (the computed result is already spooled server
+  // side), then transfers at the new radio's rates.
+  const sim::SimDuration stall = mobility_stall(simulator.now());
+  if (stall > 0) {
+    note_resumption(*s);
+    s->phases.data_transfer += stall;
+  }
   const std::uint64_t epoch = s->epoch;
-  simulator.schedule_in(download, [this, s, epoch]() {
+  simulator.schedule_in(stall + download, [this, s, epoch]() {
     if (s->done || s->epoch != epoch) return;  // env died mid-download
     complete(s);
   });
@@ -1632,6 +1675,8 @@ void Platform::complete(std::shared_ptr<SessionState> s) {
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;
   outcome.recovered = s->recovered;
+  outcome.radio = config_.link.name;
+  outcome.resumed = s->resumed;
   outcome.tenant = s->tenant;
   outcome.qos_class = s->klass;
   outcome.deadline_missed =
@@ -1700,6 +1745,54 @@ void Platform::complete(std::shared_ptr<SessionState> s) {
 
 // ---------------------------------------------------------------------
 // Fault handling and recovery
+
+void Platform::arm_mobility_pump() {
+  if (config_.mobility.empty()) return;
+  // Each run replays the plan from the base radio; a previous run's
+  // handoffs must not leak into this one.
+  config_.link = base_link_;
+  link_->set_config(base_link_);
+  link_down_until_ = 0;
+  sim::Simulator& simulator = server_->simulator();
+  const sim::SimTime start = simulator.now();
+  for (const HandoffEvent& event : config_.mobility) {
+    simulator.schedule_at(start + event.at,
+                          [this, event]() { apply_handoff(event); });
+  }
+}
+
+void Platform::apply_handoff(const HandoffEvent& event) {
+  sim::Simulator& simulator = server_->simulator();
+  const std::string from = config_.link.name;
+  config_.link = event.to;
+  link_->set_config(event.to);
+  metrics_.counter("mobility.handoffs").inc();
+  metrics_
+      .counter(std::string("mobility.handoff.") + from + "_to_" +
+               event.to.name)
+      .inc();
+  if (event.outage > 0) {
+    link_down_until_ =
+        std::max(link_down_until_, simulator.now() + event.outage);
+    metrics_.counter("mobility.outages").inc();
+    metrics_.histogram("mobility.outage_ms")
+        .observe(sim::to_millis(event.outage));
+  }
+  if (trace_.enabled()) {
+    trace_.instant(kPlatformTrack,
+                   ("handoff " + from + "→" + event.to.name).c_str(),
+                   "mobility", simulator.now());
+  }
+}
+
+void Platform::note_resumption(SessionState& s) {
+  if (s.resumed) return;  // count each session once, however often it stalls
+  s.resumed = true;
+  metrics_.counter("mobility.sessions_resumed").inc();
+  if (s.span_session != obs::kNoSpan) {
+    trace_.annotate(s.span_session, "resumed", std::uint64_t{1});
+  }
+}
 
 void Platform::crash_env(Env& env) {
   if (env.retired) return;
@@ -1809,6 +1902,8 @@ void Platform::reject_session(std::shared_ptr<SessionState> s,
   outcome.queue_wait = s->queue_wait;
   outcome.tenant = s->tenant;
   outcome.qos_class = s->klass;
+  outcome.radio = config_.link.name;
+  outcome.resumed = s->resumed;
   outcome.traffic = s->conn ? s->conn->traffic() : net::TrafficAccount{};
   outcome.dispatch_attempts = s->dispatch_attempts;
   outcome.connect_attempts = s->connect_attempts;

@@ -56,6 +56,17 @@ enum class PlatformKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PlatformKind kind);
 
+/// One scheduled device handoff: at virtual time `at` the fleet's radio
+/// becomes `to` (the paper's per-radio cost models follow — §VI-A link
+/// parameters and the PowerTutor radio profiles).  `outage` > 0 models a
+/// hard handover: connectivity is gone for that long and sessions mid
+/// radio operation stall until the new radio attaches.
+struct HandoffEvent {
+  sim::SimTime at = 0;
+  net::LinkConfig to;
+  sim::SimDuration outage = 0;
+};
+
 struct PlatformConfig {
   PlatformKind kind = PlatformKind::kRattrap;
   net::LinkConfig link = net::lan_wifi();
@@ -133,6 +144,18 @@ struct PlatformConfig {
   /// How long a crashed environment stays undetected (the Monitor's
   /// health-sweep interval).
   sim::SimDuration crash_detection_latency = 100 * sim::kMillisecond;
+
+  // -- Device mobility (docs/LOADGEN.md) -------------------------------
+
+  /// Scheduled mid-run radio handoffs (WiFi↔3G/4G), applied to the one
+  /// shared link in virtual-time order.  A handoff with an outage models
+  /// the disconnect/reconnect gap of a hard handover: radio operations
+  /// (handshakes, upload starts, result downloads) stall until the new
+  /// radio attaches, then every interrupted session resumes where it
+  /// left off — nothing is rejected, the accounting identity holds.
+  /// Each run replays the same plan from its base link (the plan is
+  /// per-run state, like the fault pump's one-shot rules).
+  std::vector<HandoffEvent> mobility;
 
   // -- Admission control & QoS (docs/LOADGEN.md, docs/QOS.md) ----------
 
@@ -448,6 +471,18 @@ class Platform {
   void on_computed(std::shared_ptr<SessionState> s);
   void complete(std::shared_ptr<SessionState> s);
 
+  // Mobility machinery (docs/LOADGEN.md).
+  void arm_mobility_pump();
+  void apply_handoff(const HandoffEvent& event);
+  /// How long a radio operation starting now must wait for connectivity
+  /// (0 when the link is attached).
+  [[nodiscard]] sim::SimDuration mobility_stall(sim::SimTime now) const {
+    return link_down_until_ > now ? link_down_until_ - now : 0;
+  }
+  /// Marks the session as interrupted-and-resumed (metrics + trace, once
+  /// per session).
+  void note_resumption(SessionState& s);
+
   // Fault-injection machinery.
   void crash_env(Env& env);
   void recover_env(std::uint32_t env_id);
@@ -513,6 +548,11 @@ class Platform {
   bool run_active_ = false;
   std::size_t completed_ = 0;
   std::uint32_t next_env_id_ = 1;
+  /// Radio the platform was constructed with; each run's mobility plan
+  /// replays from this base configuration.
+  net::LinkConfig base_link_;
+  /// Connectivity returns at this virtual time (0 = link attached).
+  sim::SimTime link_down_until_ = 0;
 
   const android::MobileApp& app_for(workloads::Kind kind);
   const device::MobileDevice& device_for(std::uint32_t device_id);

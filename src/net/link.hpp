@@ -44,6 +44,13 @@ class Link {
   [[nodiscard]] const LinkConfig& config() const { return config_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
 
+  /// Swaps the radio under the live link — a device handoff (WiFi↔3G/4G
+  /// mid-session).  Transfers already in flight keep their sampled
+  /// durations; every subsequent latency/bandwidth sample uses the new
+  /// radio's parameters.  Connections hold a reference to this Link, so
+  /// the swap is visible to all of them at once.
+  void set_config(LinkConfig config) { config_ = std::move(config); }
+
   /// Attaches a fault injector: transfers then consult it for latency
   /// spikes (kNetDelay) and corruption-forced retransmissions
   /// (kNetCorrupt). nullptr detaches (clean path).

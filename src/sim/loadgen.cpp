@@ -15,6 +15,8 @@ const char* to_string(ArrivalProcess process) {
       return "mmpp";
     case ArrivalProcess::kClosedLoop:
       return "closed-loop";
+    case ArrivalProcess::kTraceReplay:
+      return "trace-replay";
   }
   return "?";
 }
@@ -51,19 +53,43 @@ SimDuration profile_step_length(const LoadGenConfig& config) {
                       static_cast<double>(kProfileSteps)));
 }
 
-/// The next step boundary strictly after `at` — the instant the rate
-/// multiplier changes and an in-flight exponential gap must restart
-/// (memorylessness makes the restart exact, as with the MMPP flip).
+/// Whether a flash-crowd surge is configured at all.
+bool flash_active(const LoadGenConfig& config) {
+  return config.flash_factor > 1.0 && config.flash_duration_s > 0.0 &&
+         config.flash_at_s >= 0.0;
+}
+
+/// The surge's rate multiplier at `at` (1 outside the window).
+double flash_multiplier(const LoadGenConfig& config, SimTime at) {
+  if (!flash_active(config)) return 1.0;
+  const SimTime start = from_seconds(config.flash_at_s);
+  const SimTime end = start + from_seconds(config.flash_duration_s);
+  return (at >= start && at < end) ? config.flash_factor : 1.0;
+}
+
+/// The next instant strictly after `at` where the rate multiplier
+/// changes and an in-flight exponential gap must restart (memorylessness
+/// makes the restart exact, as with the MMPP flip): the next profile
+/// step boundary or a flash-window edge, whichever lands first.
 SimTime next_profile_boundary(const LoadGenConfig& config, SimTime at) {
-  if (!profile_active(config)) return std::numeric_limits<SimTime>::max();
-  const SimDuration step = profile_step_length(config);
-  return (at / step + 1) * step;
+  SimTime boundary = std::numeric_limits<SimTime>::max();
+  if (profile_active(config)) {
+    const SimDuration step = profile_step_length(config);
+    boundary = (at / step + 1) * step;
+  }
+  if (flash_active(config)) {
+    const SimTime start = from_seconds(config.flash_at_s);
+    const SimTime end = start + from_seconds(config.flash_duration_s);
+    if (at < start) boundary = std::min(boundary, start);
+    else if (at < end) boundary = std::min(boundary, end);
+  }
+  return boundary;
 }
 
 }  // namespace
 
 double profile_multiplier(const LoadGenConfig& config, SimTime at) {
-  if (!profile_active(config)) return 1.0;
+  if (!profile_active(config)) return flash_multiplier(config, at);
   const SimDuration step = profile_step_length(config);
   const double phase =
       static_cast<double>((at / step) % kProfileSteps) /
@@ -82,7 +108,8 @@ double profile_multiplier(const LoadGenConfig& config, SimTime at) {
     case RateProfile::kFlat:
       break;
   }
-  return 1.0 + (config.profile_peak_factor - 1.0) * shape;
+  return (1.0 + (config.profile_peak_factor - 1.0) * shape) *
+         flash_multiplier(config, at);
 }
 
 namespace {
@@ -187,6 +214,50 @@ std::vector<Arrival> mmpp_arrivals(const LoadGenConfig& config) {
   return arrivals;
 }
 
+std::vector<Arrival> trace_replay_arrivals(const LoadGenConfig& config) {
+  // Sort a copy of the recorded events (empirical exports are not always
+  // time-ordered) with the device id as tie-breaker so equal timestamps
+  // replay in one canonical order.
+  std::vector<TraceArrival> events = config.trace;
+  std::sort(events.begin(), events.end(),
+            [](const TraceArrival& a, const TraceArrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.device < b.device;
+            });
+  const double scale =
+      config.trace_time_scale > 0.0 ? config.trace_time_scale : 1.0;
+  // Repeats are laid back to back: the trace span plus one mean
+  // inter-arrival gap separates the last event of one pass from the
+  // first of the next, so looping never stacks two arrivals.
+  SimTime span = events.empty() ? 0 : events.back().at - events.front().at;
+  if (!events.empty() && events.size() > 1) {
+    span += span / static_cast<SimTime>(events.size() - 1);
+  } else if (!events.empty()) {
+    span += kSecond;
+  }
+  const std::uint32_t repeats = std::max<std::uint32_t>(1, config.trace_repeat);
+  const std::size_t total =
+      std::min<std::size_t>(config.requests, events.size() * repeats);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(total);
+  Rng mixes = Rng(config.seed).fork("loadgen-mix");
+  const SimTime origin = events.empty() ? 0 : events.front().at;
+  for (std::size_t i = 0; i < total; ++i) {
+    const TraceArrival& event = events[i % events.size()];
+    const SimTime pass_shift =
+        static_cast<SimTime>(i / events.size()) * std::max<SimTime>(span, 1);
+    Arrival arrival;
+    arrival.sequence = i;
+    arrival.device_id =
+        config.devices > 0 ? event.device % config.devices : event.device;
+    arrival.at = static_cast<SimTime>(
+        static_cast<double>(event.at - origin + pass_shift) * scale);
+    arrival.mix_index = pick_mix(config, mixes);
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
 std::vector<Arrival> closed_loop_initial_arrivals(
     const LoadGenConfig& config) {
   // Each device issues its first request after one think period, so a
@@ -235,6 +306,8 @@ std::vector<Arrival> make_arrivals(const LoadGenConfig& config) {
       return mmpp_arrivals(config);
     case ArrivalProcess::kClosedLoop:
       return closed_loop_initial_arrivals(config);
+    case ArrivalProcess::kTraceReplay:
+      return trace_replay_arrivals(config);
   }
   return {};
 }

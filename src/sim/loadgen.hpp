@@ -15,6 +15,11 @@
 //                 exponential think period after its previous response
 //                 before issuing the next request, optionally stretched
 //                 by the platform's backpressure signal.
+//   kTraceReplay — empirical arrivals: a recorded (time, device) trace
+//                 (LiveLab-style CSV, docs/LOADGEN.md) replayed verbatim,
+//                 optionally time-scaled and looped.  What the paper's
+//                 §VI-E evaluation does with the LiveLab dataset, wired
+//                 into the same driver the synthetic models feed.
 //
 // Everything is a pure function of (config, seed): same seed ⇒ the
 // byte-identical arrival schedule, which the golden determinism tests
@@ -36,6 +41,7 @@ enum class ArrivalProcess : std::uint8_t {
   kPoisson = 0,
   kMmpp = 1,
   kClosedLoop = 2,
+  kTraceReplay = 3,
 };
 
 [[nodiscard]] const char* to_string(ArrivalProcess process);
@@ -74,6 +80,15 @@ struct TrafficClassMix {
   double share = 1.0;         ///< relative share of offered arrivals
 };
 
+/// One recorded arrival of an empirical trace (kTraceReplay): device
+/// `device` issued a request at virtual time `at`.  Produced by
+/// trace::load_csv / trace::generate and mapped into the fleet by the
+/// replay generator.
+struct TraceArrival {
+  SimTime at = 0;
+  std::uint32_t device = 0;
+};
+
 struct LoadGenConfig {
   ArrivalProcess arrival = ArrivalProcess::kPoisson;
 
@@ -97,6 +112,28 @@ struct LoadGenConfig {
   RateProfile profile = RateProfile::kFlat;
   double profile_period_s = 60.0;     ///< one full profile cycle
   double profile_peak_factor = 8.0;   ///< peak multiplier over rate_per_s
+
+  // -- Flash crowd (open-loop models only) ------------------------------
+  // A one-shot multiplicative rate surge layered on top of whatever
+  // profile is active — the "everyone opens the app at once" event on an
+  // otherwise ordinary diurnal day.  Active when flash_factor > 1 and
+  // flash_duration_s > 0; the window edges are exact rate boundaries
+  // (the in-flight exponential gap restarts there, like profile steps).
+  double flash_at_s = 0.0;        ///< surge onset (virtual seconds)
+  double flash_duration_s = 0.0;  ///< surge length; 0 disables
+  double flash_factor = 1.0;      ///< rate multiplier inside the window
+
+  // -- Trace replay (kTraceReplay) --------------------------------------
+  /// Recorded arrivals to replay, any order (the generator sorts them).
+  /// Trace device ids are folded into [0, devices) so a small fleet can
+  /// replay a many-user trace.
+  std::vector<TraceArrival> trace;
+  /// Virtual-time multiplier on trace timestamps: 0.5 replays the trace
+  /// at double speed (every gap halved).  Must be > 0.
+  double trace_time_scale = 1.0;
+  /// Times the trace is played back to back; repeat k shifts every
+  /// timestamp by k × (trace span + one mean gap).
+  std::uint32_t trace_repeat = 1;
 
   // -- Closed loop ------------------------------------------------------
   /// Mean exponential think time between a device's response and its
@@ -132,15 +169,17 @@ struct Arrival {
                                            std::uint32_t device);
 
 /// The profile's rate multiplier in effect at virtual time `at` (1.0 for
-/// kFlat or a degenerate period).  Pure in (config, at) — what the
-/// forecaster benches plot the offered-rate curve with.
+/// kFlat or a degenerate period), including any active flash-crowd
+/// surge.  Pure in (config, at) — what the forecaster benches plot the
+/// offered-rate curve with.
 [[nodiscard]] double profile_multiplier(const LoadGenConfig& config,
                                         SimTime at);
 
-/// Open-loop arrival schedule (kPoisson / kMmpp; kClosedLoop yields only
-/// the initial per-device staggered arrivals, capped at config.requests —
-/// the rest of a closed-loop run is generated online by ClosedLoopSource).
-/// Deterministic in config; arrivals are time-sorted with dense sequences.
+/// Open-loop arrival schedule (kPoisson / kMmpp / kTraceReplay;
+/// kClosedLoop yields only the initial per-device staggered arrivals,
+/// capped at config.requests — the rest of a closed-loop run is
+/// generated online by ClosedLoopSource).  Deterministic in config;
+/// arrivals are time-sorted with dense sequences.
 [[nodiscard]] std::vector<Arrival> make_arrivals(const LoadGenConfig& config);
 
 /// Online think-time source for closed-loop runs.  The driver asks for

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace rattrap::trace {
@@ -71,6 +74,21 @@ bool save_csv(const std::vector<TraceEvent>& trace,
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// Whole-field unsigned decimal: rejects signs, trailing garbage
+/// ("3xyz"), and overflow — std::stoul's prefix parsing would silently
+/// accept all three and corrupt the replayed schedule.
+bool parse_field(const std::string& field, unsigned long long& out) {
+  if (field.empty() || field[0] == '-' || field[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(field.c_str(), &end, 10);
+  return end != field.c_str() && *end == '\0' && errno != ERANGE;
+}
+
+}  // namespace
+
 std::optional<std::vector<TraceEvent>> load_csv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
@@ -78,22 +96,29 @@ std::optional<std::vector<TraceEvent>> load_csv(const std::string& path) {
   std::string line;
   bool first = true;
   while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (first) {
       first = false;
       if (line.rfind("user,", 0) == 0) continue;  // header
     }
     const auto comma = line.find(',');
-    if (comma == std::string::npos) return std::nullopt;
-    TraceEvent event;
-    try {
-      event.user = static_cast<std::uint32_t>(
-          std::stoul(line.substr(0, comma)));
-      event.time = static_cast<sim::SimTime>(
-          std::stoll(line.substr(comma + 1)));
-    } catch (...) {
+    if (comma == std::string::npos ||
+        line.find(',', comma + 1) != std::string::npos) {
+      return std::nullopt;  // exactly two columns: user,timestamp_us
+    }
+    unsigned long long user = 0;
+    unsigned long long time = 0;
+    if (!parse_field(line.substr(0, comma), user) ||
+        !parse_field(line.substr(comma + 1), time) ||
+        user > std::numeric_limits<std::uint32_t>::max() ||
+        time > static_cast<unsigned long long>(
+                   std::numeric_limits<sim::SimTime>::max())) {
       return std::nullopt;
     }
+    TraceEvent event;
+    event.user = static_cast<std::uint32_t>(user);
+    event.time = static_cast<sim::SimTime>(time);
     trace.push_back(event);
   }
   std::sort(trace.begin(), trace.end(),

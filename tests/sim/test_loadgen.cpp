@@ -320,5 +320,149 @@ TEST(LoadGen, ThinkTimeIsAlwaysPositive) {
   }
 }
 
+// -- Flash crowd --------------------------------------------------------
+
+TEST(LoadGen, FlashMultiplierIsExactAtWindowEdges) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.flash_at_s = 10.0;
+  config.flash_duration_s = 5.0;
+  config.flash_factor = 6.0;
+  EXPECT_DOUBLE_EQ(profile_multiplier(config, from_seconds(9.999)), 1.0);
+  EXPECT_DOUBLE_EQ(profile_multiplier(config, from_seconds(10.0)), 6.0);
+  EXPECT_DOUBLE_EQ(profile_multiplier(config, from_seconds(14.999)), 6.0);
+  EXPECT_DOUBLE_EQ(profile_multiplier(config, from_seconds(15.0)), 1.0);
+}
+
+TEST(LoadGen, FlashStacksOnActiveProfile) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.profile = RateProfile::kDiurnal;
+  config.profile_period_s = 60.0;
+  config.profile_peak_factor = 4.0;
+  config.flash_at_s = 20.0;
+  config.flash_duration_s = 10.0;
+  config.flash_factor = 3.0;
+  LoadGenConfig plain = config;
+  plain.flash_factor = 1.0;
+  const SimTime inside = from_seconds(25.0);
+  EXPECT_DOUBLE_EQ(profile_multiplier(config, inside),
+                   3.0 * profile_multiplier(plain, inside));
+}
+
+TEST(LoadGen, FlashCrowdAddsMassInsideTheWindow) {
+  LoadGenConfig plain = base_config(ArrivalProcess::kPoisson);
+  plain.requests = 2000;
+  plain.rate_per_s = 50;
+  LoadGenConfig flash = plain;
+  flash.flash_at_s = 10.0;
+  flash.flash_duration_s = 10.0;
+  flash.flash_factor = 8.0;
+  const auto count_in_window = [](const std::vector<Arrival>& arrivals) {
+    std::size_t count = 0;
+    for (const Arrival& arrival : arrivals) {
+      if (arrival.at >= from_seconds(10.0) && arrival.at < from_seconds(20.0)) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  const std::size_t plain_mass = count_in_window(make_arrivals(plain));
+  const std::size_t flash_mass = count_in_window(make_arrivals(flash));
+  EXPECT_GT(flash_mass, 3 * std::max<std::size_t>(1, plain_mass));
+  expect_well_formed(make_arrivals(flash), flash);
+}
+
+TEST(LoadGen, FlashScheduleIsDeterministic) {
+  LoadGenConfig config = base_config(ArrivalProcess::kPoisson);
+  config.flash_at_s = 1.0;
+  config.flash_duration_s = 0.5;
+  config.flash_factor = 4.0;
+  const auto a = make_arrivals(config);
+  const auto b = make_arrivals(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
+    EXPECT_EQ(a[i].device_id, b[i].device_id) << i;
+  }
+}
+
+// -- Trace replay -------------------------------------------------------
+
+std::vector<TraceArrival> sample_trace() {
+  // Deliberately unsorted, with a duplicate timestamp and an id beyond
+  // the fleet size.
+  return {{5 * kSecond, 2},
+          {1 * kSecond, 7},
+          {3 * kSecond, 0},
+          {3 * kSecond, 1},
+          {9 * kSecond, 123}};
+}
+
+TEST(LoadGen, TraceReplayIsSortedDenseAndFoldsDevices) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.devices = 4;
+  config.requests = 100;
+  config.trace = sample_trace();
+  const auto arrivals = make_arrivals(config);
+  ASSERT_EQ(arrivals.size(), config.trace.size());
+  expect_well_formed(arrivals, config);
+  // Origin-shifted replay: first event lands at t=0, last at span.
+  EXPECT_EQ(arrivals.front().at, 0);
+  EXPECT_EQ(arrivals.back().at, 8 * kSecond);
+  EXPECT_EQ(arrivals.back().device_id, 123u % 4u);
+}
+
+TEST(LoadGen, TraceReplayCapsAtRequestBudget) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.requests = 3;
+  config.trace = sample_trace();
+  EXPECT_EQ(make_arrivals(config).size(), 3u);
+}
+
+TEST(LoadGen, TraceReplayTimeScaleCompressesGaps) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.trace = sample_trace();
+  LoadGenConfig fast = config;
+  fast.trace_time_scale = 0.5;
+  const auto normal = make_arrivals(config);
+  const auto speedy = make_arrivals(fast);
+  ASSERT_EQ(normal.size(), speedy.size());
+  for (std::size_t i = 0; i < normal.size(); ++i) {
+    EXPECT_EQ(speedy[i].at, normal[i].at / 2) << i;
+  }
+}
+
+TEST(LoadGen, TraceReplayRepeatLaysPassesBackToBack) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.requests = 100;
+  config.trace = sample_trace();
+  config.trace_repeat = 2;
+  const auto arrivals = make_arrivals(config);
+  ASSERT_EQ(arrivals.size(), 2 * config.trace.size());
+  expect_well_formed(arrivals, config);
+  // The second pass must start strictly after the first pass ends.
+  EXPECT_GT(arrivals[config.trace.size()].at,
+            arrivals[config.trace.size() - 1].at);
+}
+
+TEST(LoadGen, TraceReplayEmptyTraceYieldsNoArrivals) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.trace.clear();
+  EXPECT_TRUE(make_arrivals(config).empty());
+}
+
+TEST(LoadGen, TraceReplayIsDeterministic) {
+  LoadGenConfig config = base_config(ArrivalProcess::kTraceReplay);
+  config.trace = sample_trace();
+  config.mix = {{"gold", 0, 3, 0.5}, {"bronze", 2, 1, 0.5}};
+  const auto a = make_arrivals(config);
+  const auto b = make_arrivals(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << i;
+    EXPECT_EQ(a[i].device_id, b[i].device_id) << i;
+    EXPECT_EQ(a[i].mix_index, b[i].mix_index) << i;
+  }
+}
+
 }  // namespace
 }  // namespace rattrap::sim

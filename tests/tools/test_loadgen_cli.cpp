@@ -1,0 +1,89 @@
+// CLI contract for tools/loadgen: unrecognized flags and malformed
+// values must exit nonzero with usage on stderr (they used to be
+// silently swallowed by atof/atoi), and a valid run stays deterministic
+// across invocations.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cli_test_util.hpp"
+
+namespace rattrap::clitest {
+namespace {
+
+const std::string kBin = RATTRAP_LOADGEN_BIN;
+
+TEST(LoadgenCli, UnknownFlagExitsWithUsage) {
+  const CommandResult result = run_command(kBin + " --bogus-flag");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("usage:")) << result.output;
+}
+
+TEST(LoadgenCli, MalformedNumericValueRejected) {
+  const CommandResult result = run_command(kBin + " --rate abc");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("--rate")) << result.output;
+}
+
+TEST(LoadgenCli, TrailingGarbageInNumericRejected) {
+  // atoi-style prefix parsing would read "10x" as 10; the strict parser
+  // must reject the whole token.
+  const CommandResult result = run_command(kBin + " --requests 10x");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("--requests")) << result.output;
+}
+
+TEST(LoadgenCli, NegativeUnsignedRejected) {
+  const CommandResult result = run_command(kBin + " --devices -5");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(LoadgenCli, MalformedMixRejected) {
+  const CommandResult bad_class =
+      run_command(kBin + " --mix gold:nosuchclass");
+  EXPECT_EQ(bad_class.exit_code, 2);
+  const CommandResult bad_weight =
+      run_command(kBin + " --mix gold:interactive:zero");
+  EXPECT_EQ(bad_weight.exit_code, 2);
+}
+
+TEST(LoadgenCli, UnknownProfileRejected) {
+  const CommandResult result = run_command(kBin + " --profile wavy");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(LoadgenCli, TraceArrivalRequiresTraceFile) {
+  const CommandResult result = run_command(kBin + " --arrival trace");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("--trace-file")) << result.output;
+}
+
+TEST(LoadgenCli, TraceFileRequiresTraceArrival) {
+  const CommandResult result =
+      run_command(kBin + " --trace-file /tmp/whatever.csv");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(LoadgenCli, MissingTraceFileExitsNonzero) {
+  const CommandResult result = run_command(
+      kBin + " --arrival trace --trace-file /nonexistent/trace.csv");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(LoadgenCli, SmallRunSucceedsAndIsDeterministic) {
+  const std::string command =
+      kBin + " --devices 5 --requests 60 --rate 50 --seed 7";
+  const CommandResult first = run_command(command);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  const std::string fingerprint =
+      extract_value(first.output, "metrics_fingerprint");
+  EXPECT_FALSE(fingerprint.empty()) << first.output;
+
+  const CommandResult second = run_command(command);
+  ASSERT_EQ(second.exit_code, 0);
+  EXPECT_EQ(extract_value(second.output, "metrics_fingerprint"),
+            fingerprint);
+}
+
+}  // namespace
+}  // namespace rattrap::clitest

@@ -141,6 +141,68 @@ TEST(LiveLabCsv, MalformedLineFails) {
   EXPECT_FALSE(load_csv(path).has_value());
 }
 
+TEST(LiveLabCsv, TrailingGarbageInFieldFails) {
+  // std::stoul-style prefix parsing would accept "3xyz" as 3; the strict
+  // loader must reject the row outright.
+  const std::string path = ::testing::TempDir() + "livelab_garbage.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp_us\n3xyz,1000\n";
+  }
+  EXPECT_FALSE(load_csv(path).has_value());
+}
+
+TEST(LiveLabCsv, ExtraColumnFails) {
+  const std::string path = ::testing::TempDir() + "livelab_columns.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp_us\n1,1000,9\n";
+  }
+  EXPECT_FALSE(load_csv(path).has_value());
+}
+
+TEST(LiveLabCsv, NegativeTimestampFails) {
+  const std::string path = ::testing::TempDir() + "livelab_negative.csv";
+  {
+    std::ofstream out(path);
+    out << "1,-50\n";
+  }
+  EXPECT_FALSE(load_csv(path).has_value());
+}
+
+TEST(LiveLabCsv, UserOverflowFails) {
+  const std::string path = ::testing::TempDir() + "livelab_overflow.csv";
+  {
+    std::ofstream out(path);
+    out << "99999999999,1000\n";  // > uint32 max
+  }
+  EXPECT_FALSE(load_csv(path).has_value());
+}
+
+TEST(LiveLabCsv, HeaderOnlyFileIsEmptyNotAnError) {
+  const std::string path = ::testing::TempDir() + "livelab_empty.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp_us\n";
+  }
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(LiveLabCsv, CrlfLineEndingsParse) {
+  const std::string path = ::testing::TempDir() + "livelab_crlf.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp_us\r\n4,12345\r\n";
+  }
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].user, 4u);
+  EXPECT_EQ((*loaded)[0].time, 12345);
+}
+
 TEST(LiveLabCsv, HeaderlessFileParses) {
   const std::string path = ::testing::TempDir() + "livelab_raw.csv";
   {

@@ -1,0 +1,68 @@
+// Strict value parsing shared by the CLI tools (loadgen, experiments).
+//
+// std::strtod-style parsing silently turns garbage into 0, which lets a
+// typo'd flag run a whole sweep with default values — the failure mode
+// the experiment harness exists to prevent.  These helpers accept a
+// value only when the entire token parses and is in range; callers turn
+// a false return into a usage error and a nonzero exit.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace rattrap::cli {
+
+/// Whole-token double ("1.5", "2e3"); rejects trailing garbage, empty
+/// tokens, inf/nan spellings that strtod would accept.
+inline bool parse_double(const char* token, double& out) {
+  if (token == nullptr || *token == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token, &end);
+  if (end == token || *end != '\0' || errno == ERANGE) return false;
+  if (value != value) return false;  // NaN
+  if (value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Whole-token unsigned 64-bit decimal; rejects signs, trailing garbage.
+inline bool parse_u64(const char* token, std::uint64_t& out) {
+  if (token == nullptr || *token == '\0' || *token == '-' || *token == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token, &end, 10);
+  if (end == token || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+inline bool parse_u32(const char* token, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(token, wide) ||
+      wide > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+inline bool parse_u64(const std::string& token, std::uint64_t& out) {
+  return parse_u64(token.c_str(), out);
+}
+inline bool parse_u32(const std::string& token, std::uint32_t& out) {
+  return parse_u32(token.c_str(), out);
+}
+inline bool parse_double(const std::string& token, double& out) {
+  return parse_double(token.c_str(), out);
+}
+
+}  // namespace rattrap::cli

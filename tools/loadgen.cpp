@@ -22,6 +22,9 @@
 #include "core/platform.hpp"
 #include "core/qos/qos.hpp"
 #include "obs/metrics.hpp"
+#include "trace/livelab.hpp"
+
+#include "cli_util.hpp"
 
 using namespace rattrap;
 
@@ -30,7 +33,7 @@ namespace {
 void usage() {
   std::puts(
       "usage: loadgen [options]\n"
-      "  --arrival P      poisson | mmpp | closed (default poisson)\n"
+      "  --arrival P      poisson | mmpp | closed | trace (default poisson)\n"
       "  --devices N      fleet size (default 1000)\n"
       "  --requests N     total offered requests (default 1000)\n"
       "  --rate R         offered req/s, open loop (default 100)\n"
@@ -38,6 +41,12 @@ void usage() {
       "  --profile P      flat | ramp | diurnal rate profile (default flat)\n"
       "  --profile-period S  profile cycle length, seconds (default 60)\n"
       "  --profile-peak F    profile peak rate multiplier (default 8)\n"
+      "  --flash-at S     flash-crowd surge onset, seconds (default off)\n"
+      "  --flash-duration S  flash-crowd surge length, seconds\n"
+      "  --flash-factor F    flash-crowd rate multiplier (default 1)\n"
+      "  --trace-file P   CSV trace to replay (--arrival trace)\n"
+      "  --trace-scale F  trace time multiplier, >0 (default 1)\n"
+      "  --trace-repeat N trace playback loops (default 1)\n"
       "  --think S        closed-loop mean think time, seconds (default 1)\n"
       "  --kind K         linpack | ocr | chess | virusscan (default linpack)\n"
       "  --seed S         master seed (default 1)\n"
@@ -61,6 +70,7 @@ void usage() {
 struct Options {
   core::LoadDriverConfig driver;
   core::AdmissionConfig admission;
+  std::string trace_file;  ///< CSV trace for --arrival trace
   bool json = false;
 };
 
@@ -82,14 +92,13 @@ bool parse_mix(const char* v, sim::TrafficClassMix& mix) {
   const auto klass = core::qos::parse_class(parts[1]);
   if (!klass) return false;
   mix.priority = static_cast<std::uint8_t>(core::qos::class_index(*klass));
-  if (parts.size() > 2) {
-    mix.weight =
-        static_cast<std::uint32_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
-    if (mix.weight == 0) return false;
+  if (parts.size() > 2 &&
+      (!cli::parse_u32(parts[2], mix.weight) || mix.weight == 0)) {
+    return false;
   }
-  if (parts.size() > 3) {
-    mix.share = std::strtod(parts[3].c_str(), nullptr);
-    if (mix.share <= 0) return false;
+  if (parts.size() > 3 &&
+      (!cli::parse_double(parts[3], mix.share) || mix.share <= 0)) {
+    return false;
   }
   return true;
 }
@@ -110,6 +119,35 @@ bool parse(int argc, char** argv, Options& options) {
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    // Strict numeric flag values: a malformed number is a usage error,
+    // not a silent 0/default (cli_util.hpp).
+    const auto num_double = [&](const char* flag, double& out) {
+      const char* v = next();
+      if (v == nullptr || !cli::parse_double(v, out)) {
+        std::fprintf(stderr, "bad value for %s: %s\n", flag,
+                     v == nullptr ? "(missing)" : v);
+        return false;
+      }
+      return true;
+    };
+    const auto num_u32 = [&](const char* flag, std::uint32_t& out) {
+      const char* v = next();
+      if (v == nullptr || !cli::parse_u32(v, out)) {
+        std::fprintf(stderr, "bad value for %s: %s\n", flag,
+                     v == nullptr ? "(missing)" : v);
+        return false;
+      }
+      return true;
+    };
+    const auto num_u64 = [&](const char* flag, std::uint64_t& out) {
+      const char* v = next();
+      if (v == nullptr || !cli::parse_u64(v, out)) {
+        std::fprintf(stderr, "bad value for %s: %s\n", flag,
+                     v == nullptr ? "(missing)" : v);
+        return false;
+      }
+      return true;
+    };
     if (arg == "--help") {
       usage();
       std::exit(0);
@@ -127,27 +165,26 @@ bool parse(int argc, char** argv, Options& options) {
         options.driver.loadgen.arrival = sim::ArrivalProcess::kMmpp;
       } else if (s == "closed" || s == "closed-loop") {
         options.driver.loadgen.arrival = sim::ArrivalProcess::kClosedLoop;
+      } else if (s == "trace" || s == "trace-replay") {
+        options.driver.loadgen.arrival = sim::ArrivalProcess::kTraceReplay;
       } else {
         std::fprintf(stderr, "unknown arrival process: %s\n", v);
         return false;
       }
     } else if (arg == "--devices") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.devices =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--devices", options.driver.loadgen.devices)) return false;
     } else if (arg == "--requests") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.requests = std::strtoull(v, nullptr, 10);
+      std::uint64_t requests = 0;
+      if (!num_u64("--requests", requests)) return false;
+      options.driver.loadgen.requests = requests;
     } else if (arg == "--rate") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.rate_per_s = std::strtod(v, nullptr);
+      if (!num_double("--rate", options.driver.loadgen.rate_per_s)) {
+        return false;
+      }
     } else if (arg == "--burst-factor") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.burst_factor = std::strtod(v, nullptr);
+      if (!num_double("--burst-factor", options.driver.loadgen.burst_factor)) {
+        return false;
+      }
     } else if (arg == "--profile") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -163,42 +200,67 @@ bool parse(int argc, char** argv, Options& options) {
         return false;
       }
     } else if (arg == "--profile-period") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.profile_period_s = std::strtod(v, nullptr);
+      if (!num_double("--profile-period",
+                      options.driver.loadgen.profile_period_s)) {
+        return false;
+      }
     } else if (arg == "--profile-peak") {
+      if (!num_double("--profile-peak",
+                      options.driver.loadgen.profile_peak_factor)) {
+        return false;
+      }
+    } else if (arg == "--flash-at") {
+      if (!num_double("--flash-at", options.driver.loadgen.flash_at_s)) {
+        return false;
+      }
+    } else if (arg == "--flash-duration") {
+      if (!num_double("--flash-duration",
+                      options.driver.loadgen.flash_duration_s)) {
+        return false;
+      }
+    } else if (arg == "--flash-factor") {
+      if (!num_double("--flash-factor",
+                      options.driver.loadgen.flash_factor)) {
+        return false;
+      }
+    } else if (arg == "--trace-file") {
       const char* v = next();
       if (v == nullptr) return false;
-      options.driver.loadgen.profile_peak_factor = std::strtod(v, nullptr);
+      options.trace_file = v;
+    } else if (arg == "--trace-scale") {
+      if (!num_double("--trace-scale",
+                      options.driver.loadgen.trace_time_scale) ||
+          options.driver.loadgen.trace_time_scale <= 0) {
+        std::fprintf(stderr, "--trace-scale must be > 0\n");
+        return false;
+      }
+    } else if (arg == "--trace-repeat") {
+      if (!num_u32("--trace-repeat", options.driver.loadgen.trace_repeat)) {
+        return false;
+      }
     } else if (arg == "--think") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.think_time_s = std::strtod(v, nullptr);
+      if (!num_double("--think", options.driver.loadgen.think_time_s)) {
+        return false;
+      }
     } else if (arg == "--kind") {
       const char* v = next();
       if (v == nullptr || !parse_kind(v, options.driver.kind)) return false;
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.driver.loadgen.seed = std::strtoull(v, nullptr, 10);
+      if (!num_u64("--seed", options.driver.loadgen.seed)) return false;
     } else if (arg == "--queue") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.queue_capacity =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--queue", options.admission.queue_capacity)) return false;
     } else if (arg == "--max-in-service") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.max_in_service =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--max-in-service", options.admission.max_in_service)) {
+        return false;
+      }
     } else if (arg == "--tenant-rate") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.tenant_rate_per_s = std::strtod(v, nullptr);
+      if (!num_double("--tenant-rate", options.admission.tenant_rate_per_s)) {
+        return false;
+      }
     } else if (arg == "--shed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.shed_utilization = std::strtod(v, nullptr);
+      if (!num_double("--shed", options.admission.shed_utilization)) {
+        return false;
+      }
     } else if (arg == "--qos") {
       options.admission.enabled = true;
       options.admission.qos.enabled = true;
@@ -211,20 +273,16 @@ bool parse(int argc, char** argv, Options& options) {
       }
       options.driver.loadgen.mix.push_back(std::move(mix));
     } else if (arg == "--quantum") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.qos.quantum =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--quantum", options.admission.qos.quantum)) return false;
     } else if (arg == "--starvation-burst") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.qos.starvation_burst =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--starvation-burst",
+                   options.admission.qos.starvation_burst)) {
+        return false;
+      }
     } else if (arg == "--promote-every") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.admission.qos.promote_every =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!num_u32("--promote-every", options.admission.qos.promote_every)) {
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -233,6 +291,14 @@ bool parse(int argc, char** argv, Options& options) {
   if (options.driver.loadgen.devices == 0 ||
       options.driver.loadgen.requests == 0) {
     std::fprintf(stderr, "--devices and --requests must be > 0\n");
+    return false;
+  }
+  const bool trace_replay =
+      options.driver.loadgen.arrival == sim::ArrivalProcess::kTraceReplay;
+  if (trace_replay != !options.trace_file.empty()) {
+    std::fprintf(stderr, trace_replay
+                             ? "--arrival trace requires --trace-file\n"
+                             : "--trace-file requires --arrival trace\n");
     return false;
   }
   return true;
@@ -256,6 +322,24 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, options)) {
     usage();
     return 2;
+  }
+  if (!options.trace_file.empty()) {
+    const auto loaded = trace::load_csv(options.trace_file);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load trace: %s\n",
+                   options.trace_file.c_str());
+      return 2;
+    }
+    options.driver.loadgen.trace.reserve(loaded->size());
+    for (const trace::TraceEvent& event : *loaded) {
+      options.driver.loadgen.trace.push_back(
+          sim::TraceArrival{event.time, event.user});
+    }
+    if (options.driver.loadgen.trace.empty()) {
+      std::fprintf(stderr, "trace has no events: %s\n",
+                   options.trace_file.c_str());
+      return 2;
+    }
   }
 
   core::PlatformConfig config =
