@@ -1,0 +1,186 @@
+// Extension bench: RAC defense — victim-tenant tail latency under a
+// coordinated multi-tenant attack (docs/RAC.md).
+//
+// One victim tenant runs an interactive trickle three ways on one
+// Rattrap server: alone (the unattacked baseline), under a combined
+// permission-probe / class-flood / cache-thrash attack with the RAC
+// armed, and under the same attack with the RAC neutralized (unreachable
+// violation threshold, quotas off).  The attack arrival schedule is
+// byte-identical across the armed and disarmed runs — adversary
+// profiles shape request *content*, never timing — so the contrast
+// isolates what the defense layer buys.
+//
+// Acceptance bar (ISSUE 8): with the RAC armed, the victim's completed
+// p99 under attack must stay within 1.5x of the unattacked baseline.
+// The disarmed row is the teeth check's raw material: CI asserts that a
+// `rac = off` ablation of the adversary experiment fails its criteria.
+#include <cstdio>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "core/load_driver.hpp"
+#include "obs/json.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+struct AttackResult {
+  core::LoadSummary summary;
+  std::uint64_t rac_blocks = 0;
+  std::uint64_t rac_denied = 0;  ///< all deny reasons summed
+};
+
+std::uint64_t counter_or_zero(const core::Platform& platform,
+                              const char* name) {
+  const obs::Counter* counter = platform.metrics().find_counter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+/// Victim interactive trickle (2/s), plus the attack mix when
+/// `attacked`.  `rac_on` arms the violation ledger, in-flight quota and
+/// per-tenant admission queue quota; off neutralizes all three.
+AttackResult run_attack(bool attacked, bool rac_on, std::size_t requests) {
+  core::PlatformConfig config =
+      core::make_config(core::PlatformKind::kRattrap);
+  config.seed = 31;
+  config.admission.enabled = true;
+  config.admission.qos.enabled = true;
+  config.admission.queue_capacity = 64;
+  config.admission.shed_utilization = 6.0;
+  config.admission.qos.batch.shed_utilization = 2.0;
+  if (rac_on) {
+    config.access.violation_threshold = 4;
+    config.access.block_duration = sim::from_seconds(5);
+    config.access.tenant_quota = 8;
+    config.admission.tenant_queue_quota = 8;
+  } else {
+    // The teeth ablation: permission tables stay live, but no ledger
+    // threshold is ever reached and no quota clips anything.
+    config.access.violation_threshold = 0xFFFFFFFFu;
+    config.access.tenant_quota = 0;
+    config.admission.tenant_queue_quota = 0;
+  }
+  core::Platform platform(std::move(config));
+
+  core::LoadDriverConfig driver;
+  driver.kind = workloads::Kind::kLinpack;
+  driver.size_class = 2;
+  driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+  driver.loadgen.devices = 20;
+  driver.loadgen.requests = requests;
+  driver.loadgen.seed = 31;
+  constexpr double kVictimRate = 2.0;
+  if (attacked) {
+    driver.loadgen.rate_per_s = kVictimRate + 40.0;
+    driver.loadgen.mix = {
+        {"victim", 0, 4, kVictimRate, sim::AdversaryProfile::kNone},
+        {"prober", 1, 1, 10.0, sim::AdversaryProfile::kPermissionProbe},
+        {"flooder", 1, 1, 20.0, sim::AdversaryProfile::kClassFlood},
+        {"thrasher", 2, 1, 10.0, sim::AdversaryProfile::kCacheThrash},
+    };
+  } else {
+    driver.loadgen.rate_per_s = kVictimRate;
+    driver.loadgen.mix = {
+        {"victim", 0, 4, 1.0, sim::AdversaryProfile::kNone}};
+  }
+
+  AttackResult result;
+  result.summary = core::run_load(platform, driver);
+  result.rac_blocks = counter_or_zero(platform, "rac.blocks");
+  result.rac_denied = counter_or_zero(platform, "rac.denied.blocked") +
+                      counter_or_zero(platform, "rac.denied.violation") +
+                      counter_or_zero(platform, "rac.denied.quota");
+  return result;
+}
+
+const core::TenantLoadStats& victim_stats(const AttackResult& r) {
+  static const core::TenantLoadStats kEmpty;
+  const auto it = r.summary.by_tenant.find("victim");
+  return it == r.summary.by_tenant.end() ? kEmpty : it->second;
+}
+
+std::string attack_json(const AttackResult& r) {
+  const core::TenantLoadStats& victim = victim_stats(r);
+  std::string body = "{";
+  const auto field = [&body](const char* key, const std::string& value) {
+    if (body.size() > 1) body += ',';
+    body += '"';
+    body += key;
+    body += "\":";
+    body += value;
+  };
+  field("victim_completed",
+        obs::json_number(static_cast<std::uint64_t>(victim.completed)));
+  field("victim_p50_ms", obs::json_number(victim.p50_ms));
+  field("victim_p99_ms", obs::json_number(victim.p99_ms));
+  field("rac_blocks", obs::json_number(r.rac_blocks));
+  field("rac_denied", obs::json_number(r.rac_denied));
+  field("goodput_per_s", obs::json_number(r.summary.goodput_per_s));
+  body += '}';
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const std::size_t attack_requests = quick ? 600 : 4000;
+
+  std::printf(
+      "RAC defense — victim interactive p99 under a probe/flood/thrash "
+      "attack (Linpack, %zu requests)\n",
+      attack_requests);
+  bench::print_rule('=');
+  std::printf("%-24s | %9s %9s | %8s %7s %7s\n", "scenario", "v_p50[ms]",
+              "v_p99[ms]", "v_done", "blocks", "denied");
+  bench::print_rule();
+
+  bench::JsonEmitter json("bench_ext_rac");
+
+  const AttackResult baseline =
+      run_attack(/*attacked=*/false, /*rac_on=*/true,
+                 std::max<std::size_t>(60, attack_requests / 10));
+  const AttackResult defended =
+      run_attack(/*attacked=*/true, /*rac_on=*/true, attack_requests);
+  const AttackResult disarmed =
+      run_attack(/*attacked=*/true, /*rac_on=*/false, attack_requests);
+
+  const auto row = [](const char* name, const AttackResult& r) {
+    const core::TenantLoadStats& victim = victim_stats(r);
+    std::printf("%-24s | %9.1f %9.1f | %8zu %7llu %7llu\n", name,
+                victim.p50_ms, victim.p99_ms, victim.completed,
+                static_cast<unsigned long long>(r.rac_blocks),
+                static_cast<unsigned long long>(r.rac_denied));
+  };
+  row("unattacked", baseline);
+  row("attack, RAC armed", defended);
+  row("attack, RAC off", disarmed);
+  bench::print_rule();
+
+  const double base_p99 = victim_stats(baseline).p99_ms;
+  const double armed_p99 = victim_stats(defended).p99_ms;
+  const double off_p99 = victim_stats(disarmed).p99_ms;
+  const double blowup = base_p99 > 0 ? armed_p99 / base_p99 : 0;
+  const bool bounded = blowup <= 1.5;
+  std::printf(
+      "victim p99: %.1f ms unattacked -> %.1f ms under attack with the "
+      "RAC armed (%.2fx, bound 1.5x: %s)\n"
+      "            vs %.1f ms with the RAC disarmed (%.2fx)\n",
+      base_p99, armed_p99, blowup, bounded ? "OK" : "VIOLATED", off_p99,
+      base_p99 > 0 ? off_p99 / base_p99 : 0);
+
+  json.add_raw("unattacked", attack_json(baseline));
+  json.add_raw("attack_rac_on", attack_json(defended));
+  json.add_raw("attack_rac_off", attack_json(disarmed));
+  json.add_raw("summary",
+               "{\"p99_blowup_armed\":" + obs::json_number(blowup) +
+                   ",\"p99_blowup_disarmed\":" +
+                   obs::json_number(base_p99 > 0 ? off_p99 / base_p99
+                                                 : 0) +
+                   ",\"bounded\":" + (bounded ? "true" : "false") + "}");
+
+  // The 1.5x bound is the acceptance bar for the RAC defense layer; a
+  // violation should fail the CI smoke run loudly.
+  return bounded ? 0 : 1;
+}

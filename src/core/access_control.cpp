@@ -24,10 +24,46 @@ const char* to_string(Operation op) {
   return "?";
 }
 
+const char* to_string(AccessDeny deny) {
+  switch (deny) {
+    case AccessDeny::kNone:
+      return "none";
+    case AccessDeny::kBlocked:
+      return "blocked";
+    case AccessDeny::kViolation:
+      return "violation";
+    case AccessDeny::kQuota:
+      return "quota";
+  }
+  return "?";
+}
+
 std::set<Operation> RequestAccessController::default_grants() {
   return {Operation::kReadOffloadFile, Operation::kWriteOffloadFile,
           Operation::kReadSharedLayer, Operation::kReadWarehouse,
           Operation::kBinderCall};
+}
+
+void RequestAccessController::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_analyzed_ = nullptr;
+    metric_violations_ = nullptr;
+    metric_blocks_ = nullptr;
+    metric_unblocks_ = nullptr;
+    metric_denied_blocked_ = nullptr;
+    metric_denied_violation_ = nullptr;
+    metric_denied_quota_ = nullptr;
+    metric_blocked_tenants_ = nullptr;
+    return;
+  }
+  metric_analyzed_ = &metrics->counter("rac.analyzed");
+  metric_violations_ = &metrics->counter("rac.violations");
+  metric_blocks_ = &metrics->counter("rac.blocks");
+  metric_unblocks_ = &metrics->counter("rac.unblocks");
+  metric_denied_blocked_ = &metrics->counter("rac.denied.blocked");
+  metric_denied_violation_ = &metrics->counter("rac.denied.violation");
+  metric_denied_quota_ = &metrics->counter("rac.denied.quota");
+  metric_blocked_tenants_ = &metrics->gauge("rac.blocked_tenants");
 }
 
 bool RequestAccessController::ensure_analyzed(std::string_view app_id) {
@@ -35,29 +71,141 @@ bool RequestAccessController::ensure_analyzed(std::string_view app_id) {
   PermissionTable table;
   table.allowed = default_grants();
   tables_.emplace(std::string(app_id), std::move(table));
+  if (metric_analyzed_ != nullptr) metric_analyzed_->inc();
   return true;
 }
 
-bool RequestAccessController::check(std::string_view app_id, Operation op) {
-  if (blocked_.contains(app_id)) return false;
-  ensure_analyzed(app_id);
-  auto& table = tables_.find(app_id)->second;
-  if (table.allowed.contains(op)) return true;
-  ++table.violations;
-  if (table.violations >= threshold_) {
-    blocked_.emplace(app_id);
-  }
-  return false;
+TenantLedger& RequestAccessController::ledger_for(const std::string& tenant) {
+  return ledgers_[tenant];
 }
 
-bool RequestAccessController::is_blocked(std::string_view app_id) const {
-  return blocked_.contains(app_id);
+void RequestAccessController::count_deny(AccessDeny deny) {
+  switch (deny) {
+    case AccessDeny::kNone:
+      break;
+    case AccessDeny::kBlocked:
+      if (metric_denied_blocked_ != nullptr) metric_denied_blocked_->inc();
+      break;
+    case AccessDeny::kViolation:
+      if (metric_denied_violation_ != nullptr) metric_denied_violation_->inc();
+      break;
+    case AccessDeny::kQuota:
+      if (metric_denied_quota_ != nullptr) metric_denied_quota_->inc();
+      break;
+  }
+}
+
+void RequestAccessController::maybe_unblock(const std::string& tenant,
+                                            TenantLedger& ledger,
+                                            sim::SimTime now) {
+  if (!ledger.blocked || now < ledger.blocked_until) return;
+  ledger.blocked = false;
+  ledger.blocked_until = 0;
+  ledger.violations = 0;  // the penalty wipes the ledger; service restored
+  ++ledger.unblocks;
+  --blocked_count_;
+  if (metric_unblocks_ != nullptr) metric_unblocks_->inc();
+  if (metric_blocked_tenants_ != nullptr) {
+    metric_blocked_tenants_->set(static_cast<double>(blocked_count_));
+  }
+  if (on_unblock_) on_unblock_(tenant, now);
+}
+
+void RequestAccessController::block(const std::string& tenant,
+                                    TenantLedger& ledger, sim::SimTime now) {
+  ledger.blocked = true;
+  ledger.blocked_until = config_.block_duration > 0
+                             ? now + config_.block_duration
+                             : sim::kTimeInfinity;
+  ++ledger.blocks;
+  ++blocked_count_;
+  if (metric_blocks_ != nullptr) metric_blocks_->inc();
+  if (metric_blocked_tenants_ != nullptr) {
+    metric_blocked_tenants_->set(static_cast<double>(blocked_count_));
+  }
+  if (on_block_) on_block_(tenant, now);
+}
+
+AccessDeny RequestAccessController::check(std::string_view app_id,
+                                          const std::string& tenant,
+                                          Operation op, sim::SimTime now) {
+  ensure_analyzed(app_id);
+  TenantLedger& ledger = ledger_for(tenant);
+  maybe_unblock(tenant, ledger, now);
+  if (ledger.blocked) {
+    count_deny(AccessDeny::kBlocked);
+    return AccessDeny::kBlocked;
+  }
+  const auto& table = tables_.find(app_id)->second;
+  if (table.allowed.contains(op)) return AccessDeny::kNone;
+  ++ledger.violations;
+  ++ledger.total_violations;
+  if (metric_violations_ != nullptr) metric_violations_->inc();
+  count_deny(AccessDeny::kViolation);
+  if (ledger.violations >= config_.violation_threshold) {
+    block(tenant, ledger, now);
+  }
+  return AccessDeny::kViolation;
+}
+
+AccessDeny RequestAccessController::allow_open(const std::string& tenant,
+                                               sim::SimTime now) {
+  TenantLedger& ledger = ledger_for(tenant);
+  maybe_unblock(tenant, ledger, now);
+  if (ledger.blocked) {
+    count_deny(AccessDeny::kBlocked);
+    return AccessDeny::kBlocked;
+  }
+  return AccessDeny::kNone;
+}
+
+AccessDeny RequestAccessController::admit(const std::string& tenant,
+                                          sim::SimTime now) {
+  TenantLedger& ledger = ledger_for(tenant);
+  maybe_unblock(tenant, ledger, now);
+  if (ledger.blocked) {
+    count_deny(AccessDeny::kBlocked);
+    return AccessDeny::kBlocked;
+  }
+  if (config_.tenant_quota > 0 && ledger.in_flight >= config_.tenant_quota) {
+    count_deny(AccessDeny::kQuota);
+    return AccessDeny::kQuota;
+  }
+  ++ledger.in_flight;
+  return AccessDeny::kNone;
+}
+
+void RequestAccessController::release(const std::string& tenant) {
+  const auto it = ledgers_.find(tenant);
+  if (it == ledgers_.end() || it->second.in_flight == 0) return;
+  --it->second.in_flight;
+}
+
+bool RequestAccessController::is_blocked(const std::string& tenant,
+                                         sim::SimTime now) {
+  const auto it = ledgers_.find(tenant);
+  if (it == ledgers_.end()) return false;
+  maybe_unblock(tenant, it->second, now);
+  return it->second.blocked;
+}
+
+bool RequestAccessController::blocked_at(const std::string& tenant,
+                                         sim::SimTime now) const {
+  const auto it = ledgers_.find(tenant);
+  if (it == ledgers_.end() || !it->second.blocked) return false;
+  return now < it->second.blocked_until;
 }
 
 std::uint32_t RequestAccessController::violations(
-    std::string_view app_id) const {
-  const auto it = tables_.find(app_id);
-  return it == tables_.end() ? 0 : it->second.violations;
+    const std::string& tenant) const {
+  const auto it = ledgers_.find(tenant);
+  return it == ledgers_.end() ? 0 : it->second.violations;
+}
+
+const TenantLedger* RequestAccessController::ledger(
+    const std::string& tenant) const {
+  const auto it = ledgers_.find(tenant);
+  return it == ledgers_.end() ? nullptr : &it->second;
 }
 
 bool RequestAccessController::analyzed(std::string_view app_id) const {

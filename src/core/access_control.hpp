@@ -1,20 +1,36 @@
-// Request-based Access Controller (§IV-E).
+// Request-based Access Controller (§IV-E), grown into a stateful
+// multi-tenant defense layer.
 //
 // Containers isolate less strongly than VMs and the shared-based
 // architecture (Shared Resource Layer, App Warehouse) is attackable by
 // malicious offloaded code.  The controller analyzes each app's first
 // request to generate a permission table (shared by all requests of that
 // app), filters every workflow leaving a Cloud Android Container against
-// it, counts violations, and blocks the app once violations reach a
-// threshold.
+// it, and accrues violations into a per-tenant ledger.  When a tenant's
+// ledger reaches the violation threshold the tenant is blocked: every
+// live session is swept out by the platform (the on_block hook), new
+// sessions are denied at the front door, and — with a finite
+// block_duration — service is restored after the penalty window with the
+// ledger wiped (docs/RAC.md).
+//
+// The controller also meters per-tenant in-flight concurrency
+// (tenant_quota): a flooding tenant is clipped with a typed
+// kQuotaExceeded before its sessions ever reach the QoS queues.
+//
+// Every deny path increments exactly one rac.denied.<reason> counter, so
+// the metrics ledger accounts for every filtered operation and refused
+// session (no silent drops).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
 
 namespace rattrap::core {
 
@@ -32,41 +48,135 @@ enum class Operation : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Operation op);
 
+/// Why the controller refused something (the typed deny reasons the
+/// rac.denied.<reason> counters are keyed by).
+enum class AccessDeny : std::uint8_t {
+  kNone = 0,   ///< allowed
+  kBlocked,    ///< tenant is inside a block window
+  kViolation,  ///< operation outside the app's permission table
+  kQuota,      ///< tenant at its in-flight session quota
+};
+
+[[nodiscard]] const char* to_string(AccessDeny deny);
+
+/// Defense-layer policy (PlatformConfig::access).
+struct AccessConfig {
+  /// Tenant-ledger violations at which the tenant gets blocked.
+  std::uint32_t violation_threshold = 5;
+  /// Penalty window; 0 blocks permanently (no automatic unblock).
+  sim::SimDuration block_duration = 0;
+  /// Max in-flight sessions per tenant; 0 disables the quota.
+  std::uint32_t tenant_quota = 0;
+};
+
 struct PermissionTable {
   std::set<Operation> allowed;
-  std::uint32_t violations = 0;
+};
+
+/// Per-tenant defense state: the violation ledger and block lifecycle.
+struct TenantLedger {
+  std::uint32_t violations = 0;  ///< since last unblock
+  std::uint32_t in_flight = 0;   ///< sessions holding a quota slot
+  bool blocked = false;
+  sim::SimTime blocked_until = 0;  ///< kTimeInfinity = permanent
+  // Lifetime totals (monotone; the property battery leans on these).
+  std::uint32_t total_violations = 0;
+  std::uint32_t blocks = 0;
+  std::uint32_t unblocks = 0;
 };
 
 class RequestAccessController {
  public:
-  /// `violation_threshold`: violations at which an app gets blocked.
-  explicit RequestAccessController(std::uint32_t violation_threshold = 5)
-      : threshold_(violation_threshold) {}
+  RequestAccessController() = default;
+  explicit RequestAccessController(std::uint32_t violation_threshold) {
+    config_.violation_threshold = violation_threshold;
+  }
+
+  /// Applies policy; the platform calls this once before traffic starts.
+  void configure(const AccessConfig& config) { config_ = config; }
+  [[nodiscard]] const AccessConfig& config() const { return config_; }
+
+  /// Attaches rac.* instruments (cached handles); nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Fires when a tenant crosses the violation threshold — the platform
+  /// sweeps the tenant's live sessions so it consumes zero container
+  /// time past this instant (invariant #14).
+  void on_block(std::function<void(const std::string&, sim::SimTime)> hook) {
+    on_block_ = std::move(hook);
+  }
+  /// Fires when a block window expires and service is restored.
+  void on_unblock(std::function<void(const std::string&, sim::SimTime)> hook) {
+    on_unblock_ = std::move(hook);
+  }
 
   /// Ensures a permission table exists for `app_id`; returns true when a
   /// fresh analysis ran (which costs the analysis time, once per app —
   /// "the analysis happens only once for each mobile app").
   bool ensure_analyzed(std::string_view app_id);
 
-  /// Filters one operation. Disallowed operations are recorded as
-  /// violations and rejected (returns false).  A blocked app rejects
-  /// everything.
-  bool check(std::string_view app_id, Operation op);
+  /// Filters one operation of `app_id` running under `tenant`.
+  /// Disallowed operations are denied and recorded in the tenant's
+  /// ledger; crossing the threshold blocks the tenant (on_block fires
+  /// before this returns).  A blocked tenant is denied outright without
+  /// accruing further violations.
+  AccessDeny check(std::string_view app_id, const std::string& tenant,
+                   Operation op, sim::SimTime now);
 
-  [[nodiscard]] bool is_blocked(std::string_view app_id) const;
-  [[nodiscard]] std::uint32_t violations(std::string_view app_id) const;
+  /// Front-door gate for open_session: denies blocked tenants (counting
+  /// the deny) without touching quota state.
+  AccessDeny allow_open(const std::string& tenant, sim::SimTime now);
+
+  /// Per-request gate: denies blocked tenants, then acquires an
+  /// in-flight quota slot (kQuota when the tenant is at its cap).  Every
+  /// kNone return must be paired with release() on session teardown.
+  AccessDeny admit(const std::string& tenant, sim::SimTime now);
+  void release(const std::string& tenant);
+
+  /// Lazily applies time-based unblocking, then reports block state.
+  [[nodiscard]] bool is_blocked(const std::string& tenant, sim::SimTime now);
+  /// Pure observation at `now` — no lifecycle side effects (invariants).
+  [[nodiscard]] bool blocked_at(const std::string& tenant,
+                                sim::SimTime now) const;
+
+  [[nodiscard]] std::uint32_t violations(const std::string& tenant) const;
+  [[nodiscard]] const TenantLedger* ledger(const std::string& tenant) const;
   [[nodiscard]] bool analyzed(std::string_view app_id) const;
   [[nodiscard]] std::size_t table_count() const { return tables_.size(); }
-  [[nodiscard]] std::uint32_t threshold() const { return threshold_; }
+  [[nodiscard]] std::size_t blocked_count() const { return blocked_count_; }
+  [[nodiscard]] std::uint32_t threshold() const {
+    return config_.violation_threshold;
+  }
 
   /// The default permission set granted to offloading apps: everything an
   /// honest offloaded task needs, nothing that attacks shared state.
   [[nodiscard]] static std::set<Operation> default_grants();
 
  private:
-  std::uint32_t threshold_;
+  TenantLedger& ledger_for(const std::string& tenant);
+  /// Expires the block window if its deadline passed (resets the
+  /// violation ledger, fires on_unblock).
+  void maybe_unblock(const std::string& tenant, TenantLedger& ledger,
+                     sim::SimTime now);
+  void block(const std::string& tenant, TenantLedger& ledger,
+             sim::SimTime now);
+  void count_deny(AccessDeny deny);
+
+  AccessConfig config_;
   std::map<std::string, PermissionTable, std::less<>> tables_;
-  std::set<std::string, std::less<>> blocked_;
+  std::map<std::string, TenantLedger, std::less<>> ledgers_;
+  std::size_t blocked_count_ = 0;
+  std::function<void(const std::string&, sim::SimTime)> on_block_;
+  std::function<void(const std::string&, sim::SimTime)> on_unblock_;
+  // Cached rac.* handles (docs/OBSERVABILITY.md); null when detached.
+  obs::Counter* metric_analyzed_ = nullptr;
+  obs::Counter* metric_violations_ = nullptr;
+  obs::Counter* metric_blocks_ = nullptr;
+  obs::Counter* metric_unblocks_ = nullptr;
+  obs::Counter* metric_denied_blocked_ = nullptr;
+  obs::Counter* metric_denied_violation_ = nullptr;
+  obs::Counter* metric_denied_quota_ = nullptr;
+  obs::Gauge* metric_blocked_tenants_ = nullptr;
 };
 
 }  // namespace rattrap::core

@@ -29,7 +29,8 @@ void AdmissionController::set_metrics(obs::MetricsRegistry* metrics) {
   scheduler_.set_metrics(metrics);
   if (metrics == nullptr) {
     metric_admitted_ = metric_enqueued_ = metric_rejected_queue_full_ =
-        metric_rejected_rate_limited_ = metric_rejected_overloaded_ = nullptr;
+        metric_rejected_rate_limited_ = metric_rejected_overloaded_ =
+            metric_rejected_tenant_quota_ = nullptr;
     metric_queue_depth_ = metric_queue_peak_ = metric_backpressure_ = nullptr;
     metric_queue_wait_ms_ = metric_queue_depth_samples_ = nullptr;
     return;
@@ -42,6 +43,8 @@ void AdmissionController::set_metrics(obs::MetricsRegistry* metrics) {
       &metrics->counter("admission.rejected.rate_limited");
   metric_rejected_overloaded_ =
       &metrics->counter("admission.rejected.overloaded");
+  metric_rejected_tenant_quota_ =
+      &metrics->counter("admission.rejected.tenant_quota");
   metric_queue_depth_ = &metrics->gauge("admission.queue.depth");
   metric_queue_peak_ = &metrics->gauge("admission.queue.peak");
   metric_backpressure_ = &metrics->gauge("admission.backpressure");
@@ -88,6 +91,14 @@ Result<AdmissionController::Admitted> AdmissionController::offer(
     if (metric_admitted_ != nullptr) metric_admitted_->inc();
     update_gauges();
     return Admitted::kDispatch;
+  }
+  if (config_.tenant_queue_quota > 0 &&
+      scheduler_.tenant_depth(offer.tenant) >= config_.tenant_queue_quota) {
+    ++rejected_;
+    if (metric_rejected_tenant_quota_ != nullptr) {
+      metric_rejected_tenant_quota_->inc();
+    }
+    return RejectReason::kQuotaExceeded;
   }
   const Result<std::uint32_t> pushed =
       scheduler_.push(offer.klass, offer.tenant, offer.id, now);

@@ -65,6 +65,12 @@ struct AdmissionConfig {
   /// in qos.<class>.shed_utilization.
   double shed_utilization = 0.0;
 
+  /// Max entries one tenant may hold across the class queues at once; 0
+  /// disables the quota.  A class-flooding tenant fills its own
+  /// allowance and is shed with kQuotaExceeded while other tenants'
+  /// lanes stay open (docs/RAC.md).
+  std::uint32_t tenant_queue_quota = 0;
+
   /// Class scheduling policy (docs/QOS.md).  Disabled degrades the
   /// accept queue to the legacy single FIFO.
   qos::QosConfig qos;
@@ -185,6 +191,7 @@ class AdmissionController {
   obs::Counter* metric_rejected_queue_full_ = nullptr;
   obs::Counter* metric_rejected_rate_limited_ = nullptr;
   obs::Counter* metric_rejected_overloaded_ = nullptr;
+  obs::Counter* metric_rejected_tenant_quota_ = nullptr;
   obs::Gauge* metric_queue_depth_ = nullptr;
   obs::Gauge* metric_queue_peak_ = nullptr;
   obs::Gauge* metric_backpressure_ = nullptr;

@@ -35,6 +35,9 @@ double percentile(const std::vector<double>& sorted, double p) {
 
 /// One Session per mix entry; a single default standard-class session
 /// when no mix is configured (slot 0 then serves every arrival).
+/// Adversary profiles shape the slot's SessionConfig (docs/RAC.md):
+/// permission probers carry probe_ops, class flooders escalate their
+/// whole stream to the interactive lane.
 std::vector<Session> open_mix_sessions(Platform& platform,
                                        const sim::LoadGenConfig& loadgen) {
   const std::size_t slots = std::max<std::size_t>(1, loadgen.mix.size());
@@ -48,12 +51,55 @@ std::vector<Session> open_mix_sessions(Platform& platform,
       session_config.priority = static_cast<qos::PriorityClass>(
           std::min<std::uint8_t>(entry.priority, qos::kClassCount - 1));
       session_config.tenant_weight = std::max<std::uint32_t>(1, entry.weight);
+      switch (entry.adversary) {
+        case sim::AdversaryProfile::kPermissionProbe:
+          session_config.probe_ops = {Operation::kWriteSharedLayer,
+                                      Operation::kReadForeignCode};
+          break;
+        case sim::AdversaryProfile::kClassFlood:
+          session_config.priority = qos::PriorityClass::kInteractive;
+          break;
+        default:
+          break;
+      }
     }
     Result<Session> opened = platform.open_session(session_config);
     assert(opened && "load-driver session configs are well-formed");
     sessions.push_back(std::move(*opened));
   }
   return sessions;
+}
+
+/// Task-shaping side of an adversary profile: cache-thrash tenants ship
+/// inflated one-shot inputs (tmpfs pressure evicting the shared layer),
+/// noisy neighbors pad compute-adjacent costs (I/O ops and control
+/// rounds serialize with the job and pin the shard).  Pure in the spec;
+/// the arrival schedule is untouched.
+workloads::TaskSpec shape_task(workloads::TaskSpec spec,
+                               sim::AdversaryProfile adversary) {
+  switch (adversary) {
+    case sim::AdversaryProfile::kCacheThrash:
+      spec.input_file_bytes =
+          std::max<std::uint64_t>(1, spec.input_file_bytes) * 16;
+      spec.io_ops += 8;
+      break;
+    case sim::AdversaryProfile::kNoisyNeighbor:
+      spec.input_file_bytes =
+          std::max<std::uint64_t>(1, spec.input_file_bytes) * 4;
+      spec.io_ops += 32;
+      spec.control_rounds += 4;
+      break;
+    default:
+      break;
+  }
+  return spec;
+}
+
+/// The adversary profile of mix slot `slot` (kNone outside the mix).
+sim::AdversaryProfile slot_adversary(const sim::LoadGenConfig& loadgen,
+                                     std::size_t slot) {
+  return slot < loadgen.mix.size() ? loadgen.mix[slot].adversary
+                                   : sim::AdversaryProfile::kNone;
 }
 
 /// Merges per-session outcome vectors back into sequence order.
@@ -109,13 +155,15 @@ LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
       const std::uint64_t sequence = source.take();
       const sim::SimDuration think =
           source.think(done.request.device_id, platform.backpressure());
+      const std::uint32_t slot =
+          sim::mix_for_device(config.loadgen, done.request.device_id);
       workloads::OffloadRequest next;
       next.sequence = sequence;
       next.device_id = done.request.device_id;
-      next.task = variants[sequence % variants.size()];
+      next.task = shape_task(variants[sequence % variants.size()],
+                             slot_adversary(config.loadgen, slot));
       next.arrival = platform.server().simulator().now() + think;
-      sessions[sim::mix_for_device(config.loadgen, done.request.device_id)]
-          .submit(next);
+      sessions[slot].submit(next);
     });
     for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
       const std::uint64_t sequence = source.take();
@@ -123,7 +171,9 @@ LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
       workloads::OffloadRequest request;
       request.sequence = sequence;
       request.device_id = arrival.device_id;
-      request.task = variants[sequence % variants.size()];
+      request.task =
+          shape_task(variants[sequence % variants.size()],
+                     slot_adversary(config.loadgen, arrival.mix_index));
       request.arrival = arrival.at;
       sessions[arrival.mix_index].submit(request);
     }
@@ -134,7 +184,9 @@ LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
       workloads::OffloadRequest request;
       request.sequence = arrival.sequence;
       request.device_id = arrival.device_id;
-      request.task = variants[arrival.sequence % variants.size()];
+      request.task =
+          shape_task(variants[arrival.sequence % variants.size()],
+                     slot_adversary(config.loadgen, arrival.mix_index));
       request.arrival = arrival.at;
       sessions[arrival.mix_index].submit(request);
     }
@@ -156,6 +208,7 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
   std::vector<double> responses_ms;
   responses_ms.reserve(outcomes.size());
   std::array<std::vector<double>, qos::kClassCount> class_responses_ms;
+  std::map<std::string, std::vector<double>> tenant_responses_ms;
   double queue_wait_ms = 0;
   sim::SimTime span_end = 0;
   for (const RequestOutcome& outcome : outcomes) {
@@ -163,16 +216,20 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     ClassLoadStats& klass =
         summary.by_class[qos::class_index(outcome.qos_class)];
     ++klass.offered;
+    TenantLoadStats& tenant = summary.by_tenant[outcome.tenant];
+    ++tenant.offered;
     if (outcome.resumed) ++summary.resumed;
     if (outcome.rejected) {
       ++summary.rejected;
       ++klass.rejected;
+      ++tenant.rejected;
       ++summary.rejects_by_reason[outcome.reject_reason];
       if (outcome.stranded) ++summary.stranded;
       continue;
     }
     ++summary.completed;
     ++klass.completed;
+    ++tenant.completed;
     if (outcome.deadline_missed) ++klass.deadline_missed;
     ++summary.completed_by_tenant[outcome.tenant];
     if (!outcome.radio.empty()) {
@@ -186,6 +243,7 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     responses_ms.push_back(response_ms);
     class_responses_ms[qos::class_index(outcome.qos_class)].push_back(
         response_ms);
+    tenant_responses_ms[outcome.tenant].push_back(response_ms);
     queue_wait_ms += sim::to_millis(outcome.queue_wait);
   }
   summary.duration_s = sim::to_seconds(span_end);
@@ -224,6 +282,15 @@ LoadSummary summarize_load(const std::vector<RequestOutcome>& outcomes) {
     stats.mean_ms = sum / static_cast<double>(sorted.size());
     stats.p50_ms = percentile(sorted, 0.50);
     stats.p95_ms = percentile(sorted, 0.95);
+    stats.p99_ms = percentile(sorted, 0.99);
+  }
+  for (auto& [name, sorted] : tenant_responses_ms) {
+    std::sort(sorted.begin(), sorted.end());
+    TenantLoadStats& stats = summary.by_tenant[name];
+    double sum = 0;
+    for (const double r : sorted) sum += r;
+    stats.mean_ms = sum / static_cast<double>(sorted.size());
+    stats.p50_ms = percentile(sorted, 0.50);
     stats.p99_ms = percentile(sorted, 0.99);
   }
   return summary;

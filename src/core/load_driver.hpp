@@ -65,6 +65,21 @@ struct ClassLoadStats {
   double p99_ms = 0;
 };
 
+/// Per-tenant slice of a LoadSummary (docs/RAC.md): the attack-scenario
+/// experiments compare a victim tenant's tail latency under attack
+/// against its unattacked baseline, and the property battery checks the
+/// accounting identity per tenant.
+struct TenantLoadStats {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+
+  // Response-time distribution of this tenant's *completed* requests (ms).
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
 /// What one load-generation run produced, reduced to the numbers the
 /// saturation bench sweeps (goodput curve, tail latency, shed classes).
 struct LoadSummary {
@@ -92,6 +107,9 @@ struct LoadSummary {
 
   /// Completed requests per tenant (the DRR fairness numerator).
   std::map<std::string, std::size_t> completed_by_tenant;
+
+  /// Full per-tenant breakdown (victim-vs-attacker comparisons).
+  std::map<std::string, TenantLoadStats> by_tenant;
 
   /// Completed requests split by the radio at completion (mid-run
   /// handoffs populate several slices; steady links exactly one).

@@ -26,6 +26,8 @@ const char* to_string(RejectReason reason) {
       return "stranded";
     case RejectReason::kInvalidConfig:
       return "invalid_config";
+    case RejectReason::kQuotaExceeded:
+      return "quota_exceeded";
   }
   return "?";
 }

@@ -33,6 +33,8 @@ enum class RejectReason : std::uint8_t {
   kRedispatchExhausted,///< crashed-environment re-dispatch budget spent
   kStranded,           ///< still in flight when the simulation drained
   kInvalidConfig,      ///< malformed session configuration (open_session)
+  kQuotaExceeded,      ///< per-tenant quota (RAC in-flight cap or
+                       ///< admission queue quota) exhausted (docs/RAC.md)
 };
 
 [[nodiscard]] const char* to_string(RejectReason reason);

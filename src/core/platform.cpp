@@ -106,6 +106,9 @@ struct Platform::SessionState {
   bool computing = false;   ///< holds a Monitor job slot
   bool done = false;        ///< outcome recorded (completed or rejected)
 
+  // Access-control state (docs/RAC.md).
+  bool rac_slot = false;    ///< holds a RAC in-flight quota slot
+
   // Admission-control state (docs/LOADGEN.md).
   bool admitted = false;    ///< holds an in-service slot
   bool queued = false;      ///< waiting in the bounded accept queue
@@ -243,6 +246,21 @@ Platform::Platform(PlatformConfig config)
   server_->install_metrics(&metrics_);
   link_->set_metrics(&metrics_);
   dispatcher_->set_metrics(&metrics_);
+  // The access controller becomes a stateful defense layer (docs/RAC.md):
+  // the block hook sweeps the offender's live sessions so a blocked
+  // tenant consumes zero container time after block onset (invariant 14).
+  server_->access().configure(config_.access);
+  server_->access().on_block(
+      [this](const std::string& tenant, sim::SimTime now) {
+        on_tenant_blocked(tenant, now);
+      });
+  server_->access().on_unblock(
+      [this](const std::string& tenant, sim::SimTime now) {
+        if (!trace_.enabled()) return;
+        const obs::SpanId mark =
+            trace_.instant(kPlatformTrack, "rac_unblock", "rac", now);
+        trace_.annotate(mark, "tenant", tenant);
+      });
   if (config_.admission.enabled) {
     admission_ = std::make_unique<AdmissionController>(
         config_.admission, server_->monitor(), calibration.server_cores);
@@ -808,6 +826,15 @@ Result<Session> Platform::open_session(SessionConfig config) {
     // A weight needs a named tenant to attach to, and 0 would stall DRR.
     return RejectReason::kInvalidConfig;
   }
+  // Front-door permission check (docs/RAC.md): a blocked tenant cannot
+  // even open a stream.  Per-app tenancy (empty tenant) is gated per
+  // request at arrival instead, where the app id is known.
+  if (!config.tenant.empty() &&
+      server_->access().allow_open(config.tenant,
+                                   server_->simulator().now()) !=
+          AccessDeny::kNone) {
+    return RejectReason::kAccessDenied;
+  }
   if (!run_active_) reset_run();
   const std::uint64_t id = next_stream_id_++;
   Stream stream;
@@ -1104,6 +1131,20 @@ void Platform::on_arrival(std::shared_ptr<SessionState> s) {
       return;
     }
   }
+  // RAC request gate (docs/RAC.md): a blocked tenant is refused before
+  // it consumes any platform resource, and the in-flight quota clips a
+  // flooding tenant ahead of the QoS queues.  Every kNone is paired with
+  // release() in finish_session via rac_slot.
+  const AccessDeny deny =
+      server_->access().admit(s->tenant, server_->simulator().now());
+  if (deny != AccessDeny::kNone) {
+    live_sessions_.push_back(s);
+    reject_session(s, deny == AccessDeny::kQuota
+                          ? RejectReason::kQuotaExceeded
+                          : RejectReason::kAccessDenied);
+    return;
+  }
+  s->rac_slot = true;
   if (pool_controller_ != nullptr) {
     // Offloaded arrivals feed the forecaster; locally served requests
     // (the adaptive early-return above) never need warm capacity.
@@ -1115,6 +1156,9 @@ void Platform::on_arrival(std::shared_ptr<SessionState> s) {
 }
 
 void Platform::attempt_connect(std::shared_ptr<SessionState> s) {
+  // The retry/backoff continuations carry no epoch guard; a session the
+  // RAC block sweep rejected mid-connect must not rise again.
+  if (s->done) return;
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   // Retries reuse the one "connect" span; it ends when a handshake lands.
@@ -1163,6 +1207,7 @@ void Platform::attempt_connect(std::shared_ptr<SessionState> s) {
 }
 
 void Platform::on_connected(std::shared_ptr<SessionState> s) {
+  if (s->done) return;  // swept by a RAC block while the handshake flew
   sim::Simulator& simulator = server_->simulator();
   SessionScope scope(*this, *s);
   s->connected_at = simulator.now();
@@ -1186,9 +1231,12 @@ void Platform::on_connected(std::shared_ptr<SessionState> s) {
     platform_cost += cal.access_check_cost;
   }
 
-  // Request-based Access Controller front gate: requests from blocked
-  // apps never reach an environment (§IV-E).
-  if (server_->access().is_blocked(s->app_id)) {
+  // Request-based Access Controller front gate: requests of blocked
+  // tenants never reach an environment (§IV-E).  Belt and braces after
+  // the arrival gate — the tenant may have crossed the threshold while
+  // this session's handshake was in flight.
+  if (server_->access().allow_open(s->tenant, simulator.now()) !=
+      AccessDeny::kNone) {
     reject_session(s, RejectReason::kAccessDenied);
     return;
   }
@@ -1481,14 +1529,32 @@ void Platform::on_uploaded(std::shared_ptr<SessionState> s) {
   Env& env = *s->env;
 
   // The controller filters every workflow leaving the container (§IV-E);
-  // honest benchmark apps hold all of these grants.
+  // honest benchmark apps hold all of these grants.  Adversarial streams
+  // additionally probe the operations their SessionConfig lists
+  // (docs/RAC.md): each disallowed probe lands in the tenant's violation
+  // ledger, and crossing the threshold blocks the tenant on the spot —
+  // including this very session, swept by the on_block hook mid-handler.
   auto& access = server_->access();
   if (s->executed.units.io_bytes > 0) {
-    access.check(s->app_id, Operation::kReadOffloadFile);
-    access.check(s->app_id, Operation::kWriteOffloadFile);
+    access.check(s->app_id, s->tenant, Operation::kReadOffloadFile,
+                 simulator.now());
+    access.check(s->app_id, s->tenant, Operation::kWriteOffloadFile,
+                 simulator.now());
   }
-  access.check(s->app_id, Operation::kBinderCall);
-  if (config_.code_cache) access.check(s->app_id, Operation::kReadWarehouse);
+  access.check(s->app_id, s->tenant, Operation::kBinderCall,
+               simulator.now());
+  if (config_.code_cache) {
+    access.check(s->app_id, s->tenant, Operation::kReadWarehouse,
+                 simulator.now());
+  }
+  if (const auto stream_it = streams_.find(s->stream_id);
+      stream_it != streams_.end()) {
+    for (const Operation op : stream_it->second.config.probe_ops) {
+      access.check(s->app_id, s->tenant, op, simulator.now());
+      if (s->done) break;  // probe crossed the threshold; we were swept
+    }
+  }
+  if (s->done) return;  // self-evicted by the RAC block sweep
 
   // ClassLoader: first load per environment pays dex verification.
   android::ClassLoader& loader =
@@ -1867,6 +1933,30 @@ void Platform::recover_env(std::uint32_t env_id) {
   }
 }
 
+void Platform::on_tenant_blocked(const std::string& tenant,
+                                 sim::SimTime now) {
+  // The violation ledger crossed the threshold: evict every live session
+  // of the offender *now*, so a blocked tenant consumes zero container
+  // time past block onset (the rac-blocked-isolation invariant).
+  if (trace_.enabled()) {
+    const obs::SpanId mark =
+        trace_.instant(kPlatformTrack, "rac_block", "rac", now);
+    trace_.annotate(mark, "tenant", tenant);
+  }
+  // Collect first: reject_session mutates live_sessions_.
+  std::vector<std::shared_ptr<SessionState>> victims;
+  for (const auto& s : live_sessions_) {
+    if (!s->done && s->tenant == tenant) victims.push_back(s);
+  }
+  for (const auto& s : victims) {
+    ++s->epoch;  // neutralize every scheduled continuation
+    if (s->span_session != obs::kNoSpan) {
+      trace_.annotate(s->span_session, "rac_swept", std::uint64_t{1});
+    }
+    reject_session(s, RejectReason::kAccessDenied);
+  }
+}
+
 void Platform::reject_session(std::shared_ptr<SessionState> s,
                               RejectReason reason) {
   if (s->done) return;
@@ -1943,6 +2033,10 @@ void Platform::unbind_session(SessionState& s) {
 void Platform::finish_session(SessionState& s) {
   s.done = true;
   ++completed_;
+  if (s.rac_slot) {
+    server_->access().release(s.tenant);
+    s.rac_slot = false;
+  }
   for (auto it = live_sessions_.begin(); it != live_sessions_.end(); ++it) {
     if (it->get() == &s) {
       live_sessions_.erase(it);
@@ -2134,6 +2228,21 @@ void Platform::register_invariants() {
         if (committed <= budget) return std::nullopt;
         return "warm pool commits " + std::to_string(committed) +
                " bytes, budget is " + std::to_string(budget);
+      });
+  // 14. A blocked tenant consumes zero container time after block onset:
+  //     the on_block sweep leaves no live session of a tenant inside its
+  //     block window (docs/RAC.md).
+  invariants_.add_invariant(
+      "rac-blocked-isolation", [this]() -> std::optional<std::string> {
+        const sim::SimTime now = server_->simulator().now();
+        for (const auto& s : live_sessions_) {
+          if (s->done) continue;
+          if (server_->access().blocked_at(s->tenant, now)) {
+            return "request " + std::to_string(s->request.sequence) +
+                   " of blocked tenant " + s->tenant + " still live";
+          }
+        }
+        return std::nullopt;
       });
   if (admission_ == nullptr) return;
   // 8. The class queues never exceed their capacity, and the scheduler's

@@ -164,6 +164,12 @@ struct PlatformConfig {
   /// the paper-reproduction benches run unprotected, like the prototype.
   AdmissionConfig admission;
 
+  /// Request-based Access Controller policy (§IV-E, docs/RAC.md):
+  /// violation threshold, block window and per-tenant in-flight quota.
+  /// Defaults keep the seed behaviour (threshold 5, permanent blocks, no
+  /// quota).
+  AccessConfig access;
+
   /// The cluster shard this platform instance serves as (set by Cluster;
   /// annotated on session spans as "placement").  -1 = standalone.
   std::int32_t shard_index = -1;
@@ -207,6 +213,12 @@ struct SessionConfig {
   /// Response-time target; responses above it mark the outcome
   /// deadline_missed (accounting only — no scheduling effect).  0 = none.
   sim::SimDuration deadline = 0;
+
+  /// Operations the offloaded code attempts against the RAC on every
+  /// request in addition to its honest workflow — how adversary profiles
+  /// model permission-probing apps (docs/RAC.md).  Forbidden entries
+  /// accrue violations until the tenant is blocked.
+  std::vector<Operation> probe_ops;
 };
 
 class Platform;
@@ -486,6 +498,10 @@ class Platform {
   // Fault-injection machinery.
   void crash_env(Env& env);
   void recover_env(std::uint32_t env_id);
+  /// Block-onset sweep (docs/RAC.md): rejects every live session of a
+  /// just-blocked tenant so it consumes zero container time past this
+  /// instant (invariant #14).
+  void on_tenant_blocked(const std::string& tenant, sim::SimTime now);
   void reject_session(std::shared_ptr<SessionState> s, RejectReason reason);
   void finish_session(SessionState& s);
   void unbind_session(SessionState& s);

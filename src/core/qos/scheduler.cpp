@@ -143,6 +143,16 @@ std::size_t QosScheduler::depth(PriorityClass klass) const {
   return lanes_[class_index(klass)].drr.size();
 }
 
+std::size_t QosScheduler::tenant_depth(const std::string& tenant) const {
+  if (!config_.enabled) {
+    return lanes_[class_index(PriorityClass::kStandard)].drr.queued(
+        kFifoTenant);
+  }
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.drr.queued(tenant);
+  return total;
+}
+
 std::size_t QosScheduler::total_depth() const {
   std::size_t total = 0;
   for (const Lane& lane : lanes_) total += lane.drr.size();

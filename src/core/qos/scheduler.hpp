@@ -68,6 +68,11 @@ class QosScheduler {
 
   [[nodiscard]] std::size_t depth(PriorityClass klass) const;
   [[nodiscard]] std::size_t total_depth() const;
+  /// Items `tenant` has queued across every lane — the admission
+  /// controller's per-tenant queue quota reads this (docs/RAC.md).  With
+  /// QoS disabled everything shares the FIFO pseudo-tenant, so the value
+  /// is the whole queue depth regardless of `tenant`.
+  [[nodiscard]] std::size_t tenant_depth(const std::string& tenant) const;
   [[nodiscard]] std::uint32_t capacity(PriorityClass klass) const;
   [[nodiscard]] double shed_threshold(PriorityClass klass,
                                       double fallback) const;

@@ -22,6 +22,7 @@ void CloudServer::install_metrics(obs::MetricsRegistry* metrics) {
   shared_.set_metrics(metrics);
   warehouse_.set_metrics(metrics);
   env_db_.set_metrics(metrics);
+  access_.set_metrics(metrics);
 }
 
 void CloudServer::install_fault_injector(sim::FaultInjector* faults) {

@@ -28,8 +28,9 @@ namespace rattrap::obs {
 /// embed it, so a rename fails tests loudly instead of silently matching
 /// a stale baseline.  History: 1 = pre-QoS; 2 = qos.* metrics + schema
 /// field in to_json(); 3 = elastic.* lifecycle/pool metrics and
-/// monitor.active_envs (docs/ELASTIC.md).
-inline constexpr int kMetricsSchemaVersion = 3;
+/// monitor.active_envs (docs/ELASTIC.md); 4 = rac.* defense-layer
+/// metrics (violations, blocks, unblocks, denied-by-reason; docs/RAC.md).
+inline constexpr int kMetricsSchemaVersion = 4;
 
 /// Monotonic event count.
 class Counter {

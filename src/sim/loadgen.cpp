@@ -33,6 +33,22 @@ const char* to_string(RateProfile profile) {
   return "?";
 }
 
+const char* to_string(AdversaryProfile profile) {
+  switch (profile) {
+    case AdversaryProfile::kNone:
+      return "none";
+    case AdversaryProfile::kPermissionProbe:
+      return "probe";
+    case AdversaryProfile::kClassFlood:
+      return "flood";
+    case AdversaryProfile::kCacheThrash:
+      return "thrash";
+    case AdversaryProfile::kNoisyNeighbor:
+      return "noisy";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Steps per profile period.  Piecewise-constant with few steps keeps

@@ -69,6 +69,22 @@ enum class RateProfile : std::uint8_t {
 
 [[nodiscard]] const char* to_string(RateProfile profile);
 
+/// Adversarial behaviour of one mix slot (docs/RAC.md).  A profile
+/// shapes *what* the slot's requests do — permission probes, priority
+/// abuse, inflated transfers, oversized compute — never *when* they
+/// arrive: the arrival schedule is byte-identical across profiles, so
+/// an attacked run and its unattacked baseline differ only in request
+/// content (and the golden-determinism battery holds either way).
+enum class AdversaryProfile : std::uint8_t {
+  kNone = 0,
+  kPermissionProbe = 1,  ///< probes forbidden operations on every request
+  kClassFlood = 2,       ///< escalates every request to the interactive lane
+  kCacheThrash = 3,      ///< inflated one-shot inputs evicting the shared tmpfs
+  kNoisyNeighbor = 4,    ///< oversized compute pinning the serving shard
+};
+
+[[nodiscard]] const char* to_string(AdversaryProfile profile);
+
 /// One slice of a multi-class traffic mix: a tenant stream with a QoS
 /// class receiving `share` of the offered load.  The class is a plain
 /// index (0 = interactive, 1 = standard, 2 = batch, matching
@@ -78,6 +94,8 @@ struct TrafficClassMix {
   std::uint8_t priority = 1;  ///< class index; 1 = standard
   std::uint32_t weight = 1;   ///< DRR tenant weight within the class
   double share = 1.0;         ///< relative share of offered arrivals
+  /// Adversarial behaviour of this slot's requests (docs/RAC.md).
+  AdversaryProfile adversary = AdversaryProfile::kNone;
 };
 
 /// One recorded arrival of an empirical trace (kTraceReplay): device

@@ -1,9 +1,39 @@
+// RequestAccessController as a stateful defense layer (docs/RAC.md):
+// permission tables, the per-tenant violation ledger, the block /
+// unblock lifecycle, in-flight quotas — and the no-silent-drops
+// contract: every deny path returns a typed reason and increments
+// exactly one rac.denied.<reason> counter.
 #include "core/access_control.hpp"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
 namespace rattrap::core {
 namespace {
+
+/// Sum of the three rac.denied.* counters — the exactly-one assertions
+/// compare deltas of this against deltas of the individual counters.
+std::uint64_t denied_total(const obs::MetricsRegistry& metrics) {
+  std::uint64_t total = 0;
+  for (const char* reason : {"blocked", "violation", "quota"}) {
+    if (const obs::Counter* c =
+            metrics.find_counter(std::string("rac.denied.") + reason)) {
+      total += c->value();
+    }
+  }
+  return total;
+}
+
+std::uint64_t counter_value(const obs::MetricsRegistry& metrics,
+                            const std::string& name) {
+  const obs::Counter* c = metrics.find_counter(name);
+  return c != nullptr ? c->value() : 0;
+}
 
 TEST(AccessControl, AnalysisHappensOncePerApp) {
   RequestAccessController controller;
@@ -15,46 +45,65 @@ TEST(AccessControl, AnalysisHappensOncePerApp) {
 
 TEST(AccessControl, GrantedOperationsPass) {
   RequestAccessController controller;
-  EXPECT_TRUE(controller.check("app-a", Operation::kReadOffloadFile));
-  EXPECT_TRUE(controller.check("app-a", Operation::kReadSharedLayer));
-  EXPECT_TRUE(controller.check("app-a", Operation::kBinderCall));
-  EXPECT_EQ(controller.violations("app-a"), 0u);
+  EXPECT_EQ(controller.check("app-a", "t", Operation::kReadOffloadFile, 0),
+            AccessDeny::kNone);
+  EXPECT_EQ(controller.check("app-a", "t", Operation::kReadSharedLayer, 0),
+            AccessDeny::kNone);
+  EXPECT_EQ(controller.check("app-a", "t", Operation::kBinderCall, 0),
+            AccessDeny::kNone);
+  EXPECT_EQ(controller.violations("t"), 0u);
 }
 
 TEST(AccessControl, SharedStateAttacksAreViolations) {
   RequestAccessController controller;
   // Writing the shared system layer and touching another app's cached
   // code are exactly the attacks §IV-E worries about.
-  EXPECT_FALSE(controller.check("mal", Operation::kWriteSharedLayer));
-  EXPECT_FALSE(controller.check("mal", Operation::kReadForeignCode));
-  EXPECT_EQ(controller.violations("mal"), 2u);
+  EXPECT_EQ(controller.check("mal", "t", Operation::kWriteSharedLayer, 0),
+            AccessDeny::kViolation);
+  EXPECT_EQ(controller.check("mal", "t", Operation::kReadForeignCode, 0),
+            AccessDeny::kViolation);
+  EXPECT_EQ(controller.violations("t"), 2u);
 }
 
 TEST(AccessControl, BlocksAtThreshold) {
   RequestAccessController controller(3);
   for (int i = 0; i < 3; ++i) {
-    controller.check("mal", Operation::kWriteSharedLayer);
+    controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
   }
-  EXPECT_TRUE(controller.is_blocked("mal"));
-  // Blocked apps are rejected wholesale, even for granted operations.
-  EXPECT_FALSE(controller.check("mal", Operation::kReadOffloadFile));
+  EXPECT_TRUE(controller.is_blocked("t", 0));
+  // Blocked tenants are rejected wholesale, even for granted operations.
+  EXPECT_EQ(controller.check("mal", "t", Operation::kReadOffloadFile, 0),
+            AccessDeny::kBlocked);
 }
 
 TEST(AccessControl, ViolationsBelowThresholdDoNotBlock) {
   RequestAccessController controller(5);
   for (int i = 0; i < 4; ++i) {
-    controller.check("gray", Operation::kNetworkEgress);
+    controller.check("gray", "t", Operation::kNetworkEgress, 0);
   }
-  EXPECT_FALSE(controller.is_blocked("gray"));
-  EXPECT_TRUE(controller.check("gray", Operation::kReadOffloadFile));
+  EXPECT_FALSE(controller.is_blocked("t", 0));
+  EXPECT_EQ(controller.check("gray", "t", Operation::kReadOffloadFile, 0),
+            AccessDeny::kNone);
 }
 
-TEST(AccessControl, AppsAreIsolated) {
+TEST(AccessControl, TenantsAreIsolated) {
   RequestAccessController controller(1);
-  controller.check("mal", Operation::kWriteSharedLayer);
-  EXPECT_TRUE(controller.is_blocked("mal"));
-  EXPECT_FALSE(controller.is_blocked("good"));
-  EXPECT_TRUE(controller.check("good", Operation::kReadOffloadFile));
+  controller.check("mal", "t-mal", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(controller.is_blocked("t-mal", 0));
+  EXPECT_FALSE(controller.is_blocked("t-good", 0));
+  EXPECT_EQ(
+      controller.check("good", "t-good", Operation::kReadOffloadFile, 0),
+      AccessDeny::kNone);
+}
+
+TEST(AccessControl, ViolationsAccrueToTenantNotApp) {
+  // Two apps of one tenant share the ledger: the tenant is the unit of
+  // blocking, the app the unit of permission analysis.
+  RequestAccessController controller(2);
+  controller.check("app-a", "t", Operation::kWriteSharedLayer, 0);
+  controller.check("app-b", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(controller.is_blocked("t", 0));
+  EXPECT_EQ(controller.table_count(), 2u);
 }
 
 TEST(AccessControl, PermissionTableSharedAcrossRequests) {
@@ -62,9 +111,121 @@ TEST(AccessControl, PermissionTableSharedAcrossRequests) {
   // table" — the table count stays 1 regardless of request count.
   RequestAccessController controller;
   for (int i = 0; i < 10; ++i) {
-    controller.check("app-a", Operation::kReadOffloadFile);
+    controller.check("app-a", "t", Operation::kReadOffloadFile, 0);
   }
   EXPECT_EQ(controller.table_count(), 1u);
+}
+
+TEST(AccessControl, TimedBlockExpiresAndRestoresService) {
+  AccessConfig config;
+  config.violation_threshold = 2;
+  config.block_duration = sim::from_seconds(10);
+  RequestAccessController controller;
+  controller.configure(config);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  ASSERT_TRUE(controller.is_blocked("t", 0));
+  // Still inside the penalty window.
+  EXPECT_TRUE(controller.is_blocked("t", sim::from_seconds(9)));
+  // Window over: service restored, ledger wiped.
+  EXPECT_FALSE(controller.is_blocked("t", sim::from_seconds(10)));
+  EXPECT_EQ(controller.violations("t"), 0u);
+  const TenantLedger* ledger = controller.ledger("t");
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->blocks, 1u);
+  EXPECT_EQ(ledger->unblocks, 1u);
+  // Misbehaving again re-blocks: the lifecycle is a cycle, not a pardon.
+  controller.check("mal", "t", Operation::kWriteSharedLayer,
+                   sim::from_seconds(11));
+  controller.check("mal", "t", Operation::kWriteSharedLayer,
+                   sim::from_seconds(11));
+  EXPECT_TRUE(controller.is_blocked("t", sim::from_seconds(11)));
+}
+
+TEST(AccessControl, PermanentBlockNeverExpires) {
+  RequestAccessController controller(1);  // block_duration stays 0
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(controller.is_blocked("t", sim::kTimeInfinity - 1));
+}
+
+TEST(AccessControl, BlockedAtObservesWithoutMutating) {
+  AccessConfig config;
+  config.violation_threshold = 1;
+  config.block_duration = sim::from_seconds(5);
+  RequestAccessController controller;
+  controller.configure(config);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(controller.blocked_at("t", sim::from_seconds(4)));
+  EXPECT_FALSE(controller.blocked_at("t", sim::from_seconds(5)));
+  // The pure observer ran no lifecycle transition: no unblock recorded.
+  EXPECT_EQ(controller.ledger("t")->unblocks, 0u);
+}
+
+TEST(AccessControl, BlockHookFiresOnceAtOnset) {
+  RequestAccessController controller(2);
+  std::vector<std::string> blocked;
+  controller.on_block([&](const std::string& tenant, sim::SimTime) {
+    blocked.push_back(tenant);
+  });
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(blocked.empty());
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0], "t");
+  // Further denials while blocked do not re-fire the hook.
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_EQ(blocked.size(), 1u);
+}
+
+TEST(AccessControl, UnblockHookFiresWhenWindowExpires) {
+  AccessConfig config;
+  config.violation_threshold = 1;
+  config.block_duration = sim::from_seconds(3);
+  RequestAccessController controller;
+  controller.configure(config);
+  std::vector<sim::SimTime> unblocked_at;
+  controller.on_unblock([&](const std::string&, sim::SimTime now) {
+    unblocked_at.push_back(now);
+  });
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_TRUE(unblocked_at.empty());
+  EXPECT_FALSE(controller.is_blocked("t", sim::from_seconds(7)));
+  ASSERT_EQ(unblocked_at.size(), 1u);
+  EXPECT_EQ(unblocked_at[0], sim::from_seconds(7));
+}
+
+TEST(AccessControl, InFlightQuotaClipsFloodingTenant) {
+  AccessConfig config;
+  config.tenant_quota = 2;
+  RequestAccessController controller;
+  controller.configure(config);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kNone);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kNone);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kQuota);
+  // Another tenant's allowance is untouched.
+  EXPECT_EQ(controller.admit("u", 0), AccessDeny::kNone);
+  // Releasing a slot re-opens the flooder's allowance.
+  controller.release("t");
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kNone);
+}
+
+TEST(AccessControl, AllowOpenDeniesOnlyBlockedTenants) {
+  RequestAccessController controller(1);
+  EXPECT_EQ(controller.allow_open("t", 0), AccessDeny::kNone);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_EQ(controller.allow_open("t", 0), AccessDeny::kBlocked);
+}
+
+TEST(AccessControl, AdmitDeniesBlockedBeforeQuota) {
+  AccessConfig config;
+  config.violation_threshold = 1;
+  config.tenant_quota = 4;
+  RequestAccessController controller;
+  controller.configure(config);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kBlocked);
+  // The denied admit acquired nothing.
+  EXPECT_EQ(controller.ledger("t")->in_flight, 0u);
 }
 
 TEST(AccessControl, DefaultGrantsExcludeDangerousOps) {
@@ -78,6 +239,91 @@ TEST(AccessControl, OperationNames) {
   EXPECT_STREQ(to_string(Operation::kWriteSharedLayer),
                "write-shared-layer");
   EXPECT_STREQ(to_string(Operation::kBinderCall), "binder-call");
+}
+
+TEST(AccessControl, DenyReasonNames) {
+  EXPECT_STREQ(to_string(AccessDeny::kNone), "none");
+  EXPECT_STREQ(to_string(AccessDeny::kBlocked), "blocked");
+  EXPECT_STREQ(to_string(AccessDeny::kViolation), "violation");
+  EXPECT_STREQ(to_string(AccessDeny::kQuota), "quota");
+}
+
+// ---- No silent drops: every deny path increments exactly one
+// ---- rac.denied.<reason> counter matching the returned reason.
+
+TEST(AccessControl, ViolationDenyCountsExactlyOnce) {
+  obs::MetricsRegistry metrics;
+  RequestAccessController controller;
+  controller.set_metrics(&metrics);
+  const std::uint64_t before = denied_total(metrics);
+  EXPECT_EQ(controller.check("mal", "t", Operation::kWriteSharedLayer, 0),
+            AccessDeny::kViolation);
+  EXPECT_EQ(counter_value(metrics, "rac.denied.violation"), 1u);
+  EXPECT_EQ(denied_total(metrics), before + 1);
+  EXPECT_EQ(counter_value(metrics, "rac.violations"), 1u);
+}
+
+TEST(AccessControl, BlockedDenyCountsExactlyOnce) {
+  obs::MetricsRegistry metrics;
+  RequestAccessController controller(1);
+  controller.set_metrics(&metrics);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  const std::uint64_t before = denied_total(metrics);
+  EXPECT_EQ(controller.check("mal", "t", Operation::kReadOffloadFile, 0),
+            AccessDeny::kBlocked);
+  EXPECT_EQ(counter_value(metrics, "rac.denied.blocked"), 1u);
+  EXPECT_EQ(denied_total(metrics), before + 1);
+}
+
+TEST(AccessControl, QuotaDenyCountsExactlyOnce) {
+  obs::MetricsRegistry metrics;
+  AccessConfig config;
+  config.tenant_quota = 1;
+  RequestAccessController controller;
+  controller.configure(config);
+  controller.set_metrics(&metrics);
+  ASSERT_EQ(controller.admit("t", 0), AccessDeny::kNone);
+  const std::uint64_t before = denied_total(metrics);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kQuota);
+  EXPECT_EQ(counter_value(metrics, "rac.denied.quota"), 1u);
+  EXPECT_EQ(denied_total(metrics), before + 1);
+}
+
+TEST(AccessControl, AllowOpenBlockedCountsExactlyOnce) {
+  obs::MetricsRegistry metrics;
+  RequestAccessController controller(1);
+  controller.set_metrics(&metrics);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  const std::uint64_t before = denied_total(metrics);
+  EXPECT_EQ(controller.allow_open("t", 0), AccessDeny::kBlocked);
+  EXPECT_EQ(denied_total(metrics), before + 1);
+  EXPECT_EQ(counter_value(metrics, "rac.denied.blocked"), 1u);
+}
+
+TEST(AccessControl, AllowedPathsCountNoDenies) {
+  obs::MetricsRegistry metrics;
+  RequestAccessController controller;
+  controller.set_metrics(&metrics);
+  controller.check("app", "t", Operation::kReadOffloadFile, 0);
+  EXPECT_EQ(controller.allow_open("t", 0), AccessDeny::kNone);
+  EXPECT_EQ(controller.admit("t", 0), AccessDeny::kNone);
+  EXPECT_EQ(denied_total(metrics), 0u);
+}
+
+TEST(AccessControl, LifecycleMetricsTrackBlocksAndUnblocks) {
+  obs::MetricsRegistry metrics;
+  AccessConfig config;
+  config.violation_threshold = 1;
+  config.block_duration = sim::from_seconds(2);
+  RequestAccessController controller;
+  controller.configure(config);
+  controller.set_metrics(&metrics);
+  controller.check("mal", "t", Operation::kWriteSharedLayer, 0);
+  EXPECT_EQ(counter_value(metrics, "rac.blocks"), 1u);
+  EXPECT_EQ(controller.blocked_count(), 1u);
+  EXPECT_FALSE(controller.is_blocked("t", sim::from_seconds(2)));
+  EXPECT_EQ(counter_value(metrics, "rac.unblocks"), 1u);
+  EXPECT_EQ(controller.blocked_count(), 0u);
 }
 
 }  // namespace

@@ -417,14 +417,20 @@ TEST(LoadGenProperties, EngineSwapGoldenDeterminism) {
   // diurnal arrival shaping, each with faults off and on — the fault
   // pump schedules one-shot events and is the likeliest place a tie-break
   // difference between engines would surface.
+  // The RAC arms (docs/RAC.md) run an adversary mix with the defense
+  // layer armed: block sweeps evict live sessions and lazy unblocks
+  // re-key the ledger mid-run, so they too must be engine-invariant.
   struct Arm {
     sim::RateProfile profile;
     bool faults;
+    bool rac = false;
   };
   const std::vector<Arm> arms = {
       {sim::RateProfile::kFlat, false},    {sim::RateProfile::kFlat, true},
       {sim::RateProfile::kRamp, false},    {sim::RateProfile::kRamp, true},
       {sim::RateProfile::kDiurnal, false}, {sim::RateProfile::kDiurnal, true},
+      {sim::RateProfile::kFlat, false, true},
+      {sim::RateProfile::kDiurnal, true, true},
   };
 
   const auto run_arm = [](const Arm& arm, std::uint64_t seed) {
@@ -437,6 +443,12 @@ TEST(LoadGenProperties, EngineSwapGoldenDeterminism) {
     if (arm.faults) {
       config.fault_plan = *sim::FaultPlan::parse(
           "net.drop:p=0.05;net.delay:p=0.05;container.crash:at=3");
+    }
+    if (arm.rac) {
+      config.access.violation_threshold = 3;
+      config.access.block_duration = sim::from_seconds(2.0);
+      config.access.tenant_quota = 3;
+      config.admission.tenant_queue_quota = 3;
     }
     Platform platform(std::move(config));
     platform.trace().enable();
@@ -451,7 +463,18 @@ TEST(LoadGenProperties, EngineSwapGoldenDeterminism) {
     driver.loadgen.profile_peak_factor = 4.0;
     driver.loadgen.seed = seed;
     driver.size_class = 1;
-    (void)platform.run(make_load_stream(driver));
+    if (arm.rac) {
+      driver.loadgen.mix = {
+          {"victim", 0, 2, 1.0, sim::AdversaryProfile::kNone},
+          {"prober", 1, 1, 1.0, sim::AdversaryProfile::kPermissionProbe},
+          {"thrasher", 2, 1, 1.0, sim::AdversaryProfile::kCacheThrash},
+      };
+      // The mix carries tenants, so route through the per-mix sessions
+      // of the load driver rather than the anonymous platform.run path.
+      (void)run_load(platform, driver);
+    } else {
+      (void)platform.run(make_load_stream(driver));
+    }
     EXPECT_TRUE(platform.invariants().ok())
         << platform.invariants().report();
     return std::make_pair(platform.metrics().to_json(),

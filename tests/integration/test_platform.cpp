@@ -181,7 +181,8 @@ TEST(Platform, AccessControllerAnalyzesEachAppOnce) {
   Platform platform(make_config(PlatformKind::kRattrap));
   platform.run(small_stream(workloads::Kind::kChess));
   EXPECT_EQ(platform.server().access().table_count(), 1u);
-  EXPECT_FALSE(platform.server().access().is_blocked("com.bench.chess"));
+  EXPECT_FALSE(platform.server().access().blocked_at(
+      "com.bench.chess", platform.server().simulator().now()));
 }
 
 TEST(Platform, EnvTrafficSumsToRequestTraffic) {

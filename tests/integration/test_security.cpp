@@ -24,7 +24,8 @@ TEST(Security, HonestAppsAccumulateNoViolations) {
   const auto outcomes = platform.run(stream_of(workloads::Kind::kOcr, 6));
   for (const auto& o : outcomes) EXPECT_FALSE(o.rejected);
   EXPECT_EQ(platform.server().access().violations("com.bench.ocr"), 0u);
-  EXPECT_FALSE(platform.server().access().is_blocked("com.bench.ocr"));
+  EXPECT_FALSE(platform.server().access().blocked_at(
+      "com.bench.ocr", platform.server().simulator().now()));
 }
 
 TEST(Security, BlockedAppIsRejectedBeforeReachingAnEnvironment) {
@@ -33,9 +34,10 @@ TEST(Security, BlockedAppIsRejectedBeforeReachingAnEnvironment) {
   // 5): repeated attempts to modify the shared system layer.
   auto& access = platform.server().access();
   for (int i = 0; i < 5; ++i) {
-    access.check("com.bench.linpack", Operation::kWriteSharedLayer);
+    access.check("com.bench.linpack", "com.bench.linpack",
+                 Operation::kWriteSharedLayer, 0);
   }
-  ASSERT_TRUE(access.is_blocked("com.bench.linpack"));
+  ASSERT_TRUE(access.is_blocked("com.bench.linpack", 0));
 
   const auto outcomes =
       platform.run(stream_of(workloads::Kind::kLinpack, 4));
@@ -52,7 +54,8 @@ TEST(Security, BlockingOneAppDoesNotAffectOthers) {
   Platform platform(make_config(PlatformKind::kRattrap));
   auto& access = platform.server().access();
   for (int i = 0; i < 5; ++i) {
-    access.check("com.bench.chess", Operation::kReadForeignCode);
+    access.check("com.bench.chess", "com.bench.chess",
+                 Operation::kReadForeignCode, 0);
   }
   const auto outcomes = platform.run(stream_of(workloads::Kind::kOcr, 4));
   for (const auto& o : outcomes) {

@@ -167,6 +167,31 @@ seed = 1|2
 expect.accounting = identity
 expect.max.invariant_violations = 0
 
+[rac-adversary]
+scenario = rac-adversary
+quick = true
+arrival = poisson
+rate = 40
+devices = 100
+requests = 500
+full.requests = 2000
+admission = on
+qos = on
+mix = victim:interactive:2:0.3;prober:standard:1:0.2:probe;flooder:interactive:1:0.3:flood;thrasher:batch:1:0.2:thrash
+rac_threshold = 4
+rac_block_s = 4
+rac_quota = 16
+tenant_queue_quota = 32
+seed = 1|2
+expect.accounting = identity
+expect.max.invariant_violations = 0
+expect.min.rac.violations = 4
+expect.min.rac.blocks = 1
+expect.min.rac.unblocks = 1
+expect.min.rac.denied.blocked = 1
+expect.min.tenant.victim.completed = 50
+expect.max.tenant.victim.p99_ms = 6000
+
 [saturation-grid]
 scenario = flash-crowd
 quick = false
@@ -478,7 +503,8 @@ const std::vector<std::string>& csv_metrics() {
       "p99_ms",         "invariant_violations",
       "faults_fired",   "handoffs",
       "radio_slices",   "radio_transfer_ratio",
-      "env_count",
+      "env_count",      "rac.violations",
+      "rac.blocks",     "rac.unblocks",
   };
   return columns;
 }

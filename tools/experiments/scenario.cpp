@@ -36,6 +36,8 @@ const std::set<std::string_view>& known_keys() {
       "kind",        "task_variants", "seed",
       "admission",   "queue",      "max_in_service",
       "tenant_rate", "shed",       "qos",  "mix",
+      "rac",         "rac_threshold", "rac_block_s", "rac_quota",
+      "tenant_queue_quota",
       "elastic",     "elastic_target", "elastic_max",
       "faults",      "storm_crashes", "storm_at", "storm_spacing",
       "handoff",     "invariants", "warm_pool", "adaptive",
@@ -59,7 +61,18 @@ bool parse_on_off(const std::string& v, bool& out) {
   return true;
 }
 
-/// "tenant:class[:weight[:share]]" entries separated by ';'.
+bool parse_adversary(const std::string& v, sim::AdversaryProfile& out) {
+  if (v == "none") out = sim::AdversaryProfile::kNone;
+  else if (v == "probe") out = sim::AdversaryProfile::kPermissionProbe;
+  else if (v == "flood") out = sim::AdversaryProfile::kClassFlood;
+  else if (v == "thrash") out = sim::AdversaryProfile::kCacheThrash;
+  else if (v == "noisy") out = sim::AdversaryProfile::kNoisyNeighbor;
+  else return false;
+  return true;
+}
+
+/// "tenant:class[:weight[:share[:adversary]]]" entries separated by ';';
+/// adversary is none|probe|flood|thrash|noisy (docs/RAC.md).
 bool parse_mix(const std::string& spec,
                std::vector<sim::TrafficClassMix>& out) {
   std::size_t start = 0;
@@ -79,7 +92,7 @@ bool parse_mix(const std::string& spec,
       }
     }
     parts.push_back(current);
-    if (parts.size() < 2 || parts.size() > 4) return false;
+    if (parts.size() < 2 || parts.size() > 5) return false;
     sim::TrafficClassMix mix;
     mix.tenant = parts[0];
     const auto klass = core::qos::parse_class(parts[1]);
@@ -92,6 +105,9 @@ bool parse_mix(const std::string& spec,
     }
     if (parts.size() > 3 &&
         (!cli::parse_double(parts[3], mix.share) || mix.share <= 0)) {
+      return false;
+    }
+    if (parts.size() > 4 && !parse_adversary(parts[4], mix.adversary)) {
       return false;
     }
     out.push_back(std::move(mix));
@@ -365,8 +381,35 @@ RunResult execute_run(const RunSpec& spec) {
   if (!get_u32("queue", admission.queue_capacity) ||
       !get_u32("max_in_service", admission.max_in_service) ||
       !get_double("tenant_rate", admission.tenant_rate_per_s) ||
-      !get_double("shed", admission.shed_utilization)) {
+      !get_double("shed", admission.shed_utilization) ||
+      !get_u32("tenant_queue_quota", admission.tenant_queue_quota)) {
     return fail(parse_error);
+  }
+
+  // -- Request-based Access Controller (docs/RAC.md) ---------------------
+  core::AccessConfig& access = platform_config.access;
+  std::uint32_t rac_threshold = access.violation_threshold;
+  double rac_block_s = 0.0;
+  std::uint32_t rac_quota = access.tenant_quota;
+  if (!get_u32("rac_threshold", rac_threshold) ||
+      !get_double("rac_block_s", rac_block_s) ||
+      !get_u32("rac_quota", rac_quota)) {
+    return fail(parse_error);
+  }
+  if (rac_threshold == 0) return fail("rac_threshold must be > 0");
+  access.violation_threshold = rac_threshold;
+  if (rac_block_s > 0) access.block_duration = sim::from_seconds(rac_block_s);
+  access.tenant_quota = rac_quota;
+  if (const std::string* v = get("rac")) {
+    bool rac_on = true;
+    if (!parse_on_off(*v, rac_on)) return fail("rac must be on|off");
+    if (!rac_on) {
+      // Teeth ablation: an unreachable threshold and no quota neutralize
+      // the defense layer while the permission tables stay live — the
+      // attack scenarios must demonstrably fail without it.
+      access.violation_threshold = 0xFFFFFFFFu;
+      access.tenant_quota = 0;
+    }
   }
 
   // -- Elastic capacity --------------------------------------------------
@@ -462,6 +505,17 @@ RunResult execute_run(const RunSpec& spec) {
     }
   }
   if (class_offered != summary.offered) accounting_ok = false;
+  // The identity must also hold per tenant — a swept attacker's requests
+  // land in `rejected`, never in a silent gap (docs/RAC.md).
+  std::size_t tenant_offered = 0;
+  for (const auto& [name, stats] : summary.by_tenant) {
+    (void)name;
+    tenant_offered += stats.offered;
+    if (stats.offered != stats.completed + stats.rejected) {
+      accounting_ok = false;
+    }
+  }
+  if (tenant_offered != summary.offered) accounting_ok = false;
 
   put("offered", static_cast<double>(summary.offered));
   put("completed", static_cast<double>(summary.completed));
@@ -491,6 +545,14 @@ RunResult execute_run(const RunSpec& spec) {
   put("handoffs", counter("mobility.handoffs"));
   put("outages", counter("mobility.outages"));
   put("sessions_resumed", counter("mobility.sessions_resumed"));
+  put("rac.violations", counter("rac.violations"));
+  put("rac.blocks", counter("rac.blocks"));
+  put("rac.unblocks", counter("rac.unblocks"));
+  put("rac.denied.blocked", counter("rac.denied.blocked"));
+  put("rac.denied.violation", counter("rac.denied.violation"));
+  put("rac.denied.quota", counter("rac.denied.quota"));
+  put("admission.rejected.tenant_quota",
+      counter("admission.rejected.tenant_quota"));
 
   std::size_t radio_slices = 0;
   double min_transfer = 0.0;
@@ -527,6 +589,19 @@ RunResult execute_run(const RunSpec& spec) {
     result.metrics.emplace_back(prefix + "rejected",
                                 static_cast<double>(stats.rejected));
     result.metrics.emplace_back(prefix + "p99_ms", stats.p99_ms);
+  }
+  for (const auto& [name, stats] : summary.by_tenant) {
+    if (name.empty()) continue;  // per-app tenancy has no stable label
+    const std::string prefix = "tenant." + name + ".";
+    result.metrics.emplace_back(prefix + "offered",
+                                static_cast<double>(stats.offered));
+    result.metrics.emplace_back(prefix + "completed",
+                                static_cast<double>(stats.completed));
+    result.metrics.emplace_back(prefix + "rejected",
+                                static_cast<double>(stats.rejected));
+    if (stats.completed > 0) {
+      result.metrics.emplace_back(prefix + "p99_ms", stats.p99_ms);
+    }
   }
   for (const auto& [name, radio] : summary.by_radio) {
     if (radio.completed == 0) continue;
