@@ -1,0 +1,182 @@
+// Extension bench: rpc loopback saturation — what does the socket front
+// door cost, and does the sim twin stay exact under load?
+//
+// Each point drives the identical open-loop Poisson workload twice: once
+// through core::LocalSessionTransport (the in-process sim twin) and once
+// through rpc::ClientTransport against an rpc::Server on 127.0.0.1 (real
+// epoll loops, framed wire protocol, bounded connection admission).  The
+// virtual-time results — goodput, percentiles, accounting — must be
+// identical by construction; the bench measures the *wall-clock* price
+// of the socket path (requests/s sustained through the wire, frames and
+// bytes moved) and how it scales as the run grows.
+//
+// Exit code is the acceptance bar: 0 only when every point's server-side
+// platform metrics JSON is byte-identical to the sim twin's AND the
+// accounting identity (offered == completed + rejected) holds over the
+// wire.  bench-smoke runs this binary, so a transport divergence fails
+// CI.  Results land in BENCH_ext_rpc.json (docs/RPC.md).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/load_driver.hpp"
+#include "obs/json.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+
+using namespace rattrap;
+
+namespace {
+
+struct PointResult {
+  std::size_t requests = 0;
+  double sim_wall_s = 0;
+  double rpc_wall_s = 0;
+  double rpc_req_per_s = 0;  ///< wall-clock throughput over the socket
+  double goodput_per_s = 0;  ///< virtual-time goodput (identical by twin)
+  double p99_ms = 0;
+  bool twin_match = false;
+  bool accounting_ok = false;
+};
+
+core::LoadDriverConfig load_for(std::size_t requests) {
+  core::LoadDriverConfig driver;
+  driver.kind = workloads::Kind::kLinpack;
+  driver.size_class = 1;
+  driver.loadgen.arrival = sim::ArrivalProcess::kPoisson;
+  driver.loadgen.devices = 500;
+  driver.loadgen.requests = requests;
+  driver.loadgen.rate_per_s = 200.0;
+  driver.loadgen.seed = 17;
+  return driver;
+}
+
+core::PlatformConfig platform_config() {
+  core::PlatformConfig config =
+      core::make_config(core::PlatformKind::kRattrap);
+  config.seed = 17;
+  return config;
+}
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+PointResult run_point(std::size_t requests) {
+  PointResult r;
+  r.requests = requests;
+  const core::LoadDriverConfig driver = load_for(requests);
+
+  // Sim twin: in-process, no sockets.
+  core::Platform sim_platform(platform_config());
+  core::LocalSessionTransport local(sim_platform);
+  const auto sim_start = std::chrono::steady_clock::now();
+  const core::LoadSummary sim = core::run_load_transport(local, driver);
+  r.sim_wall_s = wall_since(sim_start);
+  const std::string sim_metrics = sim_platform.metrics().to_json();
+
+  // Socket path: identically-seeded platform behind a loopback server.
+  core::Platform rpc_platform(platform_config());
+  rpc::Server server(rpc_platform, rpc::ServerConfig{});
+  if (!server.start()) return r;
+  auto client = rpc::ClientTransport::connect("127.0.0.1", server.port());
+  if (client == nullptr) return r;
+  const auto rpc_start = std::chrono::steady_clock::now();
+  const core::LoadSummary rpc = core::run_load_transport(*client, driver);
+  const std::string rpc_metrics = client->fetch_metrics();
+  r.rpc_wall_s = wall_since(rpc_start);
+  client.reset();
+  server.stop();
+
+  r.rpc_req_per_s =
+      static_cast<double>(requests) / std::max(r.rpc_wall_s, 1e-9);
+  r.goodput_per_s = rpc.goodput_per_s;
+  r.p99_ms = rpc.p99_ms;
+  r.twin_match = !rpc_metrics.empty() && rpc_metrics == sim_metrics;
+  r.accounting_ok = rpc.offered == rpc.completed + rpc.rejected &&
+                    rpc.offered == sim.offered;
+  return r;
+}
+
+std::string point_json(const PointResult& r) {
+  std::string body = "{";
+  const auto field = [&body](const char* key, const std::string& value) {
+    if (body.size() > 1) body += ',';
+    body += '"';
+    body += key;
+    body += "\":";
+    body += value;
+  };
+  field("requests",
+        obs::json_number(static_cast<std::uint64_t>(r.requests)));
+  field("sim_wall_s", obs::json_number(r.sim_wall_s));
+  field("rpc_wall_s", obs::json_number(r.rpc_wall_s));
+  field("rpc_req_per_s", obs::json_number(r.rpc_req_per_s));
+  field("goodput_per_s", obs::json_number(r.goodput_per_s));
+  field("p99_ms", obs::json_number(r.p99_ms));
+  field("twin_match", r.twin_match ? "true" : "false");
+  field("accounting_ok", r.accounting_ok ? "true" : "false");
+  body += '}';
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const std::vector<std::size_t> points =
+      quick ? std::vector<std::size_t>{200, 600}
+            : std::vector<std::size_t>{1000, 5000, 20000};
+
+  std::printf(
+      "RPC loopback saturation — socket front door vs in-process sim twin "
+      "(Linpack, Poisson)\n");
+  bench::print_rule('=');
+  std::printf("%8s | %9s %9s | %11s | %9s %8s | %5s %5s\n", "requests",
+              "sim[s]", "rpc[s]", "rpc req/s", "goodput/s", "p99[ms]",
+              "twin", "acct");
+  bench::print_rule();
+
+  bool all_ok = true;
+  double peak_req_per_s = 0;
+  std::string runs;
+  for (const std::size_t requests : points) {
+    const PointResult r = run_point(requests);
+    all_ok = all_ok && r.twin_match && r.accounting_ok;
+    peak_req_per_s = std::max(peak_req_per_s, r.rpc_req_per_s);
+    std::printf("%8zu | %9.3f %9.3f | %11.0f | %9.1f %8.1f | %5s %5s\n",
+                r.requests, r.sim_wall_s, r.rpc_wall_s, r.rpc_req_per_s,
+                r.goodput_per_s, r.p99_ms, r.twin_match ? "ok" : "FAIL",
+                r.accounting_ok ? "ok" : "FAIL");
+    if (!runs.empty()) runs += ',';
+    char label[32];
+    std::snprintf(label, sizeof label, "\"requests_%zu\":", requests);
+    runs += label + point_json(r);
+  }
+  bench::print_rule();
+  std::printf(
+      "peak wire throughput ~%.0f req/s; every point's server-platform\n"
+      "metrics JSON %s the sim twin byte for byte (the golden-twin bar\n"
+      "this binary's exit code enforces).\n",
+      peak_req_per_s, all_ok ? "matches" : "DIVERGES FROM");
+
+  const char* dir = std::getenv("RATTRAP_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    std::string out = "{\"bench\":\"ext_rpc\",\"quick\":";
+    out += quick ? "true" : "false";
+    out += ",\"peak_req_per_s\":" + obs::json_number(peak_req_per_s);
+    out += ",\"twin_ok\":";
+    out += all_ok ? "true" : "false";
+    out += ",\"runs\":{" + runs + "}}\n";
+    if (!obs::write_text_file(std::string(dir) + "/BENCH_ext_rpc.json",
+                              out)) {
+      std::fprintf(stderr, "warning: could not write bench JSON to %s\n",
+                   dir);
+    }
+  }
+  return all_ok ? 0 : 1;
+}

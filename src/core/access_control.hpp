@@ -46,6 +46,11 @@ enum class Operation : std::uint8_t {
   kBinderCall,         ///< talk to system services
 };
 
+/// Number of operations (dense from 0; the RPC codec validates wire
+/// codes against this bound).
+inline constexpr std::size_t kOperationCount =
+    static_cast<std::size_t>(Operation::kBinderCall) + 1;
+
 [[nodiscard]] const char* to_string(Operation op);
 
 /// Why the controller refused something (the typed deny reasons the

@@ -35,35 +35,14 @@ double percentile(const std::vector<double>& sorted, double p) {
 
 /// One Session per mix entry; a single default standard-class session
 /// when no mix is configured (slot 0 then serves every arrival).
-/// Adversary profiles shape the slot's SessionConfig (docs/RAC.md):
-/// permission probers carry probe_ops, class flooders escalate their
-/// whole stream to the interactive lane.
 std::vector<Session> open_mix_sessions(Platform& platform,
                                        const sim::LoadGenConfig& loadgen) {
   const std::size_t slots = std::max<std::size_t>(1, loadgen.mix.size());
   std::vector<Session> sessions;
   sessions.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i) {
-    SessionConfig session_config;
-    if (i < loadgen.mix.size()) {
-      const sim::TrafficClassMix& entry = loadgen.mix[i];
-      session_config.tenant = entry.tenant;
-      session_config.priority = static_cast<qos::PriorityClass>(
-          std::min<std::uint8_t>(entry.priority, qos::kClassCount - 1));
-      session_config.tenant_weight = std::max<std::uint32_t>(1, entry.weight);
-      switch (entry.adversary) {
-        case sim::AdversaryProfile::kPermissionProbe:
-          session_config.probe_ops = {Operation::kWriteSharedLayer,
-                                      Operation::kReadForeignCode};
-          break;
-        case sim::AdversaryProfile::kClassFlood:
-          session_config.priority = qos::PriorityClass::kInteractive;
-          break;
-        default:
-          break;
-      }
-    }
-    Result<Session> opened = platform.open_session(session_config);
+    Result<Session> opened =
+        platform.open_session(mix_session_config(loadgen, i));
     assert(opened && "load-driver session configs are well-formed");
     sessions.push_back(std::move(*opened));
   }
@@ -114,6 +93,58 @@ void absorb_outcomes(std::vector<RequestOutcome>& merged,
 
 }  // namespace
 
+SessionConfig mix_session_config(const sim::LoadGenConfig& loadgen,
+                                 std::size_t slot) {
+  // Adversary profiles shape the slot's SessionConfig (docs/RAC.md):
+  // permission probers carry probe_ops, class flooders escalate their
+  // whole stream to the interactive lane.
+  SessionConfig session_config;
+  if (slot < loadgen.mix.size()) {
+    const sim::TrafficClassMix& entry = loadgen.mix[slot];
+    session_config.tenant = entry.tenant;
+    session_config.priority = static_cast<qos::PriorityClass>(
+        std::min<std::uint8_t>(entry.priority, qos::kClassCount - 1));
+    session_config.tenant_weight = std::max<std::uint32_t>(1, entry.weight);
+    switch (entry.adversary) {
+      case sim::AdversaryProfile::kPermissionProbe:
+        session_config.probe_ops = {Operation::kWriteSharedLayer,
+                                    Operation::kReadForeignCode};
+        break;
+      case sim::AdversaryProfile::kClassFlood:
+        session_config.priority = qos::PriorityClass::kInteractive;
+        break;
+      default:
+        break;
+    }
+  }
+  return session_config;
+}
+
+Result<std::uint64_t> LocalSessionTransport::open_session(
+    const SessionConfig& config) {
+  Result<Session> opened = platform_.open_session(config);
+  if (!opened) return opened.error();
+  const std::uint64_t id = next_id_++;
+  sessions_.emplace(id, std::move(*opened));
+  return id;
+}
+
+void LocalSessionTransport::submit(std::uint64_t id,
+                                   const workloads::OffloadRequest& request) {
+  const auto it = sessions_.find(id);
+  assert(it != sessions_.end() && "submit on an unopened local stream");
+  if (it != sessions_.end()) it->second.submit(request);
+}
+
+std::vector<RequestOutcome> LocalSessionTransport::close(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  assert(it != sessions_.end() && "close on an unopened local stream");
+  if (it == sessions_.end()) return {};
+  std::vector<RequestOutcome> outcomes = it->second.close();
+  sessions_.erase(it);
+  return outcomes;
+}
+
 std::vector<workloads::OffloadRequest> make_load_stream(
     const LoadDriverConfig& config) {
   const std::vector<sim::Arrival> arrivals =
@@ -133,6 +164,14 @@ std::vector<workloads::OffloadRequest> make_load_stream(
 }
 
 LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
+  if (config.loadgen.arrival != sim::ArrivalProcess::kClosedLoop) {
+    // Open loop: the schedule is materialized up front, which is exactly
+    // the transport-shaped workload — drive it through the local adapter
+    // so the sim path and the RPC path share one code path (docs/RPC.md).
+    LocalSessionTransport transport(platform);
+    return run_load_transport(transport, config);
+  }
+
   const std::vector<workloads::TaskSpec> variants = make_variants(config);
   std::vector<Session> sessions = open_mix_sessions(platform, config.loadgen);
 
@@ -141,55 +180,38 @@ LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
   // run's event queue is empty.
   sim::ClosedLoopSource source(config.loadgen);
 
-  if (config.loadgen.arrival == sim::ArrivalProcess::kClosedLoop) {
-    // Closed loop: the seed wave is materialized; every follow-up request
-    // is born inside the completion observer, after the issuing device's
-    // think time.  Backpressure at completion instant stretches the think
-    // draw, which is the graceful-degradation feedback path.  Devices are
-    // pinned to one mix slot (mix_for_device), so a device's tenant and
-    // class never flap mid-run.
-    platform.set_completion_observer([&platform, &source, &variants,
-                                      &sessions,
-                                      &config](const RequestOutcome& done) {
-      if (source.exhausted()) return;
-      const std::uint64_t sequence = source.take();
-      const sim::SimDuration think =
-          source.think(done.request.device_id, platform.backpressure());
-      const std::uint32_t slot =
-          sim::mix_for_device(config.loadgen, done.request.device_id);
-      workloads::OffloadRequest next;
-      next.sequence = sequence;
-      next.device_id = done.request.device_id;
-      next.task = shape_task(variants[sequence % variants.size()],
-                             slot_adversary(config.loadgen, slot));
-      next.arrival = platform.server().simulator().now() + think;
-      sessions[slot].submit(next);
-    });
-    for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
-      const std::uint64_t sequence = source.take();
-      assert(sequence == arrival.sequence);
-      workloads::OffloadRequest request;
-      request.sequence = sequence;
-      request.device_id = arrival.device_id;
-      request.task =
-          shape_task(variants[sequence % variants.size()],
-                     slot_adversary(config.loadgen, arrival.mix_index));
-      request.arrival = arrival.at;
-      sessions[arrival.mix_index].submit(request);
-    }
-  } else {
-    // Open loop: submit the whole schedule up front, routed by the
-    // per-arrival mix draw.
-    for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
-      workloads::OffloadRequest request;
-      request.sequence = arrival.sequence;
-      request.device_id = arrival.device_id;
-      request.task =
-          shape_task(variants[arrival.sequence % variants.size()],
-                     slot_adversary(config.loadgen, arrival.mix_index));
-      request.arrival = arrival.at;
-      sessions[arrival.mix_index].submit(request);
-    }
+  // Closed loop: the seed wave is materialized; every follow-up request
+  // is born inside the completion observer, after the issuing device's
+  // think time.  Backpressure at completion instant stretches the think
+  // draw, which is the graceful-degradation feedback path.  Devices are
+  // pinned to one mix slot (mix_for_device), so a device's tenant and
+  // class never flap mid-run.
+  platform.set_completion_observer([&platform, &source, &variants, &sessions,
+                                    &config](const RequestOutcome& done) {
+    if (source.exhausted()) return;
+    const std::uint64_t sequence = source.take();
+    const sim::SimDuration think =
+        source.think(done.request.device_id, platform.backpressure());
+    const std::uint32_t slot =
+        sim::mix_for_device(config.loadgen, done.request.device_id);
+    workloads::OffloadRequest next;
+    next.sequence = sequence;
+    next.device_id = done.request.device_id;
+    next.task = shape_task(variants[sequence % variants.size()],
+                           slot_adversary(config.loadgen, slot));
+    next.arrival = platform.server().simulator().now() + think;
+    sessions[slot].submit(next);
+  });
+  for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
+    const std::uint64_t sequence = source.take();
+    assert(sequence == arrival.sequence);
+    workloads::OffloadRequest request;
+    request.sequence = sequence;
+    request.device_id = arrival.device_id;
+    request.task = shape_task(variants[sequence % variants.size()],
+                              slot_adversary(config.loadgen, arrival.mix_index));
+    request.arrival = arrival.at;
+    sessions[arrival.mix_index].submit(request);
   }
 
   // The first close() drains the whole run (the event queue is shared),
@@ -199,6 +221,49 @@ LoadSummary run_load(Platform& platform, const LoadDriverConfig& config) {
     absorb_outcomes(outcomes, session.close());
   }
   platform.set_completion_observer({});
+  return summarize_load(outcomes);
+}
+
+LoadSummary run_load_transport(SessionTransport& transport,
+                               const LoadDriverConfig& config) {
+  assert(config.loadgen.arrival != sim::ArrivalProcess::kClosedLoop &&
+         "closed-loop feedback needs the in-process observer (run_load)");
+  const std::vector<workloads::TaskSpec> variants = make_variants(config);
+
+  const std::size_t slots =
+      std::max<std::size_t>(1, config.loadgen.mix.size());
+  std::vector<std::uint64_t> streams;
+  streams.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    Result<std::uint64_t> opened =
+        transport.open_session(mix_session_config(config.loadgen, i));
+    if (!opened) {
+      // A rejected stream aborts the run: close what opened (draining
+      // nothing — no submits yet) and report an empty summary.
+      for (const std::uint64_t id : streams) transport.close(id);
+      return LoadSummary{};
+    }
+    streams.push_back(*opened);
+  }
+
+  // Submit the whole schedule up front, routed by the per-arrival mix
+  // draw — byte-for-byte the submission order of the pre-transport
+  // driver.
+  for (const sim::Arrival& arrival : sim::make_arrivals(config.loadgen)) {
+    workloads::OffloadRequest request;
+    request.sequence = arrival.sequence;
+    request.device_id = arrival.device_id;
+    request.task = shape_task(variants[arrival.sequence % variants.size()],
+                              slot_adversary(config.loadgen, arrival.mix_index));
+    request.arrival = arrival.at;
+    transport.submit(streams[arrival.mix_index], request);
+  }
+
+  // The first close() drains the whole run server-side.
+  std::vector<RequestOutcome> outcomes;
+  for (const std::uint64_t id : streams) {
+    absorb_outcomes(outcomes, transport.close(id));
+  }
   return summarize_load(outcomes);
 }
 

@@ -132,6 +132,56 @@ struct LoadSummary {
   }
 };
 
+/// Transport seam of the load driver (docs/RPC.md): the same open-loop
+/// workload drives the Session API either in-process against a Platform
+/// (the deterministic sim-clock twin) or across real sockets through
+/// rpc::ClientTransport.  A stream id returned by open_session() keys
+/// submit()/close(); ids are transport-scoped and never reused within a
+/// run.
+class SessionTransport {
+ public:
+  virtual ~SessionTransport() = default;
+
+  /// Opens one session carrying `config`; the typed reject mirrors
+  /// Platform::open_session (kInvalidConfig, RAC denials, ...).
+  virtual Result<std::uint64_t> open_session(const SessionConfig& config) = 0;
+
+  /// Schedules one request on stream `id`.  Fire-and-forget: terminal
+  /// status for every submitted sequence arrives with close().
+  virtual void submit(std::uint64_t id,
+                      const workloads::OffloadRequest& request) = 0;
+
+  /// Drains the run and returns this stream's outcomes in submission
+  /// order (the first close drains the shared event queue, like
+  /// Session::close()).
+  virtual std::vector<RequestOutcome> close(std::uint64_t id) = 0;
+};
+
+/// SessionTransport over an in-process Platform: a thin adapter around
+/// Session handles making exactly the open/submit/close call sequence
+/// the pre-transport driver made — the sim path stays byte-identical.
+class LocalSessionTransport final : public SessionTransport {
+ public:
+  explicit LocalSessionTransport(Platform& platform) : platform_(platform) {}
+
+  Result<std::uint64_t> open_session(const SessionConfig& config) override;
+  void submit(std::uint64_t id,
+              const workloads::OffloadRequest& request) override;
+  std::vector<RequestOutcome> close(std::uint64_t id) override;
+
+ private:
+  Platform& platform_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// SessionConfig of traffic-mix slot `slot` (a single default
+/// standard-class session when the mix is empty), adversary shaping
+/// applied (docs/RAC.md).  Shared by the local and RPC drivers so both
+/// transports open identical sessions.
+[[nodiscard]] SessionConfig mix_session_config(
+    const sim::LoadGenConfig& loadgen, std::size_t slot);
+
 /// Materialized open-loop request stream for `config` (also the seed wave
 /// of a closed-loop run).  Deterministic in the config; tasks cycle
 /// through the variant pool.
@@ -146,6 +196,15 @@ struct LoadSummary {
 /// schedule; kClosedLoop closes the loop through a completion observer
 /// (installed for the duration of the call).
 LoadSummary run_load(Platform& platform, const LoadDriverConfig& config);
+
+/// Open-loop load over any transport: opens one stream per mix entry,
+/// submits the materialized schedule in arrival order, closes every
+/// stream and reduces the merged outcomes.  Closed-loop arrivals need
+/// the in-process completion observer and are not expressible over a
+/// transport — run_load() handles those.  An open_session reject aborts
+/// the run (empty summary).
+LoadSummary run_load_transport(SessionTransport& transport,
+                               const LoadDriverConfig& config);
 
 /// Reduces an outcome vector to a LoadSummary (exposed for tests).
 [[nodiscard]] LoadSummary summarize_load(

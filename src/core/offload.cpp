@@ -6,30 +6,25 @@ namespace rattrap::core {
 
 const char* to_string(RejectReason reason) {
   switch (reason) {
-    case RejectReason::kNone:
-      return "none";
-    case RejectReason::kAccessDenied:
-      return "access_denied";
-    case RejectReason::kQueueFull:
-      return "queue_full";
-    case RejectReason::kRateLimited:
-      return "rate_limited";
-    case RejectReason::kOverloaded:
-      return "overloaded";
-    case RejectReason::kCapacity:
-      return "capacity";
-    case RejectReason::kConnectFailed:
-      return "connect_failed";
-    case RejectReason::kRedispatchExhausted:
-      return "redispatch_exhausted";
-    case RejectReason::kStranded:
-      return "stranded";
-    case RejectReason::kInvalidConfig:
-      return "invalid_config";
-    case RejectReason::kQuotaExceeded:
-      return "quota_exceeded";
+#define RATTRAP_REJECT_TO_STRING(name, str, wire) \
+  case RejectReason::name:                        \
+    return str;
+    RATTRAP_REJECT_REASONS(RATTRAP_REJECT_TO_STRING)
+#undef RATTRAP_REJECT_TO_STRING
   }
   return "?";
+}
+
+std::optional<RejectReason> reject_reason_from_wire(std::uint8_t code) {
+  switch (code) {
+#define RATTRAP_REJECT_FROM_WIRE(name, str, wire) \
+  case (wire):                                    \
+    return RejectReason::name;
+    RATTRAP_REJECT_REASONS(RATTRAP_REJECT_FROM_WIRE)
+#undef RATTRAP_REJECT_FROM_WIRE
+    default:
+      return std::nullopt;
+  }
 }
 
 double offload_energy_mj(const PhaseBreakdown& phases,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -22,22 +23,67 @@
 namespace rattrap::core {
 
 /// Why a session ended without executing (the typed reject reply).
+///
+/// The X-macro table is the single source of truth for the enum value,
+/// the metrics/CLI string and the RPC wire code (docs/RPC.md), so the
+/// codec, the rejected.<reason> labels and to_string() cannot drift:
+///   X(enumerator, "string name", wire code)
+///
+///   kNone                not rejected
+///   kAccessDenied        Request-based Access Controller block (§IV-E)
+///   kQueueFull           bounded accept queue at capacity
+///   kRateLimited         tenant token bucket empty
+///   kOverloaded          utilization shed threshold exceeded
+///   kCapacity            environment provisioning failed (host full)
+///   kConnectFailed       connection-attempt budget exhausted
+///   kRedispatchExhausted crashed-environment re-dispatch budget spent
+///   kStranded            still in flight when the simulation drained
+///   kInvalidConfig       malformed session configuration (open_session)
+///   kQuotaExceeded       per-tenant quota (RAC in-flight cap or admission
+///                        queue quota) exhausted (docs/RAC.md)
+///
+/// Wire codes are append-only: never renumber a landed reason — remote
+/// peers decode by code, and test_wire pins the table.
+#define RATTRAP_REJECT_REASONS(X)     \
+  X(kNone, "none", 0)                 \
+  X(kAccessDenied, "access_denied", 1)\
+  X(kQueueFull, "queue_full", 2)      \
+  X(kRateLimited, "rate_limited", 3)  \
+  X(kOverloaded, "overloaded", 4)     \
+  X(kCapacity, "capacity", 5)         \
+  X(kConnectFailed, "connect_failed", 6)            \
+  X(kRedispatchExhausted, "redispatch_exhausted", 7)\
+  X(kStranded, "stranded", 8)         \
+  X(kInvalidConfig, "invalid_config", 9)            \
+  X(kQuotaExceeded, "quota_exceeded", 10)
+
 enum class RejectReason : std::uint8_t {
-  kNone = 0,           ///< not rejected
-  kAccessDenied,       ///< Request-based Access Controller block (§IV-E)
-  kQueueFull,          ///< bounded accept queue at capacity
-  kRateLimited,        ///< tenant token bucket empty
-  kOverloaded,         ///< utilization shed threshold exceeded
-  kCapacity,           ///< environment provisioning failed (host full)
-  kConnectFailed,      ///< connection-attempt budget exhausted
-  kRedispatchExhausted,///< crashed-environment re-dispatch budget spent
-  kStranded,           ///< still in flight when the simulation drained
-  kInvalidConfig,      ///< malformed session configuration (open_session)
-  kQuotaExceeded,      ///< per-tenant quota (RAC in-flight cap or
-                       ///< admission queue quota) exhausted (docs/RAC.md)
+#define RATTRAP_REJECT_ENUMERATOR(name, str, wire) name = (wire),
+  RATTRAP_REJECT_REASONS(RATTRAP_REJECT_ENUMERATOR)
+#undef RATTRAP_REJECT_ENUMERATOR
 };
 
+/// Number of reasons in the table (wire codes are dense from 0).
+inline constexpr std::size_t kRejectReasonCount = []() {
+  std::size_t n = 0;
+#define RATTRAP_REJECT_COUNT(name, str, wire) ++n;
+  RATTRAP_REJECT_REASONS(RATTRAP_REJECT_COUNT)
+#undef RATTRAP_REJECT_COUNT
+  return n;
+}();
+
 [[nodiscard]] const char* to_string(RejectReason reason);
+
+/// The stable RPC wire code of `reason` (today the enum value itself, by
+/// construction of the X-macro table).
+[[nodiscard]] constexpr std::uint8_t wire_code(RejectReason reason) {
+  return static_cast<std::uint8_t>(reason);
+}
+
+/// Decodes an RPC wire code; nullopt for codes outside the table — the
+/// codec turns that into a typed kBadPayload, never an enum out of range.
+[[nodiscard]] std::optional<RejectReason> reject_reason_from_wire(
+    std::uint8_t code);
 
 /// Expected-style result used across the admission / platform front-door
 /// APIs: either a value or a typed RejectReason, never an out-param pair.

@@ -29,8 +29,12 @@ namespace rattrap::obs {
 /// a stale baseline.  History: 1 = pre-QoS; 2 = qos.* metrics + schema
 /// field in to_json(); 3 = elastic.* lifecycle/pool metrics and
 /// monitor.active_envs (docs/ELASTIC.md); 4 = rac.* defense-layer
-/// metrics (violations, blocks, unblocks, denied-by-reason; docs/RAC.md).
-inline constexpr int kMetricsSchemaVersion = 4;
+/// metrics (violations, blocks, unblocks, denied-by-reason; docs/RAC.md);
+/// 5 = rpc.* front-door metrics (connections, frames, bytes, decode
+/// errors, watermark pauses, pending-acquire accounting; docs/RPC.md) —
+/// recorded in the rpc::Server / ConnectionManager registry, never in a
+/// Platform's, so sim-clock fingerprints stay transport-comparable.
+inline constexpr int kMetricsSchemaVersion = 5;
 
 /// Monotonic event count.
 class Counter {

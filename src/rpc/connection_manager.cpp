@@ -1,0 +1,114 @@
+#include "rpc/connection_manager.hpp"
+
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+
+namespace rattrap::rpc {
+
+ConnectionManager::ConnectionManager(EventLoopGroup& loops,
+                                     ConnectionManagerConfig config,
+                                     obs::MetricsRegistry& metrics)
+    : loops_(loops),
+      config_(config),
+      metrics_(metrics),
+      accepted_(metrics.counter("rpc.conn.accepted")),
+      rejected_(metrics.counter("rpc.conn.rejected")),
+      queued_(metrics.counter("rpc.conn.queued")),
+      closed_(metrics.counter("rpc.conn.closed")),
+      active_gauge_(metrics.gauge("rpc.conn.active")),
+      pending_gauge_(metrics.gauge("rpc.conn.pending")),
+      frames_in_(metrics.counter("rpc.frames.in")),
+      frames_out_(metrics.counter("rpc.frames.out")),
+      bytes_in_(metrics.counter("rpc.bytes.in")),
+      bytes_out_(metrics.counter("rpc.bytes.out")),
+      watermark_pauses_(metrics.counter("rpc.watermark.pauses")) {
+  for (std::size_t i = 0; i < decode_errors_.size(); ++i) {
+    decode_errors_[i] = &metrics.counter(
+        std::string("rpc.decode_errors.") +
+        to_string(static_cast<DecodeError>(i)));
+  }
+}
+
+bool ConnectionManager::acquire(int fd, Activate activate) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (active_ < config_.max_active) {
+      ++active_;
+      accepted_.inc();
+      update_gauges_locked();
+    } else if (pending_.size() < config_.max_pending) {
+      pending_.push_back(PendingAcquire{fd, std::move(activate)});
+      queued_.inc();
+      update_gauges_locked();
+      return true;  // granted later, from release()
+    } else {
+      rejected_.inc();
+      ::close(fd);
+      return false;
+    }
+  }
+  activate_on_loop(fd, std::move(activate));
+  return true;
+}
+
+void ConnectionManager::release(const Channel& channel) {
+  PendingAcquire next{-1, {}};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    frames_in_.inc(channel.frames_in());
+    frames_out_.inc(channel.frames_out());
+    bytes_in_.inc(channel.bytes_in());
+    bytes_out_.inc(channel.bytes_out());
+    watermark_pauses_.inc(channel.watermark_pauses());
+    closed_.inc();
+    if (!pending_.empty()) {
+      next = std::move(pending_.front());
+      pending_.pop_front();
+      accepted_.inc();  // the slot transfers, active_ stays
+    } else {
+      --active_;
+    }
+    update_gauges_locked();
+  }
+  if (next.fd >= 0) activate_on_loop(next.fd, std::move(next.activate));
+}
+
+void ConnectionManager::record_decode_error(DecodeError error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  decode_errors_[static_cast<std::size_t>(error)]->inc();
+}
+
+std::string ConnectionManager::metrics_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.to_json();
+}
+
+std::size_t ConnectionManager::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+std::size_t ConnectionManager::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void ConnectionManager::activate_on_loop(int fd, Activate activate) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+  }
+  EventLoop& loop = loops_.next();
+  auto channel = std::make_shared<Channel>(loop, fd, config_.channel, id);
+  loop.post([channel, activate = std::move(activate)] { activate(channel); });
+}
+
+void ConnectionManager::update_gauges_locked() {
+  active_gauge_.set(static_cast<double>(active_));
+  pending_gauge_.set(static_cast<double>(pending_.size()));
+}
+
+}  // namespace rattrap::rpc

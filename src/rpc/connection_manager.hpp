@@ -1,0 +1,110 @@
+// Bounded connection admission for the RPC server.
+//
+// The socket front door mirrors the platform's admission front door: at
+// most max_active connections hold a channel at once; the next
+// max_pending accepted sockets wait in a bounded pending-acquire queue
+// (counted, FIFO); anything beyond that is rejected on the spot — the
+// fd is closed and rpc.conn.rejected ticks, the kQueueFull analog at
+// the transport layer (docs/RPC.md).
+//
+// Every accounting event lands in the manager's own MetricsRegistry —
+// never a Platform's, so sim-clock metric fingerprints stay comparable
+// across transports.  MetricsRegistry itself is not thread-safe: the
+// manager pre-creates every instrument it will ever touch in its
+// constructor (before any I/O thread can race the registry maps) and
+// serializes updates and metrics_json() snapshots behind its mutex.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/event_loop.hpp"
+
+namespace rattrap::rpc {
+
+struct ConnectionManagerConfig {
+  /// Connections holding a live channel at once.
+  std::size_t max_active = 64;
+  /// Accepted sockets allowed to wait for a slot; beyond this, reject.
+  std::size_t max_pending = 128;
+  ChannelConfig channel;
+};
+
+class ConnectionManager {
+ public:
+  /// Runs on the channel's loop thread once a slot is granted; attaches
+  /// the handler pipeline and calls Channel::start().
+  using Activate = std::function<void(const std::shared_ptr<Channel>&)>;
+
+  ConnectionManager(EventLoopGroup& loops, ConnectionManagerConfig config,
+                    obs::MetricsRegistry& metrics);
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Thread-safe; takes ownership of `fd`.  Grants a slot now, queues
+  /// the acquire, or rejects (closing `fd`) when the queue is full —
+  /// returns false only for the reject.
+  bool acquire(int fd, Activate activate);
+
+  /// Thread-safe; a granted connection ended.  Folds the channel's
+  /// tallies into rpc.* metrics and admits the oldest pending acquire.
+  void release(const Channel& channel);
+
+  /// Thread-safe; a protocol violation on a live channel.
+  void record_decode_error(DecodeError error);
+
+  /// Thread-safe snapshot of the rpc.* registry (consistent with every
+  /// update, which all hold the same mutex).
+  [[nodiscard]] std::string metrics_json() const;
+
+  [[nodiscard]] std::size_t active() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] const ConnectionManagerConfig& config() const {
+    return config_;
+  }
+
+ private:
+  struct PendingAcquire {
+    int fd;
+    Activate activate;
+  };
+
+  /// Caller must hold a granted slot; picks a loop and activates there.
+  void activate_on_loop(int fd, Activate activate);
+  void update_gauges_locked();
+
+  EventLoopGroup& loops_;
+  ConnectionManagerConfig config_;
+  obs::MetricsRegistry& metrics_;
+
+  mutable std::mutex mutex_;
+  std::size_t active_ = 0;
+  std::deque<PendingAcquire> pending_;
+  std::uint64_t next_id_ = 1;
+
+  // Cached instrument handles (stable for the registry lifetime),
+  // created before any thread can touch the registry.
+  obs::Counter& accepted_;
+  obs::Counter& rejected_;
+  obs::Counter& queued_;
+  obs::Counter& closed_;
+  obs::Gauge& active_gauge_;
+  obs::Gauge& pending_gauge_;
+  obs::Counter& frames_in_;
+  obs::Counter& frames_out_;
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Counter& watermark_pauses_;
+  /// Indexed by DecodeError value; kNone's slot exists but never ticks.
+  std::array<obs::Counter*, 6> decode_errors_{};
+};
+
+}  // namespace rattrap::rpc

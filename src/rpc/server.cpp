@@ -1,0 +1,329 @@
+#include "rpc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/server.hpp"
+#include "obs/trace.hpp"
+
+namespace rattrap::rpc {
+
+namespace {
+/// Trace track namespace for connection spans: session tracks use the
+/// request sequence as tid, so park connections far above them.
+constexpr std::uint64_t kConnTrackBase = 1u << 20;
+}  // namespace
+
+/// Per-connection pipeline stage: decodes client frames into typed
+/// commands for the platform worker.  Lives on the channel's loop
+/// thread; the only cross-thread edge is the command queue.
+class ServerConnection : public ChannelHandler {
+ public:
+  ServerConnection(Server& server, std::uint64_t conn_id)
+      : server_(server), conn_id_(conn_id) {}
+
+  void on_frame(Channel& channel, Frame frame) override {
+    const std::uint8_t* data = frame.payload.data();
+    const std::size_t size = frame.payload.size();
+    Server::Command command;
+    command.conn_id = conn_id_;
+    command.channel = channel.weak_from_this();
+    switch (frame.opcode) {
+      case Opcode::kOpenSession: {
+        Decoded<core::SessionConfig> decoded = decode_open_session(data, size);
+        if (!decoded.ok()) return protocol_error(channel, decoded.error);
+        command.kind = Server::Command::Kind::kOpen;
+        command.open_config = std::move(decoded.value);
+        break;
+      }
+      case Opcode::kSubmit: {
+        Decoded<SubmitRequest> decoded = decode_submit(data, size);
+        if (!decoded.ok()) return protocol_error(channel, decoded.error);
+        command.kind = Server::Command::Kind::kSubmit;
+        command.stream_id = decoded.value.stream_id;
+        command.request = decoded.value.request;
+        break;
+      }
+      case Opcode::kResult: {
+        Decoded<std::uint64_t> decoded = decode_result_request(data, size);
+        if (!decoded.ok()) return protocol_error(channel, decoded.error);
+        command.kind = Server::Command::Kind::kResult;
+        command.sequence = decoded.value;
+        break;
+      }
+      case Opcode::kClose: {
+        Decoded<std::uint64_t> decoded = decode_close(data, size);
+        if (!decoded.ok()) return protocol_error(channel, decoded.error);
+        command.kind = Server::Command::Kind::kClose;
+        command.stream_id = decoded.value;
+        break;
+      }
+      case Opcode::kMetrics: {
+        if (size != 0) return protocol_error(channel, DecodeError::kTrailingBytes);
+        command.kind = Server::Command::Kind::kMetrics;
+        break;
+      }
+      default:
+        // Reply opcodes arriving at the server are a protocol violation.
+        return protocol_error(channel, DecodeError::kBadPayload);
+    }
+    server_.enqueue(std::move(command));
+  }
+
+  void on_decode_error(Channel& channel, DecodeError error) override {
+    server_.manager_->record_decode_error(error);
+    // Best-effort typed error before the channel closes under us.
+    std::vector<std::uint8_t> bytes;
+    encode_error(error, to_string(error), bytes);
+    channel.send(std::move(bytes));
+  }
+
+  void on_close(Channel& channel) override {
+    server_.manager_->release(channel);
+    Server::Command command;
+    command.kind = Server::Command::Kind::kConnClose;
+    command.conn_id = conn_id_;
+    server_.enqueue(std::move(command));
+  }
+
+ private:
+  void protocol_error(Channel& channel, DecodeError error) {
+    server_.manager_->record_decode_error(error);
+    std::vector<std::uint8_t> bytes;
+    encode_error(error, to_string(error), bytes);
+    channel.send(std::move(bytes));
+    channel.close();
+  }
+
+  Server& server_;
+  std::uint64_t conn_id_;
+};
+
+Server::Server(core::Platform& platform, ServerConfig config)
+    : platform_(platform),
+      config_(std::move(config)),
+      sessions_opened_(rpc_metrics_.counter("rpc.sessions.opened")),
+      sessions_rejected_(rpc_metrics_.counter("rpc.sessions.rejected")),
+      submits_(rpc_metrics_.counter("rpc.submits")),
+      closes_(rpc_metrics_.counter("rpc.closes")),
+      outcomes_streamed_(rpc_metrics_.counter("rpc.outcomes.streamed")) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (started_) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  loops_ = std::make_unique<EventLoopGroup>(config_.io_threads);
+  manager_ = std::make_unique<ConnectionManager>(
+      *loops_, config_.connections, rpc_metrics_);
+
+  accept_loop_ = std::make_unique<EventLoop>();
+  accept_loop_->post([this] {
+    accept_loop_->add_fd(listen_fd_, EPOLLIN,
+                         [this](std::uint32_t) { accept_ready(); });
+  });
+  accept_thread_ = std::thread([this] { accept_loop_->run(); });
+  worker_ = std::thread([this] { worker_main(); });
+  started_ = true;
+  return true;
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  accept_loop_->stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  loops_->stop_and_join();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    worker_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::string Server::rpc_metrics_json() const {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return manager_ ? manager_->metrics_json() : rpc_metrics_.to_json();
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / shutdown
+    manager_->acquire(fd, [this](const std::shared_ptr<Channel>& channel) {
+      auto handler =
+          std::make_shared<ServerConnection>(*this, channel->id());
+      Command command;
+      command.kind = Command::Kind::kConnOpen;
+      command.conn_id = channel->id();
+      enqueue(std::move(command));
+      channel->start(handler);
+    });
+  }
+}
+
+void Server::enqueue(Command command) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(command));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_main() {
+  while (true) {
+    Command command;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return worker_stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (worker_stop_) return;
+        continue;
+      }
+      command = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(command);
+  }
+}
+
+void Server::reply(const std::weak_ptr<Channel>& channel,
+                   std::vector<std::uint8_t> bytes) {
+  const std::shared_ptr<Channel> locked = channel.lock();
+  if (!locked) return;  // connection died before the reply
+  locked->loop().post([locked, bytes = std::move(bytes)]() mutable {
+    locked->send(std::move(bytes));
+  });
+}
+
+void Server::execute(Command& command) {
+  const sim::SimTime now = platform_.server().simulator().now();
+  obs::TraceRecorder& trace = platform_.trace();
+  switch (command.kind) {
+    case Command::Kind::kConnOpen: {
+      const obs::SpanId span = trace.begin(
+          kConnTrackBase + command.conn_id, "rpc.connection", "rpc", now);
+      trace.annotate(span, "conn", command.conn_id);
+      conn_spans_[command.conn_id] = span;
+      break;
+    }
+    case Command::Kind::kConnClose: {
+      auto span = conn_spans_.find(command.conn_id);
+      if (span != conn_spans_.end()) {
+        trace.end(span->second,
+                  platform_.server().simulator().now());
+        conn_spans_.erase(span);
+      }
+      // Dropping the Session handles closes the abandoned streams.
+      for (auto it = streams_.begin(); it != streams_.end();) {
+        if (it->second.conn_id == command.conn_id) {
+          it = streams_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case Command::Kind::kOpen: {
+      core::Result<core::Session> opened =
+          platform_.open_session(std::move(command.open_config));
+      OpenSessionReply body;
+      if (opened.ok()) {
+        body.stream_id = next_stream_id_++;
+        streams_.emplace(
+            body.stream_id,
+            StreamState{std::move(*opened), command.conn_id});
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        sessions_opened_.inc();
+      } else {
+        body.reject = opened.error();
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        sessions_rejected_.inc();
+      }
+      std::vector<std::uint8_t> bytes;
+      encode_open_session_reply(body, bytes);
+      reply(command.channel, std::move(bytes));
+      break;
+    }
+    case Command::Kind::kSubmit: {
+      auto it = streams_.find(command.stream_id);
+      if (it == streams_.end()) break;  // stream closed or never opened
+      it->second.session.submit(command.request);
+      const std::lock_guard<std::mutex> lock(metrics_mutex_);
+      submits_.inc();
+      break;
+    }
+    case Command::Kind::kResult: {
+      std::vector<std::uint8_t> bytes;
+      encode_result_reply(platform_.result(command.sequence), bytes);
+      reply(command.channel, std::move(bytes));
+      break;
+    }
+    case Command::Kind::kClose: {
+      std::vector<core::RequestOutcome> outcomes;
+      auto it = streams_.find(command.stream_id);
+      if (it != streams_.end()) {
+        outcomes = it->second.session.close();
+        streams_.erase(it);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(metrics_mutex_);
+        closes_.inc();
+        outcomes_streamed_.inc(outcomes.size());
+      }
+      for (std::size_t first = 0; first < outcomes.size();
+           first += kResultChunkCap) {
+        const std::size_t count =
+            std::min(kResultChunkCap, outcomes.size() - first);
+        std::vector<std::uint8_t> bytes;
+        encode_result_chunk(outcomes, first, count, bytes);
+        reply(command.channel, std::move(bytes));
+      }
+      std::vector<std::uint8_t> bytes;
+      encode_close_done(outcomes.size(), bytes);
+      reply(command.channel, std::move(bytes));
+      break;
+    }
+    case Command::Kind::kMetrics: {
+      std::vector<std::uint8_t> bytes;
+      encode_metrics_reply(platform_.metrics().to_json(), bytes);
+      reply(command.channel, std::move(bytes));
+      break;
+    }
+  }
+}
+
+}  // namespace rattrap::rpc

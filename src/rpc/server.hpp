@@ -1,0 +1,149 @@
+// rpc::Server — the live-traffic front door: a real Platform behind
+// real sockets.
+//
+// Architecture (docs/RPC.md):
+//
+//   accept loop ──► ConnectionManager (bounded pending-acquire)
+//        │                 │ grants a slot
+//        ▼                 ▼
+//   EventLoopGroup: channels decode frames on their loop threads and
+//   enqueue typed commands on a FIFO command queue
+//        │
+//        ▼
+//   one platform worker thread owns the Platform (which is not
+//   thread-safe) and executes commands in arrival order; replies are
+//   posted back to the originating channel's loop.
+//
+// Because one client connection delivers its frames in TCP order and
+// the worker executes them FIFO, a loopback run submits the identical
+// call sequence a sim-clock driver would — the sim path stays the
+// byte-identical golden twin of the socket path (the parity test in
+// tests/tools/test_loadgen_cli.cpp holds the two fingerprints equal).
+//
+// rpc.* metrics live in the server's own registry (schema v5), never
+// the Platform's.  Connection lifecycle spans land in the Platform's
+// TraceRecorder from the worker thread (its single writer), stamped
+// with the platform's virtual clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/platform.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/connection_manager.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/wire.hpp"
+
+namespace rattrap::rpc {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  std::size_t io_threads = 2;
+  ConnectionManagerConfig connections;
+};
+
+class Server {
+ public:
+  /// The platform must outlive the server; the server's worker thread
+  /// becomes its sole driver while the server runs.
+  Server(core::Platform& platform, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the I/O loops + platform worker.
+  [[nodiscard]] bool start();
+
+  /// Drains and joins everything; idempotent.
+  void stop();
+
+  /// Bound port (resolves an ephemeral request after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// rpc.* registry snapshot (thread-safe while running).
+  [[nodiscard]] std::string rpc_metrics_json() const;
+
+  [[nodiscard]] ConnectionManager& connections() { return *manager_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  friend class ServerConnection;
+
+  struct Command {
+    enum class Kind {
+      kConnOpen,   ///< connection granted a slot (trace span begins)
+      kConnClose,  ///< connection gone: drop its sessions, end its span
+      kOpen,       ///< open_session → OpenSessionReply
+      kSubmit,     ///< one-way submit on a stream
+      kResult,     ///< poll one sequence → ResultReply
+      kClose,      ///< close a stream → kResultChunk* + kCloseDone
+      kMetrics,    ///< platform metrics JSON → kMetricsReply
+    };
+    Kind kind;
+    std::uint64_t conn_id = 0;
+    std::weak_ptr<Channel> channel;
+    core::SessionConfig open_config;
+    std::uint64_t stream_id = 0;
+    std::uint64_t sequence = 0;
+    workloads::OffloadRequest request;
+  };
+
+  void enqueue(Command command);
+  void worker_main();
+  void execute(Command& command);
+  void reply(const std::weak_ptr<Channel>& channel,
+             std::vector<std::uint8_t> bytes);
+  void accept_ready();
+
+  core::Platform& platform_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  obs::MetricsRegistry rpc_metrics_;
+
+  // Declared before the loops/threads that use them.
+  std::unique_ptr<EventLoopGroup> loops_;
+  std::unique_ptr<ConnectionManager> manager_;
+  std::unique_ptr<EventLoop> accept_loop_;
+  std::thread accept_thread_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Command> queue_;
+  bool worker_stop_ = false;
+  std::thread worker_;
+
+  // Worker-thread-only state.
+  struct StreamState {
+    core::Session session;
+    std::uint64_t conn_id = 0;
+  };
+  std::map<std::uint64_t, StreamState> streams_;
+  std::map<std::uint64_t, obs::SpanId> conn_spans_;
+  std::uint64_t next_stream_id_ = 1;
+
+  // Serializes worker-thread instrument updates against
+  // rpc_metrics_json() snapshots (instruments pre-created in the ctor
+  // so the registry maps never mutate cross-thread).
+  mutable std::mutex metrics_mutex_;
+  obs::Counter& sessions_opened_;
+  obs::Counter& sessions_rejected_;
+  obs::Counter& submits_;
+  obs::Counter& closes_;
+  obs::Counter& outcomes_streamed_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace rattrap::rpc

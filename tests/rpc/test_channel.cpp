@@ -1,0 +1,247 @@
+// Channel battery over socketpairs: framed dispatch in order, write
+// watermarks pausing and resuming reads (backpressure), typed decode
+// errors closing the connection.  Runs under TSan in CI.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/channel.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/wire.hpp"
+
+namespace rattrap::rpc {
+namespace {
+
+/// Records every callback; all mutation happens on the loop thread, the
+/// test thread only polls the atomics.
+class RecordingHandler : public ChannelHandler {
+ public:
+  void on_frame(Channel& channel, Frame frame) override {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      opcodes_.push_back(frame.opcode);
+    }
+    frames_.fetch_add(1);
+    if (echo_) {
+      std::vector<std::uint8_t> bytes;
+      encode_close_done(frames_.load(), bytes);
+      channel.send(std::move(bytes));
+    }
+  }
+  void on_decode_error(Channel&, DecodeError error) override {
+    error_.store(static_cast<int>(error));
+  }
+  void on_writable(Channel&) override { writable_.fetch_add(1); }
+  void on_close(Channel&) override { closed_.store(true); }
+
+  std::vector<Opcode> opcodes() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return opcodes_;
+  }
+
+  bool echo_ = false;
+  std::atomic<int> frames_{0};
+  std::atomic<int> writable_{0};
+  std::atomic<int> error_{-1};
+  std::atomic<bool> closed_{false};
+
+ private:
+  std::mutex mutex_;
+  std::vector<Opcode> opcodes_;
+};
+
+struct LoopFixture {
+  LoopFixture() : runner([this] { loop.run(); }) {}
+  ~LoopFixture() {
+    loop.stop();
+    runner.join();
+  }
+  /// Runs `fn` on the loop thread and waits for it.
+  template <typename Fn>
+  auto on_loop(Fn fn) {
+    std::promise<decltype(fn())> promise;
+    auto future = promise.get_future();
+    loop.post([&] { promise.set_value(fn()); });
+    return future.get();
+  }
+
+  EventLoop loop;
+  std::thread runner;
+};
+
+void wait_until(const std::function<bool()>& done) {
+  for (int i = 0; i < 50000 && !done(); ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(done());
+}
+
+TEST(Channel, DispatchesFramesInOrderAndEchoesReplies) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LoopFixture fixture;
+  auto handler = std::make_shared<RecordingHandler>();
+  handler->echo_ = true;
+  auto channel = std::make_shared<Channel>(fixture.loop, fds[0],
+                                           ChannelConfig{}, 1);
+  fixture.on_loop([&] {
+    channel->start(handler);
+    return 0;
+  });
+
+  std::vector<std::uint8_t> wire;
+  encode_metrics_request(wire);
+  encode_close(5, wire);
+  encode_result_request(9, wire);
+  ASSERT_EQ(::send(fds[1], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  wait_until([&] { return handler->frames_.load() == 3; });
+  const std::vector<Opcode> opcodes = handler->opcodes();
+  ASSERT_EQ(opcodes.size(), 3u);
+  EXPECT_EQ(opcodes[0], Opcode::kMetrics);
+  EXPECT_EQ(opcodes[1], Opcode::kClose);
+  EXPECT_EQ(opcodes[2], Opcode::kResult);
+
+  // Three echoed kCloseDone frames come back on the raw end.
+  FrameSplitter splitter;
+  std::uint8_t buffer[4096];
+  int echoed = 0;
+  while (echoed < 3) {
+    const ssize_t n = ::recv(fds[1], buffer, sizeof buffer, 0);
+    ASSERT_GT(n, 0);
+    splitter.feed(buffer, static_cast<std::size_t>(n));
+    while (true) {
+      FrameSplitter::Item item = splitter.next();
+      ASSERT_EQ(item.error, DecodeError::kNone);
+      if (!item.has) break;
+      EXPECT_EQ(item.frame.opcode, Opcode::kCloseDone);
+      ++echoed;
+    }
+  }
+  fixture.on_loop([&] {
+    channel->close();
+    return 0;
+  });
+  ::close(fds[1]);
+}
+
+TEST(Channel, WriteWatermarkPausesReadingAndResumesAfterDrain) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Tiny kernel buffers so queued bytes pile up in the channel.
+  const int small = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+
+  LoopFixture fixture;
+  auto handler = std::make_shared<RecordingHandler>();
+  ChannelConfig config;
+  config.write_high_watermark = 16 * 1024;
+  config.write_low_watermark = 4 * 1024;
+  auto channel =
+      std::make_shared<Channel>(fixture.loop, fds[0], config, 2);
+  fixture.on_loop([&] {
+    channel->start(handler);
+    return 0;
+  });
+
+  // Queue ~256 KiB without anyone reading the far end: the queue must
+  // cross the high watermark and pause reading.
+  const std::string blob(8 * 1024, 'x');
+  std::size_t total_wire = 0;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint8_t> bytes;
+    encode_metrics_reply(blob, bytes);
+    total_wire += bytes.size();
+    fixture.loop.post([channel, bytes = std::move(bytes)]() mutable {
+      channel->send(std::move(bytes));
+    });
+  }
+  wait_until([&] {
+    return fixture.on_loop([&] { return channel->paused(); });
+  });
+  EXPECT_GE(fixture.on_loop([&] { return channel->watermark_pauses(); }), 1u);
+
+  // Drain the far end; the channel flushes, drops below the low
+  // watermark, resumes reading and fires on_writable.
+  std::size_t received = 0;
+  std::uint8_t buffer[8192];
+  while (received < total_wire) {
+    const ssize_t n = ::recv(fds[1], buffer, sizeof buffer, 0);
+    ASSERT_GT(n, 0);
+    received += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(received, total_wire);
+  wait_until([&] {
+    return fixture.on_loop([&] { return !channel->paused(); });
+  });
+  wait_until([&] { return handler->writable_.load() >= 1; });
+
+  // Reading still works after the resume.
+  std::vector<std::uint8_t> wire;
+  encode_metrics_request(wire);
+  ASSERT_EQ(::send(fds[1], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  wait_until([&] { return handler->frames_.load() == 1; });
+
+  fixture.on_loop([&] {
+    channel->close();
+    return 0;
+  });
+  ::close(fds[1]);
+}
+
+TEST(Channel, ProtocolViolationReportsTypedErrorThenCloses) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LoopFixture fixture;
+  auto handler = std::make_shared<RecordingHandler>();
+  auto channel = std::make_shared<Channel>(fixture.loop, fds[0],
+                                           ChannelConfig{}, 3);
+  fixture.on_loop([&] {
+    channel->start(handler);
+    return 0;
+  });
+  // Length prefix far beyond kMaxFrameBytes.
+  const std::uint8_t poison[5] = {0xFF, 0xFF, 0xFF, 0xFF, 3};
+  ASSERT_EQ(::send(fds[1], poison, sizeof poison, 0), 5);
+  wait_until([&] { return handler->closed_.load(); });
+  EXPECT_EQ(handler->error_.load(),
+            static_cast<int>(DecodeError::kOversizedFrame));
+  ::close(fds[1]);
+}
+
+TEST(Channel, PeerEofMidFrameReportsTruncated) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  LoopFixture fixture;
+  auto handler = std::make_shared<RecordingHandler>();
+  auto channel = std::make_shared<Channel>(fixture.loop, fds[0],
+                                           ChannelConfig{}, 4);
+  fixture.on_loop([&] {
+    channel->start(handler);
+    return 0;
+  });
+  std::vector<std::uint8_t> wire;
+  encode_close(1, wire);
+  wire.pop_back();
+  ASSERT_EQ(::send(fds[1], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds[1]);  // EOF with a partial frame buffered
+  wait_until([&] { return handler->closed_.load(); });
+  EXPECT_EQ(handler->error_.load(),
+            static_cast<int>(DecodeError::kTruncated));
+}
+
+}  // namespace
+}  // namespace rattrap::rpc

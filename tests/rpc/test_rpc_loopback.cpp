@@ -1,0 +1,242 @@
+// End-to-end loopback battery: rpc::Server hosting a real Platform
+// behind 127.0.0.1 sockets, driven by rpc::ClientTransport.  The load
+// run must match the in-process LocalSessionTransport twin outcome for
+// outcome and fingerprint for fingerprint (the sim-twin guarantee of
+// docs/RPC.md), typed rejects must cross the wire, hostile clients must
+// get typed error frames, and connection spans must land in the
+// platform trace.
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/load_driver.hpp"
+#include "core/platform.hpp"
+#include "obs/trace.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "rpc/wire.hpp"
+
+namespace rattrap::rpc {
+namespace {
+
+using core::LoadDriverConfig;
+using core::LoadSummary;
+using core::Platform;
+
+core::PlatformConfig platform_config(std::uint64_t seed) {
+  core::PlatformConfig config =
+      core::make_config(core::PlatformKind::kRattrap, net::lan_wifi(), seed);
+  return config;
+}
+
+LoadDriverConfig small_load() {
+  LoadDriverConfig config;
+  config.loadgen.devices = 64;
+  config.loadgen.requests = 300;
+  config.loadgen.rate_per_s = 120;
+  config.loadgen.seed = 11;
+  return config;
+}
+
+TEST(RpcLoopback, MatchesTheSimTwinOutcomeForOutcomeAndByteForByte) {
+  // Sim twin: the same workload through LocalSessionTransport.
+  Platform local_platform(platform_config(11));
+  core::LocalSessionTransport local(local_platform);
+  const LoadSummary sim = core::run_load_transport(local, small_load());
+  const std::string sim_metrics = local_platform.metrics().to_json();
+
+  // Socket path: identically-seeded platform behind a loopback server.
+  Platform rpc_platform(platform_config(11));
+  Server server(rpc_platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+  auto client = ClientTransport::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  const LoadSummary rpc = core::run_load_transport(*client, small_load());
+  const std::string rpc_metrics = client->fetch_metrics();
+  ASSERT_TRUE(client->ok());
+  client.reset();
+  server.stop();
+
+  EXPECT_EQ(sim.offered, rpc.offered);
+  EXPECT_EQ(sim.completed, rpc.completed);
+  EXPECT_EQ(sim.rejected, rpc.rejected);
+  EXPECT_EQ(sim.stranded, rpc.stranded);
+  EXPECT_DOUBLE_EQ(sim.mean_ms, rpc.mean_ms);
+  EXPECT_DOUBLE_EQ(sim.p99_ms, rpc.p99_ms);
+  EXPECT_DOUBLE_EQ(sim.duration_s, rpc.duration_s);
+  // The golden-twin teeth: byte-identical server-side metrics.
+  EXPECT_EQ(sim_metrics, rpc_metrics);
+  // Accounting identity over the wire.
+  EXPECT_EQ(rpc.offered, rpc.completed + rpc.rejected);
+}
+
+TEST(RpcLoopback, TypedOpenSessionRejectsCrossTheWire) {
+  Platform platform(platform_config(1));
+  Server server(platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+  auto client = ClientTransport::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  core::SessionConfig invalid;
+  invalid.tenant = "t";
+  invalid.tenant_weight = 0;  // kInvalidConfig at the platform front door
+  const core::Result<std::uint64_t> opened = client->open_session(invalid);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error(), core::RejectReason::kInvalidConfig);
+
+  // The connection survives a typed reject: a valid open still works.
+  const core::Result<std::uint64_t> valid =
+      client->open_session(core::SessionConfig{});
+  ASSERT_TRUE(valid.ok());
+  EXPECT_GT(*valid, 0u);
+  client.reset();
+  server.stop();
+}
+
+TEST(RpcLoopback, SubmitResultCloseRoundTripsOutcomes) {
+  Platform platform(platform_config(2));
+  Server server(platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+  auto client = ClientTransport::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  const core::Result<std::uint64_t> stream =
+      client->open_session(core::SessionConfig{});
+  ASSERT_TRUE(stream.ok());
+  workloads::OffloadRequest request;
+  request.sequence = 0;
+  request.device_id = 1;
+  request.arrival = 0;
+  request.task.kind = workloads::Kind::kLinpack;
+  request.task.seed = 7;
+  for (std::uint64_t sequence = 0; sequence < 5; ++sequence) {
+    request.sequence = sequence;
+    request.arrival = static_cast<sim::SimTime>(sequence * 1000);
+    client->submit(*stream, request);
+  }
+  const std::vector<core::RequestOutcome> outcomes = client->close(*stream);
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (std::uint64_t sequence = 0; sequence < 5; ++sequence) {
+    EXPECT_EQ(outcomes[sequence].request.sequence, sequence);
+    EXPECT_FALSE(outcomes[sequence].rejected);
+  }
+  // The result poll answers from the drained run, any sequence.
+  const auto polled = client->result(3);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->request.sequence, 3u);
+  EXPECT_EQ(polled->response, outcomes[3].response);
+  // An unknown sequence is absent, not an error.
+  EXPECT_FALSE(client->result(99999).has_value());
+  EXPECT_TRUE(client->ok());
+  client.reset();
+  server.stop();
+}
+
+TEST(RpcLoopback, HostileBytesGetATypedErrorFrameAndCountedMetric) {
+  Platform platform(platform_config(3));
+  Server server(platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+
+  // Raw socket, no protocol: an oversized length prefix.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  const std::uint8_t poison[5] = {0xFF, 0xFF, 0xFF, 0x7F, 1};
+  ASSERT_EQ(::send(fd, poison, sizeof poison, 0), 5);
+
+  // The server answers with a typed kError frame, then closes.
+  FrameSplitter splitter;
+  std::uint8_t buffer[1024];
+  bool saw_error = false;
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;  // server closed on us, as specified
+    splitter.feed(buffer, static_cast<std::size_t>(n));
+    FrameSplitter::Item item = splitter.next();
+    if (item.has && item.frame.opcode == Opcode::kError) {
+      const Decoded<ErrorFrame> decoded =
+          decode_error(item.frame.payload.data(), item.frame.payload.size());
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value.error, DecodeError::kOversizedFrame);
+      saw_error = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(saw_error);
+  const std::string metrics = server.rpc_metrics_json();
+  EXPECT_NE(metrics.find("\"rpc.decode_errors.oversized_frame\":1"),
+            std::string::npos)
+      << metrics;
+  server.stop();
+}
+
+TEST(RpcLoopback, ConnectionSpansLandInThePlatformTrace) {
+  Platform platform(platform_config(4));
+  platform.trace().enable();
+  Server server(platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+  {
+    auto client = ClientTransport::connect("127.0.0.1", server.port());
+    ASSERT_NE(client, nullptr);
+    const auto stream = client->open_session(core::SessionConfig{});
+    ASSERT_TRUE(stream.ok());
+    client->close(*stream);
+  }  // disconnect ends the connection span
+  server.stop();
+  bool saw_connection_span = false;
+  for (const obs::SpanRecord& span : platform.trace().spans()) {
+    if (span.name == "rpc.connection") {
+      saw_connection_span = true;
+      EXPECT_FALSE(span.open());  // closed when the connection dropped
+    }
+  }
+  EXPECT_TRUE(saw_connection_span);
+}
+
+TEST(RpcLoopback, AbandonedConnectionSweepsItsStreams) {
+  // A client that vanishes without close() must not wedge the platform:
+  // the server drops the dead connection's sessions, and a fresh client
+  // can run the next load to completion.
+  Platform platform(platform_config(5));
+  Server server(platform, ServerConfig{});
+  ASSERT_TRUE(server.start());
+  {
+    auto client = ClientTransport::connect("127.0.0.1", server.port());
+    ASSERT_NE(client, nullptr);
+    const auto stream = client->open_session(core::SessionConfig{});
+    ASSERT_TRUE(stream.ok());
+    workloads::OffloadRequest request;
+    request.sequence = 0;
+    request.task.kind = workloads::Kind::kLinpack;
+    request.task.seed = 3;
+    client->submit(*stream, request);
+  }  // vanish mid-run
+  auto client = ClientTransport::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  const auto stream = client->open_session(core::SessionConfig{});
+  ASSERT_TRUE(stream.ok());
+  workloads::OffloadRequest request;
+  request.sequence = 1;
+  request.task.kind = workloads::Kind::kLinpack;
+  request.task.seed = 3;
+  client->submit(*stream, request);
+  const auto outcomes = client->close(*stream);
+  EXPECT_EQ(outcomes.size(), 1u);
+  client.reset();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rattrap::rpc

@@ -1,0 +1,519 @@
+// Wire-codec property battery (docs/RPC.md): every Session API frame
+// round-trips bit-exactly, and a malformed-frame corpus — truncations
+// at every byte boundary, oversized length prefixes, unknown opcodes,
+// garbage payloads, trailing bytes — produces typed decode errors,
+// never crashes.  The whole file runs under ASan/UBSan in CI, so an
+// out-of-bounds read in the decoder fails loudly here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/access_control.hpp"
+#include "core/qos/qos.hpp"
+#include "net/message.hpp"
+#include "rpc/wire.hpp"
+#include "sim/random.hpp"
+
+namespace rattrap::rpc {
+namespace {
+
+core::SessionConfig sample_config(std::uint64_t salt) {
+  core::SessionConfig config;
+  config.tenant = "tenant-" + std::to_string(salt);
+  config.priority = static_cast<core::qos::PriorityClass>(
+      salt % core::qos::kClassCount);
+  config.tenant_weight = static_cast<std::uint32_t>(1 + salt % 7);
+  config.deadline = static_cast<sim::SimDuration>(salt * 1000);
+  for (std::uint64_t i = 0; i < salt % 4; ++i) {
+    config.probe_ops.push_back(
+        static_cast<core::Operation>((salt + i) % core::kOperationCount));
+  }
+  return config;
+}
+
+workloads::OffloadRequest sample_request(std::uint64_t salt) {
+  workloads::OffloadRequest request;
+  request.sequence = salt;
+  request.device_id = static_cast<std::uint32_t>(salt % 97);
+  request.arrival = static_cast<sim::SimTime>(salt * 13);
+  request.task.kind =
+      static_cast<workloads::Kind>(salt % workloads::kKindCount);
+  request.task.seed = salt ^ 0xdeadbeef;
+  request.task.size_class = static_cast<std::uint32_t>(salt % 3);
+  request.task.input_file_bytes = salt * 4096;
+  request.task.param_bytes = salt * 16;
+  request.task.result_bytes = salt * 64;
+  request.task.io_ops = static_cast<std::uint32_t>(salt % 11);
+  request.task.control_rounds = static_cast<std::uint32_t>(salt % 5);
+  return request;
+}
+
+core::RequestOutcome sample_outcome(std::uint64_t salt) {
+  core::RequestOutcome outcome;
+  outcome.request = sample_request(salt);
+  outcome.phases.network_connection = static_cast<sim::SimDuration>(salt + 1);
+  outcome.phases.runtime_preparation = static_cast<sim::SimDuration>(salt + 2);
+  outcome.phases.data_transfer = static_cast<sim::SimDuration>(salt + 3);
+  outcome.phases.computation = static_cast<sim::SimDuration>(salt + 4);
+  outcome.completed_at = static_cast<sim::SimTime>(salt * 29);
+  outcome.response = static_cast<sim::SimDuration>(salt * 7);
+  outcome.local_time = static_cast<sim::SimDuration>(salt * 11);
+  outcome.speedup = 1.5 + static_cast<double>(salt % 10);
+  outcome.offload_energy_mj = 0.25 * static_cast<double>(salt);
+  outcome.local_energy_mj = 0.75 * static_cast<double>(salt);
+  outcome.upload_time = static_cast<sim::SimDuration>(salt * 3);
+  outcome.download_time = static_cast<sim::SimDuration>(salt * 5);
+  for (std::size_t i = 0; i < net::kMessageTypeCount; ++i) {
+    outcome.traffic.up[i] = salt * (i + 1);
+    outcome.traffic.down[i] = salt * (i + 7);
+  }
+  outcome.env_id = static_cast<std::uint32_t>(salt % 41);
+  outcome.code_cache_hit = (salt % 2) != 0;
+  outcome.rejected = (salt % 5) == 0;
+  outcome.reject_reason =
+      outcome.rejected ? core::RejectReason::kQueueFull
+                       : core::RejectReason::kNone;
+  outcome.queue_wait = static_cast<sim::SimDuration>(salt % 1000);
+  outcome.tenant = "t" + std::to_string(salt % 3);
+  outcome.qos_class = static_cast<core::qos::PriorityClass>(
+      salt % core::qos::kClassCount);
+  outcome.deadline_missed = (salt % 3) == 0;
+  outcome.dispatch_attempts = static_cast<std::uint32_t>(1 + salt % 4);
+  outcome.connect_attempts = static_cast<std::uint32_t>(1 + salt % 2);
+  outcome.recovered = (salt % 7) == 0;
+  outcome.stranded = false;
+  outcome.radio = (salt % 2) != 0 ? "wifi" : "3g";
+  outcome.resumed = (salt % 11) == 0;
+  return outcome;
+}
+
+/// Splits one encoded frame back out; fails the test on malformed.
+Frame split_one(const std::vector<std::uint8_t>& bytes) {
+  FrameSplitter splitter;
+  splitter.feed(bytes.data(), bytes.size());
+  FrameSplitter::Item item = splitter.next();
+  EXPECT_EQ(item.error, DecodeError::kNone);
+  EXPECT_TRUE(item.has);
+  EXPECT_EQ(splitter.buffered(), 0u);
+  return std::move(item.frame);
+}
+
+void expect_request_eq(const workloads::OffloadRequest& a,
+                       const workloads::OffloadRequest& b) {
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.device_id, b.device_id);
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.task.kind, b.task.kind);
+  EXPECT_EQ(a.task.seed, b.task.seed);
+  EXPECT_EQ(a.task.size_class, b.task.size_class);
+  EXPECT_EQ(a.task.input_file_bytes, b.task.input_file_bytes);
+  EXPECT_EQ(a.task.param_bytes, b.task.param_bytes);
+  EXPECT_EQ(a.task.result_bytes, b.task.result_bytes);
+  EXPECT_EQ(a.task.io_ops, b.task.io_ops);
+  EXPECT_EQ(a.task.control_rounds, b.task.control_rounds);
+}
+
+void expect_outcome_eq(const core::RequestOutcome& a,
+                       const core::RequestOutcome& b) {
+  expect_request_eq(a.request, b.request);
+  EXPECT_EQ(a.phases.network_connection, b.phases.network_connection);
+  EXPECT_EQ(a.phases.runtime_preparation, b.phases.runtime_preparation);
+  EXPECT_EQ(a.phases.data_transfer, b.phases.data_transfer);
+  EXPECT_EQ(a.phases.computation, b.phases.computation);
+  EXPECT_EQ(a.completed_at, b.completed_at);
+  EXPECT_EQ(a.response, b.response);
+  EXPECT_EQ(a.local_time, b.local_time);
+  EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+  EXPECT_DOUBLE_EQ(a.offload_energy_mj, b.offload_energy_mj);
+  EXPECT_DOUBLE_EQ(a.local_energy_mj, b.local_energy_mj);
+  EXPECT_EQ(a.upload_time, b.upload_time);
+  EXPECT_EQ(a.download_time, b.download_time);
+  for (std::size_t i = 0; i < net::kMessageTypeCount; ++i) {
+    EXPECT_EQ(a.traffic.up[i], b.traffic.up[i]);
+    EXPECT_EQ(a.traffic.down[i], b.traffic.down[i]);
+  }
+  EXPECT_EQ(a.env_id, b.env_id);
+  EXPECT_EQ(a.code_cache_hit, b.code_cache_hit);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.reject_reason, b.reject_reason);
+  EXPECT_EQ(a.queue_wait, b.queue_wait);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.qos_class, b.qos_class);
+  EXPECT_EQ(a.deadline_missed, b.deadline_missed);
+  EXPECT_EQ(a.dispatch_attempts, b.dispatch_attempts);
+  EXPECT_EQ(a.connect_attempts, b.connect_attempts);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.stranded, b.stranded);
+  EXPECT_EQ(a.radio, b.radio);
+  EXPECT_EQ(a.resumed, b.resumed);
+}
+
+// -- Round trips -------------------------------------------------------
+
+TEST(Wire, OpenSessionRoundTripsEveryField) {
+  for (std::uint64_t salt = 0; salt < 40; ++salt) {
+    const core::SessionConfig config = sample_config(salt);
+    std::vector<std::uint8_t> bytes;
+    encode_open_session(config, bytes);
+    const Frame frame = split_one(bytes);
+    ASSERT_EQ(frame.opcode, Opcode::kOpenSession);
+    const Decoded<core::SessionConfig> decoded =
+        decode_open_session(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    EXPECT_EQ(decoded.value.tenant, config.tenant);
+    EXPECT_EQ(decoded.value.priority, config.priority);
+    EXPECT_EQ(decoded.value.tenant_weight, config.tenant_weight);
+    EXPECT_EQ(decoded.value.deadline, config.deadline);
+    EXPECT_EQ(decoded.value.probe_ops, config.probe_ops);
+  }
+}
+
+TEST(Wire, OpenSessionReplyRoundTripsEveryRejectReason) {
+  for (std::size_t code = 0; code < core::kRejectReasonCount; ++code) {
+    OpenSessionReply reply;
+    reply.reject = *core::reject_reason_from_wire(
+        static_cast<std::uint8_t>(code));
+    reply.stream_id = 1000 + code;
+    std::vector<std::uint8_t> bytes;
+    encode_open_session_reply(reply, bytes);
+    const Frame frame = split_one(bytes);
+    ASSERT_EQ(frame.opcode, Opcode::kOpenSessionReply);
+    const Decoded<OpenSessionReply> decoded =
+        decode_open_session_reply(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.reject, reply.reject);
+    EXPECT_EQ(decoded.value.stream_id, reply.stream_id);
+  }
+}
+
+TEST(Wire, SubmitRoundTripsRequests) {
+  for (std::uint64_t salt = 1; salt < 50; ++salt) {
+    std::vector<std::uint8_t> bytes;
+    encode_submit(salt * 3, sample_request(salt), bytes);
+    const Frame frame = split_one(bytes);
+    ASSERT_EQ(frame.opcode, Opcode::kSubmit);
+    const Decoded<SubmitRequest> decoded =
+        decode_submit(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.stream_id, salt * 3);
+    expect_request_eq(decoded.value.request, sample_request(salt));
+  }
+}
+
+TEST(Wire, ResultReplyRoundTripsPresentAndAbsent) {
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_result_reply(nullptr, bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<ResultReply> decoded =
+        decode_result_reply(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded.value.outcome.has_value());
+  }
+  for (std::uint64_t salt = 1; salt < 30; ++salt) {
+    const core::RequestOutcome outcome = sample_outcome(salt);
+    std::vector<std::uint8_t> bytes;
+    encode_result_reply(&outcome, bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<ResultReply> decoded =
+        decode_result_reply(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+    ASSERT_TRUE(decoded.value.outcome.has_value());
+    expect_outcome_eq(*decoded.value.outcome, outcome);
+  }
+}
+
+TEST(Wire, ResultChunkRoundTripsBatches) {
+  std::vector<core::RequestOutcome> outcomes;
+  for (std::uint64_t salt = 1; salt <= 20; ++salt) {
+    outcomes.push_back(sample_outcome(salt));
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_result_chunk(outcomes, 5, 10, bytes);
+  const Frame frame = split_one(bytes);
+  ASSERT_EQ(frame.opcode, Opcode::kResultChunk);
+  const Decoded<std::vector<core::RequestOutcome>> decoded =
+      decode_result_chunk(frame.payload.data(), frame.payload.size());
+  ASSERT_TRUE(decoded.ok()) << to_string(decoded.error);
+  ASSERT_EQ(decoded.value.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    expect_outcome_eq(decoded.value[i], outcomes[5 + i]);
+  }
+}
+
+TEST(Wire, ControlFramesRoundTrip) {
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_result_request(777, bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<std::uint64_t> decoded =
+        decode_result_request(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value, 777u);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_close(42, bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<std::uint64_t> decoded =
+        decode_close(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value, 42u);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_close_done(10000, bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<CloseDone> decoded =
+        decode_close_done(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.total, 10000u);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_metrics_reply("{\"schema\":5}", bytes);
+    const Frame frame = split_one(bytes);
+    const Decoded<std::string> decoded =
+        decode_metrics_reply(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value, "{\"schema\":5}");
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_error(DecodeError::kUnknownOpcode, "op 99", bytes);
+    const Frame frame = split_one(bytes);
+    ASSERT_EQ(frame.opcode, Opcode::kError);
+    const Decoded<ErrorFrame> decoded =
+        decode_error(frame.payload.data(), frame.payload.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value.error, DecodeError::kUnknownOpcode);
+    EXPECT_EQ(decoded.value.message, "op 99");
+  }
+}
+
+TEST(Wire, SplitterReassemblesByteDribbledStreams) {
+  // Three frames fed one byte at a time must come back intact, in order.
+  std::vector<std::uint8_t> stream;
+  encode_open_session(sample_config(3), stream);
+  encode_submit(1, sample_request(9), stream);
+  encode_close(1, stream);
+  FrameSplitter splitter;
+  std::vector<Opcode> seen;
+  for (const std::uint8_t byte : stream) {
+    splitter.feed(&byte, 1);
+    while (true) {
+      FrameSplitter::Item item = splitter.next();
+      ASSERT_EQ(item.error, DecodeError::kNone);
+      if (!item.has) break;
+      seen.push_back(item.frame.opcode);
+    }
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], Opcode::kOpenSession);
+  EXPECT_EQ(seen[1], Opcode::kSubmit);
+  EXPECT_EQ(seen[2], Opcode::kClose);
+  EXPECT_EQ(splitter.eof_error(), DecodeError::kNone);
+}
+
+// -- Malformed-frame corpus --------------------------------------------
+
+TEST(Wire, TruncatedPayloadsAtEveryBoundaryYieldTypedErrors) {
+  // Decode every strict prefix of every payload: the decoder must
+  // return kTruncated (or kBadPayload when the cut lands inside a
+  // validated field), never crash or succeed.
+  const core::RequestOutcome outcome = sample_outcome(17);
+  std::vector<std::vector<std::uint8_t>> frames(6);
+  encode_open_session(sample_config(5), frames[0]);
+  encode_submit(2, sample_request(8), frames[1]);
+  encode_result_reply(&outcome, frames[2]);
+  encode_open_session_reply({core::RejectReason::kQueueFull, 9}, frames[3]);
+  encode_close_done(3, frames[4]);
+  encode_error(DecodeError::kBadPayload, "x", frames[5]);
+
+  for (std::size_t which = 0; which < frames.size(); ++which) {
+    const Frame frame = split_one(frames[which]);
+    const std::uint8_t* payload = frame.payload.data();
+    for (std::size_t cut = 0; cut < frame.payload.size(); ++cut) {
+      DecodeError error = DecodeError::kNone;
+      switch (frame.opcode) {
+        case Opcode::kOpenSession:
+          error = decode_open_session(payload, cut).error;
+          break;
+        case Opcode::kSubmit:
+          error = decode_submit(payload, cut).error;
+          break;
+        case Opcode::kResultReply:
+          error = decode_result_reply(payload, cut).error;
+          break;
+        case Opcode::kOpenSessionReply:
+          error = decode_open_session_reply(payload, cut).error;
+          break;
+        case Opcode::kCloseDone:
+          error = decode_close_done(payload, cut).error;
+          break;
+        case Opcode::kError:
+          error = decode_error(payload, cut).error;
+          break;
+        default:
+          FAIL() << "unexpected opcode in corpus";
+      }
+      EXPECT_TRUE(error == DecodeError::kTruncated ||
+                  error == DecodeError::kBadPayload)
+          << "frame " << which << " cut at " << cut << " gave "
+          << to_string(error);
+    }
+  }
+}
+
+TEST(Wire, TrailingBytesAreATypedError) {
+  std::vector<std::uint8_t> bytes;
+  encode_close(7, bytes);
+  Frame frame = split_one(bytes);
+  frame.payload.push_back(0xAB);  // one byte past the message
+  const Decoded<std::uint64_t> decoded =
+      decode_close(frame.payload.data(), frame.payload.size());
+  EXPECT_EQ(decoded.error, DecodeError::kTrailingBytes);
+}
+
+TEST(Wire, OversizedLengthPrefixPoisonsTheConnection) {
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(huge >> (8 * i)));
+  }
+  bytes.push_back(static_cast<std::uint8_t>(Opcode::kSubmit));
+  FrameSplitter splitter;
+  splitter.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(splitter.next().error, DecodeError::kOversizedFrame);
+  // Sticky: the poisoned connection never yields frames again.
+  std::vector<std::uint8_t> good;
+  encode_close(1, good);
+  splitter.feed(good.data(), good.size());
+  EXPECT_EQ(splitter.next().error, DecodeError::kOversizedFrame);
+  EXPECT_EQ(splitter.eof_error(), DecodeError::kOversizedFrame);
+}
+
+TEST(Wire, UnknownOpcodeIsATypedError) {
+  for (const std::uint8_t opcode : {std::uint8_t{0}, std::uint8_t{11},
+                                    std::uint8_t{14}, std::uint8_t{200}}) {
+    std::vector<std::uint8_t> bytes = {1, 0, 0, 0, opcode};
+    FrameSplitter splitter;
+    splitter.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(splitter.next().error, DecodeError::kUnknownOpcode)
+        << "opcode " << int{opcode};
+  }
+}
+
+TEST(Wire, ZeroLengthFrameIsATypedError) {
+  const std::vector<std::uint8_t> bytes = {0, 0, 0, 0};
+  FrameSplitter splitter;
+  splitter.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(splitter.next().error, DecodeError::kBadPayload);
+}
+
+TEST(Wire, PartialFrameAtEofReportsTruncated) {
+  std::vector<std::uint8_t> bytes;
+  encode_submit(1, sample_request(4), bytes);
+  bytes.pop_back();  // peer vanished one byte early
+  FrameSplitter splitter;
+  splitter.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(splitter.next().has);
+  EXPECT_EQ(splitter.eof_error(), DecodeError::kTruncated);
+}
+
+TEST(Wire, GarbagePayloadsNeverCrashAnyDecoder) {
+  // Deterministic fuzz: random bytes through every decoder.  The only
+  // acceptable outcomes are ok() or a typed error.
+  sim::Rng rng(0xF00D);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> garbage(rng() % 256);
+    for (std::uint8_t& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng());
+    }
+    const std::uint8_t* data = garbage.data();
+    const std::size_t size = garbage.size();
+    (void)decode_open_session(data, size);
+    (void)decode_open_session_reply(data, size);
+    (void)decode_submit(data, size);
+    (void)decode_result_request(data, size);
+    (void)decode_result_reply(data, size);
+    (void)decode_close(data, size);
+    (void)decode_result_chunk(data, size);
+    (void)decode_close_done(data, size);
+    (void)decode_metrics_reply(data, size);
+    (void)decode_error(data, size);
+  }
+}
+
+TEST(Wire, InvalidEnumCodesAreBadPayload) {
+  {
+    // Priority class out of range.
+    core::SessionConfig config = sample_config(1);
+    std::vector<std::uint8_t> bytes;
+    encode_open_session(config, bytes);
+    Frame frame = split_one(bytes);
+    // Layout: str tenant (4 + len) then the priority byte.
+    const std::size_t priority_at = 4 + config.tenant.size();
+    frame.payload[priority_at] = 250;
+    EXPECT_EQ(
+        decode_open_session(frame.payload.data(), frame.payload.size()).error,
+        DecodeError::kBadPayload);
+  }
+  {
+    // Reject reason outside the X-macro table.
+    std::vector<std::uint8_t> bytes;
+    encode_open_session_reply({core::RejectReason::kNone, 1}, bytes);
+    Frame frame = split_one(bytes);
+    frame.payload[0] = 250;
+    EXPECT_EQ(decode_open_session_reply(frame.payload.data(),
+                                        frame.payload.size())
+                  .error,
+              DecodeError::kBadPayload);
+  }
+  {
+    // Bool encoded as 2.
+    const core::RequestOutcome outcome = sample_outcome(2);
+    std::vector<std::uint8_t> bytes;
+    encode_result_reply(&outcome, bytes);
+    Frame frame = split_one(bytes);
+    frame.payload[0] = 2;  // the present flag
+    EXPECT_EQ(
+        decode_result_reply(frame.payload.data(), frame.payload.size()).error,
+        DecodeError::kBadPayload);
+  }
+  {
+    // Chunk count beyond the cap.
+    std::vector<std::uint8_t> bytes;
+    encode_result_chunk({}, 0, 0, bytes);
+    Frame frame = split_one(bytes);
+    const std::uint32_t huge = kResultChunkCap + 1;
+    for (int i = 0; i < 4; ++i) {
+      frame.payload[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(huge >> (8 * i));
+    }
+    EXPECT_EQ(
+        decode_result_chunk(frame.payload.data(), frame.payload.size()).error,
+        DecodeError::kBadPayload);
+  }
+}
+
+TEST(Wire, RejectReasonWireCodesAreTheXMacroTable) {
+  // The wire code IS the enum value, dense from 0, and every code maps
+  // back; the first code outside the table does not.
+  for (std::size_t code = 0; code < core::kRejectReasonCount; ++code) {
+    const auto reason =
+        core::reject_reason_from_wire(static_cast<std::uint8_t>(code));
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_EQ(core::wire_code(*reason), code);
+  }
+  EXPECT_FALSE(core::reject_reason_from_wire(
+                   static_cast<std::uint8_t>(core::kRejectReasonCount))
+                   .has_value());
+  EXPECT_STREQ(core::to_string(core::RejectReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(core::to_string(core::RejectReason::kQuotaExceeded),
+               "quota_exceeded");
+}
+
+}  // namespace
+}  // namespace rattrap::rpc

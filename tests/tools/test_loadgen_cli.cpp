@@ -70,6 +70,37 @@ TEST(LoadgenCli, MissingTraceFileExitsNonzero) {
   EXPECT_EQ(result.exit_code, 2);
 }
 
+TEST(LoadgenCli, UnknownTransportRejected) {
+  const CommandResult result = run_command(kBin + " --transport carrier");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("--transport")) << result.output;
+}
+
+TEST(LoadgenCli, RpcTransportRequiresOpenLoopArrival) {
+  // A closed-loop observer cannot cross the wire (docs/RPC.md).
+  const CommandResult result =
+      run_command(kBin + " --transport rpc --arrival closed");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_TRUE(result.contains("open-loop")) << result.output;
+}
+
+TEST(LoadgenCli, RpcTransportMatchesSimFingerprint) {
+  // The sim-twin guarantee as a CLI contract: the same workload through
+  // a real loopback socket produces the byte-identical server-platform
+  // metrics fingerprint (docs/RPC.md).
+  const std::string common = " --devices 5 --requests 80 --rate 50 --seed 3";
+  const CommandResult sim = run_command(kBin + common + " --transport sim");
+  ASSERT_EQ(sim.exit_code, 0) << sim.output;
+  const CommandResult rpc = run_command(kBin + common + " --transport rpc");
+  ASSERT_EQ(rpc.exit_code, 0) << rpc.output;
+  const std::string fingerprint =
+      extract_value(sim.output, "metrics_fingerprint");
+  EXPECT_FALSE(fingerprint.empty()) << sim.output;
+  EXPECT_EQ(extract_value(rpc.output, "metrics_fingerprint"), fingerprint);
+  EXPECT_EQ(extract_value(rpc.output, "accounting_identity"), "ok")
+      << rpc.output;
+}
+
 TEST(LoadgenCli, SmallRunSucceedsAndIsDeterministic) {
   const std::string command =
       kBin + " --devices 5 --requests 60 --rate 50 --seed 7";

@@ -9,9 +9,14 @@
 //   loadgen --arrival mmpp --rate 200 --burst-factor 10 --requests 20000
 //   loadgen --arrival closed --devices 2000 --think 0.5 --admission
 //   loadgen --admission --rate 400 --shed 8 --json
+//   loadgen --transport rpc --requests 10000   # same run over sockets
 //
 // Same flags + same seed ⇒ byte-identical metrics JSON (the fingerprint
-// printed at the end makes that checkable from a shell).
+// printed at the end makes that checkable from a shell).  --transport
+// rpc drives the identical workload through an in-process rpc::Server
+// over a real loopback socket; the printed fingerprint then hashes the
+// server platform's registry fetched over the wire, and matches the sim
+// transport's fingerprint exactly (docs/RPC.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +27,8 @@
 #include "core/platform.hpp"
 #include "core/qos/qos.hpp"
 #include "obs/metrics.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
 #include "trace/livelab.hpp"
 
 #include "cli_util.hpp"
@@ -60,6 +67,9 @@ void usage() {
       "  --mix T:C[:W[:S]]  add a traffic-mix slice: tenant T, class C\n"
       "                   (interactive|standard|batch), DRR weight W\n"
       "                   (default 1), share S (default 1). Repeatable.\n"
+      "  --transport T    sim | rpc: in-process sim clock, or the same\n"
+      "                   workload over a loopback rpc::Server (open-loop\n"
+      "                   arrivals only)\n"
       "  --quantum N      DRR quantum (default 1)\n"
       "  --starvation-burst N  anti-starvation burst size (default 1)\n"
       "  --promote-every N     pops between promotions (default 8)\n"
@@ -72,6 +82,7 @@ struct Options {
   core::AdmissionConfig admission;
   std::string trace_file;  ///< CSV trace for --arrival trace
   bool json = false;
+  bool rpc = false;  ///< --transport rpc: loopback sockets, same workload
 };
 
 /// "tenant:class[:weight[:share]]", e.g. "gold:interactive:3:0.25".
@@ -272,6 +283,18 @@ bool parse(int argc, char** argv, Options& options) {
         return false;
       }
       options.driver.loadgen.mix.push_back(std::move(mix));
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string s = v;
+      if (s == "sim") {
+        options.rpc = false;
+      } else if (s == "rpc") {
+        options.rpc = true;
+      } else {
+        std::fprintf(stderr, "unknown transport: %s\n", v);
+        return false;
+      }
     } else if (arg == "--quantum") {
       if (!num_u32("--quantum", options.admission.qos.quantum)) return false;
     } else if (arg == "--starvation-burst") {
@@ -299,6 +322,13 @@ bool parse(int argc, char** argv, Options& options) {
     std::fprintf(stderr, trace_replay
                              ? "--arrival trace requires --trace-file\n"
                              : "--trace-file requires --arrival trace\n");
+    return false;
+  }
+  if (options.rpc &&
+      options.driver.loadgen.arrival == sim::ArrivalProcess::kClosedLoop) {
+    // The closed loop feeds submissions from the platform's completion
+    // observer — an in-process callback that cannot cross the wire.
+    std::fprintf(stderr, "--transport rpc requires an open-loop arrival\n");
     return false;
   }
   return true;
@@ -348,8 +378,37 @@ int main(int argc, char** argv) {
   config.admission = options.admission;
   core::Platform platform(std::move(config));
 
-  const core::LoadSummary summary =
-      core::run_load(platform, options.driver);
+  core::LoadSummary summary;
+  std::string metrics_json;
+  if (options.rpc) {
+    // Same platform, same workload — but the Session API crosses a real
+    // loopback socket through the async front door.  The metrics JSON is
+    // fetched over the wire, so the fingerprint covers the server-side
+    // registry (which the sim transport fingerprints directly).
+    rpc::Server server(platform, rpc::ServerConfig{});
+    if (!server.start()) {
+      std::fprintf(stderr, "rpc: cannot start loopback server\n");
+      return 1;
+    }
+    auto client = rpc::ClientTransport::connect("127.0.0.1", server.port());
+    if (client == nullptr) {
+      std::fprintf(stderr, "rpc: cannot connect to 127.0.0.1:%u\n",
+                   server.port());
+      return 1;
+    }
+    summary = core::run_load_transport(*client, options.driver);
+    metrics_json = client->fetch_metrics();
+    if (!client->ok() || metrics_json.empty()) {
+      std::fprintf(stderr, "rpc: transport failed (%s)\n",
+                   rpc::to_string(client->last_error()));
+      return 1;
+    }
+    client.reset();
+    server.stop();
+  } else {
+    summary = core::run_load(platform, options.driver);
+    metrics_json = platform.metrics().to_json();
+  }
 
   std::printf("arrival=%s profile=%s devices=%u requests=%zu seed=%llu\n",
               to_string(options.driver.loadgen.arrival),
@@ -385,11 +444,23 @@ int main(int argc, char** argv) {
   std::printf("virtual_duration=%.1fs envs=%zu\n", summary.duration_s,
               platform.env_count());
 
+  // Request accounting must balance on every transport: what was offered
+  // either completed or was rejected, per class and in total (the CI
+  // rpc-loopback smoke greps for this line).
+  bool identity = summary.offered == summary.completed + summary.rejected;
+  std::size_t class_offered = 0;
+  for (const core::qos::PriorityClass klass : core::qos::kAllClasses) {
+    const core::ClassLoadStats& stats = summary.for_class(klass);
+    identity = identity && stats.offered == stats.completed + stats.rejected;
+    class_offered += stats.offered;
+  }
+  identity = identity && class_offered == summary.offered;
+  std::printf("accounting_identity=%s\n", identity ? "ok" : "violated");
+
   // The fingerprint hashes the full registry export — qos.* series,
   // admission gauges, the lot — and the export leads with its schema
   // version, so metric renames change both the printed schema and the
   // fingerprint instead of silently matching a stale golden value.
-  const std::string metrics_json = platform.metrics().to_json();
   if (options.json) std::printf("%s\n", metrics_json.c_str());
   std::printf("metrics_schema=%d\n", obs::kMetricsSchemaVersion);
   std::printf("metrics_fingerprint=%016llx\n",
